@@ -1,0 +1,64 @@
+// Ablation B (paper guideline 3): pruning granularity. Prunes the trained
+// HAR model one-shot at a fixed weight ratio with block / fine-grained /
+// channel granularity, retrains, and measures what actually happens to
+// accelerator outputs and intermittent latency. Fine-grained pruning
+// removes as many *weights* but cannot eliminate accelerator operations,
+// so its latency barely moves — exactly the paper's argument for
+// block-granularity pruning.
+
+#include <cstdio>
+
+#include "baselines/oneshot.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace iprune;
+  std::puts("== Ablation B: pruning granularity (HAR, one-shot 50% + "
+            "retrain) ==\n");
+
+  struct Case {
+    const char* label;
+    core::Granularity granularity;
+  };
+  const Case cases[] = {
+      {"block (one accelerator op)", core::Granularity::kBlock},
+      {"fine-grained (weights)", core::Granularity::kFine},
+      {"channel (whole rows)", core::Granularity::kChannel},
+  };
+  constexpr double kRatio = 0.5;
+
+  util::Table table({"Granularity", "Accuracy", "Alive weights",
+                     "Acc. Outputs", "Latency @ strong (s)",
+                     "NVM written/inf"});
+
+  for (const Case& c : cases) {
+    apps::PreparedModel pm = apps::prepare_model(
+        apps::WorkloadId::kHar, apps::Framework::kUnpruned);
+    apps::Workload& w = pm.workload;
+    auto layers = engine::prunable_layers(w.graph, w.prune.engine,
+                                          w.prune.device.memory);
+    nn::TrainConfig retrain = w.prune.finetune;
+    retrain.epochs = 4;
+    const auto result = baselines::one_shot_prune(
+        w.graph, layers, kRatio, c.granularity, w.train.inputs,
+        w.train.labels, w.val.inputs, w.val.labels, retrain);
+
+    const auto m = bench::measure_inference(
+        pm, bench::PowerLevel::kStrong, w.prune.engine, /*count=*/3);
+    table.row()
+        .cell(c.label)
+        .cell(util::Table::format(result.accuracy_after_retrain * 100.0, 1) +
+              "%")
+        .cell(result.alive_weights)
+        .cell(m.acc_outputs)
+        .cell(util::Table::format(m.latency_s, 3))
+        .cell(bench::kb(static_cast<std::size_t>(m.nvm_bytes_written)));
+  }
+  table.print();
+  std::puts(
+      "\nExpected shape: all three remove ~the same weight count, but only "
+      "block (and the much more damaging channel) granularity reduces "
+      "accelerator outputs and intermittent latency; fine-grained leaves "
+      "the NVM write traffic almost untouched.");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation D (DESIGN.md): latency and power-failure count versus harvest
+// power, for the unpruned and iPrune HAR models. Extends Figure 5's three
+// discrete power levels into a curve and shows the speedup holding across
+// the whole range (the paper's "improvement remains consistent under
+// various power strengths").
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+
+int main() {
+  using namespace iprune;
+  std::puts("== Ablation D: harvest-power sweep (HAR) ==\n");
+
+  apps::PreparedModel unpruned = apps::prepare_model(
+      apps::WorkloadId::kHar, apps::Framework::kUnpruned);
+  apps::PreparedModel ipruned = apps::prepare_model(
+      apps::WorkloadId::kHar, apps::Framework::kIPrune);
+
+  util::Table table({"Harvest power (mW)", "Unpruned latency (s)",
+                     "iPrune latency (s)", "Speedup", "Unpruned failures",
+                     "iPrune failures"});
+  util::CsvWriter csv({"power_mw", "unpruned_s", "iprune_s", "speedup"});
+
+  auto measure = [&](apps::PreparedModel& pm, double watts) {
+    device::Msp430Device dev(device::DeviceConfig::msp430fr5994(),
+                             std::make_unique<power::ConstantSupply>(watts));
+    std::vector<std::size_t> calib_idx = {0, 1, 2, 3};
+    const nn::Tensor calib =
+        nn::gather_rows(pm.workload.val.inputs, calib_idx);
+    engine::DeployedModel model(pm.workload.graph,
+                                pm.workload.prune.engine, dev, calib);
+    engine::IntermittentEngine eng(model, dev);
+    engine::InferenceStats total{};
+    constexpr std::size_t kRuns = 3;
+    for (std::size_t n = 0; n < kRuns; ++n) {
+      const auto r = eng.run(bench::sample_of(pm.workload.val, n));
+      total.latency_s += r.stats.latency_s;
+      total.power_failures += r.stats.power_failures;
+    }
+    total.latency_s /= kRuns;
+    total.power_failures /= kRuns;
+    return total;
+  };
+
+  for (const double mw : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    const auto u = measure(unpruned, mw * 1e-3);
+    const auto p = measure(ipruned, mw * 1e-3);
+    table.row()
+        .cell(util::Table::format(mw, 0))
+        .cell(util::Table::format(u.latency_s, 3))
+        .cell(util::Table::format(p.latency_s, 3))
+        .cell(util::Table::format(u.latency_s / p.latency_s, 2) + "x")
+        .cell(u.power_failures)
+        .cell(p.power_failures);
+    csv.row({util::Table::format(mw, 0),
+             util::Table::format(u.latency_s, 6),
+             util::Table::format(p.latency_s, 6),
+             util::Table::format(u.latency_s / p.latency_s, 3)});
+  }
+  table.print();
+  if (csv.save("power_sweep.csv")) {
+    std::puts("\n(series also written to power_sweep.csv)");
+  }
+  std::puts(
+      "\nExpected shape: latency rises steeply as harvest power falls "
+      "(recharge time dominates); the iPrune speedup persists across the "
+      "entire range and grows slightly at the weak end (fewer power "
+      "failures to recover from).");
+  return 0;
+}

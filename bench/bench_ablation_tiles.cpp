@@ -1,0 +1,43 @@
+// Ablation C (DESIGN.md): tile-size selection. Sweeps the accelerator's
+// per-op reduction depth (max_k_per_op = Bk): deeper ops mean fewer
+// partial-sum write-backs (fewer accelerator outputs) but longer atomic
+// operations. Shows how the criterion and latency move together, and why
+// the accelerator-output count is engine-configuration dependent (the
+// criterion must be computed from the deployed tile plan, paper §III-B).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace iprune;
+  std::puts("== Ablation C: accelerator op depth (Bk) sweep, HAR unpruned "
+            "==\n");
+
+  util::Table table({"max_k_per_op (Bk)", "Acc. Outputs",
+                     "Latency @ strong (s)", "Latency @ continuous (s)",
+                     "Power failures @ strong"});
+
+  for (const std::size_t bk : {2u, 4u, 8u, 12u, 24u, 48u}) {
+    apps::PreparedModel pm = apps::prepare_model(
+        apps::WorkloadId::kHar, apps::Framework::kUnpruned);
+    engine::EngineConfig cfg = pm.workload.prune.engine;
+    cfg.max_k_per_op = bk;
+    const auto strong = bench::measure_inference(
+        pm, bench::PowerLevel::kStrong, cfg, /*count=*/3);
+    const auto cont = bench::measure_inference(
+        pm, bench::PowerLevel::kContinuous, cfg, /*count=*/3);
+    table.row()
+        .cell(bk)
+        .cell(strong.acc_outputs)
+        .cell(util::Table::format(strong.latency_s, 3))
+        .cell(util::Table::format(cont.latency_s, 3))
+        .cell(util::Table::format(strong.power_failures, 1));
+  }
+  table.print();
+  std::puts(
+      "\nExpected shape: accelerator outputs fall ~1/Bk; intermittent "
+      "latency improves with depth until the op compute time overtakes the "
+      "overlapped write-back.");
+  return 0;
+}

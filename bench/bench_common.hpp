@@ -1,0 +1,129 @@
+#pragma once
+// Shared helpers for the table/figure reproduction benches.
+
+#include <memory>
+#include <string>
+
+#include "apps/artifacts.hpp"
+#include "engine/engine.hpp"
+#include "power/supply.hpp"
+#include "util/table.hpp"
+
+namespace iprune::bench {
+
+/// The paper's three power conditions (Table I).
+enum class PowerLevel { kContinuous, kStrong, kWeak };
+
+inline const char* power_name(PowerLevel level) {
+  switch (level) {
+    case PowerLevel::kContinuous:
+      return "Continuous (1.65 W)";
+    case PowerLevel::kStrong:
+      return "Strong (8 mW)";
+    case PowerLevel::kWeak:
+      return "Weak (4 mW)";
+  }
+  return "?";
+}
+
+inline std::unique_ptr<power::PowerSupply> make_supply(PowerLevel level) {
+  switch (level) {
+    case PowerLevel::kContinuous:
+      return power::SupplyPresets::continuous();
+    case PowerLevel::kStrong:
+      return power::SupplyPresets::strong();
+    case PowerLevel::kWeak:
+      return power::SupplyPresets::weak();
+  }
+  return nullptr;
+}
+
+/// Average end-to-end inference statistics over the first `count`
+/// validation samples of a prepared model, on a fresh device under the
+/// given power level and engine configuration.
+struct MeasuredLatency {
+  double latency_s = 0.0;
+  double on_s = 0.0;
+  double off_s = 0.0;
+  double nvm_read_s = 0.0;
+  double nvm_write_s = 0.0;
+  double lea_s = 0.0;
+  double cpu_s = 0.0;
+  double reboot_s = 0.0;
+  double energy_j = 0.0;
+  double power_failures = 0.0;
+  double nvm_bytes_written = 0.0;
+  std::size_t acc_outputs = 0;
+  std::size_t model_bytes = 0;
+  std::size_t macs = 0;
+  bool completed = true;
+};
+
+inline nn::Tensor sample_of(const data::Dataset& d, std::size_t index) {
+  nn::Tensor s(d.sample_shape());
+  const std::size_t elems = s.numel();
+  for (std::size_t i = 0; i < elems; ++i) {
+    s[i] = d.inputs[index * elems + i];
+  }
+  return s;
+}
+
+inline MeasuredLatency measure_inference(apps::PreparedModel& pm,
+                                         PowerLevel level,
+                                         engine::EngineConfig config,
+                                         std::size_t count = 3) {
+  device::Msp430Device dev(device::DeviceConfig::msp430fr5994(),
+                           make_supply(level));
+  std::vector<std::size_t> calib_idx;
+  for (std::size_t i = 0; i < 8; ++i) {
+    calib_idx.push_back(i);
+  }
+  const nn::Tensor calib =
+      nn::gather_rows(pm.workload.val.inputs, calib_idx);
+  engine::DeployedModel model(pm.workload.graph, config, dev, calib);
+  engine::IntermittentEngine eng(model, dev);
+
+  MeasuredLatency m;
+  m.model_bytes = model.model_bytes();
+  m.macs = model.total_macs();
+  m.acc_outputs = model.total_acc_outputs();
+  for (std::size_t n = 0; n < count; ++n) {
+    const auto result = eng.run(sample_of(pm.workload.val, n));
+    m.completed = m.completed && result.stats.completed;
+    m.latency_s += result.stats.latency_s;
+    m.on_s += result.stats.on_s;
+    m.off_s += result.stats.off_s;
+    m.nvm_read_s += result.stats.nvm_read_s;
+    m.nvm_write_s += result.stats.nvm_write_s;
+    m.lea_s += result.stats.lea_s;
+    m.cpu_s += result.stats.cpu_s;
+    m.reboot_s += result.stats.reboot_s;
+    m.energy_j += result.stats.energy_j;
+    m.power_failures += static_cast<double>(result.stats.power_failures);
+    m.nvm_bytes_written +=
+        static_cast<double>(result.stats.nvm_bytes_written);
+  }
+  const auto divisor = static_cast<double>(count);
+  m.latency_s /= divisor;
+  m.on_s /= divisor;
+  m.off_s /= divisor;
+  m.nvm_read_s /= divisor;
+  m.nvm_write_s /= divisor;
+  m.lea_s /= divisor;
+  m.cpu_s /= divisor;
+  m.reboot_s /= divisor;
+  m.energy_j /= divisor;
+  m.power_failures /= divisor;
+  m.nvm_bytes_written /= divisor;
+  return m;
+}
+
+inline std::string kb(std::size_t bytes) {
+  return util::Table::format(static_cast<double>(bytes) / 1024.0, 1) + " KB";
+}
+
+inline std::string kilo(std::size_t value) {
+  return util::Table::format(static_cast<double>(value) / 1000.0, 0) + " K";
+}
+
+}  // namespace iprune::bench

@@ -1,0 +1,132 @@
+// Micro-benchmarks (google-benchmark) for the host-side kernels that gate
+// the prune-retrain loop's wall-clock time: GEMM, im2col conv forward,
+// BSR construction, quantization, and the simulated device's job loop.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "engine/bsr.hpp"
+#include "engine/engine.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/gemm.hpp"
+#include "nn/quantize.hpp"
+#include "power/supply.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace iprune;
+
+void BM_GemmAccumulate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  for (auto& v : a) {
+    v = static_cast<float>(rng.normal());
+  }
+  for (auto& v : b) {
+    v = static_cast<float>(rng.normal());
+  }
+  for (auto _ : state) {
+    std::fill(c.begin(), c.end(), 0.0f);
+    nn::gemm_accumulate(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_GemmAccumulate)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ConvForward(benchmark::State& state) {
+  util::Rng rng(2);
+  nn::Conv2d conv("c",
+                  {.in_channels = 16, .out_channels = 32, .kernel_h = 3,
+                   .kernel_w = 3, .pad_h = 1, .pad_w = 1},
+                  rng);
+  nn::Tensor input({4, 16, 16, 16});
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    input[i] = static_cast<float>(rng.normal());
+  }
+  std::vector<const nn::Tensor*> ins = {&input};
+  for (auto _ : state) {
+    nn::Tensor out = conv.forward(ins, false);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ConvForward);
+
+void BM_BsrBuild(benchmark::State& state) {
+  util::Rng rng(3);
+  engine::TilePlan plan;
+  plan.rows = 64;
+  plan.cols = 1;
+  plan.k = 768;
+  plan.br = 4;
+  plan.bk = 12;
+  plan.bc = 1;
+  nn::Tensor dense({plan.rows, plan.k});
+  for (std::size_t i = 0; i < dense.numel(); ++i) {
+    dense[i] = rng.bernoulli(0.5) ? static_cast<float>(rng.normal()) : 0.0f;
+  }
+  const nn::QTensor q = nn::quantize_q15(dense);
+  nn::Tensor mask(dense.shape());
+  for (std::size_t i = 0; i < mask.numel(); ++i) {
+    mask[i] = dense[i] != 0.0f ? 1.0f : 0.0f;
+  }
+  const engine::BlockMask bmask = engine::BlockMask::from_dense(mask, plan);
+  for (auto _ : state) {
+    engine::BsrMatrix bsr = engine::BsrMatrix::build(q, bmask, plan);
+    benchmark::DoNotOptimize(bsr.nnz_blocks());
+  }
+}
+BENCHMARK(BM_BsrBuild);
+
+void BM_QuantizeQ15(benchmark::State& state) {
+  util::Rng rng(4);
+  nn::Tensor t({65536});
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal());
+  }
+  for (auto _ : state) {
+    nn::QTensor q = nn::quantize_q15(t);
+    benchmark::DoNotOptimize(q.data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t.numel() * 4));
+}
+BENCHMARK(BM_QuantizeQ15);
+
+void BM_SimulatedInference(benchmark::State& state) {
+  // Host-side throughput of the full device simulation (one small dense
+  // model end to end, intermittent mode under strong power).
+  util::Rng rng(5);
+  nn::Graph g({64});
+  auto fc1 = g.add(std::make_unique<nn::Dense>("fc1", 64, 32, rng),
+                   {g.input()});
+  auto fc2 = g.add(std::make_unique<nn::Dense>("fc2", 32, 10, rng), {fc1});
+  g.set_output(fc2);
+  nn::Tensor calib({4, 64});
+  for (std::size_t i = 0; i < calib.numel(); ++i) {
+    calib[i] = static_cast<float>(rng.normal());
+  }
+  device::Msp430Device dev(device::DeviceConfig::msp430fr5994(),
+                           power::SupplyPresets::strong());
+  engine::EngineConfig cfg;
+  engine::DeployedModel model(g, cfg, dev, calib);
+  engine::IntermittentEngine eng(model, dev);
+  nn::Tensor sample({64});
+  for (std::size_t i = 0; i < sample.numel(); ++i) {
+    sample[i] = static_cast<float>(rng.normal());
+  }
+  for (auto _ : state) {
+    auto result = eng.run(sample);
+    benchmark::DoNotOptimize(result.logits.data());
+  }
+}
+BENCHMARK(BM_SimulatedInference);
+
+}  // namespace
+
+BENCHMARK_MAIN();

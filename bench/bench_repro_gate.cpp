@@ -1,0 +1,123 @@
+// Reproduction gate: programmatically asserts the paper's qualitative
+// claims against the (cached) pruned models and exits nonzero when any
+// shape regresses — a CI guard for the whole reproduction. Checks:
+//
+//   G1  every pruned model keeps accuracy within epsilon of its baseline
+//   G2  iPrune produces no more accelerator outputs than ePrune (per app)
+//   G3  iPrune's intermittent latency beats ePrune and Unpruned (per app,
+//       under strong and weak power)
+//   G4  speedups persist across power strengths (weak/strong ratio ~1)
+//   G5  NVM writes dominate immediate-mode latency but not accumulate
+//   G6  weaker power means more power failures and higher latency
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& label) {
+  std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", label.c_str());
+  if (!ok) {
+    ++g_failures;
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace iprune;
+  std::puts("== Reproduction gate ==\n");
+
+  for (const apps::WorkloadId id : apps::all_workloads()) {
+    apps::PreparedModel unpruned =
+        apps::prepare_model(id, apps::Framework::kUnpruned);
+    apps::PreparedModel eprune =
+        apps::prepare_model(id, apps::Framework::kEPrune);
+    apps::PreparedModel iprune =
+        apps::prepare_model(id, apps::Framework::kIPrune);
+    const std::string app = unpruned.workload.name;
+    const double eps = unpruned.workload.prune.epsilon;
+
+    // G1: accuracy parity.
+    check(eprune.val_accuracy >= unpruned.val_accuracy - eps - 1e-9,
+          app + " G1: ePrune accuracy within epsilon (" +
+              util::Table::format(eprune.val_accuracy * 100, 1) + "% vs " +
+              util::Table::format(unpruned.val_accuracy * 100, 1) + "%)");
+    check(iprune.val_accuracy >= unpruned.val_accuracy - eps - 1e-9,
+          app + " G1: iPrune accuracy within epsilon (" +
+              util::Table::format(iprune.val_accuracy * 100, 1) + "% vs " +
+              util::Table::format(unpruned.val_accuracy * 100, 1) + "%)");
+
+    // Measure all three under the three power levels.
+    const engine::EngineConfig cfg = unpruned.workload.prune.engine;
+    auto m_u_strong =
+        bench::measure_inference(unpruned, bench::PowerLevel::kStrong, cfg);
+    auto m_e_strong =
+        bench::measure_inference(eprune, bench::PowerLevel::kStrong, cfg);
+    auto m_i_strong =
+        bench::measure_inference(iprune, bench::PowerLevel::kStrong, cfg);
+    auto m_u_weak =
+        bench::measure_inference(unpruned, bench::PowerLevel::kWeak, cfg);
+    auto m_i_weak =
+        bench::measure_inference(iprune, bench::PowerLevel::kWeak, cfg);
+    auto m_e_weak =
+        bench::measure_inference(eprune, bench::PowerLevel::kWeak, cfg);
+
+    // G2: the criterion wins on its own objective.
+    check(m_i_strong.acc_outputs <= m_e_strong.acc_outputs,
+          app + " G2: iPrune acc outputs <= ePrune (" +
+              std::to_string(m_i_strong.acc_outputs) + " vs " +
+              std::to_string(m_e_strong.acc_outputs) + ")");
+
+    // G3: latency ordering under both harvested levels.
+    check(m_i_strong.latency_s < m_e_strong.latency_s &&
+              m_e_strong.latency_s < m_u_strong.latency_s,
+          app + " G3: strong-power latency iPrune < ePrune < Unpruned");
+    check(m_i_weak.latency_s < m_e_weak.latency_s &&
+              m_e_weak.latency_s < m_u_weak.latency_s,
+          app + " G3: weak-power latency iPrune < ePrune < Unpruned");
+
+    // G4: the improvement is consistent across power strengths.
+    const double speedup_strong =
+        m_u_strong.latency_s / m_i_strong.latency_s;
+    const double speedup_weak = m_u_weak.latency_s / m_i_weak.latency_s;
+    check(speedup_weak > speedup_strong * 0.8 &&
+              speedup_weak < speedup_strong * 1.3,
+          app + " G4: speedup consistent across power (" +
+              util::Table::format(speedup_strong, 2) + "x strong, " +
+              util::Table::format(speedup_weak, 2) + "x weak)");
+
+    // G6: weaker power -> more failures, higher latency.
+    check(m_u_weak.power_failures > m_u_strong.power_failures &&
+              m_u_weak.latency_s > m_u_strong.latency_s,
+          app + " G6: weak power raises failures and latency");
+  }
+
+  // G5: the motivating breakdown (HAR suffices).
+  {
+    apps::PreparedModel pm = apps::prepare_model(
+        apps::WorkloadId::kHar, apps::Framework::kUnpruned);
+    engine::EngineConfig immediate = pm.workload.prune.engine;
+    immediate.mode = engine::PreservationMode::kImmediate;
+    engine::EngineConfig accumulate = pm.workload.prune.engine;
+    accumulate.mode = engine::PreservationMode::kAccumulateInVm;
+    const auto m_imm = bench::measure_inference(
+        pm, bench::PowerLevel::kContinuous, immediate, 2);
+    const auto m_acc = bench::measure_inference(
+        pm, bench::PowerLevel::kContinuous, accumulate, 2);
+    check(m_imm.nvm_write_s > m_imm.lea_s &&
+              m_imm.nvm_write_s > 0.3 * m_imm.latency_s,
+          "G5: NVM writes dominate immediate-mode latency");
+    check(m_acc.nvm_write_s < 0.2 * (m_acc.nvm_read_s + m_acc.lea_s),
+          "G5: NVM writes are minor in accumulate-in-VM mode");
+  }
+
+  std::printf("\n%s (%d failure%s)\n",
+              g_failures == 0 ? "REPRODUCTION GATE PASSED"
+                              : "REPRODUCTION GATE FAILED",
+              g_failures, g_failures == 1 ? "" : "s");
+  return g_failures == 0 ? 0 : 1;
+}

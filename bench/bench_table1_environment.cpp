@@ -1,0 +1,74 @@
+// Reproduces paper Table I: the experimental environment. Prints the
+// simulated hardware/energy configuration plus derived quantities (usable
+// buffer energy, recharge times) so deviations from the paper's testbed
+// are explicit.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "power/energy_buffer.hpp"
+
+int main() {
+  using namespace iprune;
+  const device::DeviceConfig dev = device::DeviceConfig::msp430fr5994();
+  const power::BufferConfig buf;
+  const power::EnergyBuffer buffer(buf);
+
+  std::puts("== Table I: Specifications of the (simulated) experimental "
+            "environment ==\n");
+
+  util::Table hw({"Hardware", "Value"});
+  hw.row().cell("MCU").cell("TI MSP430FR5994 (simulated)");
+  hw.row().cell("Volatile memory").cell(bench::kb(dev.memory.vm_bytes) +
+                                        " SRAM");
+  hw.row().cell("Non-volatile memory").cell(
+      bench::kb(dev.memory.nvm_bytes) + " FRAM (Cypress CY15B104Q model)");
+  hw.row().cell("Accelerator").cell("TI Low-Energy Accelerator model, " +
+                                    util::Table::format(dev.lea.mac_us, 3) +
+                                    " us/MAC");
+  hw.row().cell("DMA invocation").cell(
+      util::Table::format(dev.dma.invocation_us, 1) + " us/command");
+  hw.row().cell("NVM read / write").cell(
+      util::Table::format(dev.dma.read_us_per_byte, 2) + " / " +
+      util::Table::format(dev.dma.write_us_per_byte, 2) + " us/byte");
+  hw.row().cell("Reboot cost").cell(
+      util::Table::format(dev.reboot_us / 1000.0, 1) + " ms");
+  hw.print();
+
+  std::puts("");
+  util::Table energy({"Energy", "Value"});
+  energy.row().cell("Boost converter").cell("TI BQ25504 model");
+  energy.row().cell("Switch on/off voltage").cell(
+      util::Table::format(buf.v_on, 1) + " V / " +
+      util::Table::format(buf.v_off, 1) + " V");
+  energy.row().cell("Capacitance").cell(
+      util::Table::format(buf.capacitance_f * 1e6, 0) + " uF");
+  energy.row().cell("Usable buffer energy").cell(
+      util::Table::format(buffer.usable_j() * 1e6, 1) + " uJ/cycle");
+  energy.row().cell("Continuous power").cell("1.65 W = 3.3 V x 0.5 A");
+  energy.row().cell("Strong power").cell("8 mW = 1 V x 8 mA");
+  energy.row().cell("Weak power").cell("4 mW = 1 V x 4 mA");
+  energy.row().cell("Recharge time (strong)").cell(
+      util::Table::format(buffer.usable_j() / 8e-3 * 1e3, 1) + " ms");
+  energy.row().cell("Recharge time (weak)").cell(
+      util::Table::format(buffer.usable_j() / 4e-3 * 1e3, 1) + " ms");
+  energy.print();
+
+  std::puts("");
+  util::Table rails({"Power rail", "Draw"});
+  rails.row().cell("Base active").cell(
+      util::Table::format(dev.rails.base_active_w * 1e3, 1) + " mW");
+  rails.row().cell("LEA active (extra)").cell(
+      util::Table::format(dev.rails.lea_active_w * 1e3, 1) + " mW");
+  rails.row().cell("NVM read (extra)").cell(
+      util::Table::format(dev.rails.nvm_read_w * 1e3, 1) + " mW");
+  rails.row().cell("NVM write (extra)").cell(
+      util::Table::format(dev.rails.nvm_write_w * 1e3, 1) + " mW");
+  rails.row().cell("CPU active (extra)").cell(
+      util::Table::format(dev.rails.cpu_active_w * 1e3, 1) + " mW");
+  rails.print();
+
+  std::puts("\nNote: latency/energy constants are datasheet-plausible "
+            "models, not silicon measurements (see DESIGN.md).");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Reproduces paper Table II: the TinyML applications used for evaluation —
+// layer inventory, 16-bit model size, MACs, accelerator outputs (under the
+// HAWAII+ tile plans), and the per-layer diversity of accelerator outputs.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "engine/lowering.hpp"
+
+int main() {
+  using namespace iprune;
+  std::puts("== Table II: TinyML applications used for evaluation ==\n");
+
+  util::Table table({"Application", "Layers", "Model Size", "MACs",
+                     "Acc. Outputs", "Diversity (max/min)"});
+
+  for (const apps::WorkloadId id : apps::all_workloads()) {
+    apps::Workload w = apps::make_workload(id);
+
+    std::size_t conv = 0, pool = 0, fc = 0;
+    for (nn::NodeId node = 1; node < w.graph.node_count(); ++node) {
+      switch (w.graph.layer(node).kind()) {
+        case nn::LayerKind::kConv2d:
+          ++conv;
+          break;
+        case nn::LayerKind::kMaxPool:
+        case nn::LayerKind::kAvgPool:
+          ++pool;
+          break;
+        case nn::LayerKind::kDense:
+          ++fc;
+          break;
+        default:
+          break;
+      }
+    }
+    std::string layers;
+    if (conv > 0) {
+      layers += "CONV x " + std::to_string(conv);
+    }
+    if (pool > 0) {
+      layers += (layers.empty() ? "" : ", ") + std::string("POOL x ") +
+                std::to_string(pool);
+    }
+    if (fc > 0) {
+      layers += (layers.empty() ? "" : ", ") + std::string("FC x ") +
+                std::to_string(fc);
+    }
+
+    const auto prunable = engine::prunable_layers(
+        w.graph, w.prune.engine, w.prune.device.memory);
+    std::size_t macs = 0, outputs = 0;
+    std::size_t min_out = SIZE_MAX, max_out = 0;
+    for (const auto& layer : prunable) {
+      macs += layer.macs();
+      const std::size_t out = layer.acc_outputs();
+      outputs += out;
+      min_out = std::min(min_out, out);
+      max_out = std::max(max_out, out);
+    }
+    const double diversity =
+        static_cast<double>(max_out) / static_cast<double>(min_out);
+
+    table.row()
+        .cell(w.name + ": " + w.task)
+        .cell(layers)
+        .cell(bench::kb(w.graph.parameter_count() * 2))
+        .cell(bench::kilo(macs))
+        .cell(bench::kilo(outputs))
+        .cell(util::Table::format(diversity, 1) + "x");
+  }
+  table.print();
+
+  std::puts("\nPer-layer accelerator outputs (engine tile plans):");
+  for (const apps::WorkloadId id : apps::all_workloads()) {
+    apps::Workload w = apps::make_workload(id);
+    const auto prunable = engine::prunable_layers(
+        w.graph, w.prune.engine, w.prune.device.memory);
+    util::Table detail({"Layer (" + w.name + ")", "R", "S", "K", "Bk",
+                        "MACs", "Acc. Outputs"});
+    for (const auto& layer : prunable) {
+      detail.row()
+          .cell(layer.name)
+          .cell(layer.plan.rows)
+          .cell(layer.plan.cols)
+          .cell(layer.plan.k)
+          .cell(layer.plan.bk)
+          .cell(layer.macs())
+          .cell(layer.acc_outputs());
+    }
+    detail.print();
+    std::puts("");
+  }
+  return 0;
+}

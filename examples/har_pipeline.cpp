@@ -1,0 +1,93 @@
+// Full HAR pipeline on the paper's workload registry: prepares (or loads
+// from the artifact cache) all three HAR variants — Unpruned, ePrune,
+// iPrune — deploys each to the simulated device, and compares them under
+// all three power strengths. This is the per-application slice of the
+// Table III + Figure 5 story.
+//
+// Run: ./build/examples/har_pipeline
+// (first run trains and prunes; later runs reuse ./artifacts)
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/artifacts.hpp"
+#include "engine/engine.hpp"
+#include "power/supply.hpp"
+#include "util/table.hpp"
+
+using namespace iprune;
+
+namespace {
+
+nn::Tensor sample_of(const data::Dataset& d, std::size_t index) {
+  nn::Tensor s(d.sample_shape());
+  const std::size_t elems = s.numel();
+  for (std::size_t i = 0; i < elems; ++i) {
+    s[i] = d.inputs[index * elems + i];
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== HAR end-to-end pipeline ==\n");
+
+  std::vector<apps::PreparedModel> variants;
+  for (const apps::Framework fw : apps::all_frameworks()) {
+    variants.push_back(apps::prepare_model(apps::WorkloadId::kHar, fw));
+    const apps::PreparedModel& pm = variants.back();
+    std::printf("%-9s accuracy %.1f%%%s\n", apps::framework_name(fw),
+                pm.val_accuracy * 100.0,
+                pm.from_cache ? "  (from artifact cache)" : "");
+    if (pm.outcome.has_value()) {
+      std::printf("          pruning ran %zu iterations, %zu strikes\n",
+                  pm.outcome->history.size(), pm.outcome->strikes);
+    }
+  }
+
+  struct Level {
+    const char* name;
+    std::unique_ptr<power::PowerSupply> (*make)();
+  };
+  const Level levels[] = {
+      {"continuous", &power::SupplyPresets::continuous},
+      {"strong 8mW", &power::SupplyPresets::strong},
+      {"weak 4mW", &power::SupplyPresets::weak},
+  };
+
+  util::Table table({"Power", "Model", "Size (B)", "Acc. outputs",
+                     "Latency (s)", "Failures", "Energy (mJ)"});
+  for (const Level& level : levels) {
+    for (apps::PreparedModel& pm : variants) {
+      device::Msp430Device dev(device::DeviceConfig::msp430fr5994(),
+                               level.make());
+      std::vector<std::size_t> calib_idx = {0, 1, 2, 3};
+      const nn::Tensor calib =
+          nn::gather_rows(pm.workload.val.inputs, calib_idx);
+      engine::DeployedModel model(pm.workload.graph,
+                                  pm.workload.prune.engine, dev, calib);
+      engine::IntermittentEngine eng(model, dev);
+
+      engine::InferenceStats avg{};
+      constexpr std::size_t kRuns = 3;
+      for (std::size_t n = 0; n < kRuns; ++n) {
+        const auto r = eng.run(sample_of(pm.workload.val, n));
+        avg.latency_s += r.stats.latency_s / kRuns;
+        avg.energy_j += r.stats.energy_j / kRuns;
+        avg.power_failures += r.stats.power_failures / kRuns;
+      }
+      table.row()
+          .cell(level.name)
+          .cell(apps::framework_name(pm.framework))
+          .cell(model.model_bytes())
+          .cell(model.total_acc_outputs())
+          .cell(util::Table::format(avg.latency_s, 3))
+          .cell(avg.power_failures)
+          .cell(util::Table::format(avg.energy_j * 1e3, 2));
+    }
+  }
+  std::puts("");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,183 @@
+// Command-line driver: deploy any cached workload variant to the
+// simulated device and measure intermittent inference under a chosen
+// power level, preservation mode, and accelerator depth.
+//
+//   iprune_cli [--workload sqn|har|cks] [--framework unpruned|eprune|iprune]
+//              [--power continuous|strong|weak|<milliwatts>]
+//              [--mode immediate|task|accumulate]
+//              [--bk <depth>] [--runs <n>]
+//
+// Example:
+//   ./build/examples/iprune_cli --workload cks --framework iprune \
+//       --power 2.5 --mode task --runs 5
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "apps/artifacts.hpp"
+#include "engine/engine.hpp"
+#include "power/supply.hpp"
+#include "util/table.hpp"
+
+using namespace iprune;
+
+namespace {
+
+struct Options {
+  apps::WorkloadId workload = apps::WorkloadId::kHar;
+  apps::Framework framework = apps::Framework::kIPrune;
+  std::string power = "strong";
+  std::string mode = "immediate";
+  std::size_t bk = 0;  // 0 = workload default
+  std::size_t runs = 3;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--workload sqn|har|cks] "
+      "[--framework unpruned|eprune|iprune]\n"
+      "          [--power continuous|strong|weak|<milliwatts>] "
+      "[--mode immediate|task|accumulate]\n"
+      "          [--bk <depth>] [--runs <n>]\n",
+      argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) {
+      usage(argv[0]);
+    }
+    const std::string value = argv[++i];
+    if (flag == "--workload") {
+      if (value == "sqn") {
+        opt.workload = apps::WorkloadId::kSqn;
+      } else if (value == "har") {
+        opt.workload = apps::WorkloadId::kHar;
+      } else if (value == "cks") {
+        opt.workload = apps::WorkloadId::kCks;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (flag == "--framework") {
+      if (value == "unpruned") {
+        opt.framework = apps::Framework::kUnpruned;
+      } else if (value == "eprune") {
+        opt.framework = apps::Framework::kEPrune;
+      } else if (value == "iprune") {
+        opt.framework = apps::Framework::kIPrune;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (flag == "--power") {
+      opt.power = value;
+    } else if (flag == "--mode") {
+      opt.mode = value;
+    } else if (flag == "--bk") {
+      opt.bk = static_cast<std::size_t>(std::strtoul(value.c_str(),
+                                                     nullptr, 10));
+    } else if (flag == "--runs") {
+      opt.runs = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::strtoul(value.c_str(), nullptr,
+                                                   10)));
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return opt;
+}
+
+std::unique_ptr<power::PowerSupply> make_supply(const std::string& name) {
+  if (name == "continuous") {
+    return power::SupplyPresets::continuous();
+  }
+  if (name == "strong") {
+    return power::SupplyPresets::strong();
+  }
+  if (name == "weak") {
+    return power::SupplyPresets::weak();
+  }
+  const double mw = std::strtod(name.c_str(), nullptr);
+  if (mw <= 0.0) {
+    std::fprintf(stderr, "bad --power value '%s'\n", name.c_str());
+    std::exit(2);
+  }
+  return std::make_unique<power::ConstantSupply>(mw * 1e-3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  apps::PreparedModel pm = apps::prepare_model(opt.workload, opt.framework);
+  engine::EngineConfig cfg = pm.workload.prune.engine;
+  if (opt.mode == "immediate") {
+    cfg.mode = engine::PreservationMode::kImmediate;
+  } else if (opt.mode == "task") {
+    cfg.mode = engine::PreservationMode::kTaskAtomic;
+  } else if (opt.mode == "accumulate") {
+    cfg.mode = engine::PreservationMode::kAccumulateInVm;
+  } else {
+    usage(argv[0]);
+  }
+  if (opt.bk > 0) {
+    cfg.max_k_per_op = opt.bk;
+  }
+
+  device::Msp430Device dev(device::DeviceConfig::msp430fr5994(),
+                           make_supply(opt.power));
+  std::vector<std::size_t> calib_idx = {0, 1, 2, 3, 4, 5, 6, 7};
+  const nn::Tensor calib =
+      nn::gather_rows(pm.workload.val.inputs, calib_idx);
+  engine::DeployedModel model(pm.workload.graph, cfg, dev, calib);
+  engine::IntermittentEngine eng(model, dev);
+
+  std::printf(
+      "%s / %s | power=%s mode=%s Bk=%zu\n"
+      "host accuracy %.1f%% | model %zu B | MACs %zu | acc outputs %zu\n\n",
+      pm.workload.name.c_str(), apps::framework_name(opt.framework),
+      opt.power.c_str(), opt.mode.c_str(), cfg.max_k_per_op,
+      pm.val_accuracy * 100.0, model.model_bytes(), model.total_macs(),
+      model.total_acc_outputs());
+
+  util::Table table({"Run", "Latency (s)", "On (s)", "Off (s)", "Failures",
+                     "Re-exec jobs", "Energy (mJ)", "Top-1 / label"});
+  std::size_t correct = 0;
+  for (std::size_t n = 0; n < opt.runs; ++n) {
+    nn::Tensor sample(pm.workload.val.sample_shape());
+    const std::size_t elems = sample.numel();
+    for (std::size_t i = 0; i < elems; ++i) {
+      sample[i] = pm.workload.val.inputs[n * elems + i];
+    }
+    const auto result = eng.run(sample);
+    if (!result.stats.completed) {
+      std::printf("run %zu: DID NOT COMPLETE (restarted %zu times)\n", n,
+                  result.stats.restarts);
+      continue;
+    }
+    const auto best = static_cast<int>(
+        std::max_element(result.logits.begin(), result.logits.end()) -
+        result.logits.begin());
+    correct += best == pm.workload.val.labels[n] ? 1 : 0;
+    table.row()
+        .cell(n)
+        .cell(util::Table::format(result.stats.latency_s, 4))
+        .cell(util::Table::format(result.stats.on_s, 4))
+        .cell(util::Table::format(result.stats.off_s, 4))
+        .cell(result.stats.power_failures)
+        .cell(result.stats.reexecuted_jobs)
+        .cell(util::Table::format(result.stats.energy_j * 1e3, 3))
+        .cell(std::to_string(best) + " / " +
+              std::to_string(pm.workload.val.labels[n]));
+  }
+  table.print();
+  std::printf("\non-device top-1: %zu/%zu correct\n", correct, opt.runs);
+  return 0;
+}

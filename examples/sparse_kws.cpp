@@ -1,0 +1,103 @@
+// BSR sparse-inference deep dive (paper Fig. 1): walks one pruned CKS
+// layer through the inference flow of a pruned DNN layer — BSR indexing,
+// per-accelerator-op weight-block fetches, partial-sum staging, progress
+// preservation — and prints the per-layer storage/indexing economics.
+//
+// Run: ./build/examples/sparse_kws
+
+#include <cstdio>
+
+#include "apps/artifacts.hpp"
+#include "engine/engine.hpp"
+#include "power/supply.hpp"
+#include "util/table.hpp"
+
+using namespace iprune;
+
+int main() {
+  std::puts("== Sparse keyword-spotting inference: BSR walkthrough ==\n");
+
+  apps::PreparedModel pm =
+      apps::prepare_model(apps::WorkloadId::kCks, apps::Framework::kIPrune);
+
+  const auto layers = engine::prunable_layers(
+      pm.workload.graph, pm.workload.prune.engine,
+      pm.workload.prune.device.memory);
+
+  util::Table table({"Layer", "Block grid", "Alive blocks", "Sparsity",
+                     "Dense bytes", "BSR bytes", "Index overhead",
+                     "Acc. outputs"});
+  for (const auto& layer : layers) {
+    const engine::BlockMask mask = layer.block_mask();
+    const std::size_t total_blocks = mask.row_tiles() * mask.k_tiles();
+    const std::size_t alive = mask.alive_count();
+
+    nn::Tensor masked = *layer.weight;
+    masked.hadamard(*layer.mask);
+    const nn::QTensor wq = nn::quantize_q15(masked);
+    const engine::BsrMatrix bsr =
+        engine::BsrMatrix::build(wq, mask, layer.plan);
+
+    const std::size_t dense_bytes = layer.total_weights() * 2;
+    const std::size_t index_bytes =
+        bsr.device_bytes() - bsr.values().size() * 2;
+    table.row()
+        .cell(layer.name)
+        .cell(std::to_string(mask.row_tiles()) + " x " +
+              std::to_string(mask.k_tiles()))
+        .cell(std::to_string(alive) + "/" + std::to_string(total_blocks))
+        .cell(util::Table::format(
+                  100.0 * (1.0 - static_cast<double>(alive) /
+                                     static_cast<double>(total_blocks)),
+                  1) +
+              "%")
+        .cell(dense_bytes)
+        .cell(bsr.device_bytes())
+        .cell(std::to_string(index_bytes) + " B")
+        .cell(layer.acc_outputs());
+  }
+  table.print();
+
+  // Now actually run one inference and show the progress-preservation
+  // traffic the BSR format avoided.
+  device::Msp430Device dev(device::DeviceConfig::msp430fr5994(),
+                           power::SupplyPresets::strong());
+  std::vector<std::size_t> calib_idx = {0, 1, 2, 3};
+  const nn::Tensor calib =
+      nn::gather_rows(pm.workload.val.inputs, calib_idx);
+  engine::DeployedModel model(pm.workload.graph, pm.workload.prune.engine,
+                              dev, calib);
+  engine::IntermittentEngine eng(model, dev);
+
+  nn::Tensor sample(pm.workload.val.sample_shape());
+  for (std::size_t i = 0; i < sample.numel(); ++i) {
+    sample[i] = pm.workload.val.inputs[i];
+  }
+  const auto result = eng.run(sample);
+  std::printf(
+      "\none intermittent inference (8 mW):\n"
+      "  accelerator outputs preserved : %zu\n"
+      "  NVM bytes written             : %zu\n"
+      "  NVM bytes read                : %zu (incl. 2 index reads/op)\n"
+      "  power failures recovered      : %zu\n"
+      "  latency                       : %.3f s\n",
+      result.stats.acc_outputs, result.stats.nvm_bytes_written,
+      result.stats.nvm_bytes_read, result.stats.power_failures,
+      result.stats.latency_s);
+  std::puts("\nper-layer latency share:");
+  util::Table nodes({"Node", "Latency (s)", "Share"});
+  for (const auto& node : result.per_node) {
+    nodes.row()
+        .cell(node.name)
+        .cell(util::Table::format(node.latency_s, 4))
+        .cell(util::Table::format(
+                  100.0 * node.latency_s / result.stats.latency_s, 1) +
+              "%");
+  }
+  nodes.print();
+  std::puts(
+      "\nThe two index arrays cost two extra NVM reads per accelerator op "
+      "(paper Sec. III-D) but skip every pruned block's fetch, compute, "
+      "and NVM write-back.");
+  return 0;
+}

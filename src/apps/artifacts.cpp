@@ -1,0 +1,107 @@
+#include "apps/artifacts.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+
+#include "baselines/eprune.hpp"
+#include "nn/serialize.hpp"
+#include "util/log.hpp"
+
+namespace iprune::apps {
+
+const char* framework_name(Framework fw) {
+  switch (fw) {
+    case Framework::kUnpruned:
+      return "Unpruned";
+    case Framework::kEPrune:
+      return "ePrune";
+    case Framework::kIPrune:
+      return "iPrune";
+  }
+  return "?";
+}
+
+std::vector<Framework> all_frameworks() {
+  return {Framework::kUnpruned, Framework::kEPrune, Framework::kIPrune};
+}
+
+std::string artifact_dir() {
+  const char* dir = std::getenv("IPRUNE_ARTIFACTS");
+  std::string path = dir != nullptr ? dir : "artifacts";
+  std::filesystem::create_directories(path);
+  return path;
+}
+
+namespace {
+
+std::string param_path(const Workload& w, const std::string& variant) {
+  std::string name = w.name;
+  for (char& ch : name) {
+    ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  return artifact_dir() + "/" + name + (fast_mode() ? "_fast" : "") + "_" +
+         variant + ".bin";
+}
+
+std::unique_ptr<core::RatioAllocator> make_allocator(Framework fw) {
+  if (fw == Framework::kIPrune) {
+    return std::make_unique<core::IPruneAllocator>();
+  }
+  return std::make_unique<baselines::EPruneAllocator>();
+}
+
+/// Load baseline parameters or train from scratch (and cache).
+void ensure_baseline(Workload& w) {
+  const std::string path = param_path(w, "unpruned");
+  if (nn::load_parameters(w.graph, path)) {
+    return;
+  }
+  util::log_info("training " + w.name + " baseline (" +
+                 std::to_string(w.train.size()) + " samples, " +
+                 std::to_string(w.initial_training.epochs) + " epochs)...");
+  nn::Trainer trainer(w.graph);
+  trainer.train(w.train.inputs, w.train.labels, w.initial_training);
+  if (!nn::save_parameters(w.graph, path)) {
+    util::log_warn("could not cache baseline parameters at " + path);
+  }
+}
+
+}  // namespace
+
+PreparedModel prepare_model(WorkloadId id, Framework fw) {
+  PreparedModel prepared;
+  prepared.workload = make_workload(id);
+  prepared.framework = fw;
+  Workload& w = prepared.workload;
+
+  ensure_baseline(w);
+
+  if (fw != Framework::kUnpruned) {
+    std::string variant = framework_name(fw);
+    for (char& ch : variant) {
+      ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    }
+    const std::string path = param_path(w, variant);
+    if (nn::load_parameters(w.graph, path)) {
+      prepared.from_cache = true;
+    } else {
+      util::log_info("pruning " + w.name + " with " +
+                     std::string(framework_name(fw)) + "...");
+      core::IterativePruner pruner(w.prune, make_allocator(fw));
+      prepared.outcome =
+          pruner.run(w.graph, w.train.inputs, w.train.labels, w.val.inputs,
+                     w.val.labels);
+      if (!nn::save_parameters(w.graph, path)) {
+        util::log_warn("could not cache pruned parameters at " + path);
+      }
+    }
+  }
+
+  nn::Trainer trainer(w.graph);
+  prepared.val_accuracy =
+      trainer.evaluate(w.val.inputs, w.val.labels).accuracy;
+  return prepared;
+}
+
+}  // namespace iprune::apps

@@ -1,0 +1,36 @@
+#pragma once
+// Artifact cache: trained and pruned model parameters are stored on disk
+// so the Table III / Figure 5 benches (which share the same pruned models)
+// do not redo the multi-minute prune-retrain flow on every run. Delete the
+// artifacts directory (or set IPRUNE_ARTIFACTS) to force recomputation.
+
+#include <optional>
+
+#include "apps/workloads.hpp"
+
+namespace iprune::apps {
+
+enum class Framework { kUnpruned, kEPrune, kIPrune };
+
+const char* framework_name(Framework fw);
+std::vector<Framework> all_frameworks();
+
+/// Directory for cached parameters (IPRUNE_ARTIFACTS or "./artifacts");
+/// created on demand.
+std::string artifact_dir();
+
+struct PreparedModel {
+  Workload workload;  // graph holds the variant's parameters and masks
+  Framework framework = Framework::kUnpruned;
+  double val_accuracy = 0.0;
+  bool from_cache = false;
+  /// Present only when the pruning ran in this process (not cached).
+  std::optional<core::PruneOutcome> outcome;
+};
+
+/// Build the workload and materialize the given variant's parameters:
+/// loads from the artifact cache when possible, otherwise trains (and for
+/// pruned variants runs the full iterative pruning flow) and saves.
+PreparedModel prepare_model(WorkloadId id, Framework fw);
+
+}  // namespace iprune::apps

@@ -1,0 +1,118 @@
+#include "apps/models.hpp"
+
+#include <memory>
+
+#include "nn/activation.hpp"
+#include "nn/concat.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/pool.hpp"
+
+namespace iprune::apps {
+
+namespace {
+
+using nn::Conv2dSpec;
+using nn::NodeId;
+using nn::PoolSpec;
+
+NodeId conv_relu(nn::Graph& g, NodeId input, const std::string& name,
+                 Conv2dSpec spec, util::Rng& rng) {
+  const NodeId conv =
+      g.add(std::make_unique<nn::Conv2d>(name, spec, rng), {input});
+  return g.add(std::make_unique<nn::Relu>(name + "_relu"), {conv});
+}
+
+/// SqueezeNet fire module: 1x1 squeeze followed by concatenated 1x1 and
+/// 3x3 expands (3 CONV layers).
+NodeId fire(nn::Graph& g, NodeId input, const std::string& name,
+            std::size_t in_channels, std::size_t squeeze,
+            std::size_t expand, util::Rng& rng) {
+  const NodeId s = conv_relu(
+      g, input, name + "_squeeze",
+      {.in_channels = in_channels, .out_channels = squeeze, .kernel_h = 1,
+       .kernel_w = 1},
+      rng);
+  const NodeId e1 = conv_relu(
+      g, s, name + "_expand1x1",
+      {.in_channels = squeeze, .out_channels = expand, .kernel_h = 1,
+       .kernel_w = 1},
+      rng);
+  const NodeId e3 = conv_relu(
+      g, s, name + "_expand3x3",
+      {.in_channels = squeeze, .out_channels = expand, .kernel_h = 3,
+       .kernel_w = 3, .pad_h = 1, .pad_w = 1},
+      rng);
+  return g.add(std::make_unique<nn::Concat>(name + "_concat"), {e1, e3});
+}
+
+}  // namespace
+
+nn::Graph build_sqn(util::Rng& rng) {
+  nn::Graph g({3, 32, 32});
+  NodeId x = conv_relu(g, g.input(), "conv1",
+                       {.in_channels = 3, .out_channels = 24, .kernel_h = 3,
+                        .kernel_w = 3, .pad_h = 1, .pad_w = 1},
+                       rng);
+  x = g.add(std::make_unique<nn::MaxPool2d>("pool1", PoolSpec{2, 2, 2}), {x});
+  x = fire(g, x, "fire1", 24, 16, 32, rng);   // -> [64,16,16]
+  x = fire(g, x, "fire2", 64, 16, 32, rng);   // -> [64,16,16]
+  x = g.add(std::make_unique<nn::MaxPool2d>("pool2", PoolSpec{2, 2, 2}), {x});
+  x = fire(g, x, "fire3", 64, 32, 64, rng);   // -> [128,8,8]
+  x = g.add(std::make_unique<nn::Conv2d>(
+                "conv10",
+                Conv2dSpec{.in_channels = 128, .out_channels = 10,
+                           .kernel_h = 1, .kernel_w = 1},
+                rng),
+            {x});
+  x = g.add(std::make_unique<nn::AvgPool2d>("global_avg", PoolSpec{8, 8, 8}),
+            {x});
+  x = g.add(std::make_unique<nn::Flatten>("flatten"), {x});
+  g.set_output(x);
+  return g;
+}
+
+nn::Graph build_har(util::Rng& rng) {
+  nn::Graph g({3, 1, 128});
+  NodeId x = conv_relu(g, g.input(), "conv1",
+                       {.in_channels = 3, .out_channels = 16, .kernel_h = 1,
+                        .kernel_w = 5, .pad_h = 0, .pad_w = 2},
+                       rng);
+  x = g.add(std::make_unique<nn::MaxPool2d>("pool1", PoolSpec{1, 2, 2}), {x});
+  x = conv_relu(g, x, "conv2",
+                {.in_channels = 16, .out_channels = 32, .kernel_h = 1,
+                 .kernel_w = 5, .pad_h = 0, .pad_w = 2},
+                rng);
+  x = g.add(std::make_unique<nn::MaxPool2d>("pool2", PoolSpec{1, 2, 2}), {x});
+  x = conv_relu(g, x, "conv3",
+                {.in_channels = 32, .out_channels = 48, .kernel_h = 1,
+                 .kernel_w = 3, .pad_h = 0, .pad_w = 1},
+                rng);
+  x = g.add(std::make_unique<nn::MaxPool2d>("pool3", PoolSpec{1, 2, 2}), {x});
+  x = g.add(std::make_unique<nn::Flatten>("flatten"), {x});
+  x = g.add(std::make_unique<nn::Dense>("fc", 48 * 16, 6, rng), {x});
+  g.set_output(x);
+  return g;
+}
+
+nn::Graph build_cks(util::Rng& rng) {
+  nn::Graph g({1, 49, 10});
+  NodeId x = conv_relu(g, g.input(), "conv1",
+                       {.in_channels = 1, .out_channels = 28, .kernel_h = 8,
+                        .kernel_w = 4, .stride = 2, .pad_h = 1, .pad_w = 1},
+                       rng);  // -> [28,22,5]
+  x = conv_relu(g, x, "conv2",
+                {.in_channels = 28, .out_channels = 30, .kernel_h = 4,
+                 .kernel_w = 3, .pad_h = 1, .pad_w = 1},
+                rng);  // -> [30,21,5]
+  x = g.add(std::make_unique<nn::Flatten>("flatten"), {x});
+  x = g.add(std::make_unique<nn::Dense>("fc1", 30 * 21 * 5, 16, rng), {x});
+  x = g.add(std::make_unique<nn::Relu>("fc1_relu"), {x});
+  x = g.add(std::make_unique<nn::Dense>("fc2", 16, 128, rng), {x});
+  x = g.add(std::make_unique<nn::Relu>("fc2_relu"), {x});
+  x = g.add(std::make_unique<nn::Dense>("fc3", 128, 10, rng), {x});
+  g.set_output(x);
+  return g;
+}
+
+}  // namespace iprune::apps

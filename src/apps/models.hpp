@@ -1,0 +1,20 @@
+#pragma once
+// The three TinyML model architectures of paper Table II, scaled to fit
+// the 512 KB NVM alongside the engine state:
+//   SQN — SqueezeNet-style image recognition (11 CONV + 2 POOL, multi-path
+//         fire modules, global average-pool head), low layer diversity.
+//   HAR — human-activity detection over tri-axial accelerometer windows
+//         (3 CONV + 3 POOL + 1 FC), medium diversity.
+//   CKS — speech keyword spotting over MFCC-like spectrograms
+//         (2 CONV + 3 FC), high diversity.
+
+#include "nn/graph.hpp"
+#include "util/rng.hpp"
+
+namespace iprune::apps {
+
+nn::Graph build_sqn(util::Rng& rng);
+nn::Graph build_har(util::Rng& rng);
+nn::Graph build_cks(util::Rng& rng);
+
+}  // namespace iprune::apps

@@ -1,0 +1,139 @@
+#include "apps/workloads.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "apps/models.hpp"
+
+namespace iprune::apps {
+
+const char* workload_name(WorkloadId id) {
+  switch (id) {
+    case WorkloadId::kSqn:
+      return "SQN";
+    case WorkloadId::kHar:
+      return "HAR";
+    case WorkloadId::kCks:
+      return "CKS";
+  }
+  return "?";
+}
+
+const char* workload_task(WorkloadId id) {
+  switch (id) {
+    case WorkloadId::kSqn:
+      return "Image Recognition";
+    case WorkloadId::kHar:
+      return "Human Activity Detection";
+    case WorkloadId::kCks:
+      return "Speech Keyword Spotting";
+  }
+  return "?";
+}
+
+std::vector<WorkloadId> all_workloads() {
+  return {WorkloadId::kSqn, WorkloadId::kHar, WorkloadId::kCks};
+}
+
+bool fast_mode() {
+  const char* value = std::getenv("IPRUNE_FAST");
+  return value != nullptr && value[0] == '1';
+}
+
+namespace {
+
+data::Split make_split(const data::Dataset& full, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return data::split_dataset(full, 0.8, rng);
+}
+
+void apply_fast_overrides(Workload& w) {
+  w.initial_training.epochs = std::max<std::size_t>(
+      2, w.initial_training.epochs / 2);
+  w.prune.max_iterations = std::min<std::size_t>(w.prune.max_iterations, 4);
+  w.prune.finetune.epochs = 1;
+  w.prune.sensitivity.max_samples = 96;
+}
+
+}  // namespace
+
+Workload make_workload(WorkloadId id) {
+  Workload w;
+  w.id = id;
+  w.name = workload_name(id);
+  w.task = workload_task(id);
+  util::Rng rng(0xC0FFEE ^ static_cast<std::uint64_t>(id));
+
+  // Shared pruning defaults (paper §III-D): ε = 1 %, Γ̂ = 40 %, block
+  // granularity, second chance.
+  w.prune.epsilon = 0.01;
+  w.prune.gamma_hat = 0.40;
+  w.prune.strikes_allowed = 2;
+  w.prune.granularity = core::Granularity::kBlock;
+  w.prune.sensitivity.probe_ratio = 0.10;
+  w.prune.finetune.batch_size = 32;
+  w.prune.finetune.sgd.learning_rate = 0.03f;
+  w.prune.finetune.sgd.momentum = 0.9f;
+  w.prune.finetune.lr_decay = 0.80f;
+  w.prune.finetune.epochs = 5;
+
+  w.initial_training.batch_size = 32;
+  w.initial_training.sgd.learning_rate = 0.05f;
+  w.initial_training.sgd.momentum = 0.9f;
+  w.initial_training.lr_decay = 0.85f;
+
+  data::SyntheticConfig data_cfg;
+  switch (id) {
+    case WorkloadId::kSqn: {
+      w.graph = build_sqn(rng);
+      data_cfg.samples = fast_mode() ? 600 : 1600;
+      data_cfg.seed = 42;
+      data_cfg.noise = 0.60f;
+      data_cfg.label_noise = 0.18f;
+      const data::Split split =
+          make_split(data::make_image_dataset(data_cfg), 11);
+      w.train = split.train;
+      w.val = split.val;
+      w.initial_training.epochs = 12;
+      w.prune.max_iterations = 6;
+      w.prune.sensitivity.max_samples = 160;
+      break;
+    }
+    case WorkloadId::kHar: {
+      w.graph = build_har(rng);
+      data_cfg.samples = fast_mode() ? 800 : 2400;
+      data_cfg.seed = 43;
+      data_cfg.noise = 1.20f;
+      data_cfg.label_noise = 0.06f;
+      const data::Split split =
+          make_split(data::make_har_dataset(data_cfg), 12);
+      w.train = split.train;
+      w.val = split.val;
+      w.initial_training.epochs = 14;
+      w.prune.max_iterations = 10;
+      w.prune.sensitivity.max_samples = 256;
+      break;
+    }
+    case WorkloadId::kCks: {
+      w.graph = build_cks(rng);
+      data_cfg.samples = fast_mode() ? 700 : 2000;
+      data_cfg.seed = 44;
+      data_cfg.noise = 0.70f;
+      data_cfg.label_noise = 0.08f;
+      const data::Split split =
+          make_split(data::make_speech_dataset(data_cfg), 13);
+      w.train = split.train;
+      w.val = split.val;
+      w.initial_training.epochs = 12;
+      w.prune.max_iterations = 10;
+      w.prune.sensitivity.max_samples = 256;
+      break;
+    }
+  }
+  if (fast_mode()) {
+    apply_fast_overrides(w);
+  }
+  return w;
+}
+
+}  // namespace iprune::apps

@@ -1,0 +1,40 @@
+#pragma once
+// Workload registry: model + synthetic dataset + training and pruning
+// hyperparameters for each of the paper's three TinyML applications.
+//
+// Setting IPRUNE_FAST=1 in the environment shrinks datasets / epochs /
+// iterations for quick CI runs (artifacts are cached under distinct names
+// so fast and full results never mix).
+
+#include "core/pruner.hpp"
+#include "data/synthetic.hpp"
+#include "nn/graph.hpp"
+
+namespace iprune::apps {
+
+enum class WorkloadId { kSqn, kHar, kCks };
+
+const char* workload_name(WorkloadId id);
+const char* workload_task(WorkloadId id);
+std::vector<WorkloadId> all_workloads();
+
+/// True when IPRUNE_FAST=1.
+bool fast_mode();
+
+struct Workload {
+  WorkloadId id = WorkloadId::kHar;
+  std::string name;
+  std::string task;
+  nn::Graph graph;
+  data::Dataset train;
+  data::Dataset val;
+  nn::TrainConfig initial_training;
+  core::PruneConfig prune;
+
+  Workload() : graph(nn::Shape{1}) {}
+};
+
+/// Build the untrained workload (graph + data + configs). Deterministic.
+Workload make_workload(WorkloadId id);
+
+}  // namespace iprune::apps

@@ -1,0 +1,43 @@
+#include "baselines/eprune.hpp"
+
+namespace iprune::baselines {
+
+namespace {
+constexpr double kMaxLayerRatio = 0.35;
+}
+
+std::vector<double> EPruneAllocator::allocate(
+    const std::vector<core::LayerStats>& stats, double gamma,
+    util::Rng& rng) const {
+  (void)rng;
+  // Pruned mass proportional to layer energy: mass_i = γ_i k_i ∝ e_i,
+  // i.e. preference_i = e_i / k_i (see core::scale_to_budget semantics).
+  std::vector<double> preference(stats.size(), 0.0);
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    if (stats[i].alive_weights > 0) {
+      preference[i] =
+          stats[i].energy_j / static_cast<double>(stats[i].alive_weights);
+    }
+  }
+  return core::scale_to_budget(stats, preference, gamma, kMaxLayerRatio);
+}
+
+std::vector<double> UniformAllocator::allocate(
+    const std::vector<core::LayerStats>& stats, double gamma,
+    util::Rng& rng) const {
+  (void)rng;
+  return core::scale_to_budget(stats, std::vector<double>(stats.size(), 1.0),
+                               gamma, kMaxLayerRatio);
+}
+
+std::vector<double> RandomAllocator::allocate(
+    const std::vector<core::LayerStats>& stats, double gamma,
+    util::Rng& rng) const {
+  std::vector<double> preference(stats.size());
+  for (double& p : preference) {
+    p = rng.uniform(0.05, 1.0);
+  }
+  return core::scale_to_budget(stats, preference, gamma, kMaxLayerRatio);
+}
+
+}  // namespace iprune::baselines

@@ -1,0 +1,60 @@
+#pragma once
+// Comparison frameworks (paper §IV-A).
+//
+// ePrune: the energy-aware baseline — same estimate-prune-retrain loop and
+// the same recoverable threshold ε, but it allocates pruning mass in
+// proportion to each layer's (continuous-mode) energy, and uses a fixed
+// per-iteration overall ratio since it has no intermittency-aware
+// guideline for choosing Γ. Modeled after Yang et al. [18].
+//
+// UniformAllocator / RandomAllocator: criterion-ablation strawmen.
+
+#include "core/ratio_search.hpp"
+
+namespace iprune::baselines {
+
+class EPruneAllocator final : public core::RatioAllocator {
+ public:
+  [[nodiscard]] const char* name() const override { return "ePrune"; }
+
+  /// Fixed per-iteration rate: half the upper bound. (iPrune's guideline-1
+  /// choice is usually smaller, letting it run more iterations before the
+  /// loss stops recovering — the effect Table III attributes the size gap
+  /// to.)
+  [[nodiscard]] double overall_ratio(const std::vector<core::LayerStats>&,
+                                     double gamma_hat) const override {
+    return gamma_hat * 0.5;
+  }
+
+  [[nodiscard]] std::vector<double> allocate(
+      const std::vector<core::LayerStats>& stats, double gamma,
+      util::Rng& rng) const override;
+};
+
+/// Uniform γ_i = Γ for every layer (pure magnitude-style pruning).
+class UniformAllocator final : public core::RatioAllocator {
+ public:
+  [[nodiscard]] const char* name() const override { return "uniform"; }
+  [[nodiscard]] double overall_ratio(const std::vector<core::LayerStats>&,
+                                     double gamma_hat) const override {
+    return gamma_hat * 0.5;
+  }
+  [[nodiscard]] std::vector<double> allocate(
+      const std::vector<core::LayerStats>& stats, double gamma,
+      util::Rng& rng) const override;
+};
+
+/// Random allocation (sanity floor for the criterion ablation).
+class RandomAllocator final : public core::RatioAllocator {
+ public:
+  [[nodiscard]] const char* name() const override { return "random"; }
+  [[nodiscard]] double overall_ratio(const std::vector<core::LayerStats>&,
+                                     double gamma_hat) const override {
+    return gamma_hat * 0.5;
+  }
+  [[nodiscard]] std::vector<double> allocate(
+      const std::vector<core::LayerStats>& stats, double gamma,
+      util::Rng& rng) const override;
+};
+
+}  // namespace iprune::baselines

@@ -1,0 +1,27 @@
+#include "baselines/oneshot.hpp"
+
+namespace iprune::baselines {
+
+OneShotResult one_shot_prune(nn::Graph& graph,
+                             std::vector<engine::PrunableLayer>& layers,
+                             double ratio, core::Granularity granularity,
+                             const nn::Tensor& train_x,
+                             std::span<const int> train_y,
+                             const nn::Tensor& val_x,
+                             std::span<const int> val_y,
+                             const nn::TrainConfig& retrain) {
+  OneShotResult result;
+  for (engine::PrunableLayer& layer : layers) {
+    core::prune_layer(layer, ratio, granularity);
+  }
+  nn::Trainer trainer(graph);
+  result.accuracy_before_retrain = trainer.evaluate(val_x, val_y).accuracy;
+  trainer.train(train_x, train_y, retrain);
+  result.accuracy_after_retrain = trainer.evaluate(val_x, val_y).accuracy;
+  for (const engine::PrunableLayer& layer : layers) {
+    result.alive_weights += layer.alive_weights();
+  }
+  return result;
+}
+
+}  // namespace iprune::baselines

@@ -1,0 +1,28 @@
+#pragma once
+// One-shot pruning baseline (background §I): prune the trained model once
+// to a target ratio, then retrain. Contrasted against iterative pruning in
+// the granularity/strategy ablations.
+
+#include "core/block_pruner.hpp"
+#include "nn/trainer.hpp"
+
+namespace iprune::baselines {
+
+struct OneShotResult {
+  double accuracy_before_retrain = 0.0;
+  double accuracy_after_retrain = 0.0;
+  std::size_t alive_weights = 0;
+};
+
+/// Prune `ratio` of every prunable layer's weights at the given
+/// granularity (uniformly across layers), then retrain.
+OneShotResult one_shot_prune(nn::Graph& graph,
+                             std::vector<engine::PrunableLayer>& layers,
+                             double ratio, core::Granularity granularity,
+                             const nn::Tensor& train_x,
+                             std::span<const int> train_y,
+                             const nn::Tensor& val_x,
+                             std::span<const int> val_y,
+                             const nn::TrainConfig& retrain);
+
+}  // namespace iprune::baselines

@@ -1,0 +1,139 @@
+#include "core/arch_search.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace iprune::core {
+
+bool pareto_insert(std::vector<ArchCandidate>& archive,
+                   const ArchCandidate& candidate) {
+  for (const ArchCandidate& member : archive) {
+    if (member.dominates(candidate)) {
+      return false;
+    }
+  }
+  std::erase_if(archive, [&](const ArchCandidate& member) {
+    return candidate.dominates(member);
+  });
+  archive.push_back(candidate);
+  return true;
+}
+
+namespace {
+
+std::vector<std::size_t> random_widths(const ArchSearchConfig& config,
+                                       util::Rng& rng) {
+  std::vector<std::size_t> widths(config.min_widths.size());
+  for (std::size_t d = 0; d < widths.size(); ++d) {
+    widths[d] = config.min_widths[d] +
+                rng.uniform_index(config.max_widths[d] -
+                                  config.min_widths[d] + 1);
+  }
+  return widths;
+}
+
+std::vector<std::size_t> mutate_widths(const std::vector<std::size_t>& base,
+                                       const ArchSearchConfig& config,
+                                       util::Rng& rng) {
+  std::vector<std::size_t> widths = base;
+  const std::size_t dim = rng.uniform_index(widths.size());
+  const std::size_t range =
+      config.max_widths[dim] - config.min_widths[dim];
+  // Step by up to a quarter of the dimension's range, either direction.
+  const auto max_step = std::max<std::size_t>(1, range / 4);
+  const auto step = 1 + rng.uniform_index(max_step);
+  if (rng.bernoulli(0.5) && widths[dim] + step <= config.max_widths[dim]) {
+    widths[dim] += step;
+  } else if (widths[dim] >= config.min_widths[dim] + step) {
+    widths[dim] -= step;
+  } else {
+    widths[dim] = config.min_widths[dim] + rng.uniform_index(range + 1);
+  }
+  return widths;
+}
+
+}  // namespace
+
+ArchSearchResult search_architectures(const ArchBuilder& builder,
+                                      const ArchSearchConfig& config,
+                                      const data::Dataset& train,
+                                      const data::Dataset& val) {
+  if (config.min_widths.size() != config.max_widths.size() ||
+      config.min_widths.empty()) {
+    throw std::invalid_argument(
+        "search_architectures: inconsistent width bounds");
+  }
+  for (std::size_t d = 0; d < config.min_widths.size(); ++d) {
+    if (config.min_widths[d] > config.max_widths[d] ||
+        config.min_widths[d] == 0) {
+      throw std::invalid_argument(
+          "search_architectures: invalid bounds at dimension " +
+          std::to_string(d));
+    }
+  }
+
+  util::Rng rng(config.seed);
+  ArchSearchResult result;
+
+  auto evaluate = [&](const std::vector<std::size_t>& widths)
+      -> std::optional<ArchCandidate> {
+    util::Rng init_rng(config.seed ^ 0x5EED);
+    nn::Graph graph = [&]() -> nn::Graph {
+      try {
+        return builder(widths, init_rng);
+      } catch (const std::exception&) {
+        ++result.infeasible;
+        throw;
+      }
+    }();
+
+    nn::Trainer trainer(graph);
+    trainer.train(train.inputs, train.labels, config.proxy_training);
+
+    ArchCandidate candidate;
+    candidate.widths = widths;
+    candidate.accuracy =
+        trainer.evaluate(val.inputs, val.labels).accuracy;
+    const auto layers =
+        engine::prunable_layers(graph, config.engine, config.memory);
+    for (const auto& layer : layers) {
+      candidate.acc_outputs += layer.acc_outputs();
+    }
+    candidate.parameters = graph.parameter_count();
+    ++result.evaluated;
+    return candidate;
+  };
+
+  std::vector<ArchCandidate> archive;
+  for (std::size_t i = 0; i < config.evaluations; ++i) {
+    std::vector<std::size_t> widths;
+    if (i < config.initial_random || archive.empty()) {
+      widths = random_widths(config, rng);
+    } else {
+      const ArchCandidate& parent =
+          archive[rng.uniform_index(archive.size())];
+      widths = mutate_widths(parent.widths, config, rng);
+    }
+    try {
+      const auto candidate = evaluate(widths);
+      if (candidate.has_value()) {
+        pareto_insert(archive, *candidate);
+      }
+    } catch (const std::exception& error) {
+      util::log_debug(std::string("arch_search: infeasible candidate: ") +
+                      error.what());
+    }
+  }
+
+  std::sort(archive.begin(), archive.end(),
+            [](const ArchCandidate& a, const ArchCandidate& b) {
+              return a.acc_outputs < b.acc_outputs;
+            });
+  result.pareto_front = std::move(archive);
+  return result;
+}
+
+}  // namespace iprune::core

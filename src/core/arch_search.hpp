@@ -1,0 +1,75 @@
+#pragma once
+// Intermittent-aware architecture search (extension; the paper's ref [13],
+// iNAS, is the same group's precursor). Searches a caller-defined family
+// of architectures — parameterized by an integer width vector — for the
+// accuracy / accelerator-output Pareto front: the same criterion iPrune
+// prunes with, applied one level earlier at design time.
+//
+// The search is a simple (1+λ) evolutionary loop over a Pareto archive:
+// seed with random candidates, then repeatedly mutate an archive member
+// by one width step; every evaluated candidate that is not dominated
+// enters the archive. Candidate evaluation trains briefly (proxy
+// training) and counts accelerator outputs from the engine tile plans.
+
+#include <functional>
+
+#include "data/dataset.hpp"
+#include "engine/lowering.hpp"
+#include "nn/trainer.hpp"
+
+namespace iprune::core {
+
+struct ArchCandidate {
+  std::vector<std::size_t> widths;
+  double accuracy = 0.0;
+  std::size_t acc_outputs = 0;
+  std::size_t parameters = 0;
+
+  /// Pareto dominance: at least as good on both objectives (maximize
+  /// accuracy, minimize accelerator outputs) and strictly better on one.
+  [[nodiscard]] bool dominates(const ArchCandidate& other) const {
+    const bool no_worse = accuracy >= other.accuracy &&
+                          acc_outputs <= other.acc_outputs;
+    const bool better = accuracy > other.accuracy ||
+                        acc_outputs < other.acc_outputs;
+    return no_worse && better;
+  }
+};
+
+struct ArchSearchConfig {
+  /// Inclusive per-dimension bounds on the width vector.
+  std::vector<std::size_t> min_widths;
+  std::vector<std::size_t> max_widths;
+  /// Random seeds + mutations evaluated in total.
+  std::size_t evaluations = 12;
+  std::size_t initial_random = 4;
+  /// Proxy-training schedule per candidate.
+  nn::TrainConfig proxy_training;
+  std::uint64_t seed = 77;
+  engine::EngineConfig engine;
+  device::MemoryConfig memory;
+};
+
+/// Maps a width vector to a model (throws for invalid combinations, which
+/// the search treats as infeasible and skips).
+using ArchBuilder =
+    std::function<nn::Graph(const std::vector<std::size_t>&, util::Rng&)>;
+
+struct ArchSearchResult {
+  /// Non-dominated candidates, sorted by ascending accelerator outputs.
+  std::vector<ArchCandidate> pareto_front;
+  std::size_t evaluated = 0;
+  std::size_t infeasible = 0;
+};
+
+ArchSearchResult search_architectures(const ArchBuilder& builder,
+                                      const ArchSearchConfig& config,
+                                      const data::Dataset& train,
+                                      const data::Dataset& val);
+
+/// Insert into a Pareto archive: drops dominated members, rejects the
+/// candidate if it is itself dominated. Returns true when inserted.
+bool pareto_insert(std::vector<ArchCandidate>& archive,
+                   const ArchCandidate& candidate);
+
+}  // namespace iprune::core

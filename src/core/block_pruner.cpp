@@ -1,0 +1,165 @@
+#include "core/block_pruner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace iprune::core {
+
+double block_rms(const engine::PrunableLayer& layer, std::size_t rt,
+                 std::size_t kt) {
+  const engine::TilePlan& plan = layer.plan;
+  const nn::Tensor& w = *layer.weight;
+  const std::size_t r0 = rt * plan.br;
+  const std::size_t k0 = kt * plan.bk;
+  double sum_sq = 0.0;
+  std::size_t count = 0;
+  for (std::size_t r = r0; r < r0 + plan.rows_in_tile(rt); ++r) {
+    for (std::size_t kk = k0; kk < k0 + plan.k_in_tile(kt); ++kk) {
+      const double v = w.at(r, kk);
+      sum_sq += v * v;
+      ++count;
+    }
+  }
+  return count > 0 ? std::sqrt(sum_sq / static_cast<double>(count)) : 0.0;
+}
+
+namespace {
+
+void zero_block(engine::PrunableLayer& layer, std::size_t rt,
+                std::size_t kt) {
+  const engine::TilePlan& plan = layer.plan;
+  for (std::size_t r = rt * plan.br;
+       r < rt * plan.br + plan.rows_in_tile(rt); ++r) {
+    for (std::size_t kk = kt * plan.bk;
+         kk < kt * plan.bk + plan.k_in_tile(kt); ++kk) {
+      layer.mask->at(r, kk) = 0.0f;
+      layer.weight->at(r, kk) = 0.0f;
+    }
+  }
+}
+
+std::size_t prune_blocks(engine::PrunableLayer& layer, std::size_t target) {
+  struct Candidate {
+    double rms;
+    std::size_t rt, kt, weights;
+  };
+  const engine::TilePlan& plan = layer.plan;
+  const engine::BlockMask bmask = layer.block_mask();
+  std::vector<Candidate> candidates;
+  for (std::size_t rt = 0; rt < plan.row_tiles(); ++rt) {
+    for (std::size_t kt = 0; kt < plan.k_tiles(); ++kt) {
+      if (bmask.alive(rt, kt)) {
+        candidates.push_back(
+            {block_rms(layer, rt, kt), rt, kt, plan.block_weights(rt, kt)});
+      }
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.rms < b.rms;
+                   });
+  std::size_t removed = 0;
+  for (const Candidate& c : candidates) {
+    if (removed >= target) {
+      break;
+    }
+    zero_block(layer, c.rt, c.kt);
+    removed += c.weights;
+  }
+  return removed;
+}
+
+std::size_t prune_fine(engine::PrunableLayer& layer, std::size_t target) {
+  struct Candidate {
+    float magnitude;
+    std::size_t index;
+  };
+  nn::Tensor& w = *layer.weight;
+  nn::Tensor& m = *layer.mask;
+  std::vector<Candidate> candidates;
+  candidates.reserve(w.numel());
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    if (m[i] != 0.0f) {
+      candidates.push_back({std::fabs(w[i]), i});
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.magnitude < b.magnitude;
+                   });
+  const std::size_t count = std::min(target, candidates.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    m[candidates[i].index] = 0.0f;
+    w[candidates[i].index] = 0.0f;
+  }
+  return count;
+}
+
+std::size_t prune_channels(engine::PrunableLayer& layer, std::size_t target) {
+  struct Candidate {
+    double rms;
+    std::size_t row, weights;
+  };
+  nn::Tensor& w = *layer.weight;
+  nn::Tensor& m = *layer.mask;
+  const std::size_t rows = w.dim(0);
+  const std::size_t k = w.dim(1);
+  std::vector<Candidate> candidates;
+  for (std::size_t r = 0; r < rows; ++r) {
+    double sum_sq = 0.0;
+    std::size_t alive = 0;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      if (m.at(r, kk) != 0.0f) {
+        sum_sq += static_cast<double>(w.at(r, kk)) * w.at(r, kk);
+        ++alive;
+      }
+    }
+    if (alive > 0) {
+      candidates.push_back(
+          {std::sqrt(sum_sq / static_cast<double>(alive)), r, alive});
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.rms < b.rms;
+                   });
+  std::size_t removed = 0;
+  for (const Candidate& c : candidates) {
+    if (removed >= target) {
+      break;
+    }
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      m.at(c.row, kk) = 0.0f;
+      w.at(c.row, kk) = 0.0f;
+    }
+    removed += c.weights;
+  }
+  return removed;
+}
+
+}  // namespace
+
+std::size_t prune_layer(engine::PrunableLayer& layer, double ratio,
+                        Granularity granularity) {
+  if (ratio <= 0.0) {
+    return 0;
+  }
+  const std::size_t alive = layer.alive_weights();
+  const auto target = static_cast<std::size_t>(
+      std::llround(ratio * static_cast<double>(alive)));
+  if (target == 0) {
+    return 0;
+  }
+  switch (granularity) {
+    case Granularity::kBlock:
+      return prune_blocks(layer, target);
+    case Granularity::kFine:
+      return prune_fine(layer, target);
+    case Granularity::kChannel:
+      return prune_channels(layer, target);
+  }
+  return 0;
+}
+
+}  // namespace iprune::core

@@ -1,0 +1,29 @@
+#pragma once
+// Within-layer pruning (the paper's third guideline): score weight blocks
+// by their RMS [20] and remove the lowest-impact blocks until the layer's
+// allocated ratio is met. Fine-grained and channel granularities are also
+// implemented for the granularity ablation (they do NOT eliminate whole
+// accelerator operations, which is exactly the paper's point).
+
+#include "engine/lowering.hpp"
+
+namespace iprune::core {
+
+enum class Granularity {
+  kBlock,    // one accelerator operation's weight block (iPrune default)
+  kFine,     // individual weights (magnitude)
+  kChannel,  // whole output-channel rows
+};
+
+/// Prune `ratio` of the layer's currently alive weights at the given
+/// granularity by zeroing mask entries (and weights). Returns the number
+/// of weight elements actually removed (block granularity can slightly
+/// overshoot: whole blocks only).
+std::size_t prune_layer(engine::PrunableLayer& layer, double ratio,
+                        Granularity granularity);
+
+/// RMS of one block's weights (the block-impact metric).
+double block_rms(const engine::PrunableLayer& layer, std::size_t rt,
+                 std::size_t kt);
+
+}  // namespace iprune::core

@@ -1,0 +1,264 @@
+#include "core/compress.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace iprune::core {
+
+namespace {
+
+/// Leading singular triplet of W (residual) via power iteration.
+void power_iteration(const std::vector<double>& w, std::size_t rows,
+                     std::size_t cols, std::vector<double>& u,
+                     std::vector<double>& v, double& sigma) {
+  v.assign(cols, 1.0 / std::sqrt(static_cast<double>(cols)));
+  u.assign(rows, 0.0);
+  sigma = 0.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    // u = W v
+    for (std::size_t r = 0; r < rows; ++r) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < cols; ++c) {
+        acc += w[r * cols + c] * v[c];
+      }
+      u[r] = acc;
+    }
+    double u_norm = 0.0;
+    for (const double x : u) {
+      u_norm += x * x;
+    }
+    u_norm = std::sqrt(u_norm);
+    if (u_norm < 1e-30) {
+      sigma = 0.0;
+      return;
+    }
+    for (double& x : u) {
+      x /= u_norm;
+    }
+    // v = W^T u
+    for (std::size_t c = 0; c < cols; ++c) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < rows; ++r) {
+        acc += w[r * cols + c] * u[r];
+      }
+      v[c] = acc;
+    }
+    double v_norm = 0.0;
+    for (const double x : v) {
+      v_norm += x * x;
+    }
+    v_norm = std::sqrt(v_norm);
+    if (v_norm < 1e-30) {
+      sigma = 0.0;
+      return;
+    }
+    const double new_sigma = v_norm;
+    for (double& x : v) {
+      x /= v_norm;
+    }
+    if (std::fabs(new_sigma - sigma) < 1e-10 * std::max(1.0, new_sigma)) {
+      sigma = new_sigma;
+      return;
+    }
+    sigma = new_sigma;
+  }
+}
+
+}  // namespace
+
+Decomposition decompose_low_rank(const nn::Tensor& weight,
+                                 std::size_t rank) {
+  if (weight.rank() != 2) {
+    throw std::invalid_argument("decompose_low_rank: weight must be 2-D");
+  }
+  const std::size_t rows = weight.dim(0);
+  const std::size_t cols = weight.dim(1);
+  if (rank == 0 || rank > std::min(rows, cols)) {
+    throw std::invalid_argument("decompose_low_rank: invalid rank " +
+                                std::to_string(rank));
+  }
+
+  std::vector<double> residual(rows * cols);
+  double total_sq = 0.0;
+  for (std::size_t i = 0; i < residual.size(); ++i) {
+    residual[i] = weight[i];
+    total_sq += residual[i] * residual[i];
+  }
+
+  Decomposition d;
+  d.u = nn::Tensor({rows, rank});
+  d.v = nn::Tensor({rank, cols});
+
+  std::vector<double> u, v;
+  for (std::size_t k = 0; k < rank; ++k) {
+    double sigma = 0.0;
+    power_iteration(residual, rows, cols, u, v, sigma);
+    const double sqrt_sigma = std::sqrt(std::max(sigma, 0.0));
+    for (std::size_t r = 0; r < rows; ++r) {
+      d.u.at(r, k) = static_cast<float>(u[r] * sqrt_sigma);
+    }
+    for (std::size_t c = 0; c < cols; ++c) {
+      d.v.at(k, c) = static_cast<float>(v[c] * sqrt_sigma);
+    }
+    // Deflate.
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        residual[r * cols + c] -= sigma * u[r] * v[c];
+      }
+    }
+  }
+
+  double residual_sq = 0.0;
+  for (const double x : residual) {
+    residual_sq += x * x;
+  }
+  d.relative_error =
+      total_sq > 0.0 ? std::sqrt(residual_sq / total_sq) : 0.0;
+  return d;
+}
+
+nn::Tensor reconstruct(const Decomposition& d) {
+  const std::size_t rows = d.u.dim(0);
+  const std::size_t rank = d.u.dim(1);
+  const std::size_t cols = d.v.dim(1);
+  nn::Tensor w({rows, cols});
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < rank; ++k) {
+        acc += static_cast<double>(d.u.at(r, k)) * d.v.at(k, c);
+      }
+      w.at(r, c) = static_cast<float>(acc);
+    }
+  }
+  return w;
+}
+
+DecompositionCost decomposition_cost(std::size_t out_features,
+                                     std::size_t in_features,
+                                     std::size_t rank,
+                                     const engine::EngineConfig& config,
+                                     const device::MemoryConfig& memory) {
+  DecompositionCost cost;
+  const engine::TilePlan original =
+      engine::plan_gemm(out_features, 1, in_features, config, memory);
+  const engine::BlockMask full_o(original.row_tiles(), original.k_tiles(),
+                                 true);
+  cost.original_acc_outputs =
+      engine::count_accelerator_outputs(original, full_o);
+  cost.original_weights = out_features * in_features;
+
+  const engine::TilePlan first =
+      engine::plan_gemm(rank, 1, in_features, config, memory);
+  const engine::BlockMask full_1(first.row_tiles(), first.k_tiles(), true);
+  const engine::TilePlan second =
+      engine::plan_gemm(out_features, 1, rank, config, memory);
+  const engine::BlockMask full_2(second.row_tiles(), second.k_tiles(),
+                                 true);
+  cost.decomposed_acc_outputs =
+      engine::count_accelerator_outputs(first, full_1) +
+      engine::count_accelerator_outputs(second, full_2);
+  cost.decomposed_weights = rank * (in_features + out_features);
+  return cost;
+}
+
+std::size_t choose_rank(const nn::Tensor& weight,
+                        double max_relative_error) {
+  const std::size_t limit = std::min(weight.dim(0), weight.dim(1));
+  for (std::size_t rank = 1; rank <= limit; ++rank) {
+    if (decompose_low_rank(weight, rank).relative_error <=
+        max_relative_error) {
+      return rank;
+    }
+  }
+  return limit;
+}
+
+WeightSharingResult share_weights(nn::Tensor& weight, std::size_t clusters,
+                                  util::Rng& rng, std::size_t iterations) {
+  if (clusters == 0) {
+    throw std::invalid_argument("share_weights: need at least one cluster");
+  }
+  std::vector<std::size_t> alive;
+  alive.reserve(weight.numel());
+  float lo = 0.0f, hi = 0.0f;
+  for (std::size_t i = 0; i < weight.numel(); ++i) {
+    if (weight[i] != 0.0f) {
+      alive.push_back(i);
+      lo = std::min(lo, weight[i]);
+      hi = std::max(hi, weight[i]);
+    }
+  }
+
+  WeightSharingResult result;
+  result.dense_bytes = alive.size() * 2;
+  if (alive.empty()) {
+    return result;
+  }
+  clusters = std::min(clusters, alive.size());
+
+  // Linear initialization over the value range (standard for weight
+  // sharing: preserves large-magnitude clusters), tiny jitter for ties.
+  result.codebook.resize(clusters);
+  for (std::size_t k = 0; k < clusters; ++k) {
+    const double t = clusters > 1
+                         ? static_cast<double>(k) /
+                               static_cast<double>(clusters - 1)
+                         : 0.5;
+    result.codebook[k] = static_cast<float>(
+        lo + t * (hi - lo) + rng.uniform(-1e-6, 1e-6));
+  }
+
+  std::vector<std::size_t> assignment(alive.size(), 0);
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    // Assign.
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+      const float v = weight[alive[i]];
+      std::size_t best = 0;
+      float best_dist = std::fabs(v - result.codebook[0]);
+      for (std::size_t k = 1; k < clusters; ++k) {
+        const float dist = std::fabs(v - result.codebook[k]);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = k;
+        }
+      }
+      assignment[i] = best;
+    }
+    // Update.
+    std::vector<double> sums(clusters, 0.0);
+    std::vector<std::size_t> counts(clusters, 0);
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+      sums[assignment[i]] += weight[alive[i]];
+      ++counts[assignment[i]];
+    }
+    for (std::size_t k = 0; k < clusters; ++k) {
+      if (counts[k] > 0) {
+        result.codebook[k] =
+            static_cast<float>(sums[k] / static_cast<double>(counts[k]));
+      }
+    }
+  }
+
+  // Apply and measure.
+  double sq_err = 0.0;
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    const float before = weight[alive[i]];
+    const float after = result.codebook[assignment[i]];
+    weight[alive[i]] = after;
+    sq_err += static_cast<double>(before - after) * (before - after);
+  }
+  result.mse = sq_err / static_cast<double>(alive.size());
+
+  std::size_t bits = 1;
+  while ((std::size_t{1} << bits) < clusters) {
+    ++bits;
+  }
+  result.shared_bytes =
+      (alive.size() * bits + 7) / 8 + result.codebook.size() * 2;
+  return result;
+}
+
+}  // namespace iprune::core

@@ -1,0 +1,79 @@
+#pragma once
+// Extensions beyond the paper's core contribution (its §V explicitly
+// flags these as future work): adapting two further model-compression
+// techniques — low-rank matrix decomposition and weight sharing — to
+// intermittent systems, using the same accelerator-output lens as iPrune.
+//
+// * Low-rank decomposition splits an FC weight W[out,in] into
+//   U[out,r]·V[r,in]. On the device this becomes two chained
+//   vector-matrix products, changing the accelerator-output count from
+//   out*ceil(in/Bk) to r*ceil(in/Bk) + out*ceil(r/Bk) — a win whenever
+//   the rank is small against both dimensions.
+// * Weight sharing clusters surviving weights into a small codebook
+//   (Deep-Compression style). It shrinks the *model size* (index bits vs
+//   16-bit values) but leaves the accelerator-output count untouched —
+//   an instructive contrast with iPrune's criterion, quantified by
+//   bench_ablation_compression.
+
+#include "engine/tile_plan.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace iprune::core {
+
+struct Decomposition {
+  nn::Tensor u;  // [out, rank]
+  nn::Tensor v;  // [rank, in]
+  /// Relative Frobenius reconstruction error ||W - UV|| / ||W||.
+  double relative_error = 0.0;
+};
+
+/// Rank-`rank` approximation of a 2-D weight matrix via deterministic
+/// power iteration with deflation. Throws if rank is 0 or exceeds
+/// min(out, in).
+Decomposition decompose_low_rank(const nn::Tensor& weight, std::size_t rank);
+
+/// Reconstruct U*V (for evaluating the decomposed model's accuracy
+/// without graph surgery: the chained pair computes exactly this matrix).
+nn::Tensor reconstruct(const Decomposition& d);
+
+/// Accelerator outputs of the original FC layer vs its decomposed pair,
+/// under the engine's tile plans.
+struct DecompositionCost {
+  std::size_t original_acc_outputs = 0;
+  std::size_t decomposed_acc_outputs = 0;
+  std::size_t original_weights = 0;
+  std::size_t decomposed_weights = 0;
+};
+DecompositionCost decomposition_cost(std::size_t out_features,
+                                     std::size_t in_features,
+                                     std::size_t rank,
+                                     const engine::EngineConfig& config,
+                                     const device::MemoryConfig& memory);
+
+/// Smallest rank whose relative reconstruction error is below
+/// `max_relative_error` (linear scan; ranks are small on TinyML layers).
+std::size_t choose_rank(const nn::Tensor& weight, double max_relative_error);
+
+// ---------------------------------------------------------------------
+
+struct WeightSharingResult {
+  /// Cluster centroids (the codebook).
+  std::vector<float> codebook;
+  /// Model bytes if weights are stored as codebook indices:
+  /// ceil(log2(clusters)) bits per surviving weight + 16-bit codebook.
+  std::size_t shared_bytes = 0;
+  /// 16-bit dense baseline for the same surviving weights.
+  std::size_t dense_bytes = 0;
+  /// Mean squared quantization error introduced.
+  double mse = 0.0;
+};
+
+/// K-means (1-D, deterministic given the rng) clustering of the nonzero
+/// weights; the tensor is rewritten in place with each weight replaced by
+/// its centroid. Masked (zero) weights are left untouched.
+WeightSharingResult share_weights(nn::Tensor& weight, std::size_t clusters,
+                                  util::Rng& rng,
+                                  std::size_t iterations = 25);
+
+}  // namespace iprune::core

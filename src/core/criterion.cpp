@@ -1,0 +1,83 @@
+#include "core/criterion.hpp"
+
+namespace iprune::core {
+
+double estimate_layer_energy(const engine::TilePlan& plan,
+                             const engine::BlockMask& mask,
+                             const device::DeviceConfig& device) {
+  const auto& dma = device.dma;
+  const auto& lea = device.lea;
+  const auto& rails = device.rails;
+
+  auto read_us = [&](std::size_t bytes) {
+    return dma.invocation_us +
+           dma.read_us_per_byte * static_cast<double>(bytes);
+  };
+  auto write_us = [&](std::size_t bytes) {
+    return dma.invocation_us +
+           dma.write_us_per_byte * static_cast<double>(bytes);
+  };
+
+  double read_time = 0.0;
+  double write_time = 0.0;
+  double lea_time = 0.0;
+
+  for (std::size_t rt = 0; rt < plan.row_tiles(); ++rt) {
+    const std::size_t rows_in = plan.rows_in_tile(rt);
+    const std::size_t alive = mask.alive_in_row(rt);
+    for (std::size_t ct = 0; ct < plan.col_tiles(); ++ct) {
+      const std::size_t cols_in = plan.cols_in_tile(ct);
+      for (std::size_t kt = 0; kt < plan.k_tiles(); ++kt) {
+        if (!mask.alive(rt, kt)) {
+          continue;
+        }
+        const std::size_t bk_actual = plan.k_in_tile(kt);
+        // Index locate (2 reads) + weight block + input tile.
+        read_time += read_us(2) + read_us(2) +
+                     read_us(rows_in * bk_actual * 2) +
+                     static_cast<double>(bk_actual) * read_us(cols_in * 2);
+        lea_time += lea.invoke_us +
+                    lea.mac_us *
+                        static_cast<double>(rows_in * cols_in * bk_actual);
+      }
+      // Finalize: bias read + one OFM tile write (also for dead rows,
+      // which are bias-filled).
+      read_time += read_us(rows_in * 4);
+      write_time += write_us(rows_in * cols_in * 2);
+      (void)alive;
+    }
+  }
+
+  const double total_us = read_time + write_time + lea_time;
+  return (rails.base_active_w * total_us + rails.nvm_read_w * read_time +
+          rails.nvm_write_w * write_time + rails.lea_active_w * lea_time) *
+         1e-6;
+}
+
+std::vector<LayerStats> collect_layer_stats(
+    const std::vector<engine::PrunableLayer>& layers,
+    const device::DeviceConfig& device) {
+  std::vector<LayerStats> stats;
+  stats.reserve(layers.size());
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const engine::PrunableLayer& layer = layers[i];
+    LayerStats s;
+    s.index = i;
+    s.name = layer.name;
+    s.alive_weights = layer.alive_weights();
+    s.total_weights = layer.total_weights();
+    s.acc_outputs = layer.acc_outputs();
+    {
+      const engine::EngineConfig defaults;
+      s.nvm_write_bytes = engine::count_nvm_write_bytes(
+          layer.plan, layer.block_mask(), defaults.psum_bytes,
+          defaults.counter_bytes);
+    }
+    s.energy_j =
+        estimate_layer_energy(layer.plan, layer.block_mask(), device);
+    stats.push_back(std::move(s));
+  }
+  return stats;
+}
+
+}  // namespace iprune::core

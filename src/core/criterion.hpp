@@ -1,0 +1,39 @@
+#pragma once
+// iPrune's pruning criterion (paper §III-B): the per-layer accelerator
+// output count, computed analytically from the model structure and engine
+// configuration — never from power-dependent latency measurements. Also
+// provides the analytic per-layer energy estimate that the ePrune baseline
+// uses as its criterion.
+
+#include <vector>
+
+#include "device/config.hpp"
+#include "engine/lowering.hpp"
+
+namespace iprune::core {
+
+struct LayerStats {
+  std::size_t index = 0;  // position in the prunable-layer list
+  std::string name;
+  std::size_t alive_weights = 0;
+  std::size_t total_weights = 0;
+  std::size_t acc_outputs = 0;  // iPrune criterion
+  std::size_t nvm_write_bytes = 0;  // wPrune ablation criterion
+  double energy_j = 0.0;        // ePrune criterion (continuous-mode energy)
+  double sensitivity = 0.0;     // filled in by sensitivity analysis
+};
+
+/// Analytic continuous-mode energy of one layer: tile-context reads, LEA
+/// computation, and final OFM write-back, priced by the device config.
+/// This mirrors the engine's kAccumulateInVm cost structure (energy-aware
+/// pruning targets continuously-powered systems, paper §IV-A).
+double estimate_layer_energy(const engine::TilePlan& plan,
+                             const engine::BlockMask& mask,
+                             const device::DeviceConfig& device);
+
+/// Criterion + energy for every prunable layer (sensitivity left at 0).
+std::vector<LayerStats> collect_layer_stats(
+    const std::vector<engine::PrunableLayer>& layers,
+    const device::DeviceConfig& device);
+
+}  // namespace iprune::core

@@ -1,0 +1,155 @@
+#include "core/pruner.hpp"
+
+#include <algorithm>
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace iprune::core {
+
+IterativePruner::IterativePruner(PruneConfig config,
+                                 std::unique_ptr<RatioAllocator> allocator)
+    : config_(config), allocator_(std::move(allocator)) {
+  if (allocator_ == nullptr) {
+    throw std::invalid_argument("IterativePruner: null allocator");
+  }
+}
+
+PruneOutcome IterativePruner::run(nn::Graph& graph, const nn::Tensor& train_x,
+                                  std::span<const int> train_y,
+                                  const nn::Tensor& val_x,
+                                  std::span<const int> val_y) {
+  std::vector<engine::PrunableLayer> layers =
+      prunable_layers(graph, config_.engine, config_.device.memory);
+  if (layers.empty()) {
+    throw std::invalid_argument("IterativePruner: graph has no prunable "
+                                "CONV/FC layers");
+  }
+
+  nn::Trainer trainer(graph);
+  util::Rng rng(config_.seed);
+
+  PruneOutcome outcome;
+  outcome.baseline_accuracy = trainer.evaluate(val_x, val_y).accuracy;
+
+  auto current_totals = [&](std::size_t& alive, std::size_t& acc_out,
+                            std::size_t& macs) {
+    alive = acc_out = macs = 0;
+    for (const engine::PrunableLayer& layer : layers) {
+      alive += layer.alive_weights();
+      acc_out += layer.acc_outputs();
+      macs += layer.macs();
+    }
+  };
+
+  GraphSnapshot best = take_snapshot(graph);
+  std::size_t best_alive = 0, best_acc_out = 0, best_macs = 0;
+  current_totals(best_alive, best_acc_out, best_macs);
+  double best_accuracy = outcome.baseline_accuracy;
+
+  SensitivityConfig sens_cfg = config_.sensitivity;
+  sens_cfg.granularity = config_.granularity;
+  double gamma_hat = config_.gamma_hat;
+  std::size_t consecutive_strikes = 0;
+  bool recovery_only = false;  // brief-rally iteration: fine-tune, no prune
+
+  for (std::size_t iter = 0; iter < config_.max_iterations; ++iter) {
+    IterationRecord record;
+    record.iteration = iter;
+
+    if (!recovery_only) {
+      // (1) Layer-wise criterion estimation.
+      record.sensitivities =
+          analyze_sensitivities(graph, layers, val_x, val_y, sens_cfg);
+      std::vector<LayerStats> stats =
+          collect_layer_stats(layers, config_.device);
+      for (std::size_t i = 0; i < stats.size(); ++i) {
+        stats[i].sensitivity = record.sensitivities[i];
+      }
+
+      // (2) Overall ratio Γ for this iteration.
+      record.gamma = allocator_->overall_ratio(stats, gamma_hat);
+      std::size_t total_alive = 0;
+      for (const LayerStats& s : stats) {
+        total_alive += s.alive_weights;
+      }
+      if (record.gamma * static_cast<double>(total_alive) < 1.0) {
+        util::log_debug("pruner: Γ too small to make progress, stopping");
+        break;
+      }
+
+      // (3) Per-layer ratio allocation.
+      record.layer_ratios = allocator_->allocate(stats, record.gamma, rng);
+
+      // (4) Block-level pruning.
+      for (std::size_t i = 0; i < layers.size(); ++i) {
+        prune_layer(layers[i], record.layer_ratios[i], config_.granularity);
+      }
+    }
+    {
+      const std::size_t probe = std::min<std::size_t>(
+          sens_cfg.max_samples, val_y.size());
+      std::vector<std::size_t> idx(probe);
+      for (std::size_t i = 0; i < probe; ++i) {
+        idx[i] = i;
+      }
+      record.accuracy_after_prune =
+          trainer.evaluate(nn::gather_rows(val_x, idx),
+                           val_y.subspan(0, probe)).accuracy;
+    }
+
+    // (5) Fine-tune to recover.
+    nn::TrainConfig ft = config_.finetune;
+    ft.shuffle_seed = config_.finetune.shuffle_seed + iter + 1;
+    trainer.train(train_x, train_y, ft);
+
+    record.accuracy_after_finetune = trainer.evaluate(val_x, val_y).accuracy;
+    std::size_t macs = 0;
+    current_totals(record.alive_weights, record.acc_outputs, macs);
+
+    const double drop =
+        outcome.baseline_accuracy - record.accuracy_after_finetune;
+    record.strike = drop > config_.epsilon;
+    util::log_debug(
+        "pruner[" + std::string(allocator_->name()) + "] iter " +
+        std::to_string(iter) + ": Γ=" + util::Table::format(record.gamma, 3) +
+        " acc=" + util::Table::format(record.accuracy_after_finetune, 4) +
+        (record.strike ? " (strike)" : ""));
+    outcome.history.push_back(record);
+
+    if (record.strike) {
+      ++outcome.strikes;
+      if (++consecutive_strikes >= config_.strikes_allowed) {
+        break;  // second chance exhausted
+      }
+      gamma_hat *= config_.gamma_backoff;  // rally with a gentler step
+      if (drop > config_.catastrophic_factor *
+                     std::max(config_.epsilon, 1e-6)) {
+        restore_snapshot(graph, best);  // no rallying from a collapse
+        recovery_only = false;
+      } else {
+        // Brief rally (paper §III-A): the loss looks recoverable, so the
+        // next iteration prunes nothing and only fine-tunes.
+        recovery_only = true;
+      }
+    } else {
+      // Accuracy recovered: this is the new most compact viable state.
+      consecutive_strikes = 0;
+      recovery_only = false;
+      best = take_snapshot(graph);
+      best_accuracy = record.accuracy_after_finetune;
+      current_totals(best_alive, best_acc_out, best_macs);
+    }
+  }
+
+  restore_snapshot(graph, best);
+  outcome.final_accuracy = best_accuracy;
+  outcome.final_alive_weights = best_alive;
+  outcome.final_acc_outputs = best_acc_out;
+  outcome.final_macs = best_macs;
+  return outcome;
+}
+
+}  // namespace iprune::core

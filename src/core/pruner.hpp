@@ -1,0 +1,92 @@
+#pragma once
+// The iterative estimate-prune-retrain loop (paper §III-A, Fig. 3).
+//
+// Each iteration: (1) layer-wise criterion estimation — accelerator
+// outputs, energy, and pruning sensitivity per layer; (2) overall ratio Γ
+// by guideline 1; (3) per-layer ratios γ_i by the allocator (iPrune: SA
+// search; baselines plug in here); (4) block-level pruning by guideline 3;
+// (5) fine-tuning. The loop stops once the accuracy drop exceeds ε for
+// the second time ("second chance") and rolls back to the most compact
+// state whose accuracy had recovered to within ε.
+
+#include <memory>
+
+#include "core/ratio_search.hpp"
+#include "core/sensitivity.hpp"
+#include "core/snapshot.hpp"
+#include "nn/trainer.hpp"
+
+namespace iprune::core {
+
+struct PruneConfig {
+  /// Recoverable accuracy-loss threshold ε (paper default 1%).
+  double epsilon = 0.01;
+  /// Upper bound Γ̂ on the per-iteration overall ratio (paper default 40%).
+  double gamma_hat = 0.40;
+  std::size_t max_iterations = 10;
+  /// The "second chance": stop after this many *consecutive* over-ε
+  /// iterations (a successful rally resets the count).
+  std::size_t strikes_allowed = 2;
+  /// After a strike, scale the remaining iterations' upper bound Γ̂ by
+  /// this factor: the "brief rally" gets a gentler step instead of
+  /// repeating the aggressiveness that just failed.
+  double gamma_backoff = 0.5;
+  /// A strike whose drop exceeds this multiple of ε is catastrophic: the
+  /// model cannot "rally" from it, so the loop rolls back to the last
+  /// good state before retrying (mild overshoots continue in place, as
+  /// the paper's brief-rally allowance describes).
+  double catastrophic_factor = 5.0;
+  Granularity granularity = Granularity::kBlock;
+  SensitivityConfig sensitivity;
+  /// Fine-tuning schedule applied after each pruning step.
+  nn::TrainConfig finetune;
+  std::uint64_t seed = 1234;
+  engine::EngineConfig engine;
+  device::DeviceConfig device;
+};
+
+struct IterationRecord {
+  std::size_t iteration = 0;
+  double gamma = 0.0;
+  std::vector<double> layer_ratios;
+  std::vector<double> sensitivities;
+  double accuracy_after_prune = 0.0;  // on the sensitivity probe subset
+  double accuracy_after_finetune = 0.0;  // on the full validation set
+  std::size_t alive_weights = 0;
+  std::size_t acc_outputs = 0;
+  bool strike = false;
+};
+
+struct PruneOutcome {
+  double baseline_accuracy = 0.0;
+  double final_accuracy = 0.0;
+  std::size_t final_alive_weights = 0;
+  std::size_t final_acc_outputs = 0;
+  std::size_t final_macs = 0;
+  /// Total over-ε iterations seen (the stop rule uses the consecutive
+  /// count; see PruneConfig::strikes_allowed).
+  std::size_t strikes = 0;
+  std::vector<IterationRecord> history;
+};
+
+class IterativePruner {
+ public:
+  IterativePruner(PruneConfig config,
+                  std::unique_ptr<RatioAllocator> allocator);
+
+  /// Prune `graph` in place (masks set, weights fine-tuned) and report the
+  /// trajectory. Inputs are the training and validation splits.
+  PruneOutcome run(nn::Graph& graph, const nn::Tensor& train_x,
+                   std::span<const int> train_y, const nn::Tensor& val_x,
+                   std::span<const int> val_y);
+
+  [[nodiscard]] const RatioAllocator& allocator() const {
+    return *allocator_;
+  }
+
+ private:
+  PruneConfig config_;
+  std::unique_ptr<RatioAllocator> allocator_;
+};
+
+}  // namespace iprune::core

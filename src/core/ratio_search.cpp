@@ -1,0 +1,207 @@
+#include "core/ratio_search.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace iprune::core {
+
+namespace {
+
+double total_alive(const std::vector<LayerStats>& stats) {
+  double total = 0.0;
+  for (const LayerStats& s : stats) {
+    total += static_cast<double>(s.alive_weights);
+  }
+  return total;
+}
+
+/// Budget used by a ratio vector: Σ γ_i k_i.
+double budget_used(const std::vector<LayerStats>& stats,
+                   const std::vector<double>& ratios) {
+  double used = 0.0;
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    used += ratios[i] * static_cast<double>(stats[i].alive_weights);
+  }
+  return used;
+}
+
+}  // namespace
+
+std::vector<double> scale_to_budget(const std::vector<LayerStats>& stats,
+                                    const std::vector<double>& preference,
+                                    double gamma, double max_layer_ratio) {
+  assert(preference.size() == stats.size());
+  const double budget = gamma * total_alive(stats);
+  std::vector<double> ratios(stats.size(), 0.0);
+  std::vector<bool> capped(stats.size(), false);
+
+  // Water-filling: scale uncapped layers to meet the remaining budget,
+  // cap overflowing layers, repeat.
+  for (std::size_t round = 0; round < stats.size() + 1; ++round) {
+    double remaining = budget;
+    double mass = 0.0;
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+      if (capped[i]) {
+        remaining -=
+            max_layer_ratio * static_cast<double>(stats[i].alive_weights);
+      } else {
+        mass += preference[i] * static_cast<double>(stats[i].alive_weights);
+      }
+    }
+    if (mass <= 0.0 || remaining <= 0.0) {
+      break;
+    }
+    const double scale = remaining / mass;
+    bool newly_capped = false;
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+      if (capped[i]) {
+        ratios[i] = max_layer_ratio;
+        continue;
+      }
+      ratios[i] = preference[i] * scale;
+      if (ratios[i] > max_layer_ratio) {
+        capped[i] = true;
+        newly_capped = true;
+      }
+    }
+    if (!newly_capped) {
+      break;
+    }
+  }
+  for (double& r : ratios) {
+    r = std::clamp(r, 0.0, max_layer_ratio);
+  }
+  return ratios;
+}
+
+double IPruneAllocator::overall_ratio(const std::vector<LayerStats>& stats,
+                                      double gamma_hat) const {
+  // Guideline 1: rank layers by sensitivity in decreasing order; the layer
+  // with rank i (1-based, most sensitive first) maps to i * Γ̂ / n. The
+  // overall ratio is the one mapped to the layer with the most accelerator
+  // outputs — small when that layer is highly sensitive.
+  if (stats.empty()) {
+    return 0.0;
+  }
+  const std::size_t n = stats.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return stats[a].sensitivity > stats[b].sensitivity;
+                   });
+  std::size_t hottest = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (stats[i].acc_outputs > stats[hottest].acc_outputs) {
+      hottest = i;
+    }
+  }
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    if (order[rank] == hottest) {
+      return static_cast<double>(rank + 1) * gamma_hat /
+             static_cast<double>(n);
+    }
+  }
+  return gamma_hat;  // unreachable
+}
+
+std::vector<double> IPruneAllocator::allocate(
+    const std::vector<LayerStats>& stats, double gamma,
+    util::Rng& rng) const {
+  const std::size_t n = stats.size();
+  if (n == 0) {
+    return {};
+  }
+
+  const bool by_bytes =
+      config_.objective == AnnealingConfig::Objective::kNvmWriteBytes;
+  auto objective_of = [&](const LayerStats& s) {
+    return static_cast<double>(by_bytes ? s.nvm_write_bytes
+                                        : s.acc_outputs);
+  };
+  double total_acc = 0.0;
+  double max_sens = 0.0;
+  for (const LayerStats& s : stats) {
+    total_acc += objective_of(s);
+    max_sens = std::max(max_sens, s.sensitivity);
+  }
+  const double budget = gamma * total_alive(stats);
+  if (total_acc <= 0.0 || budget <= 0.0) {
+    return std::vector<double>(n, 0.0);
+  }
+
+  auto energy_of = [&](const std::vector<double>& ratios) {
+    // Estimated remaining accelerator outputs (the minimization objective)
+    // plus a sensitivity-risk penalty on where the pruned mass lands. The
+    // penalty grows superlinearly in γ: the sensitivity probe only
+    // measured a small perturbation, so concentrating most of a layer's
+    // weights into one iteration is charged disproportionately.
+    double remaining = 0.0;
+    double risk = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      remaining += objective_of(stats[i]) * (1.0 - ratios[i]);
+      const double s_norm =
+          std::max(config_.sensitivity_floor,
+                   max_sens > 0.0 ? stats[i].sensitivity / max_sens : 0.0);
+      const double steep = ratios[i] / (1.05 - ratios[i]);
+      risk += s_norm * steep * static_cast<double>(stats[i].alive_weights);
+    }
+    return remaining / total_acc + config_.risk_weight * risk / budget;
+  };
+
+  // Start from the uniform allocation (γ_i = Γ for all layers).
+  std::vector<double> current = scale_to_budget(
+      stats, std::vector<double>(n, 1.0), gamma, config_.max_layer_ratio);
+  double current_energy = energy_of(current);
+  std::vector<double> best = current;
+  double best_energy = current_energy;
+
+  double temperature = config_.initial_temperature;
+  for (std::size_t step = 0; step < config_.iterations; ++step) {
+    // Move: transfer pruning mass between two random layers, preserving
+    // the budget exactly.
+    const auto i = static_cast<std::size_t>(rng.uniform_index(n));
+    auto j = static_cast<std::size_t>(rng.uniform_index(n));
+    if (n > 1) {
+      while (j == i) {
+        j = static_cast<std::size_t>(rng.uniform_index(n));
+      }
+    }
+    const double ki = static_cast<double>(stats[i].alive_weights);
+    const double kj = static_cast<double>(stats[j].alive_weights);
+    if (ki == 0.0 || kj == 0.0) {
+      continue;
+    }
+    const double headroom_i =
+        (config_.max_layer_ratio - current[i]) * ki;  // mass i can take
+    const double available_j = current[j] * kj;       // mass j can give
+    const double max_transfer = std::min(headroom_i, available_j);
+    if (max_transfer <= 0.0) {
+      continue;
+    }
+    const double transfer = rng.uniform(0.0, max_transfer);
+
+    std::vector<double> candidate = current;
+    candidate[i] += transfer / ki;
+    candidate[j] -= transfer / kj;
+    const double cand_energy = energy_of(candidate);
+    const double delta = cand_energy - current_energy;
+    if (delta <= 0.0 ||
+        rng.uniform() < std::exp(-delta / std::max(temperature, 1e-9))) {
+      current = std::move(candidate);
+      current_energy = cand_energy;
+      if (current_energy < best_energy) {
+        best = current;
+        best_energy = current_energy;
+      }
+    }
+    temperature *= config_.cooling;
+  }
+
+  (void)budget_used;  // kept for tests/debugging
+  return best;
+}
+
+}  // namespace iprune::core

@@ -1,0 +1,87 @@
+#pragma once
+// Per-layer pruning-ratio allocation (paper §III-C, second guideline).
+//
+// RatioAllocator is the strategy point that distinguishes iPrune from the
+// baselines: given the layer statistics and the iteration's overall ratio
+// Γ, produce per-layer ratios γ_i with Σ γ_i k_i = Γ K. iPrune searches
+// with simulated annealing [11] to minimize the remaining accelerator
+// outputs under a sensitivity-risk penalty; ePrune allocates
+// proportionally to per-layer energy (src/baselines).
+
+#include <memory>
+#include <vector>
+
+#include "core/criterion.hpp"
+#include "util/rng.hpp"
+
+namespace iprune::core {
+
+class RatioAllocator {
+ public:
+  virtual ~RatioAllocator() = default;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// The iteration's overall pruning ratio Γ given the upper bound Γ̂.
+  /// `stats` includes filled-in sensitivities.
+  [[nodiscard]] virtual double overall_ratio(
+      const std::vector<LayerStats>& stats, double gamma_hat) const = 0;
+
+  /// Per-layer ratios γ_i (fractions of each layer's *alive* weights)
+  /// satisfying Σ γ_i k_i ≈ Γ K within rounding.
+  [[nodiscard]] virtual std::vector<double> allocate(
+      const std::vector<LayerStats>& stats, double gamma,
+      util::Rng& rng) const = 0;
+};
+
+struct AnnealingConfig {
+  /// What the annealer minimizes. The paper's criterion is the
+  /// accelerator-output count; the write-bytes variant is an ablation that
+  /// optimizes the NVM write traffic directly (the two differ because the
+  /// final k-pass writes int16 instead of a full psum).
+  enum class Objective { kAccOutputs, kNvmWriteBytes };
+  Objective objective = Objective::kAccOutputs;
+
+  std::size_t iterations = 4000;
+  double initial_temperature = 1.0;
+  double cooling = 0.998;
+  /// Weight of the sensitivity-risk penalty against the accelerator-output
+  /// objective (both normalized to [0,1]).
+  double risk_weight = 3.0;
+  /// Layers whose measured sensitivity is ~0 still carry this fraction of
+  /// the maximum sensitivity as risk: the 10% probe says nothing about
+  /// pruning a layer much harder than 10%.
+  double sensitivity_floor = 0.10;
+  /// Per-layer per-iteration ratio cap (never wipe out a layer at once).
+  double max_layer_ratio = 0.35;
+};
+
+/// iPrune's allocator (guidelines 1 and 2).
+class IPruneAllocator final : public RatioAllocator {
+ public:
+  explicit IPruneAllocator(AnnealingConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] const char* name() const override {
+    return config_.objective == AnnealingConfig::Objective::kAccOutputs
+               ? "iPrune"
+               : "wPrune";
+  }
+  [[nodiscard]] double overall_ratio(const std::vector<LayerStats>& stats,
+                                     double gamma_hat) const override;
+  [[nodiscard]] std::vector<double> allocate(
+      const std::vector<LayerStats>& stats, double gamma,
+      util::Rng& rng) const override;
+
+  [[nodiscard]] const AnnealingConfig& annealing() const { return config_; }
+
+ private:
+  AnnealingConfig config_;
+};
+
+/// Scale a nonnegative preference vector into ratios meeting the budget
+/// Σ γ_i k_i = Γ K, respecting a per-layer cap (shared by allocators).
+std::vector<double> scale_to_budget(const std::vector<LayerStats>& stats,
+                                    const std::vector<double>& preference,
+                                    double gamma, double max_layer_ratio);
+
+}  // namespace iprune::core

@@ -1,0 +1,68 @@
+#include "core/sensitivity.hpp"
+
+#include <algorithm>
+
+#include "nn/trainer.hpp"
+
+namespace iprune::core {
+
+namespace {
+
+nn::Tensor truncate_rows(const nn::Tensor& x, std::size_t count) {
+  if (x.dim(0) <= count) {
+    return x;
+  }
+  std::vector<std::size_t> idx(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    idx[i] = i;
+  }
+  return nn::gather_rows(x, idx);
+}
+
+}  // namespace
+
+double probe_layer_sensitivity(nn::Graph& graph,
+                               engine::PrunableLayer& layer,
+                               const nn::Tensor& val_x,
+                               std::span<const int> val_y,
+                               double baseline_accuracy,
+                               const SensitivityConfig& config) {
+  // Save only the probed layer (cheaper than a full snapshot).
+  const nn::Tensor saved_weight = *layer.weight;
+  const nn::Tensor saved_mask = *layer.mask;
+
+  prune_layer(layer, config.probe_ratio, config.granularity);
+
+  const std::size_t count = std::min<std::size_t>(
+      config.max_samples, val_y.size());
+  const nn::Tensor probe_x = truncate_rows(val_x, count);
+  nn::Trainer trainer(graph);
+  const nn::EvalResult result =
+      trainer.evaluate(probe_x, val_y.subspan(0, count));
+
+  *layer.weight = saved_weight;
+  *layer.mask = saved_mask;
+  return std::max(0.0, baseline_accuracy - result.accuracy);
+}
+
+std::vector<double> analyze_sensitivities(
+    nn::Graph& graph, std::vector<engine::PrunableLayer>& layers,
+    const nn::Tensor& val_x, std::span<const int> val_y,
+    const SensitivityConfig& config) {
+  const std::size_t count =
+      std::min<std::size_t>(config.max_samples, val_y.size());
+  const nn::Tensor probe_x = truncate_rows(val_x, count);
+  nn::Trainer trainer(graph);
+  const double baseline =
+      trainer.evaluate(probe_x, val_y.subspan(0, count)).accuracy;
+
+  std::vector<double> drops;
+  drops.reserve(layers.size());
+  for (engine::PrunableLayer& layer : layers) {
+    drops.push_back(probe_layer_sensitivity(graph, layer, val_x, val_y,
+                                            baseline, config));
+  }
+  return drops;
+}
+
+}  // namespace iprune::core

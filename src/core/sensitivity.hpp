@@ -1,0 +1,34 @@
+#pragma once
+// Per-layer pruning sensitivity (paper §III-C, first guideline): how much
+// validation accuracy drops when an extra `probe_ratio` of a layer's
+// weights is pruned, everything else held fixed.
+
+#include <span>
+
+#include "core/block_pruner.hpp"
+#include "nn/graph.hpp"
+
+namespace iprune::core {
+
+struct SensitivityConfig {
+  double probe_ratio = 0.10;
+  Granularity granularity = Granularity::kBlock;
+  /// Cap on validation samples used per probe (speed knob).
+  std::size_t max_samples = 256;
+};
+
+/// Accuracy drop (>= 0) for probing one layer; the layer is restored.
+double probe_layer_sensitivity(nn::Graph& graph,
+                               engine::PrunableLayer& layer,
+                               const nn::Tensor& val_x,
+                               std::span<const int> val_y,
+                               double baseline_accuracy,
+                               const SensitivityConfig& config);
+
+/// Probe every layer; returns drops in layer order.
+std::vector<double> analyze_sensitivities(
+    nn::Graph& graph, std::vector<engine::PrunableLayer>& layers,
+    const nn::Tensor& val_x, std::span<const int> val_y,
+    const SensitivityConfig& config);
+
+}  // namespace iprune::core

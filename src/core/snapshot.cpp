@@ -1,0 +1,30 @@
+#include "core/snapshot.hpp"
+
+#include <stdexcept>
+
+namespace iprune::core {
+
+GraphSnapshot take_snapshot(nn::Graph& graph) {
+  GraphSnapshot snap;
+  for (const nn::ParamRef& p : graph.params()) {
+    snap.values.push_back(*p.value);
+    snap.masks.push_back(p.mask != nullptr ? *p.mask : nn::Tensor());
+  }
+  return snap;
+}
+
+void restore_snapshot(nn::Graph& graph, const GraphSnapshot& snapshot) {
+  const auto params = graph.params();
+  if (params.size() != snapshot.values.size()) {
+    throw std::invalid_argument(
+        "restore_snapshot: snapshot from a different graph");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    *params[i].value = snapshot.values[i];
+    if (params[i].mask != nullptr) {
+      *params[i].mask = snapshot.masks[i];
+    }
+  }
+}
+
+}  // namespace iprune::core

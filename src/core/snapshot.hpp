@@ -1,0 +1,20 @@
+#pragma once
+// Parameter snapshots for Graph models: the iterative pruner rolls back to
+// the most compact state whose accuracy recovered (paper §III-A), and the
+// sensitivity probe restores the layer it perturbed.
+
+#include <vector>
+
+#include "nn/graph.hpp"
+
+namespace iprune::core {
+
+struct GraphSnapshot {
+  std::vector<nn::Tensor> values;
+  std::vector<nn::Tensor> masks;  // empty tensor where the param has none
+};
+
+GraphSnapshot take_snapshot(nn::Graph& graph);
+void restore_snapshot(nn::Graph& graph, const GraphSnapshot& snapshot);
+
+}  // namespace iprune::core

@@ -1,0 +1,61 @@
+#include "data/dataset.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace iprune::data {
+
+nn::Shape Dataset::sample_shape() const {
+  nn::Shape shape = inputs.shape();
+  if (shape.empty()) {
+    return shape;
+  }
+  shape.erase(shape.begin());
+  return shape;
+}
+
+Split split_dataset(const Dataset& dataset, double train_fraction,
+                    util::Rng& rng) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    throw std::invalid_argument("split_dataset: fraction must be in (0,1)");
+  }
+  const std::size_t count = dataset.size();
+  const std::size_t train_count =
+      static_cast<std::size_t>(train_fraction * static_cast<double>(count));
+  const std::vector<std::size_t> order = rng.permutation(count);
+  const std::size_t sample_elems = dataset.inputs.numel() / count;
+
+  auto take = [&](std::size_t begin, std::size_t end) {
+    Dataset part;
+    part.num_classes = dataset.num_classes;
+    nn::Shape shape = dataset.inputs.shape();
+    shape[0] = end - begin;
+    part.inputs = nn::Tensor(shape);
+    part.labels.resize(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t src = order[i];
+      std::memcpy(part.inputs.data() + (i - begin) * sample_elems,
+                  dataset.inputs.data() + src * sample_elems,
+                  sample_elems * sizeof(float));
+      part.labels[i - begin] = dataset.labels[src];
+    }
+    return part;
+  };
+
+  Split split;
+  split.train = take(0, train_count);
+  split.val = take(train_count, count);
+  return split;
+}
+
+std::vector<std::size_t> class_histogram(const Dataset& dataset) {
+  std::vector<std::size_t> hist(dataset.num_classes, 0);
+  for (const int label : dataset.labels) {
+    assert(label >= 0 && static_cast<std::size_t>(label) < hist.size());
+    ++hist[static_cast<std::size_t>(label)];
+  }
+  return hist;
+}
+
+}  // namespace iprune::data

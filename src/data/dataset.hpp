@@ -1,0 +1,32 @@
+#pragma once
+// Labeled dataset container plus train/validation splitting.
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace iprune::data {
+
+struct Dataset {
+  nn::Tensor inputs;        // [N, ...sample shape]
+  std::vector<int> labels;  // N class indices
+  std::size_t num_classes = 0;
+
+  [[nodiscard]] std::size_t size() const { return labels.size(); }
+  [[nodiscard]] nn::Shape sample_shape() const;
+};
+
+struct Split {
+  Dataset train;
+  Dataset val;
+};
+
+/// Shuffle and split; `train_fraction` in (0, 1).
+Split split_dataset(const Dataset& dataset, double train_fraction,
+                    util::Rng& rng);
+
+/// Per-class sample counts (for balance checks in tests).
+std::vector<std::size_t> class_histogram(const Dataset& dataset);
+
+}  // namespace iprune::data

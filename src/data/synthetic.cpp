@@ -1,0 +1,227 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace iprune::data {
+
+namespace {
+
+constexpr double kTau = 2.0 * std::numbers::pi;
+
+/// Class-conditional template parameters are drawn from a per-class RNG so
+/// every class has a *fixed* signature; per-sample jitter comes from the
+/// shared sample RNG.
+struct BlobTemplate {
+  double cx, cy, sigma;
+  double rgb[3];
+};
+
+}  // namespace
+
+Dataset make_image_dataset(const SyntheticConfig& config) {
+  constexpr std::size_t kClasses = 10;
+  constexpr std::size_t kChannels = 3;
+  constexpr std::size_t kSide = 32;
+  constexpr std::size_t kBlobs = 4;
+
+  Dataset dataset;
+  dataset.num_classes = kClasses;
+  dataset.inputs = nn::Tensor({config.samples, kChannels, kSide, kSide});
+  dataset.labels.resize(config.samples);
+
+  // Fixed per-class signatures.
+  std::vector<std::vector<BlobTemplate>> templates(kClasses);
+  std::vector<double> grating_angle(kClasses);
+  std::vector<double> grating_freq(kClasses);
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    util::Rng class_rng(config.seed * 1000003 + c);
+    templates[c].resize(kBlobs);
+    for (auto& blob : templates[c]) {
+      blob.cx = class_rng.uniform(6.0, 26.0);
+      blob.cy = class_rng.uniform(6.0, 26.0);
+      blob.sigma = class_rng.uniform(2.5, 5.5);
+      for (double& channel : blob.rgb) {
+        channel = class_rng.uniform(-1.0, 1.0);
+      }
+    }
+    grating_angle[c] = class_rng.uniform(0.0, kTau);
+    grating_freq[c] = class_rng.uniform(0.15, 0.45);
+  }
+
+  util::Rng rng(config.seed);
+  for (std::size_t n = 0; n < config.samples; ++n) {
+    const auto label = static_cast<std::size_t>(rng.uniform_index(kClasses));
+    dataset.labels[n] =
+        rng.bernoulli(config.label_noise)
+            ? static_cast<int>(rng.uniform_index(kClasses))
+            : static_cast<int>(label);
+    float* sample =
+        dataset.inputs.data() + n * kChannels * kSide * kSide;
+
+    const double jitter_x = rng.uniform(-2.0, 2.0);
+    const double jitter_y = rng.uniform(-2.0, 2.0);
+    const double amp = rng.uniform(0.7, 1.3);
+    const double phase = rng.uniform(0.0, kTau);
+    const double cos_a = std::cos(grating_angle[label]);
+    const double sin_a = std::sin(grating_angle[label]);
+
+    for (std::size_t y = 0; y < kSide; ++y) {
+      for (std::size_t x = 0; x < kSide; ++x) {
+        const double grating =
+            0.35 * std::sin(grating_freq[label] *
+                                (cos_a * static_cast<double>(x) +
+                                 sin_a * static_cast<double>(y)) * kTau /
+                                4.0 +
+                            phase);
+        double value[3] = {grating, grating, grating};
+        for (const BlobTemplate& blob : templates[label]) {
+          const double dx = static_cast<double>(x) - (blob.cx + jitter_x);
+          const double dy = static_cast<double>(y) - (blob.cy + jitter_y);
+          const double g =
+              amp * std::exp(-(dx * dx + dy * dy) /
+                             (2.0 * blob.sigma * blob.sigma));
+          for (std::size_t ch = 0; ch < kChannels; ++ch) {
+            value[ch] += g * blob.rgb[ch];
+          }
+        }
+        for (std::size_t ch = 0; ch < kChannels; ++ch) {
+          sample[ch * kSide * kSide + y * kSide + x] = static_cast<float>(
+              value[ch] + config.noise * rng.normal());
+        }
+      }
+    }
+  }
+  return dataset;
+}
+
+Dataset make_har_dataset(const SyntheticConfig& config) {
+  constexpr std::size_t kClasses = 6;
+  constexpr std::size_t kAxes = 3;
+  constexpr std::size_t kWindow = 128;
+
+  Dataset dataset;
+  dataset.num_classes = kClasses;
+  dataset.inputs = nn::Tensor({config.samples, kAxes, 1, kWindow});
+  dataset.labels.resize(config.samples);
+
+  // Per-class activity signature: base frequency, amplitude, drift, and a
+  // per-axis phase offset. Classes loosely model walk / run / sit / stand /
+  // upstairs / downstairs.
+  struct ActivitySig {
+    double freq, amp, drift, harmonic;
+    double axis_phase[kAxes];
+  };
+  std::vector<ActivitySig> sigs(kClasses);
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    util::Rng class_rng(config.seed * 2000003 + c);
+    sigs[c].freq = 0.01 + 0.015 * static_cast<double>(c) +
+                   class_rng.uniform(0.0, 0.004);
+    sigs[c].amp = (c == 2 || c == 3) ? class_rng.uniform(0.05, 0.15)
+                                     : class_rng.uniform(0.6, 1.2);
+    sigs[c].drift = (c == 3 || c == 4) ? class_rng.uniform(0.002, 0.006) : 0.0;
+    sigs[c].harmonic = (c >= 4) ? class_rng.uniform(0.3, 0.6) : 0.0;
+    for (double& p : sigs[c].axis_phase) {
+      p = class_rng.uniform(0.0, kTau);
+    }
+  }
+
+  util::Rng rng(config.seed + 1);
+  for (std::size_t n = 0; n < config.samples; ++n) {
+    const auto label = static_cast<std::size_t>(rng.uniform_index(kClasses));
+    dataset.labels[n] =
+        rng.bernoulli(config.label_noise)
+            ? static_cast<int>(rng.uniform_index(kClasses))
+            : static_cast<int>(label);
+    const ActivitySig& sig = sigs[label];
+    float* sample = dataset.inputs.data() + n * kAxes * kWindow;
+
+    const double freq = sig.freq * rng.uniform(0.9, 1.1);
+    const double amp = sig.amp * rng.uniform(0.85, 1.15);
+    const double phase0 = rng.uniform(0.0, kTau);
+    for (std::size_t axis = 0; axis < kAxes; ++axis) {
+      float* series = sample + axis * kWindow;
+      for (std::size_t t = 0; t < kWindow; ++t) {
+        const double arg =
+            kTau * freq * static_cast<double>(t) + sig.axis_phase[axis] +
+            phase0;
+        double v = amp * std::sin(arg) +
+                   sig.harmonic * amp * std::sin(2.0 * arg) +
+                   sig.drift * static_cast<double>(t);
+        series[t] =
+            static_cast<float>(v + config.noise * rng.normal());
+      }
+    }
+  }
+  return dataset;
+}
+
+Dataset make_speech_dataset(const SyntheticConfig& config) {
+  constexpr std::size_t kClasses = 10;
+  constexpr std::size_t kFrames = 49;  // time
+  constexpr std::size_t kCoeffs = 10;  // MFCC-like bins
+
+  Dataset dataset;
+  dataset.num_classes = kClasses;
+  dataset.inputs = nn::Tensor({config.samples, 1, kFrames, kCoeffs});
+  dataset.labels.resize(config.samples);
+
+  // Each keyword gets 2 "formant" ridges: a start bin, an end bin, and an
+  // activation window in time. Samples jitter ridge positions and warp time.
+  struct Ridge {
+    double bin_start, bin_end;
+    double t_start, t_end;
+    double strength;
+  };
+  constexpr std::size_t kRidges = 2;
+  std::vector<std::vector<Ridge>> ridges(kClasses);
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    util::Rng class_rng(config.seed * 3000017 + c);
+    ridges[c].resize(kRidges);
+    for (auto& ridge : ridges[c]) {
+      ridge.bin_start = class_rng.uniform(0.5, 8.5);
+      ridge.bin_end = class_rng.uniform(0.5, 8.5);
+      ridge.t_start = class_rng.uniform(0.0, 15.0);
+      ridge.t_end = ridge.t_start + class_rng.uniform(15.0, 30.0);
+      ridge.strength = class_rng.uniform(0.8, 1.4);
+    }
+  }
+
+  util::Rng rng(config.seed + 2);
+  for (std::size_t n = 0; n < config.samples; ++n) {
+    const auto label = static_cast<std::size_t>(rng.uniform_index(kClasses));
+    dataset.labels[n] =
+        rng.bernoulli(config.label_noise)
+            ? static_cast<int>(rng.uniform_index(kClasses))
+            : static_cast<int>(label);
+    float* sample = dataset.inputs.data() + n * kFrames * kCoeffs;
+
+    const double time_warp = rng.uniform(0.9, 1.1);
+    const double bin_shift = rng.uniform(-0.5, 0.5);
+    const double gain = rng.uniform(0.8, 1.2);
+    for (std::size_t t = 0; t < kFrames; ++t) {
+      for (std::size_t b = 0; b < kCoeffs; ++b) {
+        double v = 0.0;
+        for (const Ridge& ridge : ridges[label]) {
+          const double ts = ridge.t_start * time_warp;
+          const double te = ridge.t_end * time_warp;
+          if (static_cast<double>(t) < ts || static_cast<double>(t) > te) {
+            continue;
+          }
+          const double progress =
+              (static_cast<double>(t) - ts) / std::max(te - ts, 1.0);
+          const double center = ridge.bin_start +
+                                progress * (ridge.bin_end - ridge.bin_start) +
+                                bin_shift;
+          const double d = static_cast<double>(b) - center;
+          v += gain * ridge.strength * std::exp(-d * d / 1.8);
+        }
+        sample[t * kCoeffs + b] =
+            static_cast<float>(v + config.noise * rng.normal());
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace iprune::data

@@ -1,0 +1,41 @@
+#pragma once
+// Synthetic stand-ins for the paper's three datasets (CIFAR-10,
+// accelerometer HAR, Google Speech Commands).
+//
+// The real datasets are unavailable offline; these generators produce
+// class-conditional structured signals with per-sample jitter and noise so
+// that (a) the models learn well above chance, (b) pruning causes a real
+// accuracy drop, and (c) fine-tuning recovers it — the properties the
+// iterative prune-retrain loop and the ε-threshold logic depend on.
+// See DESIGN.md §1 for the substitution rationale.
+
+#include "data/dataset.hpp"
+
+namespace iprune::data {
+
+struct SyntheticConfig {
+  std::size_t samples = 2000;
+  std::uint64_t seed = 42;
+  /// Additive Gaussian noise std-dev; larger = harder task.
+  float noise = 0.25f;
+  /// Fraction of labels replaced by a uniformly random class. Bounds the
+  /// achievable accuracy at roughly 1 - label_noise*(C-1)/C, which lets a
+  /// workload reproduce a paper-like accuracy level stably (pure feature
+  /// noise has a chaotic learnable/unlearnable transition).
+  float label_noise = 0.0f;
+};
+
+/// CIFAR-10 stand-in: [3, 32, 32] images, 10 classes. Each class is a fixed
+/// constellation of colored Gaussian blobs + oriented gratings; samples
+/// jitter positions, amplitudes and add noise.
+Dataset make_image_dataset(const SyntheticConfig& config);
+
+/// HAR stand-in: [3, 1, 128] tri-axial accelerometer windows, 6 activity
+/// classes with distinct periodicity/amplitude/drift signatures.
+Dataset make_har_dataset(const SyntheticConfig& config);
+
+/// Speech-commands stand-in: [1, 49, 10] MFCC-like spectrograms, 10 keyword
+/// classes with distinct time-frequency ridge trajectories.
+Dataset make_speech_dataset(const SyntheticConfig& config);
+
+}  // namespace iprune::data

@@ -1,0 +1,172 @@
+#include "device/msp430.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace iprune::device {
+
+std::string describe(const DeviceConfig& config) {
+  std::ostringstream out;
+  out << "MSP430FR5994-class device: VM " << config.memory.vm_bytes / 1024
+      << " KB, NVM " << config.memory.nvm_bytes / 1024
+      << " KB, DMA " << config.dma.invocation_us << " us + "
+      << config.dma.read_us_per_byte << "/" << config.dma.write_us_per_byte
+      << " us/B (r/w), LEA " << config.lea.mac_us << " us/MAC";
+  return out.str();
+}
+
+Msp430Device::Msp430Device(DeviceConfig config,
+                           std::unique_ptr<power::PowerSupply> supply,
+                           power::BufferConfig buffer)
+    : config_(config),
+      nvm_(config.memory.nvm_bytes),
+      power_(std::move(supply), buffer) {}
+
+void Msp430Device::reset_stats() {
+  stats_ = {};
+  power_.reset_stats();
+}
+
+void Msp430Device::power_cycle() {
+  ++vm_epoch_;
+  ++stats_.power_failures;
+  const double off_s = power_.recharge(clock_us_ * 1e-6);
+  const double off_us = off_s * 1e6;
+  clock_us_ += off_us;
+  stats_.off_time_us += off_us;
+
+  // Firmware reboot on resumption. Drawn from the freshly charged buffer;
+  // by construction it is far smaller than the buffer, so it cannot fail.
+  const double reboot_us = config_.reboot_us;
+  const double reboot_j =
+      config_.rails.base_active_w * reboot_us * 1e-6;
+  if (!power_.consume(clock_us_ * 1e-6, reboot_us * 1e-6, reboot_j)) {
+    throw std::runtime_error(
+        "Msp430Device: reboot exceeds the energy buffer; the configured "
+        "reboot cost makes forward progress impossible");
+  }
+  clock_us_ += reboot_us;
+  stats_.on_time_us += reboot_us;
+  stats_.tag_time_us[static_cast<std::size_t>(CostTag::kReboot)] += reboot_us;
+  stats_.energy_j += reboot_j;
+}
+
+bool Msp430Device::charge(double latency_us, double extra_power_w,
+                          CostTag tag) {
+  const double share[static_cast<std::size_t>(CostTag::kTagCount)] = {
+      tag == CostTag::kNvmRead ? latency_us : 0.0,
+      tag == CostTag::kNvmWrite ? latency_us : 0.0,
+      tag == CostTag::kLea ? latency_us : 0.0,
+      tag == CostTag::kCpu ? latency_us : 0.0,
+      tag == CostTag::kReboot ? latency_us : 0.0,
+  };
+  const double energy_j =
+      (config_.rails.base_active_w + extra_power_w) * latency_us * 1e-6;
+  return charge_split(latency_us, energy_j, share);
+}
+
+bool Msp430Device::charge_split(double latency_us, double energy_j,
+                                const double* tag_share_us) {
+  const double usable = power_.buffer().usable_j();
+  if (energy_j > usable) {
+    throw std::runtime_error(
+        "Msp430Device: a single operation needs more energy (" +
+        std::to_string(energy_j) + " J) than the buffer stores (" +
+        std::to_string(usable) +
+        " J); inference cannot terminate — shrink the operation "
+        "granularity or enlarge the capacitor");
+  }
+  if (power_.consume(clock_us_ * 1e-6, latency_us * 1e-6, energy_j)) {
+    clock_us_ += latency_us;
+    stats_.on_time_us += latency_us;
+    stats_.energy_j += energy_j;
+    for (std::size_t t = 0;
+         t < static_cast<std::size_t>(CostTag::kTagCount); ++t) {
+      stats_.tag_time_us[t] += tag_share_us[t];
+    }
+    return true;
+  }
+  // Brown-out: the partially executed operation is lost. Charge the time
+  // the device stayed up during the aborted attempt (approximated as the
+  // full latency — the buffer window is tiny relative to any measurement),
+  // then recharge and reboot.
+  clock_us_ += latency_us;
+  stats_.on_time_us += latency_us;
+  power_cycle();
+  return false;
+}
+
+bool Msp430Device::dma_read(std::size_t bytes) {
+  ++stats_.dma_commands;
+  stats_.nvm_bytes_read += bytes;
+  const double latency =
+      config_.dma.invocation_us +
+      config_.dma.read_us_per_byte * static_cast<double>(bytes);
+  return charge(latency, config_.rails.nvm_read_w, CostTag::kNvmRead);
+}
+
+bool Msp430Device::dma_write(std::size_t bytes) {
+  ++stats_.dma_commands;
+  stats_.nvm_bytes_written += bytes;
+  const double latency =
+      config_.dma.invocation_us +
+      config_.dma.write_us_per_byte * static_cast<double>(bytes);
+  return charge(latency, config_.rails.nvm_write_w, CostTag::kNvmWrite);
+}
+
+bool Msp430Device::lea_op(std::size_t macs) {
+  ++stats_.lea_invocations;
+  stats_.macs += macs;
+  const double latency =
+      config_.lea.invoke_us + config_.lea.mac_us * static_cast<double>(macs);
+  return charge(latency, config_.rails.lea_active_w, CostTag::kLea);
+}
+
+bool Msp430Device::cpu_work(std::size_t cycles) {
+  const double latency = config_.cpu.cycle_us * static_cast<double>(cycles);
+  return charge(latency, config_.rails.cpu_active_w, CostTag::kCpu);
+}
+
+bool Msp430Device::pipelined_job(std::size_t macs, std::size_t write_bytes,
+                                 std::size_t cpu_cycles) {
+  double lea_us = 0.0;
+  if (macs > 0) {
+    ++stats_.lea_invocations;
+    stats_.macs += macs;
+    lea_us =
+        config_.lea.invoke_us + config_.lea.mac_us * static_cast<double>(macs);
+  }
+  double write_us = 0.0;
+  if (write_bytes > 0) {
+    ++stats_.dma_commands;
+    stats_.nvm_bytes_written += write_bytes;
+    write_us = config_.dma.invocation_us +
+               config_.dma.write_us_per_byte *
+                   static_cast<double>(write_bytes);
+  }
+  const double cpu_us =
+      config_.cpu.cycle_us * static_cast<double>(cpu_cycles);
+  const double overlapped = std::max(lea_us, write_us);
+  const double latency = overlapped + cpu_us;
+
+  // Energy pays for every component in full (both units are busy while the
+  // shorter one overlaps with the longer one).
+  const double energy_j =
+      config_.rails.base_active_w * latency * 1e-6 +
+      config_.rails.lea_active_w * lea_us * 1e-6 +
+      config_.rails.nvm_write_w * write_us * 1e-6 +
+      config_.rails.cpu_active_w * cpu_us * 1e-6;
+
+  // Exposed-time attribution: the dominant unit owns the overlap window.
+  double share[static_cast<std::size_t>(CostTag::kTagCount)] = {};
+  if (write_us >= lea_us) {
+    share[static_cast<std::size_t>(CostTag::kNvmWrite)] = overlapped;
+  } else {
+    share[static_cast<std::size_t>(CostTag::kLea)] = overlapped;
+  }
+  share[static_cast<std::size_t>(CostTag::kCpu)] = cpu_us;
+  return charge_split(latency, energy_j, share);
+}
+
+}  // namespace iprune::device

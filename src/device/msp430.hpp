@@ -1,0 +1,104 @@
+#pragma once
+// Cycle-approximate MSP430FR5994 + LEA + external-FRAM device model.
+//
+// The engine (src/engine) drives inference through the primitives below;
+// each primitive advances the simulated clock, draws energy through the
+// PowerManager, and updates per-category latency statistics. When the
+// energy buffer browns out mid-operation the primitive returns false: the
+// device has lost VM contents (vm_epoch() changes), recharged, rebooted,
+// and the caller must re-establish its VM state before retrying — exactly
+// the progress-recovery contract of intermittent systems.
+
+#include <memory>
+
+#include "device/config.hpp"
+#include "device/nvm.hpp"
+#include "power/manager.hpp"
+
+namespace iprune::device {
+
+enum class CostTag : std::size_t {
+  kNvmRead = 0,
+  kNvmWrite,
+  kLea,
+  kCpu,
+  kReboot,
+  kTagCount,
+};
+
+struct DeviceStats {
+  double on_time_us = 0.0;
+  double off_time_us = 0.0;
+  double tag_time_us[static_cast<std::size_t>(CostTag::kTagCount)] = {};
+  double energy_j = 0.0;
+  std::size_t power_failures = 0;
+  std::size_t nvm_bytes_read = 0;
+  std::size_t nvm_bytes_written = 0;
+  std::size_t dma_commands = 0;
+  std::size_t lea_invocations = 0;
+  std::size_t macs = 0;
+
+  [[nodiscard]] double tag_us(CostTag tag) const {
+    return tag_time_us[static_cast<std::size_t>(tag)];
+  }
+  [[nodiscard]] double total_time_us() const {
+    return on_time_us + off_time_us;
+  }
+};
+
+class Msp430Device {
+ public:
+  Msp430Device(DeviceConfig config,
+               std::unique_ptr<power::PowerSupply> supply,
+               power::BufferConfig buffer = {});
+
+  [[nodiscard]] const DeviceConfig& config() const { return config_; }
+  [[nodiscard]] Nvm& nvm() { return nvm_; }
+  [[nodiscard]] const Nvm& nvm() const { return nvm_; }
+
+  /// Simulated wall-clock (microseconds since construction).
+  [[nodiscard]] double now_us() const { return clock_us_; }
+
+  /// Monotone counter bumped by every power failure; cached VM state from
+  /// an older epoch is garbage and must be re-fetched.
+  [[nodiscard]] std::uint64_t vm_epoch() const { return vm_epoch_; }
+
+  [[nodiscard]] const DeviceStats& stats() const { return stats_; }
+  void reset_stats();
+
+  // --- primitives (return false on power failure during the operation) ---
+
+  /// DMA transfer NVM -> VM.
+  [[nodiscard]] bool dma_read(std::size_t bytes);
+  /// DMA transfer VM -> NVM.
+  [[nodiscard]] bool dma_write(std::size_t bytes);
+  /// One LEA accelerator invocation performing `macs` multiply-accumulates.
+  [[nodiscard]] bool lea_op(std::size_t macs);
+  /// CPU-executed work.
+  [[nodiscard]] bool cpu_work(std::size_t cycles);
+  /// One intermittent-inference job: `macs` on the LEA pipelined with a
+  /// `write_bytes` NVM write-back (progress preservation). The exposed
+  /// latency is max(compute, write) + fixed CPU overhead; energy pays for
+  /// both. Attribution: the dominant component owns the overlapped time
+  /// (this is what makes Fig. 2's write-dominated breakdown visible).
+  [[nodiscard]] bool pipelined_job(std::size_t macs, std::size_t write_bytes,
+                                   std::size_t cpu_cycles);
+
+ private:
+  /// Charge one operation; on brown-out performs the full power-cycle
+  /// (recharge + reboot) and returns false.
+  [[nodiscard]] bool charge(double latency_us, double extra_power_w,
+                            CostTag tag);
+  [[nodiscard]] bool charge_split(double latency_us, double energy_j,
+                                  const double* tag_share_us);
+  void power_cycle();
+
+  DeviceConfig config_;
+  Nvm nvm_;
+  power::PowerManager power_;
+  DeviceStats stats_;
+  double clock_us_ = 0.0;
+  std::uint64_t vm_epoch_ = 0;
+};
+
+}  // namespace iprune::device

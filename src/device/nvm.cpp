@@ -1,0 +1,82 @@
+#include "device/nvm.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace iprune::device {
+
+Nvm::Nvm(std::size_t capacity_bytes) : storage_(capacity_bytes, 0) {}
+
+Address Nvm::allocate(std::size_t bytes) {
+  const std::size_t aligned = (bytes + 1) & ~std::size_t{1};
+  if (next_free_ + aligned > storage_.size()) {
+    throw std::runtime_error(
+        "Nvm::allocate: out of NVM (requested " + std::to_string(bytes) +
+        " bytes, free " + std::to_string(free_bytes()) +
+        ") — model does not fit the 512 KB FRAM budget");
+  }
+  const Address addr = next_free_;
+  next_free_ += aligned;
+  return addr;
+}
+
+void Nvm::reset() {
+  std::memset(storage_.data(), 0, storage_.size());
+  next_free_ = 0;
+}
+
+void Nvm::check(Address addr, std::size_t bytes) const {
+  if (addr + bytes > storage_.size()) {
+    throw std::out_of_range("Nvm access out of range: addr=" +
+                            std::to_string(addr) + " len=" +
+                            std::to_string(bytes));
+  }
+}
+
+void Nvm::write(Address addr, std::span<const std::uint8_t> bytes) {
+  check(addr, bytes.size());
+  std::memcpy(storage_.data() + addr, bytes.data(), bytes.size());
+}
+
+void Nvm::read(Address addr, std::span<std::uint8_t> bytes) const {
+  check(addr, bytes.size());
+  std::memcpy(bytes.data(), storage_.data() + addr, bytes.size());
+}
+
+void Nvm::write_i16(Address addr, std::int16_t value) {
+  check(addr, 2);
+  std::memcpy(storage_.data() + addr, &value, 2);
+}
+
+std::int16_t Nvm::read_i16(Address addr) const {
+  check(addr, 2);
+  std::int16_t value = 0;
+  std::memcpy(&value, storage_.data() + addr, 2);
+  return value;
+}
+
+void Nvm::write_i32(Address addr, std::int32_t value) {
+  check(addr, 4);
+  std::memcpy(storage_.data() + addr, &value, 4);
+}
+
+std::int32_t Nvm::read_i32(Address addr) const {
+  check(addr, 4);
+  std::int32_t value = 0;
+  std::memcpy(&value, storage_.data() + addr, 4);
+  return value;
+}
+
+void Nvm::write_u32(Address addr, std::uint32_t value) {
+  check(addr, 4);
+  std::memcpy(storage_.data() + addr, &value, 4);
+}
+
+std::uint32_t Nvm::read_u32(Address addr) const {
+  check(addr, 4);
+  std::uint32_t value = 0;
+  std::memcpy(&value, storage_.data() + addr, 4);
+  return value;
+}
+
+}  // namespace iprune::device

@@ -1,0 +1,51 @@
+#pragma once
+// Byte-addressable non-volatile memory (external FRAM). Contents persist
+// across simulated power failures. A bump allocator hands out regions to
+// the deployment step; reads/writes are bounds-checked.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace iprune::device {
+
+using Address = std::size_t;
+
+class Nvm {
+ public:
+  explicit Nvm(std::size_t capacity_bytes);
+
+  [[nodiscard]] std::size_t capacity() const { return storage_.size(); }
+  [[nodiscard]] std::size_t allocated() const { return next_free_; }
+  [[nodiscard]] std::size_t free_bytes() const {
+    return storage_.size() - next_free_;
+  }
+
+  /// Allocate a region (2-byte aligned, matching the 16-bit device).
+  /// Throws std::bad_alloc-like std::runtime_error when out of space —
+  /// mirrors the paper's hard 512 KB budget for model + engine state.
+  Address allocate(std::size_t bytes);
+
+  /// Reset the allocator and zero the contents (not a power event).
+  void reset();
+
+  void write(Address addr, std::span<const std::uint8_t> bytes);
+  void read(Address addr, std::span<std::uint8_t> bytes) const;
+
+  /// Typed helpers for the 16/32-bit values the engine traffics in.
+  void write_i16(Address addr, std::int16_t value);
+  [[nodiscard]] std::int16_t read_i16(Address addr) const;
+  void write_i32(Address addr, std::int32_t value);
+  [[nodiscard]] std::int32_t read_i32(Address addr) const;
+  void write_u32(Address addr, std::uint32_t value);
+  [[nodiscard]] std::uint32_t read_u32(Address addr) const;
+
+ private:
+  void check(Address addr, std::size_t bytes) const;
+
+  std::vector<std::uint8_t> storage_;
+  std::size_t next_free_ = 0;
+};
+
+}  // namespace iprune::device

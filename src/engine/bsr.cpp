@@ -1,0 +1,67 @@
+#include "engine/bsr.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace iprune::engine {
+
+BsrMatrix BsrMatrix::build(const nn::QTensor& dense, const BlockMask& mask,
+                           const TilePlan& plan) {
+  if (dense.shape.size() != 2 || dense.shape[0] != plan.rows ||
+      dense.shape[1] != plan.k) {
+    throw std::invalid_argument("BsrMatrix::build: shape mismatch");
+  }
+  BsrMatrix bsr;
+  bsr.block_elems_ = plan.br * plan.bk;
+  bsr.row_ptr_.reserve(plan.row_tiles() + 1);
+  bsr.row_ptr_.push_back(0);
+  for (std::size_t rt = 0; rt < plan.row_tiles(); ++rt) {
+    for (std::size_t kt = 0; kt < plan.k_tiles(); ++kt) {
+      if (!mask.alive(rt, kt)) {
+        continue;
+      }
+      bsr.col_idx_.push_back(static_cast<std::uint32_t>(kt));
+      const std::size_t base = bsr.values_.size();
+      bsr.values_.resize(base + bsr.block_elems_, 0);
+      const std::size_t r0 = rt * plan.br;
+      const std::size_t k0 = kt * plan.bk;
+      for (std::size_t r = 0; r < plan.rows_in_tile(rt); ++r) {
+        for (std::size_t kk = 0; kk < plan.k_in_tile(kt); ++kk) {
+          bsr.values_[base + r * plan.bk + kk] =
+              dense.data[(r0 + r) * plan.k + (k0 + kk)];
+        }
+      }
+    }
+    bsr.row_ptr_.push_back(static_cast<std::uint32_t>(bsr.col_idx_.size()));
+  }
+  return bsr;
+}
+
+std::size_t BsrMatrix::device_bytes() const {
+  return values_.size() * sizeof(std::int16_t) +
+         col_idx_.size() * sizeof(std::uint16_t) +
+         row_ptr_.size() * sizeof(std::uint16_t);
+}
+
+nn::QTensor BsrMatrix::to_dense(const TilePlan& plan, float scale) const {
+  nn::QTensor dense;
+  dense.shape = {plan.rows, plan.k};
+  dense.scale = scale;
+  dense.data.assign(plan.rows * plan.k, 0);
+  for (std::size_t rt = 0; rt < plan.row_tiles(); ++rt) {
+    for (std::uint32_t slot = row_begin(rt); slot < row_end(rt); ++slot) {
+      const std::size_t kt = col(slot);
+      const std::int16_t* blk = block(slot);
+      const std::size_t r0 = rt * plan.br;
+      const std::size_t k0 = kt * plan.bk;
+      for (std::size_t r = 0; r < plan.rows_in_tile(rt); ++r) {
+        for (std::size_t kk = 0; kk < plan.k_in_tile(kt); ++kk) {
+          dense.data[(r0 + r) * plan.k + (k0 + kk)] = blk[r * plan.bk + kk];
+        }
+      }
+    }
+  }
+  return dense;
+}
+
+}  // namespace iprune::engine

@@ -1,0 +1,68 @@
+#pragma once
+// Block Compressed Sparse Row storage for pruned weight matrices
+// (paper §III-D). Three arrays: blockwise nonzero values, per-block column
+// indices, and row pointers; the two index arrays cost "two extra NVM
+// reads to locate any nonzero weight block" at run time, which the engine
+// charges per accelerator operation.
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/tile_plan.hpp"
+#include "nn/quantize.hpp"
+
+namespace iprune::engine {
+
+class BsrMatrix {
+ public:
+  /// Build from a dense quantized weight matrix [rows, k] and the layer's
+  /// block mask. Edge blocks are zero-padded to the uniform br*bk extent
+  /// (as the device stores them, for constant-stride addressing).
+  static BsrMatrix build(const nn::QTensor& dense, const BlockMask& mask,
+                         const TilePlan& plan);
+
+  [[nodiscard]] std::size_t nnz_blocks() const { return col_idx_.size(); }
+  [[nodiscard]] std::size_t block_elems() const { return block_elems_; }
+
+  /// Half-open range of block slots for a row tile.
+  [[nodiscard]] std::uint32_t row_begin(std::size_t rt) const {
+    return row_ptr_[rt];
+  }
+  [[nodiscard]] std::uint32_t row_end(std::size_t rt) const {
+    return row_ptr_[rt + 1];
+  }
+  /// k-tile index of a block slot.
+  [[nodiscard]] std::uint32_t col(std::size_t slot) const {
+    return col_idx_[slot];
+  }
+  /// Values of one block (br*bk int16, row-major by block row).
+  [[nodiscard]] const std::int16_t* block(std::size_t slot) const {
+    return values_.data() + slot * block_elems_;
+  }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& row_ptr() const {
+    return row_ptr_;
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& col_idx() const {
+    return col_idx_;
+  }
+  [[nodiscard]] const std::vector<std::int16_t>& values() const {
+    return values_;
+  }
+
+  /// Bytes this matrix occupies on the device: int16 block values plus
+  /// uint16 col indices plus uint16 row pointers.
+  [[nodiscard]] std::size_t device_bytes() const;
+
+  /// Reconstruct the dense [rows, k] int16 matrix (for tests).
+  [[nodiscard]] nn::QTensor to_dense(const TilePlan& plan,
+                                     float scale) const;
+
+ private:
+  std::size_t block_elems_ = 0;
+  std::vector<std::uint32_t> row_ptr_;
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<std::int16_t> values_;
+};
+
+}  // namespace iprune::engine

@@ -1,0 +1,64 @@
+#pragma once
+// HAWAII+ engine configuration.
+//
+// The engine lowers CONV layers to tiled GEMM (Anderson et al. [2]) and FC
+// layers to tiled vector-matrix products. One *accelerator operation*
+// computes a (block_rows x max_k_per_op) weight block against a spatial
+// tile; each *job* inside an op produces one accelerator output (a partial
+// or final output feature), immediately preserved to NVM together with the
+// job counter (HAWAII [10]).
+
+#include <cstddef>
+
+namespace iprune::engine {
+
+enum class PreservationMode {
+  /// HAWAII-style intermittent-safe execution: every accelerator output is
+  /// written back to NVM with a progress indicator as soon as produced.
+  /// Recovery re-executes only the interrupted job.
+  kImmediate,
+  /// SONIC/TAILS-style intermittent-safe execution: one accelerator
+  /// operation is the atomic task. Its outputs are double-buffered in VM
+  /// and committed to NVM in a single batch together with the progress
+  /// indicator (loop indices). Fewer indicator writes per output, but a
+  /// power failure re-executes the entire interrupted task.
+  kTaskAtomic,
+  /// Conventional continuously-powered flow: outputs accumulate in VM and
+  /// only completed OFM tiles are written back (Fig. 2(a) baseline). NOT
+  /// safe under power failures.
+  kAccumulateInVm,
+};
+
+struct EngineConfig {
+  PreservationMode mode = PreservationMode::kImmediate;
+
+  /// Reduction depth a single LEA command accumulates per staged output
+  /// (the modeled accelerator's command depth); determines Bk and thereby
+  /// the accelerator-output count of each layer.
+  std::size_t max_k_per_op = 12;
+
+  /// Output features per weight block (Br). Together with Bk this fixes
+  /// the pruning granularity: one block = one accelerator operation's
+  /// weights (the paper's third guideline).
+  std::size_t block_rows = 4;
+
+  /// Cap on the spatial tile width (Bc); the actual value is shrunk until
+  /// the tile set fits VM.
+  std::size_t max_cols_per_tile = 32;
+
+  /// Bytes of one NVM-resident partial sum (int32).
+  std::size_t psum_bytes = 4;
+  /// Bytes of the progress indicator paired with each preserved output.
+  std::size_t counter_bytes = 4;
+  /// VM set aside for stack / engine bookkeeping.
+  std::size_t vm_reserve_bytes = 512;
+  /// CPU bookkeeping cycles charged per job (indexing, loop control).
+  std::size_t cpu_cycles_per_job = 8;
+  /// Bytes copied per concat/copy job.
+  std::size_t copy_chunk_bytes = 128;
+
+  /// Fold a ReLU that directly follows a CONV/FC into that layer's jobs.
+  bool fold_relu = true;
+};
+
+}  // namespace iprune::engine

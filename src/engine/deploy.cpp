@@ -1,0 +1,194 @@
+#include "engine/deploy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+
+namespace iprune::engine {
+
+namespace {
+
+const nn::Tensor& layer_weight(const LoweredNode& ln) {
+  if (ln.kind == LoweredKind::kGemmConv) {
+    return static_cast<nn::Conv2d&>(*ln.layer).weight();
+  }
+  return static_cast<nn::Dense&>(*ln.layer).weight();
+}
+
+const nn::Tensor& layer_mask(const LoweredNode& ln) {
+  if (ln.kind == LoweredKind::kGemmConv) {
+    return static_cast<nn::Conv2d&>(*ln.layer).weight_mask();
+  }
+  return static_cast<nn::Dense&>(*ln.layer).weight_mask();
+}
+
+const nn::Tensor& layer_bias(const LoweredNode& ln) {
+  if (ln.kind == LoweredKind::kGemmConv) {
+    return static_cast<nn::Conv2d&>(*ln.layer).bias();
+  }
+  return static_cast<nn::Dense&>(*ln.layer).bias();
+}
+
+}  // namespace
+
+DeployedModel::DeployedModel(nn::Graph& graph, const EngineConfig& config,
+                             device::Msp430Device& device,
+                             const nn::Tensor& calibration_batch)
+    : config_(config) {
+  lowered_ = lower_graph(graph, config, device.config().memory);
+  const CalibrationTable calib =
+      calibrate(graph, lowered_, calibration_batch);
+
+  device::Nvm& nvm = device.nvm();
+  nodes_.resize(lowered_.nodes.size());
+
+  progress_addr_ = nvm.allocate(8);
+  record("progress", progress_addr_, 8);
+
+  std::size_t max_psum_bytes = 0;
+  for (nn::NodeId id = 0; id < lowered_.nodes.size(); ++id) {
+    const LoweredNode& ln = lowered_.nodes[id];
+    NodeDeployment& nd = nodes_[id];
+    nd.scale = calib.scale(id);
+
+    // Activation buffer: aliases reuse their input's buffer.
+    if (ln.kind == LoweredKind::kAlias && id != 0) {
+      nd.buffer = nodes_[ln.inputs[0]].buffer;
+    } else {
+      nd.buffer = nvm.allocate(ln.out_elems * 2);
+      record(ln.name + ".ofm", nd.buffer, ln.out_elems * 2);
+    }
+
+    if (!ln.is_gemm()) {
+      continue;
+    }
+
+    // Quantize the (masked) weights and pack them into BSR.
+    auto gd = std::make_unique<GemmDeployment>();
+    nn::Tensor masked = layer_weight(ln);
+    masked.hadamard(layer_mask(ln));
+    const nn::QTensor wq = nn::quantize_q15(masked);
+    gd->weight_scale = wq.scale;
+    const BlockMask bmask = BlockMask::from_dense(layer_mask(ln), ln.plan);
+    gd->bsr = BsrMatrix::build(wq, bmask, ln.plan);
+
+    // Bias in the psum domain; requantization multiplier to the output
+    // scale (see engine.cpp for the fixed-point pipeline).
+    const float s_in = nodes_[ln.inputs[0]].scale;
+    const float psum_unit = s_in * gd->weight_scale * 32768.0f;
+    const nn::Tensor& bias = layer_bias(ln);
+    gd->bias_q.resize(bias.numel());
+    for (std::size_t i = 0; i < bias.numel(); ++i) {
+      gd->bias_q[i] =
+          static_cast<std::int32_t>(std::lround(bias[i] / psum_unit));
+    }
+    gd->multiplier = psum_unit / nd.scale;
+
+    // Write the arrays into NVM.
+    gd->values_addr =
+        nvm.allocate(gd->bsr.values().size() * sizeof(std::int16_t));
+    record(ln.name + ".bsr_values", gd->values_addr,
+           gd->bsr.values().size() * sizeof(std::int16_t));
+    for (std::size_t i = 0; i < gd->bsr.values().size(); ++i) {
+      nvm.write_i16(gd->values_addr + i * 2, gd->bsr.values()[i]);
+    }
+    gd->colidx_addr =
+        nvm.allocate(gd->bsr.col_idx().size() * sizeof(std::uint16_t));
+    record(ln.name + ".bsr_colidx", gd->colidx_addr,
+           gd->bsr.col_idx().size() * sizeof(std::uint16_t));
+    for (std::size_t i = 0; i < gd->bsr.col_idx().size(); ++i) {
+      nvm.write_i16(gd->colidx_addr + i * 2,
+                    static_cast<std::int16_t>(gd->bsr.col_idx()[i]));
+    }
+    gd->rowptr_addr =
+        nvm.allocate(gd->bsr.row_ptr().size() * sizeof(std::uint16_t));
+    record(ln.name + ".bsr_rowptr", gd->rowptr_addr,
+           gd->bsr.row_ptr().size() * sizeof(std::uint16_t));
+    for (std::size_t i = 0; i < gd->bsr.row_ptr().size(); ++i) {
+      nvm.write_i16(gd->rowptr_addr + i * 2,
+                    static_cast<std::int16_t>(gd->bsr.row_ptr()[i]));
+    }
+    gd->bias_addr = nvm.allocate(gd->bias_q.size() * sizeof(std::int32_t));
+    record(ln.name + ".bias", gd->bias_addr,
+           gd->bias_q.size() * sizeof(std::int32_t));
+    for (std::size_t i = 0; i < gd->bias_q.size(); ++i) {
+      nvm.write_i32(gd->bias_addr + i * 4, gd->bias_q[i]);
+    }
+
+    max_psum_bytes = std::max(
+        max_psum_bytes, ln.plan.rows * ln.plan.cols * config_.psum_bytes);
+    nd.gemm = std::move(gd);
+  }
+
+  if (max_psum_bytes > 0) {
+    psum_addr_ = nvm.allocate(max_psum_bytes);
+    record("psum_scratch", psum_addr_, max_psum_bytes);
+  }
+}
+
+void DeployedModel::record(std::string label, device::Address begin,
+                           std::size_t bytes) {
+  regions_.push_back({std::move(label), begin, bytes});
+}
+
+std::string DeployedModel::validate_layout(const device::Nvm& nvm) const {
+  std::vector<Region> sorted = regions_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Region& a, const Region& b) {
+              return a.begin < b.begin;
+            });
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const Region& r = sorted[i];
+    if (r.begin + r.bytes > nvm.capacity()) {
+      return r.label + " exceeds NVM capacity";
+    }
+    if (i > 0) {
+      const Region& prev = sorted[i - 1];
+      if (prev.begin + prev.bytes > r.begin) {
+        return prev.label + " overlaps " + r.label;
+      }
+    }
+  }
+  return {};
+}
+
+std::size_t DeployedModel::model_bytes() const {
+  std::size_t total = 0;
+  for (const NodeDeployment& nd : nodes_) {
+    if (nd.gemm != nullptr) {
+      total += nd.gemm->device_bytes();
+    }
+  }
+  return total;
+}
+
+std::size_t DeployedModel::total_macs() const {
+  std::size_t total = 0;
+  for (nn::NodeId id = 0; id < lowered_.nodes.size(); ++id) {
+    const LoweredNode& ln = lowered_.nodes[id];
+    if (!ln.is_gemm()) {
+      continue;
+    }
+    const BlockMask bmask = BlockMask::from_dense(layer_mask(ln), ln.plan);
+    total += count_macs(ln.plan, bmask);
+  }
+  return total;
+}
+
+std::size_t DeployedModel::total_acc_outputs() const {
+  std::size_t total = 0;
+  for (nn::NodeId id = 0; id < lowered_.nodes.size(); ++id) {
+    const LoweredNode& ln = lowered_.nodes[id];
+    if (!ln.is_gemm()) {
+      continue;
+    }
+    const BlockMask bmask = BlockMask::from_dense(layer_mask(ln), ln.plan);
+    total += count_accelerator_outputs(ln.plan, bmask);
+  }
+  return total;
+}
+
+}  // namespace iprune::engine

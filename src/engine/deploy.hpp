@@ -1,0 +1,99 @@
+#pragma once
+// Deployment: quantize a trained Graph, pack weights into BSR, and lay the
+// whole model (weights, indices, biases, activation buffers, partial-sum
+// scratch, progress region) out in the device's NVM — everything the
+// engine needs to execute inference entirely from device memory.
+
+#include <memory>
+#include <vector>
+
+#include "device/msp430.hpp"
+#include "engine/bsr.hpp"
+#include "engine/lowering.hpp"
+
+namespace iprune::engine {
+
+struct GemmDeployment {
+  BsrMatrix bsr;
+  float weight_scale = 1.0f;
+  /// Bias in psum domain: bias_q ~= bias_f / (s_in * s_w * 2^15).
+  std::vector<std::int32_t> bias_q;
+  /// Requantization multiplier: (s_in * s_w * 2^15) / s_out.
+  float multiplier = 1.0f;
+  device::Address values_addr = 0;
+  device::Address colidx_addr = 0;
+  device::Address rowptr_addr = 0;
+  device::Address bias_addr = 0;
+
+  [[nodiscard]] std::size_t device_bytes() const {
+    return bsr.device_bytes() + bias_q.size() * sizeof(std::int32_t);
+  }
+};
+
+struct NodeDeployment {
+  device::Address buffer = 0;  // int16 activation buffer (aliased for kAlias)
+  float scale = 1.0f;
+  std::unique_ptr<GemmDeployment> gemm;  // GEMM nodes only
+};
+
+class DeployedModel {
+ public:
+  /// Lowers, calibrates (on `calibration_batch`), quantizes, and writes
+  /// the model into `device`'s NVM. The graph must already be trained (and
+  /// pruned, if applicable); masks define the BSR sparsity.
+  DeployedModel(nn::Graph& graph, const EngineConfig& config,
+                device::Msp430Device& device,
+                const nn::Tensor& calibration_batch);
+
+  DeployedModel(const DeployedModel&) = delete;
+  DeployedModel& operator=(const DeployedModel&) = delete;
+
+  [[nodiscard]] const LoweredGraph& lowered() const { return lowered_; }
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+  [[nodiscard]] const NodeDeployment& node(nn::NodeId id) const {
+    return nodes_[id];
+  }
+  [[nodiscard]] device::Address psum_addr() const { return psum_addr_; }
+  [[nodiscard]] device::Address progress_addr() const {
+    return progress_addr_;
+  }
+
+  /// Paper "Model Size": BSR weight blocks + index arrays + biases.
+  [[nodiscard]] std::size_t model_bytes() const;
+  /// Paper "MACs" / "Acc. Outputs" under the deployed masks.
+  [[nodiscard]] std::size_t total_macs() const;
+  [[nodiscard]] std::size_t total_acc_outputs() const;
+
+  [[nodiscard]] float input_scale() const { return nodes_[0].scale; }
+  [[nodiscard]] float output_scale() const {
+    return nodes_[lowered_.output].scale;
+  }
+
+  /// One allocated NVM region (for layout inspection / validation).
+  struct Region {
+    std::string label;
+    device::Address begin = 0;
+    std::size_t bytes = 0;
+  };
+  [[nodiscard]] const std::vector<Region>& regions() const {
+    return regions_;
+  }
+
+  /// Debug facility: verify every allocated region is in bounds and that
+  /// no two regions overlap. Returns an empty string when the layout is
+  /// valid, otherwise a description of the first problem found.
+  [[nodiscard]] std::string validate_layout(
+      const device::Nvm& nvm) const;
+
+ private:
+  void record(std::string label, device::Address begin, std::size_t bytes);
+
+  EngineConfig config_;
+  LoweredGraph lowered_;
+  std::vector<NodeDeployment> nodes_;
+  std::vector<Region> regions_;
+  device::Address psum_addr_ = 0;
+  device::Address progress_addr_ = 0;
+};
+
+}  // namespace iprune::engine

@@ -1,0 +1,819 @@
+#include "engine/engine.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace iprune::engine {
+
+namespace {
+
+/// Per-op retry safety net: with sane configs every retry makes progress
+/// (the recharged buffer dwarfs one fetch+job); this guard turns a
+/// misconfiguration into a diagnosis instead of a hang.
+constexpr std::size_t kMaxOpRetries = 100000;
+
+[[noreturn]] void retry_overflow(const std::string& where) {
+  throw std::runtime_error(
+      "IntermittentEngine: " + where +
+      " exceeded the retry budget — a single operation cannot complete "
+      "within one power cycle (enlarge the capacitor or shrink tiles)");
+}
+
+/// Q15 rounding shift: psum domain value of an accumulated Q30 product.
+std::int32_t shift_round_q15(std::int64_t acc) {
+  return static_cast<std::int32_t>((acc + 16384) >> 15);
+}
+
+std::int16_t clamp_i16(long v) {
+  if (v > 32767) {
+    return 32767;
+  }
+  if (v < -32768) {
+    return -32768;
+  }
+  return static_cast<std::int16_t>(v);
+}
+
+}  // namespace
+
+IntermittentEngine::IntermittentEngine(DeployedModel& model,
+                                       device::Msp430Device& device)
+    : model_(model), device_(device), config_(model.config()) {}
+
+std::int16_t IntermittentEngine::requantize(std::int64_t psum,
+                                            float multiplier, bool relu) {
+  const long v = std::lround(static_cast<double>(psum) *
+                             static_cast<double>(multiplier));
+  std::int16_t q = clamp_i16(v);
+  if (relu && q < 0) {
+    q = 0;
+  }
+  return q;
+}
+
+void IntermittentEngine::commit_job() {
+  ++job_counter_;
+  device_.nvm().write_u32(model_.progress_addr(), job_counter_);
+}
+
+std::int16_t IntermittentEngine::gather_input(const LoweredNode& ln,
+                                              device::Address in_buf,
+                                              std::size_t k,
+                                              std::size_t s) const {
+  if (ln.kind == LoweredKind::kGemmDense) {
+    return device_.nvm().read_i16(in_buf + k * 2);
+  }
+  const ConvGeometry& g = ln.conv;
+  const std::size_t kernel = g.kernel_h * g.kernel_w;
+  const std::size_t cin = k / kernel;
+  const std::size_t rem = k % kernel;
+  const std::size_t khi = rem / g.kernel_w;
+  const std::size_t kwi = rem % g.kernel_w;
+  const std::size_t oy = s / g.out_w;
+  const std::size_t ox = s % g.out_w;
+  const auto iy = static_cast<std::ptrdiff_t>(oy * g.stride + khi) -
+                  static_cast<std::ptrdiff_t>(g.pad_h);
+  const auto ix = static_cast<std::ptrdiff_t>(ox * g.stride + kwi) -
+                  static_cast<std::ptrdiff_t>(g.pad_w);
+  if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.in_h) || ix < 0 ||
+      ix >= static_cast<std::ptrdiff_t>(g.in_w)) {
+    return 0;  // zero padding
+  }
+  const std::size_t index =
+      (cin * g.in_h + static_cast<std::size_t>(iy)) * g.in_w +
+      static_cast<std::size_t>(ix);
+  return device_.nvm().read_i16(in_buf + index * 2);
+}
+
+bool IntermittentEngine::charge_input_tile_reads(const LoweredNode& ln,
+                                                 std::size_t bk_actual,
+                                                 std::size_t bc_actual) {
+  if (ln.kind == LoweredKind::kGemmDense) {
+    return device_.dma_read(bk_actual * 2);
+  }
+  // Conv gather: one strided DMA command per tile row (each row of the
+  // im2col tile maps to a constant-stride walk of the input buffer).
+  for (std::size_t row = 0; row < bk_actual; ++row) {
+    if (!device_.dma_read(bc_actual * 2)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IntermittentEngine::run_gemm(const LoweredNode& ln) {
+  switch (config_.mode) {
+    case PreservationMode::kImmediate:
+      return run_gemm_immediate(ln);
+    case PreservationMode::kTaskAtomic:
+      return run_gemm_task(ln);
+    case PreservationMode::kAccumulateInVm:
+      return run_gemm_accumulate(ln);
+  }
+  return false;
+}
+
+bool IntermittentEngine::run_gemm_task(const LoweredNode& ln) {
+  // SONIC/TAILS-style: one accelerator operation is an atomic task. All
+  // of its outputs are computed into a VM double buffer and committed to
+  // NVM in one batch together with the progress indicator (loop indices);
+  // a power failure anywhere inside the task re-executes the whole task.
+  const NodeDeployment& nd = model_.node(ln.node);
+  const GemmDeployment& gd = *nd.gemm;
+  const TilePlan& plan = ln.plan;
+  const device::Address in_buf = model_.node(ln.inputs[0]).buffer;
+  const device::Address out_buf = nd.buffer;
+  const device::Address psum_base = model_.psum_addr();
+  device::Nvm& nvm = device_.nvm();
+  const bool relu = ln.relu_folded;
+
+  std::vector<std::int32_t> tile(plan.br * plan.bc);
+  for (std::size_t rt = 0; rt < plan.row_tiles(); ++rt) {
+    const std::size_t rows_in = plan.rows_in_tile(rt);
+    const std::uint32_t begin = gd.bsr.row_begin(rt);
+    const std::uint32_t end = gd.bsr.row_end(rt);
+
+    if (begin == end) {
+      // Bias-fill: one task per output tile.
+      for (std::size_t ct = 0; ct < plan.col_tiles(); ++ct) {
+        const std::size_t cols_in = plan.cols_in_tile(ct);
+        const std::size_t jobs = rows_in * cols_in;
+        std::size_t retries = 0;
+        while (true) {
+          if (++retries > kMaxOpRetries) {
+            retry_overflow(ln.name + " bias-fill task");
+          }
+          if (pending_recovery_) {
+            if (!device_.dma_read(8)) {
+              continue;
+            }
+            pending_recovery_ = false;
+          }
+          if (!device_.dma_read(rows_in * 4) ||
+              !device_.cpu_work(jobs * config_.cpu_cycles_per_job) ||
+              !device_.dma_write(jobs * 2 + config_.counter_bytes)) {
+            pending_recovery_ = true;
+            active_stats_->reexecuted_jobs += jobs;
+            continue;
+          }
+          for (std::size_t idx = 0; idx < jobs; ++idx) {
+            const std::size_t r_global = rt * plan.br + idx / cols_in;
+            const std::size_t c_global = ct * plan.bc + idx % cols_in;
+            nvm.write_i16(out_buf + (r_global * plan.cols + c_global) * 2,
+                          requantize(gd.bias_q[r_global], gd.multiplier,
+                                     relu));
+          }
+          commit_job();
+          active_stats_->acc_outputs += jobs;
+          active_stats_->preserved_outputs += jobs;
+          break;
+        }
+      }
+      continue;
+    }
+
+    for (std::size_t ct = 0; ct < plan.col_tiles(); ++ct) {
+      const std::size_t cols_in = plan.cols_in_tile(ct);
+      const std::size_t jobs = rows_in * cols_in;
+      for (std::uint32_t slot = begin; slot < end; ++slot) {
+        const std::size_t kt = gd.bsr.col(slot);
+        const bool first = slot == begin;
+        const bool last = slot + 1 == end;
+        const std::size_t k0 = kt * plan.bk;
+        const std::size_t bk_actual = plan.k_in_tile(kt);
+        const std::int16_t* w_block = gd.bsr.block(slot);
+
+        std::size_t retries = 0;
+        while (true) {
+          if (++retries > kMaxOpRetries) {
+            retry_overflow(ln.name + " task");
+          }
+          if (pending_recovery_) {
+            if (!device_.dma_read(8)) {
+              continue;
+            }
+            pending_recovery_ = false;
+          }
+          if (!device_.dma_read(2) || !device_.dma_read(2) ||
+              !device_.dma_read(rows_in * bk_actual * 2) ||
+              !charge_input_tile_reads(ln, bk_actual, cols_in) ||
+              (!first && !device_.dma_read(rows_in * cols_in * 4)) ||
+              (last && !device_.dma_read(rows_in * 4))) {
+            pending_recovery_ = true;
+            continue;
+          }
+
+          // Compute every job of the task into the VM double buffer.
+          bool failed = false;
+          for (std::size_t idx = 0; idx < jobs; ++idx) {
+            const std::size_t r = idx / cols_in;
+            const std::size_t c = idx % cols_in;
+            const std::size_t r_global = rt * plan.br + r;
+            const std::size_t c_global = ct * plan.bc + c;
+            std::int64_t acc = 0;
+            for (std::size_t kk = 0; kk < bk_actual; ++kk) {
+              acc += static_cast<std::int64_t>(
+                         gather_input(ln, in_buf, k0 + kk, c_global)) *
+                     w_block[r * plan.bk + kk];
+            }
+            const std::int32_t contribution = shift_round_q15(acc);
+            const device::Address psum_addr =
+                psum_base + (r_global * plan.cols + c_global) * 4;
+            tile[idx] = first ? contribution
+                              : nvm.read_i32(psum_addr) + contribution;
+            if (!device_.lea_op(bk_actual)) {
+              failed = true;
+              active_stats_->reexecuted_jobs += idx + 1;
+              break;
+            }
+          }
+          if (failed ||
+              !device_.cpu_work(jobs * config_.cpu_cycles_per_job)) {
+            pending_recovery_ = true;
+            continue;
+          }
+
+          // Single batched commit: all outputs + the loop-index indicator.
+          const std::size_t bytes =
+              jobs * (last ? 2 : config_.psum_bytes) + config_.counter_bytes;
+          if (!device_.dma_write(bytes)) {
+            pending_recovery_ = true;
+            active_stats_->reexecuted_jobs += jobs;
+            continue;
+          }
+          for (std::size_t idx = 0; idx < jobs; ++idx) {
+            const std::size_t r = idx / cols_in;
+            const std::size_t c = idx % cols_in;
+            const std::size_t r_global = rt * plan.br + r;
+            const std::size_t c_global = ct * plan.bc + c;
+            if (last) {
+              nvm.write_i16(
+                  out_buf + (r_global * plan.cols + c_global) * 2,
+                  requantize(static_cast<std::int64_t>(tile[idx]) +
+                                 gd.bias_q[r_global],
+                             gd.multiplier, relu));
+            } else {
+              nvm.write_i32(psum_base + (r_global * plan.cols + c_global) * 4,
+                            tile[idx]);
+            }
+          }
+          commit_job();
+          active_stats_->acc_outputs += jobs;
+          active_stats_->preserved_outputs += jobs;
+          active_stats_->macs += jobs * bk_actual;
+          break;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool IntermittentEngine::run_gemm_immediate(const LoweredNode& ln) {
+  const NodeDeployment& nd = model_.node(ln.node);
+  const GemmDeployment& gd = *nd.gemm;
+  const TilePlan& plan = ln.plan;
+  const device::Address in_buf = model_.node(ln.inputs[0]).buffer;
+  const device::Address out_buf = nd.buffer;
+  const device::Address psum_base = model_.psum_addr();
+  device::Nvm& nvm = device_.nvm();
+  const bool relu = ln.relu_folded;
+
+  for (std::size_t rt = 0; rt < plan.row_tiles(); ++rt) {
+    const std::size_t rows_in = plan.rows_in_tile(rt);
+    const std::uint32_t begin = gd.bsr.row_begin(rt);
+    const std::uint32_t end = gd.bsr.row_end(rt);
+
+    if (begin == end) {
+      // All blocks of this row tile were pruned: bias-fill the outputs.
+      for (std::size_t ct = 0; ct < plan.col_tiles(); ++ct) {
+        const std::size_t cols_in = plan.cols_in_tile(ct);
+        const std::size_t jobs = rows_in * cols_in;
+        std::size_t done = 0;
+        std::size_t retries = 0;
+        while (done < jobs) {
+          if (++retries > kMaxOpRetries) {
+            retry_overflow(ln.name + " bias-fill");
+          }
+          if (pending_recovery_) {
+            if (!device_.dma_read(8)) {
+              continue;
+            }
+            pending_recovery_ = false;
+          }
+          if (!device_.dma_read(rows_in * 4)) {  // bias tile
+            pending_recovery_ = true;
+            continue;
+          }
+          bool failed = false;
+          for (std::size_t idx = done; idx < jobs; ++idx) {
+            const std::size_t r_global = rt * plan.br + idx / cols_in;
+            const std::size_t c_global = ct * plan.bc + idx % cols_in;
+            const std::int16_t out_q = requantize(
+                gd.bias_q[r_global], gd.multiplier, relu);
+            if (!device_.pipelined_job(0, 2 + config_.counter_bytes,
+                                       config_.cpu_cycles_per_job)) {
+              pending_recovery_ = true;
+              failed = true;
+              break;
+            }
+            nvm.write_i16(out_buf + (r_global * plan.cols + c_global) * 2,
+                          out_q);
+            ++done;
+            ++active_stats_->acc_outputs;
+            ++active_stats_->preserved_outputs;
+            commit_job();
+          }
+          if (!failed) {
+            break;
+          }
+        }
+      }
+      continue;
+    }
+
+    for (std::size_t ct = 0; ct < plan.col_tiles(); ++ct) {
+      const std::size_t cols_in = plan.cols_in_tile(ct);
+      for (std::uint32_t slot = begin; slot < end; ++slot) {
+        const std::size_t kt = gd.bsr.col(slot);
+        const bool first = slot == begin;
+        const bool last = slot + 1 == end;
+        const std::size_t k0 = kt * plan.bk;
+        const std::size_t bk_actual = plan.k_in_tile(kt);
+        const std::int16_t* w_block = gd.bsr.block(slot);
+        const std::size_t jobs = rows_in * cols_in;
+
+        std::size_t done = 0;
+        std::size_t retries = 0;
+        while (done < jobs) {
+          if (++retries > kMaxOpRetries) {
+            retry_overflow(ln.name + " op");
+          }
+          // --- context fetch (charged; repeated after power failures) ---
+          if (pending_recovery_) {
+            if (!device_.dma_read(8)) {  // progress indicator
+              continue;
+            }
+            pending_recovery_ = false;
+          }
+          // Two extra NVM reads to locate the nonzero block (BSR row
+          // pointer + column index; paper §III-D).
+          if (!device_.dma_read(2) || !device_.dma_read(2) ||
+              !device_.dma_read(rows_in * bk_actual * 2) ||
+              !charge_input_tile_reads(ln, bk_actual, cols_in)) {
+            pending_recovery_ = true;
+            continue;
+          }
+          if (!first && !device_.dma_read(rows_in * cols_in * 4)) {
+            pending_recovery_ = true;
+            continue;
+          }
+          if (last && !device_.dma_read(rows_in * 4)) {  // bias tile
+            pending_recovery_ = true;
+            continue;
+          }
+
+          // --- jobs: one accelerator output each ---
+          bool failed = false;
+          for (std::size_t idx = done; idx < jobs; ++idx) {
+            const std::size_t r = idx / cols_in;
+            const std::size_t c = idx % cols_in;
+            const std::size_t r_global = rt * plan.br + r;
+            const std::size_t c_global = ct * plan.bc + c;
+
+            std::int64_t acc = 0;
+            for (std::size_t kk = 0; kk < bk_actual; ++kk) {
+              const std::int16_t x =
+                  gather_input(ln, in_buf, k0 + kk, c_global);
+              acc += static_cast<std::int64_t>(x) * w_block[r * plan.bk + kk];
+            }
+            const std::int32_t contribution = shift_round_q15(acc);
+            const device::Address psum_addr =
+                psum_base + (r_global * plan.cols + c_global) * 4;
+            const std::int32_t psum_new =
+                first ? contribution : nvm.read_i32(psum_addr) + contribution;
+
+            const std::size_t write_bytes =
+                (last ? 2 : config_.psum_bytes) + config_.counter_bytes;
+            if (!device_.pipelined_job(bk_actual, write_bytes,
+                                       config_.cpu_cycles_per_job)) {
+              pending_recovery_ = true;
+              ++active_stats_->reexecuted_jobs;
+              failed = true;
+              break;
+            }
+            if (last) {
+              const std::int16_t out_q = requantize(
+                  static_cast<std::int64_t>(psum_new) + gd.bias_q[r_global],
+                  gd.multiplier, relu);
+              nvm.write_i16(out_buf + (r_global * plan.cols + c_global) * 2,
+                            out_q);
+            } else {
+              nvm.write_i32(psum_addr, psum_new);
+            }
+            ++done;
+            ++active_stats_->acc_outputs;
+            ++active_stats_->preserved_outputs;
+            active_stats_->macs += bk_actual;
+            commit_job();
+          }
+          if (!failed) {
+            break;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool IntermittentEngine::run_gemm_accumulate(const LoweredNode& ln) {
+  const NodeDeployment& nd = model_.node(ln.node);
+  const GemmDeployment& gd = *nd.gemm;
+  const TilePlan& plan = ln.plan;
+  const device::Address in_buf = model_.node(ln.inputs[0]).buffer;
+  const device::Address out_buf = nd.buffer;
+  device::Nvm& nvm = device_.nvm();
+  const bool relu = ln.relu_folded;
+
+  std::vector<std::int32_t> psum_tile(plan.br * plan.bc);
+  for (std::size_t rt = 0; rt < plan.row_tiles(); ++rt) {
+    const std::size_t rows_in = plan.rows_in_tile(rt);
+    const std::uint32_t begin = gd.bsr.row_begin(rt);
+    const std::uint32_t end = gd.bsr.row_end(rt);
+
+    for (std::size_t ct = 0; ct < plan.col_tiles(); ++ct) {
+      const std::size_t cols_in = plan.cols_in_tile(ct);
+      const std::size_t jobs = rows_in * cols_in;
+      psum_tile.assign(psum_tile.size(), 0);
+
+      for (std::uint32_t slot = begin; slot < end; ++slot) {
+        const std::size_t kt = gd.bsr.col(slot);
+        const std::size_t k0 = kt * plan.bk;
+        const std::size_t bk_actual = plan.k_in_tile(kt);
+        const std::int16_t* w_block = gd.bsr.block(slot);
+
+        if (!device_.dma_read(2) || !device_.dma_read(2) ||
+            !device_.dma_read(rows_in * bk_actual * 2) ||
+            !charge_input_tile_reads(ln, bk_actual, cols_in)) {
+          return false;
+        }
+        if (!device_.lea_op(jobs * bk_actual)) {
+          return false;
+        }
+        for (std::size_t r = 0; r < rows_in; ++r) {
+          for (std::size_t c = 0; c < cols_in; ++c) {
+            std::int64_t acc = 0;
+            const std::size_t c_global = ct * plan.bc + c;
+            for (std::size_t kk = 0; kk < bk_actual; ++kk) {
+              const std::int16_t x =
+                  gather_input(ln, in_buf, k0 + kk, c_global);
+              acc += static_cast<std::int64_t>(x) * w_block[r * plan.bk + kk];
+            }
+            psum_tile[r * cols_in + c] += shift_round_q15(acc);
+          }
+        }
+        active_stats_->macs += jobs * bk_actual;
+      }
+
+      // Finalize the OFM tile: bias + requantize + single DMA write-back.
+      if (!device_.dma_read(rows_in * 4) ||
+          !device_.cpu_work(jobs * config_.cpu_cycles_per_job)) {
+        return false;
+      }
+      if (!device_.dma_write(jobs * 2)) {
+        return false;
+      }
+      for (std::size_t r = 0; r < rows_in; ++r) {
+        for (std::size_t c = 0; c < cols_in; ++c) {
+          const std::size_t r_global = rt * plan.br + r;
+          const std::size_t c_global = ct * plan.bc + c;
+          const std::int16_t out_q = requantize(
+              static_cast<std::int64_t>(psum_tile[r * cols_in + c]) +
+                  gd.bias_q[r_global],
+              gd.multiplier, relu);
+          nvm.write_i16(out_buf + (r_global * plan.cols + c_global) * 2,
+                        out_q);
+        }
+      }
+      active_stats_->acc_outputs += jobs;
+      active_stats_->preserved_outputs += jobs;
+    }
+  }
+  return true;
+}
+
+bool IntermittentEngine::run_pool(const LoweredNode& ln) {
+  const NodeDeployment& nd = model_.node(ln.node);
+  const LoweredNode& in_node = model_.lowered().at(ln.inputs[0]);
+  const device::Address in_buf = model_.node(ln.inputs[0]).buffer;
+  const device::Address out_buf = nd.buffer;
+  device::Nvm& nvm = device_.nvm();
+
+  const std::size_t channels = ln.out_shape[0];
+  const std::size_t out_h = ln.out_shape[1];
+  const std::size_t out_w = ln.out_shape[2];
+  const std::size_t in_h = in_node.out_shape[1];
+  const std::size_t in_w = in_node.out_shape[2];
+  const nn::PoolSpec& p = ln.pool;
+  const bool is_max = ln.kind == LoweredKind::kMaxPool;
+  const auto area =
+      static_cast<std::int32_t>(p.window_h * p.window_w);
+  const std::size_t cycles_per_job = p.window_h * p.window_w * 2;
+  const bool immediate = config_.mode == PreservationMode::kImmediate;
+  const bool task_atomic = config_.mode == PreservationMode::kTaskAtomic;
+
+  auto compute = [&](std::size_t c, std::size_t oy,
+                     std::size_t ox) -> std::int16_t {
+    std::int32_t best = -32768;
+    std::int32_t sum = 0;
+    for (std::size_t wy = 0; wy < p.window_h; ++wy) {
+      for (std::size_t wx = 0; wx < p.window_w; ++wx) {
+        const std::size_t iy = oy * p.stride + wy;
+        const std::size_t ix = ox * p.stride + wx;
+        const std::int16_t v =
+            nvm.read_i16(in_buf + ((c * in_h + iy) * in_w + ix) * 2);
+        best = std::max<std::int32_t>(best, v);
+        sum += v;
+      }
+    }
+    if (is_max) {
+      return static_cast<std::int16_t>(best);
+    }
+    const std::int32_t avg =
+        (sum >= 0 ? sum + area / 2 : sum - area / 2) / area;
+    return clamp_i16(avg);
+  };
+
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t oy = 0; oy < out_h; ++oy) {
+      std::size_t done = 0;
+      std::size_t retries = 0;
+      while (done < out_w) {
+        if (++retries > kMaxOpRetries) {
+          retry_overflow(ln.name + " pool row");
+        }
+        if ((immediate || task_atomic) && pending_recovery_) {
+          if (!device_.dma_read(8)) {
+            continue;
+          }
+          pending_recovery_ = false;
+        }
+        // Fetch the input window rows for this output row.
+        bool fetch_failed = false;
+        for (std::size_t wy = 0; wy < p.window_h; ++wy) {
+          if (!device_.dma_read(in_w * 2)) {
+            fetch_failed = true;
+            break;
+          }
+        }
+        if (fetch_failed) {
+          if (!immediate && !task_atomic) {
+            return false;  // kAccumulateInVm restarts the inference
+          }
+          pending_recovery_ = true;
+          continue;
+        }
+
+        if (immediate) {
+          bool failed = false;
+          for (std::size_t ox = done; ox < out_w; ++ox) {
+            const std::int16_t out_q = compute(c, oy, ox);
+            if (!device_.pipelined_job(0, 2 + config_.counter_bytes,
+                                       cycles_per_job)) {
+              pending_recovery_ = true;
+              ++active_stats_->reexecuted_jobs;
+              failed = true;
+              break;
+            }
+            nvm.write_i16(out_buf + ((c * out_h + oy) * out_w + ox) * 2,
+                          out_q);
+            ++done;
+            ++active_stats_->preserved_outputs;
+            commit_job();
+          }
+          if (!failed) {
+            break;
+          }
+        } else if (task_atomic) {
+          // One output row is the atomic task: compute in VM, commit the
+          // row and the indicator in a single batched write.
+          if (!device_.cpu_work(out_w * cycles_per_job) ||
+              !device_.dma_write(out_w * 2 + config_.counter_bytes)) {
+            pending_recovery_ = true;
+            active_stats_->reexecuted_jobs += out_w;
+            continue;
+          }
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            nvm.write_i16(out_buf + ((c * out_h + oy) * out_w + ox) * 2,
+                          compute(c, oy, ox));
+          }
+          done = out_w;
+          active_stats_->preserved_outputs += out_w;
+          commit_job();
+        } else {
+          if (!device_.cpu_work(out_w * cycles_per_job) ||
+              !device_.dma_write(out_w * 2)) {
+            return false;
+          }
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            nvm.write_i16(out_buf + ((c * out_h + oy) * out_w + ox) * 2,
+                          compute(c, oy, ox));
+          }
+          done = out_w;
+          active_stats_->preserved_outputs += out_w;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool IntermittentEngine::run_copy(const LoweredNode& ln) {
+  const NodeDeployment& nd = model_.node(ln.node);
+  const device::Address out_buf = nd.buffer;
+  device::Nvm& nvm = device_.nvm();
+  const bool immediate =
+      config_.mode != PreservationMode::kAccumulateInVm;
+  const bool relu = ln.kind == LoweredKind::kCopyRelu;
+  const std::size_t chunk_elems = config_.copy_chunk_bytes / 2;
+
+  std::size_t out_offset = 0;
+  for (const nn::NodeId input : ln.inputs) {
+    const NodeDeployment& in_nd = model_.node(input);
+    const std::size_t elems = model_.lowered().at(input).out_elems;
+    const double ratio = static_cast<double>(in_nd.scale) /
+                         static_cast<double>(nd.scale);
+
+    for (std::size_t begin = 0; begin < elems; begin += chunk_elems) {
+      const std::size_t count = std::min(chunk_elems, elems - begin);
+      std::size_t retries = 0;
+      bool committed = false;
+      while (!committed) {
+        if (++retries > kMaxOpRetries) {
+          retry_overflow(ln.name + " copy chunk");
+        }
+        if (immediate && pending_recovery_) {
+          if (!device_.dma_read(8)) {
+            continue;
+          }
+          pending_recovery_ = false;
+        }
+        if (!device_.dma_read(count * 2)) {
+          if (!immediate) {
+            return false;
+          }
+          pending_recovery_ = true;
+          continue;
+        }
+        const std::size_t write_bytes =
+            count * 2 + (immediate ? config_.counter_bytes : 0);
+        if (!device_.pipelined_job(0, write_bytes, count * 3)) {
+          if (!immediate) {
+            return false;
+          }
+          pending_recovery_ = true;
+          continue;
+        }
+        for (std::size_t i = 0; i < count; ++i) {
+          const std::int16_t v = nvm.read_i16(in_nd.buffer + (begin + i) * 2);
+          std::int16_t out_q;
+          if (relu) {
+            out_q = v > 0 ? v : 0;  // same scale, exact
+          } else {
+            out_q = clamp_i16(
+                std::lround(static_cast<double>(v) * ratio));
+          }
+          nvm.write_i16(out_buf + (out_offset + begin + i) * 2, out_q);
+        }
+        ++active_stats_->preserved_outputs;
+        if (immediate) {
+          commit_job();
+        }
+        committed = true;
+      }
+    }
+    out_offset += elems;
+  }
+  return true;
+}
+
+InferenceResult IntermittentEngine::run(const nn::Tensor& sample) {
+  const LoweredGraph& lowered = model_.lowered();
+  const LoweredNode& input_node = lowered.at(0);
+  if (sample.numel() != input_node.out_elems) {
+    throw std::invalid_argument("IntermittentEngine::run: sample size " +
+                                std::to_string(sample.numel()) +
+                                " != model input " +
+                                std::to_string(input_node.out_elems));
+  }
+
+  InferenceResult result;
+  active_stats_ = &result.stats;
+  const device::DeviceStats before = device_.stats();
+  device::Nvm& nvm = device_.nvm();
+  const float in_scale = model_.input_scale();
+
+  bool finished = false;
+  std::size_t attempts = 0;
+  while (!finished) {
+    if (attempts++ > max_restarts) {
+      result.stats.completed = false;
+      break;
+    }
+    job_counter_ = 0;
+    pending_recovery_ = false;
+
+    // Load + quantize the input sample into its NVM buffer, and reset the
+    // progress region. Idempotent, so a mid-write failure just retries.
+    std::size_t retries = 0;
+    bool loaded = false;
+    while (!loaded) {
+      if (++retries > kMaxOpRetries) {
+        retry_overflow("input load");
+      }
+      if (!device_.dma_write(sample.numel() * 2) || !device_.dma_write(8)) {
+        continue;
+      }
+      loaded = true;
+    }
+    const device::Address in_buf = model_.node(0).buffer;
+    for (std::size_t i = 0; i < sample.numel(); ++i) {
+      nvm.write_i16(in_buf + i * 2,
+                    clamp_i16(std::lround(sample[i] / in_scale)));
+    }
+    nvm.write_u32(model_.progress_addr(), 0);
+
+    bool interrupted = false;
+    result.per_node.clear();
+    for (nn::NodeId id = 1; id < lowered.nodes.size() && !interrupted; ++id) {
+      const LoweredNode& ln = lowered.nodes[id];
+      const double node_start_us = device_.now_us();
+      bool ok = true;
+      switch (ln.kind) {
+        case LoweredKind::kGemmConv:
+        case LoweredKind::kGemmDense:
+          ok = run_gemm(ln);
+          break;
+        case LoweredKind::kMaxPool:
+        case LoweredKind::kAvgPool:
+          ok = run_pool(ln);
+          break;
+        case LoweredKind::kCopyConcat:
+        case LoweredKind::kCopyRelu:
+          ok = run_copy(ln);
+          break;
+        case LoweredKind::kAlias:
+          break;
+      }
+      if (ln.kind != LoweredKind::kAlias) {
+        result.per_node.push_back(
+            {id, ln.name, (device_.now_us() - node_start_us) * 1e-6});
+      }
+      if (!ok) {
+        // Only kAccumulateInVm reports failure: restart from scratch.
+        interrupted = true;
+        ++result.stats.restarts;
+      }
+    }
+    finished = !interrupted;
+  }
+
+  // Read back the (dequantized) output activations.
+  if (result.stats.completed) {
+    const LoweredNode& out_node = lowered.at(lowered.output);
+    const NodeDeployment& out_nd = model_.node(lowered.output);
+    result.logits.resize(out_node.out_elems);
+    for (std::size_t i = 0; i < out_node.out_elems; ++i) {
+      result.logits[i] = static_cast<float>(
+                             nvm.read_i16(out_nd.buffer + i * 2)) *
+                         out_nd.scale;
+    }
+  }
+
+  const device::DeviceStats after = device_.stats();
+  InferenceStats& s = result.stats;
+  s.on_s = (after.on_time_us - before.on_time_us) * 1e-6;
+  s.off_s = (after.off_time_us - before.off_time_us) * 1e-6;
+  s.latency_s = s.on_s + s.off_s;
+  s.nvm_read_s =
+      (after.tag_us(device::CostTag::kNvmRead) -
+       before.tag_us(device::CostTag::kNvmRead)) * 1e-6;
+  s.nvm_write_s =
+      (after.tag_us(device::CostTag::kNvmWrite) -
+       before.tag_us(device::CostTag::kNvmWrite)) * 1e-6;
+  s.lea_s = (after.tag_us(device::CostTag::kLea) -
+             before.tag_us(device::CostTag::kLea)) * 1e-6;
+  s.cpu_s = (after.tag_us(device::CostTag::kCpu) -
+             before.tag_us(device::CostTag::kCpu)) * 1e-6;
+  s.reboot_s = (after.tag_us(device::CostTag::kReboot) -
+                before.tag_us(device::CostTag::kReboot)) * 1e-6;
+  s.energy_j = after.energy_j - before.energy_j;
+  s.power_failures = after.power_failures - before.power_failures;
+  s.nvm_bytes_read = after.nvm_bytes_read - before.nvm_bytes_read;
+  s.nvm_bytes_written = after.nvm_bytes_written - before.nvm_bytes_written;
+  active_stats_ = nullptr;
+  return result;
+}
+
+}  // namespace iprune::engine

@@ -1,0 +1,106 @@
+#pragma once
+// HAWAII+ intermittent inference engine.
+//
+// Executes a DeployedModel on the simulated device. In kImmediate mode
+// every accelerator output is written back to NVM paired with the job
+// counter (progress preservation); after a power failure the engine
+// re-reads the progress indicator, re-fetches the interrupted operation's
+// tile context, and re-executes only the interrupted job (progress
+// recovery). In kAccumulateInVm mode outputs accumulate in VM and a power
+// failure restarts the entire inference — the conventional flow that is
+// only viable under continuous power.
+
+#include "engine/deploy.hpp"
+
+namespace iprune::engine {
+
+struct InferenceStats {
+  double latency_s = 0.0;
+  double on_s = 0.0;
+  double off_s = 0.0;
+  double nvm_read_s = 0.0;
+  double nvm_write_s = 0.0;
+  double lea_s = 0.0;
+  double cpu_s = 0.0;
+  double reboot_s = 0.0;
+  double energy_j = 0.0;
+  std::size_t power_failures = 0;
+  std::size_t acc_outputs = 0;       // committed GEMM jobs
+  std::size_t preserved_outputs = 0; // all committed jobs (GEMM+pool+copy)
+  std::size_t nvm_bytes_read = 0;
+  std::size_t nvm_bytes_written = 0;
+  std::size_t macs = 0;
+  std::size_t restarts = 0;  // kAccumulateInVm only
+  /// Jobs whose computation was lost to a power failure and re-executed
+  /// (kImmediate loses at most the interrupted job; kTaskAtomic loses the
+  /// whole interrupted task).
+  std::size_t reexecuted_jobs = 0;
+  bool completed = true;
+};
+
+/// Per-node wall-clock share of one inference (on-time + off-time spent
+/// while the node was executing).
+struct NodeLatency {
+  nn::NodeId node = 0;
+  std::string name;
+  double latency_s = 0.0;
+};
+
+struct InferenceResult {
+  std::vector<float> logits;  // dequantized output activations
+  InferenceStats stats;
+  std::vector<NodeLatency> per_node;  // execution order, non-alias nodes
+};
+
+class IntermittentEngine {
+ public:
+  IntermittentEngine(DeployedModel& model, device::Msp430Device& device);
+
+  /// Run one end-to-end inference for a single sample (per-sample shape,
+  /// no batch dimension). In kAccumulateInVm mode the inference restarts
+  /// from scratch after each power failure, up to `max_restarts`; if it
+  /// still cannot finish, stats.completed is false (nontermination).
+  InferenceResult run(const nn::Tensor& sample);
+
+  std::size_t max_restarts = 64;
+
+ private:
+  // Node executors; return false only when kAccumulateInVm execution was
+  // interrupted by a power failure (kImmediate mode self-recovers).
+  bool run_gemm(const LoweredNode& ln);
+  bool run_pool(const LoweredNode& ln);
+  bool run_copy(const LoweredNode& ln);
+
+  // GEMM helpers.
+  bool run_gemm_immediate(const LoweredNode& ln);
+  bool run_gemm_task(const LoweredNode& ln);
+  bool run_gemm_accumulate(const LoweredNode& ln);
+
+  /// Quantized input activation (k = lowered GEMM row, s = spatial column)
+  /// read from the producer's NVM buffer; handles the conv im2col gather
+  /// and returns 0 for padding.
+  [[nodiscard]] std::int16_t gather_input(const LoweredNode& ln,
+                                          device::Address in_buf,
+                                          std::size_t k,
+                                          std::size_t s) const;
+
+  /// Charge the DMA reads that bring one op's input tile into VM.
+  [[nodiscard]] bool charge_input_tile_reads(const LoweredNode& ln,
+                                             std::size_t bk_actual,
+                                             std::size_t bc_actual);
+
+  /// Requantize a finished psum to the layer's int16 output.
+  [[nodiscard]] static std::int16_t requantize(std::int64_t psum,
+                                               float multiplier, bool relu);
+
+  void commit_job();  // bump + persist the job counter
+
+  DeployedModel& model_;
+  device::Msp430Device& device_;
+  const EngineConfig& config_;
+  std::uint32_t job_counter_ = 0;
+  bool pending_recovery_ = false;
+  InferenceStats* active_stats_ = nullptr;
+};
+
+}  // namespace iprune::engine

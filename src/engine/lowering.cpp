@@ -1,0 +1,167 @@
+#include "engine/lowering.hpp"
+
+#include <stdexcept>
+
+#include "nn/activation.hpp"
+#include "nn/concat.hpp"
+
+namespace iprune::engine {
+
+namespace {
+
+ConvGeometry conv_geometry(const nn::Conv2d& conv, const nn::Shape& in_shape,
+                           const nn::Shape& out_shape) {
+  ConvGeometry g;
+  g.in_c = in_shape[0];
+  g.in_h = in_shape[1];
+  g.in_w = in_shape[2];
+  g.kernel_h = conv.spec().kernel_h;
+  g.kernel_w = conv.spec().kernel_w;
+  g.stride = conv.spec().stride;
+  g.pad_h = conv.spec().pad_h;
+  g.pad_w = conv.spec().pad_w;
+  g.out_h = out_shape[1];
+  g.out_w = out_shape[2];
+  return g;
+}
+
+}  // namespace
+
+LoweredGraph lower_graph(nn::Graph& graph, const EngineConfig& config,
+                         const device::MemoryConfig& memory) {
+  LoweredGraph lowered;
+  lowered.nodes.resize(graph.node_count());
+  lowered.output = graph.output();
+
+  // Node 0: the input placeholder, an alias over the input buffer.
+  lowered.nodes[0].node = 0;
+  lowered.nodes[0].name = "input";
+  lowered.nodes[0].kind = LoweredKind::kAlias;
+  lowered.nodes[0].out_shape = graph.input_shape();
+  lowered.nodes[0].out_elems = nn::shape_numel(graph.input_shape());
+
+  for (nn::NodeId id = 1; id < graph.node_count(); ++id) {
+    LoweredNode& ln = lowered.nodes[id];
+    nn::Layer& layer = graph.layer(id);
+    ln.node = id;
+    ln.name = layer.name();
+    ln.inputs = graph.node_inputs(id);
+    ln.out_shape = graph.node_shape(id);
+    ln.out_elems = nn::shape_numel(ln.out_shape);
+    ln.layer = &layer;
+
+    switch (layer.kind()) {
+      case nn::LayerKind::kConv2d: {
+        auto& conv = static_cast<nn::Conv2d&>(layer);
+        ln.kind = LoweredKind::kGemmConv;
+        const nn::Shape& in_shape = graph.node_shape(ln.inputs[0]);
+        ln.conv = conv_geometry(conv, in_shape, ln.out_shape);
+        ln.plan = plan_gemm(conv.spec().out_channels,
+                            ln.conv.out_h * ln.conv.out_w, conv.lowered_k(),
+                            config, memory);
+        break;
+      }
+      case nn::LayerKind::kDense: {
+        auto& dense = static_cast<nn::Dense&>(layer);
+        ln.kind = LoweredKind::kGemmDense;
+        ln.plan = plan_gemm(dense.out_features(), 1, dense.in_features(),
+                            config, memory);
+        break;
+      }
+      case nn::LayerKind::kMaxPool: {
+        ln.kind = LoweredKind::kMaxPool;
+        ln.pool = static_cast<nn::MaxPool2d&>(layer).spec();
+        break;
+      }
+      case nn::LayerKind::kAvgPool: {
+        ln.kind = LoweredKind::kAvgPool;
+        ln.pool = static_cast<nn::AvgPool2d&>(layer).spec();
+        break;
+      }
+      case nn::LayerKind::kRelu: {
+        // Fold into the producing GEMM node when allowed and the producer
+        // feeds only this ReLU (otherwise the raw value is observable).
+        LoweredNode& producer = lowered.nodes[ln.inputs[0]];
+        const bool can_fold = config.fold_relu && producer.is_gemm() &&
+                              !producer.relu_folded &&
+                              graph.consumers(ln.inputs[0]).size() == 1;
+        if (can_fold) {
+          producer.relu_folded = true;
+          ln.kind = LoweredKind::kAlias;
+        } else {
+          ln.kind = LoweredKind::kCopyRelu;
+        }
+        break;
+      }
+      case nn::LayerKind::kFlatten: {
+        ln.kind = LoweredKind::kAlias;
+        break;
+      }
+      case nn::LayerKind::kConcat: {
+        ln.kind = LoweredKind::kCopyConcat;
+        break;
+      }
+      case nn::LayerKind::kInput:
+        throw std::logic_error("lower_graph: unexpected input layer");
+    }
+  }
+  return lowered;
+}
+
+CalibrationTable calibrate(nn::Graph& graph, const LoweredGraph& lowered,
+                           const nn::Tensor& calibration_batch) {
+  CalibrationTable table;
+  const std::vector<nn::Tensor> activations =
+      graph.forward_nodes(calibration_batch, /*training=*/false);
+  table.node_scale.resize(activations.size(), 1.0f);
+  for (nn::NodeId id = 0; id < activations.size(); ++id) {
+    const float abs_max = activations[id].abs_max();
+    table.node_scale[id] = abs_max > 0.0f ? abs_max / 32767.0f : 1.0f;
+  }
+  // Scale-preserving nodes take their input's scale so the engine's
+  // max/copy arithmetic is exact (max-pool of quantized == quantized max).
+  for (nn::NodeId id = 1; id < lowered.nodes.size(); ++id) {
+    const LoweredNode& ln = lowered.nodes[id];
+    switch (ln.kind) {
+      case LoweredKind::kMaxPool:
+      case LoweredKind::kAvgPool:
+      case LoweredKind::kAlias:
+      case LoweredKind::kCopyRelu:
+        table.node_scale[id] = table.node_scale[ln.inputs[0]];
+        break;
+      default:
+        break;
+    }
+  }
+  return table;
+}
+
+std::vector<PrunableLayer> prunable_layers(
+    nn::Graph& graph, const EngineConfig& config,
+    const device::MemoryConfig& memory) {
+  const LoweredGraph lowered = lower_graph(graph, config, memory);
+  std::vector<PrunableLayer> result;
+  for (const LoweredNode& ln : lowered.nodes) {
+    if (!ln.is_gemm()) {
+      continue;
+    }
+    PrunableLayer p;
+    p.node = ln.node;
+    p.name = ln.name;
+    p.is_conv = ln.kind == LoweredKind::kGemmConv;
+    p.plan = ln.plan;
+    if (p.is_conv) {
+      auto& conv = static_cast<nn::Conv2d&>(*ln.layer);
+      p.weight = &conv.weight();
+      p.mask = &conv.weight_mask();
+    } else {
+      auto& dense = static_cast<nn::Dense&>(*ln.layer);
+      p.weight = &dense.weight();
+      p.mask = &dense.weight_mask();
+    }
+    result.push_back(p);
+  }
+  return result;
+}
+
+}  // namespace iprune::engine

@@ -1,0 +1,111 @@
+#pragma once
+// Lowering a training-side Graph into the engine's execution plan, plus
+// quantization calibration and the layer summaries shared by the iPrune
+// criterion (src/core), the deployment step, and the Table II bench.
+
+#include <string>
+#include <vector>
+
+#include "engine/tile_plan.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/graph.hpp"
+#include "nn/pool.hpp"
+
+namespace iprune::engine {
+
+enum class LoweredKind {
+  kGemmConv,   // CONV lowered to tiled GEMM [2]
+  kGemmDense,  // FC lowered to tiled vector-matrix product
+  kMaxPool,
+  kAvgPool,
+  kCopyConcat,  // concatenation materialized by requantizing DMA copies
+  kCopyRelu,    // standalone (unfolded) ReLU as a transform copy
+  kAlias,       // flatten / folded ReLU: buffer reinterpretation, no jobs
+};
+
+struct ConvGeometry {
+  std::size_t in_c = 0, in_h = 0, in_w = 0;
+  std::size_t kernel_h = 0, kernel_w = 0;
+  std::size_t stride = 1, pad_h = 0, pad_w = 0;
+  std::size_t out_h = 0, out_w = 0;
+};
+
+struct LoweredNode {
+  nn::NodeId node = 0;
+  std::string name;
+  LoweredKind kind = LoweredKind::kAlias;
+  std::vector<nn::NodeId> inputs;  // graph node ids of the consumed buffers
+  nn::Shape out_shape;             // per-sample
+  std::size_t out_elems = 0;
+
+  // GEMM kinds only.
+  TilePlan plan;
+  bool relu_folded = false;
+  ConvGeometry conv;               // valid for kGemmConv
+  nn::Layer* layer = nullptr;      // source layer (weights / mask access)
+
+  // Pool kinds only.
+  nn::PoolSpec pool;
+
+  [[nodiscard]] bool is_gemm() const {
+    return kind == LoweredKind::kGemmConv || kind == LoweredKind::kGemmDense;
+  }
+};
+
+struct LoweredGraph {
+  std::vector<LoweredNode> nodes;  // one per graph node (index = node id)
+  nn::NodeId output = 0;
+
+  [[nodiscard]] const LoweredNode& at(nn::NodeId id) const {
+    return nodes[id];
+  }
+};
+
+/// Analyze the graph and produce the execution plan. Throws when a layer
+/// cannot be tiled into the configured VM.
+LoweredGraph lower_graph(nn::Graph& graph, const EngineConfig& config,
+                         const device::MemoryConfig& memory);
+
+/// Per-node activation quantization scales, derived from a float forward
+/// pass over a calibration batch. Pools, aliases and copies inherit their
+/// input's scale; GEMM outputs and concats get calibrated scales.
+struct CalibrationTable {
+  std::vector<float> node_scale;  // index = node id
+  [[nodiscard]] float scale(nn::NodeId id) const { return node_scale[id]; }
+};
+
+CalibrationTable calibrate(nn::Graph& graph, const LoweredGraph& lowered,
+                           const nn::Tensor& calibration_batch);
+
+/// One prunable (CONV/FC) layer's identity and tile plan, for the pruning
+/// framework. `weight`/`mask` point into the live Graph.
+struct PrunableLayer {
+  nn::NodeId node = 0;
+  std::string name;
+  bool is_conv = false;
+  nn::Tensor* weight = nullptr;
+  nn::Tensor* mask = nullptr;
+  TilePlan plan;
+
+  [[nodiscard]] BlockMask block_mask() const {
+    return BlockMask::from_dense(*mask, plan);
+  }
+  [[nodiscard]] std::size_t acc_outputs() const {
+    return count_accelerator_outputs(plan, block_mask());
+  }
+  [[nodiscard]] std::size_t macs() const {
+    return count_macs(plan, block_mask());
+  }
+  /// Weights surviving the mask.
+  [[nodiscard]] std::size_t alive_weights() const {
+    return mask->count_nonzero();
+  }
+  [[nodiscard]] std::size_t total_weights() const { return mask->numel(); }
+};
+
+std::vector<PrunableLayer> prunable_layers(nn::Graph& graph,
+                                           const EngineConfig& config,
+                                           const device::MemoryConfig& memory);
+
+}  // namespace iprune::engine

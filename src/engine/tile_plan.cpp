@@ -1,0 +1,146 @@
+#include "engine/tile_plan.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace iprune::engine {
+
+std::size_t TilePlan::vm_bytes_needed(PreservationMode mode) const {
+  const std::size_t weight_block = 2 * br * bk;
+  const std::size_t input_tile = 2 * bk * bc;
+  // Immediate mode stages one op's psum tile; VM-accumulation mode holds
+  // the psum tile across all k-passes of an output tile (same footprint,
+  // different lifetime).
+  const std::size_t psum_tile = 4 * br * bc;
+  (void)mode;
+  return weight_block + input_tile + psum_tile;
+}
+
+TilePlan plan_gemm(std::size_t rows, std::size_t cols, std::size_t k,
+                   const EngineConfig& engine,
+                   const device::MemoryConfig& memory) {
+  if (rows == 0 || cols == 0 || k == 0) {
+    throw std::invalid_argument("plan_gemm: degenerate layer dimensions");
+  }
+  TilePlan plan;
+  plan.rows = rows;
+  plan.cols = cols;
+  plan.k = k;
+  plan.bk = std::min(k, engine.max_k_per_op);
+  plan.br = std::min(rows, engine.block_rows);
+
+  const std::size_t budget = memory.vm_bytes - engine.vm_reserve_bytes;
+  std::size_t bc = std::min(cols, engine.max_cols_per_tile);
+  while (bc > 1) {
+    plan.bc = bc;
+    if (plan.vm_bytes_needed(engine.mode) <= budget) {
+      return plan;
+    }
+    bc /= 2;
+  }
+  plan.bc = 1;
+  if (plan.vm_bytes_needed(engine.mode) > budget) {
+    throw std::runtime_error(
+        "plan_gemm: minimal tile does not fit VM; shrink block_rows or "
+        "max_k_per_op");
+  }
+  return plan;
+}
+
+BlockMask::BlockMask(std::size_t row_tiles, std::size_t k_tiles, bool alive)
+    : row_tiles_(row_tiles),
+      k_tiles_(k_tiles),
+      alive_(row_tiles * k_tiles, alive ? 1 : 0) {}
+
+BlockMask BlockMask::from_dense(const nn::Tensor& mask, const TilePlan& plan) {
+  assert(mask.rank() == 2 && mask.dim(0) == plan.rows &&
+         mask.dim(1) == plan.k);
+  BlockMask result(plan.row_tiles(), plan.k_tiles(), false);
+  for (std::size_t rt = 0; rt < plan.row_tiles(); ++rt) {
+    for (std::size_t kt = 0; kt < plan.k_tiles(); ++kt) {
+      bool any_alive = false;
+      const std::size_t r0 = rt * plan.br;
+      const std::size_t k0 = kt * plan.bk;
+      for (std::size_t r = r0; r < r0 + plan.rows_in_tile(rt) && !any_alive;
+           ++r) {
+        for (std::size_t kk = k0; kk < k0 + plan.k_in_tile(kt); ++kk) {
+          if (mask.at(r, kk) != 0.0f) {
+            any_alive = true;
+            break;
+          }
+        }
+      }
+      result.set(rt, kt, any_alive);
+    }
+  }
+  return result;
+}
+
+std::size_t BlockMask::alive_count() const {
+  std::size_t count = 0;
+  for (const std::uint8_t v : alive_) {
+    count += v;
+  }
+  return count;
+}
+
+std::size_t BlockMask::alive_in_row(std::size_t rt) const {
+  std::size_t count = 0;
+  for (std::size_t kt = 0; kt < k_tiles_; ++kt) {
+    count += alive(rt, kt) ? 1 : 0;
+  }
+  return count;
+}
+
+std::size_t count_accelerator_outputs(const TilePlan& plan,
+                                      const BlockMask& mask) {
+  assert(mask.row_tiles() == plan.row_tiles() &&
+         mask.k_tiles() == plan.k_tiles());
+  std::size_t outputs = 0;
+  for (std::size_t rt = 0; rt < plan.row_tiles(); ++rt) {
+    const std::size_t alive = mask.alive_in_row(rt);
+    const std::size_t rows = plan.rows_in_tile(rt);
+    if (alive == 0) {
+      // Bias-fill pass: each output still written (and preserved) once.
+      outputs += rows * plan.cols;
+    } else {
+      outputs += alive * rows * plan.cols;
+    }
+  }
+  return outputs;
+}
+
+std::size_t count_nvm_write_bytes(const TilePlan& plan,
+                                  const BlockMask& mask,
+                                  std::size_t psum_bytes,
+                                  std::size_t counter_bytes) {
+  std::size_t bytes = 0;
+  for (std::size_t rt = 0; rt < plan.row_tiles(); ++rt) {
+    const std::size_t alive = mask.alive_in_row(rt);
+    const std::size_t rows = plan.rows_in_tile(rt);
+    if (alive == 0) {
+      bytes += rows * plan.cols * (2 + counter_bytes);  // bias fill
+    } else {
+      // alive-1 partial passes write psums; the last pass writes int16.
+      bytes += rows * plan.cols *
+               ((alive - 1) * (psum_bytes + counter_bytes) +
+                (2 + counter_bytes));
+    }
+  }
+  return bytes;
+}
+
+std::size_t count_macs(const TilePlan& plan, const BlockMask& mask) {
+  std::size_t macs = 0;
+  for (std::size_t rt = 0; rt < plan.row_tiles(); ++rt) {
+    for (std::size_t kt = 0; kt < plan.k_tiles(); ++kt) {
+      if (mask.alive(rt, kt)) {
+        macs += plan.block_weights(rt, kt) * plan.cols;
+      }
+    }
+  }
+  return macs;
+}
+
+}  // namespace iprune::engine

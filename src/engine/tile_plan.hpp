@@ -1,0 +1,116 @@
+#pragma once
+// Tile geometry for one lowered GEMM layer, plus the block-mask view of a
+// layer's pruning state. This is the single source of truth for the
+// accelerator-output arithmetic: the iPrune criterion (src/core) and the
+// executing engine both use it, and a test pins them to each other.
+
+#include <cstdint>
+#include <vector>
+
+#include "device/config.hpp"
+#include "engine/config.hpp"
+#include "nn/tensor.hpp"
+
+namespace iprune::engine {
+
+struct TilePlan {
+  std::size_t rows = 0;  // R: output features
+  std::size_t cols = 0;  // S: spatial positions (1 for FC)
+  std::size_t k = 0;     // reduction depth
+
+  std::size_t br = 0;  // block rows per accelerator op
+  std::size_t bk = 0;  // reduction depth per accelerator op
+  std::size_t bc = 0;  // spatial positions per tile
+
+  [[nodiscard]] std::size_t row_tiles() const { return ceil_div(rows, br); }
+  [[nodiscard]] std::size_t k_tiles() const { return ceil_div(k, bk); }
+  [[nodiscard]] std::size_t col_tiles() const { return ceil_div(cols, bc); }
+
+  [[nodiscard]] std::size_t rows_in_tile(std::size_t rt) const {
+    return extent(rows, br, rt);
+  }
+  [[nodiscard]] std::size_t k_in_tile(std::size_t kt) const {
+    return extent(k, bk, kt);
+  }
+  [[nodiscard]] std::size_t cols_in_tile(std::size_t ct) const {
+    return extent(cols, bc, ct);
+  }
+
+  /// Weight elements in one block (zero-padded blocks at the edges store
+  /// their true extent only).
+  [[nodiscard]] std::size_t block_weights(std::size_t rt,
+                                          std::size_t kt) const {
+    return rows_in_tile(rt) * k_in_tile(kt);
+  }
+
+  /// VM footprint of the working set (weight block + input tile + psum
+  /// tile) for the given preservation mode.
+  [[nodiscard]] std::size_t vm_bytes_needed(PreservationMode mode) const;
+
+  static std::size_t ceil_div(std::size_t a, std::size_t b) {
+    return (a + b - 1) / b;
+  }
+  static std::size_t extent(std::size_t total, std::size_t tile,
+                            std::size_t index) {
+    const std::size_t begin = index * tile;
+    return std::min(tile, total - begin);
+  }
+};
+
+/// Select Bk/Br/Bc for a layer so the working set fits VM (HAWAII+'s
+/// "tile size selection to fully utilize the VM"). Throws when even the
+/// minimal tile cannot fit.
+TilePlan plan_gemm(std::size_t rows, std::size_t cols, std::size_t k,
+                   const EngineConfig& engine,
+                   const device::MemoryConfig& memory);
+
+/// Per-layer pruning state at accelerator-op granularity: one flag per
+/// (row-tile, k-tile) weight block.
+class BlockMask {
+ public:
+  BlockMask(std::size_t row_tiles, std::size_t k_tiles, bool alive = true);
+
+  /// Derive from an elementwise 0/1 mask of shape [rows, k]: a block is
+  /// alive iff any of its weights survives.
+  static BlockMask from_dense(const nn::Tensor& mask, const TilePlan& plan);
+
+  [[nodiscard]] std::size_t row_tiles() const { return row_tiles_; }
+  [[nodiscard]] std::size_t k_tiles() const { return k_tiles_; }
+
+  [[nodiscard]] bool alive(std::size_t rt, std::size_t kt) const {
+    return alive_[rt * k_tiles_ + kt] != 0;
+  }
+  void set(std::size_t rt, std::size_t kt, bool value) {
+    alive_[rt * k_tiles_ + kt] = value ? 1 : 0;
+  }
+
+  [[nodiscard]] std::size_t alive_count() const;
+  [[nodiscard]] std::size_t alive_in_row(std::size_t rt) const;
+
+ private:
+  std::size_t row_tiles_;
+  std::size_t k_tiles_;
+  std::vector<std::uint8_t> alive_;
+};
+
+/// Accelerator outputs of a layer under the given block mask: one output
+/// per (alive block row, spatial position, k-pass), plus bias-fill outputs
+/// for rows whose blocks are all dead (they still need their OFM written).
+std::size_t count_accelerator_outputs(const TilePlan& plan,
+                                      const BlockMask& mask);
+
+/// MACs actually executed under the mask.
+std::size_t count_macs(const TilePlan& plan, const BlockMask& mask);
+
+/// NVM bytes written per inference by this layer under kImmediate
+/// preservation: psum_bytes per partial-pass output, 2 bytes per
+/// final-pass output, counter_bytes per preserved output. Closely related
+/// to (but not proportional to) the accelerator-output count, because the
+/// final pass writes fewer bytes — the distinction the criterion ablation
+/// probes.
+std::size_t count_nvm_write_bytes(const TilePlan& plan,
+                                  const BlockMask& mask,
+                                  std::size_t psum_bytes,
+                                  std::size_t counter_bytes);
+
+}  // namespace iprune::engine

@@ -1,0 +1,75 @@
+#include "nn/activation.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace iprune::nn {
+
+Shape Relu::output_shape(std::span<const Shape> input_shapes) const {
+  if (input_shapes.size() != 1) {
+    throw std::invalid_argument(name() + ": expects one input");
+  }
+  return input_shapes[0];
+}
+
+Tensor Relu::forward(std::span<const Tensor* const> inputs, bool training) {
+  assert(inputs.size() == 1);
+  const Tensor& input = *inputs[0];
+  Tensor output(input.shape());
+  if (training) {
+    active_.assign(input.numel(), false);
+  }
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    const bool pass = input[i] > 0.0f;
+    output[i] = pass ? input[i] : 0.0f;
+    if (training) {
+      active_[i] = pass;
+    }
+  }
+  if (training) {
+    cached_shape_ = input.shape();
+  }
+  return output;
+}
+
+std::vector<Tensor> Relu::backward(const Tensor& grad_output) {
+  assert(grad_output.numel() == active_.size());
+  Tensor grad_input(cached_shape_);
+  for (std::size_t i = 0; i < grad_output.numel(); ++i) {
+    grad_input[i] = active_[i] ? grad_output[i] : 0.0f;
+  }
+  std::vector<Tensor> grads;
+  grads.push_back(std::move(grad_input));
+  return grads;
+}
+
+Shape Flatten::output_shape(std::span<const Shape> input_shapes) const {
+  if (input_shapes.size() != 1) {
+    throw std::invalid_argument(name() + ": expects one input");
+  }
+  return {shape_numel(input_shapes[0])};
+}
+
+Tensor Flatten::forward(std::span<const Tensor* const> inputs,
+                        bool training) {
+  assert(inputs.size() == 1);
+  const Tensor& input = *inputs[0];
+  assert(input.rank() >= 2);
+  if (training) {
+    cached_shape_ = input.shape();
+  }
+  Tensor output = input;
+  const std::size_t batch = input.dim(0);
+  output.reshape({batch, input.numel() / batch});
+  return output;
+}
+
+std::vector<Tensor> Flatten::backward(const Tensor& grad_output) {
+  Tensor grad_input = grad_output;
+  grad_input.reshape(cached_shape_);
+  std::vector<Tensor> grads;
+  grads.push_back(std::move(grad_input));
+  return grads;
+}
+
+}  // namespace iprune::nn

@@ -1,0 +1,41 @@
+#pragma once
+// Elementwise activations. Only ReLU is needed by the paper's models; the
+// engine folds a ReLU following a CONV/FC into that layer's jobs (applied in
+// VM before the output is preserved, matching HAWAII+).
+
+#include "nn/layer.hpp"
+
+namespace iprune::nn {
+
+class Relu final : public Layer {
+ public:
+  explicit Relu(std::string name) : Layer(std::move(name)) {}
+
+  [[nodiscard]] LayerKind kind() const override { return LayerKind::kRelu; }
+  Tensor forward(std::span<const Tensor* const> inputs,
+                 bool training) override;
+  std::vector<Tensor> backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(
+      std::span<const Shape> input_shapes) const override;
+
+ private:
+  std::vector<bool> active_;  // per-element pass-through mask from forward
+  Shape cached_shape_;
+};
+
+class Flatten final : public Layer {
+ public:
+  explicit Flatten(std::string name) : Layer(std::move(name)) {}
+
+  [[nodiscard]] LayerKind kind() const override { return LayerKind::kFlatten; }
+  Tensor forward(std::span<const Tensor* const> inputs,
+                 bool training) override;
+  std::vector<Tensor> backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(
+      std::span<const Shape> input_shapes) const override;
+
+ private:
+  Shape cached_shape_;
+};
+
+}  // namespace iprune::nn

@@ -1,0 +1,26 @@
+#pragma once
+// Channel-axis concatenation for multi-path networks (SqueezeNet-style fire
+// modules). HAWAII+'s "support for multiple path networks" maps onto this
+// node: the engine materializes each branch's OFM in NVM and the consumer
+// reads the concatenated region.
+
+#include "nn/layer.hpp"
+
+namespace iprune::nn {
+
+class Concat final : public Layer {
+ public:
+  explicit Concat(std::string name) : Layer(std::move(name)) {}
+
+  [[nodiscard]] LayerKind kind() const override { return LayerKind::kConcat; }
+  Tensor forward(std::span<const Tensor* const> inputs,
+                 bool training) override;
+  std::vector<Tensor> backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(
+      std::span<const Shape> input_shapes) const override;
+
+ private:
+  std::vector<Shape> cached_input_shapes_;
+};
+
+}  // namespace iprune::nn

@@ -1,0 +1,59 @@
+#include "nn/gemm.hpp"
+
+namespace iprune::nn {
+
+void gemm_accumulate(const float* a, const float* b, float* c, std::size_t m,
+                     std::size_t k, std::size_t n) {
+  // i-k-j order: the inner loop streams both B's row and C's row, which
+  // autovectorizes and keeps one A element in a register.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* c_row = c + i * n;
+    const float* a_row = a + i * k;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float a_ik = a_row[kk];
+      if (a_ik == 0.0f) {
+        continue;  // sparse weights after pruning make this branch pay off
+      }
+      const float* b_row = b + kk * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        c_row[j] += a_ik * b_row[j];
+      }
+    }
+  }
+}
+
+void gemm_at_b(const float* a, const float* b, float* c, std::size_t m,
+               std::size_t k, std::size_t n) {
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* a_row = a + kk * m;
+    const float* b_row = b + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float a_ki = a_row[i];
+      if (a_ki == 0.0f) {
+        continue;
+      }
+      float* c_row = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        c_row[j] += a_ki * b_row[j];
+      }
+    }
+  }
+}
+
+void gemm_a_bt(const float* a, const float* b, float* c, std::size_t m,
+               std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* a_row = a + i * k;
+    float* c_row = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* b_row = b + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += a_row[kk] * b_row[kk];
+      }
+      c_row[j] += acc;
+    }
+  }
+}
+
+}  // namespace iprune::nn

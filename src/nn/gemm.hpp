@@ -1,0 +1,23 @@
+#pragma once
+// Small dense matrix-multiply kernels used by the training-side conv/dense
+// layers. Not a BLAS; just cache-friendly loop orders that autovectorize
+// well enough for the CI-scale training runs this project performs.
+
+#include <cstddef>
+
+namespace iprune::nn {
+
+/// C[m x n] += A[m x k] * B[k x n]   (all row-major, C must be pre-zeroed
+/// by the caller when accumulation is not wanted).
+void gemm_accumulate(const float* a, const float* b, float* c, std::size_t m,
+                     std::size_t k, std::size_t n);
+
+/// C[m x n] += A^T[k x m] * B[k x n]  (A stored row-major as [k x m]).
+void gemm_at_b(const float* a, const float* b, float* c, std::size_t m,
+               std::size_t k, std::size_t n);
+
+/// C[m x n] += A[m x k] * B^T[n x k]  (B stored row-major as [n x k]).
+void gemm_a_bt(const float* a, const float* b, float* c, std::size_t m,
+               std::size_t k, std::size_t n);
+
+}  // namespace iprune::nn

@@ -1,0 +1,23 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace iprune::nn {
+
+void kaiming_uniform(Tensor& weights, std::size_t fan_in, util::Rng& rng) {
+  const double bound = std::sqrt(6.0 / static_cast<double>(fan_in));
+  for (std::size_t i = 0; i < weights.numel(); ++i) {
+    weights[i] = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+void xavier_uniform(Tensor& weights, std::size_t fan_in, std::size_t fan_out,
+                    util::Rng& rng) {
+  const double bound =
+      std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (std::size_t i = 0; i < weights.numel(); ++i) {
+    weights[i] = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+}  // namespace iprune::nn

@@ -1,0 +1,17 @@
+#pragma once
+// Weight initialization. Deterministic given the Rng.
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace iprune::nn {
+
+/// Kaiming/He uniform init: U(-b, b) with b = sqrt(6 / fan_in). Suits the
+/// ReLU networks used throughout this project.
+void kaiming_uniform(Tensor& weights, std::size_t fan_in, util::Rng& rng);
+
+/// Xavier/Glorot uniform init: U(-b, b) with b = sqrt(6 / (fan_in+fan_out)).
+void xavier_uniform(Tensor& weights, std::size_t fan_in, std::size_t fan_out,
+                    util::Rng& rng);
+
+}  // namespace iprune::nn

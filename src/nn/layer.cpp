@@ -1,0 +1,35 @@
+#include "nn/layer.hpp"
+
+namespace iprune::nn {
+
+const char* layer_kind_name(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kInput:
+      return "INPUT";
+    case LayerKind::kConv2d:
+      return "CONV";
+    case LayerKind::kDense:
+      return "FC";
+    case LayerKind::kMaxPool:
+      return "POOL(max)";
+    case LayerKind::kAvgPool:
+      return "POOL(avg)";
+    case LayerKind::kRelu:
+      return "RELU";
+    case LayerKind::kFlatten:
+      return "FLATTEN";
+    case LayerKind::kConcat:
+      return "CONCAT";
+  }
+  return "?";
+}
+
+void Layer::zero_grads() {
+  for (const ParamRef& p : params()) {
+    if (p.grad != nullptr) {
+      p.grad->zero();
+    }
+  }
+}
+
+}  // namespace iprune::nn

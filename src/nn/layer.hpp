@@ -1,0 +1,76 @@
+#pragma once
+// Layer abstraction for the server-side training graph.
+//
+// Layers are trained in float32 on the "server" (this process), then
+// quantized and lowered to device jobs by src/engine/. Each layer caches
+// what it needs in forward() to run backward(); graphs are executed
+// single-threaded and deterministically.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace iprune::nn {
+
+enum class LayerKind {
+  kInput,
+  kConv2d,
+  kDense,
+  kMaxPool,
+  kAvgPool,
+  kRelu,
+  kFlatten,
+  kConcat,
+};
+
+/// Human-readable tag ("CONV", "FC", ...) matching the paper's notation.
+const char* layer_kind_name(LayerKind kind);
+
+/// Reference to one trainable parameter plus its gradient and (optionally)
+/// its pruning mask. The optimizer keeps pruned weights at exactly zero by
+/// multiplying both the gradient and the updated value by the mask.
+struct ParamRef {
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+  Tensor* mask = nullptr;  // nullptr when the parameter is not prunable
+};
+
+class Layer {
+ public:
+  explicit Layer(std::string name) : name_(std::move(name)) {}
+  virtual ~Layer() = default;
+
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] virtual LayerKind kind() const = 0;
+
+  /// Compute the output for a batch. `inputs` are the producing nodes'
+  /// outputs in graph order; all our layers produce exactly one output.
+  virtual Tensor forward(std::span<const Tensor* const> inputs,
+                         bool training) = 0;
+
+  /// Propagate `grad_output` (same shape as the last forward() result):
+  /// accumulates parameter gradients and returns one gradient tensor per
+  /// input, in the same order as forward()'s `inputs`.
+  virtual std::vector<Tensor> backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<ParamRef> params() { return {}; }
+
+  /// Output shape for one sample given per-sample input shapes (no batch
+  /// dimension). Used for model construction checks and engine lowering.
+  [[nodiscard]] virtual Shape output_shape(
+      std::span<const Shape> input_shapes) const = 0;
+
+  void zero_grads();
+
+ private:
+  std::string name_;
+};
+
+}  // namespace iprune::nn

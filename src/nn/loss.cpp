@@ -1,0 +1,74 @@
+#include "nn/loss.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace iprune::nn {
+
+Tensor softmax(const Tensor& logits) {
+  assert(logits.rank() == 2);
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  Tensor probs(logits.shape());
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* row = logits.data() + n * classes;
+    float* out = probs.data() + n * classes;
+    float max_logit = row[0];
+    for (std::size_t c = 1; c < classes; ++c) {
+      max_logit = std::max(max_logit, row[c]);
+    }
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      out[c] = std::exp(row[c] - max_logit);
+      denom += out[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::size_t c = 0; c < classes; ++c) {
+      out[c] *= inv;
+    }
+  }
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int> labels) {
+  if (logits.rank() != 2 || logits.dim(0) != labels.size()) {
+    throw std::invalid_argument("softmax_cross_entropy: shape mismatch");
+  }
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+
+  LossResult result;
+  result.grad = softmax(logits);
+  double total_loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const int label = labels[n];
+    assert(label >= 0 && static_cast<std::size_t>(label) < classes);
+    float* grad_row = result.grad.data() + n * classes;
+
+    // argmax for accuracy
+    std::size_t best = 0;
+    const float* logit_row = logits.data() + n * classes;
+    for (std::size_t c = 1; c < classes; ++c) {
+      if (logit_row[c] > logit_row[best]) {
+        best = c;
+      }
+    }
+    if (best == static_cast<std::size_t>(label)) {
+      ++result.correct;
+    }
+
+    const float p_label = grad_row[static_cast<std::size_t>(label)];
+    total_loss += -std::log(std::max(p_label, 1e-12f));
+    grad_row[static_cast<std::size_t>(label)] -= 1.0f;
+    for (std::size_t c = 0; c < classes; ++c) {
+      grad_row[c] *= inv_batch;
+    }
+  }
+  result.loss = total_loss / static_cast<double>(batch);
+  return result;
+}
+
+}  // namespace iprune::nn

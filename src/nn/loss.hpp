@@ -1,0 +1,24 @@
+#pragma once
+// Softmax cross-entropy, fused for numerical stability.
+
+#include <span>
+
+#include "nn/tensor.hpp"
+
+namespace iprune::nn {
+
+struct LossResult {
+  double loss = 0.0;           // mean over the batch
+  Tensor grad;                 // d(loss)/d(logits), [N, classes]
+  std::size_t correct = 0;     // argmax(logits) == label count
+};
+
+/// logits: [N, classes]; labels: N class indices. The returned gradient is
+/// already divided by N (suits plain SGD accumulation).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int> labels);
+
+/// Softmax probabilities per row (for inspection / calibration).
+Tensor softmax(const Tensor& logits);
+
+}  // namespace iprune::nn

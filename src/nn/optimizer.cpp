@@ -1,0 +1,88 @@
+#include "nn/optimizer.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace iprune::nn {
+
+namespace {
+void ensure_state(std::vector<Tensor>& state, std::span<ParamRef> params) {
+  if (state.empty()) {
+    state.reserve(params.size());
+    for (const ParamRef& p : params) {
+      state.emplace_back(p.value->shape());
+    }
+  }
+  if (state.size() != params.size()) {
+    throw std::logic_error("optimizer: parameter set changed between steps");
+  }
+}
+}  // namespace
+
+void Sgd::step(std::span<ParamRef> params) {
+  ensure_state(velocity_, params);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const ParamRef& p = params[i];
+    Tensor& vel = velocity_[i];
+    float* value = p.value->data();
+    float* grad = p.grad->data();
+    const float* mask = p.mask != nullptr ? p.mask->data() : nullptr;
+    for (std::size_t j = 0; j < p.value->numel(); ++j) {
+      float g = grad[j] + config_.weight_decay * value[j];
+      if (mask != nullptr) {
+        g *= mask[j];
+      }
+      vel[j] = config_.momentum * vel[j] - config_.learning_rate * g;
+      value[j] += vel[j];
+      if (mask != nullptr) {
+        value[j] *= mask[j];
+      }
+    }
+  }
+}
+
+void Sgd::reset_state() {
+  velocity_.clear();
+}
+
+void Adam::step(std::span<ParamRef> params) {
+  ensure_state(m_, params);
+  ensure_state(v_, params);
+  ++t_;
+  const float bias1 =
+      1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bias2 =
+      1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const ParamRef& p = params[i];
+    float* value = p.value->data();
+    float* grad = p.grad->data();
+    const float* mask = p.mask != nullptr ? p.mask->data() : nullptr;
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::size_t j = 0; j < p.value->numel(); ++j) {
+      float g = grad[j] + config_.weight_decay * value[j];
+      if (mask != nullptr) {
+        g *= mask[j];
+      }
+      m[j] = config_.beta1 * m[j] + (1.0f - config_.beta1) * g;
+      v[j] = config_.beta2 * v[j] + (1.0f - config_.beta2) * g * g;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      value[j] -= config_.learning_rate * m_hat /
+                  (std::sqrt(v_hat) + config_.epsilon);
+      if (mask != nullptr) {
+        value[j] *= mask[j];
+      }
+    }
+  }
+}
+
+void Adam::reset_state() {
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+}
+
+}  // namespace iprune::nn

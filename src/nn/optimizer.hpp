@@ -1,0 +1,65 @@
+#pragma once
+// Gradient-descent optimizers. Both honor pruning masks: masked gradients
+// are zeroed and updated values re-masked, so pruned weights stay exactly
+// zero through fine-tuning (required by the iterative prune-retrain loop).
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace iprune::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Apply one update step to the given parameters using their accumulated
+  /// gradients, then honor masks. Does not zero the gradients.
+  virtual void step(std::span<ParamRef> params) = 0;
+  virtual void reset_state() = 0;
+};
+
+struct SgdConfig {
+  float learning_rate = 0.05f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(SgdConfig config) : config_(config) {}
+
+  void step(std::span<ParamRef> params) override;
+  void reset_state() override;
+
+  [[nodiscard]] SgdConfig& config() { return config_; }
+
+ private:
+  SgdConfig config_;
+  std::vector<Tensor> velocity_;  // lazily sized on first step
+};
+
+struct AdamConfig {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(AdamConfig config) : config_(config) {}
+
+  void step(std::span<ParamRef> params) override;
+  void reset_state() override;
+
+  [[nodiscard]] AdamConfig& config() { return config_; }
+
+ private:
+  AdamConfig config_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace iprune::nn

@@ -1,0 +1,43 @@
+#include "nn/quantize.hpp"
+
+#include <cmath>
+
+namespace iprune::nn {
+
+QTensor quantize_q15(const Tensor& tensor) {
+  QTensor q;
+  q.shape = tensor.shape();
+  q.data.resize(tensor.numel());
+  const float abs_max = tensor.abs_max();
+  if (abs_max == 0.0f) {
+    q.scale = 1.0f;
+    return q;
+  }
+  q.scale = abs_max / 32767.0f;
+  const float inv_scale = 1.0f / q.scale;
+  for (std::size_t i = 0; i < tensor.numel(); ++i) {
+    const float scaled = tensor[i] * inv_scale;
+    const float clamped = std::fmin(32767.0f, std::fmax(-32768.0f, scaled));
+    q.data[i] = static_cast<std::int16_t>(std::lrintf(clamped));
+  }
+  return q;
+}
+
+Tensor dequantize(const QTensor& q) {
+  Tensor out(q.shape);
+  for (std::size_t i = 0; i < q.data.size(); ++i) {
+    out[i] = static_cast<float>(q.data[i]) * q.scale;
+  }
+  return out;
+}
+
+float quantization_error(const Tensor& tensor) {
+  const Tensor round_trip = dequantize(quantize_q15(tensor));
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < tensor.numel(); ++i) {
+    worst = std::fmax(worst, std::fabs(tensor[i] - round_trip[i]));
+  }
+  return worst;
+}
+
+}  // namespace iprune::nn

@@ -1,0 +1,102 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+namespace iprune::nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x49505231;  // "IPR1"
+
+bool write_tensor(std::ofstream& out, const Tensor& t) {
+  const auto rank = static_cast<std::uint32_t>(t.rank());
+  out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  for (std::size_t d = 0; d < t.rank(); ++d) {
+    const auto dim = static_cast<std::uint64_t>(t.dim(d));
+    out.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  }
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  return static_cast<bool>(out);
+}
+
+bool read_tensor(std::ifstream& in, Tensor& t) {
+  std::uint32_t rank = 0;
+  in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+  if (!in || rank != t.rank()) {
+    return false;
+  }
+  for (std::size_t d = 0; d < t.rank(); ++d) {
+    std::uint64_t dim = 0;
+    in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+    if (!in || dim != t.dim(d)) {
+      return false;
+    }
+  }
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool save_parameters(Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  const auto params = graph.params();
+  const auto count = static_cast<std::uint32_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const ParamRef& p : params) {
+    if (!write_tensor(out, *p.value)) {
+      return false;
+    }
+    const std::uint8_t has_mask = p.mask != nullptr ? 1 : 0;
+    out.write(reinterpret_cast<const char*>(&has_mask), sizeof(has_mask));
+    if (has_mask != 0 && !write_tensor(out, *p.mask)) {
+      return false;
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+bool load_parameters(Graph& graph, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in || magic != kMagic) {
+    return false;
+  }
+  auto params = graph.params();
+  std::uint32_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || count != params.size()) {
+    return false;
+  }
+  for (const ParamRef& p : params) {
+    if (!read_tensor(in, *p.value)) {
+      return false;
+    }
+    std::uint8_t has_mask = 0;
+    in.read(reinterpret_cast<char*>(&has_mask), sizeof(has_mask));
+    if (!in) {
+      return false;
+    }
+    const bool expects_mask = p.mask != nullptr;
+    if ((has_mask != 0) != expects_mask) {
+      return false;
+    }
+    if (expects_mask && !read_tensor(in, *p.mask)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace iprune::nn

@@ -1,0 +1,22 @@
+#pragma once
+// Model parameter (de)serialization.
+//
+// The graph *structure* is code (src/apps builders); only parameters and
+// masks are persisted. Benches cache trained/pruned models in an artifacts
+// directory so the Table III flow is not recomputed by every binary.
+
+#include <string>
+
+#include "nn/graph.hpp"
+
+namespace iprune::nn {
+
+/// Write all parameters (values + masks where present) of the graph.
+/// Returns false on I/O failure.
+[[nodiscard]] bool save_parameters(Graph& graph, const std::string& path);
+
+/// Load parameters saved by save_parameters into a structurally identical
+/// graph. Returns false on I/O failure or structural mismatch.
+[[nodiscard]] bool load_parameters(Graph& graph, const std::string& path);
+
+}  // namespace iprune::nn

@@ -1,0 +1,57 @@
+#include "nn/summary.hpp"
+
+#include "util/table.hpp"
+
+namespace iprune::nn {
+
+ModelSummary summarize(Graph& graph) {
+  ModelSummary summary;
+  for (NodeId id = 1; id < graph.node_count(); ++id) {
+    Layer& layer = graph.layer(id);
+    LayerSummaryRow row;
+    row.node = id;
+    row.name = layer.name();
+    row.kind = layer_kind_name(layer.kind());
+    row.output_shape = graph.node_shape(id);
+    for (const ParamRef& p : layer.params()) {
+      row.parameters += p.value->numel();
+      row.nonzero_parameters += p.mask != nullptr
+                                    ? p.mask->count_nonzero()
+                                    : p.value->numel();
+    }
+    summary.total_parameters += row.parameters;
+    summary.nonzero_parameters += row.nonzero_parameters;
+    summary.rows.push_back(std::move(row));
+  }
+  return summary;
+}
+
+std::string summary_table(Graph& graph) {
+  const ModelSummary summary = summarize(graph);
+  util::Table table({"#", "Layer", "Kind", "Output", "Params", "Nonzero"});
+  for (const LayerSummaryRow& row : summary.rows) {
+    table.row()
+        .cell(row.node)
+        .cell(row.name)
+        .cell(row.kind)
+        .cell(shape_str(row.output_shape))
+        .cell(row.parameters)
+        .cell(row.nonzero_parameters);
+  }
+  table.row()
+      .cell("")
+      .cell("total")
+      .cell("")
+      .cell("")
+      .cell(summary.total_parameters)
+      .cell(summary.nonzero_parameters);
+  std::string out = table.str();
+  out += "sparsity: " +
+         util::Table::format(summary.sparsity() * 100.0, 1) + "% | dense " +
+         util::Table::format(
+             static_cast<double>(summary.dense_bytes()) / 1024.0, 1) +
+         " KB @16-bit\n";
+  return out;
+}
+
+}  // namespace iprune::nn

@@ -1,0 +1,43 @@
+#pragma once
+// Human-readable model summaries (layer table + parameter totals), in the
+// spirit of torchsummary. Used by the examples and handy when composing
+// new architectures.
+
+#include <string>
+
+#include "nn/graph.hpp"
+
+namespace iprune::nn {
+
+struct LayerSummaryRow {
+  NodeId node = 0;
+  std::string name;
+  std::string kind;
+  Shape output_shape;       // per-sample
+  std::size_t parameters = 0;
+  std::size_t nonzero_parameters = 0;
+};
+
+struct ModelSummary {
+  std::vector<LayerSummaryRow> rows;
+  std::size_t total_parameters = 0;
+  std::size_t nonzero_parameters = 0;
+
+  /// 16-bit deployed size of all parameters (dense, pre-BSR).
+  [[nodiscard]] std::size_t dense_bytes() const {
+    return total_parameters * 2;
+  }
+  [[nodiscard]] double sparsity() const {
+    return total_parameters == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(nonzero_parameters) /
+                           static_cast<double>(total_parameters);
+  }
+};
+
+ModelSummary summarize(Graph& graph);
+
+/// Render as an aligned ASCII table.
+std::string summary_table(Graph& graph);
+
+}  // namespace iprune::nn

@@ -1,0 +1,172 @@
+#include "nn/tensor.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace iprune::nn {
+
+std::size_t shape_numel(const Shape& shape) {
+  std::size_t n = 1;
+  for (const std::size_t d : shape) {
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_str(const Shape& shape) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i != 0) {
+      out << ", ";
+    }
+    out << shape[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  if (data_.size() != shape_numel(shape_)) {
+    throw std::invalid_argument("Tensor: values size " +
+                                std::to_string(data_.size()) +
+                                " does not match shape " + shape_str(shape_));
+  }
+}
+
+std::size_t Tensor::dim(std::size_t axis) const {
+  assert(axis < shape_.size());
+  return shape_[axis];
+}
+
+float& Tensor::at(std::size_t i0) {
+  assert(rank() == 1 && i0 < shape_[0]);
+  return data_[i0];
+}
+
+float& Tensor::at(std::size_t i0, std::size_t i1) {
+  assert(rank() == 2 && i0 < shape_[0] && i1 < shape_[1]);
+  return data_[i0 * shape_[1] + i1];
+}
+
+float& Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2) {
+  assert(rank() == 3 && i0 < shape_[0] && i1 < shape_[1] && i2 < shape_[2]);
+  return data_[(i0 * shape_[1] + i1) * shape_[2] + i2];
+}
+
+float& Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2,
+                  std::size_t i3) {
+  assert(rank() == 4 && i0 < shape_[0] && i1 < shape_[1] && i2 < shape_[2] &&
+         i3 < shape_[3]);
+  return data_[((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3];
+}
+
+float Tensor::at(std::size_t i0) const {
+  return const_cast<Tensor*>(this)->at(i0);
+}
+float Tensor::at(std::size_t i0, std::size_t i1) const {
+  return const_cast<Tensor*>(this)->at(i0, i1);
+}
+float Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2) const {
+  return const_cast<Tensor*>(this)->at(i0, i1, i2);
+}
+float Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2,
+                 std::size_t i3) const {
+  return const_cast<Tensor*>(this)->at(i0, i1, i2, i3);
+}
+
+std::size_t Tensor::offset(std::span<const std::size_t> index) const {
+  assert(index.size() == shape_.size());
+  std::size_t flat = 0;
+  for (std::size_t axis = 0; axis < index.size(); ++axis) {
+    assert(index[axis] < shape_[axis]);
+    flat = flat * shape_[axis] + index[axis];
+  }
+  return flat;
+}
+
+void Tensor::fill(float value) {
+  for (auto& v : data_) {
+    v = value;
+  }
+}
+
+void Tensor::reshape(Shape new_shape) {
+  if (shape_numel(new_shape) != data_.size()) {
+    throw std::invalid_argument("Tensor::reshape: element count mismatch " +
+                                shape_str(shape_) + " -> " +
+                                shape_str(new_shape));
+  }
+  shape_ = std::move(new_shape);
+}
+
+void Tensor::add_scaled(const Tensor& other, float scale_factor) {
+  assert(other.numel() == numel());
+  const float* src = other.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale_factor * src[i];
+  }
+}
+
+void Tensor::scale(float factor) {
+  for (auto& v : data_) {
+    v *= factor;
+  }
+}
+
+void Tensor::hadamard(const Tensor& mask) {
+  assert(mask.numel() == numel());
+  const float* src = mask.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] *= src[i];
+  }
+}
+
+float Tensor::sum() const {
+  double total = 0.0;
+  for (const float v : data_) {
+    total += v;
+  }
+  return static_cast<float>(total);
+}
+
+float Tensor::abs_max() const {
+  float best = 0.0f;
+  for (const float v : data_) {
+    best = std::max(best, std::fabs(v));
+  }
+  return best;
+}
+
+float Tensor::rms() const {
+  if (data_.empty()) {
+    return 0.0f;
+  }
+  double total = 0.0;
+  for (const float v : data_) {
+    total += static_cast<double>(v) * v;
+  }
+  return static_cast<float>(std::sqrt(total / static_cast<double>(data_.size())));
+}
+
+std::size_t Tensor::count_nonzero() const {
+  std::size_t count = 0;
+  for (const float v : data_) {
+    if (v != 0.0f) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+bool Tensor::equals(const Tensor& other) const {
+  return shape_ == other.shape_ && data_ == other.data_;
+}
+
+}  // namespace iprune::nn

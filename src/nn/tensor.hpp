@@ -1,0 +1,86 @@
+#pragma once
+// Dense float32 tensor used by the server-side training library.
+//
+// Row-major, up to 4-D in practice ([N,C,H,W] for feature maps,
+// [Cout,Cin,kh,kw] for conv weights, [out,in] for dense weights). The
+// device-side engine consumes quantized copies (nn/quantize.hpp); this type
+// is deliberately simple and owns its storage.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace iprune::nn {
+
+using Shape = std::vector<std::size_t>;
+
+/// Number of elements described by a shape (1 for a scalar / empty shape).
+std::size_t shape_numel(const Shape& shape);
+
+/// Human-readable "[a, b, c]" form for diagnostics.
+std::string shape_str(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor with explicit contents; values.size() must equal numel(shape).
+  Tensor(Shape shape, std::vector<float> values);
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::size_t numel() const { return data_.size(); }
+  [[nodiscard]] std::size_t dim(std::size_t axis) const;
+  [[nodiscard]] std::size_t rank() const { return shape_.size(); }
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  [[nodiscard]] std::span<float> values() { return data_; }
+  [[nodiscard]] std::span<const float> values() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  const float& operator[](std::size_t i) const { return data_[i]; }
+
+  /// Bounds-checked element access (asserts in debug builds).
+  float& at(std::size_t i0);
+  float& at(std::size_t i0, std::size_t i1);
+  float& at(std::size_t i0, std::size_t i1, std::size_t i2);
+  float& at(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3);
+  [[nodiscard]] float at(std::size_t i0) const;
+  [[nodiscard]] float at(std::size_t i0, std::size_t i1) const;
+  [[nodiscard]] float at(std::size_t i0, std::size_t i1, std::size_t i2) const;
+  [[nodiscard]] float at(std::size_t i0, std::size_t i1, std::size_t i2,
+                         std::size_t i3) const;
+
+  /// Flat offset of a multi-index (row-major).
+  [[nodiscard]] std::size_t offset(std::span<const std::size_t> index) const;
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  /// Reinterpret with a new shape of identical element count.
+  void reshape(Shape new_shape);
+
+  /// Elementwise in-place helpers used by the optimizers / pruners.
+  void add_scaled(const Tensor& other, float scale);
+  void scale(float factor);
+  void hadamard(const Tensor& mask);
+
+  /// Reductions.
+  [[nodiscard]] float sum() const;
+  [[nodiscard]] float abs_max() const;
+  [[nodiscard]] float rms() const;
+  [[nodiscard]] std::size_t count_nonzero() const;
+
+  /// True when shapes and all values match exactly.
+  [[nodiscard]] bool equals(const Tensor& other) const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace iprune::nn

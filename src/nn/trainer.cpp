@@ -1,0 +1,116 @@
+#include "nn/trainer.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+
+namespace iprune::nn {
+
+Tensor gather_rows(const Tensor& x, std::span<const std::size_t> indices) {
+  assert(x.rank() >= 1);
+  const std::size_t row_elems = x.numel() / x.dim(0);
+  Shape out_shape = x.shape();
+  out_shape[0] = indices.size();
+  Tensor out(out_shape);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    assert(indices[i] < x.dim(0));
+    std::memcpy(out.data() + i * row_elems,
+                x.data() + indices[i] * row_elems, row_elems * sizeof(float));
+  }
+  return out;
+}
+
+void Trainer::train(const Tensor& x, std::span<const int> y,
+                    const TrainConfig& config,
+                    const std::function<void(std::size_t, double)>& on_epoch) {
+  if (x.dim(0) != y.size()) {
+    throw std::invalid_argument("Trainer::train: sample/label count mismatch");
+  }
+  const std::size_t count = x.dim(0);
+  util::Rng rng(config.shuffle_seed);
+  Sgd optimizer(config.sgd);
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const std::vector<std::size_t> order = rng.permutation(count);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < count; start += config.batch_size) {
+      const std::size_t end = std::min(count, start + config.batch_size);
+      const std::span<const std::size_t> batch_idx(order.data() + start,
+                                                   end - start);
+      Tensor batch = gather_rows(x, batch_idx);
+      std::vector<int> labels(batch_idx.size());
+      for (std::size_t i = 0; i < batch_idx.size(); ++i) {
+        labels[i] = y[batch_idx[i]];
+      }
+
+      graph_.zero_grads();
+      Tensor logits = graph_.forward(batch, /*training=*/true);
+      LossResult loss = softmax_cross_entropy(logits, labels);
+      graph_.backward(loss.grad);
+      auto params = graph_.params();
+      if (config.clip_grad_norm > 0.0f) {
+        double norm_sq = 0.0;
+        for (const ParamRef& p : params) {
+          for (std::size_t i = 0; i < p.grad->numel(); ++i) {
+            norm_sq += static_cast<double>((*p.grad)[i]) * (*p.grad)[i];
+          }
+        }
+        const double norm = std::sqrt(norm_sq);
+        if (norm > config.clip_grad_norm) {
+          const float scale =
+              config.clip_grad_norm / static_cast<float>(norm);
+          for (const ParamRef& p : params) {
+            p.grad->scale(scale);
+          }
+        }
+      }
+      optimizer.step(params);
+
+      epoch_loss += loss.loss;
+      ++batches;
+    }
+    optimizer.config().learning_rate *= config.lr_decay;
+    if (on_epoch) {
+      on_epoch(epoch, epoch_loss / static_cast<double>(std::max<std::size_t>(
+                          batches, 1)));
+    }
+  }
+}
+
+EvalResult Trainer::evaluate(const Tensor& x, std::span<const int> y,
+                             std::size_t batch_size) {
+  if (x.dim(0) != y.size()) {
+    throw std::invalid_argument(
+        "Trainer::evaluate: sample/label count mismatch");
+  }
+  const std::size_t count = x.dim(0);
+  std::size_t correct = 0;
+  double total_loss = 0.0;
+  std::size_t batches = 0;
+  std::vector<std::size_t> idx(batch_size);
+  for (std::size_t start = 0; start < count; start += batch_size) {
+    const std::size_t end = std::min(count, start + batch_size);
+    idx.resize(end - start);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      idx[i] = start + i;
+    }
+    Tensor batch = gather_rows(x, idx);
+    Tensor logits = graph_.forward(batch, /*training=*/false);
+    LossResult loss =
+        softmax_cross_entropy(logits, y.subspan(start, end - start));
+    correct += loss.correct;
+    total_loss += loss.loss;
+    ++batches;
+  }
+  EvalResult result;
+  result.accuracy = static_cast<double>(correct) / static_cast<double>(count);
+  result.loss = total_loss / static_cast<double>(std::max<std::size_t>(
+                    batches, 1));
+  return result;
+}
+
+}  // namespace iprune::nn

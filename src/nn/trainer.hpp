@@ -1,0 +1,50 @@
+#pragma once
+// Mini-batch training / evaluation driver for Graph models.
+
+#include <functional>
+#include <span>
+
+#include "nn/graph.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace iprune::nn {
+
+struct TrainConfig {
+  std::size_t epochs = 5;
+  std::size_t batch_size = 32;
+  SgdConfig sgd;
+  std::uint64_t shuffle_seed = 7;
+  /// Multiply the learning rate by this after each epoch.
+  float lr_decay = 1.0f;
+  /// Clip the global gradient L2 norm to this value (0 disables). Keeps
+  /// training stable on the noisier synthetic datasets.
+  float clip_grad_norm = 5.0f;
+};
+
+struct EvalResult {
+  double accuracy = 0.0;  // in [0, 1]
+  double loss = 0.0;
+};
+
+/// Slice rows `indices` out of X ([N, ...]) into a new batch tensor.
+Tensor gather_rows(const Tensor& x, std::span<const std::size_t> indices);
+
+class Trainer {
+ public:
+  explicit Trainer(Graph& graph) : graph_(graph) {}
+
+  /// SGD training over (x, y). Optional per-epoch callback receives
+  /// (epoch index, train loss); useful for logging / early stopping tests.
+  void train(const Tensor& x, std::span<const int> y, const TrainConfig& config,
+             const std::function<void(std::size_t, double)>& on_epoch = {});
+
+  /// Accuracy / mean loss over (x, y), evaluated in inference mode.
+  EvalResult evaluate(const Tensor& x, std::span<const int> y,
+                      std::size_t batch_size = 64);
+
+ private:
+  Graph& graph_;
+};
+
+}  // namespace iprune::nn

@@ -1,0 +1,31 @@
+#include "power/energy_buffer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace iprune::power {
+
+EnergyBuffer::EnergyBuffer(BufferConfig config) : config_(config) {
+  if (config_.capacitance_f <= 0.0 || config_.v_on <= config_.v_off ||
+      config_.v_off < 0.0) {
+    throw std::invalid_argument("EnergyBuffer: invalid configuration");
+  }
+  usable_j_ = 0.5 * config_.capacitance_f *
+              (config_.v_on * config_.v_on - config_.v_off * config_.v_off);
+  stored_j_ = usable_j_;  // start fully charged, as the paper's setup does
+}
+
+void EnergyBuffer::deposit(double joules) {
+  stored_j_ = std::min(usable_j_, stored_j_ + joules);
+}
+
+bool EnergyBuffer::withdraw(double joules) {
+  if (joules > stored_j_) {
+    stored_j_ = 0.0;
+    return false;
+  }
+  stored_j_ -= joules;
+  return true;
+}
+
+}  // namespace iprune::power

@@ -1,0 +1,42 @@
+#pragma once
+// Capacitor energy buffer behind a BQ25504-style switch: the device turns
+// on when the capacitor reaches v_on and off when it sags to v_off, so the
+// usable energy per power cycle is E = 1/2 C (v_on^2 - v_off^2).
+
+#include <cstddef>
+
+namespace iprune::power {
+
+struct BufferConfig {
+  double capacitance_f = 100e-6;  // 100 uF (paper Table I)
+  double v_on = 2.8;
+  double v_off = 2.4;
+};
+
+class EnergyBuffer {
+ public:
+  explicit EnergyBuffer(BufferConfig config);
+
+  /// Usable joules between the on and off thresholds.
+  [[nodiscard]] double usable_j() const { return usable_j_; }
+  [[nodiscard]] double stored_j() const { return stored_j_; }
+  [[nodiscard]] const BufferConfig& config() const { return config_; }
+
+  /// Add harvested energy; saturates at the usable window.
+  void deposit(double joules);
+
+  /// Try to draw `joules`; returns false (leaving the buffer empty, i.e.
+  /// the device browns out) when insufficient.
+  [[nodiscard]] bool withdraw(double joules);
+
+  /// Refill to the on-threshold (end of a recharge phase).
+  void refill() { stored_j_ = usable_j_; }
+  void drain() { stored_j_ = 0.0; }
+
+ private:
+  BufferConfig config_;
+  double usable_j_;
+  double stored_j_;
+};
+
+}  // namespace iprune::power

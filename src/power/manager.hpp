@@ -1,0 +1,48 @@
+#pragma once
+// Energy accounting for the on/off duty-cycling of an intermittently
+// powered device: while the device runs, harvested power partially offsets
+// the load; when the buffer empties the device browns out and the manager
+// computes the recharge time until the on-threshold is reached again.
+
+#include <memory>
+
+#include "power/energy_buffer.hpp"
+#include "power/supply.hpp"
+
+namespace iprune::power {
+
+struct PowerStats {
+  std::size_t power_failures = 0;
+  double harvested_j = 0.0;
+  double consumed_j = 0.0;
+  double off_time_s = 0.0;
+};
+
+class PowerManager {
+ public:
+  PowerManager(std::unique_ptr<PowerSupply> supply, BufferConfig buffer);
+
+  /// Account one device operation of `duration_s` drawing `energy_j`
+  /// starting at simulated time `now_s`. Returns true if the buffer
+  /// sustained it; false on brown-out (buffer left empty; call recharge()).
+  [[nodiscard]] bool consume(double now_s, double duration_s,
+                             double energy_j);
+
+  /// Recharge from empty to the on-threshold starting at `now_s`.
+  /// Returns the recharge duration in seconds. Throws if the supply
+  /// cannot ever refill the buffer (dead supply).
+  [[nodiscard]] double recharge(double now_s);
+
+  [[nodiscard]] const PowerStats& stats() const { return stats_; }
+  [[nodiscard]] const EnergyBuffer& buffer() const { return buffer_; }
+  [[nodiscard]] const PowerSupply& supply() const { return *supply_; }
+
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  std::unique_ptr<PowerSupply> supply_;
+  EnergyBuffer buffer_;
+  PowerStats stats_;
+};
+
+}  // namespace iprune::power

@@ -1,0 +1,99 @@
+#include "power/supply.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+namespace iprune::power {
+
+std::string ConstantSupply::describe() const {
+  return "constant " + std::to_string(watts_ * 1e3) + " mW";
+}
+
+TraceSupply::TraceSupply(std::vector<double> samples_w,
+                         double sample_period_s)
+    : samples_w_(std::move(samples_w)), period_s_(sample_period_s) {
+  if (samples_w_.empty() || period_s_ <= 0.0) {
+    throw std::invalid_argument("TraceSupply: need samples and period > 0");
+  }
+  for (const double w : samples_w_) {
+    if (w < 0.0) {
+      throw std::invalid_argument("TraceSupply: negative power sample");
+    }
+  }
+}
+
+TraceSupply TraceSupply::from_csv(const std::string& path,
+                                  double sample_period_s) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("TraceSupply::from_csv: cannot open " + path);
+  }
+  std::vector<double> samples;
+  std::string line;
+  while (std::getline(file, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream row(line);
+    double mw = 0.0;
+    if (row >> mw) {
+      if (mw < 0.0) {
+        throw std::runtime_error(
+            "TraceSupply::from_csv: negative power sample in " + path);
+      }
+      samples.push_back(mw * 1e-3);
+    }
+  }
+  if (samples.empty()) {
+    throw std::runtime_error("TraceSupply::from_csv: no samples in " + path);
+  }
+  return TraceSupply(std::move(samples), sample_period_s);
+}
+
+double TraceSupply::power_w(double time_s) const {
+  const double cycle =
+      period_s_ * static_cast<double>(samples_w_.size());
+  double t = std::fmod(time_s, cycle);
+  if (t < 0.0) {
+    t += cycle;
+  }
+  const auto index = static_cast<std::size_t>(t / period_s_);
+  return samples_w_[std::min(index, samples_w_.size() - 1)];
+}
+
+std::string TraceSupply::describe() const {
+  return "trace (" + std::to_string(samples_w_.size()) + " samples @ " +
+         std::to_string(period_s_) + " s)";
+}
+
+std::unique_ptr<PowerSupply> SupplyPresets::continuous() {
+  return std::make_unique<ConstantSupply>(kContinuousW);
+}
+
+std::unique_ptr<PowerSupply> SupplyPresets::strong() {
+  return std::make_unique<ConstantSupply>(kStrongW);
+}
+
+std::unique_ptr<PowerSupply> SupplyPresets::weak() {
+  return std::make_unique<ConstantSupply>(kWeakW);
+}
+
+std::unique_ptr<PowerSupply> SupplyPresets::solar_day(double peak_w,
+                                                      double day_length_s) {
+  constexpr std::size_t kSamples = 96;
+  std::vector<double> samples(kSamples);
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    // Half-sine day curve with zero "night" floor.
+    const double phase =
+        std::numbers::pi * static_cast<double>(i) / (kSamples - 1);
+    samples[i] = peak_w * std::max(0.0, std::sin(phase));
+  }
+  return std::make_unique<TraceSupply>(std::move(samples),
+                                       day_length_s / kSamples);
+}
+
+}  // namespace iprune::power

@@ -1,0 +1,64 @@
+#pragma once
+// Harvested-power sources. The paper drives a BQ25504 from a programmable
+// supply at three strengths (continuous 1.65 W, strong 8 mW, weak 4 mW);
+// we model those as constant sources plus a trace-driven source for the
+// solar-profile example.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace iprune::power {
+
+class PowerSupply {
+ public:
+  virtual ~PowerSupply() = default;
+  /// Instantaneous harvestable power (watts) at simulated time t (seconds).
+  [[nodiscard]] virtual double power_w(double time_s) const = 0;
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+class ConstantSupply final : public PowerSupply {
+ public:
+  explicit ConstantSupply(double watts) : watts_(watts) {}
+  [[nodiscard]] double power_w(double) const override { return watts_; }
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double watts_;
+};
+
+/// Piecewise-constant trace sampled at a fixed period; repeats cyclically.
+/// Used to emulate time-varying solar harvest.
+class TraceSupply final : public PowerSupply {
+ public:
+  TraceSupply(std::vector<double> samples_w, double sample_period_s);
+
+  /// Load a trace from a CSV/text file: one sample per line, power in
+  /// milliwatts; '#' starts a comment. Throws std::runtime_error when the
+  /// file is missing or contains no valid samples.
+  static TraceSupply from_csv(const std::string& path,
+                              double sample_period_s);
+  [[nodiscard]] double power_w(double time_s) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  std::vector<double> samples_w_;
+  double period_s_;
+};
+
+/// The paper's three evaluation conditions.
+struct SupplyPresets {
+  static constexpr double kContinuousW = 1.65;    // 3.3 V x 0.5 A
+  static constexpr double kStrongW = 8.0e-3;      // 1 V x 8 mA
+  static constexpr double kWeakW = 4.0e-3;        // 1 V x 4 mA
+
+  static std::unique_ptr<PowerSupply> continuous();
+  static std::unique_ptr<PowerSupply> strong();
+  static std::unique_ptr<PowerSupply> weak();
+  /// Day-curve solar profile peaking at `peak_w`.
+  static std::unique_ptr<PowerSupply> solar_day(double peak_w,
+                                                double day_length_s);
+};
+
+}  // namespace iprune::power

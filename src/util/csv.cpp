@@ -1,0 +1,60 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace iprune::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+CsvWriter& CsvWriter::row(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+  return *this;
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) {
+    return cell;
+  }
+  std::string quoted = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') {
+      quoted += '"';
+    }
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string CsvWriter::str() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) {
+        out << ',';
+      }
+      out << escape(cells[i]);
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& r : rows_) {
+    emit(r);
+  }
+  return out.str();
+}
+
+bool CsvWriter::save(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return false;
+  }
+  file << str();
+  return static_cast<bool>(file);
+}
+
+}  // namespace iprune::util

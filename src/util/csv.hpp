@@ -1,0 +1,29 @@
+#pragma once
+// CSV emission for bench results (machine-readable companion to the ASCII
+// tables, handy for downstream plotting).
+
+#include <string>
+#include <vector>
+
+namespace iprune::util {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  CsvWriter& row(const std::vector<std::string>& cells);
+
+  /// Serialize with RFC-4180 style quoting where needed.
+  [[nodiscard]] std::string str() const;
+
+  /// Write to a file; returns false (and leaves no partial file) on error.
+  [[nodiscard]] bool save(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace iprune::util

@@ -1,0 +1,31 @@
+#pragma once
+// Minimal leveled logging. Benches run with Info; tests default to Warn so
+// gtest output stays readable; Trace exists for debugging simulations.
+
+#include <string>
+
+namespace iprune::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global level; defaults to kInfo. Not thread-safe by design (the
+/// simulators are single-threaded and deterministic).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log(LogLevel level, const std::string& message);
+
+inline void log_info(const std::string& message) {
+  log(LogLevel::kInfo, message);
+}
+inline void log_warn(const std::string& message) {
+  log(LogLevel::kWarn, message);
+}
+inline void log_error(const std::string& message) {
+  log(LogLevel::kError, message);
+}
+inline void log_debug(const std::string& message) {
+  log(LogLevel::kDebug, message);
+}
+
+}  // namespace iprune::util

@@ -1,0 +1,81 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace iprune::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string text) {
+  if (rows_.empty()) {
+    rows_.emplace_back();
+  }
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  return cell(format(value, precision));
+}
+
+Table& Table::cell(std::size_t value) {
+  return cell(std::to_string(value));
+}
+
+Table& Table::cell(long long value) {
+  return cell(std::to_string(value));
+}
+
+std::string Table::format(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string();
+      out << ' ' << text;
+      out << std::string(widths[c] - std::min(widths[c], text.size()), ' ');
+      out << " |";
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_);
+  out << '|';
+  for (const std::size_t w : widths) {
+    out << std::string(w + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& r : rows_) {
+    emit_row(r);
+  }
+  return out.str();
+}
+
+void Table::print() const {
+  std::fputs(str().c_str(), stdout);
+}
+
+}  // namespace iprune::util

@@ -1,0 +1,41 @@
+#pragma once
+// ASCII table rendering for benchmark harnesses.
+//
+// Every bench binary reproduces a paper table/figure as a plain-text table;
+// this helper keeps the formatting consistent and diff-friendly.
+
+#include <string>
+#include <vector>
+
+namespace iprune::util {
+
+/// Column-aligned ASCII table. Cells are strings; numeric helpers format
+/// with fixed precision so bench output is stable.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row. Subsequent add_cell calls fill it left to right.
+  Table& row();
+
+  Table& cell(std::string text);
+  Table& cell(double value, int precision = 2);
+  Table& cell(std::size_t value);
+  Table& cell(long long value);
+
+  /// Render with a header rule and column padding.
+  [[nodiscard]] std::string str() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  static std::string format(double value, int precision);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace iprune::util

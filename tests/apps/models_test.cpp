@@ -1,0 +1,154 @@
+// Architecture checks against paper Table II: layer inventories, 16-bit
+// model-size budgets, and the NVM fit of each deployed application.
+
+#include <gtest/gtest.h>
+
+#include "apps/models.hpp"
+#include "apps/workloads.hpp"
+#include "engine/lowering.hpp"
+
+namespace iprune::apps {
+namespace {
+
+struct LayerCensus {
+  std::size_t conv = 0, pool = 0, fc = 0;
+};
+
+LayerCensus census(const nn::Graph& graph) {
+  LayerCensus c;
+  for (nn::NodeId id = 1; id < graph.node_count(); ++id) {
+    switch (graph.layer(id).kind()) {
+      case nn::LayerKind::kConv2d:
+        ++c.conv;
+        break;
+      case nn::LayerKind::kMaxPool:
+        ++c.pool;
+        break;
+      case nn::LayerKind::kDense:
+        ++c.fc;
+        break;
+      default:
+        break;
+    }
+  }
+  return c;
+}
+
+TEST(Models, SqnMatchesTableII) {
+  util::Rng rng(1);
+  nn::Graph g = build_sqn(rng);
+  const LayerCensus c = census(g);
+  EXPECT_EQ(c.conv, 11u) << "paper: CONV x 11";
+  EXPECT_EQ(c.pool, 2u) << "paper: POOL x 2 (plus the global-avg head)";
+  EXPECT_EQ(c.fc, 0u);
+  EXPECT_EQ(g.node_shape(g.output()), (nn::Shape{10}));
+  EXPECT_EQ(g.input_shape(), (nn::Shape{3, 32, 32}));
+}
+
+TEST(Models, HarMatchesTableII) {
+  util::Rng rng(2);
+  nn::Graph g = build_har(rng);
+  const LayerCensus c = census(g);
+  EXPECT_EQ(c.conv, 3u) << "paper: CONV x 3";
+  EXPECT_EQ(c.pool, 3u) << "paper: POOL x 3";
+  EXPECT_EQ(c.fc, 1u) << "paper: FC x 1";
+  EXPECT_EQ(g.node_shape(g.output()), (nn::Shape{6}));
+}
+
+TEST(Models, CksMatchesTableII) {
+  util::Rng rng(3);
+  nn::Graph g = build_cks(rng);
+  const LayerCensus c = census(g);
+  EXPECT_EQ(c.conv, 2u) << "paper: CONV x 2";
+  EXPECT_EQ(c.fc, 3u) << "paper: FC x 3";
+  EXPECT_EQ(g.node_shape(g.output()), (nn::Shape{10}));
+}
+
+TEST(Models, SixteenBitSizesNearPaperBudgets) {
+  // Paper Table II: SQN 147 KB, HAR 28 KB, CKS 131 KB. Our scaled models
+  // must land within a factor ~2 and fit the NVM together with buffers.
+  util::Rng rng(4);
+  nn::Graph sqn = build_sqn(rng);
+  nn::Graph har = build_har(rng);
+  nn::Graph cks = build_cks(rng);
+  const auto kb = [](nn::Graph& g) {
+    return static_cast<double>(g.parameter_count()) * 2.0 / 1024.0;
+  };
+  EXPECT_GT(kb(sqn), 147.0 / 2.5);
+  EXPECT_LT(kb(sqn), 147.0 * 1.2);
+  EXPECT_GT(kb(har), 28.0 / 2.5);
+  EXPECT_LT(kb(har), 28.0 * 1.2);
+  EXPECT_GT(kb(cks), 131.0 / 2.5);
+  EXPECT_LT(kb(cks), 131.0 * 1.2);
+}
+
+TEST(Models, ForwardShapesConsistent) {
+  util::Rng rng(5);
+  nn::Graph sqn = build_sqn(rng);
+  EXPECT_EQ(sqn.forward(nn::Tensor({2, 3, 32, 32})).shape(),
+            (nn::Shape{2, 10}));
+  nn::Graph har = build_har(rng);
+  EXPECT_EQ(har.forward(nn::Tensor({2, 3, 1, 128})).shape(),
+            (nn::Shape{2, 6}));
+  nn::Graph cks = build_cks(rng);
+  EXPECT_EQ(cks.forward(nn::Tensor({2, 1, 49, 10})).shape(),
+            (nn::Shape{2, 10}));
+}
+
+TEST(Models, AllLayersAreLowerable) {
+  // Every model must lower into the default engine/VM configuration.
+  for (const WorkloadId id : all_workloads()) {
+    util::Rng rng(6);
+    Workload w = make_workload(id);
+    EXPECT_NO_THROW({
+      const auto layers = engine::prunable_layers(
+          w.graph, w.prune.engine, w.prune.device.memory);
+      EXPECT_FALSE(layers.empty());
+    }) << w.name;
+  }
+}
+
+TEST(Workloads, RegistryIsConsistent) {
+  EXPECT_EQ(all_workloads().size(), 3u);
+  EXPECT_STREQ(workload_name(WorkloadId::kSqn), "SQN");
+  EXPECT_STREQ(workload_task(WorkloadId::kHar), "Human Activity Detection");
+  for (const WorkloadId id : all_workloads()) {
+    const Workload w = make_workload(id);
+    EXPECT_EQ(w.name, workload_name(id));
+    EXPECT_GT(w.train.size(), 0u);
+    EXPECT_GT(w.val.size(), 0u);
+    EXPECT_EQ(w.train.sample_shape(), w.val.sample_shape());
+    EXPECT_EQ(w.train.sample_shape(), w.graph.input_shape());
+    // Paper defaults.
+    EXPECT_DOUBLE_EQ(w.prune.epsilon, 0.01);
+    EXPECT_DOUBLE_EQ(w.prune.gamma_hat, 0.40);
+    EXPECT_EQ(w.prune.strikes_allowed, 2u);
+  }
+}
+
+TEST(Workloads, DiversityOrderingSqnLowCksHigh) {
+  // Table II: SQN has low diversity of per-layer accelerator outputs, CKS
+  // high. Measure as max/min ratio across prunable layers.
+  auto diversity = [](WorkloadId id) {
+    Workload w = make_workload(id);
+    const auto layers = engine::prunable_layers(
+        w.graph, w.prune.engine, w.prune.device.memory);
+    std::size_t lo = SIZE_MAX, hi = 0;
+    for (const auto& l : layers) {
+      lo = std::min(lo, l.acc_outputs());
+      hi = std::max(hi, l.acc_outputs());
+    }
+    return static_cast<double>(hi) / static_cast<double>(lo);
+  };
+  EXPECT_GT(diversity(WorkloadId::kCks), diversity(WorkloadId::kSqn));
+}
+
+TEST(Workloads, DeterministicConstruction) {
+  const Workload a = make_workload(WorkloadId::kHar);
+  const Workload b = make_workload(WorkloadId::kHar);
+  EXPECT_TRUE(a.train.inputs.equals(b.train.inputs));
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+}  // namespace
+}  // namespace iprune::apps

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/eprune.hpp"
+#include "baselines/oneshot.hpp"
+#include "nn/activation.hpp"
+#include "nn/dense.hpp"
+#include "nn/trainer.hpp"
+
+namespace iprune::baselines {
+namespace {
+
+std::vector<core::LayerStats> make_stats() {
+  // Layer 0: high energy per weight; layer 1: low energy per weight.
+  std::vector<core::LayerStats> stats(2);
+  stats[0].index = 0;
+  stats[0].alive_weights = 1000;
+  stats[0].acc_outputs = 100;
+  stats[0].energy_j = 10e-3;
+  stats[1].index = 1;
+  stats[1].alive_weights = 1000;
+  stats[1].acc_outputs = 5000;
+  stats[1].energy_j = 1e-3;
+  return stats;
+}
+
+TEST(EPrune, AllocatesProportionallyToEnergy) {
+  EPruneAllocator alloc;
+  util::Rng rng(1);
+  const auto ratios = alloc.allocate(make_stats(), 0.2, rng);
+  ASSERT_EQ(ratios.size(), 2u);
+  EXPECT_GT(ratios[0], ratios[1]) << "higher-energy layer pruned harder";
+  // Budget respected: sum gamma_i * k_i = 0.2 * 2000.
+  EXPECT_NEAR(ratios[0] * 1000 + ratios[1] * 1000, 400.0, 1.0);
+}
+
+TEST(EPrune, IgnoresAcceleratorOutputs) {
+  // Unlike iPrune, ePrune's allocation must key on energy, not on
+  // accelerator outputs: layer 1 has 50x the outputs but lower energy.
+  EPruneAllocator alloc;
+  util::Rng rng(2);
+  const auto ratios = alloc.allocate(make_stats(), 0.2, rng);
+  EXPECT_GT(ratios[0], ratios[1]);
+}
+
+TEST(EPrune, FixedOverallRatio) {
+  EPruneAllocator alloc;
+  EXPECT_DOUBLE_EQ(alloc.overall_ratio(make_stats(), 0.4), 0.2);
+  EXPECT_STREQ(alloc.name(), "ePrune");
+}
+
+TEST(Uniform, SpreadsEvenly) {
+  UniformAllocator alloc;
+  util::Rng rng(3);
+  const auto ratios = alloc.allocate(make_stats(), 0.3, rng);
+  EXPECT_NEAR(ratios[0], ratios[1], 1e-9);
+  EXPECT_NEAR(ratios[0], 0.3, 1e-9);  // allocate() receives Γ directly
+}
+
+TEST(Random, ProducesValidBudgetedRatios) {
+  RandomAllocator alloc;
+  util::Rng rng(4);
+  const auto ratios = alloc.allocate(make_stats(), 0.2, rng);
+  EXPECT_NEAR(ratios[0] * 1000 + ratios[1] * 1000, 400.0, 1.0);
+  for (const double r : ratios) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 0.5 + 1e-12);
+  }
+}
+
+struct MlpFixture {
+  nn::Graph graph{nn::Shape{2}};
+  nn::Tensor x;
+  std::vector<int> y;
+  std::vector<engine::PrunableLayer> layers;
+
+  MlpFixture() {
+    util::Rng rng(7);
+    auto h = graph.add(std::make_unique<nn::Dense>("h", 2, 24, rng),
+                       {graph.input()});
+    auto r = graph.add(std::make_unique<nn::Relu>("r"), {h});
+    auto o = graph.add(std::make_unique<nn::Dense>("o", 24, 2, rng), {r});
+    graph.set_output(o);
+    x = nn::Tensor({200, 2});
+    y.resize(200);
+    for (std::size_t i = 0; i < 200; ++i) {
+      const bool cls = rng.bernoulli(0.5);
+      x.at(i, 0) = (cls ? 1.0f : -1.0f) +
+                   static_cast<float>(rng.normal(0, 0.3));
+      x.at(i, 1) = static_cast<float>(rng.normal(0, 0.3));
+      y[i] = cls ? 1 : 0;
+    }
+    nn::TrainConfig tc;
+    tc.epochs = 10;
+    nn::Trainer(graph).train(x, y, tc);
+    layers = engine::prunable_layers(graph, engine::EngineConfig{},
+                                     device::MemoryConfig{});
+  }
+};
+
+TEST(OneShot, PrunesAndRetrains) {
+  MlpFixture f;
+  nn::TrainConfig retrain;
+  retrain.epochs = 8;
+  const OneShotResult result =
+      one_shot_prune(f.graph, f.layers, 0.4, core::Granularity::kBlock,
+                     f.x, f.y, f.x, f.y, retrain);
+  EXPECT_LT(result.alive_weights, 24u * 2u + 2u * 24u);
+  EXPECT_GE(result.accuracy_after_retrain,
+            result.accuracy_before_retrain - 1e-9);
+  EXPECT_GT(result.accuracy_after_retrain, 0.8);
+}
+
+TEST(OneShot, PrunedWeightsStayZeroThroughRetraining) {
+  MlpFixture f;
+  nn::TrainConfig retrain;
+  retrain.epochs = 5;
+  (void)one_shot_prune(f.graph, f.layers, 0.5, core::Granularity::kFine,
+                       f.x, f.y, f.x, f.y, retrain);
+  for (const auto& layer : f.layers) {
+    for (std::size_t i = 0; i < layer.weight->numel(); ++i) {
+      if ((*layer.mask)[i] == 0.0f) {
+        EXPECT_EQ((*layer.weight)[i], 0.0f);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iprune::baselines

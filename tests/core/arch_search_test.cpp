@@ -1,0 +1,163 @@
+#include "core/arch_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/activation.hpp"
+#include "nn/dense.hpp"
+
+namespace iprune::core {
+namespace {
+
+ArchCandidate make_candidate(double accuracy, std::size_t outputs) {
+  ArchCandidate c;
+  c.accuracy = accuracy;
+  c.acc_outputs = outputs;
+  return c;
+}
+
+TEST(Pareto, DominanceRules) {
+  const ArchCandidate good = make_candidate(0.9, 100);
+  EXPECT_TRUE(good.dominates(make_candidate(0.8, 100)));
+  EXPECT_TRUE(good.dominates(make_candidate(0.9, 200)));
+  EXPECT_TRUE(good.dominates(make_candidate(0.8, 200)));
+  EXPECT_FALSE(good.dominates(make_candidate(0.95, 50)));
+  EXPECT_FALSE(good.dominates(make_candidate(0.95, 200)));  // trade-off
+  EXPECT_FALSE(good.dominates(make_candidate(0.9, 100)));   // equal
+}
+
+TEST(Pareto, InsertKeepsOnlyNonDominated) {
+  std::vector<ArchCandidate> archive;
+  EXPECT_TRUE(pareto_insert(archive, make_candidate(0.8, 100)));
+  EXPECT_TRUE(pareto_insert(archive, make_candidate(0.9, 200)));  // trade-off
+  EXPECT_EQ(archive.size(), 2u);
+  // Dominated candidate rejected.
+  EXPECT_FALSE(pareto_insert(archive, make_candidate(0.7, 150)));
+  EXPECT_EQ(archive.size(), 2u);
+  // Dominating candidate evicts both.
+  EXPECT_TRUE(pareto_insert(archive, make_candidate(0.95, 50)));
+  EXPECT_EQ(archive.size(), 1u);
+}
+
+struct SearchFixture {
+  data::Dataset train, val;
+
+  SearchFixture() {
+    util::Rng rng(5);
+    auto fill = [&](data::Dataset& d, std::size_t count) {
+      d.num_classes = 2;
+      d.inputs = nn::Tensor({count, 4});
+      d.labels.resize(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const bool cls = rng.bernoulli(0.5);
+        for (std::size_t k = 0; k < 4; ++k) {
+          d.inputs.at(i, k) = static_cast<float>(
+              (cls ? 1.0 : -1.0) * (k < 2 ? 1.0 : 0.1) +
+              rng.normal(0, 0.3));
+        }
+        d.labels[i] = cls ? 1 : 0;
+      }
+    };
+    fill(train, 200);
+    fill(val, 100);
+  }
+
+  static nn::Graph build(const std::vector<std::size_t>& widths,
+                         util::Rng& rng) {
+    nn::Graph g({4});
+    auto h = g.add(std::make_unique<nn::Dense>("h", 4, widths.at(0), rng),
+                   {g.input()});
+    auto r = g.add(std::make_unique<nn::Relu>("r"), {h});
+    auto o = g.add(std::make_unique<nn::Dense>("o", widths.at(0), 2, rng),
+                   {r});
+    g.set_output(o);
+    return g;
+  }
+
+  ArchSearchConfig config() const {
+    ArchSearchConfig cfg;
+    cfg.min_widths = {4};
+    cfg.max_widths = {32};
+    cfg.evaluations = 8;
+    cfg.initial_random = 3;
+    cfg.proxy_training.epochs = 6;
+    return cfg;
+  }
+};
+
+TEST(ArchSearch, FindsNonEmptyParetoFront) {
+  SearchFixture f;
+  const ArchSearchResult result =
+      search_architectures(&SearchFixture::build, f.config(), f.train,
+                           f.val);
+  EXPECT_EQ(result.evaluated, 8u);
+  ASSERT_FALSE(result.pareto_front.empty());
+  // Front sorted by ascending accelerator outputs and mutually
+  // non-dominated.
+  for (std::size_t i = 1; i < result.pareto_front.size(); ++i) {
+    EXPECT_GE(result.pareto_front[i].acc_outputs,
+              result.pareto_front[i - 1].acc_outputs);
+    EXPECT_FALSE(result.pareto_front[i].dominates(
+        result.pareto_front[i - 1]));
+    EXPECT_FALSE(result.pareto_front[i - 1].dominates(
+        result.pareto_front[i]));
+  }
+  // Every member trains above chance.
+  for (const ArchCandidate& c : result.pareto_front) {
+    EXPECT_GT(c.accuracy, 0.6);
+    EXPECT_GT(c.acc_outputs, 0u);
+    EXPECT_GE(c.widths.at(0), 4u);
+    EXPECT_LE(c.widths.at(0), 32u);
+  }
+}
+
+TEST(ArchSearch, DeterministicGivenSeed) {
+  SearchFixture f;
+  const auto a =
+      search_architectures(&SearchFixture::build, f.config(), f.train,
+                           f.val);
+  const auto b =
+      search_architectures(&SearchFixture::build, f.config(), f.train,
+                           f.val);
+  ASSERT_EQ(a.pareto_front.size(), b.pareto_front.size());
+  for (std::size_t i = 0; i < a.pareto_front.size(); ++i) {
+    EXPECT_EQ(a.pareto_front[i].widths, b.pareto_front[i].widths);
+    EXPECT_DOUBLE_EQ(a.pareto_front[i].accuracy,
+                     b.pareto_front[i].accuracy);
+  }
+}
+
+TEST(ArchSearch, InfeasibleCandidatesAreSkipped) {
+  SearchFixture f;
+  auto picky_builder = [](const std::vector<std::size_t>& widths,
+                          util::Rng& rng) -> nn::Graph {
+    if (widths.at(0) % 2 == 1) {
+      throw std::runtime_error("odd widths unsupported");
+    }
+    return SearchFixture::build(widths, rng);
+  };
+  const auto result =
+      search_architectures(picky_builder, f.config(), f.train, f.val);
+  EXPECT_GT(result.infeasible, 0u);
+  for (const ArchCandidate& c : result.pareto_front) {
+    EXPECT_EQ(c.widths.at(0) % 2, 0u);
+  }
+}
+
+TEST(ArchSearch, RejectsBadBounds) {
+  SearchFixture f;
+  ArchSearchConfig cfg = f.config();
+  cfg.max_widths = {2};  // max < min
+  EXPECT_THROW(search_architectures(&SearchFixture::build, cfg, f.train,
+                                    f.val),
+               std::invalid_argument);
+  cfg.min_widths = {};
+  cfg.max_widths = {};
+  EXPECT_THROW(search_architectures(&SearchFixture::build, cfg, f.train,
+                                    f.val),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iprune::core

@@ -1,0 +1,161 @@
+#include "core/block_pruner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/dense.hpp"
+#include "nn/graph.hpp"
+
+namespace iprune::core {
+namespace {
+
+struct Fixture {
+  nn::Graph graph;
+  std::vector<engine::PrunableLayer> layers;
+
+  explicit Fixture(std::uint64_t seed, std::size_t out = 16,
+                   std::size_t in = 48)
+      : graph(nn::Shape{in}) {
+    util::Rng rng(seed);
+    auto fc = graph.add(std::make_unique<nn::Dense>("fc", in, out, rng),
+                        {graph.input()});
+    graph.set_output(fc);
+    layers = engine::prunable_layers(graph, engine::EngineConfig{},
+                                     device::MemoryConfig{});
+  }
+  engine::PrunableLayer& layer() { return layers.at(0); }
+};
+
+TEST(BlockRms, MatchesManualComputation) {
+  Fixture f(1);
+  const auto& plan = f.layer().plan;
+  const nn::Tensor& w = *f.layer().weight;
+  double sum_sq = 0.0;
+  for (std::size_t r = 0; r < plan.rows_in_tile(0); ++r) {
+    for (std::size_t kk = 0; kk < plan.k_in_tile(0); ++kk) {
+      sum_sq += static_cast<double>(w.at(r, kk)) * w.at(r, kk);
+    }
+  }
+  const double expected = std::sqrt(
+      sum_sq /
+      static_cast<double>(plan.rows_in_tile(0) * plan.k_in_tile(0)));
+  EXPECT_NEAR(block_rms(f.layer(), 0, 0), expected, 1e-9);
+}
+
+TEST(BlockPrune, RemovesLowestRmsBlocksFirst) {
+  Fixture f(2);
+  const auto& plan = f.layer().plan;
+  // Make block (0,0) tiny and block (1,1) huge.
+  for (std::size_t r = 0; r < plan.br; ++r) {
+    for (std::size_t kk = 0; kk < plan.bk; ++kk) {
+      f.layer().weight->at(r, kk) = 1e-4f;
+      f.layer().weight->at(plan.br + r, plan.bk + kk) = 5.0f;
+    }
+  }
+  const std::size_t block_weights = plan.br * plan.bk;
+  const std::size_t removed = prune_layer(
+      f.layer(),
+      static_cast<double>(block_weights) /
+          static_cast<double>(f.layer().total_weights()),
+      Granularity::kBlock);
+  EXPECT_EQ(removed, block_weights);
+  const engine::BlockMask bm = f.layer().block_mask();
+  EXPECT_FALSE(bm.alive(0, 0));
+  EXPECT_TRUE(bm.alive(1, 1));
+}
+
+TEST(BlockPrune, ZeroesWeightsAndMaskTogether) {
+  Fixture f(3);
+  (void)prune_layer(f.layer(), 0.25, Granularity::kBlock);
+  const nn::Tensor& w = *f.layer().weight;
+  const nn::Tensor& m = *f.layer().mask;
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    if (m[i] == 0.0f) {
+      EXPECT_EQ(w[i], 0.0f);
+    }
+  }
+}
+
+TEST(BlockPrune, ReducesAcceleratorOutputs) {
+  Fixture f(4);
+  const std::size_t before = f.layer().acc_outputs();
+  (void)prune_layer(f.layer(), 0.5, Granularity::kBlock);
+  EXPECT_LT(f.layer().acc_outputs(), before);
+}
+
+TEST(FinePrune, RemovesExactCountBySmallestMagnitude) {
+  Fixture f(5);
+  nn::Tensor& w = *f.layer().weight;
+  w.fill(1.0f);
+  w[0] = 0.001f;
+  w[1] = 0.002f;
+  const std::size_t removed = prune_layer(
+      f.layer(), 2.0 / static_cast<double>(w.numel()), Granularity::kFine);
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(w[0], 0.0f);
+  EXPECT_EQ(w[1], 0.0f);
+  EXPECT_EQ(f.layer().alive_weights(), w.numel() - 2);
+}
+
+TEST(FinePrune, DoesNotEliminateWholeBlocks) {
+  // Fine-grained pruning at moderate ratios leaves blocks partially alive,
+  // so accelerator outputs do NOT drop — the paper's guideline-3 argument.
+  Fixture f(6);
+  const std::size_t before = f.layer().acc_outputs();
+  (void)prune_layer(f.layer(), 0.3, Granularity::kFine);
+  EXPECT_EQ(f.layer().acc_outputs(), before);
+}
+
+TEST(ChannelPrune, RemovesWholeRows) {
+  Fixture f(7);
+  nn::Tensor& w = *f.layer().weight;
+  // Make row 3 clearly the smallest.
+  for (std::size_t kk = 0; kk < w.dim(1); ++kk) {
+    w.at(3, kk) = 1e-5f;
+  }
+  const std::size_t k = w.dim(1);
+  (void)prune_layer(f.layer(),
+                    static_cast<double>(k) / static_cast<double>(w.numel()),
+                    Granularity::kChannel);
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    EXPECT_EQ(f.layer().mask->at(3, kk), 0.0f);
+  }
+}
+
+TEST(PruneLayer, ZeroAndTinyRatiosAreNoOps) {
+  Fixture f(8);
+  EXPECT_EQ(prune_layer(f.layer(), 0.0, Granularity::kBlock), 0u);
+  EXPECT_EQ(prune_layer(f.layer(), -1.0, Granularity::kBlock), 0u);
+  EXPECT_EQ(f.layer().alive_weights(), f.layer().total_weights());
+}
+
+TEST(PruneLayer, RepeatedPruningIsCumulative) {
+  Fixture f(9);
+  (void)prune_layer(f.layer(), 0.25, Granularity::kBlock);
+  const std::size_t after_first = f.layer().alive_weights();
+  (void)prune_layer(f.layer(), 0.5, Granularity::kBlock);
+  EXPECT_LT(f.layer().alive_weights(), after_first);
+}
+
+class GranularitySweep : public ::testing::TestWithParam<Granularity> {};
+
+TEST_P(GranularitySweep, RemovedCountApproximatesRatio) {
+  Fixture f(10, 32, 96);
+  const double ratio = 0.4;
+  const std::size_t total = f.layer().total_weights();
+  const std::size_t removed = prune_layer(f.layer(), ratio, GetParam());
+  EXPECT_GE(removed, static_cast<std::size_t>(ratio * total * 0.9));
+  // Coarse granularities overshoot by at most one unit (block/row).
+  EXPECT_LE(removed, static_cast<std::size_t>(ratio * total) + 96u * 4u);
+  EXPECT_EQ(f.layer().alive_weights(), total - removed);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, GranularitySweep,
+                         ::testing::Values(Granularity::kBlock,
+                                           Granularity::kFine,
+                                           Granularity::kChannel));
+
+}  // namespace
+}  // namespace iprune::core

@@ -1,0 +1,173 @@
+#include "core/compress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace iprune::core {
+namespace {
+
+nn::Tensor random_matrix(std::size_t rows, std::size_t cols,
+                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Tensor w({rows, cols});
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    w[i] = static_cast<float>(rng.normal());
+  }
+  return w;
+}
+
+/// Matrix with exact rank `r` (product of two thin random factors).
+nn::Tensor rank_r_matrix(std::size_t rows, std::size_t cols, std::size_t r,
+                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Tensor a({rows, r}), b({r, cols});
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    a[i] = static_cast<float>(rng.normal());
+  }
+  for (std::size_t i = 0; i < b.numel(); ++i) {
+    b[i] = static_cast<float>(rng.normal());
+  }
+  nn::Tensor w({rows, cols});
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < r; ++k) {
+        acc += static_cast<double>(a.at(i, k)) * b.at(k, j);
+      }
+      w.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return w;
+}
+
+double relative_error(const nn::Tensor& a, const nn::Tensor& b) {
+  double diff = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    diff += static_cast<double>(a[i] - b[i]) * (a[i] - b[i]);
+    total += static_cast<double>(a[i]) * a[i];
+  }
+  return std::sqrt(diff / total);
+}
+
+TEST(Decompose, ExactRankMatrixRecoversNearPerfectly) {
+  const nn::Tensor w = rank_r_matrix(20, 30, 3, 1);
+  const Decomposition d = decompose_low_rank(w, 3);
+  EXPECT_LT(d.relative_error, 1e-3);
+  EXPECT_LT(relative_error(w, reconstruct(d)), 1e-3);
+}
+
+TEST(Decompose, ErrorDecreasesWithRank) {
+  const nn::Tensor w = random_matrix(24, 36, 2);
+  double prev = 1.0;
+  for (const std::size_t rank : {1u, 4u, 8u, 16u, 24u}) {
+    const double err = decompose_low_rank(w, rank).relative_error;
+    EXPECT_LE(err, prev + 1e-9);
+    prev = err;
+  }
+  // Full rank reconstructs exactly.
+  EXPECT_LT(decompose_low_rank(w, 24).relative_error, 1e-4);
+}
+
+TEST(Decompose, FactorsHaveRequestedShapes) {
+  const nn::Tensor w = random_matrix(10, 7, 3);
+  const Decomposition d = decompose_low_rank(w, 4);
+  EXPECT_EQ(d.u.shape(), (nn::Shape{10, 4}));
+  EXPECT_EQ(d.v.shape(), (nn::Shape{4, 7}));
+}
+
+TEST(Decompose, RejectsInvalidRank) {
+  const nn::Tensor w = random_matrix(5, 8, 4);
+  EXPECT_THROW(decompose_low_rank(w, 0), std::invalid_argument);
+  EXPECT_THROW(decompose_low_rank(w, 6), std::invalid_argument);
+  EXPECT_THROW(decompose_low_rank(nn::Tensor({4}), 1),
+               std::invalid_argument);
+}
+
+TEST(Decompose, DeterministicAcrossCalls) {
+  const nn::Tensor w = random_matrix(12, 12, 5);
+  const Decomposition a = decompose_low_rank(w, 5);
+  const Decomposition b = decompose_low_rank(w, 5);
+  EXPECT_TRUE(a.u.equals(b.u));
+  EXPECT_TRUE(a.v.equals(b.v));
+}
+
+TEST(Decompose, ChooseRankFindsSmallestSufficient) {
+  const nn::Tensor w = rank_r_matrix(16, 20, 4, 6);
+  const std::size_t rank = choose_rank(w, 0.01);
+  EXPECT_LE(rank, 5u);
+  EXPECT_GE(rank, 3u);
+}
+
+TEST(DecompositionCost, FavorsSmallRanks) {
+  const engine::EngineConfig cfg;
+  const device::MemoryConfig mem;
+  // CKS fc1-like: 3150 -> 16.
+  const DecompositionCost cost = decomposition_cost(16, 3150, 8, cfg, mem);
+  EXPECT_LT(cost.decomposed_acc_outputs, cost.original_acc_outputs);
+  EXPECT_LT(cost.decomposed_weights, cost.original_weights);
+}
+
+TEST(DecompositionCost, FullRankCostsMore) {
+  const engine::EngineConfig cfg;
+  const device::MemoryConfig mem;
+  // Decomposing at full rank adds a second layer: always worse.
+  const DecompositionCost cost = decomposition_cost(16, 100, 16, cfg, mem);
+  EXPECT_GT(cost.decomposed_acc_outputs, cost.original_acc_outputs);
+}
+
+TEST(WeightSharing, ReducesModelBytes) {
+  nn::Tensor w = random_matrix(32, 32, 7);
+  util::Rng rng(1);
+  const WeightSharingResult result = share_weights(w, 16, rng);
+  EXPECT_LT(result.shared_bytes, result.dense_bytes);
+  EXPECT_EQ(result.codebook.size(), 16u);
+}
+
+TEST(WeightSharing, WeightsBecomeCodebookValues) {
+  nn::Tensor w = random_matrix(16, 16, 8);
+  util::Rng rng(2);
+  const WeightSharingResult result = share_weights(w, 8, rng);
+  for (std::size_t i = 0; i < w.numel(); ++i) {
+    if (w[i] == 0.0f) {
+      continue;
+    }
+    bool found = false;
+    for (const float c : result.codebook) {
+      found |= w[i] == c;
+    }
+    EXPECT_TRUE(found) << "weight " << i << " not on the codebook";
+  }
+}
+
+TEST(WeightSharing, PreservesPrunedZeros) {
+  nn::Tensor w = random_matrix(8, 8, 9);
+  for (std::size_t i = 0; i < w.numel(); i += 2) {
+    w[i] = 0.0f;
+  }
+  util::Rng rng(3);
+  (void)share_weights(w, 4, rng);
+  for (std::size_t i = 0; i < w.numel(); i += 2) {
+    EXPECT_EQ(w[i], 0.0f);
+  }
+}
+
+TEST(WeightSharing, MoreClustersLowerError) {
+  util::Rng rng_a(4), rng_b(4);
+  nn::Tensor w4 = random_matrix(32, 32, 10);
+  nn::Tensor w64 = w4;
+  const double mse4 = share_weights(w4, 4, rng_a).mse;
+  const double mse64 = share_weights(w64, 64, rng_b).mse;
+  EXPECT_LT(mse64, mse4);
+}
+
+TEST(WeightSharing, AllZeroTensorIsNoOp) {
+  nn::Tensor w({4, 4});
+  util::Rng rng(5);
+  const WeightSharingResult result = share_weights(w, 8, rng);
+  EXPECT_EQ(result.dense_bytes, 0u);
+  EXPECT_EQ(w.count_nonzero(), 0u);
+}
+
+}  // namespace
+}  // namespace iprune::core

@@ -1,0 +1,88 @@
+#include "core/criterion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/conv2d.hpp"
+#include "nn/activation.hpp"
+#include "nn/dense.hpp"
+
+namespace iprune::core {
+namespace {
+
+nn::Graph two_layer_graph(util::Rng& rng) {
+  nn::Graph g({2, 8, 8});
+  auto conv = g.add(std::make_unique<nn::Conv2d>(
+                        "conv",
+                        nn::Conv2dSpec{.in_channels = 2, .out_channels = 8,
+                                       .kernel_h = 3, .kernel_w = 3,
+                                       .pad_h = 1, .pad_w = 1},
+                        rng),
+                    {g.input()});
+  auto flat = g.add(std::make_unique<nn::Flatten>("flat"), {conv});
+  auto fc = g.add(std::make_unique<nn::Dense>("fc", 8 * 64, 4, rng), {flat});
+  g.set_output(fc);
+  return g;
+}
+
+TEST(Criterion, CollectsStatsPerLayer) {
+  util::Rng rng(1);
+  nn::Graph g = two_layer_graph(rng);
+  engine::EngineConfig cfg;
+  auto layers = engine::prunable_layers(g, cfg, device::MemoryConfig{});
+  const auto stats =
+      collect_layer_stats(layers, device::DeviceConfig::msp430fr5994());
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "conv");
+  EXPECT_EQ(stats[0].alive_weights, 8u * 18u);
+  EXPECT_EQ(stats[0].acc_outputs, layers[0].acc_outputs());
+  EXPECT_GT(stats[0].energy_j, 0.0);
+  EXPECT_EQ(stats[0].sensitivity, 0.0);
+  EXPECT_EQ(stats[1].index, 1u);
+}
+
+TEST(Criterion, EnergyDecreasesWithPruning) {
+  util::Rng rng(2);
+  nn::Graph g = two_layer_graph(rng);
+  engine::EngineConfig cfg;
+  auto layers = engine::prunable_layers(g, cfg, device::MemoryConfig{});
+  const auto& plan = layers[0].plan;
+  const device::DeviceConfig dev = device::DeviceConfig::msp430fr5994();
+
+  const engine::BlockMask full(plan.row_tiles(), plan.k_tiles(), true);
+  engine::BlockMask pruned(plan.row_tiles(), plan.k_tiles(), true);
+  pruned.set(0, 0, false);
+  EXPECT_LT(estimate_layer_energy(plan, pruned, dev),
+            estimate_layer_energy(plan, full, dev));
+}
+
+TEST(Criterion, EnergyScalesWithDeviceCosts) {
+  util::Rng rng(3);
+  nn::Graph g = two_layer_graph(rng);
+  engine::EngineConfig cfg;
+  auto layers = engine::prunable_layers(g, cfg, device::MemoryConfig{});
+  const auto& plan = layers[0].plan;
+  const engine::BlockMask full(plan.row_tiles(), plan.k_tiles(), true);
+
+  device::DeviceConfig cheap = device::DeviceConfig::msp430fr5994();
+  device::DeviceConfig expensive = cheap;
+  expensive.dma.read_us_per_byte *= 4.0;
+  expensive.rails.nvm_read_w *= 2.0;
+  EXPECT_GT(estimate_layer_energy(plan, full, expensive),
+            estimate_layer_energy(plan, full, cheap));
+}
+
+TEST(Criterion, BiggerLayerCostsMoreEnergy) {
+  util::Rng rng(4);
+  nn::Graph g = two_layer_graph(rng);
+  engine::EngineConfig cfg;
+  auto layers = engine::prunable_layers(g, cfg, device::MemoryConfig{});
+  const device::DeviceConfig dev = device::DeviceConfig::msp430fr5994();
+  // conv does 8*64*18 = 9216 MACs; fc does 4*512 = 2048.
+  const auto stats = collect_layer_stats(layers, dev);
+  EXPECT_GT(stats[0].energy_j, stats[1].energy_j);
+}
+
+}  // namespace
+}  // namespace iprune::core

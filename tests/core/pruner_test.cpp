@@ -1,0 +1,172 @@
+// End-to-end iterative pruning on a small trained model: the ε threshold,
+// the second-chance rule, and the rollback-to-most-compact behaviour.
+
+#include "core/pruner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/activation.hpp"
+#include "nn/dense.hpp"
+
+namespace iprune::core {
+namespace {
+
+struct Fixture {
+  nn::Graph graph{nn::Shape{4}};
+  nn::Tensor train_x, val_x;
+  std::vector<int> train_y, val_y;
+
+  Fixture() {
+    util::Rng rng(11);
+    auto h1 = graph.add(std::make_unique<nn::Dense>("h1", 4, 48, rng),
+                        {graph.input()});
+    auto r1 = graph.add(std::make_unique<nn::Relu>("r1"), {h1});
+    auto h2 = graph.add(std::make_unique<nn::Dense>("h2", 48, 24, rng),
+                        {r1});
+    auto r2 = graph.add(std::make_unique<nn::Relu>("r2"), {h2});
+    auto out = graph.add(std::make_unique<nn::Dense>("out", 24, 3, rng),
+                         {r2});
+    graph.set_output(out);
+
+    auto fill = [&](nn::Tensor& x, std::vector<int>& y, std::size_t count) {
+      x = nn::Tensor({count, 4});
+      y.resize(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const int cls = static_cast<int>(rng.uniform_index(3));
+        for (std::size_t d = 0; d < 4; ++d) {
+          const double center = (d == static_cast<std::size_t>(cls)) ? 1.5
+                                                                     : -0.5;
+          x.at(i, d) = static_cast<float>(center + rng.normal(0, 0.4));
+        }
+        y[i] = cls;
+      }
+    };
+    fill(train_x, train_y, 400);
+    fill(val_x, val_y, 200);
+
+    nn::TrainConfig tc;
+    tc.epochs = 12;
+    nn::Trainer(graph).train(train_x, train_y, tc);
+  }
+
+  PruneConfig config() const {
+    PruneConfig cfg;
+    cfg.epsilon = 0.02;
+    cfg.max_iterations = 5;
+    cfg.finetune.epochs = 3;
+    cfg.sensitivity.max_samples = 200;
+    return cfg;
+  }
+};
+
+TEST(IterativePruner, PrunesWhileKeepingAccuracy) {
+  Fixture f;
+  IterativePruner pruner(f.config(), std::make_unique<IPruneAllocator>());
+  const PruneOutcome outcome = pruner.run(f.graph, f.train_x, f.train_y,
+                                          f.val_x, f.val_y);
+  EXPECT_GT(outcome.baseline_accuracy, 0.9);
+  EXPECT_GE(outcome.final_accuracy,
+            outcome.baseline_accuracy - f.config().epsilon - 1e-9);
+  // Real pruning happened.
+  auto layers = engine::prunable_layers(f.graph, engine::EngineConfig{},
+                                        device::MemoryConfig{});
+  std::size_t alive = 0, total = 0;
+  for (const auto& l : layers) {
+    alive += l.alive_weights();
+    total += l.total_weights();
+  }
+  EXPECT_LT(alive, total);
+  EXPECT_EQ(alive, outcome.final_alive_weights);
+}
+
+TEST(IterativePruner, HistoryIsConsistent) {
+  Fixture f;
+  IterativePruner pruner(f.config(), std::make_unique<IPruneAllocator>());
+  const PruneOutcome outcome = pruner.run(f.graph, f.train_x, f.train_y,
+                                          f.val_x, f.val_y);
+  ASSERT_FALSE(outcome.history.empty());
+  for (const auto& rec : outcome.history) {
+    EXPECT_GE(rec.gamma, 0.0);  // recovery-only rally iterations use 0
+    EXPECT_LE(rec.gamma, 0.4 + 1e-9);
+    if (rec.gamma > 0.0) {
+      EXPECT_EQ(rec.layer_ratios.size(), 3u);
+      EXPECT_EQ(rec.sensitivities.size(), 3u);
+    }
+    EXPECT_LE(rec.alive_weights, outcome.history.front().alive_weights);
+  }
+  // Strikes counted consistently with the records.
+  std::size_t strikes = 0;
+  for (const auto& rec : outcome.history) {
+    strikes += rec.strike ? 1 : 0;
+  }
+  EXPECT_EQ(strikes, outcome.strikes);
+}
+
+TEST(IterativePruner, SecondChanceStopsAfterTwoStrikes) {
+  Fixture f;
+  // Impossible threshold: every iteration is a strike, so the loop must
+  // stop after exactly strikes_allowed iterations and roll back fully.
+  PruneConfig cfg = f.config();
+  cfg.epsilon = -1.0;  // any drop (even zero) counts as a strike
+  cfg.max_iterations = 10;
+  IterativePruner pruner(cfg, std::make_unique<IPruneAllocator>());
+  const PruneOutcome outcome = pruner.run(f.graph, f.train_x, f.train_y,
+                                          f.val_x, f.val_y);
+  EXPECT_EQ(outcome.history.size(), cfg.strikes_allowed);
+  EXPECT_EQ(outcome.strikes, cfg.strikes_allowed);
+  // Rolled back to the unpruned state.
+  EXPECT_DOUBLE_EQ(outcome.final_accuracy, outcome.baseline_accuracy);
+  auto layers = engine::prunable_layers(f.graph, engine::EngineConfig{},
+                                        device::MemoryConfig{});
+  for (const auto& l : layers) {
+    EXPECT_EQ(l.alive_weights(), l.total_weights());
+  }
+}
+
+TEST(IterativePruner, MaxIterationsBoundsTheLoop) {
+  Fixture f;
+  PruneConfig cfg = f.config();
+  cfg.max_iterations = 2;
+  cfg.epsilon = 1.0;  // never strikes
+  IterativePruner pruner(cfg, std::make_unique<IPruneAllocator>());
+  const PruneOutcome outcome = pruner.run(f.graph, f.train_x, f.train_y,
+                                          f.val_x, f.val_y);
+  EXPECT_EQ(outcome.history.size(), 2u);
+}
+
+TEST(IterativePruner, FinalStateMatchesReportedCriterion) {
+  Fixture f;
+  IterativePruner pruner(f.config(), std::make_unique<IPruneAllocator>());
+  const PruneOutcome outcome = pruner.run(f.graph, f.train_x, f.train_y,
+                                          f.val_x, f.val_y);
+  auto layers = engine::prunable_layers(f.graph, engine::EngineConfig{},
+                                        device::MemoryConfig{});
+  std::size_t acc_outputs = 0, macs = 0;
+  for (const auto& l : layers) {
+    acc_outputs += l.acc_outputs();
+    macs += l.macs();
+  }
+  EXPECT_EQ(acc_outputs, outcome.final_acc_outputs);
+  EXPECT_EQ(macs, outcome.final_macs);
+}
+
+TEST(IterativePruner, NullAllocatorRejected) {
+  Fixture f;
+  EXPECT_THROW(IterativePruner(f.config(), nullptr), std::invalid_argument);
+}
+
+TEST(IterativePruner, GraphWithoutPrunableLayersRejected) {
+  PruneConfig cfg;
+  IterativePruner pruner(cfg, std::make_unique<IPruneAllocator>());
+  nn::Graph g({4});
+  auto flat = g.add(std::make_unique<nn::Flatten>("f"), {g.input()});
+  g.set_output(flat);
+  nn::Tensor x({4, 4});
+  const std::vector<int> y = {0, 0, 0, 0};
+  EXPECT_THROW(pruner.run(g, x, y, x, y), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iprune::core

@@ -1,0 +1,186 @@
+#include "core/ratio_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace iprune::core {
+namespace {
+
+std::vector<LayerStats> make_stats(
+    std::initializer_list<std::tuple<std::size_t, std::size_t, double>>
+        rows) {
+  // (alive_weights, acc_outputs, sensitivity)
+  std::vector<LayerStats> stats;
+  std::size_t index = 0;
+  for (const auto& [weights, outputs, sens] : rows) {
+    LayerStats s;
+    s.index = index;
+    s.name = "layer" + std::to_string(index++);
+    s.alive_weights = weights;
+    s.total_weights = weights;
+    s.acc_outputs = outputs;
+    s.sensitivity = sens;
+    s.energy_j = static_cast<double>(outputs) * 1e-9;
+    stats.push_back(s);
+  }
+  return stats;
+}
+
+double budget_of(const std::vector<LayerStats>& stats,
+                 const std::vector<double>& ratios) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    total += ratios[i] * static_cast<double>(stats[i].alive_weights);
+  }
+  return total;
+}
+
+double total_weights(const std::vector<LayerStats>& stats) {
+  double total = 0.0;
+  for (const auto& s : stats) {
+    total += static_cast<double>(s.alive_weights);
+  }
+  return total;
+}
+
+TEST(ScaleToBudget, UniformPreferenceGivesUniformRatios) {
+  const auto stats = make_stats({{100, 10, 0}, {300, 30, 0}});
+  const auto ratios =
+      scale_to_budget(stats, {1.0, 1.0}, 0.2, 0.9);
+  EXPECT_NEAR(ratios[0], 0.2, 1e-9);
+  EXPECT_NEAR(ratios[1], 0.2, 1e-9);
+}
+
+TEST(ScaleToBudget, MeetsBudgetExactlyWhenUncapped) {
+  const auto stats = make_stats({{100, 10, 0}, {300, 30, 0}, {50, 5, 0}});
+  const auto ratios = scale_to_budget(stats, {1.0, 2.0, 0.5}, 0.3, 0.9);
+  EXPECT_NEAR(budget_of(stats, ratios), 0.3 * total_weights(stats), 1e-6);
+}
+
+TEST(ScaleToBudget, CapBindsAndRedistributes) {
+  const auto stats = make_stats({{100, 10, 0}, {1000, 30, 0}});
+  // Preference slams layer 0, which caps at 0.5; the remainder must land
+  // on layer 1.
+  const auto ratios = scale_to_budget(stats, {100.0, 1.0}, 0.2, 0.5);
+  EXPECT_NEAR(ratios[0], 0.5, 1e-9);
+  EXPECT_NEAR(budget_of(stats, ratios), 0.2 * total_weights(stats), 1e-6);
+  EXPECT_GT(ratios[1], 0.0);
+}
+
+TEST(ScaleToBudget, AllRatiosWithinBounds) {
+  const auto stats = make_stats({{10, 1, 0}, {20, 2, 0}, {30, 3, 0}});
+  const auto ratios = scale_to_budget(stats, {5.0, 0.0, 1.0}, 0.4, 0.6);
+  for (const double r : ratios) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 0.6 + 1e-12);
+  }
+}
+
+TEST(IPruneOverallRatio, FollowsGuidelineOne) {
+  // 4 layers; layer 2 has the most accelerator outputs. Sensitivity
+  // ranking (desc): layer0 (.5), layer2 (.3), layer1 (.1), layer3 (.05)
+  // -> layer2 has rank 2 -> Γ = 2 * Γ̂ / 4.
+  const auto stats = make_stats({{100, 50, 0.5},
+                                 {100, 40, 0.1},
+                                 {100, 90, 0.3},
+                                 {100, 10, 0.05}});
+  IPruneAllocator alloc;
+  EXPECT_NEAR(alloc.overall_ratio(stats, 0.4), 2.0 * 0.4 / 4.0, 1e-9);
+}
+
+TEST(IPruneOverallRatio, SensitiveHotLayerGivesSmallGamma) {
+  // The hottest layer is also the most sensitive -> rank 1 -> Γ̂/n.
+  const auto stats = make_stats({{100, 90, 0.9},
+                                 {100, 10, 0.1},
+                                 {100, 20, 0.0}});
+  IPruneAllocator alloc;
+  EXPECT_NEAR(alloc.overall_ratio(stats, 0.4), 0.4 / 3.0, 1e-9);
+}
+
+TEST(IPruneOverallRatio, InsensitiveHotLayerGivesLargeGamma) {
+  const auto stats = make_stats({{100, 90, 0.0},
+                                 {100, 10, 0.5},
+                                 {100, 20, 0.3}});
+  IPruneAllocator alloc;
+  EXPECT_NEAR(alloc.overall_ratio(stats, 0.4), 0.4, 1e-9);
+}
+
+TEST(IPruneAllocate, MeetsBudget) {
+  const auto stats = make_stats({{1000, 500, 0.1},
+                                 {2000, 100, 0.0},
+                                 {500, 900, 0.2}});
+  IPruneAllocator alloc;
+  util::Rng rng(1);
+  const auto ratios = alloc.allocate(stats, 0.25, rng);
+  EXPECT_NEAR(budget_of(stats, ratios), 0.25 * total_weights(stats),
+              0.25 * total_weights(stats) * 0.02);
+  for (const double r : ratios) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, alloc.annealing().max_layer_ratio + 1e-9);
+  }
+}
+
+TEST(IPruneAllocate, PrefersHighOutputInsensitiveLayers) {
+  // Layer 0: many outputs per weight, insensitive. Layer 1: few outputs,
+  // sensitive. SA should prune layer 0 harder.
+  const auto stats = make_stats({{1000, 5000, 0.0},
+                                 {1000, 200, 0.5}});
+  IPruneAllocator alloc;
+  util::Rng rng(2);
+  const auto ratios = alloc.allocate(stats, 0.2, rng);
+  EXPECT_GT(ratios[0], ratios[1]);
+}
+
+TEST(IPruneAllocate, SuperlinearPenaltyProtectsSensitiveLayer) {
+  // Layer 0 has the most outputs per weight but is highly sensitive; the
+  // superlinear risk term must keep SA from slamming it to the cap even
+  // though its output payoff is the largest.
+  const auto stats = make_stats({{500, 5000, 0.60},
+                                 {5000, 4000, 0.01}});
+  IPruneAllocator alloc;
+  util::Rng rng(3);
+  const auto ratios = alloc.allocate(stats, 0.2, rng);
+  EXPECT_LT(ratios[0], alloc.annealing().max_layer_ratio - 1e-9);
+  EXPECT_GT(ratios[1], 0.0);
+}
+
+TEST(WPruneObjective, NameAndByteDrivenAllocation) {
+  AnnealingConfig cfg;
+  cfg.objective = AnnealingConfig::Objective::kNvmWriteBytes;
+  IPruneAllocator wprune(cfg);
+  EXPECT_STREQ(wprune.name(), "wPrune");
+
+  // Layer 0 heavy in *bytes* (psum-heavy), layer 1 heavy in output count
+  // alone: the byte objective must prefer pruning layer 0.
+  auto stats = make_stats({{1000, 1000, 0.0}, {1000, 1200, 0.0}});
+  stats[0].nvm_write_bytes = 50000;
+  stats[1].nvm_write_bytes = 8000;
+  util::Rng rng(7);
+  const auto ratios = wprune.allocate(stats, 0.2, rng);
+  EXPECT_GT(ratios[0], ratios[1]);
+}
+
+TEST(IPruneAllocate, DeterministicGivenSeed) {
+  const auto stats = make_stats({{1000, 500, 0.1},
+                                 {2000, 100, 0.0},
+                                 {500, 900, 0.2}});
+  IPruneAllocator alloc;
+  util::Rng a(5), b(5);
+  EXPECT_EQ(alloc.allocate(stats, 0.3, a), alloc.allocate(stats, 0.3, b));
+}
+
+TEST(IPruneAllocate, HandlesSingleLayerAndEmpty) {
+  IPruneAllocator alloc;
+  util::Rng rng(6);
+  const auto one = make_stats({{100, 10, 0.1}});
+  const auto ratios = alloc.allocate(one, 0.3, rng);
+  ASSERT_EQ(ratios.size(), 1u);
+  EXPECT_NEAR(ratios[0], 0.3, 1e-9);
+  EXPECT_TRUE(alloc.allocate({}, 0.3, rng).empty());
+  EXPECT_EQ(alloc.overall_ratio({}, 0.4), 0.0);
+}
+
+}  // namespace
+}  // namespace iprune::core

@@ -1,0 +1,69 @@
+#include "core/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/dense.hpp"
+
+namespace iprune::core {
+namespace {
+
+nn::Graph make_graph(std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Graph g({3});
+  auto fc = g.add(std::make_unique<nn::Dense>("fc", 3, 2, rng),
+                  {g.input()});
+  g.set_output(fc);
+  return g;
+}
+
+TEST(Snapshot, RestoresValuesAndMasks) {
+  nn::Graph g = make_graph(1);
+  const GraphSnapshot snap = take_snapshot(g);
+
+  auto& fc = dynamic_cast<nn::Dense&>(g.layer(1));
+  const float original = fc.weight().at(0, 0);
+  fc.weight().at(0, 0) = 99.0f;
+  fc.weight_mask().at(1, 1) = 0.0f;
+
+  restore_snapshot(g, snap);
+  EXPECT_EQ(fc.weight().at(0, 0), original);
+  EXPECT_EQ(fc.weight_mask().at(1, 1), 1.0f);
+}
+
+TEST(Snapshot, IndependentOfLaterMutation) {
+  nn::Graph g = make_graph(2);
+  auto& fc = dynamic_cast<nn::Dense&>(g.layer(1));
+  fc.weight().at(0, 0) = 5.0f;
+  const GraphSnapshot snap = take_snapshot(g);
+  fc.weight().at(0, 0) = 7.0f;
+  EXPECT_EQ(snap.values[0].at(0, 0), 5.0f);
+}
+
+TEST(Snapshot, RejectsForeignGraph) {
+  nn::Graph a = make_graph(3);
+  const GraphSnapshot snap = take_snapshot(a);
+
+  util::Rng rng(4);
+  nn::Graph b({3});
+  auto fc1 = b.add(std::make_unique<nn::Dense>("fc1", 3, 2, rng),
+                   {b.input()});
+  auto fc2 = b.add(std::make_unique<nn::Dense>("fc2", 2, 2, rng), {fc1});
+  b.set_output(fc2);
+  EXPECT_THROW(restore_snapshot(b, snap), std::invalid_argument);
+}
+
+TEST(Snapshot, RestoredGraphComputesIdentically) {
+  nn::Graph g = make_graph(5);
+  nn::Tensor x({1, 3}, {1, 2, 3});
+  const nn::Tensor before = g.forward(x);
+  const GraphSnapshot snap = take_snapshot(g);
+  auto& fc = dynamic_cast<nn::Dense&>(g.layer(1));
+  fc.weight().fill(0.0f);
+  restore_snapshot(g, snap);
+  EXPECT_TRUE(g.forward(x).equals(before));
+}
+
+}  // namespace
+}  // namespace iprune::core

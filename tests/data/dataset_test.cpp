@@ -1,0 +1,82 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace iprune::data {
+namespace {
+
+Dataset make_dataset(std::size_t count) {
+  Dataset d;
+  d.num_classes = 3;
+  d.inputs = nn::Tensor({count, 2});
+  d.labels.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    d.inputs.at(i, 0) = static_cast<float>(i);
+    d.inputs.at(i, 1) = static_cast<float>(i) * 10.0f;
+    d.labels[i] = static_cast<int>(i % 3);
+  }
+  return d;
+}
+
+TEST(Dataset, SampleShapeDropsLeadingDim) {
+  const Dataset d = make_dataset(5);
+  EXPECT_EQ(d.sample_shape(), (nn::Shape{2}));
+  EXPECT_EQ(d.size(), 5u);
+}
+
+TEST(Split, PartitionsAllSamples) {
+  const Dataset d = make_dataset(100);
+  util::Rng rng(1);
+  const Split s = split_dataset(d, 0.8, rng);
+  EXPECT_EQ(s.train.size(), 80u);
+  EXPECT_EQ(s.val.size(), 20u);
+  EXPECT_EQ(s.train.num_classes, 3u);
+}
+
+TEST(Split, KeepsInputLabelPairsTogether) {
+  const Dataset d = make_dataset(50);
+  util::Rng rng(2);
+  const Split s = split_dataset(d, 0.5, rng);
+  for (const Dataset* part : {&s.train, &s.val}) {
+    for (std::size_t i = 0; i < part->size(); ++i) {
+      const auto original = static_cast<std::size_t>(part->inputs.at(i, 0));
+      EXPECT_EQ(part->labels[i], static_cast<int>(original % 3));
+      EXPECT_FLOAT_EQ(part->inputs.at(i, 1),
+                      static_cast<float>(original) * 10.0f);
+    }
+  }
+}
+
+TEST(Split, NoSampleAppearsTwice) {
+  const Dataset d = make_dataset(40);
+  util::Rng rng(3);
+  const Split s = split_dataset(d, 0.6, rng);
+  std::set<float> seen;
+  for (const Dataset* part : {&s.train, &s.val}) {
+    for (std::size_t i = 0; i < part->size(); ++i) {
+      EXPECT_TRUE(seen.insert(part->inputs.at(i, 0)).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 40u);
+}
+
+TEST(Split, RejectsDegenerateFractions) {
+  const Dataset d = make_dataset(10);
+  util::Rng rng(4);
+  EXPECT_THROW(split_dataset(d, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(split_dataset(d, 1.0, rng), std::invalid_argument);
+}
+
+TEST(ClassHistogram, CountsPerClass) {
+  const Dataset d = make_dataset(9);
+  const auto hist = class_histogram(d);
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 3u);
+  EXPECT_EQ(hist[1], 3u);
+  EXPECT_EQ(hist[2], 3u);
+}
+
+}  // namespace
+}  // namespace iprune::data

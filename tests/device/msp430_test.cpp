@@ -1,0 +1,144 @@
+#include "device/msp430.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "power/supply.hpp"
+
+namespace iprune::device {
+namespace {
+
+Msp430Device continuous_device() {
+  return Msp430Device(DeviceConfig::msp430fr5994(),
+                      power::SupplyPresets::continuous());
+}
+
+TEST(Msp430, DmaReadAdvancesClockByModelLatency) {
+  Msp430Device dev = continuous_device();
+  const DeviceConfig& cfg = dev.config();
+  ASSERT_TRUE(dev.dma_read(100));
+  EXPECT_DOUBLE_EQ(dev.now_us(),
+                   cfg.dma.invocation_us + 100 * cfg.dma.read_us_per_byte);
+  EXPECT_EQ(dev.stats().nvm_bytes_read, 100u);
+  EXPECT_EQ(dev.stats().dma_commands, 1u);
+}
+
+TEST(Msp430, WriteLatencyTaggedAsNvmWrite) {
+  Msp430Device dev = continuous_device();
+  ASSERT_TRUE(dev.dma_write(64));
+  EXPECT_GT(dev.stats().tag_us(CostTag::kNvmWrite), 0.0);
+  EXPECT_EQ(dev.stats().tag_us(CostTag::kNvmRead), 0.0);
+  EXPECT_EQ(dev.stats().nvm_bytes_written, 64u);
+}
+
+TEST(Msp430, LeaOpCountsMacs) {
+  Msp430Device dev = continuous_device();
+  ASSERT_TRUE(dev.lea_op(256));
+  EXPECT_EQ(dev.stats().macs, 256u);
+  EXPECT_EQ(dev.stats().lea_invocations, 1u);
+  const DeviceConfig& cfg = dev.config();
+  EXPECT_DOUBLE_EQ(dev.now_us(),
+                   cfg.lea.invoke_us + 256 * cfg.lea.mac_us);
+}
+
+TEST(Msp430, EnergyAccumulates) {
+  Msp430Device dev = continuous_device();
+  ASSERT_TRUE(dev.dma_write(100));
+  const double e1 = dev.stats().energy_j;
+  EXPECT_GT(e1, 0.0);
+  ASSERT_TRUE(dev.lea_op(100));
+  EXPECT_GT(dev.stats().energy_j, e1);
+}
+
+TEST(Msp430, ContinuousPowerNeverFails) {
+  Msp430Device dev = continuous_device();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(dev.dma_write(512));
+  }
+  EXPECT_EQ(dev.stats().power_failures, 0u);
+  EXPECT_EQ(dev.vm_epoch(), 0u);
+}
+
+TEST(Msp430, WeakPowerCausesFailuresAndRecovery) {
+  Msp430Device dev(DeviceConfig::msp430fr5994(),
+                   power::SupplyPresets::weak());
+  std::size_t failures = 0;
+  for (int i = 0; i < 20000 && failures == 0; ++i) {
+    if (!dev.dma_write(64)) {
+      ++failures;
+    }
+  }
+  ASSERT_GT(failures, 0u) << "weak supply should brown out eventually";
+  EXPECT_EQ(dev.stats().power_failures, failures);
+  EXPECT_EQ(dev.vm_epoch(), failures);
+  EXPECT_GT(dev.stats().off_time_us, 0.0);
+  EXPECT_GT(dev.stats().tag_us(CostTag::kReboot), 0.0);
+}
+
+TEST(Msp430, FailedOpCanBeRetriedAfterRecharge) {
+  Msp430Device dev(DeviceConfig::msp430fr5994(),
+                   power::SupplyPresets::weak());
+  for (int i = 0; i < 100000; ++i) {
+    if (!dev.dma_write(64)) {
+      // The recharged buffer must allow the retry to succeed.
+      EXPECT_TRUE(dev.dma_write(64));
+      return;
+    }
+  }
+  FAIL() << "never saw a power failure";
+}
+
+TEST(Msp430, OversizedOperationThrows) {
+  // One op bigger than the whole energy buffer can never complete.
+  Msp430Device dev(DeviceConfig::msp430fr5994(),
+                   power::SupplyPresets::weak());
+  EXPECT_THROW((void)dev.dma_write(20 * 1024 * 1024), std::runtime_error);
+}
+
+TEST(Msp430, PipelinedJobExposesMaxOfComputeAndWrite) {
+  Msp430Device dev = continuous_device();
+  const DeviceConfig& cfg = dev.config();
+  // Write-dominated job.
+  ASSERT_TRUE(dev.pipelined_job(4, 8, 0));
+  const double write_us =
+      cfg.dma.invocation_us + 8 * cfg.dma.write_us_per_byte;
+  const double lea_us = cfg.lea.invoke_us + 4 * cfg.lea.mac_us;
+  ASSERT_GT(write_us, lea_us);
+  EXPECT_DOUBLE_EQ(dev.now_us(), write_us);
+  EXPECT_DOUBLE_EQ(dev.stats().tag_us(CostTag::kNvmWrite), write_us);
+  EXPECT_DOUBLE_EQ(dev.stats().tag_us(CostTag::kLea), 0.0);
+}
+
+TEST(Msp430, PipelinedJobComputeDominatedTagsLea) {
+  Msp430Device dev = continuous_device();
+  ASSERT_TRUE(dev.pipelined_job(200, 2, 0));
+  EXPECT_GT(dev.stats().tag_us(CostTag::kLea), 0.0);
+  EXPECT_EQ(dev.stats().tag_us(CostTag::kNvmWrite), 0.0);
+}
+
+TEST(Msp430, PipelinedJobWithoutMacsSkipsLea) {
+  Msp430Device dev = continuous_device();
+  ASSERT_TRUE(dev.pipelined_job(0, 8, 4));
+  EXPECT_EQ(dev.stats().lea_invocations, 0u);
+  EXPECT_EQ(dev.stats().macs, 0u);
+}
+
+TEST(Msp430, ResetStatsClears) {
+  Msp430Device dev = continuous_device();
+  ASSERT_TRUE(dev.dma_write(10));
+  dev.reset_stats();
+  EXPECT_EQ(dev.stats().nvm_bytes_written, 0u);
+  EXPECT_EQ(dev.stats().energy_j, 0.0);
+  // The clock is NOT reset (it is the device's lifetime).
+  EXPECT_GT(dev.now_us(), 0.0);
+}
+
+TEST(Msp430, DescribeMentionsKeyNumbers) {
+  const std::string desc = describe(DeviceConfig::msp430fr5994());
+  EXPECT_NE(desc.find("8 KB"), std::string::npos);
+  EXPECT_NE(desc.find("512 KB"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iprune::device

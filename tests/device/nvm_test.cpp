@@ -1,0 +1,81 @@
+#include "device/nvm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iprune::device {
+namespace {
+
+TEST(Nvm, AllocatorHandsOutDisjointRegions) {
+  Nvm nvm(1024);
+  const Address a = nvm.allocate(100);
+  const Address b = nvm.allocate(50);
+  EXPECT_GE(b, a + 100);
+  EXPECT_EQ(nvm.capacity(), 1024u);
+  EXPECT_LE(nvm.allocated(), 1024u);
+}
+
+TEST(Nvm, AllocationsAreTwoByteAligned) {
+  Nvm nvm(1024);
+  (void)nvm.allocate(3);
+  const Address b = nvm.allocate(2);
+  EXPECT_EQ(b % 2, 0u);
+}
+
+TEST(Nvm, ExhaustionThrows) {
+  Nvm nvm(64);
+  (void)nvm.allocate(60);
+  EXPECT_THROW(nvm.allocate(8), std::runtime_error);
+}
+
+TEST(Nvm, ResetReclaimsAndZeroes) {
+  Nvm nvm(64);
+  const Address a = nvm.allocate(8);
+  nvm.write_i32(a, 0x12345678);
+  nvm.reset();
+  EXPECT_EQ(nvm.allocated(), 0u);
+  const Address b = nvm.allocate(8);
+  EXPECT_EQ(nvm.read_i32(b), 0);
+}
+
+TEST(Nvm, TypedAccessorsRoundTrip) {
+  Nvm nvm(64);
+  const Address a = nvm.allocate(16);
+  nvm.write_i16(a, -12345);
+  nvm.write_i32(a + 4, -7654321);
+  nvm.write_u32(a + 8, 0xDEADBEEF);
+  EXPECT_EQ(nvm.read_i16(a), -12345);
+  EXPECT_EQ(nvm.read_i32(a + 4), -7654321);
+  EXPECT_EQ(nvm.read_u32(a + 8), 0xDEADBEEFu);
+}
+
+TEST(Nvm, BulkReadWriteRoundTrip) {
+  Nvm nvm(128);
+  const Address a = nvm.allocate(8);
+  const std::uint8_t src[4] = {1, 2, 3, 4};
+  nvm.write(a, src);
+  std::uint8_t dst[4] = {};
+  nvm.read(a, dst);
+  EXPECT_EQ(dst[0], 1);
+  EXPECT_EQ(dst[3], 4);
+}
+
+TEST(Nvm, OutOfRangeAccessThrows) {
+  Nvm nvm(16);
+  EXPECT_THROW((void)nvm.read_i16(15), std::out_of_range);
+  EXPECT_THROW(nvm.write_i32(14, 1), std::out_of_range);
+  EXPECT_NO_THROW(nvm.write_i16(14, 1));
+}
+
+TEST(Nvm, DataPersistsAcrossManyWrites) {
+  Nvm nvm(4096);
+  const Address a = nvm.allocate(4096);
+  for (std::size_t i = 0; i < 2048; ++i) {
+    nvm.write_i16(a + i * 2, static_cast<std::int16_t>(i - 1024));
+  }
+  for (std::size_t i = 0; i < 2048; ++i) {
+    EXPECT_EQ(nvm.read_i16(a + i * 2), static_cast<std::int16_t>(i - 1024));
+  }
+}
+
+}  // namespace
+}  // namespace iprune::device

@@ -1,0 +1,126 @@
+#include "engine/bsr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace iprune::engine {
+namespace {
+
+TilePlan small_plan() {
+  TilePlan plan;
+  plan.rows = 8;
+  plan.cols = 4;
+  plan.k = 24;
+  plan.br = 4;
+  plan.bk = 12;
+  plan.bc = 4;
+  return plan;
+}
+
+nn::QTensor random_quantized(const TilePlan& plan, std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Tensor dense({plan.rows, plan.k});
+  for (std::size_t i = 0; i < dense.numel(); ++i) {
+    dense[i] = static_cast<float>(rng.normal());
+  }
+  return nn::quantize_q15(dense);
+}
+
+TEST(Bsr, FullMaskKeepsEveryBlock) {
+  const TilePlan plan = small_plan();
+  const BlockMask mask(plan.row_tiles(), plan.k_tiles(), true);
+  const nn::QTensor dense = random_quantized(plan, 1);
+  const BsrMatrix bsr = BsrMatrix::build(dense, mask, plan);
+  EXPECT_EQ(bsr.nnz_blocks(), plan.row_tiles() * plan.k_tiles());
+  EXPECT_EQ(bsr.block_elems(), plan.br * plan.bk);
+  EXPECT_EQ(bsr.row_begin(0), 0u);
+  EXPECT_EQ(bsr.row_end(plan.row_tiles() - 1), bsr.nnz_blocks());
+}
+
+TEST(Bsr, RoundTripsThroughToDense) {
+  const TilePlan plan = small_plan();
+  BlockMask mask(plan.row_tiles(), plan.k_tiles(), true);
+  mask.set(0, 1, false);
+  nn::QTensor dense = random_quantized(plan, 2);
+  // Zero the masked block so the round trip is exact.
+  for (std::size_t r = 0; r < plan.br; ++r) {
+    for (std::size_t kk = plan.bk; kk < 2 * plan.bk; ++kk) {
+      dense.data[r * plan.k + kk] = 0;
+    }
+  }
+  const BsrMatrix bsr = BsrMatrix::build(dense, mask, plan);
+  EXPECT_EQ(bsr.nnz_blocks(), plan.row_tiles() * plan.k_tiles() - 1);
+  const nn::QTensor back = bsr.to_dense(plan, dense.scale);
+  EXPECT_EQ(back.data, dense.data);
+}
+
+TEST(Bsr, ColumnIndicesIdentifyKTiles) {
+  const TilePlan plan = small_plan();
+  BlockMask mask(plan.row_tiles(), plan.k_tiles(), false);
+  mask.set(1, 1, true);
+  const nn::QTensor dense = random_quantized(plan, 3);
+  const BsrMatrix bsr = BsrMatrix::build(dense, mask, plan);
+  ASSERT_EQ(bsr.nnz_blocks(), 1u);
+  EXPECT_EQ(bsr.row_begin(0), bsr.row_end(0));  // row 0 empty
+  EXPECT_EQ(bsr.col(bsr.row_begin(1)), 1u);
+}
+
+TEST(Bsr, DeviceBytesCountValuesAndIndices) {
+  const TilePlan plan = small_plan();
+  const BlockMask mask(plan.row_tiles(), plan.k_tiles(), true);
+  const nn::QTensor dense = random_quantized(plan, 4);
+  const BsrMatrix bsr = BsrMatrix::build(dense, mask, plan);
+  const std::size_t expected =
+      bsr.nnz_blocks() * plan.br * plan.bk * 2  // int16 values
+      + bsr.nnz_blocks() * 2                    // uint16 col indices
+      + (plan.row_tiles() + 1) * 2;             // uint16 row pointers
+  EXPECT_EQ(bsr.device_bytes(), expected);
+}
+
+TEST(Bsr, PruningShrinksDeviceBytes) {
+  const TilePlan plan = small_plan();
+  const nn::QTensor dense = random_quantized(plan, 5);
+  const BlockMask full(plan.row_tiles(), plan.k_tiles(), true);
+  BlockMask half(plan.row_tiles(), plan.k_tiles(), true);
+  half.set(0, 0, false);
+  half.set(1, 1, false);
+  EXPECT_LT(BsrMatrix::build(dense, half, plan).device_bytes(),
+            BsrMatrix::build(dense, full, plan).device_bytes());
+}
+
+TEST(Bsr, RaggedEdgeBlocksZeroPadded) {
+  TilePlan plan;
+  plan.rows = 6;  // ragged: 4 + 2
+  plan.cols = 1;
+  plan.k = 15;  // ragged: 12 + 3
+  plan.br = 4;
+  plan.bk = 12;
+  plan.bc = 1;
+  nn::QTensor dense;
+  dense.shape = {6, 15};
+  dense.scale = 1.0f;
+  dense.data.assign(90, 7);
+  const BlockMask mask(plan.row_tiles(), plan.k_tiles(), true);
+  const BsrMatrix bsr = BsrMatrix::build(dense, mask, plan);
+  // Last block (rt=1, kt=1) holds rows 4..5 x k 12..14 = real 2x3 extent
+  // inside a padded 4x12 block.
+  const std::int16_t* block = bsr.block(bsr.nnz_blocks() - 1);
+  EXPECT_EQ(block[0], 7);                  // (r=0, kk=0) real
+  EXPECT_EQ(block[3], 0);                  // (r=0, kk=3) padding
+  EXPECT_EQ(block[2 * plan.bk], 0);        // (r=2, ...) padding row
+  const nn::QTensor back = bsr.to_dense(plan, 1.0f);
+  EXPECT_EQ(back.data, dense.data);
+}
+
+TEST(Bsr, ShapeMismatchThrows) {
+  const TilePlan plan = small_plan();
+  const BlockMask mask(plan.row_tiles(), plan.k_tiles(), true);
+  nn::QTensor wrong;
+  wrong.shape = {4, 4};
+  wrong.data.assign(16, 0);
+  EXPECT_THROW(BsrMatrix::build(wrong, mask, plan), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iprune::engine

@@ -1,0 +1,173 @@
+// Deployment/NVM-layout checks: region accounting, aliasing, quantized
+// weight placement, and scale propagation.
+
+#include "engine/deploy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/activation.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "power/supply.hpp"
+
+namespace iprune::engine {
+namespace {
+
+struct Fixture {
+  nn::Graph graph{nn::Shape{2, 4, 4}};
+  device::Msp430Device device{device::DeviceConfig::msp430fr5994(),
+                              power::SupplyPresets::continuous()};
+  nn::Tensor calib{nn::Shape{4, 2, 4, 4}};
+
+  Fixture() {
+    util::Rng rng(21);
+    auto conv = graph.add(std::make_unique<nn::Conv2d>(
+                              "conv",
+                              nn::Conv2dSpec{.in_channels = 2,
+                                             .out_channels = 3,
+                                             .kernel_h = 3, .kernel_w = 3,
+                                             .pad_h = 1, .pad_w = 1},
+                              rng),
+                          {graph.input()});
+    auto relu = graph.add(std::make_unique<nn::Relu>("relu"), {conv});
+    auto flat = graph.add(std::make_unique<nn::Flatten>("flat"), {relu});
+    auto fc = graph.add(std::make_unique<nn::Dense>("fc", 48, 5, rng),
+                        {flat});
+    graph.set_output(fc);
+    for (std::size_t i = 0; i < calib.numel(); ++i) {
+      calib[i] = static_cast<float>((static_cast<int>(i % 17) - 8)) * 0.1f;
+    }
+  }
+};
+
+TEST(Deploy, AllocatesWithinNvm) {
+  Fixture f;
+  DeployedModel model(f.graph, EngineConfig{}, f.device, f.calib);
+  EXPECT_LE(f.device.nvm().allocated(), f.device.nvm().capacity());
+  EXPECT_GT(model.model_bytes(), 0u);
+}
+
+TEST(Deploy, ModelBytesEqualsSumOfGemmDeployments) {
+  Fixture f;
+  DeployedModel model(f.graph, EngineConfig{}, f.device, f.calib);
+  std::size_t expected = 0;
+  for (nn::NodeId id = 0; id < model.lowered().nodes.size(); ++id) {
+    if (model.node(id).gemm != nullptr) {
+      expected += model.node(id).gemm->device_bytes();
+    }
+  }
+  EXPECT_EQ(model.model_bytes(), expected);
+}
+
+TEST(Deploy, AliasNodesShareBuffers) {
+  Fixture f;
+  DeployedModel model(f.graph, EngineConfig{}, f.device, f.calib);
+  // relu (folded -> alias of conv) and flatten (alias of relu).
+  EXPECT_EQ(model.node(2).buffer, model.node(1).buffer);
+  EXPECT_EQ(model.node(3).buffer, model.node(2).buffer);
+  // Distinct nodes otherwise.
+  EXPECT_NE(model.node(1).buffer, model.node(0).buffer);
+  EXPECT_NE(model.node(4).buffer, model.node(1).buffer);
+}
+
+TEST(Deploy, WeightsLandInNvmMatchingBsr) {
+  Fixture f;
+  DeployedModel model(f.graph, EngineConfig{}, f.device, f.calib);
+  const NodeDeployment& nd = model.node(1);  // conv
+  ASSERT_NE(nd.gemm, nullptr);
+  const GemmDeployment& gd = *nd.gemm;
+  for (std::size_t i = 0; i < gd.bsr.values().size(); ++i) {
+    EXPECT_EQ(f.device.nvm().read_i16(gd.values_addr + i * 2),
+              gd.bsr.values()[i]);
+  }
+  for (std::size_t i = 0; i < gd.bias_q.size(); ++i) {
+    EXPECT_EQ(f.device.nvm().read_i32(gd.bias_addr + i * 4), gd.bias_q[i]);
+  }
+}
+
+TEST(Deploy, ScalesArePositiveAndPropagated) {
+  Fixture f;
+  DeployedModel model(f.graph, EngineConfig{}, f.device, f.calib);
+  for (nn::NodeId id = 0; id < model.lowered().nodes.size(); ++id) {
+    EXPECT_GT(model.node(id).scale, 0.0f) << "node " << id;
+  }
+  EXPECT_EQ(model.input_scale(), model.node(0).scale);
+  EXPECT_EQ(model.output_scale(), model.node(4).scale);
+  // Folded relu / flatten inherit the conv scale.
+  EXPECT_EQ(model.node(2).scale, model.node(1).scale);
+  EXPECT_EQ(model.node(3).scale, model.node(1).scale);
+}
+
+TEST(Deploy, PrunedModelAllocatesFewerWeightBytes) {
+  Fixture unpruned;
+  DeployedModel full(unpruned.graph, EngineConfig{}, unpruned.device,
+                     unpruned.calib);
+
+  Fixture pruned;
+  auto& conv = dynamic_cast<nn::Conv2d&>(pruned.graph.layer(1));
+  // Kill a whole (row-tile, k-tile) block: all rows, first 12 k entries
+  // (one channel alone would leave its block partially alive).
+  for (std::size_t r = 0; r < conv.weight().dim(0); ++r) {
+    for (std::size_t kk = 0; kk < 12; ++kk) {
+      conv.weight_mask().at(r, kk) = 0.0f;
+    }
+  }
+  conv.apply_mask();
+  DeployedModel sparse(pruned.graph, EngineConfig{}, pruned.device,
+                       pruned.calib);
+  EXPECT_LT(sparse.model_bytes(), full.model_bytes());
+  EXPECT_LT(sparse.total_macs(), full.total_macs());
+}
+
+TEST(Deploy, RejectsOversizedModel) {
+  // A graph whose activations exceed 512 KB must fail deployment loudly.
+  util::Rng rng(22);
+  nn::Graph g({64, 64, 64});  // 256K elements -> 512 KB activations alone
+  auto conv = g.add(std::make_unique<nn::Conv2d>(
+                        "conv",
+                        nn::Conv2dSpec{.in_channels = 64,
+                                       .out_channels = 64, .kernel_h = 1,
+                                       .kernel_w = 1},
+                        rng),
+                    {g.input()});
+  g.set_output(conv);
+  device::Msp430Device dev(device::DeviceConfig::msp430fr5994(),
+                           power::SupplyPresets::continuous());
+  nn::Tensor calib({1, 64, 64, 64});
+  EXPECT_THROW(DeployedModel(g, EngineConfig{}, dev, calib),
+               std::runtime_error);
+}
+
+TEST(Deploy, LayoutIsValidAndRegionsRecorded) {
+  Fixture f;
+  DeployedModel model(f.graph, EngineConfig{}, f.device, f.calib);
+  EXPECT_EQ(model.validate_layout(f.device.nvm()), "");
+  // progress + 3 real buffers (input, conv, fc) + 4 conv arrays + 4 fc
+  // arrays + psum scratch.
+  EXPECT_GE(model.regions().size(), 10u);
+  std::size_t total = 0;
+  for (const auto& region : model.regions()) {
+    EXPECT_GT(region.bytes, 0u) << region.label;
+    total += region.bytes;
+  }
+  EXPECT_LE(total, f.device.nvm().capacity());
+}
+
+TEST(Deploy, TotalsMatchPrunableLayerSums) {
+  Fixture f;
+  DeployedModel model(f.graph, EngineConfig{}, f.device, f.calib);
+  const auto layers = prunable_layers(f.graph, EngineConfig{},
+                                      f.device.config().memory);
+  std::size_t macs = 0, outputs = 0;
+  for (const auto& l : layers) {
+    macs += l.macs();
+    outputs += l.acc_outputs();
+  }
+  EXPECT_EQ(model.total_macs(), macs);
+  EXPECT_EQ(model.total_acc_outputs(), outputs);
+}
+
+}  // namespace
+}  // namespace iprune::engine

@@ -1,0 +1,136 @@
+// Property sweep over engine/tile/power configurations: for every
+// combination, intermittent execution must (a) produce logits identical
+// to the continuous-power reference, (b) report accelerator outputs equal
+// to the analytic criterion, and (c) be fully deterministic.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/engine.hpp"
+#include "nn/activation.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/pool.hpp"
+#include "power/supply.hpp"
+
+namespace iprune {
+namespace {
+
+struct EngineParams {
+  std::size_t max_k_per_op;
+  std::size_t block_rows;
+  double power_w;
+  double capacitance_f;
+};
+
+void PrintTo(const EngineParams& p, std::ostream* os) {
+  *os << "bk" << p.max_k_per_op << "_br" << p.block_rows << "_"
+      << p.power_w * 1e3 << "mW_" << p.capacitance_f * 1e6 << "uF";
+}
+
+nn::Graph make_graph() {
+  util::Rng rng(7);
+  nn::Graph g({2, 6, 6});
+  auto c1 = g.add(std::make_unique<nn::Conv2d>(
+                      "c1",
+                      nn::Conv2dSpec{.in_channels = 2, .out_channels = 5,
+                                     .kernel_h = 3, .kernel_w = 3,
+                                     .pad_h = 1, .pad_w = 1},
+                      rng),
+                  {g.input()});
+  auto r1 = g.add(std::make_unique<nn::Relu>("r1"), {c1});
+  auto p1 = g.add(std::make_unique<nn::MaxPool2d>("p1",
+                                                  nn::PoolSpec{2, 2, 2}),
+                  {r1});
+  auto flat = g.add(std::make_unique<nn::Flatten>("flat"), {p1});
+  auto fc = g.add(std::make_unique<nn::Dense>("fc", 5 * 9, 4, rng), {flat});
+  g.set_output(fc);
+  return g;
+}
+
+nn::Tensor make_sample() {
+  util::Rng rng(9);
+  nn::Tensor s({2, 6, 6});
+  for (std::size_t i = 0; i < s.numel(); ++i) {
+    s[i] = static_cast<float>(rng.normal(0.0, 0.4));
+  }
+  return s;
+}
+
+class EngineProperties : public ::testing::TestWithParam<EngineParams> {};
+
+TEST_P(EngineProperties, CorrectCountedAndDeterministic) {
+  const EngineParams& p = GetParam();
+  nn::Graph graph = make_graph();
+  util::Rng rng(11);
+  nn::Tensor calib({6, 2, 6, 6});
+  for (std::size_t i = 0; i < calib.numel(); ++i) {
+    calib[i] = static_cast<float>(rng.normal(0.0, 0.4));
+  }
+  const nn::Tensor sample = make_sample();
+
+  engine::EngineConfig cfg;
+  cfg.max_k_per_op = p.max_k_per_op;
+  cfg.block_rows = p.block_rows;
+
+  // Continuous-power reference logits.
+  std::vector<float> reference;
+  {
+    device::Msp430Device dev(device::DeviceConfig::msp430fr5994(),
+                             power::SupplyPresets::continuous());
+    engine::DeployedModel model(graph, cfg, dev, calib);
+    engine::IntermittentEngine eng(model, dev);
+    reference = eng.run(sample).logits;
+  }
+
+  power::BufferConfig buffer;
+  buffer.capacitance_f = p.capacitance_f;
+  auto run_once = [&]() {
+    device::Msp430Device dev(
+        device::DeviceConfig::msp430fr5994(),
+        std::make_unique<power::ConstantSupply>(p.power_w), buffer);
+    engine::DeployedModel model(graph, cfg, dev, calib);
+    engine::IntermittentEngine eng(model, dev);
+    auto result = eng.run(sample);
+    EXPECT_EQ(result.stats.acc_outputs, model.total_acc_outputs());
+    return result;
+  };
+
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_TRUE(a.stats.completed);
+
+  // (a) power failures never change the computed result.
+  ASSERT_EQ(a.logits.size(), reference.size());
+  for (std::size_t c = 0; c < reference.size(); ++c) {
+    EXPECT_FLOAT_EQ(a.logits[c], reference[c]) << "class " << c;
+  }
+  // (c) full determinism, including timing.
+  EXPECT_EQ(a.logits, b.logits);
+  EXPECT_DOUBLE_EQ(a.stats.latency_s, b.stats.latency_s);
+  EXPECT_EQ(a.stats.power_failures, b.stats.power_failures);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EngineProperties,
+    ::testing::Values(
+        EngineParams{12, 4, 8e-3, 100e-6},
+        EngineParams{12, 4, 4e-3, 100e-6},
+        EngineParams{4, 4, 4e-3, 100e-6},
+        EngineParams{24, 2, 8e-3, 100e-6},
+        EngineParams{12, 8, 4e-3, 47e-6},
+        EngineParams{2, 1, 8e-3, 47e-6},
+        EngineParams{48, 4, 4e-3, 220e-6},
+        EngineParams{12, 4, 2e-3, 100e-6}),
+    [](const ::testing::TestParamInfo<EngineParams>& info) {
+      return "bk" + std::to_string(info.param.max_k_per_op) + "_br" +
+             std::to_string(info.param.block_rows) + "_uW" +
+             std::to_string(static_cast<int>(info.param.power_w * 1e6)) +
+             "_uF" +
+             std::to_string(
+                 static_cast<int>(info.param.capacitance_f * 1e6));
+    });
+
+}  // namespace
+}  // namespace iprune

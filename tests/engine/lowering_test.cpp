@@ -1,0 +1,152 @@
+#include "engine/lowering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/activation.hpp"
+#include "nn/concat.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/pool.hpp"
+
+namespace iprune::engine {
+namespace {
+
+nn::Graph conv_relu_fc(util::Rng& rng) {
+  nn::Graph g({2, 6, 6});
+  auto conv = g.add(std::make_unique<nn::Conv2d>(
+                        "conv",
+                        nn::Conv2dSpec{.in_channels = 2, .out_channels = 4,
+                                       .kernel_h = 3, .kernel_w = 3,
+                                       .pad_h = 1, .pad_w = 1},
+                        rng),
+                    {g.input()});
+  auto relu = g.add(std::make_unique<nn::Relu>("relu"), {conv});
+  auto pool = g.add(std::make_unique<nn::MaxPool2d>("pool",
+                                                    nn::PoolSpec{2, 2, 2}),
+                    {relu});
+  auto flat = g.add(std::make_unique<nn::Flatten>("flat"), {pool});
+  auto fc = g.add(std::make_unique<nn::Dense>("fc", 4 * 3 * 3, 5, rng),
+                  {flat});
+  g.set_output(fc);
+  return g;
+}
+
+TEST(Lowering, KindsAssignedCorrectly) {
+  util::Rng rng(1);
+  nn::Graph g = conv_relu_fc(rng);
+  EngineConfig cfg;
+  const LoweredGraph lowered = lower_graph(g, cfg, device::MemoryConfig{});
+  ASSERT_EQ(lowered.nodes.size(), 6u);
+  EXPECT_EQ(lowered.at(0).kind, LoweredKind::kAlias);   // input
+  EXPECT_EQ(lowered.at(1).kind, LoweredKind::kGemmConv);
+  EXPECT_EQ(lowered.at(2).kind, LoweredKind::kAlias);   // folded relu
+  EXPECT_TRUE(lowered.at(1).relu_folded);
+  EXPECT_EQ(lowered.at(3).kind, LoweredKind::kMaxPool);
+  EXPECT_EQ(lowered.at(4).kind, LoweredKind::kAlias);   // flatten
+  EXPECT_EQ(lowered.at(5).kind, LoweredKind::kGemmDense);
+  EXPECT_FALSE(lowered.at(5).relu_folded);
+}
+
+TEST(Lowering, ConvGeometryCaptured) {
+  util::Rng rng(2);
+  nn::Graph g = conv_relu_fc(rng);
+  EngineConfig cfg;
+  const LoweredGraph lowered = lower_graph(g, cfg, device::MemoryConfig{});
+  const ConvGeometry& geo = lowered.at(1).conv;
+  EXPECT_EQ(geo.in_c, 2u);
+  EXPECT_EQ(geo.in_h, 6u);
+  EXPECT_EQ(geo.out_h, 6u);
+  EXPECT_EQ(geo.pad_h, 1u);
+  const TilePlan& plan = lowered.at(1).plan;
+  EXPECT_EQ(plan.rows, 4u);
+  EXPECT_EQ(plan.cols, 36u);
+  EXPECT_EQ(plan.k, 18u);
+}
+
+TEST(Lowering, ReluFoldDisabledByConfig) {
+  util::Rng rng(3);
+  nn::Graph g = conv_relu_fc(rng);
+  EngineConfig cfg;
+  cfg.fold_relu = false;
+  const LoweredGraph lowered = lower_graph(g, cfg, device::MemoryConfig{});
+  EXPECT_EQ(lowered.at(2).kind, LoweredKind::kCopyRelu);
+  EXPECT_FALSE(lowered.at(1).relu_folded);
+}
+
+TEST(Lowering, ReluNotFoldedWhenProducerHasOtherConsumers) {
+  // conv output feeds both the relu and a concat: the raw value is
+  // observable, so folding would be wrong.
+  util::Rng rng(4);
+  nn::Graph g({1, 4, 4});
+  auto conv = g.add(std::make_unique<nn::Conv2d>(
+                        "conv",
+                        nn::Conv2dSpec{.in_channels = 1, .out_channels = 2,
+                                       .kernel_h = 1, .kernel_w = 1},
+                        rng),
+                    {g.input()});
+  auto relu = g.add(std::make_unique<nn::Relu>("relu"), {conv});
+  auto cat = g.add(std::make_unique<nn::Concat>("cat"), {conv, relu});
+  g.set_output(cat);
+  EngineConfig cfg;
+  const LoweredGraph lowered = lower_graph(g, cfg, device::MemoryConfig{});
+  EXPECT_EQ(lowered.at(relu).kind, LoweredKind::kCopyRelu);
+  EXPECT_FALSE(lowered.at(conv).relu_folded);
+  EXPECT_EQ(lowered.at(cat).kind, LoweredKind::kCopyConcat);
+}
+
+TEST(Lowering, PrunableLayersExposeWeightsAndMasks) {
+  util::Rng rng(5);
+  nn::Graph g = conv_relu_fc(rng);
+  EngineConfig cfg;
+  auto layers = prunable_layers(g, cfg, device::MemoryConfig{});
+  ASSERT_EQ(layers.size(), 2u);
+  EXPECT_EQ(layers[0].name, "conv");
+  EXPECT_TRUE(layers[0].is_conv);
+  EXPECT_EQ(layers[1].name, "fc");
+  EXPECT_FALSE(layers[1].is_conv);
+  EXPECT_EQ(layers[0].total_weights(), 4u * 18u);
+  EXPECT_EQ(layers[0].alive_weights(), layers[0].total_weights());
+
+  // Masks are live pointers into the graph.
+  layers[1].mask->at(0, 0) = 0.0f;
+  auto& fc = dynamic_cast<nn::Dense&>(g.layer(5));
+  EXPECT_EQ(fc.weight_mask().at(0, 0), 0.0f);
+}
+
+TEST(Lowering, CalibrationScalesFollowAbsMax) {
+  util::Rng rng(6);
+  nn::Graph g = conv_relu_fc(rng);
+  EngineConfig cfg;
+  const LoweredGraph lowered = lower_graph(g, cfg, device::MemoryConfig{});
+  nn::Tensor batch({4, 2, 6, 6});
+  for (std::size_t i = 0; i < batch.numel(); ++i) {
+    batch[i] = static_cast<float>((i % 13)) * 0.1f - 0.6f;
+  }
+  const CalibrationTable table = calibrate(g, lowered, batch);
+  ASSERT_EQ(table.node_scale.size(), 6u);
+  EXPECT_NEAR(table.scale(0), batch.abs_max() / 32767.0f, 1e-9);
+  // Pool and aliases inherit their input's scale.
+  EXPECT_EQ(table.scale(2), table.scale(1));  // folded relu alias
+  EXPECT_EQ(table.scale(3), table.scale(2));  // max pool
+  EXPECT_EQ(table.scale(4), table.scale(3));  // flatten
+  for (const float s : table.node_scale) {
+    EXPECT_GT(s, 0.0f);
+  }
+}
+
+TEST(Lowering, GemmSummariesMatchLayerShapes) {
+  util::Rng rng(7);
+  nn::Graph g = conv_relu_fc(rng);
+  EngineConfig cfg;
+  auto layers = prunable_layers(g, cfg, device::MemoryConfig{});
+  // conv: R=4, S=36, K=18 -> MACs 2592; fc: R=5, S=1, K=36 -> 180.
+  EXPECT_EQ(layers[0].macs(), 4u * 36u * 18u);
+  EXPECT_EQ(layers[1].macs(), 5u * 36u);
+  EXPECT_EQ(layers[0].acc_outputs(),
+            4u * 36u * layers[0].plan.k_tiles());
+}
+
+}  // namespace
+}  // namespace iprune::engine

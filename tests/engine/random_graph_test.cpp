@@ -1,0 +1,143 @@
+// Randomized structural testing: generate random small DAGs (conv / pool
+// / fc / fire-style concat in random shapes), deploy them, and require
+// the quantized intermittent engine to agree with the float graph and to
+// survive weak power bit-identically. Catches lowering bugs that
+// hand-written architectures miss (ragged tiles, odd strides, unusual
+// channel counts).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "engine/engine.hpp"
+#include "nn/activation.hpp"
+#include "nn/concat.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/pool.hpp"
+#include "power/supply.hpp"
+
+namespace iprune {
+namespace {
+
+/// Build a random conv stack (optionally with a fire-style fork) ending
+/// in a dense classifier. Shapes stay small so the whole sweep is fast.
+nn::Graph random_graph(util::Rng& rng) {
+  const std::size_t in_c = 1 + rng.uniform_index(3);
+  const std::size_t side = 6 + 2 * rng.uniform_index(3);  // 6, 8, 10
+  nn::Graph g({in_c, side, side});
+  nn::NodeId x = g.input();
+  std::size_t channels = in_c;
+  std::size_t h = side, w = side;
+
+  const std::size_t conv_count = 1 + rng.uniform_index(2);
+  for (std::size_t i = 0; i < conv_count; ++i) {
+    const std::size_t out_c = 2 + rng.uniform_index(5);
+    const std::size_t kernel = rng.bernoulli(0.5) ? 3 : 1;
+    const std::size_t pad = kernel / 2;
+    x = g.add(std::make_unique<nn::Conv2d>(
+                  "conv" + std::to_string(i),
+                  nn::Conv2dSpec{.in_channels = channels,
+                                 .out_channels = out_c,
+                                 .kernel_h = kernel, .kernel_w = kernel,
+                                 .pad_h = pad, .pad_w = pad},
+                  rng),
+              {x});
+    if (rng.bernoulli(0.7)) {
+      x = g.add(std::make_unique<nn::Relu>("relu" + std::to_string(i)),
+                {x});
+    }
+    channels = out_c;
+  }
+
+  if (rng.bernoulli(0.5) && h >= 4) {
+    x = g.add(std::make_unique<nn::MaxPool2d>("pool", nn::PoolSpec{2, 2, 2}),
+              {x});
+    h /= 2;
+    w /= 2;
+  }
+
+  if (rng.bernoulli(0.4)) {  // fire-style fork
+    const std::size_t e = 2 + rng.uniform_index(3);
+    auto b1 = g.add(std::make_unique<nn::Conv2d>(
+                        "b1",
+                        nn::Conv2dSpec{.in_channels = channels,
+                                       .out_channels = e, .kernel_h = 1,
+                                       .kernel_w = 1},
+                        rng),
+                    {x});
+    auto b2 = g.add(std::make_unique<nn::Conv2d>(
+                        "b2",
+                        nn::Conv2dSpec{.in_channels = channels,
+                                       .out_channels = e, .kernel_h = 3,
+                                       .kernel_w = 3, .pad_h = 1,
+                                       .pad_w = 1},
+                        rng),
+                    {x});
+    x = g.add(std::make_unique<nn::Concat>("cat"), {b1, b2});
+    channels = 2 * e;
+  }
+
+  x = g.add(std::make_unique<nn::Flatten>("flat"), {x});
+  const std::size_t features = channels * h * w;
+  const std::size_t classes = 2 + rng.uniform_index(6);
+  x = g.add(std::make_unique<nn::Dense>("fc", features, classes, rng), {x});
+  g.set_output(x);
+  return g;
+}
+
+class RandomGraphs : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomGraphs, EngineMatchesFloatAndSurvivesWeakPower) {
+  util::Rng rng(GetParam());
+  nn::Graph graph = random_graph(rng);
+
+  const nn::Shape& in_shape = graph.input_shape();
+  nn::Tensor calib({6, in_shape[0], in_shape[1], in_shape[2]});
+  for (std::size_t i = 0; i < calib.numel(); ++i) {
+    calib[i] = static_cast<float>(rng.normal(0.0, 0.5));
+  }
+  nn::Tensor sample(in_shape);
+  for (std::size_t i = 0; i < sample.numel(); ++i) {
+    sample[i] = static_cast<float>(rng.normal(0.0, 0.5));
+  }
+
+  engine::EngineConfig cfg;
+  // Float reference (argmax + tolerance).
+  nn::Tensor batch({1, in_shape[0], in_shape[1], in_shape[2]});
+  for (std::size_t i = 0; i < sample.numel(); ++i) {
+    batch[i] = sample[i];
+  }
+  const nn::Tensor float_logits = graph.forward(batch);
+
+  auto run_with = [&](std::unique_ptr<power::PowerSupply> supply) {
+    device::Msp430Device dev(device::DeviceConfig::msp430fr5994(),
+                             std::move(supply));
+    engine::DeployedModel model(graph, cfg, dev, calib);
+    EXPECT_EQ(model.validate_layout(dev.nvm()), "");
+    engine::IntermittentEngine eng(model, dev);
+    auto result = eng.run(sample);
+    EXPECT_EQ(result.stats.acc_outputs, model.total_acc_outputs());
+    return result;
+  };
+
+  const auto cont = run_with(power::SupplyPresets::continuous());
+  ASSERT_TRUE(cont.stats.completed);
+  const float span = float_logits.abs_max();
+  for (std::size_t c = 0; c < cont.logits.size(); ++c) {
+    EXPECT_NEAR(cont.logits[c], float_logits.at(0, c),
+                0.02f * std::max(1.0f, span))
+        << "seed " << GetParam() << " class " << c;
+  }
+
+  const auto weak = run_with(power::SupplyPresets::weak());
+  ASSERT_TRUE(weak.stats.completed);
+  EXPECT_EQ(weak.logits, cont.logits)
+      << "power failures changed the result (seed " << GetParam() << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphs,
+                         ::testing::Range<std::uint64_t>(1000, 1016));
+
+}  // namespace
+}  // namespace iprune

@@ -1,0 +1,212 @@
+#include "engine/tile_plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iprune::engine {
+namespace {
+
+device::MemoryConfig default_memory() {
+  return device::MemoryConfig{};
+}
+
+TEST(TilePlan, CeilDivAndExtents) {
+  EXPECT_EQ(TilePlan::ceil_div(10, 3), 4u);
+  EXPECT_EQ(TilePlan::ceil_div(9, 3), 3u);
+  EXPECT_EQ(TilePlan::extent(10, 4, 0), 4u);
+  EXPECT_EQ(TilePlan::extent(10, 4, 2), 2u);  // last ragged tile
+}
+
+TEST(TilePlan, PlanRespectsConfigCaps) {
+  EngineConfig cfg;
+  const TilePlan plan = plan_gemm(64, 256, 150, cfg, default_memory());
+  EXPECT_EQ(plan.bk, cfg.max_k_per_op);
+  EXPECT_EQ(plan.br, cfg.block_rows);
+  EXPECT_LE(plan.bc, cfg.max_cols_per_tile);
+  EXPECT_GE(plan.bc, 1u);
+  EXPECT_LE(plan.vm_bytes_needed(cfg.mode),
+            default_memory().vm_bytes - cfg.vm_reserve_bytes);
+}
+
+TEST(TilePlan, SmallLayerClampsTiles) {
+  EngineConfig cfg;
+  const TilePlan plan = plan_gemm(2, 1, 5, cfg, default_memory());
+  EXPECT_EQ(plan.br, 2u);
+  EXPECT_EQ(plan.bk, 5u);
+  EXPECT_EQ(plan.bc, 1u);
+  EXPECT_EQ(plan.row_tiles(), 1u);
+  EXPECT_EQ(plan.k_tiles(), 1u);
+}
+
+TEST(TilePlan, TinyVmShrinksSpatialTile) {
+  EngineConfig cfg;
+  device::MemoryConfig mem;
+  mem.vm_bytes = cfg.vm_reserve_bytes + 600;
+  const TilePlan plan = plan_gemm(64, 256, 150, cfg, mem);
+  EXPECT_LT(plan.bc, cfg.max_cols_per_tile);
+  EXPECT_LE(plan.vm_bytes_needed(cfg.mode), 600u);
+}
+
+TEST(TilePlan, ImpossibleVmThrows) {
+  EngineConfig cfg;
+  device::MemoryConfig mem;
+  mem.vm_bytes = cfg.vm_reserve_bytes + 16;  // nothing fits
+  EXPECT_THROW(plan_gemm(64, 256, 150, cfg, mem), std::runtime_error);
+}
+
+TEST(TilePlan, DegenerateDimensionsThrow) {
+  EngineConfig cfg;
+  EXPECT_THROW(plan_gemm(0, 1, 1, cfg, default_memory()),
+               std::invalid_argument);
+}
+
+TEST(TilePlan, RaggedTileArithmeticIsConsistent) {
+  EngineConfig cfg;
+  const TilePlan plan = plan_gemm(10, 33, 29, cfg, default_memory());
+  std::size_t rows = 0;
+  for (std::size_t rt = 0; rt < plan.row_tiles(); ++rt) {
+    rows += plan.rows_in_tile(rt);
+  }
+  EXPECT_EQ(rows, plan.rows);
+  std::size_t k = 0;
+  for (std::size_t kt = 0; kt < plan.k_tiles(); ++kt) {
+    k += plan.k_in_tile(kt);
+  }
+  EXPECT_EQ(k, plan.k);
+  std::size_t cols = 0;
+  for (std::size_t ct = 0; ct < plan.col_tiles(); ++ct) {
+    cols += plan.cols_in_tile(ct);
+  }
+  EXPECT_EQ(cols, plan.cols);
+}
+
+TEST(BlockMask, FromDenseDetectsAliveBlocks) {
+  EngineConfig cfg;
+  const TilePlan plan = plan_gemm(8, 1, 24, cfg, default_memory());
+  nn::Tensor mask({8, 24});
+  mask.fill(1.0f);
+  // Kill block (rt=1, kt=0): rows 4..7, k 0..11.
+  for (std::size_t r = 4; r < 8; ++r) {
+    for (std::size_t kk = 0; kk < 12; ++kk) {
+      mask.at(r, kk) = 0.0f;
+    }
+  }
+  const BlockMask bm = BlockMask::from_dense(mask, plan);
+  EXPECT_TRUE(bm.alive(0, 0));
+  EXPECT_TRUE(bm.alive(0, 1));
+  EXPECT_FALSE(bm.alive(1, 0));
+  EXPECT_TRUE(bm.alive(1, 1));
+  EXPECT_EQ(bm.alive_count(), 3u);
+  EXPECT_EQ(bm.alive_in_row(1), 1u);
+}
+
+TEST(BlockMask, SingleSurvivingWeightKeepsBlockAlive) {
+  EngineConfig cfg;
+  const TilePlan plan = plan_gemm(4, 1, 12, cfg, default_memory());
+  nn::Tensor mask({4, 12});
+  mask.fill(0.0f);
+  mask.at(2, 5) = 1.0f;
+  const BlockMask bm = BlockMask::from_dense(mask, plan);
+  EXPECT_TRUE(bm.alive(0, 0));
+  EXPECT_EQ(bm.alive_count(), 1u);
+}
+
+TEST(Criterion, UnprunedCountMatchesClosedForm) {
+  EngineConfig cfg;
+  const TilePlan plan = plan_gemm(16, 64, 36, cfg, default_memory());
+  const BlockMask full(plan.row_tiles(), plan.k_tiles(), true);
+  // Every output gets one write per k-pass: R * S * k_tiles.
+  EXPECT_EQ(count_accelerator_outputs(plan, full),
+            16u * 64u * plan.k_tiles());
+  EXPECT_EQ(count_macs(plan, full), 16u * 64u * 36u);
+}
+
+TEST(Criterion, PrunedBlockRemovesOnePassOfOutputs) {
+  EngineConfig cfg;
+  const TilePlan plan = plan_gemm(16, 64, 36, cfg, default_memory());
+  BlockMask mask(plan.row_tiles(), plan.k_tiles(), true);
+  mask.set(0, 1, false);
+  const std::size_t expected =
+      16u * 64u * plan.k_tiles() - plan.rows_in_tile(0) * 64u;
+  EXPECT_EQ(count_accelerator_outputs(plan, mask), expected);
+}
+
+TEST(Criterion, DeadRowStillCostsBiasFillOutputs) {
+  EngineConfig cfg;
+  const TilePlan plan = plan_gemm(8, 10, 24, cfg, default_memory());
+  BlockMask mask(plan.row_tiles(), plan.k_tiles(), true);
+  for (std::size_t kt = 0; kt < plan.k_tiles(); ++kt) {
+    mask.set(0, kt, false);
+  }
+  // Row tile 0 has no compute passes but its outputs are still written
+  // once (bias fill), so the count is rows*cols, not zero.
+  const std::size_t row0 = plan.rows_in_tile(0) * plan.cols;
+  const std::size_t others =
+      (plan.rows - plan.rows_in_tile(0)) * plan.cols * plan.k_tiles();
+  EXPECT_EQ(count_accelerator_outputs(plan, mask), row0 + others);
+  EXPECT_EQ(count_macs(plan, mask),
+            (plan.rows - plan.rows_in_tile(0)) * plan.cols * plan.k);
+}
+
+TEST(Criterion, WriteBytesUnprunedClosedForm) {
+  EngineConfig cfg;
+  const TilePlan plan = plan_gemm(16, 64, 36, cfg, default_memory());
+  const BlockMask full(plan.row_tiles(), plan.k_tiles(), true);
+  // Each output: (k_tiles-1) psum passes of (4+4) bytes plus one final
+  // (2+4)-byte pass.
+  const std::size_t per_output = (plan.k_tiles() - 1) * 8 + 6;
+  EXPECT_EQ(count_nvm_write_bytes(plan, full, 4, 4),
+            16u * 64u * per_output);
+}
+
+TEST(Criterion, WriteBytesTrackAccOutputsButNotProportionally) {
+  EngineConfig cfg;
+  const TilePlan plan = plan_gemm(8, 16, 48, cfg, default_memory());
+  BlockMask mask(plan.row_tiles(), plan.k_tiles(), true);
+  const std::size_t bytes_full = count_nvm_write_bytes(plan, mask, 4, 4);
+  const std::size_t outs_full = count_accelerator_outputs(plan, mask);
+  mask.set(0, 0, false);
+  const std::size_t bytes_pruned = count_nvm_write_bytes(plan, mask, 4, 4);
+  const std::size_t outs_pruned = count_accelerator_outputs(plan, mask);
+  EXPECT_LT(bytes_pruned, bytes_full);
+  EXPECT_LT(outs_pruned, outs_full);
+  // A pruned pass removes 8 bytes/output while the average pass costs
+  // less than that (the final pass is cheaper) -> ratios differ.
+  const double byte_ratio = static_cast<double>(bytes_pruned) / bytes_full;
+  const double out_ratio = static_cast<double>(outs_pruned) / outs_full;
+  EXPECT_NE(byte_ratio, out_ratio);
+}
+
+TEST(Criterion, WriteBytesDeadRowIsBiasFillOnly) {
+  EngineConfig cfg;
+  const TilePlan plan = plan_gemm(4, 8, 24, cfg, default_memory());
+  BlockMask mask(plan.row_tiles(), plan.k_tiles(), false);
+  EXPECT_EQ(count_nvm_write_bytes(plan, mask, 4, 4), 4u * 8u * 6u);
+}
+
+struct PlanDims {
+  std::size_t rows, cols, k;
+};
+
+class TilePlanSweep : public ::testing::TestWithParam<PlanDims> {};
+
+TEST_P(TilePlanSweep, VmFitAndCoverageInvariants) {
+  const auto [rows, cols, k] = GetParam();
+  EngineConfig cfg;
+  const TilePlan plan = plan_gemm(rows, cols, k, cfg, default_memory());
+  EXPECT_LE(plan.vm_bytes_needed(cfg.mode),
+            default_memory().vm_bytes - cfg.vm_reserve_bytes);
+  EXPECT_EQ(plan.row_tiles() * plan.k_tiles() > 0, true);
+  const BlockMask full(plan.row_tiles(), plan.k_tiles(), true);
+  EXPECT_EQ(count_macs(plan, full), rows * cols * k);
+  EXPECT_EQ(count_accelerator_outputs(plan, full),
+            rows * cols * plan.k_tiles());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dims, TilePlanSweep,
+    ::testing::Values(PlanDims{1, 1, 1}, PlanDims{10, 1, 3150},
+                      PlanDims{128, 64, 288}, PlanDims{6, 1, 768},
+                      PlanDims{28, 110, 32}, PlanDims{48, 32, 96}));
+
+}  // namespace
+}  // namespace iprune::engine

@@ -1,0 +1,295 @@
+// Full-pipeline integration: train a small workload-like model, prune it
+// with both frameworks, deploy every variant to the simulated device, and
+// verify the paper's end-to-end claims in miniature — pruned models run
+// faster under intermittent power, iPrune eliminates at least as many
+// accelerator outputs as ePrune, results stay correct across power
+// failures.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/eprune.hpp"
+#include "core/pruner.hpp"
+#include "data/synthetic.hpp"
+#include "engine/engine.hpp"
+#include "nn/activation.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/pool.hpp"
+#include "nn/trainer.hpp"
+#include "power/supply.hpp"
+
+namespace iprune {
+namespace {
+
+/// Miniature HAR-like conv net (fast enough for a unit-test budget).
+nn::Graph build_mini_har(util::Rng& rng) {
+  nn::Graph g({3, 1, 32});
+  auto c1 = g.add(std::make_unique<nn::Conv2d>(
+                      "c1",
+                      nn::Conv2dSpec{.in_channels = 3, .out_channels = 8,
+                                     .kernel_h = 1, .kernel_w = 5,
+                                     .pad_h = 0, .pad_w = 2},
+                      rng),
+                  {g.input()});
+  auto r1 = g.add(std::make_unique<nn::Relu>("r1"), {c1});
+  auto p1 = g.add(std::make_unique<nn::MaxPool2d>("p1",
+                                                  nn::PoolSpec{1, 2, 2}),
+                  {r1});
+  auto c2 = g.add(std::make_unique<nn::Conv2d>(
+                      "c2",
+                      nn::Conv2dSpec{.in_channels = 8, .out_channels = 16,
+                                     .kernel_h = 1, .kernel_w = 3,
+                                     .pad_h = 0, .pad_w = 1},
+                      rng),
+                  {p1});
+  auto r2 = g.add(std::make_unique<nn::Relu>("r2"), {c2});
+  auto flat = g.add(std::make_unique<nn::Flatten>("flat"), {r2});
+  auto fc = g.add(std::make_unique<nn::Dense>("fc", 16 * 16, 6, rng),
+                  {flat});
+  g.set_output(fc);
+  return g;
+}
+
+data::Dataset mini_dataset(std::size_t samples) {
+  data::SyntheticConfig cfg;
+  cfg.samples = samples;
+  cfg.seed = 77;
+  cfg.noise = 0.8f;
+  data::Dataset full = data::make_har_dataset(cfg);
+  // Crop the 128-wide windows to 32 to match the mini model.
+  data::Dataset cropped;
+  cropped.num_classes = full.num_classes;
+  cropped.labels = full.labels;
+  cropped.inputs = nn::Tensor({samples, 3, 1, 32});
+  for (std::size_t n = 0; n < samples; ++n) {
+    for (std::size_t axis = 0; axis < 3; ++axis) {
+      for (std::size_t t = 0; t < 32; ++t) {
+        cropped.inputs.at(n, axis, 0, t) = full.inputs.at(n, axis, 0, t);
+      }
+    }
+  }
+  return cropped;
+}
+
+nn::Tensor sample_of(const data::Dataset& d, std::size_t index) {
+  nn::Tensor s(d.sample_shape());
+  const std::size_t elems = s.numel();
+  for (std::size_t i = 0; i < elems; ++i) {
+    s[i] = d.inputs[index * elems + i];
+  }
+  return s;
+}
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new util::Rng(123);
+    train_ = new data::Dataset(mini_dataset(500));
+    val_ = new data::Dataset(mini_dataset(200));
+
+    baseline_ = new nn::Graph(build_mini_har(*rng_));
+    nn::TrainConfig tc;
+    tc.epochs = 8;
+    nn::Trainer(*baseline_).train(train_->inputs, train_->labels, tc);
+  }
+
+  static void TearDownTestSuite() {
+    delete baseline_;
+    delete val_;
+    delete train_;
+    delete rng_;
+    baseline_ = nullptr;
+  }
+
+  static core::PruneConfig prune_config() {
+    core::PruneConfig cfg;
+    cfg.epsilon = 0.02;
+    cfg.max_iterations = 4;
+    cfg.finetune.epochs = 3;
+    cfg.sensitivity.max_samples = 128;
+    return cfg;
+  }
+
+  /// Fresh copy of the trained baseline.
+  static nn::Graph trained_copy() {
+    util::Rng rng(123);
+    nn::Graph g = build_mini_har(rng);
+    const core::GraphSnapshot snap = core::take_snapshot(*baseline_);
+    core::restore_snapshot(g, snap);
+    return g;
+  }
+
+  static util::Rng* rng_;
+  static data::Dataset* train_;
+  static data::Dataset* val_;
+  static nn::Graph* baseline_;
+};
+
+util::Rng* EndToEnd::rng_ = nullptr;
+data::Dataset* EndToEnd::train_ = nullptr;
+data::Dataset* EndToEnd::val_ = nullptr;
+nn::Graph* EndToEnd::baseline_ = nullptr;
+
+TEST_F(EndToEnd, BaselineLearns) {
+  nn::Graph g = trained_copy();
+  const auto result =
+      nn::Trainer(g).evaluate(val_->inputs, val_->labels);
+  EXPECT_GT(result.accuracy, 0.8);
+}
+
+TEST_F(EndToEnd, BothFrameworksPruneWithinEpsilon) {
+  for (const bool use_iprune : {false, true}) {
+    nn::Graph g = trained_copy();
+    std::unique_ptr<core::RatioAllocator> alloc;
+    if (use_iprune) {
+      alloc = std::make_unique<core::IPruneAllocator>();
+    } else {
+      alloc = std::make_unique<baselines::EPruneAllocator>();
+    }
+    core::IterativePruner pruner(prune_config(), std::move(alloc));
+    const core::PruneOutcome outcome =
+        pruner.run(g, train_->inputs, train_->labels, val_->inputs,
+                   val_->labels);
+    EXPECT_GE(outcome.final_accuracy,
+              outcome.baseline_accuracy - prune_config().epsilon - 1e-9);
+    if (use_iprune) {
+      // ePrune may legitimately strike out without finding safe mass on a
+      // model this small; iPrune's sensitivity-aware allocation must not.
+      EXPECT_LT(outcome.final_alive_weights,
+                static_cast<std::size_t>(
+                    0.95 * static_cast<double>(g.parameter_count())))
+          << "iPrune should prune something";
+    }
+  }
+}
+
+TEST_F(EndToEnd, IPruneEliminatesAtLeastAsManyAccOutputsAsEPrune) {
+  auto run = [&](std::unique_ptr<core::RatioAllocator> alloc) {
+    nn::Graph g = trained_copy();
+    core::IterativePruner pruner(prune_config(), std::move(alloc));
+    return pruner
+        .run(g, train_->inputs, train_->labels, val_->inputs, val_->labels)
+        .final_acc_outputs;
+  };
+  const std::size_t iprune_outputs =
+      run(std::make_unique<core::IPruneAllocator>());
+  const std::size_t eprune_outputs =
+      run(std::make_unique<baselines::EPruneAllocator>());
+  // On a 3-layer mini model the allocators land close together; the
+  // meaningful margin appears on the real workloads (bench_table3 /
+  // bench_fig5). Here we only require iPrune not to *lose decisively* on
+  // its own objective.
+  EXPECT_LE(static_cast<double>(iprune_outputs),
+            static_cast<double>(eprune_outputs) * 1.15)
+      << "the intermittent-aware criterion must not lose decisively to "
+         "the energy-aware baseline on its own objective";
+}
+
+TEST_F(EndToEnd, PrunedModelRunsFasterIntermittently) {
+  nn::Graph pruned = trained_copy();
+  core::IterativePruner pruner(prune_config(),
+                               std::make_unique<core::IPruneAllocator>());
+  (void)pruner.run(pruned, train_->inputs, train_->labels, val_->inputs,
+                   val_->labels);
+
+  std::vector<std::size_t> calib_idx = {0, 1, 2, 3};
+  const nn::Tensor calib = nn::gather_rows(val_->inputs, calib_idx);
+  engine::EngineConfig ecfg;
+
+  auto measure = [&](nn::Graph& g) {
+    device::Msp430Device dev(device::DeviceConfig::msp430fr5994(),
+                             power::SupplyPresets::weak());
+    engine::DeployedModel model(g, ecfg, dev, calib);
+    engine::IntermittentEngine eng(model, dev);
+    return eng.run(sample_of(*val_, 0)).stats;
+  };
+
+  nn::Graph unpruned = trained_copy();
+  const auto stats_unpruned = measure(unpruned);
+  const auto stats_pruned = measure(pruned);
+  EXPECT_LT(stats_pruned.latency_s, stats_unpruned.latency_s);
+  EXPECT_LT(stats_pruned.acc_outputs, stats_unpruned.acc_outputs);
+  EXPECT_LE(stats_pruned.power_failures, stats_unpruned.power_failures);
+}
+
+TEST_F(EndToEnd, DeployedAccuracyTracksHostAccuracy) {
+  // Run the quantized device engine over a validation subset and compare
+  // its top-1 decisions with the float model's.
+  nn::Graph g = trained_copy();
+  std::vector<std::size_t> calib_idx = {0, 1, 2, 3, 4, 5, 6, 7};
+  const nn::Tensor calib = nn::gather_rows(val_->inputs, calib_idx);
+  device::Msp430Device dev(device::DeviceConfig::msp430fr5994(),
+                           power::SupplyPresets::continuous());
+  engine::EngineConfig ecfg;
+  engine::DeployedModel model(g, ecfg, dev, calib);
+  engine::IntermittentEngine eng(model, dev);
+
+  constexpr std::size_t kCount = 40;
+  std::size_t agreements = 0;
+  for (std::size_t n = 0; n < kCount; ++n) {
+    const nn::Tensor sample = sample_of(*val_, n);
+    const auto result = eng.run(sample);
+    ASSERT_TRUE(result.stats.completed);
+
+    nn::Tensor batch(nn::Shape{1, 3, 1, 32});
+    for (std::size_t i = 0; i < sample.numel(); ++i) {
+      batch[i] = sample[i];
+    }
+    const nn::Tensor logits = g.forward(batch);
+    std::size_t dev_best = 0, host_best = 0;
+    for (std::size_t c = 1; c < 6; ++c) {
+      if (result.logits[c] > result.logits[dev_best]) {
+        dev_best = c;
+      }
+      if (logits.at(0, c) > logits.at(0, host_best)) {
+        host_best = c;
+      }
+    }
+    agreements += dev_best == host_best ? 1 : 0;
+  }
+  EXPECT_GE(agreements, kCount - 2)
+      << "Q15 deployment should agree with the float model on almost "
+         "every sample";
+}
+
+TEST_F(EndToEnd, WeakerPowerMeansMoreFailuresAndHigherLatency) {
+  nn::Graph g = trained_copy();
+  std::vector<std::size_t> calib_idx = {0, 1};
+  const nn::Tensor calib = nn::gather_rows(val_->inputs, calib_idx);
+  engine::EngineConfig ecfg;
+
+  // Shrink the buffer so even the strong supply cannot carry this mini
+  // model through a whole inference in one charge (real models cannot).
+  power::BufferConfig buffer;
+  buffer.capacitance_f = 10e-6;
+  auto measure = [&](std::unique_ptr<power::PowerSupply> supply) {
+    device::Msp430Device dev(device::DeviceConfig::msp430fr5994(),
+                             std::move(supply), buffer);
+    engine::DeployedModel model(g, ecfg, dev, calib);
+    engine::IntermittentEngine eng(model, dev);
+    return eng.run(sample_of(*val_, 1)).stats;
+  };
+
+  const auto cont = measure(power::SupplyPresets::continuous());
+  const auto strong = measure(power::SupplyPresets::strong());
+  const auto weak = measure(power::SupplyPresets::weak());
+
+  EXPECT_EQ(cont.power_failures, 0u);
+  EXPECT_GT(strong.power_failures, 0u);
+  EXPECT_GT(weak.power_failures, strong.power_failures);
+  EXPECT_LT(cont.latency_s, strong.latency_s);
+  EXPECT_LT(strong.latency_s, weak.latency_s);
+  // Recovery (reboot + tile re-fetch) grows the on-time with failure
+  // count, and recharging grows the off-time.
+  EXPECT_GE(weak.on_s, strong.on_s);
+  EXPECT_GT(weak.off_s, strong.off_s);
+  EXPECT_GT(weak.reboot_s, strong.reboot_s);
+  // The LEA compute itself is nearly power-independent (only interrupted
+  // jobs re-execute).
+  EXPECT_NEAR(weak.lea_s, strong.lea_s, strong.lea_s * 0.10 + 1e-6);
+}
+
+}  // namespace
+}  // namespace iprune

@@ -1,0 +1,122 @@
+#include "nn/gemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace iprune::nn {
+namespace {
+
+/// Reference triple-loop GEMM for validation.
+std::vector<float> reference_ab(const std::vector<float>& a,
+                                const std::vector<float>& b, std::size_t m,
+                                std::size_t k, std::size_t n) {
+  std::vector<float> c(m * n, 0.0f);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+      }
+    }
+  }
+  return c;
+}
+
+std::vector<float> random_matrix(std::size_t size, util::Rng& rng) {
+  std::vector<float> m(size);
+  for (auto& v : m) {
+    v = static_cast<float>(rng.normal());
+  }
+  return m;
+}
+
+struct GemmDims {
+  std::size_t m, k, n;
+};
+
+class GemmShapes : public ::testing::TestWithParam<GemmDims> {};
+
+TEST_P(GemmShapes, AbMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(m * 100 + k * 10 + n);
+  const auto a = random_matrix(m * k, rng);
+  const auto b = random_matrix(k * n, rng);
+  std::vector<float> c(m * n, 0.0f);
+  gemm_accumulate(a.data(), b.data(), c.data(), m, k, n);
+  const auto ref = reference_ab(a, b, m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-4) << "at " << i;
+  }
+}
+
+TEST_P(GemmShapes, AtBMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(m + k + n);
+  // A stored as [k x m]; compute C = A^T B.
+  const auto a = random_matrix(k * m, rng);
+  const auto b = random_matrix(k * n, rng);
+  std::vector<float> c(m * n, 0.0f);
+  gemm_at_b(a.data(), b.data(), c.data(), m, k, n);
+  // Reference: transpose A then multiply.
+  std::vector<float> a_t(m * k);
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    for (std::size_t i = 0; i < m; ++i) {
+      a_t[i * k + kk] = a[kk * m + i];
+    }
+  }
+  const auto ref = reference_ab(a_t, b, m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-4);
+  }
+}
+
+TEST_P(GemmShapes, ABtMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(m * 7 + k * 3 + n);
+  const auto a = random_matrix(m * k, rng);
+  // B stored as [n x k]; compute C = A B^T.
+  const auto b = random_matrix(n * k, rng);
+  std::vector<float> c(m * n, 0.0f);
+  gemm_a_bt(a.data(), b.data(), c.data(), m, k, n);
+  std::vector<float> b_t(k * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      b_t[kk * n + j] = b[j * k + kk];
+    }
+  }
+  const auto ref = reference_ab(a, b_t, m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(GemmDims{1, 1, 1}, GemmDims{3, 5, 2},
+                      GemmDims{8, 8, 8}, GemmDims{1, 17, 9},
+                      GemmDims{13, 1, 4}, GemmDims{16, 32, 7}));
+
+TEST(Gemm, AccumulatesIntoExistingValues) {
+  const std::vector<float> a = {1.0f};
+  const std::vector<float> b = {2.0f};
+  std::vector<float> c = {10.0f};
+  gemm_accumulate(a.data(), b.data(), c.data(), 1, 1, 1);
+  EXPECT_FLOAT_EQ(c[0], 12.0f);
+}
+
+TEST(Gemm, SkipsZeroWeightsCorrectly) {
+  // The sparse fast path must not change results.
+  const std::vector<float> a = {0.0f, 2.0f, 0.0f, 3.0f};
+  const std::vector<float> b = {1.0f, 2.0f, 3.0f, 4.0f};
+  std::vector<float> c(4, 0.0f);
+  gemm_accumulate(a.data(), b.data(), c.data(), 2, 2, 2);
+  EXPECT_FLOAT_EQ(c[0], 6.0f);   // 0*1 + 2*3
+  EXPECT_FLOAT_EQ(c[1], 8.0f);   // 0*2 + 2*4
+  EXPECT_FLOAT_EQ(c[2], 9.0f);   // 0*1 + 3*3
+  EXPECT_FLOAT_EQ(c[3], 12.0f);  // 0*2 + 3*4
+}
+
+}  // namespace
+}  // namespace iprune::nn

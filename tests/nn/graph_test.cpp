@@ -1,0 +1,150 @@
+#include "nn/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/activation.hpp"
+#include "nn/concat.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+
+namespace iprune::nn {
+namespace {
+
+Graph small_graph(util::Rng& rng) {
+  Graph g({4});
+  auto fc1 = g.add(std::make_unique<Dense>("fc1", 4, 3, rng), {g.input()});
+  auto relu = g.add(std::make_unique<Relu>("relu"), {fc1});
+  auto fc2 = g.add(std::make_unique<Dense>("fc2", 3, 2, rng), {relu});
+  g.set_output(fc2);
+  return g;
+}
+
+TEST(Graph, TracksNodeShapes) {
+  util::Rng rng(1);
+  Graph g = small_graph(rng);
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.node_shape(0), (Shape{4}));
+  EXPECT_EQ(g.node_shape(1), (Shape{3}));
+  EXPECT_EQ(g.node_shape(3), (Shape{2}));
+  EXPECT_EQ(g.output(), 3u);
+}
+
+TEST(Graph, RejectsUnknownInputNode) {
+  util::Rng rng(2);
+  Graph g({4});
+  EXPECT_THROW(g.add(std::make_unique<Dense>("fc", 4, 2, rng), {5}),
+               std::invalid_argument);
+}
+
+TEST(Graph, RejectsEmptyInputs) {
+  util::Rng rng(3);
+  Graph g({4});
+  EXPECT_THROW(g.add(std::make_unique<Dense>("fc", 4, 2, rng), {}),
+               std::invalid_argument);
+}
+
+TEST(Graph, RejectsShapeMismatchAtBuildTime) {
+  util::Rng rng(4);
+  Graph g({4});
+  EXPECT_THROW(g.add(std::make_unique<Dense>("fc", 5, 2, rng), {g.input()}),
+               std::invalid_argument);
+}
+
+TEST(Graph, ForwardValidatesBatchShape) {
+  util::Rng rng(5);
+  Graph g = small_graph(rng);
+  EXPECT_THROW(g.forward(Tensor({2, 5})), std::invalid_argument);
+  EXPECT_THROW(g.forward(Tensor({4})), std::invalid_argument);
+  EXPECT_NO_THROW(g.forward(Tensor({2, 4})));
+}
+
+TEST(Graph, ForwardNodesReturnsAllActivations) {
+  util::Rng rng(6);
+  Graph g = small_graph(rng);
+  const auto acts = g.forward_nodes(Tensor({2, 4}));
+  ASSERT_EQ(acts.size(), 4u);
+  EXPECT_EQ(acts[0].shape(), (Shape{2, 4}));
+  EXPECT_EQ(acts[3].shape(), (Shape{2, 2}));
+}
+
+TEST(Graph, SetOutputSelectsNode) {
+  util::Rng rng(7);
+  Graph g = small_graph(rng);
+  g.set_output(1);
+  const Tensor out = g.forward(Tensor({1, 4}));
+  EXPECT_EQ(out.shape(), (Shape{1, 3}));
+  EXPECT_THROW(g.set_output(9), std::invalid_argument);
+}
+
+TEST(Graph, ConsumersEnumeratesUses) {
+  util::Rng rng(8);
+  Graph g({2, 4, 4});
+  auto c1 = g.add(std::make_unique<Conv2d>(
+                      "c1",
+                      Conv2dSpec{.in_channels = 2, .out_channels = 2,
+                                 .kernel_h = 1, .kernel_w = 1},
+                      rng),
+                  {g.input()});
+  auto b1 = g.add(std::make_unique<Conv2d>(
+                      "b1",
+                      Conv2dSpec{.in_channels = 2, .out_channels = 2,
+                                 .kernel_h = 1, .kernel_w = 1},
+                      rng),
+                  {c1});
+  auto b2 = g.add(std::make_unique<Conv2d>(
+                      "b2",
+                      Conv2dSpec{.in_channels = 2, .out_channels = 2,
+                                 .kernel_h = 1, .kernel_w = 1},
+                      rng),
+                  {c1});
+  auto cat = g.add(std::make_unique<Concat>("cat"), {b1, b2});
+  (void)cat;
+  const auto consumers = g.consumers(c1);
+  EXPECT_EQ(consumers, (std::vector<NodeId>{b1, b2}));
+}
+
+TEST(Graph, ParameterCounts) {
+  util::Rng rng(9);
+  Graph g = small_graph(rng);
+  // fc1: 4*3 + 3, fc2: 3*2 + 2
+  EXPECT_EQ(g.parameter_count(), 12u + 3u + 6u + 2u);
+  EXPECT_EQ(g.nonzero_parameter_count(), g.parameter_count());
+
+  auto& fc1 = dynamic_cast<Dense&>(g.layer(1));
+  fc1.weight_mask().at(0, 0) = 0.0f;
+  EXPECT_EQ(g.nonzero_parameter_count(), g.parameter_count() - 1);
+}
+
+TEST(Graph, ZeroGradsClearsAll) {
+  util::Rng rng(10);
+  Graph g = small_graph(rng);
+  Tensor x({2, 4});
+  x.fill(1.0f);
+  Tensor y = g.forward(x, true);
+  Tensor ones(y.shape());
+  ones.fill(1.0f);
+  g.backward(ones);
+  bool any_nonzero = false;
+  for (const ParamRef& p : g.params()) {
+    any_nonzero |= p.grad->count_nonzero() > 0;
+  }
+  EXPECT_TRUE(any_nonzero);
+  g.zero_grads();
+  for (const ParamRef& p : g.params()) {
+    EXPECT_EQ(p.grad->count_nonzero(), 0u);
+  }
+}
+
+TEST(Graph, MoveConstructible) {
+  util::Rng rng(11);
+  Graph g = small_graph(rng);
+  const Tensor before = g.forward(Tensor({1, 4}));
+  Graph moved = std::move(g);
+  const Tensor after = moved.forward(Tensor({1, 4}));
+  EXPECT_TRUE(before.equals(after));
+}
+
+}  // namespace
+}  // namespace iprune::nn

@@ -1,0 +1,190 @@
+// Forward-path behaviour of the individual layers (backward is covered by
+// the numerical gradient checks in gradcheck_test.cpp).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/activation.hpp"
+#include "nn/concat.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/pool.hpp"
+
+namespace iprune::nn {
+namespace {
+
+std::vector<const Tensor*> inputs_of(const Tensor& t) {
+  return {&t};
+}
+
+TEST(Conv2d, OutputShapeWithPaddingAndStride) {
+  util::Rng rng(1);
+  Conv2d conv("c", {.in_channels = 3, .out_channels = 8, .kernel_h = 3,
+                    .kernel_w = 3, .stride = 2, .pad_h = 1, .pad_w = 1},
+              rng);
+  const Shape out = conv.output_shape(std::vector<Shape>{{3, 32, 32}});
+  EXPECT_EQ(out, (Shape{8, 16, 16}));
+}
+
+TEST(Conv2d, RejectsChannelMismatch) {
+  util::Rng rng(2);
+  Conv2d conv("c", {.in_channels = 3, .out_channels = 4}, rng);
+  EXPECT_THROW(conv.output_shape(std::vector<Shape>{{2, 8, 8}}),
+               std::invalid_argument);
+}
+
+TEST(Conv2d, IdentityKernelCopiesInput) {
+  util::Rng rng(3);
+  Conv2d conv("c", {.in_channels = 1, .out_channels = 1, .kernel_h = 1,
+                    .kernel_w = 1},
+              rng);
+  conv.weight().fill(1.0f);
+  conv.bias().fill(0.0f);
+  Tensor input({1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor out = conv.forward(inputs_of(input), false);
+  EXPECT_TRUE(out.equals(input));
+}
+
+TEST(Conv2d, KnownConvolutionValue) {
+  util::Rng rng(4);
+  Conv2d conv("c", {.in_channels = 1, .out_channels = 1, .kernel_h = 2,
+                    .kernel_w = 2},
+              rng);
+  // Kernel [[1,2],[3,4]], no padding: out(0,0) = 1*1+2*2+3*3+4*4 = 30.
+  conv.weight() = Tensor({1, 4}, {1, 2, 3, 4});
+  conv.bias().fill(0.5f);
+  Tensor input({1, 1, 2, 2}, {1, 2, 3, 4});
+  const Tensor out = conv.forward(inputs_of(input), false);
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(out[0], 30.5f);
+}
+
+TEST(Conv2d, ZeroPaddingContributesNothing) {
+  util::Rng rng(5);
+  Conv2d conv("c", {.in_channels = 1, .out_channels = 1, .kernel_h = 3,
+                    .kernel_w = 3, .pad_h = 1, .pad_w = 1},
+              rng);
+  conv.weight().fill(1.0f);
+  conv.bias().fill(0.0f);
+  Tensor input({1, 1, 1, 1}, {5});
+  const Tensor out = conv.forward(inputs_of(input), false);
+  ASSERT_EQ(out.numel(), 1u);
+  EXPECT_FLOAT_EQ(out[0], 5.0f);  // only the center tap sees data
+}
+
+TEST(Conv2d, MaskZeroesWeights) {
+  util::Rng rng(6);
+  Conv2d conv("c", {.in_channels = 1, .out_channels = 2, .kernel_h = 1,
+                    .kernel_w = 1},
+              rng);
+  conv.weight_mask().at(0, 0) = 0.0f;
+  conv.apply_mask();
+  EXPECT_EQ(conv.weight().at(0, 0), 0.0f);
+}
+
+TEST(Dense, ComputesAffineMap) {
+  util::Rng rng(7);
+  Dense fc("fc", 3, 2, rng);
+  fc.weight() = Tensor({2, 3}, {1, 0, 0, 0, 1, 0});
+  fc.bias() = Tensor({2}, {0.5f, -0.5f});
+  Tensor input({1, 3}, {7, 8, 9});
+  const Tensor out = fc.forward(inputs_of(input), false);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 7.5f);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 7.5f);
+}
+
+TEST(Dense, BatchedForward) {
+  util::Rng rng(8);
+  Dense fc("fc", 2, 1, rng);
+  fc.weight() = Tensor({1, 2}, {1, 1});
+  fc.bias().fill(0.0f);
+  Tensor input({3, 2}, {1, 2, 3, 4, 5, 6});
+  const Tensor out = fc.forward(inputs_of(input), false);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 7.0f);
+  EXPECT_FLOAT_EQ(out.at(2, 0), 11.0f);
+}
+
+TEST(Dense, OutputShapeValidation) {
+  util::Rng rng(9);
+  Dense fc("fc", 4, 2, rng);
+  EXPECT_EQ(fc.output_shape(std::vector<Shape>{{4}}), (Shape{2}));
+  EXPECT_THROW(fc.output_shape(std::vector<Shape>{{5}}),
+               std::invalid_argument);
+}
+
+TEST(MaxPool, SelectsWindowMaximum) {
+  MaxPool2d pool("p", {2, 2, 2});
+  Tensor input({1, 1, 2, 4}, {1, 5, 2, 0, 3, 4, 8, 1});
+  const Tensor out = pool.forward(inputs_of(input), false);
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(out[0], 5.0f);
+  EXPECT_FLOAT_EQ(out[1], 8.0f);
+}
+
+TEST(MaxPool, HandlesNegativeValues) {
+  MaxPool2d pool("p", {2, 2, 2});
+  Tensor input({1, 1, 2, 2}, {-4, -3, -2, -1});
+  const Tensor out = pool.forward(inputs_of(input), false);
+  EXPECT_FLOAT_EQ(out[0], -1.0f);
+}
+
+TEST(AvgPool, ComputesWindowMean) {
+  AvgPool2d pool("p", {2, 2, 2});
+  Tensor input({1, 1, 2, 2}, {1, 2, 3, 6});
+  const Tensor out = pool.forward(inputs_of(input), false);
+  EXPECT_FLOAT_EQ(out[0], 3.0f);
+}
+
+TEST(Pool, ExtentArithmetic) {
+  EXPECT_EQ(pooled_extent(8, 2, 2), 4u);
+  EXPECT_EQ(pooled_extent(7, 2, 2), 3u);
+  EXPECT_EQ(pooled_extent(1, 1, 2), 1u);
+  EXPECT_THROW(pooled_extent(1, 2, 1), std::invalid_argument);
+}
+
+TEST(Relu, ClampsNegatives) {
+  Relu relu("r");
+  Tensor input({1, 4}, {-1, 0, 2, -3});
+  const Tensor out = relu.forward(inputs_of(input), false);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+  EXPECT_FLOAT_EQ(out[2], 2.0f);
+  EXPECT_FLOAT_EQ(out[3], 0.0f);
+}
+
+TEST(Flatten, CollapsesToBatchByFeatures) {
+  Flatten flat("f");
+  Tensor input({2, 3, 2, 2});
+  const Tensor out = flat.forward(inputs_of(input), false);
+  EXPECT_EQ(out.shape(), (Shape{2, 12}));
+}
+
+TEST(Concat, JoinsAlongChannels) {
+  Concat cat("cat");
+  Tensor a({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor b({1, 2, 2, 2}, {5, 6, 7, 8, 9, 10, 11, 12});
+  std::vector<const Tensor*> ins = {&a, &b};
+  const Tensor out = cat.forward(ins, false);
+  ASSERT_EQ(out.shape(), (Shape{1, 3, 2, 2}));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 2, 1, 1), 12.0f);
+}
+
+TEST(Concat, RejectsSpatialMismatch) {
+  Concat cat("cat");
+  EXPECT_THROW(
+      cat.output_shape(std::vector<Shape>{{1, 2, 2}, {1, 3, 3}}),
+      std::invalid_argument);
+}
+
+TEST(LayerKind, NamesMatchPaperNotation) {
+  EXPECT_STREQ(layer_kind_name(LayerKind::kConv2d), "CONV");
+  EXPECT_STREQ(layer_kind_name(LayerKind::kDense), "FC");
+  EXPECT_STREQ(layer_kind_name(LayerKind::kMaxPool), "POOL(max)");
+}
+
+}  // namespace
+}  // namespace iprune::nn

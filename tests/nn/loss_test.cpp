@@ -1,0 +1,96 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace iprune::nn {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  Tensor logits({2, 3}, {1, 2, 3, -1, 0, 1});
+  const Tensor probs = softmax(logits);
+  for (std::size_t n = 0; n < 2; ++n) {
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < 3; ++c) {
+      sum += probs.at(n, c);
+      EXPECT_GT(probs.at(n, c), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-6);
+  }
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  Tensor logits({1, 2}, {1000.0f, 999.0f});
+  const Tensor probs = softmax(logits);
+  EXPECT_FALSE(std::isnan(probs[0]));
+  EXPECT_GT(probs.at(0, 0), probs.at(0, 1));
+}
+
+TEST(Softmax, UniformLogitsGiveUniformProbs) {
+  Tensor logits({1, 4});
+  const Tensor probs = softmax(logits);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(probs.at(0, c), 0.25f, 1e-6);
+  }
+}
+
+TEST(CrossEntropy, UniformLogitsLossIsLogC) {
+  Tensor logits({1, 10});
+  const int label = 3;
+  const LossResult r = softmax_cross_entropy(logits, std::vector<int>{label});
+  EXPECT_NEAR(r.loss, std::log(10.0), 1e-5);
+}
+
+TEST(CrossEntropy, ConfidentCorrectPredictionHasLowLoss) {
+  Tensor logits({1, 3}, {10.0f, 0.0f, 0.0f});
+  const LossResult r = softmax_cross_entropy(logits, std::vector<int>{0});
+  EXPECT_LT(r.loss, 1e-3);
+  EXPECT_EQ(r.correct, 1u);
+}
+
+TEST(CrossEntropy, GradientIsProbsMinusOneHotOverN) {
+  Tensor logits({2, 2}, {0.0f, 0.0f, 2.0f, 0.0f});
+  const LossResult r =
+      softmax_cross_entropy(logits, std::vector<int>{0, 1});
+  // Row 0: probs (.5,.5), label 0 -> grad (.5-1, .5)/2.
+  EXPECT_NEAR(r.grad.at(0, 0), -0.25f, 1e-6);
+  EXPECT_NEAR(r.grad.at(0, 1), 0.25f, 1e-6);
+  // Gradient rows each sum to ~0.
+  EXPECT_NEAR(r.grad.at(1, 0) + r.grad.at(1, 1), 0.0f, 1e-6);
+}
+
+TEST(CrossEntropy, GradMatchesFiniteDifference) {
+  Tensor logits({2, 4}, {0.3f, -0.7f, 1.1f, 0.2f,
+                         -0.5f, 0.8f, 0.1f, -1.2f});
+  const std::vector<int> labels = {2, 1};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  constexpr float kEps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    Tensor plus = logits;
+    plus[i] += kEps;
+    Tensor minus = logits;
+    minus[i] -= kEps;
+    const double numeric =
+        (softmax_cross_entropy(plus, labels).loss -
+         softmax_cross_entropy(minus, labels).loss) /
+        (2.0 * kEps);
+    EXPECT_NEAR(r.grad[i], numeric, 1e-4);
+  }
+}
+
+TEST(CrossEntropy, CountsCorrectPredictions) {
+  Tensor logits({3, 2}, {1.0f, 0.0f, 0.0f, 1.0f, 1.0f, 0.0f});
+  const LossResult r =
+      softmax_cross_entropy(logits, std::vector<int>{0, 1, 1});
+  EXPECT_EQ(r.correct, 2u);
+}
+
+TEST(CrossEntropy, RejectsShapeMismatch) {
+  Tensor logits({2, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, std::vector<int>{0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iprune::nn

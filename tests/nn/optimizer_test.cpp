@@ -1,0 +1,126 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace iprune::nn {
+namespace {
+
+struct Param {
+  Tensor value{Shape{2}};
+  Tensor grad{Shape{2}};
+  Tensor mask{Shape{2}};
+
+  Param() { mask.fill(1.0f); }
+  ParamRef ref(bool with_mask = true) {
+    return {&value, &grad, with_mask ? &mask : nullptr};
+  }
+};
+
+TEST(Sgd, PlainStepMovesAgainstGradient) {
+  Param p;
+  p.value = Tensor({2}, {1.0f, -1.0f});
+  p.grad = Tensor({2}, {0.5f, -0.5f});
+  Sgd opt({.learning_rate = 0.1f, .momentum = 0.0f});
+  std::vector<ParamRef> refs = {p.ref()};
+  opt.step(refs);
+  EXPECT_FLOAT_EQ(p.value[0], 0.95f);
+  EXPECT_FLOAT_EQ(p.value[1], -0.95f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p;
+  p.grad = Tensor({2}, {1.0f, 0.0f});
+  Sgd opt({.learning_rate = 0.1f, .momentum = 0.9f});
+  std::vector<ParamRef> refs = {p.ref()};
+  opt.step(refs);
+  const float after_one = p.value[0];
+  opt.step(refs);
+  // Second step is larger: velocity carries over.
+  EXPECT_LT(p.value[0] - after_one, after_one - 0.0f);
+  EXPECT_NEAR(p.value[0], -0.1f - 0.19f, 1e-6);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Param p;
+  p.value = Tensor({2}, {1.0f, 1.0f});
+  Sgd opt({.learning_rate = 0.1f, .momentum = 0.0f, .weight_decay = 0.5f});
+  std::vector<ParamRef> refs = {p.ref()};
+  opt.step(refs);
+  EXPECT_FLOAT_EQ(p.value[0], 0.95f);  // -lr * wd * w = -0.05
+}
+
+TEST(Sgd, MaskKeepsPrunedWeightsAtZero) {
+  Param p;
+  p.value = Tensor({2}, {0.0f, 1.0f});
+  p.mask = Tensor({2}, {0.0f, 1.0f});
+  p.grad = Tensor({2}, {5.0f, 5.0f});
+  Sgd opt({.learning_rate = 0.1f, .momentum = 0.9f});
+  std::vector<ParamRef> refs = {p.ref()};
+  for (int i = 0; i < 5; ++i) {
+    opt.step(refs);
+  }
+  EXPECT_EQ(p.value[0], 0.0f) << "pruned weight must stay exactly zero";
+  EXPECT_LT(p.value[1], 1.0f);
+}
+
+TEST(Sgd, ParamSetChangeDetected) {
+  Param p, q;
+  Sgd opt({});
+  std::vector<ParamRef> one = {p.ref()};
+  opt.step(one);
+  std::vector<ParamRef> two = {p.ref(), q.ref()};
+  EXPECT_THROW(opt.step(two), std::logic_error);
+}
+
+TEST(Sgd, ResetStateClearsVelocity) {
+  Param p;
+  p.grad = Tensor({2}, {1.0f, 1.0f});
+  Sgd opt({.learning_rate = 0.1f, .momentum = 0.9f});
+  std::vector<ParamRef> refs = {p.ref()};
+  opt.step(refs);
+  opt.reset_state();
+  p.value.zero();
+  opt.step(refs);
+  EXPECT_FLOAT_EQ(p.value[0], -0.1f);  // no carried momentum
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimize f(w) = (w - 3)^2 with analytic gradient.
+  Param p;
+  Adam opt({.learning_rate = 0.05f});
+  std::vector<ParamRef> refs = {p.ref(false)};
+  for (int i = 0; i < 600; ++i) {
+    p.grad[0] = 2.0f * (p.value[0] - 3.0f);
+    p.grad[1] = 2.0f * (p.value[1] - 3.0f);
+    opt.step(refs);
+  }
+  EXPECT_NEAR(p.value[0], 3.0f, 0.05f);
+}
+
+TEST(Adam, MaskKeepsPrunedWeightsAtZero) {
+  Param p;
+  p.mask = Tensor({2}, {0.0f, 1.0f});
+  Adam opt({.learning_rate = 0.1f});
+  std::vector<ParamRef> refs = {p.ref()};
+  for (int i = 0; i < 10; ++i) {
+    p.grad = Tensor({2}, {1.0f, 1.0f});
+    opt.step(refs);
+  }
+  EXPECT_EQ(p.value[0], 0.0f);
+  EXPECT_NE(p.value[1], 0.0f);
+}
+
+TEST(Adam, FirstStepIsLearningRateSized) {
+  Param p;
+  p.grad = Tensor({2}, {0.001f, 0.0f});
+  Adam opt({.learning_rate = 0.01f});
+  std::vector<ParamRef> refs = {p.ref(false)};
+  opt.step(refs);
+  // Bias correction makes the first step ~lr regardless of grad scale.
+  EXPECT_NEAR(p.value[0], -0.01f, 1e-3);
+}
+
+}  // namespace
+}  // namespace iprune::nn

@@ -1,0 +1,85 @@
+#include "nn/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace iprune::nn {
+namespace {
+
+TEST(Quantize, RoundTripErrorBoundedByHalfScale) {
+  util::Rng rng(1);
+  Tensor t({1000});
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal(0.0, 2.0));
+  }
+  const QTensor q = quantize_q15(t);
+  EXPECT_LE(quantization_error(t), q.scale * 0.5f + 1e-7f);
+}
+
+TEST(Quantize, AbsMaxMapsToFullScale) {
+  Tensor t({3}, {-4.0f, 2.0f, 1.0f});
+  const QTensor q = quantize_q15(t);
+  EXPECT_EQ(q.data[0], -32767);
+  EXPECT_NEAR(q.scale, 4.0f / 32767.0f, 1e-9);
+}
+
+TEST(Quantize, ZeroTensorStaysZero) {
+  Tensor t({5});
+  const QTensor q = quantize_q15(t);
+  EXPECT_EQ(q.scale, 1.0f);
+  for (const std::int16_t v : q.data) {
+    EXPECT_EQ(v, 0);
+  }
+  EXPECT_EQ(quantization_error(t), 0.0f);
+}
+
+TEST(Quantize, PreservesShape) {
+  Tensor t({2, 3, 4});
+  const QTensor q = quantize_q15(t);
+  EXPECT_EQ(q.shape, t.shape());
+  EXPECT_EQ(q.numel(), 24u);
+  EXPECT_EQ(q.byte_size(), 48u);
+  const Tensor back = dequantize(q);
+  EXPECT_EQ(back.shape(), t.shape());
+}
+
+TEST(Quantize, ZerosStayExactlyZero) {
+  // Pruned weights must remain exactly zero after quantization (BSR
+  // correctness depends on it).
+  Tensor t({4}, {1.0f, 0.0f, -2.0f, 0.0f});
+  const QTensor q = quantize_q15(t);
+  EXPECT_EQ(q.data[1], 0);
+  EXPECT_EQ(q.data[3], 0);
+}
+
+TEST(Quantize, SymmetricAroundZero) {
+  Tensor t({2}, {3.0f, -3.0f});
+  const QTensor q = quantize_q15(t);
+  EXPECT_EQ(q.data[0], -q.data[1]);
+}
+
+class QuantizeDistributions
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(QuantizeDistributions, RelativeRoundTripErrorSmall) {
+  const auto [mean, stddev] = GetParam();
+  util::Rng rng(7);
+  Tensor t({4096});
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.normal(mean, stddev));
+  }
+  const float abs_max = t.abs_max();
+  EXPECT_LT(quantization_error(t) / abs_max, 1.0f / 32767.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, QuantizeDistributions,
+                         ::testing::Values(std::pair{0.0, 1.0},
+                                           std::pair{0.0, 1e-3},
+                                           std::pair{5.0, 0.1},
+                                           std::pair{0.0, 100.0}));
+
+}  // namespace
+}  // namespace iprune::nn

@@ -1,0 +1,72 @@
+#include "nn/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/activation.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+
+namespace iprune::nn {
+namespace {
+
+Graph make_graph() {
+  util::Rng rng(3);
+  Graph g({1, 4, 4});
+  auto conv = g.add(std::make_unique<Conv2d>(
+                        "conv",
+                        Conv2dSpec{.in_channels = 1, .out_channels = 2,
+                                   .kernel_h = 3, .kernel_w = 3,
+                                   .pad_h = 1, .pad_w = 1},
+                        rng),
+                    {g.input()});
+  auto relu = g.add(std::make_unique<Relu>("relu"), {conv});
+  auto flat = g.add(std::make_unique<Flatten>("flat"), {relu});
+  auto fc = g.add(std::make_unique<Dense>("fc", 32, 3, rng), {flat});
+  g.set_output(fc);
+  return g;
+}
+
+TEST(Summary, CountsParametersPerLayer) {
+  Graph g = make_graph();
+  const ModelSummary s = summarize(g);
+  ASSERT_EQ(s.rows.size(), 4u);
+  EXPECT_EQ(s.rows[0].name, "conv");
+  EXPECT_EQ(s.rows[0].parameters, 2u * 9u + 2u);
+  EXPECT_EQ(s.rows[1].parameters, 0u);  // relu
+  EXPECT_EQ(s.rows[3].parameters, 32u * 3u + 3u);
+  EXPECT_EQ(s.total_parameters, 20u + 99u);
+  EXPECT_EQ(s.nonzero_parameters, s.total_parameters);
+  EXPECT_DOUBLE_EQ(s.sparsity(), 0.0);
+}
+
+TEST(Summary, ReflectsPruningMasks) {
+  Graph g = make_graph();
+  auto& fc = dynamic_cast<Dense&>(g.layer(4));
+  for (std::size_t kk = 0; kk < 32; ++kk) {
+    fc.weight_mask().at(0, kk) = 0.0f;
+  }
+  const ModelSummary s = summarize(g);
+  EXPECT_EQ(s.nonzero_parameters, s.total_parameters - 32u);
+  EXPECT_GT(s.sparsity(), 0.0);
+}
+
+TEST(Summary, TableContainsLayersAndTotals) {
+  Graph g = make_graph();
+  const std::string table = summary_table(g);
+  EXPECT_NE(table.find("conv"), std::string::npos);
+  EXPECT_NE(table.find("FC"), std::string::npos);
+  EXPECT_NE(table.find("total"), std::string::npos);
+  EXPECT_NE(table.find("sparsity"), std::string::npos);
+}
+
+TEST(Summary, OutputShapesMatchGraph) {
+  Graph g = make_graph();
+  const ModelSummary s = summarize(g);
+  EXPECT_EQ(s.rows[0].output_shape, (Shape{2, 4, 4}));
+  EXPECT_EQ(s.rows[3].output_shape, (Shape{3}));
+}
+
+}  // namespace
+}  // namespace iprune::nn

@@ -1,0 +1,118 @@
+#include "nn/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace iprune::nn {
+namespace {
+
+TEST(Shape, NumelProducts) {
+  EXPECT_EQ(shape_numel({}), 1u);
+  EXPECT_EQ(shape_numel({5}), 5u);
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_numel({7, 0}), 0u);
+}
+
+TEST(Shape, StringForm) {
+  EXPECT_EQ(shape_str({2, 3}), "[2, 3]");
+  EXPECT_EQ(shape_str({}), "[]");
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(t[i], 0.0f);
+  }
+}
+
+TEST(Tensor, ConstructFromValues) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(Tensor, ConstructSizeMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, MultiDimIndexingRowMajor) {
+  Tensor t({2, 3, 4});
+  t.at(1, 2, 3) = 5.0f;
+  EXPECT_EQ(t[1 * 12 + 2 * 4 + 3], 5.0f);
+  Tensor t4({2, 2, 2, 2});
+  t4.at(1, 0, 1, 0) = 7.0f;
+  EXPECT_EQ(t4[8 + 0 + 2 + 0], 7.0f);
+}
+
+TEST(Tensor, OffsetMatchesAt) {
+  Tensor t({3, 4});
+  const std::size_t index[] = {2, 1};
+  EXPECT_EQ(t.offset(index), 9u);
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor t({4});
+  t.fill(2.5f);
+  EXPECT_EQ(t.sum(), 10.0f);
+  t.zero();
+  EXPECT_EQ(t.sum(), 0.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  t.reshape({3, 2});
+  EXPECT_EQ(t.at(2, 1), 6.0f);
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, AddScaled) {
+  Tensor a({3}, {1, 2, 3});
+  const Tensor b({3}, {10, 20, 30});
+  a.add_scaled(b, 0.1f);
+  EXPECT_FLOAT_EQ(a[0], 2.0f);
+  EXPECT_FLOAT_EQ(a[2], 6.0f);
+}
+
+TEST(Tensor, ScaleMultiplies) {
+  Tensor a({2}, {3, -4});
+  a.scale(0.5f);
+  EXPECT_FLOAT_EQ(a[0], 1.5f);
+  EXPECT_FLOAT_EQ(a[1], -2.0f);
+}
+
+TEST(Tensor, HadamardMasks) {
+  Tensor a({4}, {1, 2, 3, 4});
+  const Tensor mask({4}, {1, 0, 1, 0});
+  a.hadamard(mask);
+  EXPECT_FLOAT_EQ(a[0], 1.0f);
+  EXPECT_FLOAT_EQ(a[1], 0.0f);
+  EXPECT_FLOAT_EQ(a[3], 0.0f);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor t({4}, {1, -5, 3, 0});
+  EXPECT_FLOAT_EQ(t.sum(), -1.0f);
+  EXPECT_FLOAT_EQ(t.abs_max(), 5.0f);
+  EXPECT_EQ(t.count_nonzero(), 3u);
+  EXPECT_NEAR(t.rms(), std::sqrt((1.0 + 25.0 + 9.0) / 4.0), 1e-6);
+}
+
+TEST(Tensor, RmsOfEmptyIsZero) {
+  const Tensor t;
+  EXPECT_EQ(t.rms(), 0.0f);
+}
+
+TEST(Tensor, EqualsComparesShapeAndValues) {
+  const Tensor a({2}, {1, 2});
+  const Tensor b({2}, {1, 2});
+  const Tensor c({2}, {1, 3});
+  Tensor d({1, 2}, {1, 2});
+  EXPECT_TRUE(a.equals(b));
+  EXPECT_FALSE(a.equals(c));
+  EXPECT_FALSE(a.equals(d));
+}
+
+}  // namespace
+}  // namespace iprune::nn

@@ -1,0 +1,165 @@
+#include "nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/activation.hpp"
+#include "nn/dense.hpp"
+
+namespace iprune::nn {
+namespace {
+
+/// Two-class "xor-ish" blobs: linearly inseparable, learnable by a 1-hidden
+/// layer MLP.
+void make_blobs(Tensor& x, std::vector<int>& y, std::size_t count,
+                util::Rng& rng) {
+  x = Tensor({count, 2});
+  y.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const bool a = rng.bernoulli(0.5);
+    const bool b = rng.bernoulli(0.5);
+    x.at(i, 0) = (a ? 1.0f : -1.0f) + static_cast<float>(rng.normal(0, 0.2));
+    x.at(i, 1) = (b ? 1.0f : -1.0f) + static_cast<float>(rng.normal(0, 0.2));
+    y[i] = (a != b) ? 1 : 0;
+  }
+}
+
+Graph make_mlp(util::Rng& rng) {
+  Graph g({2});
+  auto h = g.add(std::make_unique<Dense>("h", 2, 16, rng), {g.input()});
+  auto r = g.add(std::make_unique<Relu>("r"), {h});
+  auto o = g.add(std::make_unique<Dense>("o", 16, 2, rng), {r});
+  g.set_output(o);
+  return g;
+}
+
+TEST(GatherRows, SelectsRows) {
+  Tensor x({3, 2}, {1, 2, 3, 4, 5, 6});
+  const std::vector<std::size_t> idx = {2, 0};
+  const Tensor out = gather_rows(x, idx);
+  ASSERT_EQ(out.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(out.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 2.0f);
+}
+
+TEST(GatherRows, PreservesTrailingDims) {
+  Tensor x({2, 3, 4});
+  x[23] = 9.0f;
+  const std::vector<std::size_t> idx = {1};
+  const Tensor out = gather_rows(x, idx);
+  EXPECT_EQ(out.shape(), (Shape{1, 3, 4}));
+  EXPECT_FLOAT_EQ(out[11], 9.0f);
+}
+
+TEST(Trainer, LearnsXorBlobs) {
+  util::Rng rng(5);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(x, y, 400, rng);
+
+  Graph g = make_mlp(rng);
+  Trainer trainer(g);
+  const EvalResult before = trainer.evaluate(x, y);
+
+  TrainConfig config;
+  config.epochs = 40;
+  config.batch_size = 16;
+  config.sgd.learning_rate = 0.05f;
+  trainer.train(x, y, config);
+
+  const EvalResult after = trainer.evaluate(x, y);
+  EXPECT_GT(after.accuracy, 0.95);
+  EXPECT_LT(after.loss, before.loss);
+}
+
+TEST(Trainer, EpochCallbackReportsDecreasingLoss) {
+  util::Rng rng(6);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(x, y, 300, rng);
+  Graph g = make_mlp(rng);
+  Trainer trainer(g);
+
+  std::vector<double> losses;
+  TrainConfig config;
+  config.epochs = 20;
+  trainer.train(x, y, config, [&](std::size_t, double loss) {
+    losses.push_back(loss);
+  });
+  ASSERT_EQ(losses.size(), 20u);
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST(Trainer, DeterministicAcrossRuns) {
+  util::Rng rng_a(7);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(x, y, 100, rng_a);
+
+  util::Rng init_a(8), init_b(8);
+  Graph a = make_mlp(init_a);
+  Graph b = make_mlp(init_b);
+  TrainConfig config;
+  config.epochs = 3;
+  Trainer(a).train(x, y, config);
+  Trainer(b).train(x, y, config);
+
+  const auto pa = a.params();
+  const auto pb = b.params();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i].value->equals(*pb[i].value)) << "param " << i;
+  }
+}
+
+TEST(Trainer, RespectsMasksDuringTraining) {
+  util::Rng rng(9);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(x, y, 200, rng);
+  Graph g = make_mlp(rng);
+
+  auto& hidden = dynamic_cast<Dense&>(g.layer(1));
+  for (std::size_t kk = 0; kk < hidden.weight().dim(1); ++kk) {
+    hidden.weight_mask().at(0, kk) = 0.0f;
+  }
+  hidden.apply_mask();
+
+  TrainConfig config;
+  config.epochs = 5;
+  Trainer(g).train(x, y, config);
+  for (std::size_t kk = 0; kk < hidden.weight().dim(1); ++kk) {
+    EXPECT_EQ(hidden.weight().at(0, kk), 0.0f);
+  }
+}
+
+TEST(Trainer, EvaluateRejectsMismatchedLabels) {
+  util::Rng rng(10);
+  Graph g = make_mlp(rng);
+  Trainer trainer(g);
+  Tensor x({4, 2});
+  std::vector<int> y = {0, 1};
+  EXPECT_THROW(trainer.evaluate(x, y), std::invalid_argument);
+}
+
+TEST(Trainer, GradientClippingKeepsTrainingFinite) {
+  util::Rng rng(11);
+  Tensor x;
+  std::vector<int> y;
+  make_blobs(x, y, 200, rng);
+  // Scale inputs up hard; without clipping lr=0.5 would explode.
+  x.scale(50.0f);
+  Graph g = make_mlp(rng);
+  TrainConfig config;
+  config.epochs = 10;
+  config.sgd.learning_rate = 0.5f;
+  config.clip_grad_norm = 1.0f;
+  Trainer trainer(g);
+  trainer.train(x, y, config);
+  const EvalResult r = trainer.evaluate(x, y);
+  EXPECT_FALSE(std::isnan(r.loss));
+}
+
+}  // namespace
+}  // namespace iprune::nn

@@ -1,0 +1,40 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iprune::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrips) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(LogLevel::kTrace);
+  EXPECT_EQ(log_level(), LogLevel::kTrace);
+}
+
+TEST(Log, SuppressedLevelsDoNotCrash) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  log_info("should be suppressed");
+  log_debug("also suppressed");
+  log_warn("suppressed too");
+}
+
+TEST(Log, OffSilencesEverything) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  log_error("even errors are silenced");
+}
+
+}  // namespace
+}  // namespace iprune::util

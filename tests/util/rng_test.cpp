@@ -1,0 +1,156 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace iprune::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int kCount = 100000;
+  for (int i = 0; i < kCount; ++i) {
+    sum += rng.uniform();
+  }
+  EXPECT_NEAR(sum / kCount, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng.uniform_index(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(9);
+  constexpr int kCount = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kCount; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kCount;
+  const double var = sum_sq / kCount - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParamsShiftsAndScales) {
+  Rng rng(10);
+  constexpr int kCount = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < kCount; ++i) {
+    sum += rng.normal(5.0, 0.5);
+  }
+  EXPECT_NEAR(sum / kCount, 5.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(11);
+  int hits = 0;
+  constexpr int kCount = 100000;
+  for (int i = 0; i < kCount; ++i) {
+    hits += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kCount, 0.3, 0.01);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(12);
+  const auto perm = rng.permutation(100);
+  std::set<std::size_t> values(perm.begin(), perm.end());
+  EXPECT_EQ(values.size(), 100u);
+  EXPECT_EQ(*values.begin(), 0u);
+  EXPECT_EQ(*values.rbegin(), 99u);
+}
+
+TEST(Rng, PermutationOfZeroAndOne) {
+  Rng rng(13);
+  EXPECT_TRUE(rng.permutation(0).empty());
+  const auto one = rng.permutation(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+TEST(Rng, PermutationActuallyShuffles) {
+  Rng rng(14);
+  const auto perm = rng.permutation(50);
+  std::size_t fixed = 0;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    fixed += perm[i] == i ? 1 : 0;
+  }
+  EXPECT_LT(fixed, 10u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(15);
+  Rng child = a.split();
+  Rng b(15);
+  (void)b.next_u64();  // advance past the split draw
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += child.next_u64() == b.next_u64() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace iprune::util

@@ -1,0 +1,64 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace iprune::util {
+namespace {
+
+TEST(Table, RendersHeadersAndRule) {
+  Table t({"a", "bb"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("| bb "), std::string::npos);
+  EXPECT_NE(out.find("|----"), std::string::npos);
+}
+
+TEST(Table, AlignsColumnsToWidestCell) {
+  Table t({"x"});
+  t.row().cell("longvalue");
+  t.row().cell("s");
+  const std::string out = t.str();
+  // Every rendered line must have the same length.
+  const std::size_t line_len = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    ASSERT_NE(next, std::string::npos);
+    EXPECT_EQ(next - pos, line_len);
+    pos = next + 1;
+  }
+}
+
+TEST(Table, FormatsDoublesWithPrecision) {
+  EXPECT_EQ(Table::format(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::format(3.14159, 0), "3");
+  EXPECT_EQ(Table::format(-0.5, 1), "-0.5");
+}
+
+TEST(Table, NumericCellHelpers) {
+  Table t({"v"});
+  t.row().cell(std::size_t{42});
+  t.row().cell(1.5, 1);
+  t.row().cell(static_cast<long long>(-7));
+  const std::string out = t.str();
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("-7"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 3u);
+}
+
+TEST(Table, CellWithoutRowStartsOne) {
+  Table t({"v"});
+  t.cell("auto");
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Table, ShortRowsPadWithEmptyCells) {
+  Table t({"a", "b", "c"});
+  t.row().cell("1");
+  const std::string out = t.str();
+  EXPECT_NE(out.find("| 1 "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace iprune::util
