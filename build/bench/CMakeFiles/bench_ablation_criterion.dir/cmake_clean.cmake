@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_criterion.dir/bench_ablation_criterion.cpp.o"
+  "CMakeFiles/bench_ablation_criterion.dir/bench_ablation_criterion.cpp.o.d"
+  "bench_ablation_criterion"
+  "bench_ablation_criterion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_criterion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_preservation.dir/bench_ablation_preservation.cpp.o"
+  "CMakeFiles/bench_ablation_preservation.dir/bench_ablation_preservation.cpp.o.d"
+  "bench_ablation_preservation"
+  "bench_ablation_preservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_preservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

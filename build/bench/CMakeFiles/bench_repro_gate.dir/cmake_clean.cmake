@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_repro_gate.dir/bench_repro_gate.cpp.o"
+  "CMakeFiles/bench_repro_gate.dir/bench_repro_gate.cpp.o.d"
+  "bench_repro_gate"
+  "bench_repro_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repro_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/har_pipeline.dir/har_pipeline.cpp.o"
+  "CMakeFiles/har_pipeline.dir/har_pipeline.cpp.o.d"
+  "har_pipeline"
+  "har_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/har_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/iprune_cli.cpp" "examples/CMakeFiles/iprune_cli.dir/iprune_cli.cpp.o" "gcc" "examples/CMakeFiles/iprune_cli.dir/iprune_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/iprune_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/iprune_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/iprune_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/iprune_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/iprune_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/iprune_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/iprune_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/iprune_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iprune_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

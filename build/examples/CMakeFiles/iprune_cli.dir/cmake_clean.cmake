@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iprune_cli.dir/iprune_cli.cpp.o"
+  "CMakeFiles/iprune_cli.dir/iprune_cli.cpp.o.d"
+  "iprune_cli"
+  "iprune_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iprune_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

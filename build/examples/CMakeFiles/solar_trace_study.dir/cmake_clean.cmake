@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solar_trace_study.dir/solar_trace_study.cpp.o"
+  "CMakeFiles/solar_trace_study.dir/solar_trace_study.cpp.o.d"
+  "solar_trace_study"
+  "solar_trace_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solar_trace_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for solar_trace_study.
+# This may be replaced when dependencies are built.

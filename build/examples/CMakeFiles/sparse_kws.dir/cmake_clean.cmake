@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_kws.dir/sparse_kws.cpp.o"
+  "CMakeFiles/sparse_kws.dir/sparse_kws.cpp.o.d"
+  "sparse_kws"
+  "sparse_kws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_kws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

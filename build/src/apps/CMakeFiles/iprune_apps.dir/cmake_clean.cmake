@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iprune_apps.dir/artifacts.cpp.o"
+  "CMakeFiles/iprune_apps.dir/artifacts.cpp.o.d"
+  "CMakeFiles/iprune_apps.dir/models.cpp.o"
+  "CMakeFiles/iprune_apps.dir/models.cpp.o.d"
+  "CMakeFiles/iprune_apps.dir/workloads.cpp.o"
+  "CMakeFiles/iprune_apps.dir/workloads.cpp.o.d"
+  "libiprune_apps.a"
+  "libiprune_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iprune_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iprune_baselines.dir/eprune.cpp.o"
+  "CMakeFiles/iprune_baselines.dir/eprune.cpp.o.d"
+  "CMakeFiles/iprune_baselines.dir/oneshot.cpp.o"
+  "CMakeFiles/iprune_baselines.dir/oneshot.cpp.o.d"
+  "libiprune_baselines.a"
+  "libiprune_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iprune_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

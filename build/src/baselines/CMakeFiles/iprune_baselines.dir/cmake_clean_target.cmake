@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiprune_baselines.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arch_search.cpp" "src/core/CMakeFiles/iprune_core.dir/arch_search.cpp.o" "gcc" "src/core/CMakeFiles/iprune_core.dir/arch_search.cpp.o.d"
+  "/root/repo/src/core/block_pruner.cpp" "src/core/CMakeFiles/iprune_core.dir/block_pruner.cpp.o" "gcc" "src/core/CMakeFiles/iprune_core.dir/block_pruner.cpp.o.d"
+  "/root/repo/src/core/compress.cpp" "src/core/CMakeFiles/iprune_core.dir/compress.cpp.o" "gcc" "src/core/CMakeFiles/iprune_core.dir/compress.cpp.o.d"
+  "/root/repo/src/core/criterion.cpp" "src/core/CMakeFiles/iprune_core.dir/criterion.cpp.o" "gcc" "src/core/CMakeFiles/iprune_core.dir/criterion.cpp.o.d"
+  "/root/repo/src/core/pruner.cpp" "src/core/CMakeFiles/iprune_core.dir/pruner.cpp.o" "gcc" "src/core/CMakeFiles/iprune_core.dir/pruner.cpp.o.d"
+  "/root/repo/src/core/ratio_search.cpp" "src/core/CMakeFiles/iprune_core.dir/ratio_search.cpp.o" "gcc" "src/core/CMakeFiles/iprune_core.dir/ratio_search.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/iprune_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/iprune_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/snapshot.cpp" "src/core/CMakeFiles/iprune_core.dir/snapshot.cpp.o" "gcc" "src/core/CMakeFiles/iprune_core.dir/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/iprune_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/iprune_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iprune_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/iprune_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/iprune_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iprune_core.dir/arch_search.cpp.o"
+  "CMakeFiles/iprune_core.dir/arch_search.cpp.o.d"
+  "CMakeFiles/iprune_core.dir/block_pruner.cpp.o"
+  "CMakeFiles/iprune_core.dir/block_pruner.cpp.o.d"
+  "CMakeFiles/iprune_core.dir/compress.cpp.o"
+  "CMakeFiles/iprune_core.dir/compress.cpp.o.d"
+  "CMakeFiles/iprune_core.dir/criterion.cpp.o"
+  "CMakeFiles/iprune_core.dir/criterion.cpp.o.d"
+  "CMakeFiles/iprune_core.dir/pruner.cpp.o"
+  "CMakeFiles/iprune_core.dir/pruner.cpp.o.d"
+  "CMakeFiles/iprune_core.dir/ratio_search.cpp.o"
+  "CMakeFiles/iprune_core.dir/ratio_search.cpp.o.d"
+  "CMakeFiles/iprune_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/iprune_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/iprune_core.dir/snapshot.cpp.o"
+  "CMakeFiles/iprune_core.dir/snapshot.cpp.o.d"
+  "libiprune_core.a"
+  "libiprune_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iprune_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iprune_data.dir/dataset.cpp.o"
+  "CMakeFiles/iprune_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/iprune_data.dir/synthetic.cpp.o"
+  "CMakeFiles/iprune_data.dir/synthetic.cpp.o.d"
+  "libiprune_data.a"
+  "libiprune_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iprune_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iprune_device.dir/msp430.cpp.o"
+  "CMakeFiles/iprune_device.dir/msp430.cpp.o.d"
+  "CMakeFiles/iprune_device.dir/nvm.cpp.o"
+  "CMakeFiles/iprune_device.dir/nvm.cpp.o.d"
+  "libiprune_device.a"
+  "libiprune_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iprune_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

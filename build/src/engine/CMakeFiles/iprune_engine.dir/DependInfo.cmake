@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/bsr.cpp" "src/engine/CMakeFiles/iprune_engine.dir/bsr.cpp.o" "gcc" "src/engine/CMakeFiles/iprune_engine.dir/bsr.cpp.o.d"
+  "/root/repo/src/engine/deploy.cpp" "src/engine/CMakeFiles/iprune_engine.dir/deploy.cpp.o" "gcc" "src/engine/CMakeFiles/iprune_engine.dir/deploy.cpp.o.d"
+  "/root/repo/src/engine/engine.cpp" "src/engine/CMakeFiles/iprune_engine.dir/engine.cpp.o" "gcc" "src/engine/CMakeFiles/iprune_engine.dir/engine.cpp.o.d"
+  "/root/repo/src/engine/lowering.cpp" "src/engine/CMakeFiles/iprune_engine.dir/lowering.cpp.o" "gcc" "src/engine/CMakeFiles/iprune_engine.dir/lowering.cpp.o.d"
+  "/root/repo/src/engine/tile_plan.cpp" "src/engine/CMakeFiles/iprune_engine.dir/tile_plan.cpp.o" "gcc" "src/engine/CMakeFiles/iprune_engine.dir/tile_plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/iprune_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/iprune_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iprune_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/iprune_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

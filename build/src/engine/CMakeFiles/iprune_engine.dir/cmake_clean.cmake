@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iprune_engine.dir/bsr.cpp.o"
+  "CMakeFiles/iprune_engine.dir/bsr.cpp.o.d"
+  "CMakeFiles/iprune_engine.dir/deploy.cpp.o"
+  "CMakeFiles/iprune_engine.dir/deploy.cpp.o.d"
+  "CMakeFiles/iprune_engine.dir/engine.cpp.o"
+  "CMakeFiles/iprune_engine.dir/engine.cpp.o.d"
+  "CMakeFiles/iprune_engine.dir/lowering.cpp.o"
+  "CMakeFiles/iprune_engine.dir/lowering.cpp.o.d"
+  "CMakeFiles/iprune_engine.dir/tile_plan.cpp.o"
+  "CMakeFiles/iprune_engine.dir/tile_plan.cpp.o.d"
+  "libiprune_engine.a"
+  "libiprune_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iprune_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

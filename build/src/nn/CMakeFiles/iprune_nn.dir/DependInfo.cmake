@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/iprune_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/iprune_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/concat.cpp" "src/nn/CMakeFiles/iprune_nn.dir/concat.cpp.o" "gcc" "src/nn/CMakeFiles/iprune_nn.dir/concat.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/iprune_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/iprune_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/iprune_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/iprune_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/gemm.cpp" "src/nn/CMakeFiles/iprune_nn.dir/gemm.cpp.o" "gcc" "src/nn/CMakeFiles/iprune_nn.dir/gemm.cpp.o.d"
+  "/root/repo/src/nn/graph.cpp" "src/nn/CMakeFiles/iprune_nn.dir/graph.cpp.o" "gcc" "src/nn/CMakeFiles/iprune_nn.dir/graph.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/iprune_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/iprune_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/iprune_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/iprune_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/iprune_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/iprune_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/iprune_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/iprune_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/nn/CMakeFiles/iprune_nn.dir/pool.cpp.o" "gcc" "src/nn/CMakeFiles/iprune_nn.dir/pool.cpp.o.d"
+  "/root/repo/src/nn/quantize.cpp" "src/nn/CMakeFiles/iprune_nn.dir/quantize.cpp.o" "gcc" "src/nn/CMakeFiles/iprune_nn.dir/quantize.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/iprune_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/iprune_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/summary.cpp" "src/nn/CMakeFiles/iprune_nn.dir/summary.cpp.o" "gcc" "src/nn/CMakeFiles/iprune_nn.dir/summary.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/iprune_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/iprune_nn.dir/tensor.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/iprune_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/iprune_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iprune_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

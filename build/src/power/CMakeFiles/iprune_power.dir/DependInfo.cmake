@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/energy_buffer.cpp" "src/power/CMakeFiles/iprune_power.dir/energy_buffer.cpp.o" "gcc" "src/power/CMakeFiles/iprune_power.dir/energy_buffer.cpp.o.d"
+  "/root/repo/src/power/manager.cpp" "src/power/CMakeFiles/iprune_power.dir/manager.cpp.o" "gcc" "src/power/CMakeFiles/iprune_power.dir/manager.cpp.o.d"
+  "/root/repo/src/power/supply.cpp" "src/power/CMakeFiles/iprune_power.dir/supply.cpp.o" "gcc" "src/power/CMakeFiles/iprune_power.dir/supply.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

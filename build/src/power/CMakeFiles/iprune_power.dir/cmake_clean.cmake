@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iprune_power.dir/energy_buffer.cpp.o"
+  "CMakeFiles/iprune_power.dir/energy_buffer.cpp.o.d"
+  "CMakeFiles/iprune_power.dir/manager.cpp.o"
+  "CMakeFiles/iprune_power.dir/manager.cpp.o.d"
+  "CMakeFiles/iprune_power.dir/supply.cpp.o"
+  "CMakeFiles/iprune_power.dir/supply.cpp.o.d"
+  "libiprune_power.a"
+  "libiprune_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iprune_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iprune_util.dir/csv.cpp.o"
+  "CMakeFiles/iprune_util.dir/csv.cpp.o.d"
+  "CMakeFiles/iprune_util.dir/log.cpp.o"
+  "CMakeFiles/iprune_util.dir/log.cpp.o.d"
+  "CMakeFiles/iprune_util.dir/rng.cpp.o"
+  "CMakeFiles/iprune_util.dir/rng.cpp.o.d"
+  "CMakeFiles/iprune_util.dir/table.cpp.o"
+  "CMakeFiles/iprune_util.dir/table.cpp.o.d"
+  "libiprune_util.a"
+  "libiprune_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iprune_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

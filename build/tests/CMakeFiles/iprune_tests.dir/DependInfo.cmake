@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/models_test.cpp" "tests/CMakeFiles/iprune_tests.dir/apps/models_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/apps/models_test.cpp.o.d"
+  "/root/repo/tests/baselines/baselines_test.cpp" "tests/CMakeFiles/iprune_tests.dir/baselines/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/baselines/baselines_test.cpp.o.d"
+  "/root/repo/tests/core/arch_search_test.cpp" "tests/CMakeFiles/iprune_tests.dir/core/arch_search_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/core/arch_search_test.cpp.o.d"
+  "/root/repo/tests/core/block_pruner_test.cpp" "tests/CMakeFiles/iprune_tests.dir/core/block_pruner_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/core/block_pruner_test.cpp.o.d"
+  "/root/repo/tests/core/compress_test.cpp" "tests/CMakeFiles/iprune_tests.dir/core/compress_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/core/compress_test.cpp.o.d"
+  "/root/repo/tests/core/criterion_test.cpp" "tests/CMakeFiles/iprune_tests.dir/core/criterion_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/core/criterion_test.cpp.o.d"
+  "/root/repo/tests/core/pruner_test.cpp" "tests/CMakeFiles/iprune_tests.dir/core/pruner_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/core/pruner_test.cpp.o.d"
+  "/root/repo/tests/core/ratio_search_test.cpp" "tests/CMakeFiles/iprune_tests.dir/core/ratio_search_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/core/ratio_search_test.cpp.o.d"
+  "/root/repo/tests/core/sensitivity_test.cpp" "tests/CMakeFiles/iprune_tests.dir/core/sensitivity_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/core/sensitivity_test.cpp.o.d"
+  "/root/repo/tests/core/snapshot_test.cpp" "tests/CMakeFiles/iprune_tests.dir/core/snapshot_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/core/snapshot_test.cpp.o.d"
+  "/root/repo/tests/data/dataset_test.cpp" "tests/CMakeFiles/iprune_tests.dir/data/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/data/dataset_test.cpp.o.d"
+  "/root/repo/tests/data/synthetic_test.cpp" "tests/CMakeFiles/iprune_tests.dir/data/synthetic_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/data/synthetic_test.cpp.o.d"
+  "/root/repo/tests/device/msp430_test.cpp" "tests/CMakeFiles/iprune_tests.dir/device/msp430_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/device/msp430_test.cpp.o.d"
+  "/root/repo/tests/device/nvm_test.cpp" "tests/CMakeFiles/iprune_tests.dir/device/nvm_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/device/nvm_test.cpp.o.d"
+  "/root/repo/tests/engine/bsr_test.cpp" "tests/CMakeFiles/iprune_tests.dir/engine/bsr_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/engine/bsr_test.cpp.o.d"
+  "/root/repo/tests/engine/deploy_test.cpp" "tests/CMakeFiles/iprune_tests.dir/engine/deploy_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/engine/deploy_test.cpp.o.d"
+  "/root/repo/tests/engine/engine_property_test.cpp" "tests/CMakeFiles/iprune_tests.dir/engine/engine_property_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/engine/engine_property_test.cpp.o.d"
+  "/root/repo/tests/engine/engine_test.cpp" "tests/CMakeFiles/iprune_tests.dir/engine/engine_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/engine/engine_test.cpp.o.d"
+  "/root/repo/tests/engine/lowering_test.cpp" "tests/CMakeFiles/iprune_tests.dir/engine/lowering_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/engine/lowering_test.cpp.o.d"
+  "/root/repo/tests/engine/random_graph_test.cpp" "tests/CMakeFiles/iprune_tests.dir/engine/random_graph_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/engine/random_graph_test.cpp.o.d"
+  "/root/repo/tests/engine/tile_plan_test.cpp" "tests/CMakeFiles/iprune_tests.dir/engine/tile_plan_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/engine/tile_plan_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/iprune_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/nn/gemm_test.cpp" "tests/CMakeFiles/iprune_tests.dir/nn/gemm_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/nn/gemm_test.cpp.o.d"
+  "/root/repo/tests/nn/gradcheck_test.cpp" "tests/CMakeFiles/iprune_tests.dir/nn/gradcheck_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/nn/gradcheck_test.cpp.o.d"
+  "/root/repo/tests/nn/graph_test.cpp" "tests/CMakeFiles/iprune_tests.dir/nn/graph_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/nn/graph_test.cpp.o.d"
+  "/root/repo/tests/nn/layers_test.cpp" "tests/CMakeFiles/iprune_tests.dir/nn/layers_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/nn/layers_test.cpp.o.d"
+  "/root/repo/tests/nn/loss_test.cpp" "tests/CMakeFiles/iprune_tests.dir/nn/loss_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/nn/loss_test.cpp.o.d"
+  "/root/repo/tests/nn/optimizer_test.cpp" "tests/CMakeFiles/iprune_tests.dir/nn/optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/nn/optimizer_test.cpp.o.d"
+  "/root/repo/tests/nn/quantize_test.cpp" "tests/CMakeFiles/iprune_tests.dir/nn/quantize_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/nn/quantize_test.cpp.o.d"
+  "/root/repo/tests/nn/serialize_test.cpp" "tests/CMakeFiles/iprune_tests.dir/nn/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/nn/serialize_test.cpp.o.d"
+  "/root/repo/tests/nn/summary_test.cpp" "tests/CMakeFiles/iprune_tests.dir/nn/summary_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/nn/summary_test.cpp.o.d"
+  "/root/repo/tests/nn/tensor_test.cpp" "tests/CMakeFiles/iprune_tests.dir/nn/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/nn/tensor_test.cpp.o.d"
+  "/root/repo/tests/nn/trainer_test.cpp" "tests/CMakeFiles/iprune_tests.dir/nn/trainer_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/nn/trainer_test.cpp.o.d"
+  "/root/repo/tests/power/power_test.cpp" "tests/CMakeFiles/iprune_tests.dir/power/power_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/power/power_test.cpp.o.d"
+  "/root/repo/tests/util/csv_test.cpp" "tests/CMakeFiles/iprune_tests.dir/util/csv_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/util/csv_test.cpp.o.d"
+  "/root/repo/tests/util/log_test.cpp" "tests/CMakeFiles/iprune_tests.dir/util/log_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/util/log_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/iprune_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/iprune_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/iprune_tests.dir/util/table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/iprune_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/iprune_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/iprune_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/iprune_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/iprune_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/iprune_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/iprune_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/iprune_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iprune_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
