@@ -61,8 +61,9 @@ int main() {
              util::Table::format(u.latency_s / p.latency_s, 3)});
   }
   table.print();
-  if (csv.save("power_sweep.csv")) {
-    std::puts("\n(series also written to power_sweep.csv)");
+  const std::string csv_path = apps::artifact_dir() + "/power_sweep.csv";
+  if (csv.save(csv_path)) {
+    std::printf("\n(series also written to %s)\n", csv_path.c_str());
   }
   std::puts(
       "\nExpected shape: latency rises steeply as harvest power falls "

@@ -1,12 +1,22 @@
 #pragma once
 // Shared helpers for the table/figure reproduction benches.
+//
+// Tracing: set IPRUNE_TRACE=<dir> to record every measure_inference call
+// with a telemetry::RecorderSink and write one Chrome-trace JSON per call
+// into <dir> (open in Perfetto / chrome://tracing). Trace-derived latency
+// breakdown fields are filled into MeasuredLatency alongside the engine's
+// own aggregates so benches can cross-check the two accountings.
 
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 
 #include "apps/artifacts.hpp"
 #include "engine/engine.hpp"
 #include "power/supply.hpp"
+#include "telemetry/trace_export.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 
 namespace iprune::bench {
@@ -57,7 +67,14 @@ struct MeasuredLatency {
   std::size_t model_bytes = 0;
   std::size_t macs = 0;
   bool completed = true;
+  /// Filled only when tracing was enabled (IPRUNE_TRACE): the same
+  /// latency split, but derived from the telemetry event stream.
+  bool traced = false;
+  telemetry::LatencyBreakdown trace;
 };
+
+/// Trace output directory (IPRUNE_TRACE), or nullptr when disabled.
+inline const char* trace_dir() { return std::getenv("IPRUNE_TRACE"); }
 
 inline nn::Tensor sample_of(const data::Dataset& d, std::size_t index) {
   nn::Tensor s(d.sample_shape());
@@ -71,9 +88,15 @@ inline nn::Tensor sample_of(const data::Dataset& d, std::size_t index) {
 inline MeasuredLatency measure_inference(apps::PreparedModel& pm,
                                          PowerLevel level,
                                          engine::EngineConfig config,
-                                         std::size_t count = 3) {
+                                         std::size_t count = 3,
+                                         const std::string& trace_tag = "") {
   device::Msp430Device dev(device::DeviceConfig::msp430fr5994(),
                            make_supply(level));
+  std::unique_ptr<telemetry::RecorderSink> recorder;
+  if (trace_dir() != nullptr) {
+    recorder = std::make_unique<telemetry::RecorderSink>();
+    dev.set_trace_sink(recorder.get());
+  }
   std::vector<std::size_t> calib_idx;
   for (std::size_t i = 0; i < 8; ++i) {
     calib_idx.push_back(i);
@@ -115,6 +138,32 @@ inline MeasuredLatency measure_inference(apps::PreparedModel& pm,
   m.energy_j /= divisor;
   m.power_failures /= divisor;
   m.nvm_bytes_written /= divisor;
+
+  if (recorder != nullptr) {
+    m.traced = true;
+    m.trace = telemetry::LatencyBreakdown::from(recorder->registry());
+    // Per-inference average, like every other MeasuredLatency field.
+    m.trace.preservation_s /= divisor;
+    m.trace.fetch_s /= divisor;
+    m.trace.compute_s /= divisor;
+    m.trace.reboot_s /= divisor;
+    m.trace.recharge_s /= divisor;
+
+    static std::size_t trace_serial = 0;
+    const std::string tag =
+        trace_tag.empty() ? "run_" + std::to_string(trace_serial++)
+                          : trace_tag;
+    std::filesystem::create_directories(trace_dir());
+    const std::string path =
+        std::string(trace_dir()) + "/" + tag + ".trace.json";
+    if (telemetry::export_chrome_trace(recorder->events(), path)) {
+      util::log_info("trace written to " + path + " (" +
+                     std::to_string(recorder->size()) + " events, " +
+                     std::to_string(recorder->dropped()) + " dropped)");
+    } else {
+      util::log_warn("could not write trace to " + path);
+    }
+  }
   return m;
 }
 

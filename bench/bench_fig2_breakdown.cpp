@@ -4,14 +4,34 @@
 // immediate preservation of every accelerator output). The paper's
 // motivating observation is that NVM writes dominate only in the latter.
 
+#include <cctype>
 #include <cstdio>
 
 #include "bench_common.hpp"
+
+namespace {
+
+std::string tag_of(const std::string& name, bool immediate) {
+  std::string tag = "fig2_";
+  for (const char ch : name) {
+    tag += std::isalnum(static_cast<unsigned char>(ch))
+               ? static_cast<char>(
+                     std::tolower(static_cast<unsigned char>(ch)))
+               : '_';
+  }
+  return tag + (immediate ? "_immediate" : "_accumulate");
+}
+
+}  // namespace
 
 int main() {
   using namespace iprune;
   std::puts("== Figure 2: Inference latency breakdown, conventional vs "
             "intermittent preservation ==\n");
+  if (bench::trace_dir() == nullptr) {
+    std::puts("(set IPRUNE_TRACE=<dir> to also dump per-run Chrome-trace "
+              "JSON and a trace-derived cross-check of this table)\n");
+  }
 
   util::Table table({"App", "Preservation", "Latency (s)", "NVM write %",
                      "NVM read %", "LEA %", "CPU %", "NVM bytes written"});
@@ -26,12 +46,26 @@ int main() {
       // Fig. 2 isolates the write-traffic structure, so both modes run
       // under continuous power (no recharge time in the denominator).
       const auto m = bench::measure_inference(
-          pm, bench::PowerLevel::kContinuous, cfg, /*count=*/2);
+          pm, bench::PowerLevel::kContinuous, cfg, /*count=*/2,
+          tag_of(pm.workload.name, immediate));
       const double busy =
           m.nvm_write_s + m.nvm_read_s + m.lea_s + m.cpu_s;
       auto pct = [&](double part) {
         return util::Table::format(100.0 * part / busy, 1) + "%";
       };
+      if (m.traced) {
+        // Cross-check: the same split derived from the telemetry event
+        // stream must agree with the engine's aggregate counters.
+        const double trace_busy = m.trace.preservation_s + m.trace.fetch_s +
+                                  m.trace.compute_s;
+        std::printf(
+            "  [trace] %s/%s: write %.1f%%  read %.1f%%  compute %.1f%%\n",
+            pm.workload.name.c_str(),
+            immediate ? "immediate" : "accumulate",
+            100.0 * m.trace.preservation_s / trace_busy,
+            100.0 * m.trace.fetch_s / trace_busy,
+            100.0 * m.trace.compute_s / trace_busy);
+      }
       table.row()
           .cell(pm.workload.name)
           .cell(immediate ? "immediate (intermittent-safe)"

@@ -63,8 +63,9 @@ int main() {
     std::puts("");
   }
   table.print();
-  if (csv.save("fig5_latency.csv")) {
-    std::puts("\n(series also written to fig5_latency.csv)");
+  const std::string csv_path = apps::artifact_dir() + "/fig5_latency.csv";
+  if (csv.save(csv_path)) {
+    std::printf("\n(series also written to %s)\n", csv_path.c_str());
   }
   std::puts(
       "\nExpected shape (paper Fig. 5): pruning helps everywhere; iPrune "

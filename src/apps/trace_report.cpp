@@ -1,0 +1,126 @@
+// trace_report: run one traced inference and report where the time went.
+//
+// Usage: trace_report [workload] [power] [output.trace.json]
+//   workload  sqn | har | cks                  (default har)
+//   power     continuous | strong | weak       (default strong)
+//   output    Chrome-trace JSON path           (default artifacts/<wl>.trace.json)
+//
+// Prints the Fig. 2-style preservation/computation/recharge breakdown and
+// a per-layer exposure table derived from the live telemetry stream, and
+// writes the full event trace for Perfetto / chrome://tracing.
+// IPRUNE_FAST=1 shrinks the model-preparation step for quick runs.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "apps/artifacts.hpp"
+#include "engine/engine.hpp"
+#include "nn/trainer.hpp"
+#include "telemetry/trace_export.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace iprune;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [sqn|har|cks] [continuous|strong|weak] "
+               "[output.trace.json]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  apps::WorkloadId workload = apps::WorkloadId::kHar;
+  std::unique_ptr<power::PowerSupply> supply = power::SupplyPresets::strong();
+  std::string supply_name = "strong";
+  std::string out_path;
+
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "sqn") == 0) {
+      workload = apps::WorkloadId::kSqn;
+    } else if (std::strcmp(argv[1], "har") == 0) {
+      workload = apps::WorkloadId::kHar;
+    } else if (std::strcmp(argv[1], "cks") == 0) {
+      workload = apps::WorkloadId::kCks;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (argc > 2) {
+    supply_name = argv[2];
+    if (supply_name == "continuous") {
+      supply = power::SupplyPresets::continuous();
+    } else if (supply_name == "strong") {
+      supply = power::SupplyPresets::strong();
+    } else if (supply_name == "weak") {
+      supply = power::SupplyPresets::weak();
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  out_path = argc > 3 ? argv[3]
+                      : apps::artifact_dir() + "/" +
+                            apps::workload_name(workload) + ".trace.json";
+
+  apps::PreparedModel pm =
+      apps::prepare_model(workload, apps::Framework::kUnpruned);
+
+  device::Msp430Device dev(device::DeviceConfig::msp430fr5994(),
+                           std::move(supply));
+  telemetry::RecorderSink recorder;
+  dev.set_trace_sink(&recorder);
+
+  std::vector<std::size_t> calib_idx;
+  for (std::size_t i = 0; i < 8; ++i) {
+    calib_idx.push_back(i);
+  }
+  const nn::Tensor calib =
+      nn::gather_rows(pm.workload.val.inputs, calib_idx);
+  engine::DeployedModel model(pm.workload.graph, pm.workload.prune.engine,
+                              dev, calib);
+  engine::IntermittentEngine eng(model, dev);
+
+  nn::Tensor sample(pm.workload.val.sample_shape());
+  for (std::size_t i = 0; i < sample.numel(); ++i) {
+    sample[i] = pm.workload.val.inputs[i];
+  }
+  const auto result = eng.run(sample);
+
+  std::printf("== trace_report: %s, %s power, %s ==\n\n",
+              pm.workload.name.c_str(), supply_name.c_str(),
+              result.stats.completed ? "completed" : "DID NOT COMPLETE");
+  std::printf("latency %.6f s  (on %.6f s, off %.6f s), %zu power failures, "
+              "%.3f mJ\n\n",
+              result.stats.latency_s, result.stats.on_s, result.stats.off_s,
+              result.stats.power_failures, result.stats.energy_j * 1e3);
+
+  const auto breakdown =
+      telemetry::LatencyBreakdown::from(recorder.registry());
+  std::puts("-- Latency breakdown (trace-derived, Fig. 2 split) --");
+  std::fputs(telemetry::breakdown_table(breakdown).c_str(), stdout);
+  std::puts("\n-- Per-layer exposure --");
+  std::fputs(telemetry::layer_table(recorder.registry()).c_str(), stdout);
+
+  if (telemetry::export_chrome_trace(recorder.events(), out_path)) {
+    std::printf(
+        "\ntrace: %s (%zu events, %llu dropped) — open in "
+        "https://ui.perfetto.dev or chrome://tracing\n",
+        out_path.c_str(), recorder.size(),
+        static_cast<unsigned long long>(recorder.dropped()));
+  } else {
+    std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  const std::string csv_path =
+      out_path.substr(0, out_path.find(".trace.json")) + ".summary.csv";
+  if (telemetry::summary_csv(recorder.registry()).save(csv_path)) {
+    std::printf("summary: %s\n", csv_path.c_str());
+  }
+  return result.stats.completed ? 0 : 1;
+}

@@ -28,6 +28,31 @@ void Msp430Device::reset_stats() {
   power_.reset_stats();
 }
 
+void Msp430Device::set_trace_sink(telemetry::TraceSink* sink) {
+  sink_ = sink != nullptr ? sink : &telemetry::NullSink::instance();
+  power_.set_trace_sink(sink);
+}
+
+void Msp430Device::record_span(telemetry::EventClass cls, double t_us,
+                               double dur_us, double attributed_us,
+                               double energy_j, std::uint64_t bytes,
+                               std::uint64_t macs) {
+  if (!sink_->enabled()) {
+    return;
+  }
+  telemetry::Event event;
+  event.cls = cls;
+  event.phase = telemetry::EventPhase::kSpan;
+  event.t_us = t_us;
+  event.dur_us = dur_us;
+  event.attributed_us = attributed_us;
+  event.energy_j = energy_j;
+  event.bytes = bytes;
+  event.macs = macs;
+  event.seq = vm_epoch_;
+  sink_->record(event);
+}
+
 void Msp430Device::power_cycle() {
   ++vm_epoch_;
   ++stats_.power_failures;
@@ -50,6 +75,16 @@ void Msp430Device::power_cycle() {
   stats_.on_time_us += reboot_us;
   stats_.tag_time_us[static_cast<std::size_t>(CostTag::kReboot)] += reboot_us;
   stats_.energy_j += reboot_j;
+  record_span(telemetry::EventClass::kReboot, clock_us_ - reboot_us,
+              reboot_us, reboot_us, reboot_j, 0, 0);
+  if (sink_->enabled()) {
+    telemetry::Event event;
+    event.cls = telemetry::EventClass::kPowerOn;
+    event.phase = telemetry::EventPhase::kInstant;
+    event.t_us = clock_us_;
+    event.seq = vm_epoch_;
+    sink_->record(event);
+  }
 }
 
 bool Msp430Device::charge(double latency_us, double extra_power_w,
@@ -103,7 +138,17 @@ bool Msp430Device::dma_read(std::size_t bytes) {
   const double latency =
       config_.dma.invocation_us +
       config_.dma.read_us_per_byte * static_cast<double>(bytes);
-  return charge(latency, config_.rails.nvm_read_w, CostTag::kNvmRead);
+  const double t0 = clock_us_;
+  const bool ok = charge(latency, config_.rails.nvm_read_w, CostTag::kNvmRead);
+  // Aborted attempts carry zero attribution/energy, mirroring DeviceStats
+  // (brown-out discards the attempt's accounting, not its wall time).
+  record_span(telemetry::EventClass::kNvmRead, t0, latency,
+              ok ? latency : 0.0,
+              ok ? (config_.rails.base_active_w + config_.rails.nvm_read_w) *
+                       latency * 1e-6
+                 : 0.0,
+              bytes, 0);
+  return ok;
 }
 
 bool Msp430Device::dma_write(std::size_t bytes) {
@@ -112,7 +157,16 @@ bool Msp430Device::dma_write(std::size_t bytes) {
   const double latency =
       config_.dma.invocation_us +
       config_.dma.write_us_per_byte * static_cast<double>(bytes);
-  return charge(latency, config_.rails.nvm_write_w, CostTag::kNvmWrite);
+  const double t0 = clock_us_;
+  const bool ok =
+      charge(latency, config_.rails.nvm_write_w, CostTag::kNvmWrite);
+  record_span(telemetry::EventClass::kNvmWrite, t0, latency,
+              ok ? latency : 0.0,
+              ok ? (config_.rails.base_active_w + config_.rails.nvm_write_w) *
+                       latency * 1e-6
+                 : 0.0,
+              bytes, 0);
+  return ok;
 }
 
 bool Msp430Device::lea_op(std::size_t macs) {
@@ -120,12 +174,26 @@ bool Msp430Device::lea_op(std::size_t macs) {
   stats_.macs += macs;
   const double latency =
       config_.lea.invoke_us + config_.lea.mac_us * static_cast<double>(macs);
-  return charge(latency, config_.rails.lea_active_w, CostTag::kLea);
+  const double t0 = clock_us_;
+  const bool ok = charge(latency, config_.rails.lea_active_w, CostTag::kLea);
+  record_span(telemetry::EventClass::kLea, t0, latency, ok ? latency : 0.0,
+              ok ? (config_.rails.base_active_w +
+                    config_.rails.lea_active_w) * latency * 1e-6
+                 : 0.0,
+              0, macs);
+  return ok;
 }
 
 bool Msp430Device::cpu_work(std::size_t cycles) {
   const double latency = config_.cpu.cycle_us * static_cast<double>(cycles);
-  return charge(latency, config_.rails.cpu_active_w, CostTag::kCpu);
+  const double t0 = clock_us_;
+  const bool ok = charge(latency, config_.rails.cpu_active_w, CostTag::kCpu);
+  record_span(telemetry::EventClass::kCpu, t0, latency, ok ? latency : 0.0,
+              ok ? (config_.rails.base_active_w +
+                    config_.rails.cpu_active_w) * latency * 1e-6
+                 : 0.0,
+              0, 0);
+  return ok;
 }
 
 bool Msp430Device::pipelined_job(std::size_t macs, std::size_t write_bytes,
@@ -166,7 +234,41 @@ bool Msp430Device::pipelined_job(std::size_t macs, std::size_t write_bytes,
     share[static_cast<std::size_t>(CostTag::kLea)] = overlapped;
   }
   share[static_cast<std::size_t>(CostTag::kCpu)] = cpu_us;
-  return charge_split(latency, energy_j, share);
+  const double t0 = clock_us_;
+  const bool ok = charge_split(latency, energy_j, share);
+  if (sink_->enabled()) {
+    // One busy span per engaged unit. The LEA and NVM windows overlap on
+    // the timeline (that is the pipelining); attribution and per-unit
+    // energy (unit rail + base draw over the attributed window) sum back
+    // to the operation's exposed latency and total energy.
+    const double base_w = config_.rails.base_active_w;
+    if (lea_us > 0.0) {
+      const double attr =
+          ok ? share[static_cast<std::size_t>(CostTag::kLea)] : 0.0;
+      record_span(telemetry::EventClass::kLea, t0, lea_us, attr,
+                  ok ? config_.rails.lea_active_w * lea_us * 1e-6 +
+                           base_w * attr * 1e-6
+                     : 0.0,
+                  0, macs);
+    }
+    if (write_us > 0.0) {
+      const double attr =
+          ok ? share[static_cast<std::size_t>(CostTag::kNvmWrite)] : 0.0;
+      record_span(telemetry::EventClass::kNvmWrite, t0, write_us, attr,
+                  ok ? config_.rails.nvm_write_w * write_us * 1e-6 +
+                           base_w * attr * 1e-6
+                     : 0.0,
+                  write_bytes, 0);
+    }
+    if (cpu_us > 0.0) {
+      record_span(telemetry::EventClass::kCpu, t0 + overlapped, cpu_us,
+                  ok ? cpu_us : 0.0,
+                  ok ? (config_.rails.cpu_active_w + base_w) * cpu_us * 1e-6
+                     : 0.0,
+                  0, 0);
+    }
+  }
+  return ok;
 }
 
 }  // namespace iprune::device

@@ -14,6 +14,7 @@
 #include "device/config.hpp"
 #include "device/nvm.hpp"
 #include "power/manager.hpp"
+#include "telemetry/sink.hpp"
 
 namespace iprune::device {
 
@@ -66,6 +67,13 @@ class Msp430Device {
   [[nodiscard]] const DeviceStats& stats() const { return stats_; }
   void reset_stats();
 
+  /// Route structured telemetry (per-operation spans, brown-outs,
+  /// recharge/reboot) to `sink`; nullptr restores the null sink, under
+  /// which every emission site costs a single predictable branch.
+  /// Non-owning; the sink must outlive the device.
+  void set_trace_sink(telemetry::TraceSink* sink);
+  [[nodiscard]] telemetry::TraceSink& trace_sink() const { return *sink_; }
+
   // --- primitives (return false on power failure during the operation) ---
 
   /// DMA transfer NVM -> VM.
@@ -93,12 +101,18 @@ class Msp430Device {
                                   const double* tag_share_us);
   void power_cycle();
 
+  /// Emit one unit-busy span starting at `t_us` (the operation's start).
+  void record_span(telemetry::EventClass cls, double t_us, double dur_us,
+                   double attributed_us, double energy_j,
+                   std::uint64_t bytes, std::uint64_t macs);
+
   DeviceConfig config_;
   Nvm nvm_;
   power::PowerManager power_;
   DeviceStats stats_;
   double clock_us_ = 0.0;
   std::uint64_t vm_epoch_ = 0;
+  telemetry::TraceSink* sink_ = &telemetry::NullSink::instance();
 };
 
 }  // namespace iprune::device

@@ -54,6 +54,33 @@ std::int16_t IntermittentEngine::requantize(std::int64_t psum,
 void IntermittentEngine::commit_job() {
   ++job_counter_;
   device_.nvm().write_u32(model_.progress_addr(), job_counter_);
+  telemetry::TraceSink& sink = device_.trace_sink();
+  if (sink.enabled()) {
+    telemetry::Event event;
+    event.cls = telemetry::EventClass::kProgressCommit;
+    event.phase = telemetry::EventPhase::kInstant;
+    event.t_us = device_.now_us();
+    event.bytes = config_.counter_bytes;
+    event.seq = job_counter_;
+    sink.record(event);
+  }
+}
+
+void IntermittentEngine::emit_scope(telemetry::EventClass cls,
+                                    telemetry::EventPhase phase,
+                                    const std::string& name,
+                                    std::uint64_t seq) {
+  telemetry::TraceSink& sink = device_.trace_sink();
+  if (!sink.enabled()) {
+    return;
+  }
+  telemetry::Event event;
+  event.cls = cls;
+  event.phase = phase;
+  event.t_us = device_.now_us();
+  event.name = name;
+  event.seq = seq;
+  sink.record(event);
 }
 
 std::int16_t IntermittentEngine::gather_input(const LoweredNode& ln,
@@ -138,6 +165,8 @@ bool IntermittentEngine::run_gemm_task(const LoweredNode& ln) {
       for (std::size_t ct = 0; ct < plan.col_tiles(); ++ct) {
         const std::size_t cols_in = plan.cols_in_tile(ct);
         const std::size_t jobs = rows_in * cols_in;
+        emit_scope(telemetry::EventClass::kTile, telemetry::EventPhase::kBegin,
+                   ln.name, rt * plan.col_tiles() + ct);
         std::size_t retries = 0;
         while (true) {
           if (++retries > kMaxOpRetries) {
@@ -168,6 +197,8 @@ bool IntermittentEngine::run_gemm_task(const LoweredNode& ln) {
           active_stats_->preserved_outputs += jobs;
           break;
         }
+        emit_scope(telemetry::EventClass::kTile, telemetry::EventPhase::kEnd,
+                   ln.name, rt * plan.col_tiles() + ct);
       }
       continue;
     }
@@ -175,6 +206,8 @@ bool IntermittentEngine::run_gemm_task(const LoweredNode& ln) {
     for (std::size_t ct = 0; ct < plan.col_tiles(); ++ct) {
       const std::size_t cols_in = plan.cols_in_tile(ct);
       const std::size_t jobs = rows_in * cols_in;
+      emit_scope(telemetry::EventClass::kTile, telemetry::EventPhase::kBegin,
+                 ln.name, rt * plan.col_tiles() + ct);
       for (std::uint32_t slot = begin; slot < end; ++slot) {
         const std::size_t kt = gd.bsr.col(slot);
         const bool first = slot == begin;
@@ -264,6 +297,8 @@ bool IntermittentEngine::run_gemm_task(const LoweredNode& ln) {
           break;
         }
       }
+      emit_scope(telemetry::EventClass::kTile, telemetry::EventPhase::kEnd,
+                 ln.name, rt * plan.col_tiles() + ct);
     }
   }
   return true;
@@ -289,6 +324,8 @@ bool IntermittentEngine::run_gemm_immediate(const LoweredNode& ln) {
       for (std::size_t ct = 0; ct < plan.col_tiles(); ++ct) {
         const std::size_t cols_in = plan.cols_in_tile(ct);
         const std::size_t jobs = rows_in * cols_in;
+        emit_scope(telemetry::EventClass::kTile, telemetry::EventPhase::kBegin,
+                   ln.name, rt * plan.col_tiles() + ct);
         std::size_t done = 0;
         std::size_t retries = 0;
         while (done < jobs) {
@@ -328,12 +365,16 @@ bool IntermittentEngine::run_gemm_immediate(const LoweredNode& ln) {
             break;
           }
         }
+        emit_scope(telemetry::EventClass::kTile, telemetry::EventPhase::kEnd,
+                   ln.name, rt * plan.col_tiles() + ct);
       }
       continue;
     }
 
     for (std::size_t ct = 0; ct < plan.col_tiles(); ++ct) {
       const std::size_t cols_in = plan.cols_in_tile(ct);
+      emit_scope(telemetry::EventClass::kTile, telemetry::EventPhase::kBegin,
+                 ln.name, rt * plan.col_tiles() + ct);
       for (std::uint32_t slot = begin; slot < end; ++slot) {
         const std::size_t kt = gd.bsr.col(slot);
         const bool first = slot == begin;
@@ -422,6 +463,8 @@ bool IntermittentEngine::run_gemm_immediate(const LoweredNode& ln) {
           }
         }
       }
+      emit_scope(telemetry::EventClass::kTile, telemetry::EventPhase::kEnd,
+                 ln.name, rt * plan.col_tiles() + ct);
     }
   }
   return true;
@@ -446,6 +489,8 @@ bool IntermittentEngine::run_gemm_accumulate(const LoweredNode& ln) {
       const std::size_t cols_in = plan.cols_in_tile(ct);
       const std::size_t jobs = rows_in * cols_in;
       psum_tile.assign(psum_tile.size(), 0);
+      emit_scope(telemetry::EventClass::kTile, telemetry::EventPhase::kBegin,
+                 ln.name, rt * plan.col_tiles() + ct);
 
       for (std::uint32_t slot = begin; slot < end; ++slot) {
         const std::size_t kt = gd.bsr.col(slot);
@@ -498,6 +543,8 @@ bool IntermittentEngine::run_gemm_accumulate(const LoweredNode& ln) {
       }
       active_stats_->acc_outputs += jobs;
       active_stats_->preserved_outputs += jobs;
+      emit_scope(telemetry::EventClass::kTile, telemetry::EventPhase::kEnd,
+                 ln.name, rt * plan.col_tiles() + ct);
     }
   }
   return true;
@@ -714,6 +761,8 @@ InferenceResult IntermittentEngine::run(const nn::Tensor& sample) {
   device::Nvm& nvm = device_.nvm();
   const float in_scale = model_.input_scale();
 
+  emit_scope(telemetry::EventClass::kInference, telemetry::EventPhase::kBegin,
+             "inference", 0);
   bool finished = false;
   std::size_t attempts = 0;
   while (!finished) {
@@ -749,6 +798,10 @@ InferenceResult IntermittentEngine::run(const nn::Tensor& sample) {
     for (nn::NodeId id = 1; id < lowered.nodes.size() && !interrupted; ++id) {
       const LoweredNode& ln = lowered.nodes[id];
       const double node_start_us = device_.now_us();
+      if (ln.kind != LoweredKind::kAlias) {
+        emit_scope(telemetry::EventClass::kLayer,
+                   telemetry::EventPhase::kBegin, ln.name, id);
+      }
       bool ok = true;
       switch (ln.kind) {
         case LoweredKind::kGemmConv:
@@ -767,6 +820,8 @@ InferenceResult IntermittentEngine::run(const nn::Tensor& sample) {
           break;
       }
       if (ln.kind != LoweredKind::kAlias) {
+        emit_scope(telemetry::EventClass::kLayer, telemetry::EventPhase::kEnd,
+                   ln.name, id);
         result.per_node.push_back(
             {id, ln.name, (device_.now_us() - node_start_us) * 1e-6});
       }
@@ -778,6 +833,8 @@ InferenceResult IntermittentEngine::run(const nn::Tensor& sample) {
     }
     finished = !interrupted;
   }
+  emit_scope(telemetry::EventClass::kInference, telemetry::EventPhase::kEnd,
+             "inference", attempts);
 
   // Read back the (dequantized) output activations.
   if (result.stats.completed) {

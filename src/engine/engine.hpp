@@ -11,6 +11,7 @@
 // only viable under continuous power.
 
 #include "engine/deploy.hpp"
+#include "telemetry/sink.hpp"
 
 namespace iprune::engine {
 
@@ -94,6 +95,11 @@ class IntermittentEngine {
                                                float multiplier, bool relu);
 
   void commit_job();  // bump + persist the job counter
+
+  /// Emit a scoped telemetry event (inference/layer/tile begin-end)
+  /// stamped with the current simulated time. No-op under the null sink.
+  void emit_scope(telemetry::EventClass cls, telemetry::EventPhase phase,
+                  const std::string& name, std::uint64_t seq);
 
   DeployedModel& model_;
   device::Msp430Device& device_;

@@ -21,7 +21,33 @@ bool PowerManager::consume(double now_s, double duration_s, double energy_j) {
     return true;
   }
   ++stats_.power_failures;
+  if (sink_->enabled()) {
+    telemetry::Event event;
+    event.cls = telemetry::EventClass::kBrownOut;
+    event.phase = telemetry::EventPhase::kInstant;
+    event.t_us = (now_s + duration_s) * 1e6;
+    event.energy_j = energy_j;
+    event.seq = stats_.power_failures;
+    sink_->record(event);
+  }
   return false;
+}
+
+void PowerManager::record_recharge(double now_s, double duration_s,
+                                   double harvested_j) {
+  if (!sink_->enabled()) {
+    return;
+  }
+  telemetry::Event event;
+  event.cls = telemetry::EventClass::kRecharge;
+  event.phase = telemetry::EventPhase::kSpan;
+  event.t_us = now_s * 1e6;
+  event.dur_us = duration_s * 1e6;
+  // Recharge dead time is exposed wall-clock by definition.
+  event.attributed_us = event.dur_us;
+  event.energy_j = harvested_j;
+  event.seq = stats_.power_failures;
+  sink_->record(event);
 }
 
 double PowerManager::recharge(double now_s) {
@@ -41,6 +67,7 @@ double PowerManager::recharge(double now_s) {
       buffer_.refill();
       stats_.harvested_j += needed;
       stats_.off_time_s += estimate;
+      record_recharge(now_s, estimate, needed);
       return estimate;
     }
   }
@@ -60,6 +87,7 @@ double PowerManager::recharge(double now_s) {
   buffer_.refill();
   stats_.harvested_j += needed;
   stats_.off_time_s += elapsed;
+  record_recharge(now_s, elapsed, needed);
   return elapsed;
 }
 

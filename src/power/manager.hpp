@@ -8,6 +8,7 @@
 
 #include "power/energy_buffer.hpp"
 #include "power/supply.hpp"
+#include "telemetry/sink.hpp"
 
 namespace iprune::power {
 
@@ -39,10 +40,19 @@ class PowerManager {
 
   void reset_stats() { stats_ = {}; }
 
+  /// Route brown-out / recharge telemetry to `sink` (nullptr restores the
+  /// null sink). Non-owning; the sink must outlive the manager.
+  void set_trace_sink(telemetry::TraceSink* sink) {
+    sink_ = sink != nullptr ? sink : &telemetry::NullSink::instance();
+  }
+
  private:
+  void record_recharge(double now_s, double duration_s, double harvested_j);
+
   std::unique_ptr<PowerSupply> supply_;
   EnergyBuffer buffer_;
   PowerStats stats_;
+  telemetry::TraceSink* sink_ = &telemetry::NullSink::instance();
 };
 
 }  // namespace iprune::power

@@ -1,6 +1,8 @@
 #include "power/supply.hpp"
 
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <numbers>
 #include <sstream>
@@ -19,6 +21,10 @@ TraceSupply::TraceSupply(std::vector<double> samples_w,
     throw std::invalid_argument("TraceSupply: need samples and period > 0");
   }
   for (const double w : samples_w_) {
+    // NaN compares false against everything, so test finiteness first.
+    if (!std::isfinite(w)) {
+      throw std::invalid_argument("TraceSupply: non-finite power sample");
+    }
     if (w < 0.0) {
       throw std::invalid_argument("TraceSupply: negative power sample");
     }
@@ -33,20 +39,52 @@ TraceSupply TraceSupply::from_csv(const std::string& path,
   }
   std::vector<double> samples;
   std::string line;
+  std::size_t line_no = 0;
   while (std::getline(file, line)) {
+    ++line_no;
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) {
       line.resize(hash);
     }
-    std::istringstream row(line);
-    double mw = 0.0;
-    if (row >> mw) {
-      if (mw < 0.0) {
-        throw std::runtime_error(
-            "TraceSupply::from_csv: negative power sample in " + path);
+    // strtod (unlike stream extraction) also parses "nan"/"inf" spellings,
+    // so corrupt samples reach the finiteness check below instead of being
+    // silently skipped as unparseable.
+    const char* begin = line.c_str();
+    char* parse_end = nullptr;
+    const double mw = std::strtod(begin, &parse_end);
+    const auto blank = [](const char* s) {
+      while (*s != '\0') {
+        if (std::isspace(static_cast<unsigned char>(*s)) == 0) {
+          return false;
+        }
+        ++s;
       }
-      samples.push_back(mw * 1e-3);
+      return true;
+    };
+    if (parse_end == begin) {
+      if (blank(begin)) {
+        continue;  // empty or comment-only line
+      }
+      throw std::runtime_error("TraceSupply::from_csv: malformed sample at "
+                               "line " +
+                               std::to_string(line_no) + " of " + path);
     }
+    if (!blank(parse_end)) {
+      throw std::runtime_error(
+          "TraceSupply::from_csv: trailing garbage after sample at line " +
+          std::to_string(line_no) + " of " + path);
+    }
+    if (!std::isfinite(mw)) {
+      throw std::runtime_error("TraceSupply::from_csv: non-finite power "
+                               "sample at line " +
+                               std::to_string(line_no) + " of " + path);
+    }
+    if (mw < 0.0) {
+      throw std::runtime_error("TraceSupply::from_csv: negative power "
+                               "sample at line " +
+                               std::to_string(line_no) + " of " + path);
+    }
+    samples.push_back(mw * 1e-3);
   }
   if (samples.empty()) {
     throw std::runtime_error("TraceSupply::from_csv: no samples in " + path);

@@ -1,0 +1,72 @@
+#pragma once
+// Structured telemetry events for the intermittent inference pipeline.
+//
+// Every interesting moment of a simulated run — a DMA command, an LEA
+// invocation, a progress-preservation NVM write, a brown-out, the recharge
+// dead time, a layer or tile boundary — is described by one Event stamped
+// with simulated time, energy, and byte/MAC payloads. Producers (device,
+// power manager, engine) hand events to a TraceSink (sink.hpp); consumers
+// aggregate them (registry.hpp) or export them (trace_export.hpp).
+
+#include <cstdint>
+#include <string>
+
+namespace iprune::telemetry {
+
+enum class EventClass : std::uint8_t {
+  // Device operation classes. These mirror device::CostTag so that a
+  // trace-derived latency breakdown reproduces the engine's aggregate
+  // accounting exactly (the Fig. 2 preservation/computation split).
+  kNvmRead = 0,
+  kNvmWrite,
+  kLea,
+  kCpu,
+  kReboot,
+  // Power events.
+  kBrownOut,   // instant: the energy buffer emptied mid-operation
+  kRecharge,   // span: dead time until the buffer reaches the on-threshold
+  kPowerOn,    // instant: device resumed after recharge + reboot
+  // Engine events.
+  kProgressCommit,  // instant: job counter persisted to NVM
+  kInference,       // begin/end: one end-to-end inference
+  kLayer,           // begin/end: one lowered node
+  kTile,            // begin/end: one output tile of a GEMM node
+  kClassCount,
+};
+
+constexpr std::size_t kEventClassCount =
+    static_cast<std::size_t>(EventClass::kClassCount);
+
+const char* event_class_name(EventClass cls);
+
+enum class EventPhase : std::uint8_t {
+  kSpan,     // complete interval: t_us .. t_us + dur_us
+  kBegin,    // scope opened (kInference / kLayer / kTile)
+  kEnd,      // scope closed
+  kInstant,  // point event
+};
+
+struct Event {
+  EventClass cls = EventClass::kCpu;
+  EventPhase phase = EventPhase::kSpan;
+  /// Simulated start time (microseconds since device construction).
+  double t_us = 0.0;
+  /// Unit-busy duration (kSpan only). For pipelined operations the busy
+  /// windows of the LEA and the NVM writer overlap on the timeline.
+  double dur_us = 0.0;
+  /// Exposed-latency share: the portion of wall-clock this event owns
+  /// under the engine's dominant-unit attribution rule. Summing
+  /// attributed_us per class over a trace reproduces DeviceStats'
+  /// tag_time_us exactly.
+  double attributed_us = 0.0;
+  double energy_j = 0.0;
+  std::uint64_t bytes = 0;
+  std::uint64_t macs = 0;
+  /// Class-specific ordinal: job counter for kProgressCommit, VM epoch
+  /// for power events, tile index for kTile.
+  std::uint64_t seq = 0;
+  /// Scope name (layer name for kLayer/kTile); empty for device events.
+  std::string name;
+};
+
+}  // namespace iprune::telemetry

@@ -1,0 +1,103 @@
+#include "telemetry/registry.hpp"
+
+#include <cmath>
+
+namespace iprune::telemetry {
+
+std::size_t Histogram::bucket_index(double value) {
+  if (!(value >= 1.0)) {  // also catches NaN and negatives
+    return 0;
+  }
+  const int exponent = std::ilogb(value);
+  const auto index = static_cast<std::size_t>(exponent) + 1;
+  return index < kBuckets ? index : kBuckets - 1;
+}
+
+double Histogram::bucket_lower_bound(std::size_t index) {
+  return index == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(index) - 1);
+}
+
+double Histogram::bucket_upper_bound(std::size_t index) {
+  return std::ldexp(1.0, static_cast<int>(index));
+}
+
+void Histogram::record(double value) {
+  ++buckets_[bucket_index(value)];
+  ++count_;
+  if (std::isfinite(value) && value > 0.0) {
+    sum_ += value;
+    max_ = std::max(max_, value);
+  }
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::min(std::max(q, 0.0), 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= target) {
+      return bucket_upper_bound(b);
+    }
+  }
+  return bucket_upper_bound(kBuckets - 1);
+}
+
+std::size_t MetricsRegistry::layer_slot(const std::string& name) {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i].name == name) {
+      return i;
+    }
+  }
+  layers_.push_back(LayerMetrics{});
+  layers_.back().name = name;
+  return layers_.size() - 1;
+}
+
+void MetricsRegistry::observe(const Event& event) {
+  ++events_seen_;
+  ClassMetrics& cm = classes_.at(static_cast<std::size_t>(event.cls));
+  ++cm.events;
+
+  switch (event.phase) {
+    case EventPhase::kSpan: {
+      cm.busy_us += event.dur_us;
+      cm.attributed_us += event.attributed_us;
+      cm.energy_j += event.energy_j;
+      cm.bytes += event.bytes;
+      cm.macs += event.macs;
+      cm.latency_us.record(event.dur_us);
+      cm.energy_nj.record(event.energy_j * 1e9);
+      if (!layer_stack_.empty()) {
+        LayerMetrics& lm = layers_[layer_stack_.back().first];
+        lm.attributed_us[static_cast<std::size_t>(event.cls)] +=
+            event.attributed_us;
+        lm.energy_j += event.energy_j;
+        lm.bytes += event.bytes;
+        lm.macs += event.macs;
+      }
+      break;
+    }
+    case EventPhase::kBegin:
+      if (event.cls == EventClass::kLayer) {
+        layer_stack_.emplace_back(layer_slot(event.name), event.t_us);
+      }
+      break;
+    case EventPhase::kEnd:
+      if (event.cls == EventClass::kLayer && !layer_stack_.empty()) {
+        LayerMetrics& lm = layers_[layer_stack_.back().first];
+        ++lm.passes;
+        lm.wall_us += event.t_us - layer_stack_.back().second;
+        layer_stack_.pop_back();
+      }
+      break;
+    case EventPhase::kInstant:
+      break;
+  }
+}
+
+}  // namespace iprune::telemetry

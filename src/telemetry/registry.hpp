@@ -1,0 +1,105 @@
+#pragma once
+// Counters-and-histograms registry fed from the telemetry event stream.
+//
+// Aggregates per event class (counts, busy/attributed time, energy,
+// byte/MAC payloads, log-scale latency and energy histograms) and per
+// layer (wall time and per-class exposure attributed to the innermost
+// enclosing kLayer scope). The registry sees every event — unlike the
+// bounded trace ring buffer it never drops — so aggregate queries remain
+// exact even when the event record overflows.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/events.hpp"
+
+namespace iprune::telemetry {
+
+/// Fixed log2-scale histogram. Bucket 0 counts samples in [0, 1) unit;
+/// bucket b >= 1 counts [2^(b-1), 2^b). The unit is chosen by the caller
+/// (the registry uses microseconds for latency, nanojoules for energy).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 48;
+
+  void record(double value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t index) const {
+    return buckets_.at(index);
+  }
+  /// Inclusive lower bound of a bucket (0 for bucket 0, else 2^(i-1)).
+  [[nodiscard]] static double bucket_lower_bound(std::size_t index);
+  /// Exclusive upper bound of a bucket (2^i).
+  [[nodiscard]] static double bucket_upper_bound(std::size_t index);
+  /// Bucket index a value lands in (negative/NaN values clamp to 0).
+  [[nodiscard]] static std::size_t bucket_index(double value);
+
+  /// Upper-bound estimate of the q-quantile (q in [0, 1]) from the bucket
+  /// boundaries; 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_ = {};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Aggregates over all span events of one class.
+struct ClassMetrics {
+  std::uint64_t events = 0;
+  double busy_us = 0.0;        // sum of dur_us (unit-busy time)
+  double attributed_us = 0.0;  // sum of exposed-latency shares
+  double energy_j = 0.0;
+  std::uint64_t bytes = 0;
+  std::uint64_t macs = 0;
+  Histogram latency_us;  // per-event dur_us
+  Histogram energy_nj;   // per-event energy in nanojoules
+};
+
+/// Per-layer exposure: device time attributed to the innermost enclosing
+/// kLayer scope, plus the scope's own wall time.
+struct LayerMetrics {
+  std::string name;
+  std::uint64_t passes = 0;  // completed begin/end pairs
+  double wall_us = 0.0;      // sum over passes of (end - begin)
+  std::array<double, kEventClassCount> attributed_us = {};
+  double energy_j = 0.0;
+  std::uint64_t bytes = 0;
+  std::uint64_t macs = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Feed one event. Span events update their class (and, when a layer
+  /// scope is open, that layer); begin/end events maintain the scope
+  /// stack; instants bump the class event count only.
+  void observe(const Event& event);
+
+  [[nodiscard]] const ClassMetrics& for_class(EventClass cls) const {
+    return classes_.at(static_cast<std::size_t>(cls));
+  }
+  /// Layers in first-seen order.
+  [[nodiscard]] const std::vector<LayerMetrics>& layers() const {
+    return layers_;
+  }
+  [[nodiscard]] std::uint64_t events_seen() const { return events_seen_; }
+
+ private:
+  [[nodiscard]] std::size_t layer_slot(const std::string& name);
+
+  std::array<ClassMetrics, kEventClassCount> classes_ = {};
+  std::vector<LayerMetrics> layers_;
+  /// Open kLayer scopes: (layer slot, begin time).
+  std::vector<std::pair<std::size_t, double>> layer_stack_;
+  std::uint64_t events_seen_ = 0;
+};
+
+}  // namespace iprune::telemetry

@@ -1,0 +1,79 @@
+#include "telemetry/sink.hpp"
+
+#include <stdexcept>
+
+namespace iprune::telemetry {
+
+const char* event_class_name(EventClass cls) {
+  switch (cls) {
+    case EventClass::kNvmRead:
+      return "nvm_read";
+    case EventClass::kNvmWrite:
+      return "nvm_write";
+    case EventClass::kLea:
+      return "lea";
+    case EventClass::kCpu:
+      return "cpu";
+    case EventClass::kReboot:
+      return "reboot";
+    case EventClass::kBrownOut:
+      return "brown_out";
+    case EventClass::kRecharge:
+      return "recharge";
+    case EventClass::kPowerOn:
+      return "power_on";
+    case EventClass::kProgressCommit:
+      return "progress_commit";
+    case EventClass::kInference:
+      return "inference";
+    case EventClass::kLayer:
+      return "layer";
+    case EventClass::kTile:
+      return "tile";
+    case EventClass::kClassCount:
+      break;
+  }
+  return "?";
+}
+
+NullSink& NullSink::instance() {
+  static NullSink sink;
+  return sink;
+}
+
+RecorderSink::RecorderSink(std::size_t capacity)
+    : TraceSink(true), capacity_(capacity) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("RecorderSink: capacity must be positive");
+  }
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void RecorderSink::record(const Event& event) {
+  registry_.observe(event);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+    next_ = ring_.size() % capacity_;
+    return;
+  }
+  wrapped_ = true;
+  ++dropped_;
+  ring_[next_] = event;
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::size_t RecorderSink::size() const { return ring_.size(); }
+
+std::vector<Event> RecorderSink::events() const {
+  if (!wrapped_) {
+    return ring_;
+  }
+  std::vector<Event> ordered;
+  ordered.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    ordered.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return ordered;
+}
+
+}  // namespace iprune::telemetry

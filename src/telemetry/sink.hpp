@@ -1,0 +1,76 @@
+#pragma once
+// TraceSink: where telemetry events go.
+//
+// Producers hold a non-owning TraceSink* that defaults to the process-wide
+// NullSink, and guard every emission with sink->enabled() — a plain bool
+// load, so an uninstrumented run pays one predictable branch per
+// would-be event and never constructs an Event. RecorderSink keeps a
+// bounded ring of recent events (drop-oldest on overflow) and feeds every
+// event — including dropped ones — into an exact MetricsRegistry.
+
+#include <cstddef>
+#include <vector>
+
+#include "telemetry/events.hpp"
+#include "telemetry/registry.hpp"
+
+namespace iprune::telemetry {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Cheap gate for producers: skip Event construction entirely when off.
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  virtual void record(const Event& event) = 0;
+
+ protected:
+  explicit TraceSink(bool enabled) : enabled_(enabled) {}
+
+ private:
+  const bool enabled_;
+};
+
+/// Discards everything; the default sink of every producer.
+class NullSink final : public TraceSink {
+ public:
+  NullSink() : TraceSink(false) {}
+  void record(const Event&) override {}
+
+  /// Process-wide instance so producers can hold a never-null pointer.
+  static NullSink& instance();
+};
+
+/// Bounded in-memory recorder: the last `capacity` events in arrival
+/// order plus exact aggregate metrics over the full stream.
+class RecorderSink final : public TraceSink {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 18;
+
+  explicit RecorderSink(std::size_t capacity = kDefaultCapacity);
+
+  void record(const Event& event) override;
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<Event> events() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Events evicted by the drop-oldest overflow policy. Dropped events
+  /// are still reflected in registry() aggregates.
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  [[nodiscard]] const MetricsRegistry& registry() const { return registry_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<Event> ring_;
+  std::size_t next_ = 0;   // ring slot the next event lands in
+  bool wrapped_ = false;
+  std::uint64_t dropped_ = 0;
+  MetricsRegistry registry_;
+};
+
+}  // namespace iprune::telemetry

@@ -1,0 +1,244 @@
+#include "telemetry/trace_export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "util/table.hpp"
+
+namespace iprune::telemetry {
+
+namespace {
+
+/// Track ids: scoped engine events on one track, each hardware unit on
+/// its own so overlapping busy windows (pipelined jobs) render correctly.
+enum TrackId : int {
+  kTrackEngine = 0,
+  kTrackLea = 1,
+  kTrackNvm = 2,
+  kTrackCpu = 3,
+  kTrackPower = 4,
+};
+
+int track_of(EventClass cls) {
+  switch (cls) {
+    case EventClass::kLea:
+      return kTrackLea;
+    case EventClass::kNvmRead:
+    case EventClass::kNvmWrite:
+      return kTrackNvm;
+    case EventClass::kCpu:
+      return kTrackCpu;
+    case EventClass::kReboot:
+    case EventClass::kBrownOut:
+    case EventClass::kRecharge:
+    case EventClass::kPowerOn:
+      return kTrackPower;
+    default:
+      return kTrackEngine;
+  }
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(ch));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string number(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+void append_args(std::string& out, const Event& e) {
+  out += "\"args\":{\"energy_j\":" + number(e.energy_j);
+  out += ",\"attributed_us\":" + number(e.attributed_us);
+  if (e.bytes > 0) {
+    out += ",\"bytes\":" + std::to_string(e.bytes);
+  }
+  if (e.macs > 0) {
+    out += ",\"macs\":" + std::to_string(e.macs);
+  }
+  out += ",\"seq\":" + std::to_string(e.seq);
+  out += "}";
+}
+
+void append_event(std::string& out, const Event& e) {
+  const std::string name =
+      e.name.empty() ? event_class_name(e.cls) : json_escape(e.name);
+  out += "{\"name\":\"" + name + "\",\"cat\":\"";
+  out += event_class_name(e.cls);
+  out += "\",\"pid\":0,\"tid\":" + std::to_string(track_of(e.cls));
+  out += ",\"ts\":" + number(e.t_us);
+  switch (e.phase) {
+    case EventPhase::kSpan:
+      out += ",\"ph\":\"X\",\"dur\":" + number(e.dur_us);
+      break;
+    case EventPhase::kBegin:
+      out += ",\"ph\":\"B\"";
+      break;
+    case EventPhase::kEnd:
+      out += ",\"ph\":\"E\"";
+      break;
+    case EventPhase::kInstant:
+      out += ",\"ph\":\"i\",\"s\":\"t\"";
+      break;
+  }
+  out += ",";
+  append_args(out, e);
+  out += "}";
+}
+
+void append_track_name(std::string& out, int tid, const char* name) {
+  out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"args\":{\"name\":\"";
+  out += name;
+  out += "\"}},";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<Event>& events) {
+  std::string out;
+  out.reserve(events.size() * 160 + 512);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  append_track_name(out, kTrackEngine, "engine");
+  append_track_name(out, kTrackLea, "lea");
+  append_track_name(out, kTrackNvm, "nvm");
+  append_track_name(out, kTrackCpu, "cpu");
+  append_track_name(out, kTrackPower, "power");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    append_event(out, events[i]);
+    if (i + 1 < events.size()) {
+      out += ",";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+bool export_chrome_trace(const std::vector<Event>& events,
+                         const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return false;
+  }
+  file << chrome_trace_json(events);
+  return static_cast<bool>(file.flush());
+}
+
+util::CsvWriter summary_csv(const MetricsRegistry& registry) {
+  util::CsvWriter csv({"class", "events", "busy_us", "attributed_us",
+                       "energy_j", "bytes", "macs", "latency_mean_us",
+                       "latency_p99_us"});
+  for (std::size_t c = 0; c < kEventClassCount; ++c) {
+    const auto cls = static_cast<EventClass>(c);
+    const ClassMetrics& m = registry.for_class(cls);
+    if (m.events == 0) {
+      continue;
+    }
+    csv.row({event_class_name(cls), std::to_string(m.events),
+             util::Table::format(m.busy_us, 3),
+             util::Table::format(m.attributed_us, 3), number(m.energy_j),
+             std::to_string(m.bytes), std::to_string(m.macs),
+             util::Table::format(m.latency_us.mean(), 3),
+             util::Table::format(m.latency_us.quantile(0.99), 3)});
+  }
+  return csv;
+}
+
+LatencyBreakdown LatencyBreakdown::from(const MetricsRegistry& registry) {
+  LatencyBreakdown b;
+  b.preservation_s =
+      registry.for_class(EventClass::kNvmWrite).attributed_us * 1e-6;
+  b.fetch_s = registry.for_class(EventClass::kNvmRead).attributed_us * 1e-6;
+  b.compute_s = (registry.for_class(EventClass::kLea).attributed_us +
+                 registry.for_class(EventClass::kCpu).attributed_us) *
+                1e-6;
+  b.reboot_s = registry.for_class(EventClass::kReboot).attributed_us * 1e-6;
+  b.recharge_s =
+      registry.for_class(EventClass::kRecharge).attributed_us * 1e-6;
+  return b;
+}
+
+std::string breakdown_table(const LatencyBreakdown& breakdown) {
+  const double total = breakdown.total_s();
+  auto pct = [&](double part) {
+    return util::Table::format(total > 0.0 ? 100.0 * part / total : 0.0, 1) +
+           "%";
+  };
+  util::Table table({"Component", "Time (s)", "Share"});
+  table.row()
+      .cell("Progress preservation (NVM write)")
+      .cell(util::Table::format(breakdown.preservation_s, 6))
+      .cell(pct(breakdown.preservation_s));
+  table.row()
+      .cell("Data fetch (NVM read)")
+      .cell(util::Table::format(breakdown.fetch_s, 6))
+      .cell(pct(breakdown.fetch_s));
+  table.row()
+      .cell("Computation (LEA + CPU)")
+      .cell(util::Table::format(breakdown.compute_s, 6))
+      .cell(pct(breakdown.compute_s));
+  table.row()
+      .cell("Reboot")
+      .cell(util::Table::format(breakdown.reboot_s, 6))
+      .cell(pct(breakdown.reboot_s));
+  table.row()
+      .cell("Recharge (off)")
+      .cell(util::Table::format(breakdown.recharge_s, 6))
+      .cell(pct(breakdown.recharge_s));
+  table.row()
+      .cell("Total")
+      .cell(util::Table::format(total, 6))
+      .cell("100.0%");
+  return table.str();
+}
+
+std::string layer_table(const MetricsRegistry& registry) {
+  util::Table table({"Layer", "Passes", "Wall (s)", "NVM write (s)",
+                     "NVM read (s)", "LEA (s)", "CPU (s)", "Off (s)",
+                     "Energy (mJ)", "KB written", "MACs"});
+  for (const LayerMetrics& lm : registry.layers()) {
+    auto cls_s = [&](EventClass cls) {
+      return util::Table::format(
+          lm.attributed_us[static_cast<std::size_t>(cls)] * 1e-6, 6);
+    };
+    table.row()
+        .cell(lm.name)
+        .cell(lm.passes)
+        .cell(util::Table::format(lm.wall_us * 1e-6, 6))
+        .cell(cls_s(EventClass::kNvmWrite))
+        .cell(cls_s(EventClass::kNvmRead))
+        .cell(cls_s(EventClass::kLea))
+        .cell(cls_s(EventClass::kCpu))
+        .cell(cls_s(EventClass::kRecharge))
+        .cell(util::Table::format(lm.energy_j * 1e3, 3))
+        .cell(util::Table::format(static_cast<double>(lm.bytes) / 1024.0, 1))
+        .cell(lm.macs);
+  }
+  return table.str();
+}
+
+}  // namespace iprune::telemetry

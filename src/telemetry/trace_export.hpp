@@ -1,0 +1,59 @@
+#pragma once
+// Exporters for recorded telemetry.
+//
+//  * chrome_trace_json / export_chrome_trace — Chrome-trace ("Trace Event
+//    Format") JSON loadable in Perfetto or chrome://tracing. Hardware
+//    units (LEA, NVM/DMA, CPU, power) get their own tracks so pipelined
+//    operations render as overlapping busy windows; engine scopes
+//    (inference/layer/tile) nest on an engine track.
+//  * summary_csv — one row per event class, machine-readable.
+//  * LatencyBreakdown / breakdown_table — the paper's Fig. 2 split
+//    (progress preservation vs computation vs recharge dead time),
+//    derived from the live event stream instead of hand-maintained
+//    accounting.
+
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+#include "telemetry/sink.hpp"
+#include "util/csv.hpp"
+
+namespace iprune::telemetry {
+
+/// Serialize events as Chrome-trace JSON (a {"traceEvents": [...]} object).
+[[nodiscard]] std::string chrome_trace_json(const std::vector<Event>& events);
+
+/// Write chrome_trace_json to a file; false on I/O error.
+[[nodiscard]] bool export_chrome_trace(const std::vector<Event>& events,
+                                       const std::string& path);
+
+/// Per-event-class aggregate table (count, busy/exposed time, energy,
+/// bytes, MACs, latency mean/p99).
+[[nodiscard]] util::CsvWriter summary_csv(const MetricsRegistry& registry);
+
+/// Fig. 2's latency split, derived from trace aggregates. The exposed-time
+/// attribution matches device::DeviceStats exactly, so percentages agree
+/// with the engine's own counters.
+struct LatencyBreakdown {
+  double preservation_s = 0.0;  // NVM write exposure (progress preservation)
+  double fetch_s = 0.0;         // NVM read exposure
+  double compute_s = 0.0;       // LEA + CPU exposure
+  double reboot_s = 0.0;
+  double recharge_s = 0.0;      // off time waiting on the harvester
+
+  [[nodiscard]] double on_s() const {
+    return preservation_s + fetch_s + compute_s + reboot_s;
+  }
+  [[nodiscard]] double total_s() const { return on_s() + recharge_s; }
+
+  [[nodiscard]] static LatencyBreakdown from(const MetricsRegistry& registry);
+};
+
+/// Human-readable breakdown table (shares of total wall-clock).
+[[nodiscard]] std::string breakdown_table(const LatencyBreakdown& breakdown);
+
+/// Per-layer exposure table from registry aggregates.
+[[nodiscard]] std::string layer_table(const MetricsRegistry& registry);
+
+}  // namespace iprune::telemetry

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <memory>
 
 #include "power/energy_buffer.hpp"
@@ -85,6 +86,68 @@ TEST(Supply, FromCsvRejectsNegativeSamples) {
   }
   EXPECT_THROW(TraceSupply::from_csv(path, 1.0), std::runtime_error);
   std::remove(path.c_str());
+}
+
+TEST(Supply, FromCsvRejectsNonFiniteSamples) {
+  // operator>> accepts "nan"/"inf" spellings, and NaN slips past any
+  // `< 0` comparison — from_csv must reject them explicitly.
+  for (const char* bad : {"5\nnan\n", "5\ninf\n", "5\n-inf\n"}) {
+    const std::string path = ::testing::TempDir() + "nonfinite_trace.csv";
+    {
+      std::ofstream out(path);
+      out << bad;
+    }
+    EXPECT_THROW(TraceSupply::from_csv(path, 1.0), std::runtime_error)
+        << bad;
+    std::remove(path.c_str());
+  }
+  EXPECT_THROW(
+      TraceSupply({std::numeric_limits<double>::quiet_NaN()}, 1.0),
+      std::invalid_argument);
+  EXPECT_THROW(TraceSupply({std::numeric_limits<double>::infinity()}, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Supply, FromCsvErrorNamesOffendingLine) {
+  const std::string path = ::testing::TempDir() + "bad_line_trace.csv";
+  {
+    std::ofstream out(path);
+    out << "# header comment\n5\n\nnan\n";
+  }
+  try {
+    (void)TraceSupply::from_csv(path, 1.0);
+    FAIL() << "expected rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Supply, FromCsvHandlesCommentOnlyAndTrailingNewlineFiles) {
+  // A comment-only file has no samples: clear error, not a bogus supply.
+  const std::string empty_path = ::testing::TempDir() + "comment_trace.csv";
+  {
+    std::ofstream out(empty_path);
+    out << "# a\n# b\n\n   \n";
+  }
+  EXPECT_THROW(TraceSupply::from_csv(empty_path, 1.0), std::runtime_error);
+  std::remove(empty_path.c_str());
+
+  // Trailing newlines (and a final line without one) must not add
+  // phantom samples or drop the last real one.
+  for (const char* body : {"5\n7\n", "5\n7", "5\n7\n\n\n"}) {
+    const std::string path = ::testing::TempDir() + "newline_trace.csv";
+    {
+      std::ofstream out(path);
+      out << body;
+    }
+    const TraceSupply trace = TraceSupply::from_csv(path, 1.0);
+    EXPECT_DOUBLE_EQ(trace.power_w(0.5), 5.0e-3) << body;
+    EXPECT_DOUBLE_EQ(trace.power_w(1.5), 7.0e-3) << body;
+    EXPECT_DOUBLE_EQ(trace.power_w(2.5), 5.0e-3) << body;  // wraps: 2 samples
+    std::remove(path.c_str());
+  }
 }
 
 TEST(Buffer, UsableEnergyMatchesCapacitorFormula) {

@@ -1,0 +1,262 @@
+// Unit tests for the telemetry subsystem: histogram bucketing, ring-buffer
+// overflow policy, registry aggregation, and the device/power emission
+// invariants (trace attribution must reproduce DeviceStats exactly).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "device/msp430.hpp"
+#include "power/supply.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/sink.hpp"
+
+namespace iprune::telemetry {
+namespace {
+
+// --- Histogram ---
+
+TEST(Histogram, BucketIndexIsLogScale) {
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(0.5), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1.0), 1u);
+  EXPECT_EQ(Histogram::bucket_index(1.9), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2.0), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3.9), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4.0), 3u);
+  EXPECT_EQ(Histogram::bucket_index(1024.0), 11u);
+  // Out-of-range and invalid values clamp instead of faulting.
+  EXPECT_EQ(Histogram::bucket_index(-5.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1e30), Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, BucketBoundsArePowersOfTwo) {
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower_bound(0), 0.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_upper_bound(0), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_lower_bound(5), 16.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_upper_bound(5), 32.0);
+  for (std::size_t b = 1; b < Histogram::kBuckets; ++b) {
+    EXPECT_DOUBLE_EQ(Histogram::bucket_lower_bound(b),
+                     Histogram::bucket_upper_bound(b - 1));
+  }
+}
+
+TEST(Histogram, RecordAccumulatesCountsAndMoments) {
+  Histogram h;
+  h.record(0.5);
+  h.record(3.0);
+  h.record(3.5);
+  h.record(100.0);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(7), 1u);  // 100 in [64, 128)
+  EXPECT_DOUBLE_EQ(h.sum(), 107.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 107.0 / 4.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(Histogram, QuantileReturnsBucketUpperBound) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) {
+    h.record(1.5);  // bucket 1, upper bound 2
+  }
+  h.record(1000.0);  // bucket 10, upper bound 1024
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1024.0);
+  EXPECT_DOUBLE_EQ(Histogram().quantile(0.5), 0.0);
+}
+
+// --- RecorderSink ring buffer ---
+
+Event span_event(EventClass cls, double t_us, double dur_us) {
+  Event e;
+  e.cls = cls;
+  e.phase = EventPhase::kSpan;
+  e.t_us = t_us;
+  e.dur_us = dur_us;
+  e.attributed_us = dur_us;
+  return e;
+}
+
+TEST(RecorderSink, KeepsEverythingUnderCapacity) {
+  RecorderSink sink(8);
+  for (int i = 0; i < 5; ++i) {
+    sink.record(span_event(EventClass::kCpu, i, 1.0));
+  }
+  EXPECT_EQ(sink.size(), 5u);
+  EXPECT_EQ(sink.dropped(), 0u);
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(events[i].t_us, i);
+  }
+}
+
+TEST(RecorderSink, OverflowDropsOldestKeepsNewest) {
+  RecorderSink sink(4);
+  for (int i = 0; i < 10; ++i) {
+    sink.record(span_event(EventClass::kCpu, i, 1.0));
+  }
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first order of the surviving (newest) events.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(events[i].t_us, 6 + i);
+  }
+  // Aggregates still cover the full stream, including dropped events.
+  EXPECT_EQ(sink.registry().for_class(EventClass::kCpu).events, 10u);
+  EXPECT_DOUBLE_EQ(sink.registry().for_class(EventClass::kCpu).busy_us, 10.0);
+}
+
+TEST(RecorderSink, RejectsZeroCapacity) {
+  EXPECT_THROW(RecorderSink(0), std::invalid_argument);
+}
+
+// --- MetricsRegistry ---
+
+TEST(MetricsRegistry, AttributesSpansToInnermostLayerScope) {
+  MetricsRegistry registry;
+  Event begin;
+  begin.cls = EventClass::kLayer;
+  begin.phase = EventPhase::kBegin;
+  begin.name = "conv1";
+  begin.t_us = 10.0;
+  registry.observe(begin);
+
+  Event op = span_event(EventClass::kLea, 10.0, 5.0);
+  op.macs = 40;
+  op.energy_j = 1e-6;
+  registry.observe(op);
+
+  Event end = begin;
+  end.phase = EventPhase::kEnd;
+  end.t_us = 25.0;
+  registry.observe(end);
+
+  // A span outside any layer scope stays unattributed.
+  registry.observe(span_event(EventClass::kLea, 30.0, 2.0));
+
+  ASSERT_EQ(registry.layers().size(), 1u);
+  const LayerMetrics& lm = registry.layers()[0];
+  EXPECT_EQ(lm.name, "conv1");
+  EXPECT_EQ(lm.passes, 1u);
+  EXPECT_DOUBLE_EQ(lm.wall_us, 15.0);
+  EXPECT_DOUBLE_EQ(
+      lm.attributed_us[static_cast<std::size_t>(EventClass::kLea)], 5.0);
+  EXPECT_EQ(lm.macs, 40u);
+  EXPECT_DOUBLE_EQ(lm.energy_j, 1e-6);
+  // Class aggregates see both spans.
+  EXPECT_DOUBLE_EQ(registry.for_class(EventClass::kLea).busy_us, 7.0);
+}
+
+TEST(MetricsRegistry, SameLayerNameAccumulatesAcrossPasses) {
+  MetricsRegistry registry;
+  for (int pass = 0; pass < 3; ++pass) {
+    Event begin;
+    begin.cls = EventClass::kLayer;
+    begin.phase = EventPhase::kBegin;
+    begin.name = "fc";
+    begin.t_us = pass * 100.0;
+    registry.observe(begin);
+    Event end = begin;
+    end.phase = EventPhase::kEnd;
+    end.t_us = pass * 100.0 + 10.0;
+    registry.observe(end);
+  }
+  ASSERT_EQ(registry.layers().size(), 1u);
+  EXPECT_EQ(registry.layers()[0].passes, 3u);
+  EXPECT_DOUBLE_EQ(registry.layers()[0].wall_us, 30.0);
+}
+
+// --- Device emission invariants ---
+
+device::Msp430Device make_device(double power_w,
+                                 power::BufferConfig buffer = {}) {
+  return device::Msp430Device(
+      device::DeviceConfig::msp430fr5994(),
+      std::make_unique<power::ConstantSupply>(power_w), buffer);
+}
+
+TEST(DeviceTelemetry, SpansReproduceDeviceStatsExactly) {
+  auto dev = make_device(power::SupplyPresets::kContinuousW);
+  RecorderSink sink;
+  dev.set_trace_sink(&sink);
+
+  ASSERT_TRUE(dev.dma_read(128));
+  ASSERT_TRUE(dev.dma_write(64));
+  ASSERT_TRUE(dev.lea_op(100));
+  ASSERT_TRUE(dev.cpu_work(50));
+  ASSERT_TRUE(dev.pipelined_job(200, 32, 10));
+  ASSERT_TRUE(dev.pipelined_job(10, 400, 10));  // write-dominated
+
+  const device::DeviceStats& stats = dev.stats();
+  const MetricsRegistry& reg = sink.registry();
+  auto attributed = [&](EventClass cls) {
+    return reg.for_class(cls).attributed_us;
+  };
+  EXPECT_NEAR(attributed(EventClass::kNvmRead),
+              stats.tag_us(device::CostTag::kNvmRead), 1e-9);
+  EXPECT_NEAR(attributed(EventClass::kNvmWrite),
+              stats.tag_us(device::CostTag::kNvmWrite), 1e-9);
+  EXPECT_NEAR(attributed(EventClass::kLea),
+              stats.tag_us(device::CostTag::kLea), 1e-9);
+  EXPECT_NEAR(attributed(EventClass::kCpu),
+              stats.tag_us(device::CostTag::kCpu), 1e-9);
+  // Energy and payloads match too.
+  double energy = 0.0;
+  for (std::size_t c = 0; c < kEventClassCount; ++c) {
+    energy += reg.for_class(static_cast<EventClass>(c)).energy_j;
+  }
+  EXPECT_NEAR(energy, stats.energy_j, 1e-12);
+  EXPECT_EQ(reg.for_class(EventClass::kNvmRead).bytes, stats.nvm_bytes_read);
+  EXPECT_EQ(reg.for_class(EventClass::kNvmWrite).bytes,
+            stats.nvm_bytes_written);
+  EXPECT_EQ(reg.for_class(EventClass::kLea).macs, stats.macs);
+}
+
+TEST(DeviceTelemetry, BrownOutEmitsPowerEventsAndOffTimeMatches) {
+  // Weak power + repeated expensive ops forces brown-outs.
+  auto dev = make_device(power::SupplyPresets::kWeakW);
+  RecorderSink sink;
+  dev.set_trace_sink(&sink);
+
+  std::size_t failures = 0;
+  for (int i = 0; i < 200 && failures == 0; ++i) {
+    if (!dev.dma_write(256)) {
+      ++failures;
+    }
+  }
+  ASSERT_GT(dev.stats().power_failures, 0u);
+
+  const MetricsRegistry& reg = sink.registry();
+  EXPECT_EQ(reg.for_class(EventClass::kBrownOut).events,
+            dev.stats().power_failures);
+  EXPECT_EQ(reg.for_class(EventClass::kRecharge).events,
+            dev.stats().power_failures);
+  EXPECT_EQ(reg.for_class(EventClass::kPowerOn).events,
+            dev.stats().power_failures);
+  EXPECT_NEAR(reg.for_class(EventClass::kRecharge).busy_us,
+              dev.stats().off_time_us, 1e-6);
+  EXPECT_NEAR(reg.for_class(EventClass::kReboot).attributed_us,
+              dev.stats().tag_us(device::CostTag::kReboot), 1e-9);
+}
+
+TEST(DeviceTelemetry, NullSinkIsDefaultAndResettable) {
+  auto dev = make_device(power::SupplyPresets::kContinuousW);
+  EXPECT_FALSE(dev.trace_sink().enabled());
+  RecorderSink sink;
+  dev.set_trace_sink(&sink);
+  EXPECT_TRUE(dev.trace_sink().enabled());
+  ASSERT_TRUE(dev.cpu_work(10));
+  dev.set_trace_sink(nullptr);
+  EXPECT_FALSE(dev.trace_sink().enabled());
+  ASSERT_TRUE(dev.cpu_work(10));  // not recorded
+  EXPECT_EQ(sink.registry().for_class(EventClass::kCpu).events, 1u);
+}
+
+}  // namespace
+}  // namespace iprune::telemetry
