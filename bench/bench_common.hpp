@@ -7,6 +7,7 @@
 // breakdown fields are filled into MeasuredLatency alongside the engine's
 // own aggregates so benches can cross-check the two accountings.
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
@@ -149,10 +150,13 @@ inline MeasuredLatency measure_inference(apps::PreparedModel& pm,
     m.trace.reboot_s /= divisor;
     m.trace.recharge_s /= divisor;
 
-    static std::size_t trace_serial = 0;
+    // Atomic so concurrent measure_inference calls never share a serial;
+    // parallel benches pass an explicit trace_tag for stable filenames.
+    static std::atomic<std::size_t> trace_serial{0};
     const std::string tag =
-        trace_tag.empty() ? "run_" + std::to_string(trace_serial++)
-                          : trace_tag;
+        trace_tag.empty()
+            ? "run_" + std::to_string(trace_serial.fetch_add(1))
+            : trace_tag;
     std::filesystem::create_directories(trace_dir());
     const std::string path =
         std::string(trace_dir()) + "/" + tag + ".trace.json";

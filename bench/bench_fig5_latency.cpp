@@ -7,9 +7,26 @@
 // flow; run bench_table3_pruned_models first for a warm cache.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/thread_pool.hpp"
 #include "util/csv.hpp"
+
+namespace {
+const char* level_tag(iprune::bench::PowerLevel level) {
+  switch (level) {
+    case iprune::bench::PowerLevel::kContinuous:
+      return "continuous";
+    case iprune::bench::PowerLevel::kStrong:
+      return "strong";
+    case iprune::bench::PowerLevel::kWeak:
+      return "weak";
+  }
+  return "unknown";
+}
+}  // namespace
 
 int main() {
   using namespace iprune;
@@ -31,12 +48,38 @@ int main() {
     for (const apps::Framework fw : apps::all_frameworks()) {
       variants.push_back(apps::prepare_model(id, fw));
     }
+    // The 9 (power level, variant) measurements per app are independent:
+    // each builds its own device + deployment and only reads the shared
+    // prepared models. Fan them out and gather by index so the printed
+    // table is identical to the serial run; explicit trace tags keep
+    // IPRUNE_TRACE filenames stable regardless of completion order.
+    struct Cell {
+      bench::PowerLevel level{};
+      std::size_t v = 0;
+    };
+    std::vector<Cell> cells;
+    for (const bench::PowerLevel level : levels) {
+      for (std::size_t v = 0; v < variants.size(); ++v) {
+        cells.push_back({level, v});
+      }
+    }
+    const auto measures = runtime::parallel_map(
+        runtime::ThreadPool::shared(), cells.size(), [&](std::size_t i) {
+          const Cell& c = cells[i];
+          const std::string tag =
+              std::string(apps::workload_name(id)) + "_" +
+              level_tag(c.level) + "_" +
+              apps::framework_name(apps::all_frameworks()[c.v]);
+          return bench::measure_inference(
+              variants[c.v], c.level, variants[c.v].workload.prune.engine,
+              /*count=*/3, tag);
+        });
+
+    std::size_t cell_idx = 0;
     for (const bench::PowerLevel level : levels) {
       double latency[3] = {};
       for (std::size_t v = 0; v < variants.size(); ++v) {
-        const auto m = bench::measure_inference(
-            variants[v], level, variants[v].workload.prune.engine,
-            /*count=*/3);
+        const auto& m = measures[cell_idx++];
         latency[v] = m.latency_s;
         table.row()
             .cell(variants[v].workload.name)

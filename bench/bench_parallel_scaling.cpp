@@ -1,0 +1,130 @@
+// Parallel-runtime scaling check: runs the two search kernels that
+// dominate the pruning framework — sensitivity probes and the annealing
+// ratio search — once on a 1-lane pool and once on the full pool, then
+// verifies the results are bit-identical and reports the wall-clock
+// speedup. Exits nonzero on any mismatch, so this doubles as a gate for
+// the runtime's determinism contract (docs/parallelism.md).
+//
+// Lane count comes from IPRUNE_THREADS (default: hardware concurrency).
+
+#include <chrono>
+#include <cstdio>
+
+#include "apps/workloads.hpp"
+#include "core/criterion.hpp"
+#include "core/ratio_search.hpp"
+#include "core/sensitivity.hpp"
+#include "engine/lowering.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace iprune;
+  const std::size_t lanes = runtime::default_lane_count();
+  std::printf("== Parallel runtime scaling (IPRUNE_THREADS=%zu) ==\n\n",
+              lanes);
+
+  apps::Workload workload = apps::make_workload(apps::WorkloadId::kHar);
+  std::vector<engine::PrunableLayer> layers = engine::prunable_layers(
+      workload.graph, workload.prune.engine, workload.prune.device.memory);
+
+  runtime::ThreadPool serial_pool(1);
+  runtime::ThreadPool wide_pool(lanes);
+
+  util::Table table({"Phase", "Tasks", "1 lane (s)",
+                     std::to_string(lanes) + " lanes (s)", "Speedup",
+                     "Bit-identical"});
+  bool all_identical = true;
+
+  // Phase 1: per-layer sensitivity probes (clone + prune + evaluate each).
+  // Repeat the layer list so there are enough tasks to fill every lane.
+  {
+    core::SensitivityConfig cfg = workload.prune.sensitivity;
+    std::vector<engine::PrunableLayer> probes;
+    while (probes.size() < 4 * lanes) {
+      probes.insert(probes.end(), layers.begin(), layers.end());
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    const std::vector<double> drops_serial = core::analyze_sensitivities(
+        workload.graph, probes, workload.val.inputs, workload.val.labels,
+        cfg, &serial_pool);
+    const double serial_s = seconds_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    const std::vector<double> drops_wide = core::analyze_sensitivities(
+        workload.graph, probes, workload.val.inputs, workload.val.labels,
+        cfg, &wide_pool);
+    const double wide_s = seconds_since(t0);
+
+    const bool identical = drops_serial == drops_wide;
+    all_identical = all_identical && identical;
+    table.row()
+        .cell("Sensitivity probes")
+        .cell(probes.size())
+        .cell(util::Table::format(serial_s, 3))
+        .cell(util::Table::format(wide_s, 3))
+        .cell(util::Table::format(serial_s / wide_s, 2) + "x")
+        .cell(identical ? "yes" : "NO");
+  }
+
+  // Phase 2: multi-chain annealing ratio search. Chains have equal cost,
+  // so this phase approaches ideal scaling.
+  {
+    std::vector<core::LayerStats> stats =
+        core::collect_layer_stats(layers, workload.prune.device);
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+      stats[i].sensitivity = 0.02 * static_cast<double>(i + 1);
+    }
+
+    core::AnnealingConfig annealing;
+    annealing.iterations = 200000;
+    annealing.restarts = 4 * lanes;
+
+    auto run = [&](runtime::ThreadPool& pool) {
+      core::AnnealingConfig cfg = annealing;
+      cfg.pool = &pool;
+      core::IPruneAllocator allocator(cfg);
+      util::Rng rng(workload.prune.seed);
+      return allocator.allocate(stats, 0.2, rng);
+    };
+
+    auto t0 = std::chrono::steady_clock::now();
+    const std::vector<double> ratios_serial = run(serial_pool);
+    const double serial_s = seconds_since(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    const std::vector<double> ratios_wide = run(wide_pool);
+    const double wide_s = seconds_since(t0);
+
+    const bool identical = ratios_serial == ratios_wide;
+    all_identical = all_identical && identical;
+    table.row()
+        .cell("Annealing chains")
+        .cell(annealing.restarts)
+        .cell(util::Table::format(serial_s, 3))
+        .cell(util::Table::format(wide_s, 3))
+        .cell(util::Table::format(serial_s / wide_s, 2) + "x")
+        .cell(identical ? "yes" : "NO");
+  }
+
+  table.print();
+  if (!all_identical) {
+    std::puts("\nFAIL: parallel results diverged from the 1-lane run.");
+    return 1;
+  }
+  std::puts(
+      "\nAll parallel results are bit-identical to the 1-lane run. "
+      "Speedups scale with IPRUNE_THREADS up to the task count.");
+  return 0;
+}

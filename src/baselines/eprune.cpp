@@ -1,5 +1,10 @@
 #include "baselines/eprune.hpp"
 
+#include <memory>
+
+#include "runtime/parallel.hpp"
+#include "runtime/thread_pool.hpp"
+
 namespace iprune::baselines {
 
 namespace {
@@ -20,6 +25,30 @@ std::vector<double> EPruneAllocator::allocate(
     }
   }
   return core::scale_to_budget(stats, preference, gamma, kMaxLayerRatio);
+}
+
+std::vector<EPruneSweepPoint> sweep_eprune_gamma(
+    const nn::Graph& graph, std::span<const double> gamma_hats,
+    const core::PruneConfig& base_config, const nn::Tensor& train_x,
+    std::span<const int> train_y, const nn::Tensor& val_x,
+    std::span<const int> val_y, runtime::ThreadPool* pool) {
+  // Each sweep point prunes its own clone with its own pruner, so points
+  // are independent; any search the pruner itself tries to parallelize
+  // runs inline inside the point's task.
+  return runtime::parallel_map(
+      runtime::ThreadPool::resolve(pool), gamma_hats.size(),
+      [&](std::size_t i) {
+        core::PruneConfig config = base_config;
+        config.gamma_hat = gamma_hats[i];
+        nn::Graph model = graph.clone();
+        core::IterativePruner pruner(config,
+                                     std::make_unique<EPruneAllocator>());
+        EPruneSweepPoint point;
+        point.gamma_hat = gamma_hats[i];
+        point.outcome =
+            pruner.run(model, train_x, train_y, val_x, val_y);
+        return point;
+      });
 }
 
 std::vector<double> UniformAllocator::allocate(

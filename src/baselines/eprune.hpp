@@ -9,6 +9,9 @@
 //
 // UniformAllocator / RandomAllocator: criterion-ablation strawmen.
 
+#include <span>
+
+#include "core/pruner.hpp"
 #include "core/ratio_search.hpp"
 
 namespace iprune::baselines {
@@ -43,6 +46,22 @@ class UniformAllocator final : public core::RatioAllocator {
       const std::vector<core::LayerStats>& stats, double gamma,
       util::Rng& rng) const override;
 };
+
+/// One point of an ePrune upper-bound sweep (see sweep_eprune_gamma).
+struct EPruneSweepPoint {
+  double gamma_hat = 0.0;
+  core::PruneOutcome outcome;
+};
+
+/// Run the full ePrune estimate-prune-retrain loop once per Γ̂ value, each
+/// against its own clone of `graph` (the original is left untouched), with
+/// the runs distributed over the pool (nullptr = the shared pool). Results
+/// are ordered like `gamma_hats` and bit-identical for any lane count.
+std::vector<EPruneSweepPoint> sweep_eprune_gamma(
+    const nn::Graph& graph, std::span<const double> gamma_hats,
+    const core::PruneConfig& base_config, const nn::Tensor& train_x,
+    std::span<const int> train_y, const nn::Tensor& val_x,
+    std::span<const int> val_y, runtime::ThreadPool* pool = nullptr);
 
 /// Random allocation (sanity floor for the criterion ablation).
 class RandomAllocator final : public core::RatioAllocator {

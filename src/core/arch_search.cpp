@@ -4,6 +4,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "runtime/parallel.hpp"
+#include "runtime/thread_pool.hpp"
 #include "util/log.hpp"
 
 namespace iprune::core {
@@ -78,53 +80,79 @@ ArchSearchResult search_architectures(const ArchBuilder& builder,
   util::Rng rng(config.seed);
   ArchSearchResult result;
 
-  auto evaluate = [&](const std::vector<std::size_t>& widths)
-      -> std::optional<ArchCandidate> {
-    util::Rng init_rng(config.seed ^ 0x5EED);
-    nn::Graph graph = [&]() -> nn::Graph {
-      try {
-        return builder(widths, init_rng);
-      } catch (const std::exception&) {
-        ++result.infeasible;
-        throw;
-      }
-    }();
-
-    nn::Trainer trainer(graph);
-    trainer.train(train.inputs, train.labels, config.proxy_training);
-
-    ArchCandidate candidate;
-    candidate.widths = widths;
-    candidate.accuracy =
-        trainer.evaluate(val.inputs, val.labels).accuracy;
-    const auto layers =
-        engine::prunable_layers(graph, config.engine, config.memory);
-    for (const auto& layer : layers) {
-      candidate.acc_outputs += layer.acc_outputs();
-    }
-    candidate.parameters = graph.parameter_count();
-    ++result.evaluated;
-    return candidate;
+  struct Verdict {
+    std::optional<ArchCandidate> candidate;
+    bool infeasible = false;
   };
 
-  std::vector<ArchCandidate> archive;
-  for (std::size_t i = 0; i < config.evaluations; ++i) {
-    std::vector<std::size_t> widths;
-    if (i < config.initial_random || archive.empty()) {
-      widths = random_widths(config, rng);
-    } else {
-      const ArchCandidate& parent =
-          archive[rng.uniform_index(archive.size())];
-      widths = mutate_widths(parent.widths, config, rng);
-    }
+  // Candidate evaluation is self-contained: the graph is built with a
+  // fixed-seed init stream (independent of candidate order) and trained /
+  // measured locally, so verdicts for one generation can run concurrently.
+  auto evaluate = [&](const std::vector<std::size_t>& widths) -> Verdict {
+    Verdict verdict;
     try {
-      const auto candidate = evaluate(widths);
-      if (candidate.has_value()) {
-        pareto_insert(archive, *candidate);
+      util::Rng init_rng(config.seed ^ 0x5EED);
+      nn::Graph graph = [&]() -> nn::Graph {
+        try {
+          return builder(widths, init_rng);
+        } catch (const std::exception&) {
+          verdict.infeasible = true;
+          throw;
+        }
+      }();
+
+      nn::Trainer trainer(graph);
+      trainer.train(train.inputs, train.labels, config.proxy_training);
+
+      ArchCandidate candidate;
+      candidate.widths = widths;
+      candidate.accuracy =
+          trainer.evaluate(val.inputs, val.labels).accuracy;
+      const auto layers =
+          engine::prunable_layers(graph, config.engine, config.memory);
+      for (const auto& layer : layers) {
+        candidate.acc_outputs += layer.acc_outputs();
       }
+      candidate.parameters = graph.parameter_count();
+      verdict.candidate = std::move(candidate);
     } catch (const std::exception& error) {
       util::log_debug(std::string("arch_search: infeasible candidate: ") +
                       error.what());
+    }
+    return verdict;
+  };
+
+  // (1+λ) loop in generations: widths drawn serially from the archive as
+  // it stood at the generation start, evaluated concurrently, folded back
+  // in candidate order.
+  runtime::ThreadPool& pool = runtime::ThreadPool::resolve(config.pool);
+  const std::size_t batch = std::max<std::size_t>(config.batch_size, 1);
+  std::vector<ArchCandidate> archive;
+  for (std::size_t start = 0; start < config.evaluations; start += batch) {
+    const std::size_t count =
+        std::min(batch, config.evaluations - start);
+    std::vector<std::vector<std::size_t>> generation;
+    generation.reserve(count);
+    for (std::size_t i = start; i < start + count; ++i) {
+      if (i < config.initial_random || archive.empty()) {
+        generation.push_back(random_widths(config, rng));
+      } else {
+        const ArchCandidate& parent =
+            archive[rng.uniform_index(archive.size())];
+        generation.push_back(mutate_widths(parent.widths, config, rng));
+      }
+    }
+    const std::vector<Verdict> verdicts = runtime::parallel_map(
+        pool, count,
+        [&](std::size_t i) { return evaluate(generation[i]); });
+    for (const Verdict& verdict : verdicts) {
+      if (verdict.infeasible) {
+        ++result.infeasible;
+      }
+      if (verdict.candidate.has_value()) {
+        ++result.evaluated;
+        pareto_insert(archive, *verdict.candidate);
+      }
     }
   }
 

@@ -17,6 +17,10 @@
 #include "engine/lowering.hpp"
 #include "nn/trainer.hpp"
 
+namespace iprune::runtime {
+class ThreadPool;
+}
+
 namespace iprune::core {
 
 struct ArchCandidate {
@@ -48,6 +52,14 @@ struct ArchSearchConfig {
   std::uint64_t seed = 77;
   engine::EngineConfig engine;
   device::MemoryConfig memory;
+  /// Candidates evaluated concurrently per generation. Width vectors are
+  /// generated serially at the start of a generation and verdicts are
+  /// folded into the archive in candidate order, so the trajectory depends
+  /// only on batch_size (and the seed), never on the pool's lane count;
+  /// batch_size == 1 reproduces the fully serial trajectory.
+  std::size_t batch_size = 4;
+  /// Pool for candidate evaluation; nullptr = ThreadPool::shared().
+  runtime::ThreadPool* pool = nullptr;
 };
 
 /// Maps a width vector to a model (throws for invalid combinations, which

@@ -5,6 +5,9 @@
 #include <cmath>
 #include <numeric>
 
+#include "runtime/parallel.hpp"
+#include "runtime/thread_pool.hpp"
+
 namespace iprune::core {
 
 namespace {
@@ -107,16 +110,21 @@ double IPruneAllocator::overall_ratio(const std::vector<LayerStats>& stats,
   return gamma_hat;  // unreachable
 }
 
-std::vector<double> IPruneAllocator::allocate(
-    const std::vector<LayerStats>& stats, double gamma,
-    util::Rng& rng) const {
-  const std::size_t n = stats.size();
-  if (n == 0) {
-    return {};
-  }
+namespace {
 
+struct ChainOutcome {
+  std::vector<double> ratios;
+  double energy = 0.0;
+};
+
+/// One simulated-annealing chain; consumes `rng` in the same draw order
+/// the historical single-chain allocator used.
+ChainOutcome anneal_chain(const AnnealingConfig& config,
+                          const std::vector<LayerStats>& stats, double gamma,
+                          util::Rng& rng) {
+  const std::size_t n = stats.size();
   const bool by_bytes =
-      config_.objective == AnnealingConfig::Objective::kNvmWriteBytes;
+      config.objective == AnnealingConfig::Objective::kNvmWriteBytes;
   auto objective_of = [&](const LayerStats& s) {
     return static_cast<double>(by_bytes ? s.nvm_write_bytes
                                         : s.acc_outputs);
@@ -129,7 +137,7 @@ std::vector<double> IPruneAllocator::allocate(
   }
   const double budget = gamma * total_alive(stats);
   if (total_acc <= 0.0 || budget <= 0.0) {
-    return std::vector<double>(n, 0.0);
+    return {std::vector<double>(n, 0.0), 0.0};
   }
 
   auto energy_of = [&](const std::vector<double>& ratios) {
@@ -143,23 +151,23 @@ std::vector<double> IPruneAllocator::allocate(
     for (std::size_t i = 0; i < n; ++i) {
       remaining += objective_of(stats[i]) * (1.0 - ratios[i]);
       const double s_norm =
-          std::max(config_.sensitivity_floor,
+          std::max(config.sensitivity_floor,
                    max_sens > 0.0 ? stats[i].sensitivity / max_sens : 0.0);
       const double steep = ratios[i] / (1.05 - ratios[i]);
       risk += s_norm * steep * static_cast<double>(stats[i].alive_weights);
     }
-    return remaining / total_acc + config_.risk_weight * risk / budget;
+    return remaining / total_acc + config.risk_weight * risk / budget;
   };
 
   // Start from the uniform allocation (γ_i = Γ for all layers).
   std::vector<double> current = scale_to_budget(
-      stats, std::vector<double>(n, 1.0), gamma, config_.max_layer_ratio);
+      stats, std::vector<double>(n, 1.0), gamma, config.max_layer_ratio);
   double current_energy = energy_of(current);
   std::vector<double> best = current;
   double best_energy = current_energy;
 
-  double temperature = config_.initial_temperature;
-  for (std::size_t step = 0; step < config_.iterations; ++step) {
+  double temperature = config.initial_temperature;
+  for (std::size_t step = 0; step < config.iterations; ++step) {
     // Move: transfer pruning mass between two random layers, preserving
     // the budget exactly.
     const auto i = static_cast<std::size_t>(rng.uniform_index(n));
@@ -175,7 +183,7 @@ std::vector<double> IPruneAllocator::allocate(
       continue;
     }
     const double headroom_i =
-        (config_.max_layer_ratio - current[i]) * ki;  // mass i can take
+        (config.max_layer_ratio - current[i]) * ki;  // mass i can take
     const double available_j = current[j] * kj;       // mass j can give
     const double max_transfer = std::min(headroom_i, available_j);
     if (max_transfer <= 0.0) {
@@ -197,11 +205,45 @@ std::vector<double> IPruneAllocator::allocate(
         best_energy = current_energy;
       }
     }
-    temperature *= config_.cooling;
+    temperature *= config.cooling;
   }
 
   (void)budget_used;  // kept for tests/debugging
-  return best;
+  return {std::move(best), best_energy};
+}
+
+}  // namespace
+
+std::vector<double> IPruneAllocator::allocate(
+    const std::vector<LayerStats>& stats, double gamma,
+    util::Rng& rng) const {
+  if (stats.empty()) {
+    return {};
+  }
+  if (config_.restarts <= 1) {
+    return anneal_chain(config_, stats, gamma, rng).ratios;
+  }
+
+  // Chain seeds are derived serially so the stream each chain consumes is
+  // independent of how chains are scheduled across lanes.
+  std::vector<util::Rng> chain_rngs;
+  chain_rngs.reserve(config_.restarts);
+  for (std::size_t r = 0; r < config_.restarts; ++r) {
+    chain_rngs.push_back(rng.split());
+  }
+  const std::vector<ChainOutcome> outcomes = runtime::parallel_map(
+      runtime::ThreadPool::resolve(config_.pool), config_.restarts,
+      [&](std::size_t r) {
+        return anneal_chain(config_, stats, gamma, chain_rngs[r]);
+      });
+
+  std::size_t winner = 0;
+  for (std::size_t r = 1; r < outcomes.size(); ++r) {
+    if (outcomes[r].energy < outcomes[winner].energy) {
+      winner = r;
+    }
+  }
+  return outcomes[winner].ratios;
 }
 
 }  // namespace iprune::core

@@ -14,6 +14,10 @@
 #include "core/criterion.hpp"
 #include "util/rng.hpp"
 
+namespace iprune::runtime {
+class ThreadPool;
+}
+
 namespace iprune::core {
 
 class RatioAllocator {
@@ -54,6 +58,15 @@ struct AnnealingConfig {
   double sensitivity_floor = 0.10;
   /// Per-layer per-iteration ratio cap (never wipe out a layer at once).
   double max_layer_ratio = 0.35;
+  /// Independent annealing chains run per allocation; the lowest-energy
+  /// chain wins (ties break to the lowest chain index). restarts == 1
+  /// draws from the caller's rng directly and reproduces the historical
+  /// single-chain sequence bit-for-bit. With more restarts, chain seeds
+  /// are derived serially via Rng::split() and the chains run on the
+  /// pool, so the winner is identical for any lane count.
+  std::size_t restarts = 1;
+  /// Pool for multi-chain runs; nullptr resolves to ThreadPool::shared().
+  runtime::ThreadPool* pool = nullptr;
 };
 
 /// iPrune's allocator (guidelines 1 and 2).

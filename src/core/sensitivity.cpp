@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "nn/trainer.hpp"
+#include "runtime/parallel.hpp"
 
 namespace iprune::core {
 
@@ -21,48 +22,49 @@ nn::Tensor truncate_rows(const nn::Tensor& x, std::size_t count) {
 
 }  // namespace
 
-double probe_layer_sensitivity(nn::Graph& graph,
+double probe_layer_sensitivity(const nn::Graph& graph,
                                engine::PrunableLayer& layer,
                                const nn::Tensor& val_x,
                                std::span<const int> val_y,
                                double baseline_accuracy,
                                const SensitivityConfig& config) {
-  // Save only the probed layer (cheaper than a full snapshot).
-  const nn::Tensor saved_weight = *layer.weight;
-  const nn::Tensor saved_mask = *layer.mask;
+  // Save only the probed layer (cheaper than a full snapshot); the guard
+  // restores it even if the evaluation throws.
+  ScopedLayerProbe guard(layer);
 
   prune_layer(layer, config.probe_ratio, config.granularity);
 
   const std::size_t count = std::min<std::size_t>(
       config.max_samples, val_y.size());
   const nn::Tensor probe_x = truncate_rows(val_x, count);
-  nn::Trainer trainer(graph);
   const nn::EvalResult result =
-      trainer.evaluate(probe_x, val_y.subspan(0, count));
-
-  *layer.weight = saved_weight;
-  *layer.mask = saved_mask;
+      nn::evaluate_graph(graph, probe_x, val_y.subspan(0, count));
   return std::max(0.0, baseline_accuracy - result.accuracy);
 }
 
 std::vector<double> analyze_sensitivities(
-    nn::Graph& graph, std::vector<engine::PrunableLayer>& layers,
+    const nn::Graph& graph, std::vector<engine::PrunableLayer>& layers,
     const nn::Tensor& val_x, std::span<const int> val_y,
-    const SensitivityConfig& config) {
+    const SensitivityConfig& config, runtime::ThreadPool* pool) {
   const std::size_t count =
       std::min<std::size_t>(config.max_samples, val_y.size());
   const nn::Tensor probe_x = truncate_rows(val_x, count);
-  nn::Trainer trainer(graph);
+  const std::span<const int> probe_y = val_y.subspan(0, count);
   const double baseline =
-      trainer.evaluate(probe_x, val_y.subspan(0, count)).accuracy;
+      nn::evaluate_graph(graph, probe_x, probe_y).accuracy;
 
-  std::vector<double> drops;
-  drops.reserve(layers.size());
-  for (engine::PrunableLayer& layer : layers) {
-    drops.push_back(probe_layer_sensitivity(graph, layer, val_x, val_y,
-                                            baseline, config));
-  }
-  return drops;
+  // Each probe prunes its own clone of the model, so probes are mutually
+  // independent; drops are gathered by layer index, making the result
+  // bit-identical to the serial in-place loop for any lane count.
+  return runtime::parallel_map(
+      runtime::ThreadPool::resolve(pool), layers.size(),
+      [&](std::size_t i) {
+        nn::Graph probe_graph = graph.clone();
+        engine::PrunableLayer probe_layer =
+            engine::rebind_prunable(layers[i], probe_graph);
+        return probe_layer_sensitivity(probe_graph, probe_layer, probe_x,
+                                       probe_y, baseline, config);
+      });
 }
 
 }  // namespace iprune::core

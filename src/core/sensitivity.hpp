@@ -7,6 +7,7 @@
 
 #include "core/block_pruner.hpp"
 #include "nn/graph.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace iprune::core {
 
@@ -17,18 +18,43 @@ struct SensitivityConfig {
   std::size_t max_samples = 256;
 };
 
+/// Saves a prunable layer's weight and mask on construction and restores
+/// them on destruction, so a probe that throws mid-evaluation cannot leave
+/// the model half-pruned.
+class ScopedLayerProbe {
+ public:
+  explicit ScopedLayerProbe(engine::PrunableLayer& layer)
+      : layer_(layer),
+        saved_weight_(*layer.weight),
+        saved_mask_(*layer.mask) {}
+  ~ScopedLayerProbe() {
+    *layer_.weight = saved_weight_;
+    *layer_.mask = saved_mask_;
+  }
+
+  ScopedLayerProbe(const ScopedLayerProbe&) = delete;
+  ScopedLayerProbe& operator=(const ScopedLayerProbe&) = delete;
+
+ private:
+  engine::PrunableLayer& layer_;
+  nn::Tensor saved_weight_;
+  nn::Tensor saved_mask_;
+};
+
 /// Accuracy drop (>= 0) for probing one layer; the layer is restored.
-double probe_layer_sensitivity(nn::Graph& graph,
+double probe_layer_sensitivity(const nn::Graph& graph,
                                engine::PrunableLayer& layer,
                                const nn::Tensor& val_x,
                                std::span<const int> val_y,
                                double baseline_accuracy,
                                const SensitivityConfig& config);
 
-/// Probe every layer; returns drops in layer order.
+/// Probe every layer; returns drops in layer order. Probes run on the
+/// pool (nullptr = the shared pool), each against its own clone of the
+/// graph, so the drops are bit-identical for any lane count.
 std::vector<double> analyze_sensitivities(
-    nn::Graph& graph, std::vector<engine::PrunableLayer>& layers,
+    const nn::Graph& graph, std::vector<engine::PrunableLayer>& layers,
     const nn::Tensor& val_x, std::span<const int> val_y,
-    const SensitivityConfig& config);
+    const SensitivityConfig& config, runtime::ThreadPool* pool = nullptr);
 
 }  // namespace iprune::core

@@ -164,4 +164,19 @@ std::vector<PrunableLayer> prunable_layers(
   return result;
 }
 
+PrunableLayer rebind_prunable(const PrunableLayer& layer, nn::Graph& graph) {
+  PrunableLayer rebound = layer;
+  nn::Layer& node_layer = graph.layer(layer.node);
+  if (layer.is_conv) {
+    auto& conv = static_cast<nn::Conv2d&>(node_layer);
+    rebound.weight = &conv.weight();
+    rebound.mask = &conv.weight_mask();
+  } else {
+    auto& dense = static_cast<nn::Dense&>(node_layer);
+    rebound.weight = &dense.weight();
+    rebound.mask = &dense.weight_mask();
+  }
+  return rebound;
+}
+
 }  // namespace iprune::engine

@@ -108,4 +108,11 @@ std::vector<PrunableLayer> prunable_layers(nn::Graph& graph,
                                            const EngineConfig& config,
                                            const device::MemoryConfig& memory);
 
+/// Re-point a PrunableLayer's weight/mask at the same node of `graph`,
+/// which must be a structural copy (Graph::clone()) of the graph the layer
+/// was lowered from. The tile plan carries over unchanged because cloning
+/// preserves every layer's shapes. Lets parallel searches probe clones
+/// without re-running the full lowering pass.
+PrunableLayer rebind_prunable(const PrunableLayer& layer, nn::Graph& graph);
+
 }  // namespace iprune::engine

@@ -12,23 +12,29 @@ Shape Relu::output_shape(std::span<const Shape> input_shapes) const {
   return input_shapes[0];
 }
 
-Tensor Relu::forward(std::span<const Tensor* const> inputs, bool training) {
+Tensor Relu::infer(std::span<const Tensor* const> inputs) const {
   assert(inputs.size() == 1);
   const Tensor& input = *inputs[0];
   Tensor output(input.shape());
-  if (training) {
-    active_.assign(input.numel(), false);
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    output[i] = input[i] > 0.0f ? input[i] : 0.0f;
   }
+  return output;
+}
+
+Tensor Relu::forward(std::span<const Tensor* const> inputs, bool training) {
+  if (!training) {
+    return infer(inputs);
+  }
+  const Tensor& input = *inputs[0];
+  Tensor output(input.shape());
+  active_.assign(input.numel(), false);
   for (std::size_t i = 0; i < input.numel(); ++i) {
     const bool pass = input[i] > 0.0f;
     output[i] = pass ? input[i] : 0.0f;
-    if (training) {
-      active_[i] = pass;
-    }
+    active_[i] = pass;
   }
-  if (training) {
-    cached_shape_ = input.shape();
-  }
+  cached_shape_ = input.shape();
   return output;
 }
 
@@ -50,18 +56,22 @@ Shape Flatten::output_shape(std::span<const Shape> input_shapes) const {
   return {shape_numel(input_shapes[0])};
 }
 
-Tensor Flatten::forward(std::span<const Tensor* const> inputs,
-                        bool training) {
+Tensor Flatten::infer(std::span<const Tensor* const> inputs) const {
   assert(inputs.size() == 1);
   const Tensor& input = *inputs[0];
   assert(input.rank() >= 2);
-  if (training) {
-    cached_shape_ = input.shape();
-  }
   Tensor output = input;
   const std::size_t batch = input.dim(0);
   output.reshape({batch, input.numel() / batch});
   return output;
+}
+
+Tensor Flatten::forward(std::span<const Tensor* const> inputs,
+                        bool training) {
+  if (training) {
+    cached_shape_ = (*inputs[0]).shape();
+  }
+  return infer(inputs);
 }
 
 std::vector<Tensor> Flatten::backward(const Tensor& grad_output) {

@@ -12,6 +12,11 @@ class Relu final : public Layer {
   explicit Relu(std::string name) : Layer(std::move(name)) {}
 
   [[nodiscard]] LayerKind kind() const override { return LayerKind::kRelu; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::unique_ptr<Layer>(new Relu(*this));
+  }
+  [[nodiscard]] Tensor infer(
+      std::span<const Tensor* const> inputs) const override;
   Tensor forward(std::span<const Tensor* const> inputs,
                  bool training) override;
   std::vector<Tensor> backward(const Tensor& grad_output) override;
@@ -19,6 +24,8 @@ class Relu final : public Layer {
       std::span<const Shape> input_shapes) const override;
 
  private:
+  Relu(const Relu&) = default;
+
   std::vector<bool> active_;  // per-element pass-through mask from forward
   Shape cached_shape_;
 };
@@ -28,6 +35,11 @@ class Flatten final : public Layer {
   explicit Flatten(std::string name) : Layer(std::move(name)) {}
 
   [[nodiscard]] LayerKind kind() const override { return LayerKind::kFlatten; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::unique_ptr<Layer>(new Flatten(*this));
+  }
+  [[nodiscard]] Tensor infer(
+      std::span<const Tensor* const> inputs) const override;
   Tensor forward(std::span<const Tensor* const> inputs,
                  bool training) override;
   std::vector<Tensor> backward(const Tensor& grad_output) override;
@@ -35,6 +47,8 @@ class Flatten final : public Layer {
       std::span<const Shape> input_shapes) const override;
 
  private:
+  Flatten(const Flatten&) = default;
+
   Shape cached_shape_;
 };
 

@@ -24,7 +24,7 @@ Shape Concat::output_shape(std::span<const Shape> input_shapes) const {
   return out;
 }
 
-Tensor Concat::forward(std::span<const Tensor* const> inputs, bool training) {
+Tensor Concat::infer(std::span<const Tensor* const> inputs) const {
   assert(!inputs.empty());
   const std::size_t batch = inputs[0]->dim(0);
   const std::size_t h = inputs[0]->dim(2);
@@ -48,13 +48,17 @@ Tensor Concat::forward(std::span<const Tensor* const> inputs, bool training) {
       channel_base += c_in;
     }
   }
+  return output;
+}
+
+Tensor Concat::forward(std::span<const Tensor* const> inputs, bool training) {
   if (training) {
     cached_input_shapes_.clear();
     for (const Tensor* in : inputs) {
       cached_input_shapes_.push_back(in->shape());
     }
   }
-  return output;
+  return infer(inputs);
 }
 
 std::vector<Tensor> Concat::backward(const Tensor& grad_output) {

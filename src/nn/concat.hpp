@@ -13,6 +13,11 @@ class Concat final : public Layer {
   explicit Concat(std::string name) : Layer(std::move(name)) {}
 
   [[nodiscard]] LayerKind kind() const override { return LayerKind::kConcat; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::unique_ptr<Layer>(new Concat(*this));
+  }
+  [[nodiscard]] Tensor infer(
+      std::span<const Tensor* const> inputs) const override;
   Tensor forward(std::span<const Tensor* const> inputs,
                  bool training) override;
   std::vector<Tensor> backward(const Tensor& grad_output) override;
@@ -20,6 +25,8 @@ class Concat final : public Layer {
       std::span<const Shape> input_shapes) const override;
 
  private:
+  Concat(const Concat&) = default;
+
   std::vector<Shape> cached_input_shapes_;
 };
 

@@ -118,7 +118,7 @@ void Conv2d::col2im(const float* col, std::size_t in_h, std::size_t in_w,
   }
 }
 
-Tensor Conv2d::forward(std::span<const Tensor* const> inputs, bool training) {
+Tensor Conv2d::infer(std::span<const Tensor* const> inputs) const {
   assert(inputs.size() == 1);
   const Tensor& input = *inputs[0];
   assert(input.rank() == 4 && input.dim(1) == spec_.in_channels);
@@ -146,10 +146,14 @@ Tensor Conv2d::forward(std::span<const Tensor* const> inputs, bool training) {
       }
     }
   }
-  if (training) {
-    cached_input_ = input;
-  }
   return output;
+}
+
+Tensor Conv2d::forward(std::span<const Tensor* const> inputs, bool training) {
+  if (training) {
+    cached_input_ = *inputs[0];
+  }
+  return infer(inputs);
 }
 
 std::vector<Tensor> Conv2d::backward(const Tensor& grad_output) {

@@ -28,6 +28,11 @@ class Conv2d final : public Layer {
 
   [[nodiscard]] LayerKind kind() const override { return LayerKind::kConv2d; }
 
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::unique_ptr<Layer>(new Conv2d(*this));
+  }
+  [[nodiscard]] Tensor infer(
+      std::span<const Tensor* const> inputs) const override;
   Tensor forward(std::span<const Tensor* const> inputs,
                  bool training) override;
   std::vector<Tensor> backward(const Tensor& grad_output) override;
@@ -56,6 +61,8 @@ class Conv2d final : public Layer {
   [[nodiscard]] std::size_t out_w(std::size_t in_w) const;
 
  private:
+  Conv2d(const Conv2d&) = default;
+
   void im2col(const float* input, std::size_t in_h, std::size_t in_w,
               float* col) const;
   void col2im(const float* col, std::size_t in_h, std::size_t in_w,

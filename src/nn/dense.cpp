@@ -30,7 +30,7 @@ Shape Dense::output_shape(std::span<const Shape> input_shapes) const {
   return {out_features_};
 }
 
-Tensor Dense::forward(std::span<const Tensor* const> inputs, bool training) {
+Tensor Dense::infer(std::span<const Tensor* const> inputs) const {
   assert(inputs.size() == 1);
   const Tensor& input = *inputs[0];
   assert(input.rank() == 2 && input.dim(1) == in_features_);
@@ -46,10 +46,14 @@ Tensor Dense::forward(std::span<const Tensor* const> inputs, bool training) {
       out_row[o] += bias_[o];
     }
   }
-  if (training) {
-    cached_input_ = input;
-  }
   return output;
+}
+
+Tensor Dense::forward(std::span<const Tensor* const> inputs, bool training) {
+  if (training) {
+    cached_input_ = *inputs[0];
+  }
+  return infer(inputs);
 }
 
 std::vector<Tensor> Dense::backward(const Tensor& grad_output) {

@@ -15,6 +15,11 @@ class Dense final : public Layer {
 
   [[nodiscard]] LayerKind kind() const override { return LayerKind::kDense; }
 
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::unique_ptr<Layer>(new Dense(*this));
+  }
+  [[nodiscard]] Tensor infer(
+      std::span<const Tensor* const> inputs) const override;
   Tensor forward(std::span<const Tensor* const> inputs,
                  bool training) override;
   std::vector<Tensor> backward(const Tensor& grad_output) override;
@@ -35,6 +40,8 @@ class Dense final : public Layer {
   void apply_mask();
 
  private:
+  Dense(const Dense&) = default;
+
   std::size_t in_features_;
   std::size_t out_features_;
   Tensor weight_;  // [out, in]

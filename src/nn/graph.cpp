@@ -69,16 +69,33 @@ std::vector<NodeId> Graph::consumers(NodeId node) const {
   return result;
 }
 
-std::vector<Tensor> Graph::forward_nodes(const Tensor& batch, bool training) {
-  if (batch.rank() != shapes_[0].size() + 1) {
+Graph Graph::clone() const {
+  Graph copy(shapes_[0]);
+  copy.shapes_ = shapes_;
+  copy.inputs_ = inputs_;
+  copy.output_ = output_;
+  copy.layers_.reserve(layers_.size());
+  for (const auto& l : layers_) {
+    copy.layers_.push_back(l->clone());
+  }
+  return copy;
+}
+
+namespace {
+void check_batch_shape(const Tensor& batch, const Shape& input_shape) {
+  if (batch.rank() != input_shape.size() + 1) {
     throw std::invalid_argument("Graph::forward: batch rank mismatch");
   }
-  for (std::size_t axis = 0; axis < shapes_[0].size(); ++axis) {
-    if (batch.dim(axis + 1) != shapes_[0][axis]) {
+  for (std::size_t axis = 0; axis < input_shape.size(); ++axis) {
+    if (batch.dim(axis + 1) != input_shape[axis]) {
       throw std::invalid_argument("Graph::forward: input shape mismatch");
     }
   }
+}
+}  // namespace
 
+std::vector<Tensor> Graph::infer_nodes(const Tensor& batch) const {
+  check_batch_shape(batch, shapes_[0]);
   std::vector<Tensor> activations(node_count());
   activations[0] = batch;
   for (NodeId node = 1; node < node_count(); ++node) {
@@ -87,7 +104,30 @@ std::vector<Tensor> Graph::forward_nodes(const Tensor& batch, bool training) {
     for (const NodeId id : node_inputs(node)) {
       ins.push_back(&activations[id]);
     }
-    activations[node] = layers_[node - 1]->forward(ins, training);
+    activations[node] = layers_[node - 1]->infer(ins);
+  }
+  return activations;
+}
+
+Tensor Graph::infer(const Tensor& batch) const {
+  std::vector<Tensor> activations = infer_nodes(batch);
+  return std::move(activations[output_]);
+}
+
+std::vector<Tensor> Graph::forward_nodes(const Tensor& batch, bool training) {
+  if (!training) {
+    return infer_nodes(batch);
+  }
+  check_batch_shape(batch, shapes_[0]);
+  std::vector<Tensor> activations(node_count());
+  activations[0] = batch;
+  for (NodeId node = 1; node < node_count(); ++node) {
+    std::vector<const Tensor*> ins;
+    ins.reserve(node_inputs(node).size());
+    for (const NodeId id : node_inputs(node)) {
+      ins.push_back(&activations[id]);
+    }
+    activations[node] = layers_[node - 1]->forward(ins, true);
   }
   return activations;
 }

@@ -23,6 +23,12 @@ class Graph {
   Graph(Graph&&) = default;
   Graph& operator=(Graph&&) = default;
 
+  /// Deep copy: every layer (weights, masks, specs) is duplicated, so the
+  /// clone can be pruned, trained, or evaluated independently of the
+  /// original. Used by the parallel search paths to give each worker its
+  /// own mutable model.
+  [[nodiscard]] Graph clone() const;
+
   /// Node id of the graph input.
   [[nodiscard]] NodeId input() const { return 0; }
 
@@ -35,12 +41,21 @@ class Graph {
   [[nodiscard]] NodeId output() const { return output_; }
 
   /// Forward a batch (leading dim = N). Returns the output node's tensor.
+  /// With training=false this delegates to the const infer() path.
   Tensor forward(const Tensor& batch, bool training = false);
 
   /// Forward a batch and return every node's activation (index = node id;
   /// entry 0 is the input itself). Used for quantization calibration.
+  /// With training=false this delegates to the const infer_nodes() path.
   std::vector<Tensor> forward_nodes(const Tensor& batch,
                                     bool training = false);
+
+  /// Inference-only forward: touches no layer caches, so concurrent calls
+  /// on the same graph are safe as long as nothing mutates it.
+  [[nodiscard]] Tensor infer(const Tensor& batch) const;
+
+  /// Inference-only forward returning every node's activation.
+  [[nodiscard]] std::vector<Tensor> infer_nodes(const Tensor& batch) const;
 
   /// Backward from a gradient of the output (after a forward(training=true)).
   void backward(const Tensor& grad_output);

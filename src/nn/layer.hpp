@@ -3,8 +3,10 @@
 //
 // Layers are trained in float32 on the "server" (this process), then
 // quantized and lowered to device jobs by src/engine/. Each layer caches
-// what it needs in forward() to run backward(); graphs are executed
-// single-threaded and deterministically.
+// what it needs in forward(training=true) to run backward(); the
+// inference path (infer()) is const and touches no caches, so it is safe
+// to call concurrently on a shared layer, and clone() deep-copies a layer
+// so parallel search candidates never share mutable state.
 
 #include <memory>
 #include <span>
@@ -43,14 +45,24 @@ class Layer {
   explicit Layer(std::string name) : name_(std::move(name)) {}
   virtual ~Layer() = default;
 
-  Layer(const Layer&) = delete;
   Layer& operator=(const Layer&) = delete;
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] virtual LayerKind kind() const = 0;
 
+  /// Deep copy (parameters, masks, and cached state). The clone shares no
+  /// storage with the original; Graph::clone() builds on this.
+  [[nodiscard]] virtual std::unique_ptr<Layer> clone() const = 0;
+
+  /// Pure inference: compute the output without writing any backward
+  /// cache. Bit-identical to forward(inputs, /*training=*/false) and safe
+  /// to call concurrently on a shared layer.
+  [[nodiscard]] virtual Tensor infer(
+      std::span<const Tensor* const> inputs) const = 0;
+
   /// Compute the output for a batch. `inputs` are the producing nodes'
   /// outputs in graph order; all our layers produce exactly one output.
+  /// With training=true the layer also caches what backward() needs.
   virtual Tensor forward(std::span<const Tensor* const> inputs,
                          bool training) = 0;
 
@@ -68,6 +80,10 @@ class Layer {
       std::span<const Shape> input_shapes) const = 0;
 
   void zero_grads();
+
+ protected:
+  /// Memberwise copy for the clone() implementations.
+  Layer(const Layer&) = default;
 
  private:
   std::string name_;

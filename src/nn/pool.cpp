@@ -34,10 +34,8 @@ Shape AvgPool2d::output_shape(std::span<const Shape> input_shapes) const {
   return pool_output_shape(name(), spec_, input_shapes);
 }
 
-Tensor MaxPool2d::forward(std::span<const Tensor* const> inputs,
-                          bool training) {
-  assert(inputs.size() == 1);
-  const Tensor& input = *inputs[0];
+Tensor MaxPool2d::compute(const Tensor& input,
+                          std::vector<std::size_t>* argmax) const {
   assert(input.rank() == 4);
   const std::size_t batch = input.dim(0);
   const std::size_t channels = input.dim(1);
@@ -47,7 +45,9 @@ Tensor MaxPool2d::forward(std::span<const Tensor* const> inputs,
   const std::size_t wo = pooled_extent(in_w, spec_.window_w, spec_.stride);
 
   Tensor output({batch, channels, ho, wo});
-  argmax_.assign(output.numel(), 0);
+  if (argmax != nullptr) {
+    argmax->assign(output.numel(), 0);
+  }
   std::size_t out_idx = 0;
   for (std::size_t n = 0; n < batch; ++n) {
     for (std::size_t c = 0; c < channels; ++c) {
@@ -69,15 +69,30 @@ Tensor MaxPool2d::forward(std::span<const Tensor* const> inputs,
             }
           }
           output[out_idx] = best;
-          argmax_[out_idx] = best_idx;
+          if (argmax != nullptr) {
+            (*argmax)[out_idx] = best_idx;
+          }
         }
       }
     }
   }
-  if (training) {
-    cached_input_shape_ = input.shape();
-  }
   return output;
+}
+
+Tensor MaxPool2d::infer(std::span<const Tensor* const> inputs) const {
+  assert(inputs.size() == 1);
+  return compute(*inputs[0], nullptr);
+}
+
+Tensor MaxPool2d::forward(std::span<const Tensor* const> inputs,
+                          bool training) {
+  assert(inputs.size() == 1);
+  const Tensor& input = *inputs[0];
+  if (!training) {
+    return compute(input, nullptr);
+  }
+  cached_input_shape_ = input.shape();
+  return compute(input, &argmax_);
 }
 
 std::vector<Tensor> MaxPool2d::backward(const Tensor& grad_output) {
@@ -91,8 +106,7 @@ std::vector<Tensor> MaxPool2d::backward(const Tensor& grad_output) {
   return grads;
 }
 
-Tensor AvgPool2d::forward(std::span<const Tensor* const> inputs,
-                          bool training) {
+Tensor AvgPool2d::infer(std::span<const Tensor* const> inputs) const {
   assert(inputs.size() == 1);
   const Tensor& input = *inputs[0];
   assert(input.rank() == 4);
@@ -124,10 +138,15 @@ Tensor AvgPool2d::forward(std::span<const Tensor* const> inputs,
       }
     }
   }
-  if (training) {
-    cached_input_shape_ = input.shape();
-  }
   return output;
+}
+
+Tensor AvgPool2d::forward(std::span<const Tensor* const> inputs,
+                          bool training) {
+  if (training) {
+    cached_input_shape_ = (*inputs[0]).shape();
+  }
+  return infer(inputs);
 }
 
 std::vector<Tensor> AvgPool2d::backward(const Tensor& grad_output) {

@@ -17,6 +17,11 @@ class MaxPool2d final : public Layer {
       : Layer(std::move(name)), spec_(spec) {}
 
   [[nodiscard]] LayerKind kind() const override { return LayerKind::kMaxPool; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::unique_ptr<Layer>(new MaxPool2d(*this));
+  }
+  [[nodiscard]] Tensor infer(
+      std::span<const Tensor* const> inputs) const override;
   Tensor forward(std::span<const Tensor* const> inputs,
                  bool training) override;
   std::vector<Tensor> backward(const Tensor& grad_output) override;
@@ -25,6 +30,12 @@ class MaxPool2d final : public Layer {
   [[nodiscard]] const PoolSpec& spec() const { return spec_; }
 
  private:
+  MaxPool2d(const MaxPool2d&) = default;
+
+  /// Shared compute; fills `argmax` (flat input index per output element)
+  /// when non-null (the training path needs it for backward()).
+  Tensor compute(const Tensor& input, std::vector<std::size_t>* argmax) const;
+
   PoolSpec spec_;
   Shape cached_input_shape_;
   std::vector<std::size_t> argmax_;  // flat input index per output element
@@ -36,6 +47,11 @@ class AvgPool2d final : public Layer {
       : Layer(std::move(name)), spec_(spec) {}
 
   [[nodiscard]] LayerKind kind() const override { return LayerKind::kAvgPool; }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::unique_ptr<Layer>(new AvgPool2d(*this));
+  }
+  [[nodiscard]] Tensor infer(
+      std::span<const Tensor* const> inputs) const override;
   Tensor forward(std::span<const Tensor* const> inputs,
                  bool training) override;
   std::vector<Tensor> backward(const Tensor& grad_output) override;
@@ -44,6 +60,8 @@ class AvgPool2d final : public Layer {
   [[nodiscard]] const PoolSpec& spec() const { return spec_; }
 
  private:
+  AvgPool2d(const AvgPool2d&) = default;
+
   PoolSpec spec_;
   Shape cached_input_shape_;
 };

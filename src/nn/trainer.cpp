@@ -81,8 +81,8 @@ void Trainer::train(const Tensor& x, std::span<const int> y,
   }
 }
 
-EvalResult Trainer::evaluate(const Tensor& x, std::span<const int> y,
-                             std::size_t batch_size) {
+EvalResult evaluate_graph(const Graph& graph, const Tensor& x,
+                          std::span<const int> y, std::size_t batch_size) {
   if (x.dim(0) != y.size()) {
     throw std::invalid_argument(
         "Trainer::evaluate: sample/label count mismatch");
@@ -99,7 +99,7 @@ EvalResult Trainer::evaluate(const Tensor& x, std::span<const int> y,
       idx[i] = start + i;
     }
     Tensor batch = gather_rows(x, idx);
-    Tensor logits = graph_.forward(batch, /*training=*/false);
+    Tensor logits = graph.infer(batch);
     LossResult loss =
         softmax_cross_entropy(logits, y.subspan(start, end - start));
     correct += loss.correct;
@@ -111,6 +111,11 @@ EvalResult Trainer::evaluate(const Tensor& x, std::span<const int> y,
   result.loss = total_loss / static_cast<double>(std::max<std::size_t>(
                     batches, 1));
   return result;
+}
+
+EvalResult Trainer::evaluate(const Tensor& x, std::span<const int> y,
+                             std::size_t batch_size) {
+  return evaluate_graph(graph_, x, y, batch_size);
 }
 
 }  // namespace iprune::nn

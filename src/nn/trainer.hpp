@@ -30,6 +30,11 @@ struct EvalResult {
 /// Slice rows `indices` out of X ([N, ...]) into a new batch tensor.
 Tensor gather_rows(const Tensor& x, std::span<const std::size_t> indices);
 
+/// Accuracy / mean loss over (x, y) through the const inference path.
+/// Touches no layer caches, so concurrent calls on the same graph are safe.
+EvalResult evaluate_graph(const Graph& graph, const Tensor& x,
+                          std::span<const int> y, std::size_t batch_size = 64);
+
 class Trainer {
  public:
   explicit Trainer(Graph& graph) : graph_(graph) {}

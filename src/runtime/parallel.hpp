@@ -1,0 +1,34 @@
+#pragma once
+// Deterministic data-parallel helpers over runtime::ThreadPool.
+//
+// parallel_map evaluates fn(0..count-1) on the pool and gathers results
+// BY INDEX, so the output vector is identical for any lane count. Each
+// invocation writes only its own slot; exception semantics follow
+// ThreadPool::parallel_for (lowest failing index wins).
+
+#include <cstddef>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace iprune::runtime {
+
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t count, Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{}))>> {
+  using Result = std::decay_t<decltype(fn(std::size_t{}))>;
+  std::vector<std::optional<Result>> slots(count);
+  pool.parallel_for(count,
+                    [&](std::size_t index) { slots[index].emplace(fn(index)); });
+  std::vector<Result> results;
+  results.reserve(count);
+  for (std::optional<Result>& slot : slots) {
+    results.push_back(std::move(*slot));
+  }
+  return results;
+}
+
+}  // namespace iprune::runtime

@@ -1,0 +1,79 @@
+#pragma once
+// Deterministic parallel evaluation runtime.
+//
+// A fixed-size, work-stealing-free thread pool for the search loops that
+// dominate the pruning framework (sensitivity probes, ratio-search chains,
+// architecture candidates). Work is handed out as index ranges [0, count)
+// claimed in ascending order from a shared cursor; results are gathered by
+// index (see runtime/parallel.hpp), so any lane count — including 1 —
+// produces bit-identical output. The lane count of the shared pool comes
+// from IPRUNE_THREADS (see default_lane_count()).
+//
+// Determinism contract (docs/parallelism.md):
+//   * callers generate per-candidate inputs (RNG streams via Rng::split(),
+//     configs, clones) serially before dispatch;
+//   * task bodies only touch their own candidate state and their own
+//     result slot;
+//   * parallel_for rethrows the error of the lowest failing index, which
+//     is the same error the serial loop would have thrown.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace iprune::runtime {
+
+/// Lane count used by ThreadPool::shared(): IPRUNE_THREADS when set to an
+/// integer in [1, 256], otherwise the hardware concurrency (at least 1,
+/// capped at 16 so unconfigured CI machines do not oversubscribe).
+std::size_t default_lane_count();
+
+class ThreadPool {
+ public:
+  /// A pool with `lanes` execution lanes. The calling thread of a
+  /// parallel_for is always one lane, so `lanes - 1` worker threads are
+  /// spawned; lanes == 1 spawns none and runs everything inline.
+  explicit ThreadPool(std::size_t lanes = default_lane_count());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (worker threads + the calling thread).
+  [[nodiscard]] std::size_t lanes() const { return workers_.size() + 1; }
+
+  /// Run body(0) ... body(count - 1), each exactly once, distributed over
+  /// the lanes; the caller participates and the call returns only when
+  /// every claimed index has finished. Indices are claimed in ascending
+  /// order. If any body throws, the exception of the lowest failing index
+  /// is rethrown (identical to what a serial ascending loop would throw)
+  /// and no further indices are claimed. Calls from inside a pool task
+  /// run the loop inline (serially) instead of deadlocking.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Process-wide pool sized by default_lane_count(), created on first use.
+  static ThreadPool& shared();
+
+  /// `pool` when non-null, otherwise the shared pool. Search APIs take an
+  /// optional pool pointer and resolve it through this.
+  static ThreadPool& resolve(ThreadPool* pool);
+
+ private:
+  struct ForLoop;
+
+  void worker_main();
+  static void run_loop(ForLoop& loop);
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace iprune::runtime

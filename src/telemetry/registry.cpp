@@ -30,6 +30,15 @@ void Histogram::record(double value) {
   }
 }
 
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
 double Histogram::quantile(double q) const {
   if (count_ == 0) {
     return 0.0;
@@ -45,6 +54,35 @@ double Histogram::quantile(double q) const {
     }
   }
   return bucket_upper_bound(kBuckets - 1);
+}
+
+void ClassMetrics::merge(const ClassMetrics& other) {
+  events += other.events;
+  busy_us += other.busy_us;
+  attributed_us += other.attributed_us;
+  energy_j += other.energy_j;
+  bytes += other.bytes;
+  macs += other.macs;
+  latency_us.merge(other.latency_us);
+  energy_nj.merge(other.energy_nj);
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (std::size_t cls = 0; cls < kEventClassCount; ++cls) {
+    classes_[cls].merge(other.classes_[cls]);
+  }
+  for (const LayerMetrics& theirs : other.layers_) {
+    LayerMetrics& ours = layers_[layer_slot(theirs.name)];
+    ours.passes += theirs.passes;
+    ours.wall_us += theirs.wall_us;
+    for (std::size_t cls = 0; cls < kEventClassCount; ++cls) {
+      ours.attributed_us[cls] += theirs.attributed_us[cls];
+    }
+    ours.energy_j += theirs.energy_j;
+    ours.bytes += theirs.bytes;
+    ours.macs += theirs.macs;
+  }
+  events_seen_ += other.events_seen_;
 }
 
 std::size_t MetricsRegistry::layer_slot(const std::string& name) {

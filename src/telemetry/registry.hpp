@@ -25,6 +25,11 @@ class Histogram {
 
   void record(double value);
 
+  /// Fold another histogram in (bucket-wise sum; max of maxima). Merging
+  /// is associative and commutative, so per-worker histograms folded in
+  /// any fixed order give the same result as a single serial recorder.
+  void merge(const Histogram& other);
+
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double sum() const { return sum_; }
   [[nodiscard]] double mean() const {
@@ -62,6 +67,9 @@ struct ClassMetrics {
   std::uint64_t macs = 0;
   Histogram latency_us;  // per-event dur_us
   Histogram energy_nj;   // per-event energy in nanojoules
+
+  /// Fold another class aggregate in (see Histogram::merge).
+  void merge(const ClassMetrics& other);
 };
 
 /// Per-layer exposure: device time attributed to the innermost enclosing
@@ -91,6 +99,13 @@ class MetricsRegistry {
     return layers_;
   }
   [[nodiscard]] std::uint64_t events_seen() const { return events_seen_; }
+
+  /// Fold another registry in: class aggregates merge per class, layers
+  /// merge by name (unseen layers append in `other`'s order). Both
+  /// registries must have no open kLayer scope. Parallel benches record
+  /// into one registry per worker and merge them in candidate order, so
+  /// the combined registry is identical for any lane count.
+  void merge(const MetricsRegistry& other);
 
  private:
   [[nodiscard]] std::size_t layer_slot(const std::string& name);

@@ -1,11 +1,12 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace iprune::util {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -27,15 +28,16 @@ const char* level_tag(LogLevel level) {
 }  // namespace
 
 void set_log_level(LogLevel level) {
-  g_level = level;
+  g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel log_level() {
-  return g_level;
+  return g_level.load(std::memory_order_relaxed);
 }
 
 void log(LogLevel level, const std::string& message) {
-  if (level < g_level || g_level == LogLevel::kOff) {
+  const LogLevel current = g_level.load(std::memory_order_relaxed);
+  if (level < current || current == LogLevel::kOff) {
     return;
   }
   std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());

@@ -8,8 +8,9 @@ namespace iprune::util {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Global level; defaults to kInfo. Not thread-safe by design (the
-/// simulators are single-threaded and deterministic).
+/// Global level; defaults to kInfo. The level is stored atomically so
+/// worker threads of the runtime pool may log while the main thread
+/// configures it; individual messages are written with one fprintf call.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 

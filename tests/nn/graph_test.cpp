@@ -137,6 +137,62 @@ TEST(Graph, ZeroGradsClearsAll) {
   }
 }
 
+TEST(Graph, CloneIsDeepCopy) {
+  util::Rng rng(12);
+  Graph g = small_graph(rng);
+  Tensor x({3, 4});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x.data()[i] = static_cast<float>(i) * 0.25f - 1.0f;
+  }
+  const Tensor before = g.forward(x);
+
+  Graph copy = g.clone();
+  EXPECT_EQ(copy.node_count(), g.node_count());
+  EXPECT_EQ(copy.output(), g.output());
+  EXPECT_TRUE(copy.forward(x).equals(before));
+
+  // Mutating the original must not leak into the clone (and vice versa).
+  auto& fc1 = dynamic_cast<Dense&>(g.layer(1));
+  fc1.weight().fill(0.0f);
+  EXPECT_FALSE(g.forward(x).equals(before));
+  EXPECT_TRUE(copy.forward(x).equals(before));
+
+  auto& copy_fc2 = dynamic_cast<Dense&>(copy.layer(3));
+  copy_fc2.weight_mask().fill(0.0f);
+  EXPECT_EQ(copy.nonzero_parameter_count(),
+            copy.parameter_count() - copy_fc2.weight().numel());
+  EXPECT_EQ(g.nonzero_parameter_count(), g.parameter_count());
+}
+
+TEST(Graph, CloneOfPrunedGraphMatchesOriginal) {
+  util::Rng rng(13);
+  Graph g = small_graph(rng);
+  auto& fc1 = dynamic_cast<Dense&>(g.layer(1));
+  fc1.weight_mask().at(0, 0) = 0.0f;
+  fc1.weight_mask().at(2, 1) = 0.0f;
+  fc1.apply_mask();
+
+  Tensor x({2, 4});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x.data()[i] = static_cast<float>(i % 5) * 0.5f;
+  }
+  Graph copy = g.clone();
+  EXPECT_EQ(copy.nonzero_parameter_count(), g.nonzero_parameter_count());
+  EXPECT_TRUE(copy.forward(x).equals(g.forward(x)));
+  EXPECT_TRUE(copy.infer(x).equals(g.infer(x)));
+}
+
+TEST(Graph, InferMatchesForwardWithoutCaching) {
+  util::Rng rng(14);
+  const Graph g = small_graph(rng);  // const: infer is a read-only path
+  Tensor x({2, 4});
+  x.fill(0.5f);
+  const Tensor out = g.infer(x);
+  const auto acts = g.infer_nodes(x);
+  ASSERT_EQ(acts.size(), g.node_count());
+  EXPECT_TRUE(acts[g.output()].equals(out));
+}
+
 TEST(Graph, MoveConstructible) {
   util::Rng rng(11);
   Graph g = small_graph(rng);

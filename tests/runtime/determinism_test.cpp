@@ -1,0 +1,227 @@
+// Determinism regression tests for the parallel search paths: every
+// search must produce bit-identical results for any pool lane count
+// (the contract in docs/parallelism.md). Lane counts 1, 2, and 8 cover
+// serial, fewer-lanes-than-tasks, and more-lanes-than-tasks scheduling.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/eprune.hpp"
+#include "core/arch_search.hpp"
+#include "core/criterion.hpp"
+#include "core/ratio_search.hpp"
+#include "core/sensitivity.hpp"
+#include "nn/activation.hpp"
+#include "nn/dense.hpp"
+#include "nn/trainer.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace iprune {
+namespace {
+
+constexpr std::size_t kLaneCounts[] = {1, 2, 8};
+
+/// Small trained MLP with two prunable layers plus its dataset.
+struct Fixture {
+  nn::Graph graph{nn::Shape{2}};
+  nn::Tensor x;
+  std::vector<int> y;
+  std::vector<engine::PrunableLayer> layers;
+
+  Fixture() {
+    util::Rng rng(11);
+    auto h = graph.add(std::make_unique<nn::Dense>("hidden", 2, 24, rng),
+                       {graph.input()});
+    auto r = graph.add(std::make_unique<nn::Relu>("r"), {h});
+    auto o = graph.add(std::make_unique<nn::Dense>("out", 24, 2, rng), {r});
+    graph.set_output(o);
+
+    x = nn::Tensor({200, 2});
+    y.resize(200);
+    for (std::size_t i = 0; i < 200; ++i) {
+      const bool cls = rng.bernoulli(0.5);
+      x.at(i, 0) =
+          (cls ? 1.2f : -1.2f) + static_cast<float>(rng.normal(0, 0.3));
+      x.at(i, 1) = static_cast<float>(rng.normal(0, 0.3));
+      y[i] = cls ? 1 : 0;
+    }
+    nn::TrainConfig tc;
+    tc.epochs = 8;
+    nn::Trainer(graph).train(x, y, tc);
+    layers = engine::prunable_layers(graph, engine::EngineConfig{},
+                                     device::MemoryConfig{});
+  }
+};
+
+TEST(ParallelDeterminism, SensitivityDropsIdenticalAcrossLaneCounts) {
+  Fixture f;
+  core::SensitivityConfig cfg;
+
+  std::vector<std::vector<double>> results;
+  for (const std::size_t lanes : kLaneCounts) {
+    runtime::ThreadPool pool(lanes);
+    results.push_back(core::analyze_sensitivities(f.graph, f.layers, f.x,
+                                                  f.y, cfg, &pool));
+  }
+  ASSERT_EQ(results[0].size(), f.layers.size());
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(ParallelDeterminism, AnnealingRestartsIdenticalAcrossLaneCounts) {
+  Fixture f;
+  std::vector<core::LayerStats> stats =
+      core::collect_layer_stats(f.layers, device::DeviceConfig{});
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    stats[i].sensitivity = 0.05 * static_cast<double>(i + 1);
+  }
+
+  std::vector<std::vector<double>> results;
+  for (const std::size_t lanes : kLaneCounts) {
+    runtime::ThreadPool pool(lanes);
+    core::AnnealingConfig cfg;
+    cfg.iterations = 500;
+    cfg.restarts = 6;
+    cfg.pool = &pool;
+    core::IPruneAllocator allocator(cfg);
+    util::Rng rng(99);
+    results.push_back(allocator.allocate(stats, 0.25, rng));
+  }
+  ASSERT_EQ(results[0].size(), stats.size());
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(ParallelDeterminism, SingleRestartMatchesCallerRngSequence) {
+  // restarts == 1 must consume the caller's rng exactly like the
+  // historical single-chain annealer, regardless of the pool field.
+  Fixture f;
+  std::vector<core::LayerStats> stats =
+      core::collect_layer_stats(f.layers, device::DeviceConfig{});
+
+  core::AnnealingConfig cfg;
+  cfg.iterations = 300;
+  core::IPruneAllocator single(cfg);
+  util::Rng rng_a(5);
+  const std::vector<double> a = single.allocate(stats, 0.2, rng_a);
+
+  runtime::ThreadPool pool(8);
+  cfg.restarts = 1;
+  cfg.pool = &pool;
+  core::IPruneAllocator pooled(cfg);
+  util::Rng rng_b(5);
+  const std::vector<double> b = pooled.allocate(stats, 0.2, rng_b);
+
+  EXPECT_EQ(a, b);
+  // Both must have advanced the caller's rng identically.
+  EXPECT_EQ(rng_a.next_u64(), rng_b.next_u64());
+}
+
+struct SearchFixture {
+  data::Dataset train, val;
+
+  SearchFixture() {
+    util::Rng rng(7);
+    auto fill = [&](data::Dataset& d, std::size_t count) {
+      d.num_classes = 2;
+      d.inputs = nn::Tensor({count, 4});
+      d.labels.resize(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const bool cls = rng.bernoulli(0.5);
+        for (std::size_t k = 0; k < 4; ++k) {
+          d.inputs.at(i, k) = static_cast<float>(
+              (cls ? 1.0 : -1.0) * (k < 2 ? 1.0 : 0.1) +
+              rng.normal(0, 0.3));
+        }
+        d.labels[i] = cls ? 1 : 0;
+      }
+    };
+    fill(train, 120);
+    fill(val, 60);
+  }
+
+  static nn::Graph build(const std::vector<std::size_t>& widths,
+                         util::Rng& rng) {
+    nn::Graph g({4});
+    auto h = g.add(std::make_unique<nn::Dense>("h", 4, widths.at(0), rng),
+                   {g.input()});
+    auto r = g.add(std::make_unique<nn::Relu>("r"), {h});
+    auto o = g.add(std::make_unique<nn::Dense>("o", widths.at(0), 2, rng),
+                   {r});
+    g.set_output(o);
+    return g;
+  }
+};
+
+TEST(ParallelDeterminism, ArchSearchIdenticalAcrossLaneCounts) {
+  SearchFixture f;
+
+  std::vector<core::ArchSearchResult> results;
+  for (const std::size_t lanes : kLaneCounts) {
+    runtime::ThreadPool pool(lanes);
+    core::ArchSearchConfig cfg;
+    cfg.min_widths = {4};
+    cfg.max_widths = {24};
+    cfg.evaluations = 6;
+    cfg.initial_random = 2;
+    cfg.proxy_training.epochs = 3;
+    cfg.batch_size = 3;
+    cfg.pool = &pool;
+    results.push_back(core::search_architectures(&SearchFixture::build, cfg,
+                                                 f.train, f.val));
+  }
+  EXPECT_EQ(results[0].evaluated, results[1].evaluated);
+  EXPECT_EQ(results[0].evaluated, results[2].evaluated);
+  ASSERT_EQ(results[0].pareto_front.size(), results[1].pareto_front.size());
+  ASSERT_EQ(results[0].pareto_front.size(), results[2].pareto_front.size());
+  for (std::size_t i = 0; i < results[0].pareto_front.size(); ++i) {
+    for (std::size_t other = 1; other < results.size(); ++other) {
+      EXPECT_EQ(results[0].pareto_front[i].widths,
+                results[other].pareto_front[i].widths);
+      EXPECT_DOUBLE_EQ(results[0].pareto_front[i].accuracy,
+                       results[other].pareto_front[i].accuracy);
+      EXPECT_EQ(results[0].pareto_front[i].acc_outputs,
+                results[other].pareto_front[i].acc_outputs);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, EPruneSweepIdenticalAcrossLaneCounts) {
+  Fixture f;
+  core::PruneConfig config;
+  config.max_iterations = 2;
+  config.finetune.epochs = 2;
+  config.sensitivity.max_samples = 64;
+  const std::vector<double> gammas = {0.2, 0.4, 0.6};
+
+  std::vector<std::vector<baselines::EPruneSweepPoint>> sweeps;
+  for (const std::size_t lanes : kLaneCounts) {
+    runtime::ThreadPool pool(lanes);
+    sweeps.push_back(baselines::sweep_eprune_gamma(
+        f.graph, gammas, config, f.x, f.y, f.x, f.y, &pool));
+  }
+  for (const auto& sweep : sweeps) {
+    ASSERT_EQ(sweep.size(), gammas.size());
+  }
+  for (std::size_t i = 0; i < gammas.size(); ++i) {
+    for (std::size_t other = 1; other < sweeps.size(); ++other) {
+      EXPECT_DOUBLE_EQ(sweeps[0][i].gamma_hat, sweeps[other][i].gamma_hat);
+      EXPECT_DOUBLE_EQ(sweeps[0][i].outcome.final_accuracy,
+                       sweeps[other][i].outcome.final_accuracy);
+      EXPECT_EQ(sweeps[0][i].outcome.final_alive_weights,
+                sweeps[other][i].outcome.final_alive_weights);
+      EXPECT_EQ(sweeps[0][i].outcome.final_acc_outputs,
+                sweeps[other][i].outcome.final_acc_outputs);
+      EXPECT_EQ(sweeps[0][i].outcome.history.size(),
+                sweeps[other][i].outcome.history.size());
+    }
+  }
+  // The sweep must leave the input model untouched.
+  for (const engine::PrunableLayer& layer : f.layers) {
+    EXPECT_EQ(layer.alive_weights(), layer.total_weights());
+  }
+}
+
+}  // namespace
+}  // namespace iprune

@@ -1,0 +1,130 @@
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/parallel.hpp"
+
+namespace iprune::runtime {
+namespace {
+
+TEST(ThreadPool, LaneCountIncludesCaller) {
+  ThreadPool one(1);
+  EXPECT_EQ(one.lanes(), 1u);
+  ThreadPool four(4);
+  EXPECT_EQ(four.lanes(), 4u);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (const std::size_t lanes : {1u, 2u, 8u}) {
+    ThreadPool pool(lanes);
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallel_for(kCount, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " lanes " << lanes;
+    }
+  }
+}
+
+TEST(ThreadPool, ZeroCountIsANoop) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, MoreTasksThanLanesAndViceVersa) {
+  ThreadPool pool(8);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(3, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 3u);  // 0 + 1 + 2
+  sum = 0;
+  pool.parallel_for(100, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, RethrowsLowestFailingIndex) {
+  for (const std::size_t lanes : {1u, 4u}) {
+    ThreadPool pool(lanes);
+    try {
+      pool.parallel_for(64, [&](std::size_t i) {
+        if (i == 7 || i == 23) {
+          throw std::runtime_error("boom at " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "boom at 7");
+    }
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(16);
+  pool.parallel_for(4, [&](std::size_t outer) {
+    // Nested call must not deadlock; it runs serially on this lane.
+    pool.parallel_for(4, [&](std::size_t inner) {
+      ++hits[outer * 4 + inner];
+    });
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossManyLoops) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(17, [&](std::size_t) { ++count; });
+    ASSERT_EQ(count.load(), 17);
+  }
+}
+
+TEST(ThreadPool, SharedPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+  EXPECT_GE(ThreadPool::shared().lanes(), 1u);
+}
+
+TEST(ThreadPool, ResolvePrefersExplicitPool) {
+  ThreadPool pool(2);
+  EXPECT_EQ(&ThreadPool::resolve(&pool), &pool);
+  EXPECT_EQ(&ThreadPool::resolve(nullptr), &ThreadPool::shared());
+}
+
+TEST(ParallelMap, GathersResultsByIndex) {
+  for (const std::size_t lanes : {1u, 2u, 8u}) {
+    ThreadPool pool(lanes);
+    const std::vector<std::size_t> squares =
+        parallel_map(pool, 100, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(squares.size(), 100u);
+    for (std::size_t i = 0; i < squares.size(); ++i) {
+      EXPECT_EQ(squares[i], i * i);
+    }
+  }
+}
+
+TEST(ParallelMap, WorksWithMoveOnlyHeavyResults) {
+  ThreadPool pool(4);
+  const auto rows = parallel_map(pool, 10, [](std::size_t i) {
+    return std::vector<int>(i + 1, static_cast<int>(i));
+  });
+  ASSERT_EQ(rows.size(), 10u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].size(), i + 1);
+  }
+}
+
+TEST(DefaultLaneCount, IsAtLeastOne) {
+  EXPECT_GE(default_lane_count(), 1u);
+  EXPECT_LE(default_lane_count(), 256u);
+}
+
+}  // namespace
+}  // namespace iprune::runtime

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <memory>
 
 #include "device/msp430.hpp"
@@ -66,6 +67,28 @@ TEST(Histogram, QuantileReturnsBucketUpperBound) {
   EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0);
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 1024.0);
   EXPECT_DOUBLE_EQ(Histogram().quantile(0.5), 0.0);
+}
+
+TEST(Histogram, MergeMatchesSingleRecorder) {
+  const double samples[] = {0.5, 1.5, 3.0, 3.5, 100.0, 1000.0, 0.1};
+  Histogram serial;
+  Histogram a, b;
+  for (std::size_t i = 0; i < std::size(samples); ++i) {
+    serial.record(samples[i]);
+    (i % 2 == 0 ? a : b).record(samples[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), serial.count());
+  EXPECT_DOUBLE_EQ(a.sum(), serial.sum());
+  EXPECT_DOUBLE_EQ(a.max(), serial.max());
+  for (std::size_t bkt = 0; bkt < Histogram::kBuckets; ++bkt) {
+    EXPECT_EQ(a.bucket(bkt), serial.bucket(bkt)) << "bucket " << bkt;
+  }
+
+  // Merging an empty histogram is a no-op.
+  const std::uint64_t before = a.count();
+  a.merge(Histogram());
+  EXPECT_EQ(a.count(), before);
 }
 
 // --- RecorderSink ring buffer ---
@@ -170,6 +193,94 @@ TEST(MetricsRegistry, SameLayerNameAccumulatesAcrossPasses) {
   ASSERT_EQ(registry.layers().size(), 1u);
   EXPECT_EQ(registry.layers()[0].passes, 3u);
   EXPECT_DOUBLE_EQ(registry.layers()[0].wall_us, 30.0);
+}
+
+TEST(MetricsRegistry, MergeMatchesSingleSerialRecorder) {
+  // Two per-worker registries, each with its own layer scopes and spans,
+  // must merge into exactly what one serial recorder would have seen.
+  auto feed_layer = [](MetricsRegistry& reg, const std::string& name,
+                       double t0, double op_us, std::uint64_t macs) {
+    Event begin;
+    begin.cls = EventClass::kLayer;
+    begin.phase = EventPhase::kBegin;
+    begin.name = name;
+    begin.t_us = t0;
+    reg.observe(begin);
+    Event op = span_event(EventClass::kLea, t0, op_us);
+    op.macs = macs;
+    op.energy_j = 1e-7 * op_us;
+    reg.observe(op);
+    Event end = begin;
+    end.phase = EventPhase::kEnd;
+    end.t_us = t0 + op_us + 1.0;
+    reg.observe(end);
+  };
+
+  MetricsRegistry serial, worker_a, worker_b;
+  // "conv1" appears in both workers; "fc" only in worker B.
+  for (MetricsRegistry* reg : {&serial, &worker_a}) {
+    feed_layer(*reg, "conv1", 0.0, 5.0, 10);
+  }
+  for (MetricsRegistry* reg : {&serial, &worker_b}) {
+    feed_layer(*reg, "conv1", 100.0, 7.0, 20);
+    feed_layer(*reg, "fc", 200.0, 3.0, 5);
+    reg->observe(span_event(EventClass::kCpu, 300.0, 2.0));
+  }
+
+  worker_a.merge(worker_b);
+
+  EXPECT_EQ(worker_a.events_seen(), serial.events_seen());
+  for (std::size_t c = 0; c < kEventClassCount; ++c) {
+    const auto cls = static_cast<EventClass>(c);
+    const ClassMetrics& merged = worker_a.for_class(cls);
+    const ClassMetrics& expected = serial.for_class(cls);
+    EXPECT_EQ(merged.events, expected.events);
+    EXPECT_DOUBLE_EQ(merged.busy_us, expected.busy_us);
+    EXPECT_DOUBLE_EQ(merged.attributed_us, expected.attributed_us);
+    EXPECT_DOUBLE_EQ(merged.energy_j, expected.energy_j);
+    EXPECT_EQ(merged.bytes, expected.bytes);
+    EXPECT_EQ(merged.macs, expected.macs);
+    EXPECT_EQ(merged.latency_us.count(), expected.latency_us.count());
+    EXPECT_DOUBLE_EQ(merged.latency_us.sum(), expected.latency_us.sum());
+  }
+
+  ASSERT_EQ(worker_a.layers().size(), serial.layers().size());
+  for (std::size_t i = 0; i < serial.layers().size(); ++i) {
+    const LayerMetrics& merged = worker_a.layers()[i];
+    const LayerMetrics& expected = serial.layers()[i];
+    EXPECT_EQ(merged.name, expected.name);
+    EXPECT_EQ(merged.passes, expected.passes);
+    EXPECT_DOUBLE_EQ(merged.wall_us, expected.wall_us);
+    EXPECT_DOUBLE_EQ(merged.energy_j, expected.energy_j);
+    EXPECT_EQ(merged.macs, expected.macs);
+    for (std::size_t c = 0; c < kEventClassCount; ++c) {
+      EXPECT_DOUBLE_EQ(merged.attributed_us[c], expected.attributed_us[c]);
+    }
+  }
+}
+
+TEST(MetricsRegistry, MergeAppendsUnseenLayersInOtherOrder) {
+  MetricsRegistry a, b;
+  auto touch = [](MetricsRegistry& reg, const std::string& name) {
+    Event begin;
+    begin.cls = EventClass::kLayer;
+    begin.phase = EventPhase::kBegin;
+    begin.name = name;
+    begin.t_us = 0.0;
+    reg.observe(begin);
+    Event end = begin;
+    end.phase = EventPhase::kEnd;
+    end.t_us = 1.0;
+    reg.observe(end);
+  };
+  touch(a, "alpha");
+  touch(b, "beta");
+  touch(b, "gamma");
+  a.merge(b);
+  ASSERT_EQ(a.layers().size(), 3u);
+  EXPECT_EQ(a.layers()[0].name, "alpha");
+  EXPECT_EQ(a.layers()[1].name, "beta");
+  EXPECT_EQ(a.layers()[2].name, "gamma");
 }
 
 // --- Device emission invariants ---
