@@ -1,0 +1,167 @@
+// fault_check: differential crash-consistency checking under forced
+// power failures.
+//
+// Usage: fault_check [--smoke] [--random N] [--seed S] [--repro TOKEN]
+//   (no args)   exhaustive write-boundary sweep + 200 random schedules,
+//               both preservation modes, on the tiny testbed model
+//   --smoke     reduced sweep for CI gating (exhaustive kImmediate sweep
+//               + 24 random schedules per mode)
+//   --random N  number of seeded-random schedules per mode
+//   --seed S    base seed for the random schedules (default 2023)
+//   --repro T   replay one repro token printed by a failing run, e.g.
+//                 fault_check --repro 'mode=immediate;schedule=fixed:3,17'
+//
+// Exit status is 0 only when every schedule passes; on failure the first
+// divergence is minimized (ddmin over the realized outages) and printed
+// as a replayable repro line.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fault/checker.hpp"
+#include "fault/injector.hpp"
+#include "fault/testbed.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace iprune;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--smoke] [--random N] [--seed S] "
+               "[--repro TOKEN]\n",
+               argv0);
+  return 2;
+}
+
+struct Workbench {
+  util::Rng rng{2023};
+  nn::Graph graph;
+  nn::Tensor calibration;
+  nn::Tensor sample;
+  fault::ConsistencyChecker checker;
+
+  Workbench()
+      : graph(fault::make_tiny_graph(rng)),
+        calibration(fault::make_batch(rng, graph, 8)),
+        sample(fault::slice_sample(calibration, 0)),
+        checker(graph, calibration) {}
+};
+
+/// Replay one "mode=<m>;schedule=<s>" token; returns the process status.
+int run_repro(Workbench& bench, const std::string& token) {
+  const std::string mode_key = "mode=";
+  const std::string sched_key = ";schedule=";
+  const std::size_t sched_at = token.find(sched_key);
+  if (token.rfind(mode_key, 0) != 0 || sched_at == std::string::npos) {
+    std::fprintf(stderr,
+                 "malformed repro token (want mode=<m>;schedule=<s>): %s\n",
+                 token.c_str());
+    return 2;
+  }
+  const engine::PreservationMode mode = fault::parse_preservation_mode(
+      token.substr(mode_key.size(), sched_at - mode_key.size()));
+  const fault::OutageSchedule schedule =
+      fault::OutageSchedule::parse(token.substr(sched_at + sched_key.size()));
+
+  const fault::ScheduleOutcome outcome =
+      bench.checker.check(bench.sample, schedule, mode);
+  std::printf("%s\n", outcome.to_string().c_str());
+  return outcome.passed ? 0 : 1;
+}
+
+/// Check a batch, print a summary line, and on failure print the
+/// minimized repro. Returns the number of failures.
+std::size_t run_batch(Workbench& bench, const char* label,
+                      const std::vector<fault::OutageSchedule>& schedules,
+                      engine::PreservationMode mode) {
+  const fault::CheckReport report =
+      bench.checker.check_schedules(bench.sample, schedules, mode);
+  std::printf("%-26s mode=%-9s %4zu schedules  %4zu failed\n", label,
+              fault::preservation_mode_name(mode), report.outcomes.size(),
+              report.failed());
+  if (const fault::ScheduleOutcome* fail = report.first_failure()) {
+    const fault::ScheduleOutcome minimized =
+        bench.checker.shrink(bench.sample, *fail);
+    std::printf("  first failure : %s\n", fail->to_string().c_str());
+    std::printf("  minimized     : %s\n", minimized.to_string().c_str());
+    std::printf("  replay with   : fault_check --repro '%s'\n",
+                minimized.repro().c_str());
+  }
+  return report.failed();
+}
+
+std::vector<fault::OutageSchedule> random_schedules(std::size_t count,
+                                                    std::uint64_t base_seed) {
+  std::vector<fault::OutageSchedule> schedules;
+  schedules.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Mix of densities; max_outages keeps the densest runs bounded.
+    const double p = 0.002 + 0.05 * static_cast<double>(i % 7) / 6.0;
+    schedules.push_back(
+        fault::OutageSchedule::random(base_seed + i, p, 64));
+  }
+  return schedules;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::size_t random_count = 200;
+  std::uint64_t seed = 2023;
+  std::string repro;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--random") == 0 && i + 1 < argc) {
+      random_count = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "--repro") == 0 && i + 1 < argc) {
+      repro = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  Workbench bench;
+  if (!repro.empty()) {
+    return run_repro(bench, repro);
+  }
+  if (smoke) {
+    random_count = 24;
+  }
+
+  using engine::PreservationMode;
+  std::size_t failures = 0;
+
+  const auto writes_imm = bench.checker.exhaustive_write_schedules(
+      bench.sample, PreservationMode::kImmediate);
+  failures += run_batch(bench, "exhaustive write sweep", writes_imm,
+                        PreservationMode::kImmediate);
+  if (!smoke) {
+    const auto writes_task = bench.checker.exhaustive_write_schedules(
+        bench.sample, PreservationMode::kTaskAtomic);
+    failures += run_batch(bench, "exhaustive write sweep", writes_task,
+                          PreservationMode::kTaskAtomic);
+  }
+
+  const auto randoms = random_schedules(random_count, seed);
+  failures += run_batch(bench, "random schedules", randoms,
+                        PreservationMode::kImmediate);
+  failures += run_batch(bench, "random schedules", randoms,
+                        PreservationMode::kTaskAtomic);
+
+  if (failures != 0) {
+    std::printf("FAIL: %zu schedule(s) violated crash consistency\n",
+                failures);
+    return 1;
+  }
+  std::printf("OK: all schedules bit-identical to the golden run\n");
+  return 0;
+}

@@ -6,6 +6,34 @@
 
 namespace iprune::device {
 
+namespace {
+
+/// An injected outage during reboot triggers another recharge + reboot
+/// (back-to-back failures). A schedule that keeps failing the reboot
+/// forever would otherwise hang the simulation; past this bound the run
+/// is diagnosed instead.
+constexpr std::size_t kMaxRebootRetries = 4096;
+
+power::FaultPoint fault_point_of(CostTag tag) {
+  switch (tag) {
+    case CostTag::kNvmRead:
+      return power::FaultPoint::kNvmRead;
+    case CostTag::kNvmWrite:
+      return power::FaultPoint::kNvmWrite;
+    case CostTag::kLea:
+      return power::FaultPoint::kLea;
+    case CostTag::kCpu:
+      return power::FaultPoint::kCpu;
+    case CostTag::kReboot:
+      return power::FaultPoint::kReboot;
+    case CostTag::kTagCount:
+      break;
+  }
+  return power::FaultPoint::kOther;
+}
+
+}  // namespace
+
 std::string describe(const DeviceConfig& config) {
   std::ostringstream out;
   out << "MSP430FR5994-class device: VM " << config.memory.vm_bytes / 1024
@@ -56,20 +84,42 @@ void Msp430Device::record_span(telemetry::EventClass cls, double t_us,
 void Msp430Device::power_cycle() {
   ++vm_epoch_;
   ++stats_.power_failures;
-  const double off_s = power_.recharge(clock_us_ * 1e-6);
-  const double off_us = off_s * 1e6;
-  clock_us_ += off_us;
-  stats_.off_time_us += off_us;
-
-  // Firmware reboot on resumption. Drawn from the freshly charged buffer;
-  // by construction it is far smaller than the buffer, so it cannot fail.
   const double reboot_us = config_.reboot_us;
-  const double reboot_j =
-      config_.rails.base_active_w * reboot_us * 1e-6;
-  if (!power_.consume(clock_us_ * 1e-6, reboot_us * 1e-6, reboot_j)) {
-    throw std::runtime_error(
-        "Msp430Device: reboot exceeds the energy buffer; the configured "
-        "reboot cost makes forward progress impossible");
+  const double reboot_j = config_.rails.base_active_w * reboot_us * 1e-6;
+  std::size_t reboot_attempts = 0;
+  while (true) {
+    const double off_s = power_.recharge(clock_us_ * 1e-6);
+    const double off_us = off_s * 1e6;
+    clock_us_ += off_us;
+    stats_.off_time_us += off_us;
+
+    // Firmware reboot on resumption. Drawn from the freshly charged
+    // buffer; by construction it is far smaller than the buffer, so only
+    // an injected outage can interrupt it.
+    if (power_.consume(clock_us_ * 1e-6, reboot_us * 1e-6, reboot_j,
+                       power::FaultPoint::kReboot)) {
+      break;
+    }
+    if (!power_.last_outage_injected()) {
+      throw std::runtime_error(
+          "Msp430Device: reboot exceeds the energy buffer; the configured "
+          "reboot cost makes forward progress impossible");
+    }
+    // Back-to-back failure: the outage landed during the reboot itself.
+    // The aborted attempt still spent its wall time; cycle again.
+    clock_us_ += reboot_us;
+    stats_.on_time_us += reboot_us;
+    ++vm_epoch_;
+    ++stats_.power_failures;
+    record_span(telemetry::EventClass::kReboot, clock_us_ - reboot_us,
+                reboot_us, 0.0, 0.0, 0, 0);
+    if (++reboot_attempts > kMaxRebootRetries) {
+      throw std::runtime_error(
+          "Msp430Device: fault-injection schedule interrupted " +
+          std::to_string(kMaxRebootRetries) +
+          " consecutive reboots; the device cannot come back up under "
+          "this schedule");
+    }
   }
   clock_us_ += reboot_us;
   stats_.on_time_us += reboot_us;
@@ -98,11 +148,12 @@ bool Msp430Device::charge(double latency_us, double extra_power_w,
   };
   const double energy_j =
       (config_.rails.base_active_w + extra_power_w) * latency_us * 1e-6;
-  return charge_split(latency_us, energy_j, share);
+  return charge_split(latency_us, energy_j, share, fault_point_of(tag));
 }
 
 bool Msp430Device::charge_split(double latency_us, double energy_j,
-                                const double* tag_share_us) {
+                                const double* tag_share_us,
+                                power::FaultPoint point) {
   const double usable = power_.buffer().usable_j();
   if (energy_j > usable) {
     throw std::runtime_error(
@@ -112,7 +163,7 @@ bool Msp430Device::charge_split(double latency_us, double energy_j,
         " J); inference cannot terminate — shrink the operation "
         "granularity or enlarge the capacitor");
   }
-  if (power_.consume(clock_us_ * 1e-6, latency_us * 1e-6, energy_j)) {
+  if (power_.consume(clock_us_ * 1e-6, latency_us * 1e-6, energy_j, point)) {
     clock_us_ += latency_us;
     stats_.on_time_us += latency_us;
     stats_.energy_j += energy_j;
@@ -235,7 +286,14 @@ bool Msp430Device::pipelined_job(std::size_t macs, std::size_t write_bytes,
   }
   share[static_cast<std::size_t>(CostTag::kCpu)] = cpu_us;
   const double t0 = clock_us_;
-  const bool ok = charge_split(latency, energy_j, share);
+  // For the fault hook a pipelined job is an NVM-write boundary whenever
+  // it commits bytes (the progress-preservation write); compute-only jobs
+  // count as accelerator events.
+  const power::FaultPoint point =
+      write_bytes > 0 ? power::FaultPoint::kNvmWrite
+                      : (macs > 0 ? power::FaultPoint::kLea
+                                  : power::FaultPoint::kCpu);
+  const bool ok = charge_split(latency, energy_j, share, point);
   if (sink_->enabled()) {
     // One busy span per engaged unit. The LEA and NVM windows overlap on
     // the timeline (that is the pipelining); attribution and per-unit

@@ -74,6 +74,14 @@ class Msp430Device {
   void set_trace_sink(telemetry::TraceSink* sink);
   [[nodiscard]] telemetry::TraceSink& trace_sink() const { return *sink_; }
 
+  /// Install a deterministic outage-injection hook on the power manager
+  /// (nullptr removes it). Every chargeable primitive below is one hook
+  /// event, labelled with its FaultPoint; a firing hook forces the full
+  /// brown-out + recharge + reboot path at that exact event. Injection
+  /// during the reboot itself is survivable (back-to-back failures) and
+  /// bounded by a retry watchdog. Non-owning; must outlive the device.
+  void set_fault_hook(power::FaultHook* hook) { power_.set_fault_hook(hook); }
+
   // --- primitives (return false on power failure during the operation) ---
 
   /// DMA transfer NVM -> VM.
@@ -98,7 +106,8 @@ class Msp430Device {
   [[nodiscard]] bool charge(double latency_us, double extra_power_w,
                             CostTag tag);
   [[nodiscard]] bool charge_split(double latency_us, double energy_j,
-                                  const double* tag_share_us);
+                                  const double* tag_share_us,
+                                  power::FaultPoint point);
   void power_cycle();
 
   /// Emit one unit-busy span starting at `t_us` (the operation's start).

@@ -54,6 +54,9 @@ std::int16_t IntermittentEngine::requantize(std::int64_t psum,
 void IntermittentEngine::commit_job() {
   ++job_counter_;
   device_.nvm().write_u32(model_.progress_addr(), job_counter_);
+  if (probe_ != nullptr) {
+    probe_->on_commit(job_counter_);
+  }
   telemetry::TraceSink& sink = device_.trace_sink();
   if (sink.enabled()) {
     telemetry::Event event;
@@ -64,6 +67,27 @@ void IntermittentEngine::commit_job() {
     event.seq = job_counter_;
     sink.record(event);
   }
+}
+
+bool IntermittentEngine::recover_progress() {
+  if (!device_.dma_read(8)) {  // progress indicator re-read
+    return false;
+  }
+  const std::uint32_t persisted =
+      device_.nvm().read_u32(model_.progress_addr());
+  if (persisted != job_counter_) {
+    throw std::runtime_error(
+        "IntermittentEngine: progress counter mismatch after recovery — "
+        "NVM holds " + std::to_string(persisted) +
+        " but the engine committed " + std::to_string(job_counter_) +
+        " jobs (crash-consistency violation: a commit was torn, skipped "
+        "or reordered)");
+  }
+  if (probe_ != nullptr) {
+    probe_->on_recovery(persisted, device_.vm_epoch());
+  }
+  pending_recovery_ = false;
+  return true;
 }
 
 void IntermittentEngine::emit_scope(telemetry::EventClass cls,
@@ -172,11 +196,8 @@ bool IntermittentEngine::run_gemm_task(const LoweredNode& ln) {
           if (++retries > kMaxOpRetries) {
             retry_overflow(ln.name + " bias-fill task");
           }
-          if (pending_recovery_) {
-            if (!device_.dma_read(8)) {
-              continue;
-            }
-            pending_recovery_ = false;
+          if (pending_recovery_ && !recover_progress()) {
+            continue;
           }
           if (!device_.dma_read(rows_in * 4) ||
               !device_.cpu_work(jobs * config_.cpu_cycles_per_job) ||
@@ -221,11 +242,8 @@ bool IntermittentEngine::run_gemm_task(const LoweredNode& ln) {
           if (++retries > kMaxOpRetries) {
             retry_overflow(ln.name + " task");
           }
-          if (pending_recovery_) {
-            if (!device_.dma_read(8)) {
-              continue;
-            }
-            pending_recovery_ = false;
+          if (pending_recovery_ && !recover_progress()) {
+            continue;
           }
           if (!device_.dma_read(2) || !device_.dma_read(2) ||
               !device_.dma_read(rows_in * bk_actual * 2) ||
@@ -332,11 +350,8 @@ bool IntermittentEngine::run_gemm_immediate(const LoweredNode& ln) {
           if (++retries > kMaxOpRetries) {
             retry_overflow(ln.name + " bias-fill");
           }
-          if (pending_recovery_) {
-            if (!device_.dma_read(8)) {
-              continue;
-            }
-            pending_recovery_ = false;
+          if (pending_recovery_ && !recover_progress()) {
+            continue;
           }
           if (!device_.dma_read(rows_in * 4)) {  // bias tile
             pending_recovery_ = true;
@@ -391,11 +406,8 @@ bool IntermittentEngine::run_gemm_immediate(const LoweredNode& ln) {
             retry_overflow(ln.name + " op");
           }
           // --- context fetch (charged; repeated after power failures) ---
-          if (pending_recovery_) {
-            if (!device_.dma_read(8)) {  // progress indicator
-              continue;
-            }
-            pending_recovery_ = false;
+          if (pending_recovery_ && !recover_progress()) {
+            continue;
           }
           // Two extra NVM reads to locate the nonzero block (BSR row
           // pointer + column index; paper §III-D).
@@ -600,11 +612,9 @@ bool IntermittentEngine::run_pool(const LoweredNode& ln) {
         if (++retries > kMaxOpRetries) {
           retry_overflow(ln.name + " pool row");
         }
-        if ((immediate || task_atomic) && pending_recovery_) {
-          if (!device_.dma_read(8)) {
-            continue;
-          }
-          pending_recovery_ = false;
+        if ((immediate || task_atomic) && pending_recovery_ &&
+            !recover_progress()) {
+          continue;
         }
         // Fetch the input window rows for this output row.
         bool fetch_failed = false;
@@ -700,11 +710,8 @@ bool IntermittentEngine::run_copy(const LoweredNode& ln) {
         if (++retries > kMaxOpRetries) {
           retry_overflow(ln.name + " copy chunk");
         }
-        if (immediate && pending_recovery_) {
-          if (!device_.dma_read(8)) {
-            continue;
-          }
-          pending_recovery_ = false;
+        if (immediate && pending_recovery_ && !recover_progress()) {
+          continue;
         }
         if (!device_.dma_read(count * 2)) {
           if (!immediate) {
@@ -766,10 +773,10 @@ InferenceResult IntermittentEngine::run(const nn::Tensor& sample) {
   bool finished = false;
   std::size_t attempts = 0;
   while (!finished) {
-    if (attempts++ > max_restarts) {
-      result.stats.completed = false;
-      break;
+    if (probe_ != nullptr) {
+      probe_->on_attempt(attempts);
     }
+    ++attempts;
     job_counter_ = 0;
     pending_recovery_ = false;
 
@@ -828,10 +835,19 @@ InferenceResult IntermittentEngine::run(const nn::Tensor& sample) {
       if (!ok) {
         // Only kAccumulateInVm reports failure: restart from scratch.
         interrupted = true;
-        ++result.stats.restarts;
       }
     }
-    finished = !interrupted;
+    if (interrupted) {
+      if (result.stats.restarts >= max_restarts) {
+        // Give up: the restart budget is spent. restarts stays exactly at
+        // max_restarts — the aborted attempt is not another restart.
+        result.stats.completed = false;
+        break;
+      }
+      ++result.stats.restarts;
+    } else {
+      finished = true;
+    }
   }
   emit_scope(telemetry::EventClass::kInference, telemetry::EventPhase::kEnd,
              "inference", attempts);

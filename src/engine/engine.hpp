@@ -11,6 +11,7 @@
 // only viable under continuous power.
 
 #include "engine/deploy.hpp"
+#include "engine/probe.hpp"
 #include "telemetry/sink.hpp"
 
 namespace iprune::engine {
@@ -60,8 +61,13 @@ class IntermittentEngine {
   /// Run one end-to-end inference for a single sample (per-sample shape,
   /// no batch dimension). In kAccumulateInVm mode the inference restarts
   /// from scratch after each power failure, up to `max_restarts`; if it
-  /// still cannot finish, stats.completed is false (nontermination).
+  /// still cannot finish, stats.completed is false (nontermination) with
+  /// stats.restarts == max_restarts exactly.
   InferenceResult run(const nn::Tensor& sample);
+
+  /// Observe progress commits / recoveries (nullptr disables). Non-owning;
+  /// the probe must outlive any run() it observes.
+  void set_probe(StateProbe* probe) { probe_ = probe; }
 
   std::size_t max_restarts = 64;
 
@@ -96,6 +102,12 @@ class IntermittentEngine {
 
   void commit_job();  // bump + persist the job counter
 
+  /// Post-failure recovery: charge the progress-indicator re-read, then
+  /// verify the persisted counter matches the engine's own job count — the
+  /// core crash-consistency assertion (a mismatch means a commit was torn
+  /// or reordered). Returns false if the re-read itself browned out.
+  [[nodiscard]] bool recover_progress();
+
   /// Emit a scoped telemetry event (inference/layer/tile begin-end)
   /// stamped with the current simulated time. No-op under the null sink.
   void emit_scope(telemetry::EventClass cls, telemetry::EventPhase phase,
@@ -107,6 +119,7 @@ class IntermittentEngine {
   std::uint32_t job_counter_ = 0;
   bool pending_recovery_ = false;
   InferenceStats* active_stats_ = nullptr;
+  StateProbe* probe_ = nullptr;
 };
 
 }  // namespace iprune::engine

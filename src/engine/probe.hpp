@@ -1,0 +1,38 @@
+#pragma once
+// Observer interface over the engine's crash-consistency state machine.
+//
+// The fault-injection checker (src/fault) needs to see the engine's
+// progress counters as they are committed and recovered, without the
+// engine knowing anything about schedules or golden runs. A StateProbe
+// receives one callback per attempt start, per persisted job commit, and
+// per post-failure progress re-read; all callbacks are no-ops by default
+// and the engine runs probe-free (nullptr) at zero cost.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace iprune::engine {
+
+class StateProbe {
+ public:
+  virtual ~StateProbe() = default;
+
+  /// A fresh inference attempt begins (attempt 0 is the first; later
+  /// attempts only occur in kAccumulateInVm restart-from-scratch mode).
+  virtual void on_attempt(std::size_t attempt) { (void)attempt; }
+
+  /// The job counter was persisted to NVM (one call per committed job in
+  /// kImmediate, one per committed task in kTaskAtomic).
+  virtual void on_commit(std::uint32_t job_counter) { (void)job_counter; }
+
+  /// Recovery after a power failure re-read the persisted progress
+  /// counter. The engine has already asserted it matches its own count;
+  /// `vm_epoch` identifies the power cycle the device resumed into.
+  virtual void on_recovery(std::uint32_t persisted_counter,
+                           std::uint64_t vm_epoch) {
+    (void)persisted_counter;
+    (void)vm_epoch;
+  }
+};
+
+}  // namespace iprune::engine

@@ -1,0 +1,407 @@
+#include "fault/checker.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "engine/lowering.hpp"
+#include "engine/probe.hpp"
+#include "fault/injector.hpp"
+#include "runtime/parallel.hpp"
+
+namespace iprune::fault {
+
+namespace {
+
+using engine::PreservationMode;
+
+/// Records the commit/recovery stream and flags the first counter
+/// violation (non-contiguous commit or recovery that re-read a stale
+/// counter). The engine independently throws on recovery mismatch; the
+/// monitor catches ordering bugs the engine cannot see from inside.
+class CommitMonitor final : public engine::StateProbe {
+ public:
+  void on_commit(std::uint32_t job_counter) override {
+    if (job_counter != last_commit_ + 1 && violation_.empty()) {
+      violation_ = "commit counter jumped from " +
+                   std::to_string(last_commit_) + " to " +
+                   std::to_string(job_counter) +
+                   " (commits must be strictly +1 monotonic)";
+    }
+    last_commit_ = job_counter;
+  }
+
+  void on_recovery(std::uint32_t persisted_counter,
+                   std::uint64_t /*vm_epoch*/) override {
+    ++recoveries_;
+    if (persisted_counter != last_commit_ && violation_.empty()) {
+      violation_ = "recovery re-read counter " +
+                   std::to_string(persisted_counter) + " but " +
+                   std::to_string(last_commit_) + " jobs were committed";
+    }
+  }
+
+  [[nodiscard]] const std::string& violation() const { return violation_; }
+  [[nodiscard]] std::uint32_t last_commit() const { return last_commit_; }
+  [[nodiscard]] std::size_t recoveries() const { return recoveries_; }
+
+ private:
+  std::uint32_t last_commit_ = 0;
+  std::size_t recoveries_ = 0;
+  std::string violation_;
+};
+
+}  // namespace
+
+const char* preservation_mode_name(PreservationMode mode) {
+  switch (mode) {
+    case PreservationMode::kImmediate:
+      return "immediate";
+    case PreservationMode::kTaskAtomic:
+      return "task";
+    case PreservationMode::kAccumulateInVm:
+      return "accumulate";
+  }
+  return "?";
+}
+
+PreservationMode parse_preservation_mode(const std::string& name) {
+  if (name == "immediate") {
+    return PreservationMode::kImmediate;
+  }
+  if (name == "task") {
+    return PreservationMode::kTaskAtomic;
+  }
+  if (name == "accumulate") {
+    return PreservationMode::kAccumulateInVm;
+  }
+  throw std::invalid_argument("unknown preservation mode '" + name + "'");
+}
+
+std::string ScheduleOutcome::repro() const {
+  return std::string("mode=") + preservation_mode_name(mode) +
+         ";schedule=" + schedule.describe();
+}
+
+std::string ScheduleOutcome::to_string() const {
+  std::string out = repro();
+  if (passed) {
+    out += " :: ok";
+  } else {
+    out += " :: FAIL: " + failure;
+  }
+  out += " (outages=" + std::to_string(injected_outages) +
+         " failures=" + std::to_string(power_failures) +
+         " reexecuted=" + std::to_string(reexecuted_jobs) +
+         " last_commit=" + std::to_string(last_committed_job) + ")";
+  return out;
+}
+
+std::size_t CheckReport::failed() const {
+  std::size_t count = 0;
+  for (const ScheduleOutcome& o : outcomes) {
+    if (!o.passed) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+const ScheduleOutcome* CheckReport::first_failure() const {
+  for (const ScheduleOutcome& o : outcomes) {
+    if (!o.passed) {
+      return &o;
+    }
+  }
+  return nullptr;
+}
+
+struct ConsistencyChecker::RunArtifacts {
+  engine::InferenceResult result;
+  bool threw = false;
+  std::string error;
+  std::uint64_t injected = 0;
+  std::uint64_t total_events = 0;
+  std::uint64_t write_events = 0;
+  std::vector<std::uint64_t> outage_events;
+  std::string commit_violation;
+  std::uint32_t last_commit = 0;
+  std::string layout_error;
+  std::uint32_t persisted_counter = 0;
+};
+
+ConsistencyChecker::ConsistencyChecker(const nn::Graph& graph,
+                                       nn::Tensor calibration,
+                                       CheckerConfig config)
+    : graph_(graph.clone()),
+      calibration_(std::move(calibration)),
+      config_(config) {
+  // Jobs per atomic task: a kTaskAtomic failure re-executes at most one
+  // task — (block rows x spatial tile) outputs for a GEMM, one output row
+  // for a pool, one chunk for a copy.
+  nn::Graph probe = graph_.clone();
+  engine::EngineConfig ecfg = config_.engine;
+  ecfg.mode = PreservationMode::kTaskAtomic;
+  const engine::LoweredGraph lowered =
+      engine::lower_graph(probe, ecfg, config_.device.memory);
+  for (const engine::LoweredNode& ln : lowered.nodes) {
+    std::size_t jobs = 1;
+    if (ln.is_gemm()) {
+      jobs = std::min(ln.plan.br, ln.plan.rows) *
+             std::min(ln.plan.bc, ln.plan.cols);
+    } else if (ln.kind == engine::LoweredKind::kMaxPool ||
+               ln.kind == engine::LoweredKind::kAvgPool) {
+      jobs = ln.out_shape.back();
+    }
+    max_task_jobs_ = std::max(max_task_jobs_, jobs);
+  }
+}
+
+ConsistencyChecker::RunArtifacts ConsistencyChecker::execute(
+    const nn::Tensor& sample, const OutageSchedule& schedule,
+    PreservationMode mode, std::uint64_t event_budget) const {
+  RunArtifacts art;
+  nn::Graph graph = graph_.clone();
+  device::Msp430Device device(
+      config_.device,
+      std::make_unique<power::ConstantSupply>(config_.supply_w),
+      config_.buffer);
+  engine::EngineConfig ecfg = config_.engine;
+  ecfg.mode = mode;
+  engine::DeployedModel model(graph, ecfg, device, calibration_);
+  FaultInjector injector(schedule);
+  injector.set_event_budget(event_budget);
+  device.set_fault_hook(&injector);
+  engine::IntermittentEngine eng(model, device);
+  eng.max_restarts = config_.max_restarts;
+  CommitMonitor monitor;
+  eng.set_probe(&monitor);
+
+  try {
+    art.result = eng.run(sample);
+  } catch (const std::exception& e) {
+    art.threw = true;
+    art.error = e.what();
+  }
+  device.set_fault_hook(nullptr);
+
+  art.injected = injector.injected();
+  art.total_events = injector.total_events();
+  art.write_events = injector.write_events();
+  art.outage_events = injector.outage_events();
+  art.commit_violation = monitor.violation();
+  art.last_commit = monitor.last_commit();
+  art.layout_error = model.validate_layout(device.nvm());
+  art.persisted_counter = device.nvm().read_u32(model.progress_addr());
+  return art;
+}
+
+std::vector<float> ConsistencyChecker::golden(const nn::Tensor& sample) const {
+  RunArtifacts art = execute(sample, OutageSchedule::none(),
+                             PreservationMode::kAccumulateInVm,
+                             FaultInjector::kNoBudget);
+  if (art.threw || !art.result.stats.completed) {
+    throw std::runtime_error(
+        "ConsistencyChecker: golden run failed under continuous power" +
+        (art.error.empty() ? std::string() : ": " + art.error));
+  }
+  return art.result.logits;
+}
+
+ScheduleOutcome ConsistencyChecker::check_against(
+    const nn::Tensor& sample, const std::vector<float>& golden_logits,
+    const OutageSchedule& schedule, PreservationMode mode,
+    std::uint64_t event_budget) const {
+  RunArtifacts art = execute(sample, schedule, mode, event_budget);
+
+  ScheduleOutcome o;
+  o.schedule = schedule;
+  o.mode = mode;
+  o.completed = !art.threw && art.result.stats.completed;
+  o.injected_outages = art.injected;
+  o.total_events = art.total_events;
+  o.power_failures = art.result.stats.power_failures;
+  o.reexecuted_jobs = art.result.stats.reexecuted_jobs;
+  o.last_committed_job = art.last_commit;
+  o.outage_events = art.outage_events;
+
+  const bool preserving = mode != PreservationMode::kAccumulateInVm;
+
+  // Invariants, most fundamental first; the first violation is the verdict.
+  if (art.threw) {
+    o.failure = "exception: " + art.error;
+    return o;
+  }
+  if (!o.completed) {
+    o.failure = "did not complete within " +
+                std::to_string(config_.max_restarts) + " restarts";
+    return o;
+  }
+  if (preserving && !art.commit_violation.empty()) {
+    o.failure = art.commit_violation;
+    return o;
+  }
+  if (art.result.logits.size() != golden_logits.size()) {
+    o.failure = "logit count " + std::to_string(art.result.logits.size()) +
+                " != golden " + std::to_string(golden_logits.size());
+    o.first_divergence = 0;
+    return o;
+  }
+  for (std::size_t i = 0; i < golden_logits.size(); ++i) {
+    if (art.result.logits[i] != golden_logits[i]) {
+      o.first_divergence = static_cast<std::int64_t>(i);
+      o.failure = "logit " + std::to_string(i) + " diverged: got " +
+                  std::to_string(art.result.logits[i]) + ", golden " +
+                  std::to_string(golden_logits[i]);
+      return o;
+    }
+  }
+  if (preserving) {
+    const std::size_t bound =
+        mode == PreservationMode::kImmediate
+            ? o.power_failures
+            : o.power_failures * max_task_jobs_;
+    if (o.reexecuted_jobs > bound) {
+      o.failure = "re-executed " + std::to_string(o.reexecuted_jobs) +
+                  " jobs > bound " + std::to_string(bound) + " (" +
+                  std::to_string(o.power_failures) + " failures, mode " +
+                  preservation_mode_name(mode) + ")";
+      return o;
+    }
+    if (art.persisted_counter != art.last_commit) {
+      o.failure = "persisted counter " +
+                  std::to_string(art.persisted_counter) +
+                  " != committed jobs " + std::to_string(art.last_commit);
+      return o;
+    }
+    // In kImmediate every preserved output is its own commit; kTaskAtomic
+    // commits once per task, so only the persisted-counter check applies.
+    if (mode == PreservationMode::kImmediate &&
+        art.last_commit != art.result.stats.preserved_outputs) {
+      o.failure = "committed jobs " + std::to_string(art.last_commit) +
+                  " != preserved outputs " +
+                  std::to_string(art.result.stats.preserved_outputs);
+      return o;
+    }
+  }
+  if (!art.layout_error.empty()) {
+    o.failure = "NVM layout invalid after run: " + art.layout_error;
+    return o;
+  }
+  o.passed = true;
+  return o;
+}
+
+std::uint64_t ConsistencyChecker::resolve_budget(
+    const nn::Tensor& sample, PreservationMode mode) const {
+  if (config_.event_budget != 0) {
+    return config_.event_budget;
+  }
+  return count_events(sample, mode) * 256 + 65536;
+}
+
+ScheduleOutcome ConsistencyChecker::check(const nn::Tensor& sample,
+                                          const OutageSchedule& schedule,
+                                          PreservationMode mode) const {
+  return check_against(sample, golden(sample), schedule, mode,
+                       resolve_budget(sample, mode));
+}
+
+CheckReport ConsistencyChecker::check_schedules(
+    const nn::Tensor& sample, const std::vector<OutageSchedule>& schedules,
+    PreservationMode mode, runtime::ThreadPool* pool) const {
+  const std::vector<float> golden_logits = golden(sample);
+  const std::uint64_t budget = resolve_budget(sample, mode);
+  CheckReport report;
+  report.outcomes = runtime::parallel_map(
+      runtime::ThreadPool::resolve(pool), schedules.size(),
+      [&](std::size_t index) {
+        return check_against(sample, golden_logits, schedules[index], mode,
+                             budget);
+      });
+  return report;
+}
+
+std::uint64_t ConsistencyChecker::count_events(const nn::Tensor& sample,
+                                               PreservationMode mode) const {
+  return execute(sample, OutageSchedule::none(), mode,
+                 FaultInjector::kNoBudget)
+      .total_events;
+}
+
+std::uint64_t ConsistencyChecker::count_write_boundaries(
+    const nn::Tensor& sample, PreservationMode mode) const {
+  return execute(sample, OutageSchedule::none(), mode,
+                 FaultInjector::kNoBudget)
+      .write_events;
+}
+
+std::vector<OutageSchedule> ConsistencyChecker::exhaustive_write_schedules(
+    const nn::Tensor& sample, PreservationMode mode) const {
+  const std::uint64_t boundaries = count_write_boundaries(sample, mode);
+  std::vector<OutageSchedule> schedules;
+  schedules.reserve(boundaries);
+  for (std::uint64_t k = 0; k < boundaries; ++k) {
+    schedules.push_back(OutageSchedule::at_write(k));
+  }
+  return schedules;
+}
+
+ScheduleOutcome ConsistencyChecker::shrink(const nn::Tensor& sample,
+                                           const ScheduleOutcome& failed)
+    const {
+  const std::vector<float> golden_logits = golden(sample);
+  const std::uint64_t budget = resolve_budget(sample, failed.mode);
+  const auto try_events = [&](const std::vector<std::uint64_t>& events) {
+    return check_against(sample, golden_logits,
+                         OutageSchedule::at_events(events), failed.mode,
+                         budget);
+  };
+
+  // The realized outage ordinals replayed as a fixed schedule reproduce
+  // the run exactly (deterministic simulation); if they somehow don't, the
+  // original outcome is already the best repro we have.
+  std::vector<std::uint64_t> events = failed.outage_events;
+  ScheduleOutcome best = try_events(events);
+  if (best.passed) {
+    return failed;
+  }
+
+  // ddmin: drop chunks while the failure persists, halving the chunk size
+  // whenever a full scan removes nothing.
+  std::size_t chunk = (events.size() + 1) / 2;
+  while (chunk >= 1 && events.size() > 1) {
+    bool reduced = false;
+    for (std::size_t start = 0; start < events.size(); start += chunk) {
+      std::vector<std::uint64_t> candidate;
+      candidate.reserve(events.size());
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        if (i < start || i >= start + chunk) {
+          candidate.push_back(events[i]);
+        }
+      }
+      if (candidate.empty()) {
+        continue;
+      }
+      ScheduleOutcome o = try_events(candidate);
+      if (!o.passed) {
+        events = std::move(candidate);
+        best = std::move(o);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (chunk == 1) {
+        break;
+      }
+      chunk = (chunk + 1) / 2;
+    } else {
+      chunk = std::min(chunk, (events.size() + 1) / 2);
+    }
+  }
+  return best;
+}
+
+}  // namespace iprune::fault

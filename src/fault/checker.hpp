@@ -1,0 +1,164 @@
+#pragma once
+// Differential crash-consistency checker.
+//
+// The checker runs one model under continuous power (the conventional
+// accumulate-in-VM flow) to obtain golden logits, then replays the same
+// model under a forced-outage schedule in an intermittent-safe
+// preservation mode and asserts the full crash-consistency contract:
+//
+//   1. the run completes (progress is made despite every injected outage);
+//   2. logits are bit-identical to the golden run;
+//   3. progress commits are strictly monotonic (+1 per commit, no torn or
+//      reordered counter writes) and every post-failure recovery re-reads
+//      the exact persisted counter (the engine throws otherwise);
+//   4. re-execution is bounded: kImmediate loses at most one job per power
+//      failure, kTaskAtomic at most one task's worth of jobs;
+//   5. the NVM layout is still valid afterwards and the persisted counter
+//      equals the number of committed jobs.
+//
+// Any violation yields a ScheduleOutcome carrying a one-line repro
+// (mode + schedule + failing indices); shrink() reduces a failing schedule
+// to a minimal kFixed ordinal list via ddmin over the realized outages.
+// Every run uses a fresh device and a fresh Graph clone, so batches of
+// schedules check in parallel over runtime::parallel_map with
+// deterministic, index-ordered results.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "fault/schedule.hpp"
+#include "nn/graph.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace iprune::fault {
+
+/// "immediate" | "task" | "accumulate".
+const char* preservation_mode_name(engine::PreservationMode mode);
+/// Inverse of preservation_mode_name; throws std::invalid_argument.
+engine::PreservationMode parse_preservation_mode(const std::string& name);
+
+struct CheckerConfig {
+  device::DeviceConfig device = device::DeviceConfig::msp430fr5994();
+  power::BufferConfig buffer;
+  engine::EngineConfig engine;  // .mode is overridden per check
+  /// Supply power for every run (continuous by default: all outages are
+  /// injected, none organic, so reexecution bounds are exact).
+  double supply_w = power::SupplyPresets::kContinuousW;
+  std::size_t max_restarts = 64;
+  /// Chargeable-event watchdog; 0 = auto (clean-run events x 256 + 65536).
+  /// A run exceeding the budget is reported as a nontermination failure
+  /// instead of looping forever.
+  std::uint64_t event_budget = 0;
+};
+
+/// Verdict of one (schedule, mode) replay against the golden run.
+struct ScheduleOutcome {
+  OutageSchedule schedule;
+  engine::PreservationMode mode = engine::PreservationMode::kImmediate;
+  bool passed = false;
+  bool completed = false;
+  std::string failure;  // empty when passed; first violated invariant
+  std::uint64_t injected_outages = 0;
+  std::uint64_t total_events = 0;
+  std::size_t power_failures = 0;
+  std::size_t reexecuted_jobs = 0;
+  /// First logit index differing from golden (-1 = none).
+  std::int64_t first_divergence = -1;
+  /// Job counter at the last observed commit (the failing job index of a
+  /// divergent run is at most this + 1).
+  std::uint32_t last_committed_job = 0;
+  /// Realized outage ordinals — replaying them as a kFixed schedule
+  /// reproduces this run exactly (the shrink basis).
+  std::vector<std::uint64_t> outage_events;
+
+  /// One-line replay token, e.g. "mode=immediate;schedule=fixed:3,17".
+  /// `fault_check --repro '<token>'` re-runs it.
+  [[nodiscard]] std::string repro() const;
+  /// Human-readable verdict (repro + failure + counters).
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct CheckReport {
+  std::vector<ScheduleOutcome> outcomes;
+
+  [[nodiscard]] std::size_t failed() const;
+  /// First failing outcome in schedule order, nullptr when all passed.
+  [[nodiscard]] const ScheduleOutcome* first_failure() const;
+};
+
+class ConsistencyChecker {
+ public:
+  /// Snapshots `graph` (deep clone) and the calibration batch; every run
+  /// deploys a fresh clone onto a fresh device, so the checker never
+  /// mutates caller state and check_schedules() parallelizes safely.
+  ConsistencyChecker(const nn::Graph& graph, nn::Tensor calibration,
+                     CheckerConfig config = {});
+
+  /// Golden logits: accumulate-in-VM under continuous power, no injection.
+  [[nodiscard]] std::vector<float> golden(const nn::Tensor& sample) const;
+
+  /// Check one schedule under one preservation mode.
+  [[nodiscard]] ScheduleOutcome check(const nn::Tensor& sample,
+                                      const OutageSchedule& schedule,
+                                      engine::PreservationMode mode) const;
+
+  /// Check a batch of schedules (golden run computed once, replays fanned
+  /// out over the pool, results in schedule order regardless of lanes).
+  [[nodiscard]] CheckReport check_schedules(
+      const nn::Tensor& sample, const std::vector<OutageSchedule>& schedules,
+      engine::PreservationMode mode,
+      runtime::ThreadPool* pool = nullptr) const;
+
+  /// Chargeable events / NVM-write boundaries of one clean (no-injection)
+  /// inference in `mode` — the domain of exhaustive sweeps.
+  [[nodiscard]] std::uint64_t count_events(
+      const nn::Tensor& sample, engine::PreservationMode mode) const;
+  [[nodiscard]] std::uint64_t count_write_boundaries(
+      const nn::Tensor& sample, engine::PreservationMode mode) const;
+
+  /// One kAtWrite schedule per NVM-write boundary of a clean run in
+  /// `mode` — "fail at every preserved-output commit k" in kImmediate.
+  [[nodiscard]] std::vector<OutageSchedule> exhaustive_write_schedules(
+      const nn::Tensor& sample, engine::PreservationMode mode) const;
+
+  /// Minimize a failing schedule: replay its realized outage ordinals as a
+  /// kFixed schedule, then ddmin the ordinal list down to a subset that
+  /// still fails. Returns the reduced failing outcome.
+  [[nodiscard]] ScheduleOutcome shrink(const nn::Tensor& sample,
+                                       const ScheduleOutcome& failed) const;
+
+  /// Upper bound on jobs lost by one mid-task failure in kTaskAtomic
+  /// (max over lowered nodes of jobs per atomic task).
+  [[nodiscard]] std::size_t max_task_jobs() const { return max_task_jobs_; }
+
+  [[nodiscard]] const CheckerConfig& config() const { return config_; }
+
+ private:
+  struct RunArtifacts;
+
+  /// Deploy a fresh clone and run `sample` once with the given injector
+  /// state. Engine/injector exceptions are captured, not propagated.
+  RunArtifacts execute(const nn::Tensor& sample,
+                       const OutageSchedule& schedule,
+                       engine::PreservationMode mode,
+                       std::uint64_t event_budget) const;
+
+  ScheduleOutcome check_against(const nn::Tensor& sample,
+                                const std::vector<float>& golden_logits,
+                                const OutageSchedule& schedule,
+                                engine::PreservationMode mode,
+                                std::uint64_t event_budget) const;
+
+  [[nodiscard]] std::uint64_t resolve_budget(const nn::Tensor& sample,
+                                             engine::PreservationMode mode)
+      const;
+
+  nn::Graph graph_;
+  nn::Tensor calibration_;
+  CheckerConfig config_;
+  std::size_t max_task_jobs_ = 1;
+};
+
+}  // namespace iprune::fault

@@ -1,0 +1,214 @@
+#include "fault/schedule.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace iprune::fault {
+
+namespace {
+
+[[noreturn]] void parse_error(const std::string& text,
+                              const std::string& why) {
+  throw std::invalid_argument("OutageSchedule::parse: " + why + " in \"" +
+                              text + "\"");
+}
+
+std::uint64_t parse_u64(const std::string& text, const std::string& token) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(token, &used);
+    if (used != token.size()) {
+      parse_error(text, "trailing characters after integer '" + token + "'");
+    }
+    return value;
+  } catch (const std::invalid_argument&) {
+    parse_error(text, "expected integer, got '" + token + "'");
+  } catch (const std::out_of_range&) {
+    parse_error(text, "integer out of range: '" + token + "'");
+  }
+}
+
+double parse_probability(const std::string& text, const std::string& token) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(token, &used);
+    if (used != token.size() || !(value >= 0.0) || !(value <= 1.0)) {
+      parse_error(text, "probability must be in [0, 1], got '" + token + "'");
+    }
+    return value;
+  } catch (const std::invalid_argument&) {
+    parse_error(text, "expected probability, got '" + token + "'");
+  }
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    const std::size_t end = text.find(sep, begin);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(begin));
+      break;
+    }
+    parts.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return parts;
+}
+
+std::string format_probability(double p) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", p);
+  return buf;
+}
+
+}  // namespace
+
+const char* schedule_mode_name(ScheduleMode mode) {
+  switch (mode) {
+    case ScheduleMode::kNone:
+      return "none";
+    case ScheduleMode::kFixed:
+      return "fixed";
+    case ScheduleMode::kEveryNth:
+      return "every";
+    case ScheduleMode::kRandom:
+      return "random";
+    case ScheduleMode::kAtWrite:
+      return "write";
+  }
+  return "?";
+}
+
+OutageSchedule OutageSchedule::none() { return {}; }
+
+OutageSchedule OutageSchedule::at_events(std::vector<std::uint64_t> events) {
+  OutageSchedule s;
+  s.mode = ScheduleMode::kFixed;
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+  s.fixed_events = std::move(events);
+  return s;
+}
+
+OutageSchedule OutageSchedule::every_nth(std::uint64_t n,
+                                         std::uint64_t max_outages) {
+  if (n == 0) {
+    throw std::invalid_argument("OutageSchedule::every_nth: n must be >= 1");
+  }
+  OutageSchedule s;
+  s.mode = ScheduleMode::kEveryNth;
+  s.every_n = n;
+  s.max_outages = max_outages;
+  return s;
+}
+
+OutageSchedule OutageSchedule::random(std::uint64_t seed, double probability,
+                                      std::uint64_t max_outages) {
+  if (!(probability >= 0.0) || !(probability <= 1.0)) {
+    throw std::invalid_argument(
+        "OutageSchedule::random: probability must be in [0, 1]");
+  }
+  OutageSchedule s;
+  s.mode = ScheduleMode::kRandom;
+  s.seed = seed;
+  s.probability = probability;
+  s.max_outages = max_outages;
+  return s;
+}
+
+OutageSchedule OutageSchedule::at_write(std::uint64_t k) {
+  OutageSchedule s;
+  s.mode = ScheduleMode::kAtWrite;
+  s.write_index = k;
+  return s;
+}
+
+std::string OutageSchedule::describe() const {
+  std::string out;
+  switch (mode) {
+    case ScheduleMode::kNone:
+      return "none";
+    case ScheduleMode::kFixed: {
+      out = "fixed:";
+      for (std::size_t i = 0; i < fixed_events.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        out += std::to_string(fixed_events[i]);
+      }
+      break;
+    }
+    case ScheduleMode::kEveryNth:
+      out = "every:" + std::to_string(every_n);
+      break;
+    case ScheduleMode::kRandom:
+      out = "random:seed=" + std::to_string(seed) +
+            ";p=" + format_probability(probability);
+      break;
+    case ScheduleMode::kAtWrite:
+      out = "write:" + std::to_string(write_index);
+      break;
+  }
+  if (max_outages != kUnlimited) {
+    out += ";max=" + std::to_string(max_outages);
+  }
+  return out;
+}
+
+OutageSchedule OutageSchedule::parse(const std::string& text) {
+  if (text == "none") {
+    return none();
+  }
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos) {
+    parse_error(text, "missing ':' after mode");
+  }
+  const std::string head = text.substr(0, colon);
+  std::vector<std::string> fields = split(text.substr(colon + 1), ';');
+
+  // A trailing "max=N" field applies to every mode.
+  std::uint64_t max_outages = kUnlimited;
+  if (!fields.empty() && fields.back().rfind("max=", 0) == 0) {
+    max_outages = parse_u64(text, fields.back().substr(4));
+    fields.pop_back();
+  }
+
+  OutageSchedule s;
+  if (head == "fixed") {
+    if (fields.size() != 1) {
+      parse_error(text, "fixed takes one comma-separated event list");
+    }
+    std::vector<std::uint64_t> events;
+    if (!fields[0].empty()) {
+      for (const std::string& token : split(fields[0], ',')) {
+        events.push_back(parse_u64(text, token));
+      }
+    }
+    s = at_events(std::move(events));
+  } else if (head == "every") {
+    if (fields.size() != 1) {
+      parse_error(text, "every takes a single period");
+    }
+    s = every_nth(parse_u64(text, fields[0]));
+  } else if (head == "random") {
+    if (fields.size() != 2 || fields[0].rfind("seed=", 0) != 0 ||
+        fields[1].rfind("p=", 0) != 0) {
+      parse_error(text, "random takes seed=<u64>;p=<prob>");
+    }
+    s = random(parse_u64(text, fields[0].substr(5)),
+               parse_probability(text, fields[1].substr(2)));
+  } else if (head == "write") {
+    if (fields.size() != 1) {
+      parse_error(text, "write takes a single write ordinal");
+    }
+    s = at_write(parse_u64(text, fields[0]));
+  } else {
+    parse_error(text, "unknown mode '" + head + "'");
+  }
+  s.max_outages = max_outages;
+  return s;
+}
+
+}  // namespace iprune::fault

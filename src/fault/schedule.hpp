@@ -1,0 +1,70 @@
+#pragma once
+// Deterministic outage schedules for power-failure fault injection.
+//
+// A schedule decides, as a pure function of the chargeable-event stream
+// (every device primitive is one event, ordinals start at 0), where forced
+// outages land:
+//   kFixed      fail at an explicit sorted list of global event ordinals
+//   kEveryNth   fail every nth event (1-based: events n-1, 2n-1, ...)
+//   kRandom     fail each event with probability p, seeded (xoshiro)
+//   kAtWrite    fail at exactly the kth NVM-write boundary (exhaustive
+//               sweeps instantiate one schedule per k)
+// Every schedule round-trips through describe()/parse(), which is how the
+// consistency checker prints a minimized repro and how `fault_check
+// --repro` replays one.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace iprune::fault {
+
+enum class ScheduleMode : std::uint8_t {
+  kNone = 0,
+  kFixed,
+  kEveryNth,
+  kRandom,
+  kAtWrite,
+};
+
+const char* schedule_mode_name(ScheduleMode mode);
+
+struct OutageSchedule {
+  static constexpr std::uint64_t kUnlimited =
+      std::numeric_limits<std::uint64_t>::max();
+
+  ScheduleMode mode = ScheduleMode::kNone;
+  /// kFixed: global event ordinals, kept sorted + deduplicated.
+  std::vector<std::uint64_t> fixed_events;
+  /// kEveryNth: period (>= 1).
+  std::uint64_t every_n = 0;
+  /// kRandom: RNG seed and per-event outage probability.
+  std::uint64_t seed = 0;
+  double probability = 0.0;
+  /// kAtWrite: 0-based ordinal among NVM-write events.
+  std::uint64_t write_index = 0;
+  /// Stop injecting after this many forced outages (all modes).
+  std::uint64_t max_outages = kUnlimited;
+
+  static OutageSchedule none();
+  static OutageSchedule at_events(std::vector<std::uint64_t> events);
+  static OutageSchedule every_nth(std::uint64_t n,
+                                  std::uint64_t max_outages = kUnlimited);
+  static OutageSchedule random(std::uint64_t seed, double probability,
+                               std::uint64_t max_outages = kUnlimited);
+  static OutageSchedule at_write(std::uint64_t k);
+
+  /// Canonical one-line repro form, e.g.
+  ///   "none" | "fixed:3,17,99" | "every:50;max=3"
+  ///   "random:seed=42;p=0.01;max=8" | "write:17"
+  [[nodiscard]] std::string describe() const;
+
+  /// Inverse of describe(). Throws std::invalid_argument on malformed
+  /// input (the error names the offending fragment).
+  static OutageSchedule parse(const std::string& text);
+
+  bool operator==(const OutageSchedule& other) const = default;
+};
+
+}  // namespace iprune::fault

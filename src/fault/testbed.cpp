@@ -1,0 +1,96 @@
+#include "fault/testbed.hpp"
+
+#include <memory>
+
+#include "nn/activation.hpp"
+#include "nn/concat.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/pool.hpp"
+
+namespace iprune::fault {
+
+nn::Graph make_tiny_graph(util::Rng& rng) {
+  nn::Graph g({1, 5, 5});
+  auto conv1 = g.add(std::make_unique<nn::Conv2d>(
+                         "conv1",
+                         nn::Conv2dSpec{.in_channels = 1, .out_channels = 2,
+                                        .kernel_h = 3, .kernel_w = 3,
+                                        .pad_h = 1, .pad_w = 1},
+                         rng),
+                     {g.input()});
+  auto relu1 = g.add(std::make_unique<nn::Relu>("relu1"), {conv1});
+  auto conv2 = g.add(std::make_unique<nn::Conv2d>(
+                         "conv2",
+                         nn::Conv2dSpec{.in_channels = 2, .out_channels = 3,
+                                        .kernel_h = 3, .kernel_w = 3},
+                         rng),
+                     {relu1});
+  auto flat = g.add(std::make_unique<nn::Flatten>("flatten"), {conv2});
+  auto fc = g.add(std::make_unique<nn::Dense>("fc", 3 * 3 * 3, 4, rng),
+                  {flat});
+  g.set_output(fc);
+  return g;
+}
+
+nn::Graph make_multipath_graph(util::Rng& rng) {
+  nn::Graph g({2, 6, 6});
+  auto conv1 = g.add(std::make_unique<nn::Conv2d>(
+                         "conv1",
+                         nn::Conv2dSpec{.in_channels = 2, .out_channels = 4,
+                                        .kernel_h = 3, .kernel_w = 3,
+                                        .pad_h = 1, .pad_w = 1},
+                         rng),
+                     {g.input()});
+  auto relu1 = g.add(std::make_unique<nn::Relu>("relu1"), {conv1});
+  auto pool = g.add(std::make_unique<nn::MaxPool2d>("pool",
+                                                    nn::PoolSpec{2, 2, 2}),
+                    {relu1});
+  auto b1 = g.add(std::make_unique<nn::Conv2d>(
+                      "branch1x1",
+                      nn::Conv2dSpec{.in_channels = 4, .out_channels = 3,
+                                     .kernel_h = 1, .kernel_w = 1},
+                      rng),
+                  {pool});
+  auto b1r = g.add(std::make_unique<nn::Relu>("branch1x1_relu"), {b1});
+  auto b3 = g.add(std::make_unique<nn::Conv2d>(
+                      "branch3x3",
+                      nn::Conv2dSpec{.in_channels = 4, .out_channels = 3,
+                                     .kernel_h = 3, .kernel_w = 3,
+                                     .pad_h = 1, .pad_w = 1},
+                      rng),
+                  {pool});
+  auto b3r = g.add(std::make_unique<nn::Relu>("branch3x3_relu"), {b3});
+  auto cat = g.add(std::make_unique<nn::Concat>("concat"), {b1r, b3r});
+  auto avg = g.add(std::make_unique<nn::AvgPool2d>("avg",
+                                                   nn::PoolSpec{3, 3, 3}),
+                   {cat});
+  auto flat = g.add(std::make_unique<nn::Flatten>("flatten"), {avg});
+  auto fc = g.add(std::make_unique<nn::Dense>("fc", 6, 4, rng), {flat});
+  g.set_output(fc);
+  return g;
+}
+
+nn::Tensor make_batch(util::Rng& rng, const nn::Graph& graph,
+                      std::size_t count) {
+  nn::Shape shape = graph.input_shape();
+  shape.insert(shape.begin(), count);
+  nn::Tensor batch(shape);
+  for (std::size_t i = 0; i < batch.numel(); ++i) {
+    batch[i] = static_cast<float>(rng.normal(0.0, 0.5));
+  }
+  return batch;
+}
+
+nn::Tensor slice_sample(const nn::Tensor& batch, std::size_t index) {
+  nn::Shape shape = batch.shape();
+  shape.erase(shape.begin());
+  nn::Tensor sample(shape);
+  const std::size_t elems = sample.numel();
+  for (std::size_t i = 0; i < elems; ++i) {
+    sample[i] = batch[index * elems + i];
+  }
+  return sample;
+}
+
+}  // namespace iprune::fault

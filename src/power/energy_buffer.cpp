@@ -15,8 +15,10 @@ EnergyBuffer::EnergyBuffer(BufferConfig config) : config_(config) {
   stored_j_ = usable_j_;  // start fully charged, as the paper's setup does
 }
 
-void EnergyBuffer::deposit(double joules) {
-  stored_j_ = std::min(usable_j_, stored_j_ + joules);
+double EnergyBuffer::deposit(double joules) {
+  const double accepted = std::min(joules, usable_j_ - stored_j_);
+  stored_j_ += accepted;
+  return joules - accepted;
 }
 
 bool EnergyBuffer::withdraw(double joules) {

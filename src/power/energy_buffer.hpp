@@ -22,8 +22,10 @@ class EnergyBuffer {
   [[nodiscard]] double stored_j() const { return stored_j_; }
   [[nodiscard]] const BufferConfig& config() const { return config_; }
 
-  /// Add harvested energy; saturates at the usable window.
-  void deposit(double joules);
+  /// Add harvested energy; saturates at the usable window. Returns the
+  /// overflow that could not be stored (wasted harvest), so callers can
+  /// keep an exact energy-conservation ledger.
+  double deposit(double joules);
 
   /// Try to draw `joules`; returns false (leaving the buffer empty, i.e.
   /// the device browns out) when insufficient.

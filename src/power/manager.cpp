@@ -12,13 +12,29 @@ PowerManager::PowerManager(std::unique_ptr<PowerSupply> supply,
   }
 }
 
-bool PowerManager::consume(double now_s, double duration_s, double energy_j) {
+bool PowerManager::consume(double now_s, double duration_s, double energy_j,
+                           FaultPoint point) {
   const double harvested = supply_->power_w(now_s) * duration_s;
   stats_.harvested_j += harvested;
-  stats_.consumed_j += energy_j;
-  buffer_.deposit(harvested);
-  if (buffer_.withdraw(energy_j)) {
-    return true;
+  stats_.wasted_j += buffer_.deposit(harvested);
+
+  last_outage_injected_ =
+      fault_hook_ != nullptr && fault_hook_->should_fail(point);
+  if (!last_outage_injected_) {
+    const double stored = buffer_.stored_j();
+    if (buffer_.withdraw(energy_j)) {
+      stats_.consumed_j += energy_j;
+      return true;
+    }
+    // Organic brown-out: the device drew everything the buffer held
+    // before dying partway through the operation (withdraw() drained it).
+    stats_.consumed_j += stored;
+  } else {
+    // Injected outage: the supply is cut at this exact event regardless of
+    // the energy balance; the residual charge is discarded, not consumed.
+    stats_.wasted_j += buffer_.stored_j();
+    buffer_.drain();
+    ++stats_.injected_failures;
   }
   ++stats_.power_failures;
   if (sink_->enabled()) {
@@ -29,6 +45,15 @@ bool PowerManager::consume(double now_s, double duration_s, double energy_j) {
     event.energy_j = energy_j;
     event.seq = stats_.power_failures;
     sink_->record(event);
+    if (last_outage_injected_) {
+      telemetry::Event inject;
+      inject.cls = telemetry::EventClass::kFaultInject;
+      inject.phase = telemetry::EventPhase::kInstant;
+      inject.t_us = event.t_us;
+      inject.seq = stats_.injected_failures;
+      inject.name = fault_point_name(point);
+      sink_->record(inject);
+    }
   }
   return false;
 }
@@ -85,7 +110,10 @@ double PowerManager::recharge(double now_s) {
     }
   }
   buffer_.refill();
-  stats_.harvested_j += needed;
+  // The last integration step overshoots the on-threshold; the overshoot
+  // is harvested but not storable (the converter stops charging).
+  stats_.harvested_j += accumulated;
+  stats_.wasted_j += accumulated - needed;
   stats_.off_time_s += elapsed;
   record_recharge(now_s, elapsed, needed);
   return elapsed;

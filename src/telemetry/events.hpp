@@ -23,9 +23,12 @@ enum class EventClass : std::uint8_t {
   kCpu,
   kReboot,
   // Power events.
-  kBrownOut,   // instant: the energy buffer emptied mid-operation
-  kRecharge,   // span: dead time until the buffer reaches the on-threshold
-  kPowerOn,    // instant: device resumed after recharge + reboot
+  kBrownOut,     // instant: the energy buffer emptied mid-operation
+  kRecharge,     // span: dead time until the buffer reaches the on-threshold
+  kPowerOn,      // instant: device resumed after recharge + reboot
+  kFaultInject,  // instant: a brown-out forced by the fault-injection hook
+                 // (always paired with a kBrownOut at the same timestamp;
+                 // name = fault point, seq = injected-outage ordinal)
   // Engine events.
   kProgressCommit,  // instant: job counter persisted to NVM
   kInference,       // begin/end: one end-to-end inference

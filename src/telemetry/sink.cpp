@@ -22,6 +22,8 @@ const char* event_class_name(EventClass cls) {
       return "recharge";
     case EventClass::kPowerOn:
       return "power_on";
+    case EventClass::kFaultInject:
+      return "fault_inject";
     case EventClass::kProgressCommit:
       return "progress_commit";
     case EventClass::kInference:

@@ -33,6 +33,7 @@ int track_of(EventClass cls) {
     case EventClass::kBrownOut:
     case EventClass::kRecharge:
     case EventClass::kPowerOn:
+    case EventClass::kFaultInject:
       return kTrackPower;
     default:
       return kTrackEngine;

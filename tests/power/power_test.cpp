@@ -240,5 +240,92 @@ TEST(Manager, HarvestedEnergyTracked) {
   EXPECT_NEAR(pm.stats().consumed_j, 1e-6, 1e-12);
 }
 
+// --- Energy-conservation ledger ---
+//
+// Pinned invariant (manager.hpp): across any sequence of consume() and
+// recharge() calls, organic or injected,
+//   initial_stored + harvested_j == consumed_j + wasted_j + stored_j
+// Drift here silently corrupts every energy figure the benches report.
+
+double ledger_drift(const PowerManager& pm, double initial_stored) {
+  return initial_stored + pm.stats().harvested_j - pm.stats().consumed_j -
+         pm.stats().wasted_j - pm.buffer().stored_j();
+}
+
+/// Minimal deterministic hook: force a brown-out at one global call index.
+struct FailAtCall final : FaultHook {
+  explicit FailAtCall(std::uint64_t target) : target_(target) {}
+  bool should_fail(FaultPoint) override { return count_++ == target_; }
+  std::uint64_t target_;
+  std::uint64_t count_ = 0;
+};
+
+TEST(Manager, EnergyConservationAcrossOrganicOutages) {
+  PowerManager pm(SupplyPresets::weak(), {});
+  const double initial = pm.buffer().stored_j();
+  double t = 0.0;
+  std::size_t outages = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (!pm.consume(t, 1e-4, 2e-6)) {
+      ++outages;
+      t += pm.recharge(t);
+    }
+    t += 1e-4;
+  }
+  ASSERT_GT(outages, 0u);
+  EXPECT_EQ(pm.stats().injected_failures, 0u);
+  EXPECT_NEAR(ledger_drift(pm, initial), 0.0, 1e-12);
+}
+
+TEST(Manager, EnergyConservationAcrossInjectedOutage) {
+  PowerManager pm(SupplyPresets::strong(), {});
+  const double initial = pm.buffer().stored_j();
+  FailAtCall hook(5);
+  pm.set_fault_hook(&hook);
+  double t = 0.0;
+  std::size_t outages = 0;
+  for (int i = 0; i < 12; ++i) {
+    if (!pm.consume(t, 1e-3, 5e-6, FaultPoint::kNvmWrite)) {
+      ++outages;
+      t += pm.recharge(t);
+    }
+    t += 1e-3;
+  }
+  EXPECT_EQ(outages, 1u);
+  EXPECT_EQ(pm.stats().injected_failures, 1u);
+  EXPECT_EQ(pm.stats().power_failures, 1u);
+  // The injected outage discarded residual charge as waste, not as
+  // consumption: consumed_j covers exactly the 11 completed operations.
+  EXPECT_NEAR(pm.stats().consumed_j, 11 * 5e-6, 1e-12);
+  EXPECT_GT(pm.stats().wasted_j, 0.0);
+  EXPECT_NEAR(ledger_drift(pm, initial), 0.0, 1e-12);
+}
+
+TEST(Manager, OrganicBrownOutConsumesOnlyWhatTheBufferHeld) {
+  // The interrupted operation must not be double-counted: only the energy
+  // the buffer actually held is consumed, the demanded remainder was
+  // never delivered.
+  PowerManager pm(std::make_unique<ConstantSupply>(0.0), {});
+  const double initial = pm.buffer().stored_j();
+  ASSERT_FALSE(pm.consume(0.0, 0.0, initial * 2));
+  EXPECT_NEAR(pm.stats().consumed_j, initial, 1e-15);
+  EXPECT_NEAR(ledger_drift(pm, initial), 0.0, 1e-15);
+}
+
+TEST(Manager, SteppedRechargeCountsOvershootAsWaste) {
+  // Non-constant supply forces the integrating recharge path, whose final
+  // step overshoots the on-threshold; the overshoot must land in
+  // wasted_j, not vanish.
+  auto trace = std::make_unique<TraceSupply>(
+      std::vector<double>{3e-3, 7e-3}, 0.01);
+  PowerManager pm(std::move(trace), {});
+  const double initial = pm.buffer().stored_j();
+  (void)pm.consume(0.0, 0.0, 1.0);  // guaranteed organic brown-out
+  (void)pm.recharge(0.0);
+  EXPECT_DOUBLE_EQ(pm.buffer().stored_j(), pm.buffer().usable_j());
+  EXPECT_GT(pm.stats().wasted_j, 0.0);
+  EXPECT_NEAR(ledger_drift(pm, initial), 0.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace iprune::power
