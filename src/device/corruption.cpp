@@ -1,0 +1,135 @@
+#include "device/corruption.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace iprune::device {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double uniform01(std::uint64_t& state) {
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+/// Bits until the next faulted bit (geometric, support {0, 1, ...}).
+std::uint64_t geometric_gap(std::uint64_t& state, double ber) {
+  const double u = uniform01(state);
+  // log(1-u) / log(1-ber); ber is validated to (0, 1].
+  if (ber >= 1.0) {
+    return 0;
+  }
+  const double gap = std::floor(std::log1p(-u) / std::log1p(-ber));
+  if (gap >= 1e18) {  // astronomically clean stretch; clamp defensively
+    return 1ull << 60;
+  }
+  return static_cast<std::uint64_t>(gap);
+}
+
+}  // namespace
+
+CorruptionModel::CorruptionModel(CorruptionConfig config)
+    : config_(std::move(config)) {
+  const auto check_ber = [](double ber, const char* name) {
+    if (!(ber >= 0.0) || !(ber <= 1.0)) {
+      throw std::invalid_argument(std::string("CorruptionModel: ") + name +
+                                  " must be in [0, 1]");
+    }
+  };
+  check_ber(config_.write_ber, "write_ber");
+  check_ber(config_.read_ber, "read_ber");
+  for (const StuckBit& cell : config_.stuck) {
+    if (cell.bit > 7) {
+      throw std::invalid_argument(
+          "CorruptionModel: stuck bit index must be 0..7");
+    }
+  }
+  reset();
+}
+
+void CorruptionModel::reset() {
+  write_stream_ = make_stream(config_.seed * 2 + 0, config_.write_ber);
+  read_stream_ = make_stream(config_.seed * 2 + 1, config_.read_ber);
+  write_flips_ = 0;
+  read_flips_ = 0;
+  stuck_hits_ = 0;
+}
+
+CorruptionModel::FaultStream CorruptionModel::make_stream(std::uint64_t seed,
+                                                          double ber) {
+  FaultStream stream;
+  stream.state = seed;
+  stream.ber = ber;
+  stream.armed = ber > 0.0;
+  if (stream.armed) {
+    stream.gap = geometric_gap(stream.state, ber);
+  }
+  return stream;
+}
+
+std::uint64_t CorruptionModel::apply_ber(FaultStream& stream, Address addr,
+                                         std::span<std::uint8_t> bytes) {
+  if (!stream.armed || bytes.empty()) {
+    return 0;
+  }
+  std::uint64_t flips = 0;
+  const std::uint64_t total_bits = bytes.size() * 8;
+  std::uint64_t cursor = 0;
+  while (stream.gap < total_bits - cursor) {
+    cursor += stream.gap;
+    const std::size_t byte = static_cast<std::size_t>(cursor / 8);
+    const Address cell = addr + byte;
+    if (cell >= config_.window_begin && cell < config_.window_end) {
+      bytes[byte] = static_cast<std::uint8_t>(
+          bytes[byte] ^ (1u << (cursor % 8)));
+      ++flips;
+    }
+    ++cursor;  // the faulted bit is consumed
+    stream.gap = geometric_gap(stream.state, stream.ber);
+  }
+  stream.gap -= total_bits - cursor;
+  return flips;
+}
+
+void CorruptionModel::apply_stuck(Address addr,
+                                  std::span<std::uint8_t> bytes) {
+  if (config_.stuck.empty()) {
+    return;
+  }
+  bool hit = false;
+  for (const StuckBit& cell : config_.stuck) {
+    if (cell.addr < addr || cell.addr >= addr + bytes.size()) {
+      continue;
+    }
+    std::uint8_t& b = bytes[cell.addr - addr];
+    const std::uint8_t mask = static_cast<std::uint8_t>(1u << cell.bit);
+    const std::uint8_t forced =
+        cell.value ? static_cast<std::uint8_t>(b | mask)
+                   : static_cast<std::uint8_t>(b & ~mask);
+    hit = hit || forced != b;
+    b = forced;
+  }
+  if (hit) {
+    ++stuck_hits_;
+  }
+}
+
+void CorruptionModel::corrupt_write(Address addr,
+                                    std::span<std::uint8_t> bytes) {
+  write_flips_ += apply_ber(write_stream_, addr, bytes);
+  apply_stuck(addr, bytes);
+}
+
+void CorruptionModel::corrupt_read(Address addr,
+                                   std::span<std::uint8_t> bytes) {
+  read_flips_ += apply_ber(read_stream_, addr, bytes);
+  apply_stuck(addr, bytes);
+}
+
+}  // namespace iprune::device

@@ -1,0 +1,100 @@
+#pragma once
+// Deterministic NVM data-fault model.
+//
+// Real FRAM parts are not the perfect mirror the rest of the simulator
+// assumes: the CY15B104Q datasheet specifies a non-zero soft-error rate,
+// SPI transfers can flip bits in flight, and individual cells can stick.
+// A CorruptionModel installed on device::Nvm perturbs the byte streams of
+// every store and load:
+//
+//   write BER    each written bit flips with probability `write_ber`
+//                (persistent: the flipped value is what lands in the cell)
+//   read BER     each read bit flips with probability `read_ber`
+//                (transient: the cell keeps its value, the reader sees
+//                garbage — an SPI/soft-error read)
+//   stuck-at     listed cells always store and return a forced bit value
+//
+// Faults are drawn from a seeded geometric skip (distance to the next bad
+// bit), so a given seed yields the exact same fault positions independent
+// of access chunking — replays are bit-reproducible. BER faults can be
+// confined to an address window to target one NVM region (weights, the
+// progress records) without perturbing everything else.
+//
+// Torn multi-byte writes — the power-failure half of the threat model —
+// are not produced here: they come from the fault injector truncating an
+// in-flight device::WriteBatch at the outage boundary (see
+// Msp430Device::dma_commit and fault::OutageSchedule::torn).
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace iprune::device {
+
+using Address = std::size_t;
+
+/// One stuck cell bit: reads and writes of `addr` always see bit `bit`
+/// forced to `value`.
+struct StuckBit {
+  Address addr = 0;
+  std::uint8_t bit = 0;  // 0 = LSB .. 7 = MSB
+  bool value = false;
+};
+
+struct CorruptionConfig {
+  std::uint64_t seed = 1;
+  /// Per-bit flip probability on the write / read paths (0 disables).
+  double write_ber = 0.0;
+  double read_ber = 0.0;
+  /// BER faults only strike addresses in [window_begin, window_end).
+  /// Stuck bits are unaffected (their address is explicit).
+  Address window_begin = 0;
+  Address window_end = std::numeric_limits<Address>::max();
+  std::vector<StuckBit> stuck;
+};
+
+class CorruptionModel {
+ public:
+  explicit CorruptionModel(CorruptionConfig config);
+
+  /// Perturb `bytes` about to be stored at `addr` (flips + stuck cells).
+  void corrupt_write(Address addr, std::span<std::uint8_t> bytes);
+  /// Perturb `bytes` just loaded from `addr` (flips + stuck cells).
+  void corrupt_read(Address addr, std::span<std::uint8_t> bytes);
+
+  /// Rewind the fault streams to the seeded origin.
+  void reset();
+
+  [[nodiscard]] const CorruptionConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t write_flips() const { return write_flips_; }
+  [[nodiscard]] std::uint64_t read_flips() const { return read_flips_; }
+  /// Accesses that touched at least one stuck cell.
+  [[nodiscard]] std::uint64_t stuck_hits() const { return stuck_hits_; }
+
+ private:
+  /// Geometric skip stream: bits remaining until the next fault.
+  struct FaultStream {
+    std::uint64_t state = 0;   // splitmix64 state
+    std::uint64_t gap = 0;     // bits until the next flip
+    double ber = 0.0;
+    bool armed = false;
+  };
+
+  static FaultStream make_stream(std::uint64_t seed, double ber);
+  /// Flip faulted bits of `bytes` (addresses inside the window only) and
+  /// return the number of flips applied.
+  std::uint64_t apply_ber(FaultStream& stream, Address addr,
+                          std::span<std::uint8_t> bytes);
+  void apply_stuck(Address addr, std::span<std::uint8_t> bytes);
+
+  CorruptionConfig config_;
+  FaultStream write_stream_;
+  FaultStream read_stream_;
+  std::uint64_t write_flips_ = 0;
+  std::uint64_t read_flips_ = 0;
+  std::uint64_t stuck_hits_ = 0;
+};
+
+}  // namespace iprune::device

@@ -1,0 +1,21 @@
+#include "device/crc16.hpp"
+
+namespace iprune::device {
+
+std::uint16_t crc16_ccitt(std::span<const std::uint8_t> bytes,
+                          std::uint16_t crc) {
+  for (const std::uint8_t b : bytes) {
+    crc = static_cast<std::uint16_t>(crc ^ (static_cast<std::uint16_t>(b)
+                                            << 8));
+    for (int bit = 0; bit < 8; ++bit) {
+      if ((crc & 0x8000u) != 0) {
+        crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021u);
+      } else {
+        crc = static_cast<std::uint16_t>(crc << 1);
+      }
+    }
+  }
+  return crc;
+}
+
+}  // namespace iprune::device

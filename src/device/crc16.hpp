@@ -1,0 +1,36 @@
+#pragma once
+// CRC-16/CCITT-FALSE (polynomial 0x1021, init 0xFFFF, no reflection, no
+// final xor) — the checksum the MSP430 hardware CRC module computes, so a
+// real port can delegate to the peripheral byte-for-byte. Used to seal the
+// engine's persisted NVM state: progress commit records and the static
+// weight/BSR/bias regions written at deployment.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace iprune::device {
+
+inline constexpr std::uint16_t kCrc16Init = 0xFFFF;
+
+/// One-shot CRC over `bytes`, continuing from `crc` (pass the previous
+/// return value to checksum a region in chunks).
+[[nodiscard]] std::uint16_t crc16_ccitt(std::span<const std::uint8_t> bytes,
+                                        std::uint16_t crc = kCrc16Init);
+
+/// Streaming wrapper mirroring the hardware module's feed-words-then-read
+/// usage: update() any number of times, then value().
+class Crc16 {
+ public:
+  void update(std::span<const std::uint8_t> bytes) {
+    crc_ = crc16_ccitt(bytes, crc_);
+  }
+  void update(std::uint8_t byte) { update({&byte, 1}); }
+  [[nodiscard]] std::uint16_t value() const { return crc_; }
+  void reset() { crc_ = kCrc16Init; }
+
+ private:
+  std::uint16_t crc_ = kCrc16Init;
+};
+
+}  // namespace iprune::device

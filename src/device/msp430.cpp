@@ -164,6 +164,7 @@ bool Msp430Device::charge_split(double latency_us, double energy_j,
         "granularity or enlarge the capacitor");
   }
   if (power_.consume(clock_us_ * 1e-6, latency_us * 1e-6, energy_j, point)) {
+    apply_staged(true);
     clock_us_ += latency_us;
     stats_.on_time_us += latency_us;
     stats_.energy_j += energy_j;
@@ -177,10 +178,30 @@ bool Msp430Device::charge_split(double latency_us, double energy_j,
   // the device stayed up during the aborted attempt (approximated as the
   // full latency — the buffer window is tiny relative to any measurement),
   // then recharge and reboot.
+  apply_staged(false);
   clock_us_ += latency_us;
   stats_.on_time_us += latency_us;
   power_cycle();
   return false;
+}
+
+void Msp430Device::apply_staged(bool charge_ok) {
+  if (staged_batch_ == nullptr) {
+    return;
+  }
+  const WriteBatch& batch = *staged_batch_;
+  std::size_t keep = 0;
+  if (charge_ok) {
+    keep = batch.total_bytes();
+  } else if (power_.last_outage_injected() && fault_hook_ != nullptr &&
+             batch.total_bytes() > 0) {
+    keep = std::min(fault_hook_->torn_write_bytes(batch.total_bytes()),
+                    batch.total_bytes() - 1);
+  }
+  batch.for_prefix(keep,
+                   [this](Address addr, std::span<const std::uint8_t> bytes) {
+                     nvm_.write(addr, bytes);
+                   });
 }
 
 bool Msp430Device::dma_read(std::size_t bytes) {
@@ -247,8 +268,41 @@ bool Msp430Device::cpu_work(std::size_t cycles) {
   return ok;
 }
 
+bool Msp430Device::dma_commit(const WriteBatch& batch,
+                              std::size_t charge_bytes) {
+  ++stats_.dma_commands;
+  stats_.nvm_bytes_written += charge_bytes;
+  const double latency =
+      config_.dma.invocation_us +
+      config_.dma.write_us_per_byte * static_cast<double>(charge_bytes);
+  const double t0 = clock_us_;
+  staged_batch_ = &batch;
+  const bool ok =
+      charge(latency, config_.rails.nvm_write_w, CostTag::kNvmWrite);
+  staged_batch_ = nullptr;
+  record_span(telemetry::EventClass::kNvmWrite, t0, latency,
+              ok ? latency : 0.0,
+              ok ? (config_.rails.base_active_w + config_.rails.nvm_write_w) *
+                       latency * 1e-6
+                 : 0.0,
+              charge_bytes, 0);
+  return ok;
+}
+
 bool Msp430Device::pipelined_job(std::size_t macs, std::size_t write_bytes,
                                  std::size_t cpu_cycles) {
+  return pipelined_impl(nullptr, macs, write_bytes, cpu_cycles);
+}
+
+bool Msp430Device::pipelined_commit(const WriteBatch& batch, std::size_t macs,
+                                    std::size_t charge_bytes,
+                                    std::size_t cpu_cycles) {
+  return pipelined_impl(&batch, macs, charge_bytes, cpu_cycles);
+}
+
+bool Msp430Device::pipelined_impl(const WriteBatch* batch, std::size_t macs,
+                                  std::size_t write_bytes,
+                                  std::size_t cpu_cycles) {
   double lea_us = 0.0;
   if (macs > 0) {
     ++stats_.lea_invocations;
@@ -293,7 +347,9 @@ bool Msp430Device::pipelined_job(std::size_t macs, std::size_t write_bytes,
       write_bytes > 0 ? power::FaultPoint::kNvmWrite
                       : (macs > 0 ? power::FaultPoint::kLea
                                   : power::FaultPoint::kCpu);
+  staged_batch_ = batch;
   const bool ok = charge_split(latency, energy_j, share, point);
+  staged_batch_ = nullptr;
   if (sink_->enabled()) {
     // One busy span per engaged unit. The LEA and NVM windows overlap on
     // the timeline (that is the pipelining); attribution and per-unit

@@ -80,7 +80,10 @@ class Msp430Device {
   /// brown-out + recharge + reboot path at that exact event. Injection
   /// during the reboot itself is survivable (back-to-back failures) and
   /// bounded by a retry watchdog. Non-owning; must outlive the device.
-  void set_fault_hook(power::FaultHook* hook) { power_.set_fault_hook(hook); }
+  void set_fault_hook(power::FaultHook* hook) {
+    fault_hook_ = hook;
+    power_.set_fault_hook(hook);
+  }
 
   // --- primitives (return false on power failure during the operation) ---
 
@@ -100,6 +103,30 @@ class Msp430Device {
   [[nodiscard]] bool pipelined_job(std::size_t macs, std::size_t write_bytes,
                                    std::size_t cpu_cycles);
 
+  // --- staged commits (torn-write-aware NVM transfers) ---
+  //
+  // The plain primitives charge energy only; the caller performs its NVM
+  // writes after a successful return, so an outage is all-or-nothing. The
+  // commit variants below carry the byte-exact payload (a WriteBatch)
+  // INTO the charge: on success the full batch lands in NVM, and on an
+  // injected brown-out the fault hook picks how many leading bytes landed
+  // before the supply collapsed (clamped to total-1) — a torn write. An
+  // organic brown-out keeps the classic all-or-nothing model so energy
+  // sweeps stay deterministic. `charge_bytes` is the byte count used for
+  // latency/energy/stats (it can exceed the batch payload when part of
+  // the transfer is VM-buffer traffic the batch does not persist).
+
+  /// DMA VM -> NVM transfer of `batch`; accounting mirrors
+  /// dma_write(charge_bytes) exactly.
+  [[nodiscard]] bool dma_commit(const WriteBatch& batch,
+                                std::size_t charge_bytes);
+  /// pipelined_job(macs, charge_bytes, cpu_cycles) with the write payload
+  /// staged as `batch`.
+  [[nodiscard]] bool pipelined_commit(const WriteBatch& batch,
+                                      std::size_t macs,
+                                      std::size_t charge_bytes,
+                                      std::size_t cpu_cycles);
+
  private:
   /// Charge one operation; on brown-out performs the full power-cycle
   /// (recharge + reboot) and returns false.
@@ -108,6 +135,14 @@ class Msp430Device {
   [[nodiscard]] bool charge_split(double latency_us, double energy_j,
                                   const double* tag_share_us,
                                   power::FaultPoint point);
+  [[nodiscard]] bool pipelined_impl(const WriteBatch* batch, std::size_t macs,
+                                    std::size_t write_bytes,
+                                    std::size_t cpu_cycles);
+  /// Land the staged batch after a charge: everything on success, the
+  /// hook-chosen torn prefix on an injected outage, nothing on an organic
+  /// one. Must run before power_cycle() — the reboot's own charge resets
+  /// PowerManager::last_outage_injected().
+  void apply_staged(bool charge_ok);
   void power_cycle();
 
   /// Emit one unit-busy span starting at `t_us` (the operation's start).
@@ -122,6 +157,8 @@ class Msp430Device {
   double clock_us_ = 0.0;
   std::uint64_t vm_epoch_ = 0;
   telemetry::TraceSink* sink_ = &telemetry::NullSink::instance();
+  power::FaultHook* fault_hook_ = nullptr;
+  const WriteBatch* staged_batch_ = nullptr;
 };
 
 }  // namespace iprune::device

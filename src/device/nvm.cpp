@@ -1,15 +1,60 @@
 #include "device/nvm.hpp"
 
 #include <cstring>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace iprune::device {
+
+void WriteBatch::push_bytes(std::size_t addr,
+                            std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) {
+    return;
+  }
+  const std::size_t offset = data_.size();
+  data_.insert(data_.end(), bytes.begin(), bytes.end());
+  // Coalesce with the previous part when contiguous in both the payload
+  // and the address space — keeps torn prefixes byte-granular without
+  // inflating the part list for chunked writes.
+  if (!parts_.empty()) {
+    Part& last = parts_.back();
+    if (last.addr + last.len == addr && last.offset + last.len == offset) {
+      last.len += bytes.size();
+      return;
+    }
+  }
+  parts_.push_back(Part{addr, offset, bytes.size()});
+}
+
+void WriteBatch::push_i16(std::size_t addr, std::int16_t value) {
+  std::uint8_t raw[2];
+  std::memcpy(raw, &value, 2);
+  push_bytes(addr, raw);
+}
+
+void WriteBatch::push_i32(std::size_t addr, std::int32_t value) {
+  std::uint8_t raw[4];
+  std::memcpy(raw, &value, 4);
+  push_bytes(addr, raw);
+}
+
+void WriteBatch::push_u32(std::size_t addr, std::uint32_t value) {
+  std::uint8_t raw[4];
+  std::memcpy(raw, &value, 4);
+  push_bytes(addr, raw);
+}
 
 Nvm::Nvm(std::size_t capacity_bytes) : storage_(capacity_bytes, 0) {}
 
 Address Nvm::allocate(std::size_t bytes) {
-  const std::size_t aligned = (bytes + 1) & ~std::size_t{1};
-  if (next_free_ + aligned > storage_.size()) {
+  // Round up to 2-byte alignment; guard the +1 against SIZE_MAX wrap so a
+  // bogus huge request reports out-of-NVM instead of allocating 0 bytes.
+  const std::size_t aligned =
+      bytes > std::numeric_limits<std::size_t>::max() - 1
+          ? bytes
+          : ((bytes + 1) & ~std::size_t{1});
+  if (aligned > storage_.size() - next_free_) {
     throw std::runtime_error(
         "Nvm::allocate: out of NVM (requested " + std::to_string(bytes) +
         " bytes, free " + std::to_string(free_bytes()) +
@@ -26,57 +71,85 @@ void Nvm::reset() {
 }
 
 void Nvm::check(Address addr, std::size_t bytes) const {
-  if (addr + bytes > storage_.size()) {
+  // Two-step comparison: `addr + bytes` can wrap std::size_t near
+  // SIZE_MAX and sail past the bound.
+  if (addr > storage_.size() || bytes > storage_.size() - addr) {
     throw std::out_of_range("Nvm access out of range: addr=" +
                             std::to_string(addr) + " len=" +
                             std::to_string(bytes));
   }
 }
 
-void Nvm::write(Address addr, std::span<const std::uint8_t> bytes) {
+void Nvm::store(Address addr, std::span<const std::uint8_t> bytes) {
   check(addr, bytes.size());
-  std::memcpy(storage_.data() + addr, bytes.data(), bytes.size());
+  std::uint8_t* cell = storage_.data() + addr;
+  std::memcpy(cell, bytes.data(), bytes.size());
+  if (corruption_ != nullptr) {
+    corruption_->corrupt_write(addr, {cell, bytes.size()});
+  }
+}
+
+void Nvm::load(Address addr, std::span<std::uint8_t> bytes) const {
+  check(addr, bytes.size());
+  std::memcpy(bytes.data(), storage_.data() + addr, bytes.size());
+  if (corruption_ != nullptr) {
+    corruption_->corrupt_read(addr, bytes);
+  }
+}
+
+void Nvm::write(Address addr, std::span<const std::uint8_t> bytes) {
+  store(addr, bytes);
 }
 
 void Nvm::read(Address addr, std::span<std::uint8_t> bytes) const {
-  check(addr, bytes.size());
-  std::memcpy(bytes.data(), storage_.data() + addr, bytes.size());
+  load(addr, bytes);
 }
 
 void Nvm::write_i16(Address addr, std::int16_t value) {
-  check(addr, 2);
-  std::memcpy(storage_.data() + addr, &value, 2);
+  std::uint8_t raw[2];
+  std::memcpy(raw, &value, 2);
+  store(addr, raw);
 }
 
 std::int16_t Nvm::read_i16(Address addr) const {
-  check(addr, 2);
+  std::uint8_t raw[2];
+  load(addr, raw);
   std::int16_t value = 0;
-  std::memcpy(&value, storage_.data() + addr, 2);
+  std::memcpy(&value, raw, 2);
   return value;
 }
 
 void Nvm::write_i32(Address addr, std::int32_t value) {
-  check(addr, 4);
-  std::memcpy(storage_.data() + addr, &value, 4);
+  std::uint8_t raw[4];
+  std::memcpy(raw, &value, 4);
+  store(addr, raw);
 }
 
 std::int32_t Nvm::read_i32(Address addr) const {
-  check(addr, 4);
+  std::uint8_t raw[4];
+  load(addr, raw);
   std::int32_t value = 0;
-  std::memcpy(&value, storage_.data() + addr, 4);
+  std::memcpy(&value, raw, 4);
   return value;
 }
 
 void Nvm::write_u32(Address addr, std::uint32_t value) {
-  check(addr, 4);
-  std::memcpy(storage_.data() + addr, &value, 4);
+  std::uint8_t raw[4];
+  std::memcpy(raw, &value, 4);
+  store(addr, raw);
 }
 
 std::uint32_t Nvm::read_u32(Address addr) const {
-  check(addr, 4);
+  std::uint8_t raw[4];
+  load(addr, raw);
   std::uint32_t value = 0;
-  std::memcpy(&value, storage_.data() + addr, 4);
+  std::memcpy(&value, raw, 4);
   return value;
+}
+
+std::uint8_t Nvm::peek(Address addr) const {
+  check(addr, 1);
+  return storage_[addr];
 }
 
 }  // namespace iprune::device

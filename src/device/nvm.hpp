@@ -2,13 +2,67 @@
 // Byte-addressable non-volatile memory (external FRAM). Contents persist
 // across simulated power failures. A bump allocator hands out regions to
 // the deployment step; reads/writes are bounds-checked.
+//
+// Data integrity: an optional CorruptionModel (corruption.hpp) perturbs
+// every store and load (seeded bit flips, stuck-at cells), and multi-part
+// WriteBatch commits can be truncated mid-write by the fault injector to
+// model a torn write at a power-failure boundary (Msp430Device applies
+// the batch; Nvm only provides the staged representation).
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "device/corruption.hpp"
+
 namespace iprune::device {
+
+/// Staged multi-part NVM write: the byte-exact payload of one atomic-ish
+/// commit (data words + progress record), built by the engine *before*
+/// the DMA charge so that a power failure during the transfer can land a
+/// torn prefix instead of all-or-nothing. Parts apply in push order; the
+/// tear offset is a byte count into the concatenated payload.
+class WriteBatch {
+ public:
+  void clear() {
+    parts_.clear();
+    data_.clear();
+  }
+  [[nodiscard]] bool empty() const { return parts_.empty(); }
+  [[nodiscard]] std::size_t total_bytes() const { return data_.size(); }
+  [[nodiscard]] std::size_t parts() const { return parts_.size(); }
+
+  void push_bytes(std::size_t addr, std::span<const std::uint8_t> bytes);
+  void push_i16(std::size_t addr, std::int16_t value);
+  void push_i32(std::size_t addr, std::int32_t value);
+  void push_u32(std::size_t addr, std::uint32_t value);
+
+  /// Visit `(addr, bytes)` for the first `keep_bytes` of the payload
+  /// (parts in push order, the straddling part truncated).
+  template <typename Fn>
+  void for_prefix(std::size_t keep_bytes, Fn&& fn) const {
+    for (const Part& part : parts_) {
+      if (keep_bytes == 0) {
+        return;
+      }
+      const std::size_t len = std::min(keep_bytes, part.len);
+      fn(part.addr,
+         std::span<const std::uint8_t>(data_.data() + part.offset, len));
+      keep_bytes -= len;
+    }
+  }
+
+ private:
+  struct Part {
+    std::size_t addr = 0;
+    std::size_t offset = 0;
+    std::size_t len = 0;
+  };
+  std::vector<Part> parts_;
+  std::vector<std::uint8_t> data_;
+};
 
 using Address = std::size_t;
 
@@ -41,11 +95,23 @@ class Nvm {
   void write_u32(Address addr, std::uint32_t value);
   [[nodiscard]] std::uint32_t read_u32(Address addr) const;
 
+  /// Install a data-fault model applied to every subsequent store/load
+  /// (nullptr restores perfect memory). Non-owning; must outlive the Nvm.
+  void set_corruption(CorruptionModel* model) { corruption_ = model; }
+  [[nodiscard]] CorruptionModel* corruption() const { return corruption_; }
+
+  /// Peek the raw cell contents, bypassing the corruption model's read
+  /// path (test/diagnosis facility: "what actually landed?").
+  [[nodiscard]] std::uint8_t peek(Address addr) const;
+
  private:
   void check(Address addr, std::size_t bytes) const;
+  void store(Address addr, std::span<const std::uint8_t> bytes);
+  void load(Address addr, std::span<std::uint8_t> bytes) const;
 
   std::vector<std::uint8_t> storage_;
   std::size_t next_free_ = 0;
+  CorruptionModel* corruption_ = nullptr;
 };
 
 }  // namespace iprune::device

@@ -29,8 +29,28 @@ enum class PreservationMode {
   kAccumulateInVm,
 };
 
+/// NVM data-integrity layer (docs/nvm_integrity.md). All off by default:
+/// a zero-corruption run with integrity disabled is byte-identical to the
+/// classic engine, and enabling it only adds the CRC words themselves.
+struct IntegrityConfig {
+  /// Replace the raw u32 job counter with CRC-sealed double-buffered
+  /// commit records (6 bytes per commit instead of 4) and double-buffer
+  /// the NVM partial sums so a torn commit never destroys the value the
+  /// recovery re-execution reads.
+  bool protect_progress = false;
+  /// Per-region CRC16 over every static region written at deployment
+  /// (BSR values / column indices / row pointers / biases), stored in an
+  /// NVM checksum table.
+  bool seal_regions = false;
+  /// Verify every sealed region's CRC at the start of run() (charged NVM
+  /// reads); a mismatch throws engine::IntegrityError.
+  bool scrub_on_boot = false;
+};
+
 struct EngineConfig {
   PreservationMode mode = PreservationMode::kImmediate;
+
+  IntegrityConfig integrity;
 
   /// Reduction depth a single LEA command accumulates per staged output
   /// (the modeled accelerator's command depth); determines Bk and thereby

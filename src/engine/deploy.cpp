@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "device/crc16.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/dense.hpp"
 
@@ -32,21 +33,40 @@ const nn::Tensor& layer_bias(const LoweredNode& ln) {
   return static_cast<nn::Dense&>(*ln.layer).bias();
 }
 
+/// Host byte image of an integer array as the engine lays it out in NVM
+/// (element-wise memcpy of the narrowed value, matching write_i16/_i32).
+template <typename Narrow, typename Wide>
+std::vector<std::uint8_t> pack_array(const std::vector<Wide>& values) {
+  std::vector<std::uint8_t> bytes(values.size() * sizeof(Narrow));
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const Narrow v = static_cast<Narrow>(values[i]);
+    std::memcpy(bytes.data() + i * sizeof(Narrow), &v, sizeof(Narrow));
+  }
+  return bytes;
+}
+
 }  // namespace
 
 DeployedModel::DeployedModel(nn::Graph& graph, const EngineConfig& config,
                              device::Msp430Device& device,
                              const nn::Tensor& calibration_batch)
     : config_(config) {
-  lowered_ = lower_graph(graph, config, device.config().memory);
+  // The protected progress indicator is a 6-byte CRC-sealed record; every
+  // engine charge formula picks the widening up through counter_bytes.
+  if (config_.integrity.protect_progress) {
+    config_.counter_bytes = kProgressRecordBytes;
+  }
+  lowered_ = lower_graph(graph, config_, device.config().memory);
   const CalibrationTable calib =
       calibrate(graph, lowered_, calibration_batch);
 
   device::Nvm& nvm = device.nvm();
   nodes_.resize(lowered_.nodes.size());
 
-  progress_addr_ = nvm.allocate(8);
-  record("progress", progress_addr_, 8);
+  const std::size_t progress_bytes =
+      config_.integrity.protect_progress ? kProgressRegionBytes : 8;
+  progress_addr_ = nvm.allocate(progress_bytes);
+  record("progress", progress_addr_, progress_bytes);
 
   std::size_t max_psum_bytes = 0;
   for (nn::NodeId id = 0; id < lowered_.nodes.size(); ++id) {
@@ -87,46 +107,123 @@ DeployedModel::DeployedModel(nn::Graph& graph, const EngineConfig& config,
     }
     gd->multiplier = psum_unit / nd.scale;
 
-    // Write the arrays into NVM.
-    gd->values_addr =
-        nvm.allocate(gd->bsr.values().size() * sizeof(std::int16_t));
-    record(ln.name + ".bsr_values", gd->values_addr,
-           gd->bsr.values().size() * sizeof(std::int16_t));
-    for (std::size_t i = 0; i < gd->bsr.values().size(); ++i) {
-      nvm.write_i16(gd->values_addr + i * 2, gd->bsr.values()[i]);
+    // Write the arrays into NVM (sealing each region when configured).
+    {
+      std::vector<std::uint8_t> bytes(gd->bsr.values().size() *
+                                      sizeof(std::int16_t));
+      std::memcpy(bytes.data(), gd->bsr.values().data(), bytes.size());
+      gd->values_addr = write_region(ln.name + ".bsr_values", nvm, bytes);
     }
-    gd->colidx_addr =
-        nvm.allocate(gd->bsr.col_idx().size() * sizeof(std::uint16_t));
-    record(ln.name + ".bsr_colidx", gd->colidx_addr,
-           gd->bsr.col_idx().size() * sizeof(std::uint16_t));
-    for (std::size_t i = 0; i < gd->bsr.col_idx().size(); ++i) {
-      nvm.write_i16(gd->colidx_addr + i * 2,
-                    static_cast<std::int16_t>(gd->bsr.col_idx()[i]));
-    }
-    gd->rowptr_addr =
-        nvm.allocate(gd->bsr.row_ptr().size() * sizeof(std::uint16_t));
-    record(ln.name + ".bsr_rowptr", gd->rowptr_addr,
-           gd->bsr.row_ptr().size() * sizeof(std::uint16_t));
-    for (std::size_t i = 0; i < gd->bsr.row_ptr().size(); ++i) {
-      nvm.write_i16(gd->rowptr_addr + i * 2,
-                    static_cast<std::int16_t>(gd->bsr.row_ptr()[i]));
-    }
-    gd->bias_addr = nvm.allocate(gd->bias_q.size() * sizeof(std::int32_t));
-    record(ln.name + ".bias", gd->bias_addr,
-           gd->bias_q.size() * sizeof(std::int32_t));
-    for (std::size_t i = 0; i < gd->bias_q.size(); ++i) {
-      nvm.write_i32(gd->bias_addr + i * 4, gd->bias_q[i]);
-    }
+    gd->colidx_addr = write_region(
+        ln.name + ".bsr_colidx", nvm,
+        pack_array<std::int16_t>(gd->bsr.col_idx()));
+    gd->rowptr_addr = write_region(
+        ln.name + ".bsr_rowptr", nvm,
+        pack_array<std::int16_t>(gd->bsr.row_ptr()));
+    gd->bias_addr = write_region(ln.name + ".bias", nvm,
+                                 pack_array<std::int32_t>(gd->bias_q));
 
     max_psum_bytes = std::max(
         max_psum_bytes, ln.plan.rows * ln.plan.cols * config_.psum_bytes);
     nd.gemm = std::move(gd);
   }
 
+  // Protected progress double-buffers the NVM partial sums: a torn commit
+  // corrupts at most the slot being written, never the slot the recovery
+  // re-execution reads its inputs from.
+  psum_slots_ = config_.integrity.protect_progress ? 2 : 1;
+  psum_stride_ = max_psum_bytes;
   if (max_psum_bytes > 0) {
-    psum_addr_ = nvm.allocate(max_psum_bytes);
-    record("psum_scratch", psum_addr_, max_psum_bytes);
+    psum_addr_ = nvm.allocate(max_psum_bytes * psum_slots_);
+    record("psum_scratch", psum_addr_, max_psum_bytes * psum_slots_);
   }
+
+  // The checksum table itself goes last: 2 bytes (LE) per sealed region,
+  // in regions() order.
+  if (sealed_count_ > 0) {
+    crc_table_addr_ = nvm.allocate(sealed_count_ * 2);
+    record("crc_table", crc_table_addr_, sealed_count_ * 2);
+    std::size_t k = 0;
+    for (const Region& r : regions_) {
+      if (!r.sealed) {
+        continue;
+      }
+      const std::uint8_t entry[2] = {
+          static_cast<std::uint8_t>(r.crc),
+          static_cast<std::uint8_t>(r.crc >> 8)};
+      nvm.write(crc_table_addr_ + k * 2, entry);
+      ++k;
+    }
+  }
+}
+
+device::Address DeployedModel::write_region(
+    const std::string& label, device::Nvm& nvm,
+    std::span<const std::uint8_t> bytes) {
+  const device::Address addr = nvm.allocate(bytes.size());
+  nvm.write(addr, bytes);
+  record(label, addr, bytes.size());
+  if (config_.integrity.seal_regions) {
+    regions_.back().sealed = true;
+    // CRC of the *intended* contents (like a toolchain sealing the image
+    // it burns) — deploy-time write corruption is therefore scrubbed too.
+    regions_.back().crc = device::crc16_ccitt(bytes);
+    ++sealed_count_;
+  }
+  return addr;
+}
+
+std::uint32_t DeployedModel::read_progress(const device::Nvm& nvm) const {
+  if (!config_.integrity.protect_progress) {
+    std::uint8_t raw[4];
+    for (std::size_t i = 0; i < 4; ++i) {
+      raw[i] = nvm.peek(progress_addr_ + i);
+    }
+    std::uint32_t value = 0;
+    std::memcpy(&value, raw, 4);
+    return value;
+  }
+  std::optional<std::uint32_t> newest;
+  for (std::size_t slot = 0; slot < 2; ++slot) {
+    std::array<std::uint8_t, kProgressRecordBytes> record{};
+    for (std::size_t i = 0; i < kProgressRecordBytes; ++i) {
+      record[i] = nvm.peek(progress_addr_ + slot * kProgressSlotStride + i);
+    }
+    const std::optional<std::uint32_t> counter =
+        decode_progress_record(record);
+    if (counter && (!newest || *counter > *newest)) {
+      newest = counter;
+    }
+  }
+  if (!newest) {
+    throw IntegrityError("both progress records are corrupt");
+  }
+  return *newest;
+}
+
+std::vector<std::string> DeployedModel::scrub_errors(
+    const device::Nvm& nvm) const {
+  std::vector<std::string> bad;
+  std::size_t k = 0;
+  std::vector<std::uint8_t> bytes;
+  for (const Region& r : regions_) {
+    if (!r.sealed) {
+      continue;
+    }
+    bytes.resize(r.bytes);
+    for (std::size_t i = 0; i < r.bytes; ++i) {
+      bytes[i] = nvm.peek(r.begin + i);
+    }
+    const std::uint16_t crc = device::crc16_ccitt(bytes);
+    const std::uint16_t stored = static_cast<std::uint16_t>(
+        nvm.peek(crc_table_addr_ + k * 2) |
+        (nvm.peek(crc_table_addr_ + k * 2 + 1) << 8));
+    if (crc != stored) {
+      bad.push_back(r.label);
+    }
+    ++k;
+  }
+  return bad;
 }
 
 void DeployedModel::record(std::string label, device::Address begin,

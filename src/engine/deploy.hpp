@@ -5,10 +5,12 @@
 // engine needs to execute inference entirely from device memory.
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "device/msp430.hpp"
 #include "engine/bsr.hpp"
+#include "engine/integrity.hpp"
 #include "engine/lowering.hpp"
 
 namespace iprune::engine {
@@ -70,14 +72,47 @@ class DeployedModel {
   }
 
   /// One allocated NVM region (for layout inspection / validation).
+  /// Static regions are `sealed` when IntegrityConfig::seal_regions is on:
+  /// `crc` is the CRC16 of the intended contents, also stored in the NVM
+  /// checksum table (k-th sealed region, in regions() order, at
+  /// crc_table_addr() + 2k).
   struct Region {
     std::string label;
     device::Address begin = 0;
     std::size_t bytes = 0;
+    bool sealed = false;
+    std::uint16_t crc = 0;
   };
   [[nodiscard]] const std::vector<Region>& regions() const {
     return regions_;
   }
+  [[nodiscard]] std::size_t sealed_regions() const { return sealed_count_; }
+  [[nodiscard]] device::Address crc_table_addr() const {
+    return crc_table_addr_;
+  }
+
+  /// CRC-sealed double-buffered progress records instead of a raw u32?
+  [[nodiscard]] bool protected_progress() const {
+    return config_.integrity.protect_progress;
+  }
+  /// NVM partial-sum buffering: 2 slots under protected progress (a torn
+  /// commit must not destroy the psum the recovery re-execution reads),
+  /// 1 otherwise. Slot s of a k-block chain lives at
+  /// psum_addr() + (s % psum_slots()) * psum_stride().
+  [[nodiscard]] std::size_t psum_slots() const { return psum_slots_; }
+  [[nodiscard]] std::size_t psum_stride() const { return psum_stride_; }
+
+  /// Decode the persisted progress indicator without charging the device
+  /// (host-side inspection; bypasses any corruption model's read path).
+  /// Protected: newest valid record, throwing IntegrityError when both
+  /// slots are corrupt. Unprotected: the raw u32.
+  [[nodiscard]] std::uint32_t read_progress(const device::Nvm& nvm) const;
+
+  /// Host-side scrub: labels of sealed regions whose NVM contents no
+  /// longer match the checksum table (empty = clean). Uncharged; the
+  /// engine's boot scrub is the charged equivalent.
+  [[nodiscard]] std::vector<std::string> scrub_errors(
+      const device::Nvm& nvm) const;
 
   /// Debug facility: verify every allocated region is in bounds and that
   /// no two regions overlap. Returns an empty string when the layout is
@@ -87,6 +122,11 @@ class DeployedModel {
 
  private:
   void record(std::string label, device::Address begin, std::size_t bytes);
+  /// Allocate + write one static region; seals it (CRC of `bytes`) when
+  /// IntegrityConfig::seal_regions is on.
+  device::Address write_region(const std::string& label,
+                               device::Nvm& nvm,
+                               std::span<const std::uint8_t> bytes);
 
   EngineConfig config_;
   LoweredGraph lowered_;
@@ -94,6 +134,10 @@ class DeployedModel {
   std::vector<Region> regions_;
   device::Address psum_addr_ = 0;
   device::Address progress_addr_ = 0;
+  device::Address crc_table_addr_ = 0;
+  std::size_t sealed_count_ = 0;
+  std::size_t psum_slots_ = 1;
+  std::size_t psum_stride_ = 0;
 };
 
 }  // namespace iprune::engine

@@ -1,7 +1,12 @@
 #include "engine/engine.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
+#include <vector>
+
+#include "device/crc16.hpp"
 
 namespace iprune::engine {
 
@@ -51,9 +56,25 @@ std::int16_t IntermittentEngine::requantize(std::int64_t psum,
   return q;
 }
 
-void IntermittentEngine::commit_job() {
+device::Address IntermittentEngine::psum_slot_addr(std::size_t chain_slot,
+                                                   std::size_t offset) const {
+  const std::size_t parity = chain_slot % model_.psum_slots();
+  return model_.psum_addr() + parity * model_.psum_stride() + offset;
+}
+
+void IntermittentEngine::stage_progress(device::WriteBatch& batch) const {
+  const std::uint32_t next = job_counter_ + 1;
+  if (model_.protected_progress()) {
+    batch.push_bytes(
+        model_.progress_addr() + progress_slot(next) * kProgressSlotStride,
+        encode_progress_record(next));
+  } else {
+    batch.push_u32(model_.progress_addr(), next);
+  }
+}
+
+void IntermittentEngine::note_commit() {
   ++job_counter_;
-  device_.nvm().write_u32(model_.progress_addr(), job_counter_);
   if (probe_ != nullptr) {
     probe_->on_commit(job_counter_);
   }
@@ -69,24 +90,127 @@ void IntermittentEngine::commit_job() {
   }
 }
 
+void IntermittentEngine::emit_integrity_event(const std::string& name,
+                                              std::uint64_t seq) {
+  telemetry::TraceSink& sink = device_.trace_sink();
+  if (!sink.enabled()) {
+    return;
+  }
+  telemetry::Event event;
+  event.cls = telemetry::EventClass::kIntegrity;
+  event.phase = telemetry::EventPhase::kInstant;
+  event.t_us = device_.now_us();
+  event.name = name;
+  event.seq = seq;
+  sink.record(event);
+}
+
 bool IntermittentEngine::recover_progress() {
-  if (!device_.dma_read(8)) {  // progress indicator re-read
+  if (!model_.protected_progress()) {
+    if (!device_.dma_read(8)) {  // progress indicator re-read
+      return false;
+    }
+    const std::uint32_t persisted =
+        device_.nvm().read_u32(model_.progress_addr());
+    if (persisted != job_counter_) {
+      throw std::runtime_error(
+          "IntermittentEngine: progress counter mismatch after recovery — "
+          "NVM holds " + std::to_string(persisted) +
+          " but the engine committed " + std::to_string(job_counter_) +
+          " jobs (crash-consistency violation: a commit was torn, skipped "
+          "or reordered)");
+    }
+    if (probe_ != nullptr) {
+      probe_->on_recovery(persisted, device_.vm_epoch());
+    }
+    pending_recovery_ = false;
+    return true;
+  }
+
+  // Protected path: re-read both commit records, decoding each against
+  // its CRC. One bounded re-read clears transient read faults (a stuck or
+  // torn record stays invalid the second time too).
+  const auto read_slots = [this](std::optional<std::uint32_t>* slots) {
+    std::uint8_t raw[kProgressRecordBytes];
+    for (std::size_t s = 0; s < 2; ++s) {
+      device_.nvm().read(
+          model_.progress_addr() + s * kProgressSlotStride, raw);
+      slots[s] = decode_progress_record(raw);
+    }
+  };
+  if (!device_.dma_read(2 * kProgressRecordBytes)) {
     return false;
   }
-  const std::uint32_t persisted =
-      device_.nvm().read_u32(model_.progress_addr());
-  if (persisted != job_counter_) {
+  std::optional<std::uint32_t> slots[2];
+  read_slots(slots);
+  if (!slots[0] || !slots[1]) {
+    if (!device_.dma_read(2 * kProgressRecordBytes)) {
+      return false;
+    }
+    read_slots(slots);
+  }
+  if (!slots[0] && !slots[1]) {
+    throw IntegrityError(
+        "both progress records are corrupt after a power failure — the "
+        "resume point is unrecoverable (job counter was " +
+        std::to_string(job_counter_) + ")");
+  }
+  const std::uint32_t newest =
+      std::max(slots[0].value_or(0), slots[1].value_or(0));
+  // Only two cleanly decoded records that BOTH lag the engine's count
+  // prove a lost commit (true consistency violation). With a corrupt
+  // slot, the stale-looking survivor just means the newest record is the
+  // unreadable one — fall through to the rollback path instead.
+  if (slots[0] && slots[1] && newest < job_counter_) {
     throw std::runtime_error(
         "IntermittentEngine: progress counter mismatch after recovery — "
-        "NVM holds " + std::to_string(persisted) +
+        "NVM holds " + std::to_string(newest) +
         " but the engine committed " + std::to_string(job_counter_) +
         " jobs (crash-consistency violation: a commit was torn, skipped "
         "or reordered)");
   }
+  // An invalid slot is the in-flight record the outage tore; newest >
+  // job_counter_ is the rarer tear whose garbage happened to pass the
+  // CRC. Either way the older record is the true resume point — roll
+  // back to job_counter_ and let re-execution overwrite the bad slot.
+  if (!slots[0] || !slots[1] || newest > job_counter_) {
+    ++active_stats_->integrity_rollbacks;
+    emit_integrity_event("progress_rollback", job_counter_);
+  }
   if (probe_ != nullptr) {
-    probe_->on_recovery(persisted, device_.vm_epoch());
+    probe_->on_recovery(job_counter_, device_.vm_epoch());
   }
   pending_recovery_ = false;
+  return true;
+}
+
+bool IntermittentEngine::scrub_regions() {
+  std::size_t k = 0;
+  std::vector<std::uint8_t> bytes;
+  for (const DeployedModel::Region& r : model_.regions()) {
+    if (!r.sealed) {
+      continue;
+    }
+    if (!device_.dma_read(r.bytes + 2)) {  // region + its checksum word
+      return false;
+    }
+    bytes.resize(r.bytes);
+    device_.nvm().read(r.begin, bytes);
+    const std::uint16_t crc = device::crc16_ccitt(bytes);
+    std::uint8_t entry[2];
+    device_.nvm().read(model_.crc_table_addr() + k * 2, entry);
+    const std::uint16_t stored =
+        static_cast<std::uint16_t>(entry[0] | (entry[1] << 8));
+    if (crc != stored) {
+      ++active_stats_->scrub_failures;
+      emit_integrity_event("scrub_fail:" + r.label, k);
+      throw IntegrityError(
+          "boot scrub: region '" + r.label + "' fails its CRC (stored " +
+          std::to_string(stored) + ", computed " + std::to_string(crc) +
+          ") — deployed model state is corrupt");
+    }
+    ++k;
+  }
   return true;
 }
 
@@ -174,7 +298,6 @@ bool IntermittentEngine::run_gemm_task(const LoweredNode& ln) {
   const TilePlan& plan = ln.plan;
   const device::Address in_buf = model_.node(ln.inputs[0]).buffer;
   const device::Address out_buf = nd.buffer;
-  const device::Address psum_base = model_.psum_addr();
   device::Nvm& nvm = device_.nvm();
   const bool relu = ln.relu_folded;
 
@@ -200,20 +323,27 @@ bool IntermittentEngine::run_gemm_task(const LoweredNode& ln) {
             continue;
           }
           if (!device_.dma_read(rows_in * 4) ||
-              !device_.cpu_work(jobs * config_.cpu_cycles_per_job) ||
-              !device_.dma_write(jobs * 2 + config_.counter_bytes)) {
+              !device_.cpu_work(jobs * config_.cpu_cycles_per_job)) {
             pending_recovery_ = true;
             active_stats_->reexecuted_jobs += jobs;
             continue;
           }
+          batch_.clear();
           for (std::size_t idx = 0; idx < jobs; ++idx) {
             const std::size_t r_global = rt * plan.br + idx / cols_in;
             const std::size_t c_global = ct * plan.bc + idx % cols_in;
-            nvm.write_i16(out_buf + (r_global * plan.cols + c_global) * 2,
-                          requantize(gd.bias_q[r_global], gd.multiplier,
-                                     relu));
+            batch_.push_i16(out_buf + (r_global * plan.cols + c_global) * 2,
+                            requantize(gd.bias_q[r_global], gd.multiplier,
+                                       relu));
           }
-          commit_job();
+          stage_progress(batch_);
+          if (!device_.dma_commit(batch_,
+                                  jobs * 2 + config_.counter_bytes)) {
+            pending_recovery_ = true;
+            active_stats_->reexecuted_jobs += jobs;
+            continue;
+          }
+          note_commit();
           active_stats_->acc_outputs += jobs;
           active_stats_->preserved_outputs += jobs;
           break;
@@ -233,6 +363,7 @@ bool IntermittentEngine::run_gemm_task(const LoweredNode& ln) {
         const std::size_t kt = gd.bsr.col(slot);
         const bool first = slot == begin;
         const bool last = slot + 1 == end;
+        const std::size_t ls = slot - begin;  // k-chain slot (psum parity)
         const std::size_t k0 = kt * plan.bk;
         const std::size_t bk_actual = plan.k_in_tile(kt);
         const std::int16_t* w_block = gd.bsr.block(slot);
@@ -268,10 +399,12 @@ bool IntermittentEngine::run_gemm_task(const LoweredNode& ln) {
                      w_block[r * plan.bk + kk];
             }
             const std::int32_t contribution = shift_round_q15(acc);
-            const device::Address psum_addr =
-                psum_base + (r_global * plan.cols + c_global) * 4;
-            tile[idx] = first ? contribution
-                              : nvm.read_i32(psum_addr) + contribution;
+            const std::size_t psum_off =
+                (r_global * plan.cols + c_global) * 4;
+            tile[idx] =
+                first ? contribution
+                      : nvm.read_i32(psum_slot_addr(ls - 1, psum_off)) +
+                            contribution;
             if (!device_.lea_op(bk_actual)) {
               failed = true;
               active_stats_->reexecuted_jobs += idx + 1;
@@ -284,31 +417,35 @@ bool IntermittentEngine::run_gemm_task(const LoweredNode& ln) {
             continue;
           }
 
-          // Single batched commit: all outputs + the loop-index indicator.
+          // Single batched commit: all outputs + the loop-index indicator
+          // (staged so an injected outage can tear it mid-transfer).
           const std::size_t bytes =
               jobs * (last ? 2 : config_.psum_bytes) + config_.counter_bytes;
-          if (!device_.dma_write(bytes)) {
-            pending_recovery_ = true;
-            active_stats_->reexecuted_jobs += jobs;
-            continue;
-          }
+          batch_.clear();
           for (std::size_t idx = 0; idx < jobs; ++idx) {
             const std::size_t r = idx / cols_in;
             const std::size_t c = idx % cols_in;
             const std::size_t r_global = rt * plan.br + r;
             const std::size_t c_global = ct * plan.bc + c;
             if (last) {
-              nvm.write_i16(
+              batch_.push_i16(
                   out_buf + (r_global * plan.cols + c_global) * 2,
                   requantize(static_cast<std::int64_t>(tile[idx]) +
                                  gd.bias_q[r_global],
                              gd.multiplier, relu));
             } else {
-              nvm.write_i32(psum_base + (r_global * plan.cols + c_global) * 4,
-                            tile[idx]);
+              batch_.push_i32(
+                  psum_slot_addr(ls, (r_global * plan.cols + c_global) * 4),
+                  tile[idx]);
             }
           }
-          commit_job();
+          stage_progress(batch_);
+          if (!device_.dma_commit(batch_, bytes)) {
+            pending_recovery_ = true;
+            active_stats_->reexecuted_jobs += jobs;
+            continue;
+          }
+          note_commit();
           active_stats_->acc_outputs += jobs;
           active_stats_->preserved_outputs += jobs;
           active_stats_->macs += jobs * bk_actual;
@@ -328,7 +465,6 @@ bool IntermittentEngine::run_gemm_immediate(const LoweredNode& ln) {
   const TilePlan& plan = ln.plan;
   const device::Address in_buf = model_.node(ln.inputs[0]).buffer;
   const device::Address out_buf = nd.buffer;
-  const device::Address psum_base = model_.psum_addr();
   device::Nvm& nvm = device_.nvm();
   const bool relu = ln.relu_folded;
 
@@ -363,18 +499,21 @@ bool IntermittentEngine::run_gemm_immediate(const LoweredNode& ln) {
             const std::size_t c_global = ct * plan.bc + idx % cols_in;
             const std::int16_t out_q = requantize(
                 gd.bias_q[r_global], gd.multiplier, relu);
-            if (!device_.pipelined_job(0, 2 + config_.counter_bytes,
-                                       config_.cpu_cycles_per_job)) {
+            batch_.clear();
+            batch_.push_i16(out_buf + (r_global * plan.cols + c_global) * 2,
+                            out_q);
+            stage_progress(batch_);
+            if (!device_.pipelined_commit(batch_, 0,
+                                          2 + config_.counter_bytes,
+                                          config_.cpu_cycles_per_job)) {
               pending_recovery_ = true;
               failed = true;
               break;
             }
-            nvm.write_i16(out_buf + (r_global * plan.cols + c_global) * 2,
-                          out_q);
             ++done;
             ++active_stats_->acc_outputs;
             ++active_stats_->preserved_outputs;
-            commit_job();
+            note_commit();
           }
           if (!failed) {
             break;
@@ -394,6 +533,7 @@ bool IntermittentEngine::run_gemm_immediate(const LoweredNode& ln) {
         const std::size_t kt = gd.bsr.col(slot);
         const bool first = slot == begin;
         const bool last = slot + 1 == end;
+        const std::size_t ls = slot - begin;  // k-chain slot (psum parity)
         const std::size_t k0 = kt * plan.bk;
         const std::size_t bk_actual = plan.k_in_tile(kt);
         const std::int16_t* w_block = gd.bsr.block(slot);
@@ -441,34 +581,38 @@ bool IntermittentEngine::run_gemm_immediate(const LoweredNode& ln) {
               acc += static_cast<std::int64_t>(x) * w_block[r * plan.bk + kk];
             }
             const std::int32_t contribution = shift_round_q15(acc);
-            const device::Address psum_addr =
-                psum_base + (r_global * plan.cols + c_global) * 4;
+            const std::size_t psum_off =
+                (r_global * plan.cols + c_global) * 4;
             const std::int32_t psum_new =
-                first ? contribution : nvm.read_i32(psum_addr) + contribution;
+                first ? contribution
+                      : nvm.read_i32(psum_slot_addr(ls - 1, psum_off)) +
+                            contribution;
 
             const std::size_t write_bytes =
                 (last ? 2 : config_.psum_bytes) + config_.counter_bytes;
-            if (!device_.pipelined_job(bk_actual, write_bytes,
-                                       config_.cpu_cycles_per_job)) {
+            batch_.clear();
+            if (last) {
+              batch_.push_i16(
+                  out_buf + (r_global * plan.cols + c_global) * 2,
+                  requantize(static_cast<std::int64_t>(psum_new) +
+                                 gd.bias_q[r_global],
+                             gd.multiplier, relu));
+            } else {
+              batch_.push_i32(psum_slot_addr(ls, psum_off), psum_new);
+            }
+            stage_progress(batch_);
+            if (!device_.pipelined_commit(batch_, bk_actual, write_bytes,
+                                          config_.cpu_cycles_per_job)) {
               pending_recovery_ = true;
               ++active_stats_->reexecuted_jobs;
               failed = true;
               break;
             }
-            if (last) {
-              const std::int16_t out_q = requantize(
-                  static_cast<std::int64_t>(psum_new) + gd.bias_q[r_global],
-                  gd.multiplier, relu);
-              nvm.write_i16(out_buf + (r_global * plan.cols + c_global) * 2,
-                            out_q);
-            } else {
-              nvm.write_i32(psum_addr, psum_new);
-            }
             ++done;
             ++active_stats_->acc_outputs;
             ++active_stats_->preserved_outputs;
             active_stats_->macs += bk_actual;
-            commit_job();
+            note_commit();
           }
           if (!failed) {
             break;
@@ -636,18 +780,21 @@ bool IntermittentEngine::run_pool(const LoweredNode& ln) {
           bool failed = false;
           for (std::size_t ox = done; ox < out_w; ++ox) {
             const std::int16_t out_q = compute(c, oy, ox);
-            if (!device_.pipelined_job(0, 2 + config_.counter_bytes,
-                                       cycles_per_job)) {
+            batch_.clear();
+            batch_.push_i16(out_buf + ((c * out_h + oy) * out_w + ox) * 2,
+                            out_q);
+            stage_progress(batch_);
+            if (!device_.pipelined_commit(batch_, 0,
+                                          2 + config_.counter_bytes,
+                                          cycles_per_job)) {
               pending_recovery_ = true;
               ++active_stats_->reexecuted_jobs;
               failed = true;
               break;
             }
-            nvm.write_i16(out_buf + ((c * out_h + oy) * out_w + ox) * 2,
-                          out_q);
             ++done;
             ++active_stats_->preserved_outputs;
-            commit_job();
+            note_commit();
           }
           if (!failed) {
             break;
@@ -655,19 +802,26 @@ bool IntermittentEngine::run_pool(const LoweredNode& ln) {
         } else if (task_atomic) {
           // One output row is the atomic task: compute in VM, commit the
           // row and the indicator in a single batched write.
-          if (!device_.cpu_work(out_w * cycles_per_job) ||
-              !device_.dma_write(out_w * 2 + config_.counter_bytes)) {
+          if (!device_.cpu_work(out_w * cycles_per_job)) {
             pending_recovery_ = true;
             active_stats_->reexecuted_jobs += out_w;
             continue;
           }
+          batch_.clear();
           for (std::size_t ox = 0; ox < out_w; ++ox) {
-            nvm.write_i16(out_buf + ((c * out_h + oy) * out_w + ox) * 2,
-                          compute(c, oy, ox));
+            batch_.push_i16(out_buf + ((c * out_h + oy) * out_w + ox) * 2,
+                            compute(c, oy, ox));
+          }
+          stage_progress(batch_);
+          if (!device_.dma_commit(batch_,
+                                  out_w * 2 + config_.counter_bytes)) {
+            pending_recovery_ = true;
+            active_stats_->reexecuted_jobs += out_w;
+            continue;
           }
           done = out_w;
           active_stats_->preserved_outputs += out_w;
-          commit_job();
+          note_commit();
         } else {
           if (!device_.cpu_work(out_w * cycles_per_job) ||
               !device_.dma_write(out_w * 2)) {
@@ -722,13 +876,7 @@ bool IntermittentEngine::run_copy(const LoweredNode& ln) {
         }
         const std::size_t write_bytes =
             count * 2 + (immediate ? config_.counter_bytes : 0);
-        if (!device_.pipelined_job(0, write_bytes, count * 3)) {
-          if (!immediate) {
-            return false;
-          }
-          pending_recovery_ = true;
-          continue;
-        }
+        batch_.clear();
         for (std::size_t i = 0; i < count; ++i) {
           const std::int16_t v = nvm.read_i16(in_nd.buffer + (begin + i) * 2);
           std::int16_t out_q;
@@ -738,11 +886,21 @@ bool IntermittentEngine::run_copy(const LoweredNode& ln) {
             out_q = clamp_i16(
                 std::lround(static_cast<double>(v) * ratio));
           }
-          nvm.write_i16(out_buf + (out_offset + begin + i) * 2, out_q);
+          batch_.push_i16(out_buf + (out_offset + begin + i) * 2, out_q);
+        }
+        if (immediate) {
+          stage_progress(batch_);
+        }
+        if (!device_.pipelined_commit(batch_, 0, write_bytes, count * 3)) {
+          if (!immediate) {
+            return false;
+          }
+          pending_recovery_ = true;
+          continue;
         }
         ++active_stats_->preserved_outputs;
         if (immediate) {
-          commit_job();
+          note_commit();
         }
         committed = true;
       }
@@ -770,6 +928,18 @@ InferenceResult IntermittentEngine::run(const nn::Tensor& sample) {
 
   emit_scope(telemetry::EventClass::kInference, telemetry::EventPhase::kBegin,
              "inference", 0);
+
+  // Boot scrub: verify every sealed static region against the checksum
+  // table before touching the model (throws IntegrityError on mismatch).
+  if (config_.integrity.scrub_on_boot && model_.sealed_regions() > 0) {
+    std::size_t scrub_retries = 0;
+    while (!scrub_regions()) {
+      if (++scrub_retries > kMaxOpRetries) {
+        retry_overflow("boot scrub");
+      }
+    }
+  }
+
   bool finished = false;
   std::size_t attempts = 0;
   while (!finished) {
@@ -781,24 +951,39 @@ InferenceResult IntermittentEngine::run(const nn::Tensor& sample) {
     pending_recovery_ = false;
 
     // Load + quantize the input sample into its NVM buffer, and reset the
-    // progress region. Idempotent, so a mid-write failure just retries.
+    // progress region. Idempotent, so a mid-write failure just retries
+    // (a torn prefix is simply overwritten by the retry).
+    const device::Address in_buf = model_.node(0).buffer;
     std::size_t retries = 0;
     bool loaded = false;
     while (!loaded) {
       if (++retries > kMaxOpRetries) {
         retry_overflow("input load");
       }
-      if (!device_.dma_write(sample.numel() * 2) || !device_.dma_write(8)) {
+      batch_.clear();
+      for (std::size_t i = 0; i < sample.numel(); ++i) {
+        batch_.push_i16(in_buf + i * 2,
+                        clamp_i16(std::lround(sample[i] / in_scale)));
+      }
+      if (!device_.dma_commit(batch_, sample.numel() * 2)) {
+        continue;
+      }
+      batch_.clear();
+      std::size_t init_charge = 8;  // matches the classic progress reset
+      if (model_.protected_progress()) {
+        const auto record = encode_progress_record(0);
+        batch_.push_bytes(model_.progress_addr(), record);
+        batch_.push_bytes(
+            model_.progress_addr() + kProgressSlotStride, record);
+        init_charge = 2 * kProgressRecordBytes;
+      } else {
+        batch_.push_u32(model_.progress_addr(), 0);
+      }
+      if (!device_.dma_commit(batch_, init_charge)) {
         continue;
       }
       loaded = true;
     }
-    const device::Address in_buf = model_.node(0).buffer;
-    for (std::size_t i = 0; i < sample.numel(); ++i) {
-      nvm.write_i16(in_buf + i * 2,
-                    clamp_i16(std::lround(sample[i] / in_scale)));
-    }
-    nvm.write_u32(model_.progress_addr(), 0);
 
     bool interrupted = false;
     result.per_node.clear();

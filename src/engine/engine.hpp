@@ -37,6 +37,12 @@ struct InferenceStats {
   /// (kImmediate loses at most the interrupted job; kTaskAtomic loses the
   /// whole interrupted task).
   std::size_t reexecuted_jobs = 0;
+  /// Recoveries that found a torn or corrupt progress record and rolled
+  /// back to the older valid one (protect_progress only).
+  std::size_t integrity_rollbacks = 0;
+  /// Sealed regions that failed the boot scrub (the first failure throws
+  /// IntegrityError, so this is 0 or 1 per run).
+  std::size_t scrub_failures = 0;
   bool completed = true;
 };
 
@@ -100,13 +106,35 @@ class IntermittentEngine {
   [[nodiscard]] static std::int16_t requantize(std::int64_t psum,
                                                float multiplier, bool relu);
 
-  void commit_job();  // bump + persist the job counter
+  /// NVM address of partial sum `offset` for k-chain slot `chain_slot`
+  /// (double-buffered by slot parity under protected progress).
+  [[nodiscard]] device::Address psum_slot_addr(std::size_t chain_slot,
+                                               std::size_t offset) const;
+
+  /// Append the next commit's progress indicator to `batch` — the raw u32,
+  /// or the CRC-sealed record into the alternating slot when protected.
+  /// Always the batch's LAST part, so a torn write can lose the record but
+  /// never land a record whose data didn't.
+  void stage_progress(device::WriteBatch& batch) const;
+  /// VM-side bookkeeping after a successful commit: bump the counter,
+  /// notify the probe, emit the telemetry instant.
+  void note_commit();
 
   /// Post-failure recovery: charge the progress-indicator re-read, then
   /// verify the persisted counter matches the engine's own job count — the
   /// core crash-consistency assertion (a mismatch means a commit was torn
-  /// or reordered). Returns false if the re-read itself browned out.
+  /// or reordered). Under protected progress a torn/corrupt record instead
+  /// rolls back to the newest valid one (counted in integrity_rollbacks);
+  /// both records corrupt throws IntegrityError. Returns false if the
+  /// re-read itself browned out.
   [[nodiscard]] bool recover_progress();
+
+  /// Boot scrub: charge a full read of every sealed region plus its
+  /// checksum word and verify the CRC. Throws IntegrityError on the first
+  /// mismatch. Returns false if a read browned out (caller retries).
+  [[nodiscard]] bool scrub_regions();
+
+  void emit_integrity_event(const std::string& name, std::uint64_t seq);
 
   /// Emit a scoped telemetry event (inference/layer/tile begin-end)
   /// stamped with the current simulated time. No-op under the null sink.
@@ -116,6 +144,7 @@ class IntermittentEngine {
   DeployedModel& model_;
   device::Msp430Device& device_;
   const EngineConfig& config_;
+  device::WriteBatch batch_;  // staging buffer reused across commits
   std::uint32_t job_counter_ = 0;
   bool pending_recovery_ = false;
   InferenceStats* active_stats_ = nullptr;

@@ -1,0 +1,41 @@
+#include "engine/integrity.hpp"
+
+#include "device/crc16.hpp"
+
+namespace iprune::engine {
+
+std::array<std::uint8_t, kProgressRecordBytes> encode_progress_record(
+    std::uint32_t counter) {
+  std::array<std::uint8_t, kProgressRecordBytes> record{};
+  record[0] = static_cast<std::uint8_t>(counter);
+  record[1] = static_cast<std::uint8_t>(counter >> 8);
+  record[2] = static_cast<std::uint8_t>(counter >> 16);
+  record[3] = static_cast<std::uint8_t>(counter >> 24);
+  const std::uint16_t crc =
+      device::crc16_ccitt(std::span<const std::uint8_t>(record.data(), 4));
+  // CRC appended MSB-first: crc16_ccitt over all 6 bytes is then 0, the
+  // classic transmit-residue property.
+  record[4] = static_cast<std::uint8_t>(crc >> 8);
+  record[5] = static_cast<std::uint8_t>(crc);
+  return record;
+}
+
+std::optional<std::uint32_t> decode_progress_record(
+    std::span<const std::uint8_t> record) {
+  if (record.size() != kProgressRecordBytes) {
+    return std::nullopt;
+  }
+  const std::uint16_t crc =
+      device::crc16_ccitt(std::span<const std::uint8_t>(record.data(), 4));
+  const std::uint16_t stored = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(record[4]) << 8) | record[5]);
+  if (crc != stored) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint32_t>(record[0]) |
+         (static_cast<std::uint32_t>(record[1]) << 8) |
+         (static_cast<std::uint32_t>(record[2]) << 16) |
+         (static_cast<std::uint32_t>(record[3]) << 24);
+}
+
+}  // namespace iprune::engine

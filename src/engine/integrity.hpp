@@ -1,0 +1,47 @@
+#pragma once
+// CRC-sealed progress commit records (docs/nvm_integrity.md).
+//
+// With IntegrityConfig::protect_progress the engine's progress indicator
+// is no longer a bare u32: each commit writes a 6-byte record
+//   { u32 counter (LE), u16 crc16-ccitt over the counter bytes (BE) }
+// into one of two slots (slot = counter % 2, 8-byte stride), so the
+// previous record survives any torn or bit-flipped write of the current
+// one. Recovery decodes both slots and resumes from the newest valid
+// record; both slots corrupt is unrecoverable and throws IntegrityError.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+namespace iprune::engine {
+
+/// Detected-but-unrecoverable NVM corruption: both progress records
+/// invalid, or a sealed weight/index/bias region failing its boot scrub.
+class IntegrityError : public std::runtime_error {
+ public:
+  explicit IntegrityError(const std::string& what)
+      : std::runtime_error("IntegrityError: " + what) {}
+};
+
+inline constexpr std::size_t kProgressRecordBytes = 6;
+inline constexpr std::size_t kProgressSlotStride = 8;
+/// Both slots, 2-byte-aligned stride each.
+inline constexpr std::size_t kProgressRegionBytes = 16;
+
+/// Slot the record for `counter` is written to (the other slot keeps the
+/// previous commit).
+[[nodiscard]] inline std::size_t progress_slot(std::uint32_t counter) {
+  return counter % 2;
+}
+
+[[nodiscard]] std::array<std::uint8_t, kProgressRecordBytes>
+encode_progress_record(std::uint32_t counter);
+
+/// The record's counter if its CRC validates, std::nullopt otherwise.
+[[nodiscard]] std::optional<std::uint32_t> decode_progress_record(
+    std::span<const std::uint8_t> record);
+
+}  // namespace iprune::engine

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "engine/integrity.hpp"
 #include "engine/lowering.hpp"
 #include "engine/probe.hpp"
 #include "fault/injector.hpp"
@@ -193,7 +194,14 @@ ConsistencyChecker::RunArtifacts ConsistencyChecker::execute(
   art.commit_violation = monitor.violation();
   art.last_commit = monitor.last_commit();
   art.layout_error = model.validate_layout(device.nvm());
-  art.persisted_counter = device.nvm().read_u32(model.progress_addr());
+  try {
+    art.persisted_counter = model.read_progress(device.nvm());
+  } catch (const engine::IntegrityError&) {
+    // Both protected records corrupt — only reachable when the run itself
+    // already failed; leave the counter at 0 and let the run's own verdict
+    // (exception / divergence) carry the failure.
+    art.persisted_counter = 0;
+  }
   return art;
 }
 

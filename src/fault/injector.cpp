@@ -37,6 +37,19 @@ bool FaultInjector::should_fail(power::FaultPoint point) {
   return fail;
 }
 
+std::size_t FaultInjector::torn_write_bytes(std::size_t total_bytes) {
+  switch (schedule_.torn) {
+    case TornMode::kDropAll:
+      return 0;
+    case TornMode::kKeep:
+      return static_cast<std::size_t>(
+          std::min<std::uint64_t>(schedule_.torn_keep, total_bytes));
+    case TornMode::kRandom:
+      return total_bytes == 0 ? 0 : rng_.uniform_index(total_bytes);
+  }
+  return 0;
+}
+
 bool FaultInjector::decide(power::FaultPoint point, std::uint64_t ordinal,
                            std::uint64_t write_ordinal) {
   switch (schedule_.mode) {

@@ -32,6 +32,12 @@ class FaultInjector final : public power::FaultHook {
   /// nontermination watchdog for schedules denser than one inference).
   bool should_fail(power::FaultPoint point) override;
 
+  /// FaultHook: torn-write prefix for the staged NVM commit interrupted
+  /// by the outage just injected, per the schedule's TornMode. kRandom
+  /// draws from the schedule RNG stream (after the outage decision), so
+  /// replays with the same seed tear at the same offsets.
+  std::size_t torn_write_bytes(std::size_t total_bytes) override;
+
   /// Rewind to the pre-run state (counters, RNG stream, realized outages)
   /// so one injector can drive several runs of the same schedule.
   void reset();

@@ -1,0 +1,351 @@
+#include "fault/integrity.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "device/corruption.hpp"
+#include "engine/deploy.hpp"
+#include "engine/engine.hpp"
+#include "engine/integrity.hpp"
+#include "fault/injector.hpp"
+#include "power/supply.hpp"
+#include "runtime/parallel.hpp"
+
+namespace iprune::fault {
+
+namespace {
+
+using engine::PreservationMode;
+
+/// Resolve a scenario region spec against the deployed layout: exact
+/// label match first, otherwise the first region whose label ends with
+/// the spec (so ".bsr_values" targets the first weights region without
+/// hard-coding layer names).
+const engine::DeployedModel::Region& find_region(
+    const engine::DeployedModel& model, const std::string& spec) {
+  for (const auto& r : model.regions()) {
+    if (r.label == spec) {
+      return r;
+    }
+  }
+  for (const auto& r : model.regions()) {
+    if (r.label.size() >= spec.size() &&
+        r.label.compare(r.label.size() - spec.size(), spec.size(), spec) ==
+            0) {
+      return r;
+    }
+  }
+  throw std::invalid_argument(
+      "integrity scenario: no deployed region matches '" + spec + "'");
+}
+
+}  // namespace
+
+const char* integrity_verdict_name(IntegrityVerdict verdict) {
+  switch (verdict) {
+    case IntegrityVerdict::kConsistent:
+      return "consistent";
+    case IntegrityVerdict::kRecovered:
+      return "recovered";
+    case IntegrityVerdict::kDetected:
+      return "detected";
+    case IntegrityVerdict::kSilent:
+      return "SILENT";
+    case IntegrityVerdict::kCrashed:
+      return "CRASHED";
+  }
+  return "?";
+}
+
+std::string ScenarioOutcome::to_string() const {
+  std::string out = label + " mode=" + preservation_mode_name(mode) +
+                    (protect ? " protected" : " unprotected") +
+                    " :: " + integrity_verdict_name(verdict);
+  if (!detail.empty()) {
+    out += ": " + detail;
+  }
+  out += " (failures=" + std::to_string(power_failures) +
+         " rollbacks=" + std::to_string(integrity_rollbacks) +
+         " scrub_fail=" + std::to_string(scrub_failures) +
+         " flips=" + std::to_string(write_flips) + "w/" +
+         std::to_string(read_flips) + "r stuck=" +
+         std::to_string(stuck_hits) + ")";
+  return out;
+}
+
+std::size_t IntegrityReport::count(IntegrityVerdict verdict) const {
+  std::size_t n = 0;
+  for (const ScenarioOutcome& o : outcomes) {
+    if (o.verdict == verdict) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+const ScenarioOutcome* IntegrityReport::first(
+    IntegrityVerdict verdict) const {
+  for (const ScenarioOutcome& o : outcomes) {
+    if (o.verdict == verdict) {
+      return &o;
+    }
+  }
+  return nullptr;
+}
+
+int IntegrityReport::exit_code() const {
+  bool contained = false;
+  for (const ScenarioOutcome& o : outcomes) {
+    switch (o.verdict) {
+      case IntegrityVerdict::kSilent:
+      case IntegrityVerdict::kCrashed:
+        return 2;
+      case IntegrityVerdict::kRecovered:
+      case IntegrityVerdict::kDetected:
+        contained = true;
+        break;
+      case IntegrityVerdict::kConsistent:
+        break;
+    }
+  }
+  return contained ? 1 : 0;
+}
+
+IntegrityChecker::IntegrityChecker(const nn::Graph& graph,
+                                   nn::Tensor calibration,
+                                   CheckerConfig config)
+    : graph_(graph.clone()),
+      calibration_(std::move(calibration)),
+      config_(config) {}
+
+namespace {
+
+struct RunOut {
+  engine::InferenceResult result;
+  bool threw_integrity = false;
+  bool threw_other = false;
+  std::string error;
+  std::uint64_t total_events = 0;
+  std::uint64_t write_events = 0;
+  std::uint64_t write_flips = 0;
+  std::uint64_t read_flips = 0;
+  std::uint64_t stuck_hits = 0;
+};
+
+}  // namespace
+
+/// One full replay. The corruption model is installed *before*
+/// deployment so deploy-time write faults land in sealed regions exactly
+/// like field corruption would (the seal covers intended content).
+/// Region specs are resolved against an uncorrupted probe deployment —
+/// the layout is deterministic for a given (graph, config).
+static RunOut run_scenario(const nn::Graph& graph_src,
+                           const nn::Tensor& calibration,
+                           const CheckerConfig& cfg,
+                           const nn::Tensor& sample,
+                           const CorruptionScenario& scenario,
+                           PreservationMode mode, bool protect,
+                           std::uint64_t event_budget) {
+  engine::EngineConfig ecfg = cfg.engine;
+  ecfg.mode = mode;
+  ecfg.integrity.protect_progress = protect;
+  ecfg.integrity.seal_regions = protect;
+  ecfg.integrity.scrub_on_boot = protect;
+
+  device::CorruptionConfig ccfg;
+  ccfg.seed = scenario.seed;
+  ccfg.write_ber = scenario.write_ber;
+  ccfg.read_ber = scenario.read_ber;
+  if (!scenario.window_region.empty() || !scenario.stuck.empty()) {
+    nn::Graph probe_graph = graph_src.clone();
+    device::Msp430Device probe(
+        cfg.device, std::make_unique<power::ConstantSupply>(cfg.supply_w),
+        cfg.buffer);
+    engine::DeployedModel layout(probe_graph, ecfg, probe, calibration);
+    if (!scenario.window_region.empty()) {
+      const auto& r = find_region(layout, scenario.window_region);
+      ccfg.window_begin = r.begin;
+      ccfg.window_end = r.begin + r.bytes;
+    }
+    for (const StuckSpec& s : scenario.stuck) {
+      const auto& r = find_region(layout, s.region);
+      if (s.offset >= r.bytes) {
+        throw std::invalid_argument("integrity scenario: stuck offset " +
+                                    std::to_string(s.offset) +
+                                    " outside region '" + r.label + "'");
+      }
+      ccfg.stuck.push_back({r.begin + s.offset, s.bit, s.value});
+    }
+  }
+
+  RunOut out;
+  nn::Graph graph = graph_src.clone();
+  device::Msp430Device device(
+      cfg.device, std::make_unique<power::ConstantSupply>(cfg.supply_w),
+      cfg.buffer);
+  device::CorruptionModel corruption(ccfg);
+  if (scenario.has_corruption()) {
+    device.nvm().set_corruption(&corruption);
+  }
+  FaultInjector injector(scenario.schedule);
+  injector.set_event_budget(event_budget);
+  device.set_fault_hook(&injector);
+  try {
+    engine::DeployedModel model(graph, ecfg, device, calibration);
+    engine::IntermittentEngine eng(model, device);
+    eng.max_restarts = cfg.max_restarts;
+    out.result = eng.run(sample);
+  } catch (const engine::IntegrityError& e) {
+    out.threw_integrity = true;
+    out.error = e.what();
+  } catch (const std::exception& e) {
+    out.threw_other = true;
+    out.error = e.what();
+  }
+  device.set_fault_hook(nullptr);
+  device.nvm().set_corruption(nullptr);
+  out.total_events = injector.total_events();
+  out.write_events = injector.write_events();
+  out.write_flips = corruption.write_flips();
+  out.read_flips = corruption.read_flips();
+  out.stuck_hits = corruption.stuck_hits();
+  return out;
+}
+
+std::vector<float> IntegrityChecker::golden(const nn::Tensor& sample) const {
+  CorruptionScenario clean;
+  RunOut out = run_scenario(graph_, calibration_, config_, sample, clean,
+                            PreservationMode::kAccumulateInVm,
+                            /*protect=*/false, FaultInjector::kNoBudget);
+  if (out.threw_integrity || out.threw_other ||
+      !out.result.stats.completed) {
+    throw std::runtime_error(
+        "IntegrityChecker: golden run failed under continuous power" +
+        (out.error.empty() ? std::string() : ": " + out.error));
+  }
+  return out.result.logits;
+}
+
+ScenarioOutcome IntegrityChecker::check_against(
+    const nn::Tensor& sample, const std::vector<float>& golden_logits,
+    const CorruptionScenario& scenario, PreservationMode mode, bool protect,
+    std::uint64_t event_budget) const {
+  RunOut run = run_scenario(graph_, calibration_, config_, sample, scenario,
+                            mode, protect, event_budget);
+
+  ScenarioOutcome o;
+  o.label = scenario.label;
+  o.mode = mode;
+  o.protect = protect;
+  o.power_failures = run.result.stats.power_failures;
+  o.integrity_rollbacks = run.result.stats.integrity_rollbacks;
+  o.scrub_failures = run.result.stats.scrub_failures;
+  o.write_flips = run.write_flips;
+  o.read_flips = run.read_flips;
+  o.stuck_hits = run.stuck_hits;
+
+  if (run.threw_integrity) {
+    o.verdict = IntegrityVerdict::kDetected;
+    o.detail = run.error;
+    return o;
+  }
+  if (run.threw_other) {
+    o.verdict = IntegrityVerdict::kCrashed;
+    o.detail = run.error;
+    return o;
+  }
+  if (!run.result.stats.completed) {
+    o.verdict = IntegrityVerdict::kCrashed;
+    o.detail = "did not complete within " +
+               std::to_string(config_.max_restarts) + " restarts";
+    return o;
+  }
+  if (run.result.logits.size() != golden_logits.size()) {
+    o.verdict = IntegrityVerdict::kSilent;
+    o.detail = "logit count " + std::to_string(run.result.logits.size()) +
+               " != golden " + std::to_string(golden_logits.size());
+    return o;
+  }
+  for (std::size_t i = 0; i < golden_logits.size(); ++i) {
+    if (run.result.logits[i] != golden_logits[i]) {
+      o.verdict = IntegrityVerdict::kSilent;
+      o.detail = "logit " + std::to_string(i) + " diverged: got " +
+                 std::to_string(run.result.logits[i]) + ", golden " +
+                 std::to_string(golden_logits[i]);
+      return o;
+    }
+  }
+  o.verdict = o.integrity_rollbacks > 0 ? IntegrityVerdict::kRecovered
+                                        : IntegrityVerdict::kConsistent;
+  return o;
+}
+
+std::uint64_t IntegrityChecker::resolve_budget(const nn::Tensor& sample,
+                                               PreservationMode mode,
+                                               bool protect) const {
+  if (config_.event_budget != 0) {
+    return config_.event_budget;
+  }
+  CorruptionScenario clean;
+  const RunOut out =
+      run_scenario(graph_, calibration_, config_, sample, clean, mode,
+                   protect, FaultInjector::kNoBudget);
+  return out.total_events * 256 + 65536;
+}
+
+ScenarioOutcome IntegrityChecker::check(const nn::Tensor& sample,
+                                        const CorruptionScenario& scenario,
+                                        PreservationMode mode,
+                                        bool protect) const {
+  return check_against(sample, golden(sample), scenario, mode, protect,
+                       resolve_budget(sample, mode, protect));
+}
+
+IntegrityReport IntegrityChecker::check_scenarios(
+    const nn::Tensor& sample,
+    const std::vector<CorruptionScenario>& scenarios,
+    PreservationMode mode, bool protect, runtime::ThreadPool* pool) const {
+  const std::vector<float> golden_logits = golden(sample);
+  const std::uint64_t budget = resolve_budget(sample, mode, protect);
+  IntegrityReport report;
+  report.outcomes = runtime::parallel_map(
+      runtime::ThreadPool::resolve(pool), scenarios.size(),
+      [&](std::size_t index) {
+        return check_against(sample, golden_logits, scenarios[index], mode,
+                             protect, budget);
+      });
+  return report;
+}
+
+std::uint64_t IntegrityChecker::count_write_boundaries(
+    const nn::Tensor& sample, PreservationMode mode, bool protect) const {
+  CorruptionScenario clean;
+  return run_scenario(graph_, calibration_, config_, sample, clean, mode,
+                      protect, FaultInjector::kNoBudget)
+      .write_events;
+}
+
+std::vector<CorruptionScenario> IntegrityChecker::torn_commit_sweep(
+    std::uint64_t boundaries, std::uint64_t stride,
+    const std::vector<std::uint64_t>& keeps) {
+  if (stride == 0) {
+    stride = 1;
+  }
+  std::vector<CorruptionScenario> scenarios;
+  for (std::uint64_t k = 0; k < boundaries; k += stride) {
+    for (const std::uint64_t keep : keeps) {
+      CorruptionScenario s;
+      s.label = "torn@" + std::to_string(k) + ";keep=" + std::to_string(keep);
+      s.schedule = OutageSchedule::at_write(k).with_torn_keep(keep);
+      scenarios.push_back(std::move(s));
+    }
+    CorruptionScenario r;
+    r.label = "torn@" + std::to_string(k) + ";rand";
+    r.schedule = OutageSchedule::at_write(k).with_torn_random();
+    scenarios.push_back(std::move(r));
+  }
+  return scenarios;
+}
+
+}  // namespace iprune::fault

@@ -1,0 +1,164 @@
+#pragma once
+// Differential NVM data-integrity checker.
+//
+// The ConsistencyChecker (checker.hpp) proves crash consistency under
+// clean power failures — every interrupted write simply vanishes. This
+// checker closes the remaining gap in the threat model: writes that are
+// *torn* at the outage boundary (a prefix of the in-flight WriteBatch
+// lands), bit flips on the NVM store/load paths, and stuck-at cells.
+//
+// Each CorruptionScenario names a fault load (an OutageSchedule with a
+// torn-write spec, bit-error rates, stuck cells — addresses given as
+// region labels resolved against the deployed layout). check() replays
+// the scenario twice conceptually: the caller picks whether the NVM
+// integrity layer (CRC-sealed progress records, sealed static regions,
+// boot scrub) is armed, and the outcome is classified:
+//
+//   kConsistent  completed, logits bit-identical to golden, no recovery
+//   kRecovered   completed bit-identical, but only because the integrity
+//                layer rolled back a torn/corrupt progress record
+//   kDetected    fail-stop: the run threw IntegrityError (boot scrub or
+//                double-corrupt progress records) — corruption was caught
+//                before producing wrong output
+//   kSilent      completed with logits diverging from golden — silent
+//                data corruption escaped
+//   kCrashed     any other failure (consistency exception, nontermination)
+//
+// IntegrityReport::exit_code() maps a batch to the fault_check --corrupt
+// CLI contract: 0 = every scenario consistent, 1 = corruption occurred
+// but was always detected/recovered, 2 = at least one silent escape or
+// unrecovered crash.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/checker.hpp"
+#include "fault/schedule.hpp"
+#include "nn/graph.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace iprune::fault {
+
+enum class IntegrityVerdict : std::uint8_t {
+  kConsistent,
+  kRecovered,
+  kDetected,
+  kSilent,
+  kCrashed,
+};
+
+const char* integrity_verdict_name(IntegrityVerdict verdict);
+
+/// One stuck cell, addressed relative to a deployed NVM region.
+struct StuckSpec {
+  std::string region;  // label (exact, or unique suffix like ".bsr_values")
+  std::size_t offset = 0;
+  std::uint8_t bit = 0;
+  bool value = false;
+};
+
+struct CorruptionScenario {
+  std::string label;
+  /// Outage schedule; its torn-write spec decides how much of the batch
+  /// in flight at each injected outage lands (see OutageSchedule::torn).
+  OutageSchedule schedule = OutageSchedule::none();
+  std::uint64_t seed = 1;
+  double write_ber = 0.0;
+  double read_ber = 0.0;
+  /// Confine BER faults to one region ("" = whole NVM). Same label
+  /// resolution as StuckSpec::region.
+  std::string window_region;
+  std::vector<StuckSpec> stuck;
+
+  [[nodiscard]] bool has_corruption() const {
+    return write_ber > 0.0 || read_ber > 0.0 || !stuck.empty();
+  }
+};
+
+struct ScenarioOutcome {
+  std::string label;
+  engine::PreservationMode mode = engine::PreservationMode::kImmediate;
+  bool protect = false;
+  IntegrityVerdict verdict = IntegrityVerdict::kCrashed;
+  std::string detail;  // exception text / first divergence
+  std::size_t power_failures = 0;
+  std::size_t integrity_rollbacks = 0;
+  std::size_t scrub_failures = 0;
+  std::uint64_t write_flips = 0;
+  std::uint64_t read_flips = 0;
+  std::uint64_t stuck_hits = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct IntegrityReport {
+  std::vector<ScenarioOutcome> outcomes;
+
+  [[nodiscard]] std::size_t count(IntegrityVerdict verdict) const;
+  /// First outcome with the given verdict, nullptr when none.
+  [[nodiscard]] const ScenarioOutcome* first(IntegrityVerdict verdict) const;
+  /// 0 = all consistent; 1 = corruption detected and contained
+  /// (recovered or fail-stopped) in every scenario; 2 = silent escape
+  /// or unrecovered crash.
+  [[nodiscard]] int exit_code() const;
+};
+
+class IntegrityChecker {
+ public:
+  /// Snapshots the graph and calibration batch like ConsistencyChecker;
+  /// `config.engine.integrity` is overridden per check (all-on when
+  /// `protect`, all-off otherwise).
+  IntegrityChecker(const nn::Graph& graph, nn::Tensor calibration,
+                   CheckerConfig config = {});
+
+  /// Golden logits: accumulate-in-VM, continuous power, no corruption.
+  [[nodiscard]] std::vector<float> golden(const nn::Tensor& sample) const;
+
+  [[nodiscard]] ScenarioOutcome check(const nn::Tensor& sample,
+                                      const CorruptionScenario& scenario,
+                                      engine::PreservationMode mode,
+                                      bool protect) const;
+
+  /// Batch check (golden computed once, scenarios fanned out over the
+  /// pool, results in scenario order).
+  [[nodiscard]] IntegrityReport check_scenarios(
+      const nn::Tensor& sample,
+      const std::vector<CorruptionScenario>& scenarios,
+      engine::PreservationMode mode, bool protect,
+      runtime::ThreadPool* pool = nullptr) const;
+
+  /// NVM-write boundaries of one clean run in `mode` with the integrity
+  /// layer armed/disarmed (the domains differ: protection adds commits'
+  /// record bytes but no extra boundaries).
+  [[nodiscard]] std::uint64_t count_write_boundaries(
+      const nn::Tensor& sample, engine::PreservationMode mode,
+      bool protect) const;
+
+  /// Torn-commit sweep: for every `stride`-th write boundary k, one
+  /// scenario tearing the batch at each keep length in `keeps` plus one
+  /// schedule-seeded random tear. No BER / stuck faults — pure
+  /// outage-boundary torn writes.
+  [[nodiscard]] static std::vector<CorruptionScenario> torn_commit_sweep(
+      std::uint64_t boundaries, std::uint64_t stride,
+      const std::vector<std::uint64_t>& keeps);
+
+  [[nodiscard]] const CheckerConfig& config() const { return config_; }
+
+ private:
+  ScenarioOutcome check_against(const nn::Tensor& sample,
+                                const std::vector<float>& golden_logits,
+                                const CorruptionScenario& scenario,
+                                engine::PreservationMode mode, bool protect,
+                                std::uint64_t event_budget) const;
+
+  [[nodiscard]] std::uint64_t resolve_budget(const nn::Tensor& sample,
+                                             engine::PreservationMode mode,
+                                             bool protect) const;
+
+  nn::Graph graph_;
+  nn::Tensor calibration_;
+  CheckerConfig config_;
+};
+
+}  // namespace iprune::fault

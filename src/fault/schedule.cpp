@@ -81,6 +81,18 @@ const char* schedule_mode_name(ScheduleMode mode) {
   return "?";
 }
 
+const char* torn_mode_name(TornMode mode) {
+  switch (mode) {
+    case TornMode::kDropAll:
+      return "drop";
+    case TornMode::kKeep:
+      return "keep";
+    case TornMode::kRandom:
+      return "rand";
+  }
+  return "?";
+}
+
 OutageSchedule OutageSchedule::none() { return {}; }
 
 OutageSchedule OutageSchedule::at_events(std::vector<std::uint64_t> events) {
@@ -125,6 +137,20 @@ OutageSchedule OutageSchedule::at_write(std::uint64_t k) {
   return s;
 }
 
+OutageSchedule OutageSchedule::with_torn_keep(std::uint64_t keep_bytes) const {
+  OutageSchedule s = *this;
+  s.torn = TornMode::kKeep;
+  s.torn_keep = keep_bytes;
+  return s;
+}
+
+OutageSchedule OutageSchedule::with_torn_random() const {
+  OutageSchedule s = *this;
+  s.torn = TornMode::kRandom;
+  s.torn_keep = 0;
+  return s;
+}
+
 std::string OutageSchedule::describe() const {
   std::string out;
   switch (mode) {
@@ -151,6 +177,16 @@ std::string OutageSchedule::describe() const {
       out = "write:" + std::to_string(write_index);
       break;
   }
+  switch (torn) {
+    case TornMode::kDropAll:
+      break;  // the default is left implicit
+    case TornMode::kKeep:
+      out += ";torn=keep:" + std::to_string(torn_keep);
+      break;
+    case TornMode::kRandom:
+      out += ";torn=rand";
+      break;
+  }
   if (max_outages != kUnlimited) {
     out += ";max=" + std::to_string(max_outages);
   }
@@ -172,6 +208,25 @@ OutageSchedule OutageSchedule::parse(const std::string& text) {
   std::uint64_t max_outages = kUnlimited;
   if (!fields.empty() && fields.back().rfind("max=", 0) == 0) {
     max_outages = parse_u64(text, fields.back().substr(4));
+    fields.pop_back();
+  }
+
+  // An optional "torn=..." field (now trailing, after max was stripped).
+  TornMode torn = TornMode::kDropAll;
+  std::uint64_t torn_keep = 0;
+  if (!fields.empty() && fields.back().rfind("torn=", 0) == 0) {
+    const std::string spec = fields.back().substr(5);
+    if (spec == "rand") {
+      torn = TornMode::kRandom;
+    } else if (spec.rfind("keep:", 0) == 0) {
+      torn = TornMode::kKeep;
+      torn_keep = parse_u64(text, spec.substr(5));
+    } else if (spec == "drop") {
+      torn = TornMode::kDropAll;
+    } else {
+      parse_error(text, "torn takes drop | keep:<bytes> | rand, got '" +
+                            spec + "'");
+    }
     fields.pop_back();
   }
 
@@ -208,6 +263,8 @@ OutageSchedule OutageSchedule::parse(const std::string& text) {
     parse_error(text, "unknown mode '" + head + "'");
   }
   s.max_outages = max_outages;
+  s.torn = torn;
+  s.torn_keep = torn_keep;
   return s;
 }
 

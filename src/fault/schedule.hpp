@@ -30,6 +30,15 @@ enum class ScheduleMode : std::uint8_t {
 
 const char* schedule_mode_name(ScheduleMode mode);
 
+/// What an injected outage does to the NVM commit it interrupts.
+enum class TornMode : std::uint8_t {
+  kDropAll = 0,  // all-or-nothing: the in-flight commit is fully lost
+  kKeep,         // the first `torn_keep` bytes land (clamped to total-1)
+  kRandom,       // a seeded uniform prefix of [0, total) bytes lands
+};
+
+const char* torn_mode_name(TornMode mode);
+
 struct OutageSchedule {
   static constexpr std::uint64_t kUnlimited =
       std::numeric_limits<std::uint64_t>::max();
@@ -46,6 +55,12 @@ struct OutageSchedule {
   std::uint64_t write_index = 0;
   /// Stop injecting after this many forced outages (all modes).
   std::uint64_t max_outages = kUnlimited;
+  /// Torn-write behaviour at injected outages (composes with any mode).
+  /// kRandom draws from the schedule RNG stream, so the same seed yields
+  /// the same tear offsets on replay.
+  TornMode torn = TornMode::kDropAll;
+  /// kKeep: how many leading bytes of the interrupted commit land.
+  std::uint64_t torn_keep = 0;
 
   static OutageSchedule none();
   static OutageSchedule at_events(std::vector<std::uint64_t> events);
@@ -55,9 +70,15 @@ struct OutageSchedule {
                                std::uint64_t max_outages = kUnlimited);
   static OutageSchedule at_write(std::uint64_t k);
 
+  /// Fluent torn-write modifiers: `at_write(k).with_torn_keep(2)`.
+  [[nodiscard]] OutageSchedule with_torn_keep(std::uint64_t keep_bytes) const;
+  [[nodiscard]] OutageSchedule with_torn_random() const;
+
   /// Canonical one-line repro form, e.g.
   ///   "none" | "fixed:3,17,99" | "every:50;max=3"
   ///   "random:seed=42;p=0.01;max=8" | "write:17"
+  /// An optional ";torn=keep:<k>" / ";torn=rand" field (before any
+  /// ";max=") selects the torn-write behaviour; absent means drop-all.
   [[nodiscard]] std::string describe() const;
 
   /// Inverse of describe(). Throws std::invalid_argument on malformed

@@ -11,6 +11,7 @@
 // schedule-driven injector and the differential crash-consistency checker
 // on top of this interface.
 
+#include <cstddef>
 #include <cstdint>
 
 namespace iprune::power {
@@ -55,6 +56,17 @@ class FaultHook {
  public:
   virtual ~FaultHook() = default;
   [[nodiscard]] virtual bool should_fail(FaultPoint point) = 0;
+
+  /// When an injected outage interrupts a staged multi-byte NVM commit of
+  /// `total_bytes`, how many leading bytes still land (a torn write).
+  /// Return 0 for the classic all-or-nothing model. The device clamps the
+  /// answer to total_bytes - 1: a torn write by definition loses at least
+  /// its final byte (a fully-landed commit is just an outage at the next
+  /// boundary, which the schedule can express directly).
+  [[nodiscard]] virtual std::size_t torn_write_bytes(std::size_t total_bytes) {
+    (void)total_bytes;
+    return 0;
+  }
 };
 
 }  // namespace iprune::power

@@ -34,6 +34,8 @@ enum class EventClass : std::uint8_t {
   kInference,       // begin/end: one end-to-end inference
   kLayer,           // begin/end: one lowered node
   kTile,            // begin/end: one output tile of a GEMM node
+  kIntegrity,       // instant: NVM corruption detected / recovered (name =
+                    // "progress_rollback" | "scrub_fail:<region>")
   kClassCount,
 };
 

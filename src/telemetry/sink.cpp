@@ -32,6 +32,8 @@ const char* event_class_name(EventClass cls) {
       return "layer";
     case EventClass::kTile:
       return "tile";
+    case EventClass::kIntegrity:
+      return "integrity";
     case EventClass::kClassCount:
       break;
   }

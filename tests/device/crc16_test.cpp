@@ -1,0 +1,122 @@
+#include "device/crc16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+#include "engine/integrity.hpp"
+
+namespace iprune::device {
+namespace {
+
+std::uint16_t crc_of(std::string_view text) {
+  return crc16_ccitt(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+// Published CRC-16/CCITT-FALSE check values (poly 0x1021, init 0xFFFF,
+// no reflection, no xorout) — the variant the MSP430 CRC module computes.
+TEST(Crc16, PublishedCheckVectors) {
+  EXPECT_EQ(crc_of("123456789"), 0x29B1);
+  EXPECT_EQ(crc_of("A"), 0xB915);
+  EXPECT_EQ(crc_of(""), 0xFFFF);  // init value: empty message
+}
+
+TEST(Crc16, StreamingMatchesOneShot) {
+  const std::string_view text = "123456789";
+  Crc16 crc;
+  for (char c : text) {
+    const std::uint8_t byte = static_cast<std::uint8_t>(c);
+    crc.update(std::span<const std::uint8_t>(&byte, 1));
+  }
+  EXPECT_EQ(crc.value(), crc_of(text));
+}
+
+TEST(Crc16, SeededContinuationMatchesConcatenation) {
+  const std::string_view head = "12345";
+  const std::string_view tail = "6789";
+  const std::uint16_t partial = crc_of(head);
+  const std::uint16_t full = crc16_ccitt(
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(tail.data()), tail.size()),
+      partial);
+  EXPECT_EQ(full, 0x29B1);
+}
+
+// Appending the CRC MSB-first makes the CRC of the extended message zero —
+// the residue property the progress-record validation relies on.
+TEST(Crc16, AppendedCrcYieldsZeroResidue) {
+  std::array<std::uint8_t, 11> message = {'1', '2', '3', '4', '5', '6',
+                                          '7', '8', '9', 0, 0};
+  const std::uint16_t crc =
+      crc16_ccitt(std::span<const std::uint8_t>(message.data(), 9));
+  message[9] = static_cast<std::uint8_t>(crc >> 8);
+  message[10] = static_cast<std::uint8_t>(crc);
+  EXPECT_EQ(crc16_ccitt(std::span<const std::uint8_t>(message)), 0x0000);
+}
+
+TEST(Crc16, DetectsEverySingleBitFlipInARecord) {
+  const auto record = engine::encode_progress_record(0xDEAD1234);
+  ASSERT_TRUE(engine::decode_progress_record(record).has_value());
+  for (std::size_t byte = 0; byte < record.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto flipped = record;
+      flipped[byte] = static_cast<std::uint8_t>(flipped[byte] ^ (1u << bit));
+      EXPECT_FALSE(engine::decode_progress_record(flipped).has_value())
+          << "flip at byte " << byte << " bit " << bit << " undetected";
+    }
+  }
+}
+
+TEST(ProgressRecord, EncodeDecodeRoundTrip) {
+  for (std::uint32_t counter : {0u, 1u, 255u, 65536u, 0xFFFFFFFFu}) {
+    const auto record = engine::encode_progress_record(counter);
+    const auto decoded = engine::decode_progress_record(record);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, counter);
+  }
+}
+
+// Torn-write truncation at every byte offset of a record: a prefix of the
+// new record over the old one must never validate as the new counter
+// (the CRC tail arrives last, so partial writes are rejected), except the
+// complete 6-byte write.
+TEST(ProgressRecord, TornPrefixOverOldRecordNeverValidatesAsNew) {
+  const auto old_record = engine::encode_progress_record(41);
+  const auto new_record = engine::encode_progress_record(42);
+  for (std::size_t keep = 0; keep < new_record.size(); ++keep) {
+    auto torn = old_record;
+    std::memcpy(torn.data(), new_record.data(), keep);
+    const auto decoded = engine::decode_progress_record(torn);
+    if (decoded.has_value()) {
+      // A mixed record may accidentally validate, but never as the new
+      // counter with a torn (incomplete) write.
+      EXPECT_NE(*decoded, 42u) << "torn write of " << keep
+                               << " bytes validated as the new record";
+    }
+  }
+}
+
+// The canonical 4-byte commit-record scenario from the issue: torn
+// truncation at every byte offset of a 4-byte counter inside the record.
+TEST(ProgressRecord, TornCounterOverZeroedSlotDetected) {
+  const auto record = engine::encode_progress_record(7);
+  for (std::size_t keep = 0; keep < record.size(); ++keep) {
+    std::array<std::uint8_t, engine::kProgressRecordBytes> slot{};
+    std::memcpy(slot.data(), record.data(), keep);
+    const auto decoded = engine::decode_progress_record(slot);
+    if (keep < record.size()) {
+      // All-zero tail: only a fully landed record may decode to 7.
+      if (decoded.has_value()) {
+        EXPECT_NE(*decoded, 7u);
+      }
+    }
+  }
+  EXPECT_EQ(engine::decode_progress_record(record), 7u);
+}
+
+}  // namespace
+}  // namespace iprune::device

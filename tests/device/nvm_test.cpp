@@ -2,8 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <vector>
+
+#include "device/corruption.hpp"
+
 namespace iprune::device {
 namespace {
+
+constexpr std::size_t kSizeMax = std::numeric_limits<std::size_t>::max();
 
 TEST(Nvm, AllocatorHandsOutDisjointRegions) {
   Nvm nvm(1024);
@@ -75,6 +82,199 @@ TEST(Nvm, DataPersistsAcrossManyWrites) {
   for (std::size_t i = 0; i < 2048; ++i) {
     EXPECT_EQ(nvm.read_i16(a + i * 2), static_cast<std::int16_t>(i - 1024));
   }
+}
+
+// Regression: `addr + bytes` used to wrap around SIZE_MAX inside the
+// bounds check, turning a wildly out-of-range access into an in-range one.
+TEST(Nvm, BoundsCheckNearSizeMaxDoesNotWrap) {
+  Nvm nvm(64);
+  std::uint8_t buf[4] = {};
+  EXPECT_THROW(nvm.read(kSizeMax - 1, buf), std::out_of_range);
+  EXPECT_THROW(nvm.read(kSizeMax - 3, buf), std::out_of_range);
+  EXPECT_THROW(nvm.write(kSizeMax, {buf, 1}), std::out_of_range);
+  EXPECT_THROW(nvm.write_i32(kSizeMax - 2, 1), std::out_of_range);
+  EXPECT_THROW((void)nvm.read_u32(kSizeMax - 2), std::out_of_range);
+}
+
+// Regression: the 2-byte alignment round-up `(bytes + 1) & ~1` used to
+// wrap SIZE_MAX to 0 and "succeed" with a zero-byte allocation.
+TEST(Nvm, AllocateNearSizeMaxThrowsInsteadOfWrapping) {
+  Nvm nvm(64);
+  EXPECT_THROW(nvm.allocate(kSizeMax), std::runtime_error);
+  EXPECT_THROW(nvm.allocate(kSizeMax - 1), std::runtime_error);
+  EXPECT_THROW(nvm.allocate(65), std::runtime_error);
+  EXPECT_EQ(nvm.allocated(), 0u);
+  EXPECT_NO_THROW(nvm.allocate(64));
+}
+
+TEST(WriteBatch, TracksPartsAndTotalBytes) {
+  WriteBatch batch;
+  EXPECT_TRUE(batch.empty());
+  batch.push_i16(10, -5);
+  batch.push_i32(20, 123456);
+  batch.push_u32(30, 99u);
+  EXPECT_EQ(batch.total_bytes(), 10u);
+  EXPECT_FALSE(batch.empty());
+  batch.clear();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.total_bytes(), 0u);
+}
+
+TEST(WriteBatch, CoalescesContiguousPushes) {
+  WriteBatch batch;
+  batch.push_i16(10, 1);
+  batch.push_i16(12, 2);  // contiguous with the previous part
+  batch.push_i16(20, 3);  // gap: new part
+  EXPECT_EQ(batch.parts(), 2u);
+  EXPECT_EQ(batch.total_bytes(), 6u);
+}
+
+TEST(WriteBatch, ForPrefixTruncatesTheStraddlingPart) {
+  WriteBatch batch;
+  const std::uint8_t a[4] = {1, 2, 3, 4};
+  const std::uint8_t b[4] = {5, 6, 7, 8};
+  batch.push_bytes(0, a);
+  batch.push_bytes(100, b);
+
+  std::vector<std::pair<std::size_t, std::size_t>> seen;  // (addr, len)
+  batch.for_prefix(6, [&](std::size_t addr,
+                          std::span<const std::uint8_t> bytes) {
+    seen.emplace_back(addr, bytes.size());
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], std::make_pair(std::size_t{0}, std::size_t{4}));
+  EXPECT_EQ(seen[1], std::make_pair(std::size_t{100}, std::size_t{2}));
+
+  seen.clear();
+  batch.for_prefix(0, [&](std::size_t addr,
+                          std::span<const std::uint8_t> bytes) {
+    seen.emplace_back(addr, bytes.size());
+  });
+  EXPECT_TRUE(seen.empty());
+}
+
+TEST(CorruptionModel, WriteFaultsAreDeterministicPerSeed) {
+  CorruptionConfig cfg;
+  cfg.seed = 11;
+  cfg.write_ber = 0.01;
+
+  const auto run = [&](std::size_t chunk) {
+    Nvm nvm(4096);
+    CorruptionModel model(cfg);
+    nvm.set_corruption(&model);
+    const Address a = nvm.allocate(4096);
+    std::vector<std::uint8_t> zeros(chunk, 0);
+    for (std::size_t off = 0; off < 4096; off += chunk) {
+      nvm.write(a + off, zeros);
+    }
+    nvm.set_corruption(nullptr);
+    std::vector<std::uint8_t> out(4096);
+    nvm.read(a, out);
+    return out;
+  };
+
+  // Identical fault positions regardless of access chunking.
+  const auto bytewise = run(1);
+  EXPECT_EQ(bytewise, run(64));
+  EXPECT_EQ(bytewise, run(4096));
+
+  std::size_t flipped = 0;
+  for (std::uint8_t byte : bytewise) {
+    flipped += static_cast<std::size_t>(byte != 0);
+  }
+  EXPECT_GT(flipped, 0u);      // ~327 expected bit flips
+  EXPECT_LT(flipped, 1500u);   // far below saturation
+}
+
+TEST(CorruptionModel, ReadFaultsAreTransient) {
+  CorruptionConfig cfg;
+  cfg.seed = 3;
+  cfg.read_ber = 0.5;
+  Nvm nvm(64);
+  CorruptionModel model(cfg);
+  const Address a = nvm.allocate(64);
+  nvm.write_u32(a, 0xAABBCCDDu);
+  nvm.set_corruption(&model);
+  std::uint32_t corrupted = nvm.read_u32(a);
+  // 32 bits at BER 0.5: astronomically unlikely to read back clean.
+  EXPECT_NE(corrupted, 0xAABBCCDDu);
+  EXPECT_GT(model.read_flips(), 0u);
+  nvm.set_corruption(nullptr);
+  EXPECT_EQ(nvm.read_u32(a), 0xAABBCCDDu);  // the cell kept its value
+}
+
+TEST(CorruptionModel, WindowConfinesBerFaults) {
+  CorruptionConfig cfg;
+  cfg.seed = 5;
+  cfg.write_ber = 0.2;
+  cfg.window_begin = 100;
+  cfg.window_end = 200;
+  Nvm nvm(1024);
+  CorruptionModel model(cfg);
+  nvm.set_corruption(&model);
+  const Address a = nvm.allocate(1024);
+  std::vector<std::uint8_t> zeros(1024, 0);
+  nvm.write(a, zeros);
+  nvm.set_corruption(nullptr);
+  std::vector<std::uint8_t> out(1024);
+  nvm.read(a, out);
+  std::size_t inside = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const bool in_window = a + i >= 100 && a + i < 200;
+    if (!in_window) {
+      EXPECT_EQ(out[i], 0) << "BER fault escaped the window at " << i;
+    } else {
+      inside += static_cast<std::size_t>(out[i] != 0);
+    }
+  }
+  EXPECT_GT(inside, 0u);
+}
+
+TEST(CorruptionModel, StuckCellForcesStoreAndLoad) {
+  CorruptionConfig cfg;
+  cfg.stuck.push_back({/*addr=*/8, /*bit=*/0, /*value=*/true});
+  cfg.stuck.push_back({/*addr=*/9, /*bit=*/7, /*value=*/false});
+  Nvm nvm(64);
+  CorruptionModel model(cfg);
+  nvm.set_corruption(&model);
+  const Address a = nvm.allocate(16);
+  ASSERT_EQ(a, 0u);
+  nvm.write_i16(8, 0);
+  EXPECT_EQ(nvm.peek(8) & 1, 1);  // stored with the bit forced on
+  nvm.write_i16(8, static_cast<std::int16_t>(0xFFFF));
+  EXPECT_EQ(nvm.peek(9) & 0x80, 0);
+  // The read path forces the bits too, even for untouched cells.
+  std::uint8_t raw[2] = {};
+  nvm.read(8, raw);
+  EXPECT_EQ(raw[0] & 1, 1);
+  EXPECT_EQ(raw[1] & 0x80, 0);
+  EXPECT_GT(model.stuck_hits(), 0u);
+  nvm.set_corruption(nullptr);
+}
+
+TEST(CorruptionModel, PeekBypassesReadCorruption) {
+  CorruptionConfig cfg;
+  cfg.seed = 9;
+  cfg.read_ber = 1.0;
+  Nvm nvm(64);
+  CorruptionModel model(cfg);
+  const Address a = nvm.allocate(4);
+  nvm.write(a, std::vector<std::uint8_t>{0x5A});
+  nvm.set_corruption(&model);
+  EXPECT_EQ(nvm.peek(a), 0x5A);  // raw cell, no read-path faults
+  std::uint8_t corrupted[1];
+  nvm.read(a, corrupted);
+  EXPECT_EQ(corrupted[0], 0xA5);  // BER 1.0 flips every bit
+  nvm.set_corruption(nullptr);
+}
+
+TEST(CorruptionModel, RejectsInvalidConfig) {
+  CorruptionConfig bad_ber;
+  bad_ber.write_ber = 1.5;
+  EXPECT_THROW(CorruptionModel{bad_ber}, std::invalid_argument);
+  CorruptionConfig bad_bit;
+  bad_bit.stuck.push_back({0, /*bit=*/8, true});
+  EXPECT_THROW(CorruptionModel{bad_bit}, std::invalid_argument);
 }
 
 }  // namespace

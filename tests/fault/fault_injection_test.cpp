@@ -29,6 +29,11 @@ TEST(Schedule, DescribeParseRoundTripsEveryMode) {
       OutageSchedule::random(42, 0.01, 8),
       OutageSchedule::random(7, 0.25),
       OutageSchedule::at_write(17),
+      OutageSchedule::at_write(17).with_torn_keep(3),
+      OutageSchedule::at_write(4).with_torn_random(),
+      OutageSchedule::every_nth(50, 3).with_torn_keep(0),
+      OutageSchedule::random(42, 0.01, 8).with_torn_random(),
+      OutageSchedule::at_events({3, 17}).with_torn_keep(2),
   };
   for (const OutageSchedule& schedule : cases) {
     const std::string text = schedule.describe();
@@ -42,6 +47,13 @@ TEST(Schedule, DescribeUsesCanonicalForms) {
             "fixed:3,17,99");
   EXPECT_EQ(OutageSchedule::every_nth(50, 3).describe(), "every:50;max=3");
   EXPECT_EQ(OutageSchedule::at_write(17).describe(), "write:17");
+  EXPECT_EQ(OutageSchedule::at_write(17).with_torn_keep(3).describe(),
+            "write:17;torn=keep:3");
+  EXPECT_EQ(OutageSchedule::at_write(17).with_torn_random().describe(),
+            "write:17;torn=rand");
+  EXPECT_EQ(
+      OutageSchedule::every_nth(50, 3).with_torn_random().describe(),
+      "every:50;torn=rand;max=3");
 }
 
 TEST(Schedule, FixedEventsAreSortedAndDeduplicated) {
@@ -58,7 +70,9 @@ TEST(Schedule, FactoriesValidateArguments) {
 TEST(Schedule, ParseRejectsMalformedInputNamingFragment) {
   for (const char* bad : {"bogus:1", "fixed", "fixed:1,x", "every:0",
                           "random:seed=1", "random:p=0.1;seed=1",
-                          "random:seed=1;p=2.0", "write:1;2"}) {
+                          "random:seed=1;p=2.0", "write:1;2",
+                          "write:1;torn=keep", "write:1;torn=bogus",
+                          "write:1;torn=keep:x"}) {
     EXPECT_THROW((void)OutageSchedule::parse(bad), std::invalid_argument)
         << bad;
   }

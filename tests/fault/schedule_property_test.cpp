@@ -91,6 +91,31 @@ TEST_P(ScheduleProperty, ReportIsDeterministicAcrossLaneCounts) {
   }
 }
 
+// Torn-write composition: the same seeded schedules, now landing a torn
+// prefix of the in-flight commit at every injected outage, must still be
+// bit-identical to golden once the CRC-sealed progress records are armed.
+// Runs in both preservation modes (kTaskAtomic commits multi-job batches,
+// so its torn prefixes cut through whole task payloads).
+TEST_P(ScheduleProperty, TornSchedulesStayConsistentUnderProtection) {
+  CheckerConfig cfg;
+  cfg.engine.integrity.protect_progress = true;
+  const ConsistencyChecker protected_checker(*graph_, calib_, cfg);
+
+  std::vector<OutageSchedule> schedules = make_schedules();
+  schedules.resize(48);
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    schedules[i] = (i % 2 == 0) ? schedules[i].with_torn_random()
+                                : schedules[i].with_torn_keep(i % 5);
+  }
+  const CheckReport report =
+      protected_checker.check_schedules(sample_, schedules, GetParam());
+  ASSERT_EQ(report.outcomes.size(), schedules.size());
+  if (const ScheduleOutcome* fail = report.first_failure()) {
+    FAIL() << report.failed()
+           << " torn schedules diverged; first: " << fail->to_string();
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     BothModes, ScheduleProperty,
     ::testing::Values(PreservationMode::kImmediate,

@@ -1,0 +1,173 @@
+// Torn-write semantics of staged NVM commits: an injected outage during a
+// dma_commit/pipelined_commit lands exactly the hook-chosen byte prefix
+// of the WriteBatch (clamped so a tear can never be a complete write),
+// while organic brown-outs and successful charges keep the all-or-nothing
+// model. Swept across every byte offset of a 4-byte commit record.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "device/msp430.hpp"
+#include "fault/injector.hpp"
+#include "fault/schedule.hpp"
+#include "power/supply.hpp"
+
+namespace iprune::fault {
+namespace {
+
+device::Msp430Device make_device() {
+  return device::Msp430Device(device::DeviceConfig::msp430fr5994(),
+                              power::SupplyPresets::continuous(), {});
+}
+
+/// Payload of one "job": 4 data bytes then a 4-byte counter record —
+/// the unprotected commit layout, record last.
+device::WriteBatch make_commit(device::Address data_addr,
+                               device::Address counter_addr,
+                               std::uint32_t job) {
+  device::WriteBatch batch;
+  batch.push_i16(data_addr, static_cast<std::int16_t>(0x1111 * (job + 1)));
+  batch.push_i16(data_addr + 2,
+                 static_cast<std::int16_t>(0x2222 * (job + 1)));
+  batch.push_u32(counter_addr, job);
+  return batch;
+}
+
+TEST(TornWrite, SuccessfulCommitLandsTheFullBatch) {
+  device::Msp430Device dev = make_device();
+  const device::Address data = dev.nvm().allocate(4);
+  const device::Address counter = dev.nvm().allocate(4);
+  const device::WriteBatch batch = make_commit(data, counter, 7);
+  ASSERT_TRUE(dev.dma_commit(batch, batch.total_bytes()));
+  EXPECT_EQ(dev.nvm().read_i16(data), static_cast<std::int16_t>(0x8888));
+  EXPECT_EQ(dev.nvm().read_u32(counter), 7u);
+  EXPECT_EQ(dev.stats().nvm_bytes_written, 8u);
+}
+
+TEST(TornWrite, DropAllOutageLandsNothing) {
+  device::Msp430Device dev = make_device();
+  const device::Address data = dev.nvm().allocate(4);
+  const device::Address counter = dev.nvm().allocate(4);
+  dev.nvm().write_u32(counter, 41);
+
+  FaultInjector injector(OutageSchedule::at_write(0));
+  dev.set_fault_hook(&injector);
+  const device::WriteBatch batch = make_commit(data, counter, 42);
+  ASSERT_FALSE(dev.dma_commit(batch, batch.total_bytes()));
+  dev.set_fault_hook(nullptr);
+
+  EXPECT_EQ(dev.nvm().read_i16(data), 0);
+  EXPECT_EQ(dev.nvm().read_u32(counter), 41u);  // old record intact
+}
+
+// Tear the commit at every byte offset: the first `keep` payload bytes
+// land, every later byte keeps its previous cell value. In particular
+// every partial prefix of the 4-byte counter record is reachable.
+TEST(TornWrite, KeepPrefixLandsExactlyThatManyBytes) {
+  for (std::size_t keep = 0; keep <= 8; ++keep) {
+    device::Msp430Device dev = make_device();
+    const device::Address data = dev.nvm().allocate(4);
+    const device::Address counter = dev.nvm().allocate(4);
+
+    // Expected payload bytes of the torn commit, in push order.
+    const device::WriteBatch batch =
+        make_commit(data, counter, 0x0A0B0C0D);
+    std::vector<std::uint8_t> payload;
+    batch.for_prefix(batch.total_bytes(),
+                     [&](device::Address, std::span<const std::uint8_t> b) {
+                       payload.insert(payload.end(), b.begin(), b.end());
+                     });
+    ASSERT_EQ(payload.size(), 8u);
+
+    FaultInjector injector(
+        OutageSchedule::at_write(0).with_torn_keep(keep));
+    dev.set_fault_hook(&injector);
+    ASSERT_FALSE(dev.dma_commit(batch, batch.total_bytes()));
+    dev.set_fault_hook(nullptr);
+
+    // keep is clamped to total-1: a "torn" write is never complete.
+    const std::size_t landed = std::min(keep, batch.total_bytes() - 1);
+    for (std::size_t i = 0; i < 8; ++i) {
+      const device::Address addr = i < 4 ? data + i : counter + (i - 4);
+      const std::uint8_t expect = i < landed ? payload[i] : 0;
+      EXPECT_EQ(dev.nvm().peek(addr), expect)
+          << "keep=" << keep << " byte " << i;
+    }
+  }
+}
+
+TEST(TornWrite, RandomTearIsDeterministicPerSeedAndStrictPrefix) {
+  // All-nonzero payload so a landed byte is distinguishable from an
+  // untouched (zero) cell.
+  const std::uint8_t part_a[4] = {0x11, 0x22, 0x33, 0x44};
+  const std::uint8_t part_b[4] = {0x55, 0x66, 0x77, 0x88};
+  const auto run = [&](std::uint64_t seed) {
+    device::Msp430Device dev = make_device();
+    const device::Address a = dev.nvm().allocate(4);
+    const device::Address b = dev.nvm().allocate(4);
+    device::WriteBatch batch;
+    batch.push_bytes(a, part_a);
+    batch.push_bytes(b, part_b);
+    FaultInjector injector(
+        OutageSchedule::random(seed, 1.0, 1).with_torn_random());
+    dev.set_fault_hook(&injector);
+    EXPECT_FALSE(dev.dma_commit(batch, batch.total_bytes()));
+    dev.set_fault_hook(nullptr);
+    std::vector<std::uint8_t> out(8);
+    for (std::size_t i = 0; i < 8; ++i) {
+      out[i] = dev.nvm().peek(i < 4 ? a + i : b + (i - 4));
+    }
+    return out;
+  };
+  EXPECT_EQ(run(12), run(12));  // replay-deterministic
+
+  // Strict prefix: once an untouched cell appears, everything after is
+  // untouched, and at least the final byte never lands.
+  const std::vector<std::uint8_t> torn = run(12);
+  bool seen_zero = false;
+  for (std::uint8_t byte : torn) {
+    if (byte == 0) {
+      seen_zero = true;
+    } else {
+      EXPECT_FALSE(seen_zero) << "non-prefix tear";
+    }
+  }
+  EXPECT_TRUE(seen_zero) << "a torn write must not be complete";
+}
+
+TEST(TornWrite, PipelinedCommitTearsTheSameWay) {
+  device::Msp430Device dev = make_device();
+  const device::Address data = dev.nvm().allocate(4);
+  const device::Address counter = dev.nvm().allocate(4);
+  FaultInjector injector(OutageSchedule::at_write(0).with_torn_keep(5));
+  dev.set_fault_hook(&injector);
+  const device::WriteBatch batch = make_commit(data, counter, 3);
+  ASSERT_FALSE(
+      dev.pipelined_commit(batch, /*macs=*/64, batch.total_bytes(), 10));
+  dev.set_fault_hook(nullptr);
+  // 4 data bytes + 1 record byte landed.
+  EXPECT_NE(dev.nvm().read_i16(data), 0);
+  EXPECT_NE(dev.nvm().peek(counter), 0);    // job 3 LSB = 3
+  EXPECT_EQ(dev.nvm().peek(counter + 1), 0);
+  EXPECT_EQ(dev.nvm().peek(counter + 2), 0);
+  EXPECT_EQ(dev.nvm().peek(counter + 3), 0);
+}
+
+TEST(TornWrite, RetryAfterTearCompletesTheCommit) {
+  device::Msp430Device dev = make_device();
+  const device::Address data = dev.nvm().allocate(4);
+  const device::Address counter = dev.nvm().allocate(4);
+  FaultInjector injector(OutageSchedule::at_write(0).with_torn_keep(6));
+  dev.set_fault_hook(&injector);
+  const device::WriteBatch batch = make_commit(data, counter, 9);
+  ASSERT_FALSE(dev.dma_commit(batch, batch.total_bytes()));
+  ASSERT_TRUE(dev.dma_commit(batch, batch.total_bytes()));  // idempotent
+  dev.set_fault_hook(nullptr);
+  EXPECT_EQ(dev.nvm().read_u32(counter), 9u);
+}
+
+}  // namespace
+}  // namespace iprune::fault
