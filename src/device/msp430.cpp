@@ -58,6 +58,7 @@ void Msp430Device::reset_stats() {
 
 void Msp430Device::set_trace_sink(telemetry::TraceSink* sink) {
   sink_ = sink != nullptr ? sink : &telemetry::NullSink::instance();
+  trace_on_ = sink_->enabled();
   power_.set_trace_sink(sink);
 }
 
@@ -65,7 +66,7 @@ void Msp430Device::record_span(telemetry::EventClass cls, double t_us,
                                double dur_us, double attributed_us,
                                double energy_j, std::uint64_t bytes,
                                std::uint64_t macs) {
-  if (!sink_->enabled()) {
+  if (!trace_on_) {
     return;
   }
   telemetry::Event event;
@@ -127,7 +128,7 @@ void Msp430Device::power_cycle() {
   stats_.energy_j += reboot_j;
   record_span(telemetry::EventClass::kReboot, clock_us_ - reboot_us,
               reboot_us, reboot_us, reboot_j, 0, 0);
-  if (sink_->enabled()) {
+  if (trace_on_) {
     telemetry::Event event;
     event.cls = telemetry::EventClass::kPowerOn;
     event.phase = telemetry::EventPhase::kInstant;
@@ -350,7 +351,7 @@ bool Msp430Device::pipelined_impl(const WriteBatch* batch, std::size_t macs,
   staged_batch_ = batch;
   const bool ok = charge_split(latency, energy_j, share, point);
   staged_batch_ = nullptr;
-  if (sink_->enabled()) {
+  if (trace_on_) {
     // One busy span per engaged unit. The LEA and NVM windows overlap on
     // the timeline (that is the pipelining); attribution and per-unit
     // energy (unit rail + base draw over the attributed window) sum back

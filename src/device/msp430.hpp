@@ -73,6 +73,10 @@ class Msp430Device {
   /// Non-owning; the sink must outlive the device.
   void set_trace_sink(telemetry::TraceSink* sink);
   [[nodiscard]] telemetry::TraceSink& trace_sink() const { return *sink_; }
+  /// Null-sink fast path for emission hooks: a cached flag (refreshed by
+  /// set_trace_sink) so the per-operation gate is one member-bool test
+  /// with no sink pointer chase.
+  [[nodiscard]] bool trace_enabled() const { return trace_on_; }
 
   /// Install a deterministic outage-injection hook on the power manager
   /// (nullptr removes it). Every chargeable primitive below is one hook
@@ -157,6 +161,7 @@ class Msp430Device {
   double clock_us_ = 0.0;
   std::uint64_t vm_epoch_ = 0;
   telemetry::TraceSink* sink_ = &telemetry::NullSink::instance();
+  bool trace_on_ = false;
   power::FaultHook* fault_hook_ = nullptr;
   const WriteBatch* staged_batch_ = nullptr;
 };

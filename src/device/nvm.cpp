@@ -70,81 +70,10 @@ void Nvm::reset() {
   next_free_ = 0;
 }
 
-void Nvm::check(Address addr, std::size_t bytes) const {
-  // Two-step comparison: `addr + bytes` can wrap std::size_t near
-  // SIZE_MAX and sail past the bound.
-  if (addr > storage_.size() || bytes > storage_.size() - addr) {
-    throw std::out_of_range("Nvm access out of range: addr=" +
-                            std::to_string(addr) + " len=" +
-                            std::to_string(bytes));
-  }
-}
-
-void Nvm::store(Address addr, std::span<const std::uint8_t> bytes) {
-  check(addr, bytes.size());
-  std::uint8_t* cell = storage_.data() + addr;
-  std::memcpy(cell, bytes.data(), bytes.size());
-  if (corruption_ != nullptr) {
-    corruption_->corrupt_write(addr, {cell, bytes.size()});
-  }
-}
-
-void Nvm::load(Address addr, std::span<std::uint8_t> bytes) const {
-  check(addr, bytes.size());
-  std::memcpy(bytes.data(), storage_.data() + addr, bytes.size());
-  if (corruption_ != nullptr) {
-    corruption_->corrupt_read(addr, bytes);
-  }
-}
-
-void Nvm::write(Address addr, std::span<const std::uint8_t> bytes) {
-  store(addr, bytes);
-}
-
-void Nvm::read(Address addr, std::span<std::uint8_t> bytes) const {
-  load(addr, bytes);
-}
-
-void Nvm::write_i16(Address addr, std::int16_t value) {
-  std::uint8_t raw[2];
-  std::memcpy(raw, &value, 2);
-  store(addr, raw);
-}
-
-std::int16_t Nvm::read_i16(Address addr) const {
-  std::uint8_t raw[2];
-  load(addr, raw);
-  std::int16_t value = 0;
-  std::memcpy(&value, raw, 2);
-  return value;
-}
-
-void Nvm::write_i32(Address addr, std::int32_t value) {
-  std::uint8_t raw[4];
-  std::memcpy(raw, &value, 4);
-  store(addr, raw);
-}
-
-std::int32_t Nvm::read_i32(Address addr) const {
-  std::uint8_t raw[4];
-  load(addr, raw);
-  std::int32_t value = 0;
-  std::memcpy(&value, raw, 4);
-  return value;
-}
-
-void Nvm::write_u32(Address addr, std::uint32_t value) {
-  std::uint8_t raw[4];
-  std::memcpy(raw, &value, 4);
-  store(addr, raw);
-}
-
-std::uint32_t Nvm::read_u32(Address addr) const {
-  std::uint8_t raw[4];
-  load(addr, raw);
-  std::uint32_t value = 0;
-  std::memcpy(&value, raw, 4);
-  return value;
+void Nvm::out_of_range(Address addr, std::size_t bytes) const {
+  throw std::out_of_range("Nvm access out of range: addr=" +
+                          std::to_string(addr) + " len=" +
+                          std::to_string(bytes));
 }
 
 std::uint8_t Nvm::peek(Address addr) const {

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
@@ -84,16 +85,43 @@ class Nvm {
   /// Reset the allocator and zero the contents (not a power event).
   void reset();
 
-  void write(Address addr, std::span<const std::uint8_t> bytes);
-  void read(Address addr, std::span<std::uint8_t> bytes) const;
+  void write(Address addr, std::span<const std::uint8_t> bytes) {
+    store(addr, bytes);
+  }
+  void read(Address addr, std::span<std::uint8_t> bytes) const {
+    load(addr, bytes);
+  }
 
-  /// Typed helpers for the 16/32-bit values the engine traffics in.
-  void write_i16(Address addr, std::int16_t value);
-  [[nodiscard]] std::int16_t read_i16(Address addr) const;
-  void write_i32(Address addr, std::int32_t value);
-  [[nodiscard]] std::int32_t read_i32(Address addr) const;
-  void write_u32(Address addr, std::uint32_t value);
-  [[nodiscard]] std::uint32_t read_u32(Address addr) const;
+  // Typed helpers for the 16/32-bit values the engine traffics in.
+  // Header-inline: every MAC of the engine's inner loops funnels through
+  // read_i16, so the call overhead and the redundant raw[] staging copy
+  // were measurable; corrupted memories still take the byte-span path so
+  // the stateful fault streams see the identical read sequence.
+
+  void write_i16(Address addr, std::int16_t value) {
+    std::uint8_t raw[2];
+    std::memcpy(raw, &value, 2);
+    store(addr, raw);
+  }
+  [[nodiscard]] std::int16_t read_i16(Address addr) const {
+    return read_scalar<std::int16_t>(addr);
+  }
+  void write_i32(Address addr, std::int32_t value) {
+    std::uint8_t raw[4];
+    std::memcpy(raw, &value, 4);
+    store(addr, raw);
+  }
+  [[nodiscard]] std::int32_t read_i32(Address addr) const {
+    return read_scalar<std::int32_t>(addr);
+  }
+  void write_u32(Address addr, std::uint32_t value) {
+    std::uint8_t raw[4];
+    std::memcpy(raw, &value, 4);
+    store(addr, raw);
+  }
+  [[nodiscard]] std::uint32_t read_u32(Address addr) const {
+    return read_scalar<std::uint32_t>(addr);
+  }
 
   /// Install a data-fault model applied to every subsequent store/load
   /// (nullptr restores perfect memory). Non-owning; must outlive the Nvm.
@@ -105,9 +133,49 @@ class Nvm {
   [[nodiscard]] std::uint8_t peek(Address addr) const;
 
  private:
-  void check(Address addr, std::size_t bytes) const;
-  void store(Address addr, std::span<const std::uint8_t> bytes);
-  void load(Address addr, std::span<std::uint8_t> bytes) const;
+  void check(Address addr, std::size_t bytes) const {
+    // Two-step comparison: `addr + bytes` can wrap std::size_t near
+    // SIZE_MAX and sail past the bound.
+    if (addr > storage_.size() || bytes > storage_.size() - addr) {
+      out_of_range(addr, bytes);  // out-of-line cold throw path
+    }
+  }
+  [[noreturn]] void out_of_range(Address addr, std::size_t bytes) const;
+
+  void store(Address addr, std::span<const std::uint8_t> bytes) {
+    check(addr, bytes.size());
+    std::uint8_t* cell = storage_.data() + addr;
+    std::memcpy(cell, bytes.data(), bytes.size());
+    if (corruption_ != nullptr) {
+      corruption_->corrupt_write(addr, {cell, bytes.size()});
+    }
+  }
+
+  void load(Address addr, std::span<std::uint8_t> bytes) const {
+    check(addr, bytes.size());
+    std::memcpy(bytes.data(), storage_.data() + addr, bytes.size());
+    if (corruption_ != nullptr) {
+      corruption_->corrupt_read(addr, bytes);
+    }
+  }
+
+  /// Typed load without the raw[] staging buffer when memory is perfect;
+  /// the corruption path still reads through the byte span so fault
+  /// streams advance exactly as before.
+  template <typename T>
+  [[nodiscard]] T read_scalar(Address addr) const {
+    check(addr, sizeof(T));
+    T value;
+    if (corruption_ == nullptr) {
+      std::memcpy(&value, storage_.data() + addr, sizeof(T));
+      return value;
+    }
+    std::uint8_t raw[sizeof(T)];
+    std::memcpy(raw, storage_.data() + addr, sizeof(T));
+    corruption_->corrupt_read(addr, raw);
+    std::memcpy(&value, raw, sizeof(T));
+    return value;
+  }
 
   std::vector<std::uint8_t> storage_;
   std::size_t next_free_ = 0;

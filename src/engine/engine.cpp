@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "device/crc16.hpp"
+#include "util/scratch_pool.hpp"
 
 namespace iprune::engine {
 
@@ -38,6 +39,82 @@ std::int16_t clamp_i16(long v) {
   }
   return static_cast<std::int16_t>(v);
 }
+
+/// Hoisted im2col gather geometry for one k-tile of a node. The naive
+/// gather recomputed the full div/mod decomposition of (k, s) for every
+/// MAC; here the per-k part (input plane + kernel offsets) is tabulated
+/// once per BSR block and the per-column part (oy, ox) once per output
+/// element. Only pure index arithmetic moves: each read() still issues
+/// the same Nvm::read_i16 at the same address in the same order as the
+/// naive per-element gather did, which the stateful CorruptionModel
+/// fault streams depend on.
+class TileGather {
+ public:
+  TileGather(const LoweredNode& ln, device::Nvm& nvm, device::Address in_buf,
+             std::size_t k0, std::size_t bk)
+      : nvm_(nvm), in_buf_(in_buf), k0_(k0) {
+    if (ln.kind == LoweredKind::kGemmDense) {
+      return;
+    }
+    geom_ = &ln.conv;
+    const ConvGeometry& g = *geom_;
+    const std::size_t kernel = g.kernel_h * g.kernel_w;
+    rows_ = util::ScratchPool::local().acquire<KRow>(bk);
+    for (std::size_t kk = 0; kk < bk; ++kk) {
+      const std::size_t k = k0 + kk;
+      const std::size_t cin = k / kernel;
+      const std::size_t rem = k % kernel;
+      rows_[kk] = KRow{
+          cin * g.in_h * g.in_w,
+          static_cast<std::ptrdiff_t>(rem / g.kernel_w) -
+              static_cast<std::ptrdiff_t>(g.pad_h),
+          static_cast<std::ptrdiff_t>(rem % g.kernel_w) -
+              static_cast<std::ptrdiff_t>(g.pad_w)};
+    }
+  }
+
+  /// Fix the output column for subsequent read() calls.
+  void set_column(std::size_t s) {
+    if (geom_ == nullptr) {
+      return;
+    }
+    sy_ = static_cast<std::ptrdiff_t>((s / geom_->out_w) * geom_->stride);
+    sx_ = static_cast<std::ptrdiff_t>((s % geom_->out_w) * geom_->stride);
+  }
+
+  /// Input element for lowered row k0 + kk at the column set above.
+  std::int16_t read(std::size_t kk) const {
+    if (geom_ == nullptr) {
+      return nvm_.read_i16(in_buf_ + (k0_ + kk) * 2);
+    }
+    const KRow& row = rows_[kk];
+    const std::ptrdiff_t iy = sy_ + row.off_y;
+    const std::ptrdiff_t ix = sx_ + row.off_x;
+    if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(geom_->in_h) || ix < 0 ||
+        ix >= static_cast<std::ptrdiff_t>(geom_->in_w)) {
+      return 0;  // zero padding, no NVM traffic (same as the naive gather)
+    }
+    const std::size_t index = row.plane +
+                              static_cast<std::size_t>(iy) * geom_->in_w +
+                              static_cast<std::size_t>(ix);
+    return nvm_.read_i16(in_buf_ + index * 2);
+  }
+
+ private:
+  struct KRow {
+    std::size_t plane;     // cin * in_h * in_w
+    std::ptrdiff_t off_y;  // khi - pad_h
+    std::ptrdiff_t off_x;  // kwi - pad_w
+  };
+
+  device::Nvm& nvm_;
+  device::Address in_buf_;
+  std::size_t k0_ = 0;
+  const ConvGeometry* geom_ = nullptr;
+  util::Scratch<KRow> rows_;
+  std::ptrdiff_t sy_ = 0;
+  std::ptrdiff_t sx_ = 0;
+};
 
 }  // namespace
 
@@ -78,8 +155,8 @@ void IntermittentEngine::note_commit() {
   if (probe_ != nullptr) {
     probe_->on_commit(job_counter_);
   }
-  telemetry::TraceSink& sink = device_.trace_sink();
-  if (sink.enabled()) {
+  if (device_.trace_enabled()) {
+    telemetry::TraceSink& sink = device_.trace_sink();
     telemetry::Event event;
     event.cls = telemetry::EventClass::kProgressCommit;
     event.phase = telemetry::EventPhase::kInstant;
@@ -92,10 +169,10 @@ void IntermittentEngine::note_commit() {
 
 void IntermittentEngine::emit_integrity_event(const std::string& name,
                                               std::uint64_t seq) {
-  telemetry::TraceSink& sink = device_.trace_sink();
-  if (!sink.enabled()) {
+  if (!device_.trace_enabled()) {
     return;
   }
+  telemetry::TraceSink& sink = device_.trace_sink();
   telemetry::Event event;
   event.cls = telemetry::EventClass::kIntegrity;
   event.phase = telemetry::EventPhase::kInstant;
@@ -218,10 +295,10 @@ void IntermittentEngine::emit_scope(telemetry::EventClass cls,
                                     telemetry::EventPhase phase,
                                     const std::string& name,
                                     std::uint64_t seq) {
-  telemetry::TraceSink& sink = device_.trace_sink();
-  if (!sink.enabled()) {
+  if (!device_.trace_enabled()) {
     return;
   }
+  telemetry::TraceSink& sink = device_.trace_sink();
   telemetry::Event event;
   event.cls = cls;
   event.phase = phase;
@@ -229,35 +306,6 @@ void IntermittentEngine::emit_scope(telemetry::EventClass cls,
   event.name = name;
   event.seq = seq;
   sink.record(event);
-}
-
-std::int16_t IntermittentEngine::gather_input(const LoweredNode& ln,
-                                              device::Address in_buf,
-                                              std::size_t k,
-                                              std::size_t s) const {
-  if (ln.kind == LoweredKind::kGemmDense) {
-    return device_.nvm().read_i16(in_buf + k * 2);
-  }
-  const ConvGeometry& g = ln.conv;
-  const std::size_t kernel = g.kernel_h * g.kernel_w;
-  const std::size_t cin = k / kernel;
-  const std::size_t rem = k % kernel;
-  const std::size_t khi = rem / g.kernel_w;
-  const std::size_t kwi = rem % g.kernel_w;
-  const std::size_t oy = s / g.out_w;
-  const std::size_t ox = s % g.out_w;
-  const auto iy = static_cast<std::ptrdiff_t>(oy * g.stride + khi) -
-                  static_cast<std::ptrdiff_t>(g.pad_h);
-  const auto ix = static_cast<std::ptrdiff_t>(ox * g.stride + kwi) -
-                  static_cast<std::ptrdiff_t>(g.pad_w);
-  if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.in_h) || ix < 0 ||
-      ix >= static_cast<std::ptrdiff_t>(g.in_w)) {
-    return 0;  // zero padding
-  }
-  const std::size_t index =
-      (cin * g.in_h + static_cast<std::size_t>(iy)) * g.in_w +
-      static_cast<std::size_t>(ix);
-  return device_.nvm().read_i16(in_buf + index * 2);
 }
 
 bool IntermittentEngine::charge_input_tile_reads(const LoweredNode& ln,
@@ -301,7 +349,8 @@ bool IntermittentEngine::run_gemm_task(const LoweredNode& ln) {
   device::Nvm& nvm = device_.nvm();
   const bool relu = ln.relu_folded;
 
-  std::vector<std::int32_t> tile(plan.br * plan.bc);
+  auto tile =
+      util::ScratchPool::local().acquire<std::int32_t>(plan.br * plan.bc);
   for (std::size_t rt = 0; rt < plan.row_tiles(); ++rt) {
     const std::size_t rows_in = plan.rows_in_tile(rt);
     const std::uint32_t begin = gd.bsr.row_begin(rt);
@@ -367,6 +416,7 @@ bool IntermittentEngine::run_gemm_task(const LoweredNode& ln) {
         const std::size_t k0 = kt * plan.bk;
         const std::size_t bk_actual = plan.k_in_tile(kt);
         const std::int16_t* w_block = gd.bsr.block(slot);
+        TileGather gather(ln, nvm, in_buf, k0, bk_actual);
 
         std::size_t retries = 0;
         while (true) {
@@ -392,10 +442,10 @@ bool IntermittentEngine::run_gemm_task(const LoweredNode& ln) {
             const std::size_t c = idx % cols_in;
             const std::size_t r_global = rt * plan.br + r;
             const std::size_t c_global = ct * plan.bc + c;
+            gather.set_column(c_global);
             std::int64_t acc = 0;
             for (std::size_t kk = 0; kk < bk_actual; ++kk) {
-              acc += static_cast<std::int64_t>(
-                         gather_input(ln, in_buf, k0 + kk, c_global)) *
+              acc += static_cast<std::int64_t>(gather.read(kk)) *
                      w_block[r * plan.bk + kk];
             }
             const std::int32_t contribution = shift_round_q15(acc);
@@ -538,6 +588,7 @@ bool IntermittentEngine::run_gemm_immediate(const LoweredNode& ln) {
         const std::size_t bk_actual = plan.k_in_tile(kt);
         const std::int16_t* w_block = gd.bsr.block(slot);
         const std::size_t jobs = rows_in * cols_in;
+        TileGather gather(ln, nvm, in_buf, k0, bk_actual);
 
         std::size_t done = 0;
         std::size_t retries = 0;
@@ -574,11 +625,11 @@ bool IntermittentEngine::run_gemm_immediate(const LoweredNode& ln) {
             const std::size_t r_global = rt * plan.br + r;
             const std::size_t c_global = ct * plan.bc + c;
 
+            gather.set_column(c_global);
             std::int64_t acc = 0;
             for (std::size_t kk = 0; kk < bk_actual; ++kk) {
-              const std::int16_t x =
-                  gather_input(ln, in_buf, k0 + kk, c_global);
-              acc += static_cast<std::int64_t>(x) * w_block[r * plan.bk + kk];
+              acc += static_cast<std::int64_t>(gather.read(kk)) *
+                     w_block[r * plan.bk + kk];
             }
             const std::int32_t contribution = shift_round_q15(acc);
             const std::size_t psum_off =
@@ -635,7 +686,8 @@ bool IntermittentEngine::run_gemm_accumulate(const LoweredNode& ln) {
   device::Nvm& nvm = device_.nvm();
   const bool relu = ln.relu_folded;
 
-  std::vector<std::int32_t> psum_tile(plan.br * plan.bc);
+  auto psum_tile =
+      util::ScratchPool::local().acquire<std::int32_t>(plan.br * plan.bc);
   for (std::size_t rt = 0; rt < plan.row_tiles(); ++rt) {
     const std::size_t rows_in = plan.rows_in_tile(rt);
     const std::uint32_t begin = gd.bsr.row_begin(rt);
@@ -644,7 +696,7 @@ bool IntermittentEngine::run_gemm_accumulate(const LoweredNode& ln) {
     for (std::size_t ct = 0; ct < plan.col_tiles(); ++ct) {
       const std::size_t cols_in = plan.cols_in_tile(ct);
       const std::size_t jobs = rows_in * cols_in;
-      psum_tile.assign(psum_tile.size(), 0);
+      psum_tile.fill(0);
       emit_scope(telemetry::EventClass::kTile, telemetry::EventPhase::kBegin,
                  ln.name, rt * plan.col_tiles() + ct);
 
@@ -653,6 +705,7 @@ bool IntermittentEngine::run_gemm_accumulate(const LoweredNode& ln) {
         const std::size_t k0 = kt * plan.bk;
         const std::size_t bk_actual = plan.k_in_tile(kt);
         const std::int16_t* w_block = gd.bsr.block(slot);
+        TileGather gather(ln, nvm, in_buf, k0, bk_actual);
 
         if (!device_.dma_read(2) || !device_.dma_read(2) ||
             !device_.dma_read(rows_in * bk_actual * 2) ||
@@ -664,12 +717,11 @@ bool IntermittentEngine::run_gemm_accumulate(const LoweredNode& ln) {
         }
         for (std::size_t r = 0; r < rows_in; ++r) {
           for (std::size_t c = 0; c < cols_in; ++c) {
+            gather.set_column(ct * plan.bc + c);
             std::int64_t acc = 0;
-            const std::size_t c_global = ct * plan.bc + c;
             for (std::size_t kk = 0; kk < bk_actual; ++kk) {
-              const std::int16_t x =
-                  gather_input(ln, in_buf, k0 + kk, c_global);
-              acc += static_cast<std::int64_t>(x) * w_block[r * plan.bk + kk];
+              acc += static_cast<std::int64_t>(gather.read(kk)) *
+                     w_block[r * plan.bk + kk];
             }
             psum_tile[r * cols_in + c] += shift_round_q15(acc);
           }

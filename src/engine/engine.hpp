@@ -89,14 +89,6 @@ class IntermittentEngine {
   bool run_gemm_task(const LoweredNode& ln);
   bool run_gemm_accumulate(const LoweredNode& ln);
 
-  /// Quantized input activation (k = lowered GEMM row, s = spatial column)
-  /// read from the producer's NVM buffer; handles the conv im2col gather
-  /// and returns 0 for padding.
-  [[nodiscard]] std::int16_t gather_input(const LoweredNode& ln,
-                                          device::Address in_buf,
-                                          std::size_t k,
-                                          std::size_t s) const;
-
   /// Charge the DMA reads that bring one op's input tile into VM.
   [[nodiscard]] bool charge_input_tile_reads(const LoweredNode& ln,
                                              std::size_t bk_actual,

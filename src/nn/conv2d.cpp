@@ -5,6 +5,7 @@
 
 #include "nn/gemm.hpp"
 #include "nn/init.hpp"
+#include "util/scratch_pool.hpp"
 
 namespace iprune::nn {
 
@@ -131,7 +132,9 @@ Tensor Conv2d::infer(std::span<const Tensor* const> inputs) const {
   const std::size_t k = lowered_k();
 
   Tensor output({batch, spec_.out_channels, ho, wo});
-  std::vector<float> col(k * spatial);
+  // Lane-local scratch: im2col overwrites every element, so reused bytes
+  // are fine, and infer() stays safe under parallel_map (one pool per lane).
+  auto col = util::ScratchPool::local().acquire<float>(k * spatial);
   for (std::size_t n = 0; n < batch; ++n) {
     im2col(input.data() + n * spec_.in_channels * in_h * in_w, in_h, in_w,
            col.data());
@@ -168,8 +171,9 @@ std::vector<Tensor> Conv2d::backward(const Tensor& grad_output) {
   const std::size_t k = lowered_k();
 
   Tensor grad_input(input.shape());
-  std::vector<float> col(k * spatial);
-  std::vector<float> grad_col(k * spatial);
+  auto& pool = util::ScratchPool::local();
+  auto col = pool.acquire<float>(k * spatial);
+  auto grad_col = pool.acquire<float>(k * spatial);
   for (std::size_t n = 0; n < batch; ++n) {
     im2col(input.data() + n * spec_.in_channels * in_h * in_w, in_h, in_w,
            col.data());
@@ -188,9 +192,7 @@ std::vector<Tensor> Conv2d::backward(const Tensor& grad_output) {
       bias_grad_[c] += acc;
     }
     // dcol[K,S] = W^T[K,Cout] * dOut[Cout,S]
-    for (auto& v : grad_col) {
-      v = 0.0f;
-    }
+    grad_col.fill(0.0f);
     gemm_at_b(weight_.data(), grad_mat, grad_col.data(), k,
               spec_.out_channels, spatial);
     col2im(grad_col.data(),

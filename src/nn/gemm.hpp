@@ -1,7 +1,19 @@
 #pragma once
 // Small dense matrix-multiply kernels used by the training-side conv/dense
-// layers. Not a BLAS; just cache-friendly loop orders that autovectorize
-// well enough for the CI-scale training runs this project performs.
+// layers. Not a BLAS; register-tiled loop nests that autovectorize well
+// for the CI-scale training runs this project performs.
+//
+// Every kernel is BIT-IDENTICAL to its naive counterpart in nn::ref for
+// finite inputs: optimizations only reorder memory traffic, never the
+// per-element floating-point accumulation sequence (each C element still
+// receives its k-contributions one rounded add at a time, in ascending-k
+// order). tests/nn/gemm_property_test.cpp pins this across shapes,
+// sparsities, and alignment offsets.
+//
+// Runtime path selection: the kernels count a row's nonzeros once and
+// either skip zero weights block-free (pruned rows) or run a dense fast
+// path that drops the per-element zero branch and register-tiles the
+// reduction (see docs/performance.md).
 
 #include <cstddef>
 
@@ -19,5 +31,19 @@ void gemm_at_b(const float* a, const float* b, float* c, std::size_t m,
 /// C[m x n] += A[m x k] * B^T[n x k]  (B stored row-major as [n x k]).
 void gemm_a_bt(const float* a, const float* b, float* c, std::size_t m,
                std::size_t k, std::size_t n);
+
+namespace ref {
+
+// Retained naive seed kernels: the executable specification the optimized
+// kernels are differentially tested against. Not used on any hot path.
+
+void gemm_accumulate(const float* a, const float* b, float* c, std::size_t m,
+                     std::size_t k, std::size_t n);
+void gemm_at_b(const float* a, const float* b, float* c, std::size_t m,
+               std::size_t k, std::size_t n);
+void gemm_a_bt(const float* a, const float* b, float* c, std::size_t m,
+               std::size_t k, std::size_t n);
+
+}  // namespace ref
 
 }  // namespace iprune::nn

@@ -98,9 +98,9 @@ std::vector<Tensor> Graph::infer_nodes(const Tensor& batch) const {
   check_batch_shape(batch, shapes_[0]);
   std::vector<Tensor> activations(node_count());
   activations[0] = batch;
+  std::vector<const Tensor*> ins;
   for (NodeId node = 1; node < node_count(); ++node) {
-    std::vector<const Tensor*> ins;
-    ins.reserve(node_inputs(node).size());
+    ins.clear();
     for (const NodeId id : node_inputs(node)) {
       ins.push_back(&activations[id]);
     }
@@ -121,9 +121,9 @@ std::vector<Tensor> Graph::forward_nodes(const Tensor& batch, bool training) {
   check_batch_shape(batch, shapes_[0]);
   std::vector<Tensor> activations(node_count());
   activations[0] = batch;
+  std::vector<const Tensor*> ins;
   for (NodeId node = 1; node < node_count(); ++node) {
-    std::vector<const Tensor*> ins;
-    ins.reserve(node_inputs(node).size());
+    ins.clear();
     for (const NodeId id : node_inputs(node)) {
       ins.push_back(&activations[id]);
     }

@@ -37,7 +37,7 @@ bool PowerManager::consume(double now_s, double duration_s, double energy_j,
     ++stats_.injected_failures;
   }
   ++stats_.power_failures;
-  if (sink_->enabled()) {
+  if (trace_on_) {
     telemetry::Event event;
     event.cls = telemetry::EventClass::kBrownOut;
     event.phase = telemetry::EventPhase::kInstant;
@@ -60,7 +60,7 @@ bool PowerManager::consume(double now_s, double duration_s, double energy_j,
 
 void PowerManager::record_recharge(double now_s, double duration_s,
                                    double harvested_j) {
-  if (!sink_->enabled()) {
+  if (!trace_on_) {
     return;
   }
   telemetry::Event event;

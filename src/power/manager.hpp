@@ -70,6 +70,7 @@ class PowerManager {
   /// null sink). Non-owning; the sink must outlive the manager.
   void set_trace_sink(telemetry::TraceSink* sink) {
     sink_ = sink != nullptr ? sink : &telemetry::NullSink::instance();
+    trace_on_ = sink_->enabled();
   }
 
  private:
@@ -81,6 +82,9 @@ class PowerManager {
   FaultHook* fault_hook_ = nullptr;
   bool last_outage_injected_ = false;
   telemetry::TraceSink* sink_ = &telemetry::NullSink::instance();
+  // Cached sink_->enabled() so the consume() hot path tests one member
+  // bool instead of chasing the sink pointer per charge.
+  bool trace_on_ = false;
 };
 
 }  // namespace iprune::power

@@ -1,0 +1,274 @@
+#include "util/perf_gate.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace iprune::util {
+
+namespace {
+
+constexpr const char* kSchemaTag = "iprune-bench-perf/1";
+
+/// Minimal recursive-descent reader for the exact document shape
+/// to_json() emits (plus arbitrary whitespace). Not a general JSON
+/// parser; anything unexpected throws.
+class Reader {
+ public:
+  explicit Reader(const std::string& text) : text_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  [[nodiscard]] bool peek(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (peek(c)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      const char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          fail("dangling escape");
+        }
+        out.push_back(text_[pos_++]);
+      } else {
+        out.push_back(c);
+      }
+    }
+    if (pos_ >= text_.size()) {
+      fail("unterminated string");
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t number() {
+    skip_ws();
+    if (pos_ >= text_.size() ||
+        std::isdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+      fail("expected number");
+    }
+    std::uint64_t value = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+      value = value * 10 + static_cast<std::uint64_t>(text_[pos_] - '0');
+      ++pos_;
+    }
+    return value;
+  }
+
+  void done() {
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing garbage");
+    }
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("BENCH_PERF.json parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+void PerfReport::add(PerfEntry entry) {
+  entries.push_back(std::move(entry));
+}
+
+const PerfEntry* PerfReport::find(const std::string& name) const {
+  for (const PerfEntry& e : entries) {
+    if (e.name == name) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+std::string PerfReport::to_json() const {
+  std::vector<const PerfEntry*> sorted;
+  sorted.reserve(entries.size());
+  for (const PerfEntry& e : entries) {
+    sorted.push_back(&e);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const PerfEntry* x, const PerfEntry* y) {
+              return x->name < y->name;
+            });
+  std::string out = "{\n  \"schema\": \"";
+  out += kSchemaTag;
+  out += "\",\n  \"entries\": [";
+  bool first = true;
+  for (const PerfEntry* e : sorted) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": ";
+    append_escaped(out, e->name);
+    out += ", \"median_ns\": " + std::to_string(e->median_ns);
+    out += ", \"iters\": " + std::to_string(e->iters);
+    out += ", \"checksum\": " + std::to_string(e->checksum);
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+PerfReport PerfReport::from_json(const std::string& text) {
+  Reader r(text);
+  PerfReport report;
+  bool saw_schema = false;
+  bool saw_entries = false;
+  r.expect('{');
+  if (!r.consume('}')) {
+    do {
+      const std::string key = r.string();
+      r.expect(':');
+      if (key == "schema") {
+        const std::string tag = r.string();
+        if (tag != kSchemaTag) {
+          throw std::runtime_error("BENCH_PERF.json: unsupported schema '" +
+                                   tag + "' (want " + kSchemaTag + ")");
+        }
+        saw_schema = true;
+      } else if (key == "entries") {
+        saw_entries = true;
+        r.expect('[');
+        if (!r.consume(']')) {
+          do {
+            PerfEntry entry;
+            bool has_name = false;
+            bool has_median = false;
+            bool has_iters = false;
+            bool has_checksum = false;
+            r.expect('{');
+            if (!r.consume('}')) {
+              do {
+                const std::string field = r.string();
+                r.expect(':');
+                if (field == "name") {
+                  entry.name = r.string();
+                  has_name = true;
+                } else if (field == "median_ns") {
+                  entry.median_ns = r.number();
+                  has_median = true;
+                } else if (field == "iters") {
+                  entry.iters = r.number();
+                  has_iters = true;
+                } else if (field == "checksum") {
+                  entry.checksum = r.number();
+                  has_checksum = true;
+                } else {
+                  throw std::runtime_error(
+                      "BENCH_PERF.json: unknown entry key '" + field + "'");
+                }
+              } while (r.consume(','));
+              r.expect('}');
+            }
+            if (!has_name || !has_median || !has_iters || !has_checksum) {
+              throw std::runtime_error(
+                  "BENCH_PERF.json: entry missing a required key "
+                  "(name/median_ns/iters/checksum)");
+            }
+            report.entries.push_back(std::move(entry));
+          } while (r.consume(','));
+          r.expect(']');
+        }
+      } else {
+        throw std::runtime_error("BENCH_PERF.json: unknown key '" + key +
+                                 "'");
+      }
+    } while (r.consume(','));
+    r.expect('}');
+  }
+  r.done();
+  if (!saw_schema || !saw_entries) {
+    throw std::runtime_error(
+        "BENCH_PERF.json: document needs both \"schema\" and \"entries\"");
+  }
+  return report;
+}
+
+PerfGateResult compare(const PerfReport& baseline, const PerfReport& current,
+                       double tolerance) {
+  PerfGateResult result;
+  std::ostringstream out;
+  for (const PerfEntry& base : baseline.entries) {
+    PerfComparison cmp;
+    cmp.name = base.name;
+    const PerfEntry* cur = current.find(base.name);
+    if (cur == nullptr) {
+      cmp.missing = true;
+      out << "FAIL " << base.name << ": missing from this run\n";
+    } else {
+      cmp.checksum_changed = cur->checksum != base.checksum;
+      cmp.ratio = base.median_ns == 0
+                      ? 1.0
+                      : static_cast<double>(cur->median_ns) /
+                            static_cast<double>(base.median_ns);
+      cmp.regressed = cmp.ratio > tolerance;
+      if (cmp.checksum_changed) {
+        out << "FAIL " << base.name << ": checksum " << cur->checksum
+            << " != baseline " << base.checksum
+            << " (numerics changed — optimizations must stay bit-identical)"
+            << "\n";
+      }
+      if (cmp.regressed) {
+        out << "FAIL " << base.name << ": " << cur->median_ns << " ns vs "
+            << base.median_ns << " ns baseline (" << cmp.ratio
+            << "x, tolerance " << tolerance << "x)\n";
+      }
+      if (!cmp.failed()) {
+        out << "  ok " << base.name << ": " << cur->median_ns << " ns ("
+            << cmp.ratio << "x of baseline)\n";
+      }
+    }
+    result.passed = result.passed && !cmp.failed();
+    result.comparisons.push_back(std::move(cmp));
+  }
+  out << (result.passed ? "PASS" : "FAIL") << ": "
+      << result.comparisons.size() << " baseline entries checked\n";
+  result.summary = out.str();
+  return result;
+}
+
+}  // namespace iprune::util

@@ -1,0 +1,84 @@
+#pragma once
+// Perf-regression gate: the report format and comparator behind
+// bench_perf_gate (bench/bench_perf_gate.cpp).
+//
+// A benchmark run produces a PerfReport — one PerfEntry per timed
+// scenario with its median-of-k wall time, iteration count, and a
+// checksum folded from the scenario's numerical output (the checksum is
+// machine-independent; the timings are not). The report round-trips
+// through a small JSON document (BENCH_PERF.json):
+//
+//   {
+//     "schema": "iprune-bench-perf/1",
+//     "entries": [
+//       {"name": "gemm_dense_64", "median_ns": 23000,
+//        "iters": 64, "checksum": 1234567}
+//     ]
+//   }
+//
+// compare() holds a fresh report against a checked-in baseline and fails
+// on (a) a baseline entry missing from the run, (b) a checksum mismatch
+// (the optimized kernels silently changed their numerics), or (c) a
+// median slowdown beyond `tolerance`. Speedups never fail; re-baseline
+// to claim them (docs/performance.md describes the procedure).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace iprune::util {
+
+struct PerfEntry {
+  std::string name;
+  std::uint64_t median_ns = 0;
+  std::uint64_t iters = 0;
+  std::uint64_t checksum = 0;
+};
+
+struct PerfReport {
+  std::vector<PerfEntry> entries;
+
+  void add(PerfEntry entry);
+  /// Entry by name, or nullptr.
+  [[nodiscard]] const PerfEntry* find(const std::string& name) const;
+
+  /// Serialize (entries sorted by name, so reports diff cleanly).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Parse a document produced by to_json(). Throws std::runtime_error
+  /// on malformed input, a wrong schema tag, or a missing required key.
+  static PerfReport from_json(const std::string& text);
+};
+
+/// Comparator verdict for one baseline entry.
+struct PerfComparison {
+  std::string name;
+  bool missing = false;         // entry absent from the current run
+  bool checksum_changed = false;
+  double ratio = 0.0;           // current median / baseline median
+  bool regressed = false;       // ratio > tolerance
+  [[nodiscard]] bool failed() const {
+    return missing || checksum_changed || regressed;
+  }
+};
+
+struct PerfGateResult {
+  std::vector<PerfComparison> comparisons;
+  bool passed = true;
+  /// Human-readable per-entry lines plus a final PASS/FAIL summary.
+  std::string summary;
+};
+
+/// Default slowdown tolerance: a genuine 2x regression must fail, while
+/// scheduler jitter on a loaded CI box must not.
+inline constexpr double kDefaultPerfTolerance = 1.6;
+
+/// Judge `current` against `baseline`. Every baseline entry must be
+/// present, bit-equal in checksum, and no slower than
+/// `tolerance * baseline.median_ns`. Entries only in `current` are
+/// ignored (adding benchmarks never breaks an old baseline).
+[[nodiscard]] PerfGateResult compare(const PerfReport& baseline,
+                                     const PerfReport& current,
+                                     double tolerance = kDefaultPerfTolerance);
+
+}  // namespace iprune::util

@@ -1,0 +1,72 @@
+#include "util/scratch_pool.hpp"
+
+#include <algorithm>
+
+namespace iprune::util {
+
+ScratchPool& ScratchPool::local() {
+  thread_local ScratchPool pool;
+  return pool;
+}
+
+std::vector<std::byte> ScratchPool::take(std::size_t bytes) {
+  ++outstanding_;
+  // Best fit: the smallest free buffer whose capacity already covers the
+  // request, so big buffers stay available for big checkouts.
+  std::size_t best = free_.size();
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    if (free_[i].capacity() >= bytes &&
+        (best == free_.size() ||
+         free_[i].capacity() < free_[best].capacity())) {
+      best = i;
+    }
+  }
+  if (best == free_.size() && !free_.empty()) {
+    // Nothing big enough: grow the largest free buffer instead of leaving
+    // it stranded while a fresh allocation duplicates it.
+    best = 0;
+    for (std::size_t i = 1; i < free_.size(); ++i) {
+      if (free_[i].capacity() > free_[best].capacity()) {
+        best = i;
+      }
+    }
+  }
+  if (best < free_.size()) {
+    std::vector<std::byte> storage = std::move(free_[best]);
+    free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(best));
+    if (storage.capacity() >= bytes) {
+      ++reuses_;
+    } else {
+      ++allocations_;
+    }
+    storage.resize(bytes);
+    return storage;
+  }
+  ++allocations_;
+  return std::vector<std::byte>(bytes);
+}
+
+void ScratchPool::give_back(std::vector<std::byte>&& storage) {
+  if (outstanding_ > 0) {
+    --outstanding_;
+  }
+  if (storage.capacity() == 0) {
+    return;
+  }
+  if (free_.size() >= kMaxFreeBuffers) {
+    // Evict the smallest retained buffer (keep the ones hardest to
+    // re-allocate) unless the incoming one is smaller still.
+    auto smallest = std::min_element(
+        free_.begin(), free_.end(), [](const auto& x, const auto& y) {
+          return x.capacity() < y.capacity();
+        });
+    if (smallest->capacity() >= storage.capacity()) {
+      return;
+    }
+    *smallest = std::move(storage);
+    return;
+  }
+  free_.push_back(std::move(storage));
+}
+
+}  // namespace iprune::util

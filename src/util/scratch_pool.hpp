@@ -1,0 +1,155 @@
+#pragma once
+// Per-lane scratch-buffer arena for hot-path temporaries.
+//
+// The inner loops of the prune-retrain-search pipeline (im2col staging in
+// Conv2d, psum tiles in the intermittent engine, batch gathers in
+// evaluate_graph) used to heap-allocate their scratch on every call;
+// across the millions of inferences a sensitivity sweep or latency bench
+// performs, the allocator dominated. A ScratchPool recycles those buffers:
+// acquire<T>(count) checks a buffer out (best-fit from a bounded free
+// list, falling back to a fresh allocation), and the RAII Scratch<T>
+// handle checks it back in on destruction.
+//
+// Lifetime rules (docs/performance.md):
+//   * Scratch contents are UNINITIALIZED on acquire — callers must write
+//     every element they read (or call fill()). Reuse never leaks data
+//     *between* lanes because pools are lane-local, but it does hand a
+//     lane its own previous bytes back.
+//   * A Scratch must not outlive its pool. The thread-local pool of
+//     ScratchPool::local() lives until thread exit, so layer/engine code
+//     holding a checkout across one call is always safe.
+//   * Concurrently checked-out buffers never alias (pinned by
+//     tests/util/scratch_pool_test.cpp).
+//
+// Threading: ScratchPool is NOT thread-safe; it is meant to be lane-local.
+// ScratchPool::local() hands every thread — the caller lane and each
+// runtime::ThreadPool worker lane — its own pool, so parallel_map bodies
+// get isolated arenas with zero synchronization.
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace iprune::util {
+
+class ScratchPool;
+
+/// RAII checkout of `count` elements of T from a ScratchPool. Movable,
+/// not copyable; returns its storage to the pool on destruction.
+template <typename T>
+class Scratch {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "Scratch only holds trivial element types");
+
+ public:
+  Scratch() = default;
+  Scratch(const Scratch&) = delete;
+  Scratch& operator=(const Scratch&) = delete;
+  Scratch(Scratch&& other) noexcept { swap(other); }
+  Scratch& operator=(Scratch&& other) noexcept {
+    if (this != &other) {
+      release();
+      swap(other);
+    }
+    return *this;
+  }
+  ~Scratch() { release(); }
+
+  [[nodiscard]] T* data() {
+    return reinterpret_cast<T*>(storage_.data());
+  }
+  [[nodiscard]] const T* data() const {
+    return reinterpret_cast<const T*>(storage_.data());
+  }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+
+  void fill(T value) {
+    T* p = data();
+    for (std::size_t i = 0; i < count_; ++i) {
+      p[i] = value;
+    }
+  }
+
+  /// Return the storage to the pool now (the handle becomes empty).
+  void release();
+
+ private:
+  friend class ScratchPool;
+  Scratch(ScratchPool* pool, std::vector<std::byte>&& storage,
+          std::size_t count)
+      : pool_(pool), storage_(std::move(storage)), count_(count) {}
+
+  void swap(Scratch& other) noexcept {
+    std::swap(pool_, other.pool_);
+    std::swap(storage_, other.storage_);
+    std::swap(count_, other.count_);
+  }
+
+  ScratchPool* pool_ = nullptr;
+  std::vector<std::byte> storage_;
+  std::size_t count_ = 0;
+};
+
+class ScratchPool {
+ public:
+  /// Free buffers retained beyond this count are dropped (smallest first)
+  /// so one giant transient phase cannot pin memory forever.
+  static constexpr std::size_t kMaxFreeBuffers = 16;
+
+  ScratchPool() = default;
+  ScratchPool(const ScratchPool&) = delete;
+  ScratchPool& operator=(const ScratchPool&) = delete;
+
+  /// The calling thread's pool. One per lane: the caller thread and every
+  /// runtime::ThreadPool worker each get their own instance, destroyed at
+  /// thread exit.
+  static ScratchPool& local();
+
+  /// Check out `count` elements of T (contents uninitialized).
+  template <typename T>
+  [[nodiscard]] Scratch<T> acquire(std::size_t count) {
+    return Scratch<T>(this, take(count * sizeof(T)), count);
+  }
+
+  /// Buffers currently checked out.
+  [[nodiscard]] std::size_t outstanding() const { return outstanding_; }
+  /// Free buffers waiting for reuse.
+  [[nodiscard]] std::size_t free_buffers() const { return free_.size(); }
+  /// Checkouts served without touching the allocator / served by it.
+  [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+  [[nodiscard]] std::uint64_t allocations() const { return allocations_; }
+
+  /// Drop every free buffer (outstanding checkouts are unaffected).
+  void trim() { free_.clear(); }
+
+ private:
+  template <typename T>
+  friend class Scratch;
+
+  std::vector<std::byte> take(std::size_t bytes);
+  void give_back(std::vector<std::byte>&& storage);
+
+  std::vector<std::vector<std::byte>> free_;
+  std::size_t outstanding_ = 0;
+  std::uint64_t reuses_ = 0;
+  std::uint64_t allocations_ = 0;
+};
+
+template <typename T>
+void Scratch<T>::release() {
+  if (pool_ != nullptr) {
+    pool_->give_back(std::move(storage_));
+    pool_ = nullptr;
+  }
+  storage_.clear();
+  count_ = 0;
+}
+
+}  // namespace iprune::util

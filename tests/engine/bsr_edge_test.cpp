@@ -1,0 +1,252 @@
+// BSR edge cases and psum-ordering pins. The structural half exercises
+// BsrMatrix::build degenerate shapes (empty row tile, a single full-dense
+// block, the maximum block count on edge-padded plans). The engine half
+// pins the partial-sum accumulation order: a pruned (skipped) block must
+// contribute exactly what a present-but-zero block contributes — nothing —
+// so prune-skip logits are bit-identical to dense-with-zeroed-weights
+// logits, under every preservation mode. The optimized gather/psum paths
+// in engine.cpp must never break this.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "engine/bsr.hpp"
+#include "engine/engine.hpp"
+#include "nn/dense.hpp"
+#include "power/supply.hpp"
+#include "util/rng.hpp"
+
+namespace iprune {
+namespace {
+
+using engine::BlockMask;
+using engine::BsrMatrix;
+using engine::EngineConfig;
+using engine::PreservationMode;
+using engine::TilePlan;
+
+TilePlan two_by_two_plan() {
+  TilePlan plan;
+  plan.rows = 8;
+  plan.cols = 4;
+  plan.k = 24;
+  plan.br = 4;
+  plan.bk = 12;
+  plan.bc = 4;
+  return plan;
+}
+
+nn::QTensor random_quantized(const TilePlan& plan, std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Tensor dense({plan.rows, plan.k});
+  for (std::size_t i = 0; i < dense.numel(); ++i) {
+    dense[i] = static_cast<float>(rng.normal());
+  }
+  return nn::quantize_q15(dense);
+}
+
+TEST(BsrEdge, EmptyRowTileHasEmptySlotRange) {
+  const TilePlan plan = two_by_two_plan();
+  BlockMask mask(plan.row_tiles(), plan.k_tiles(), false);
+  mask.set(0, 0, true);
+  mask.set(0, 1, true);
+  // Row tile 1 entirely pruned.
+  const nn::QTensor dense = random_quantized(plan, 11);
+  const BsrMatrix bsr = BsrMatrix::build(dense, mask, plan);
+  EXPECT_EQ(bsr.nnz_blocks(), plan.k_tiles());
+  EXPECT_EQ(bsr.row_begin(1), bsr.row_end(1)) << "empty row tile";
+  EXPECT_EQ(bsr.row_end(1), bsr.nnz_blocks())
+      << "trailing empty row still closes the row_ptr array";
+  // Reconstructing must zero the pruned rows.
+  const nn::QTensor back = bsr.to_dense(plan, dense.scale);
+  for (std::size_t r = plan.br; r < plan.rows; ++r) {
+    for (std::size_t kk = 0; kk < plan.k; ++kk) {
+      EXPECT_EQ(back.data[r * plan.k + kk], 0) << r << "," << kk;
+    }
+  }
+}
+
+TEST(BsrEdge, SingleFullDenseBlock) {
+  // The whole matrix is exactly one block: the smallest legal BSR.
+  TilePlan plan;
+  plan.rows = 4;
+  plan.cols = 4;
+  plan.k = 12;
+  plan.br = 4;
+  plan.bk = 12;
+  plan.bc = 4;
+  ASSERT_EQ(1u, plan.row_tiles());
+  ASSERT_EQ(1u, plan.k_tiles());
+  const BlockMask mask(1, 1, true);
+  const nn::QTensor dense = random_quantized(plan, 12);
+  const BsrMatrix bsr = BsrMatrix::build(dense, mask, plan);
+  EXPECT_EQ(1u, bsr.nnz_blocks());
+  EXPECT_EQ(plan.br * plan.bk, bsr.block_elems());
+  EXPECT_EQ(0u, bsr.row_begin(0));
+  EXPECT_EQ(1u, bsr.row_end(0));
+  EXPECT_EQ(0u, bsr.col(0));
+  ASSERT_EQ(std::vector<std::uint32_t>({0, 1}), bsr.row_ptr());
+  // A full single block stores the dense values verbatim.
+  const std::int16_t* block = bsr.block(0);
+  for (std::size_t i = 0; i < bsr.block_elems(); ++i) {
+    EXPECT_EQ(dense.data[i], block[i]) << "elem " << i;
+  }
+}
+
+TEST(BsrEdge, MaxBlockCountOnEdgePaddedPlan) {
+  // Ragged extents (rows 4+2, k 12+3) with a full mask: every tile alive,
+  // nnz_blocks hits the row_tiles*k_tiles maximum, and within each row
+  // tile the k-tile indices come out strictly ascending — the order the
+  // engine's psum chain walks them.
+  TilePlan plan;
+  plan.rows = 6;
+  plan.cols = 3;
+  plan.k = 15;
+  plan.br = 4;
+  plan.bk = 12;
+  plan.bc = 4;
+  const BlockMask mask(plan.row_tiles(), plan.k_tiles(), true);
+  nn::QTensor dense;
+  dense.shape = {plan.rows, plan.k};
+  dense.scale = 1.0f;
+  dense.data.assign(plan.rows * plan.k, 3);
+  const BsrMatrix bsr = BsrMatrix::build(dense, mask, plan);
+  EXPECT_EQ(plan.row_tiles() * plan.k_tiles(), bsr.nnz_blocks());
+  for (std::size_t rt = 0; rt < plan.row_tiles(); ++rt) {
+    ASSERT_EQ(plan.k_tiles(), bsr.row_end(rt) - bsr.row_begin(rt));
+    for (std::uint32_t slot = bsr.row_begin(rt); slot + 1 < bsr.row_end(rt);
+         ++slot) {
+      EXPECT_LT(bsr.col(slot), bsr.col(slot + 1))
+          << "k-tile order within row tile " << rt;
+    }
+  }
+  // Edge padding: the last block's out-of-extent elements are zero.
+  const std::int16_t* last = bsr.block(bsr.nnz_blocks() - 1);
+  EXPECT_EQ(3, last[0]);                    // real element
+  EXPECT_EQ(0, last[plan.bk - 1]);          // k padding
+  EXPECT_EQ(0, last[3 * plan.bk]);          // row padding
+}
+
+// ---------------------------------------------------------------------
+// Engine psum-ordering pins (Dense 24 -> 8 lowers to a 2x2 block grid
+// under the default EngineConfig: br=4, bk=12).
+
+struct DenseEngineFixture {
+  nn::Graph graph{nn::Shape{24}};
+  nn::Tensor calib;
+  nn::Tensor sample;
+
+  DenseEngineFixture() {
+    util::Rng rng(21);
+    auto fc = graph.add(std::make_unique<nn::Dense>("fc", 24, 8, rng),
+                        {graph.input()});
+    graph.set_output(fc);
+    calib = nn::Tensor({16, 24});
+    for (std::size_t i = 0; i < calib.numel(); ++i) {
+      calib[i] = static_cast<float>(rng.normal(0.0, 0.5));
+    }
+    sample = nn::Tensor({24});
+    for (std::size_t i = 0; i < sample.numel(); ++i) {
+      sample[i] = static_cast<float>(rng.normal(0.0, 0.5));
+    }
+  }
+
+  nn::Dense& fc() { return dynamic_cast<nn::Dense&>(graph.layer(1)); }
+
+  std::vector<float> run(PreservationMode mode) {
+    EngineConfig config;
+    config.mode = mode;
+    device::Msp430Device device(
+        device::DeviceConfig::msp430fr5994(),
+        std::make_unique<power::ConstantSupply>(
+            power::SupplyPresets::kContinuousW),
+        power::BufferConfig{});
+    engine::DeployedModel model(graph, config, device, calib);
+    engine::IntermittentEngine eng(model, device);
+    const auto result = eng.run(sample);
+    EXPECT_TRUE(result.stats.completed);
+    return result.logits;
+  }
+};
+
+void expect_bit_equal(const std::vector<float>& a,
+                      const std::vector<float>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)))
+      << what;
+}
+
+TEST(BsrEdge, PruneSkipBitIdenticalToDenseZeroWeights) {
+  // Model A: second k-tile pruned through the mask (blocks skipped).
+  DenseEngineFixture pruned;
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t kk = 12; kk < 24; ++kk) {
+      pruned.fc().weight_mask().at(r, kk) = 0.0f;
+    }
+  }
+  pruned.fc().apply_mask();
+
+  // Model B: identical weights (zeroed directly), mask left full, so the
+  // same blocks stay alive and the engine multiplies explicit zeros.
+  DenseEngineFixture dense_zero;
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t kk = 12; kk < 24; ++kk) {
+      dense_zero.fc().weight().at(r, kk) = 0.0f;
+    }
+  }
+
+  for (const PreservationMode mode :
+       {PreservationMode::kImmediate, PreservationMode::kTaskAtomic,
+        PreservationMode::kAccumulateInVm}) {
+    expect_bit_equal(pruned.run(mode), dense_zero.run(mode),
+                     "skipped blocks must contribute exactly zero psum");
+  }
+}
+
+TEST(BsrEdge, PreservationModesAgreeBitExactlyOnPrunedModel) {
+  // All three psum-preservation strategies must walk the same block order
+  // and land on identical bits, including with a dead block in the chain.
+  DenseEngineFixture f;
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t kk = 0; kk < 12; ++kk) {
+      f.fc().weight_mask().at(r, kk) = 0.0f;
+    }
+  }
+  f.fc().apply_mask();
+
+  const auto imm = f.run(PreservationMode::kImmediate);
+  const auto task = f.run(PreservationMode::kTaskAtomic);
+  const auto acc = f.run(PreservationMode::kAccumulateInVm);
+  expect_bit_equal(imm, task, "immediate vs task-atomic");
+  expect_bit_equal(imm, acc, "immediate vs accumulate-in-vm");
+}
+
+TEST(BsrEdge, FullyPrunedRowTileYieldsBiasOnlyOutputs) {
+  // Rows 0..3 lose every weight: their BSR row tile is empty, and the
+  // engine output for those classes must be the (requantized) bias alone.
+  DenseEngineFixture f;
+  const std::vector<float> baseline = f.run(PreservationMode::kImmediate);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t kk = 0; kk < 24; ++kk) {
+      f.fc().weight_mask().at(r, kk) = 0.0f;
+    }
+  }
+  f.fc().apply_mask();
+  const auto logits = f.run(PreservationMode::kImmediate);
+  ASSERT_EQ(8u, logits.size());
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(logits[c], f.fc().bias()[c], 0.02)
+        << "empty-row output " << c << " should be bias-only";
+  }
+  // Untouched rows keep their original values (independent row tiles;
+  // tolerance covers the recalibrated requantization scale).
+  for (std::size_t c = 4; c < 8; ++c) {
+    EXPECT_NEAR(logits[c], baseline[c], 0.02) << "row " << c;
+  }
+}
+
+}  // namespace
+}  // namespace iprune

@@ -1,0 +1,231 @@
+// Golden-schema and comparator tests for the BENCH_PERF.json perf gate.
+// Pins the document format bench_perf_gate emits (schema tag, required
+// entry keys, name-sorted entries), the round trip through from_json, and
+// the comparator verdicts: pass on parity, fail on a synthetic 2x
+// slowdown at the default tolerance, fail on a missing entry, fail on a
+// checksum change, never fail on a speedup.
+
+#include "util/perf_gate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace iprune::util {
+namespace {
+
+PerfReport sample_report() {
+  PerfReport report;
+  report.add({"gemm_dense_64", 120000, 33, 0xDEADBEEFu});
+  report.add({"conv2d_infer_8x16x16", 800000, 17, 42u});
+  report.add({"engine_e2e_infer", 5000000, 7, 7777u});
+  return report;
+}
+
+TEST(PerfGate, JsonCarriesSchemaTagAndRequiredKeys) {
+  const std::string json = sample_report().to_json();
+  EXPECT_NE(json.find("\"schema\": \"iprune-bench-perf/1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"entries\""), std::string::npos);
+  for (const char* key : {"\"name\"", "\"median_ns\"", "\"iters\"",
+                          "\"checksum\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(PerfGate, JsonEntriesSortedByName) {
+  const std::string json = sample_report().to_json();
+  // Insertion order was gemm, conv, engine; serialized order is lexical
+  // so baselines diff cleanly.
+  const auto conv = json.find("conv2d_infer_8x16x16");
+  const auto engine = json.find("engine_e2e_infer");
+  const auto gemm = json.find("gemm_dense_64");
+  ASSERT_NE(conv, std::string::npos);
+  ASSERT_NE(engine, std::string::npos);
+  ASSERT_NE(gemm, std::string::npos);
+  EXPECT_LT(conv, engine);
+  EXPECT_LT(engine, gemm);
+}
+
+TEST(PerfGate, RoundTripPreservesEveryField) {
+  const PerfReport original = sample_report();
+  const PerfReport back = PerfReport::from_json(original.to_json());
+  ASSERT_EQ(original.entries.size(), back.entries.size());
+  for (const PerfEntry& e : original.entries) {
+    const PerfEntry* b = back.find(e.name);
+    ASSERT_NE(b, nullptr) << e.name;
+    EXPECT_EQ(e.median_ns, b->median_ns) << e.name;
+    EXPECT_EQ(e.iters, b->iters) << e.name;
+    EXPECT_EQ(e.checksum, b->checksum) << e.name;
+  }
+}
+
+TEST(PerfGate, ComparatorPassesOnIdenticalReports) {
+  const PerfReport report = sample_report();
+  const PerfGateResult result = compare(report, report);
+  EXPECT_TRUE(result.passed);
+  ASSERT_EQ(3u, result.comparisons.size());
+  for (const PerfComparison& cmp : result.comparisons) {
+    EXPECT_FALSE(cmp.failed()) << cmp.name;
+    EXPECT_DOUBLE_EQ(1.0, cmp.ratio) << cmp.name;
+  }
+  EXPECT_NE(result.summary.find("PASS: 3 baseline entries checked"),
+            std::string::npos);
+}
+
+TEST(PerfGate, ComparatorFailsOnSyntheticTwoXSlowdown) {
+  // The acceptance-criteria demonstration: a 2x regression on one entry
+  // must fail the gate at the default tolerance (1.6x).
+  const PerfReport baseline = sample_report();
+  PerfReport slow = sample_report();
+  for (PerfEntry& e : slow.entries) {
+    if (e.name == "gemm_dense_64") {
+      e.median_ns *= 2;
+    }
+  }
+  const PerfGateResult result = compare(baseline, slow);
+  EXPECT_FALSE(result.passed);
+  bool flagged = false;
+  for (const PerfComparison& cmp : result.comparisons) {
+    if (cmp.name == "gemm_dense_64") {
+      flagged = true;
+      EXPECT_TRUE(cmp.regressed);
+      EXPECT_DOUBLE_EQ(2.0, cmp.ratio);
+      EXPECT_FALSE(cmp.missing);
+      EXPECT_FALSE(cmp.checksum_changed);
+    } else {
+      EXPECT_FALSE(cmp.failed()) << cmp.name;
+    }
+  }
+  EXPECT_TRUE(flagged);
+  EXPECT_NE(result.summary.find("FAIL gemm_dense_64"), std::string::npos);
+}
+
+TEST(PerfGate, SlowdownWithinToleranceStillPasses) {
+  const PerfReport baseline = sample_report();
+  PerfReport slightly_slow = sample_report();
+  for (PerfEntry& e : slightly_slow.entries) {
+    e.median_ns = e.median_ns * 3 / 2;  // 1.5x < 1.6x default tolerance
+  }
+  EXPECT_TRUE(compare(baseline, slightly_slow).passed);
+  // The same run fails once the caller tightens the tolerance.
+  EXPECT_FALSE(compare(baseline, slightly_slow, 1.2).passed);
+}
+
+TEST(PerfGate, ComparatorFailsOnMissingEntry) {
+  const PerfReport baseline = sample_report();
+  PerfReport current = sample_report();
+  current.entries.erase(current.entries.begin());  // drop gemm_dense_64
+  const PerfGateResult result = compare(baseline, current);
+  EXPECT_FALSE(result.passed);
+  bool saw_missing = false;
+  for (const PerfComparison& cmp : result.comparisons) {
+    if (cmp.name == "gemm_dense_64") {
+      saw_missing = cmp.missing;
+    }
+  }
+  EXPECT_TRUE(saw_missing);
+  EXPECT_NE(result.summary.find("missing from this run"), std::string::npos);
+}
+
+TEST(PerfGate, ComparatorFailsOnChecksumChange) {
+  // A checksum change means the kernels' numerics moved — that fails even
+  // when the timing improved, at any tolerance.
+  const PerfReport baseline = sample_report();
+  PerfReport current = sample_report();
+  for (PerfEntry& e : current.entries) {
+    if (e.name == "engine_e2e_infer") {
+      e.checksum ^= 1;
+      e.median_ns /= 2;
+    }
+  }
+  const PerfGateResult result = compare(baseline, current, 100.0);
+  EXPECT_FALSE(result.passed);
+  EXPECT_NE(result.summary.find("bit-identical"), std::string::npos);
+}
+
+TEST(PerfGate, SpeedupsNeverFail) {
+  const PerfReport baseline = sample_report();
+  PerfReport fast = sample_report();
+  for (PerfEntry& e : fast.entries) {
+    e.median_ns /= 10;
+  }
+  EXPECT_TRUE(compare(baseline, fast).passed);
+}
+
+TEST(PerfGate, EntriesOnlyInCurrentAreIgnored) {
+  const PerfReport baseline = sample_report();
+  PerfReport current = sample_report();
+  current.add({"brand_new_bench", 1, 1, 1});
+  const PerfGateResult result = compare(baseline, current);
+  EXPECT_TRUE(result.passed);
+  EXPECT_EQ(baseline.entries.size(), result.comparisons.size())
+      << "adding a benchmark must not break an old baseline";
+}
+
+TEST(PerfGate, FromJsonRejectsWrongSchema) {
+  EXPECT_THROW(
+      PerfReport::from_json(
+          R"({"schema": "something-else/9", "entries": []})"),
+      std::runtime_error);
+}
+
+TEST(PerfGate, FromJsonRejectsMissingEntryKey) {
+  // "iters" absent.
+  const std::string doc = R"({
+    "schema": "iprune-bench-perf/1",
+    "entries": [
+      {"name": "x", "median_ns": 5, "checksum": 9}
+    ]
+  })";
+  EXPECT_THROW(PerfReport::from_json(doc), std::runtime_error);
+}
+
+TEST(PerfGate, FromJsonRejectsMissingTopLevelKeys) {
+  EXPECT_THROW(PerfReport::from_json(R"({"entries": []})"),
+               std::runtime_error);
+  EXPECT_THROW(
+      PerfReport::from_json(R"({"schema": "iprune-bench-perf/1"})"),
+      std::runtime_error);
+}
+
+TEST(PerfGate, FromJsonRejectsGarbage) {
+  EXPECT_THROW(PerfReport::from_json(""), std::runtime_error);
+  EXPECT_THROW(PerfReport::from_json("not json at all"),
+               std::runtime_error);
+  EXPECT_THROW(PerfReport::from_json("{\"schema\""), std::runtime_error);
+  const std::string trailing =
+      R"({"schema": "iprune-bench-perf/1", "entries": []} extra)";
+  EXPECT_THROW(PerfReport::from_json(trailing), std::runtime_error);
+}
+
+TEST(PerfGate, FromJsonRejectsUnknownKeys) {
+  const std::string doc = R"({
+    "schema": "iprune-bench-perf/1",
+    "entries": [
+      {"name": "x", "median_ns": 5, "iters": 3, "checksum": 9,
+       "surprise": 1}
+    ]
+  })";
+  EXPECT_THROW(PerfReport::from_json(doc), std::runtime_error);
+}
+
+TEST(PerfGate, MonotonicIterationCountsSurviveRoundTrip) {
+  // iters is a plain uint64 carried through verbatim; the bench harness
+  // relies on nonzero, order-preserved counts when reporting.
+  PerfReport report;
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    report.add({"bench_" + std::to_string(i), 1000 * i, i, i});
+  }
+  const PerfReport back = PerfReport::from_json(report.to_json());
+  ASSERT_EQ(5u, back.entries.size());
+  std::uint64_t prev = 0;
+  for (const PerfEntry& e : back.entries) {  // sorted bench_1..bench_5
+    EXPECT_GT(e.iters, prev);
+    prev = e.iters;
+  }
+}
+
+}  // namespace
+}  // namespace iprune::util
