@@ -1,0 +1,129 @@
+// Fleet-orchestrator scaling check: simulates the same fixed fleet on a
+// widening lane sweep (1, 2, 4, ... up to IPRUNE_THREADS), verifies that
+// every run produces the exact same fleet checksum — the orchestrator's
+// bit-determinism contract — and reports throughput in simulated device
+// steps (chargeable device events) per wall-second.
+//
+// Writes a BENCH_PERF-schema JSON report (one entry per lane count, the
+// fleet checksum as the entry checksum) for plotting / archiving; the
+// curated perf-gate baseline carries the separate single-entry
+// `fleet_sim_*` scenario from bench_perf_gate. Exits nonzero on any
+// cross-lane checksum mismatch.
+//
+// IPRUNE_FAST=1 shrinks the fleet for quick CI runs.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fleet/orchestrator.hpp"
+#include "util/perf_gate.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+bool fast_mode() {
+  const char* value = std::getenv("IPRUNE_FAST");
+  return value != nullptr && value[0] == '1';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace iprune;
+
+  std::string out_path = "BENCH_FLEET.json";
+  if (argc == 3 && std::string(argv[1]) == "--out") {
+    out_path = argv[2];
+  } else if (argc != 1) {
+    std::fprintf(stderr, "usage: %s [--out FILE]\n", argv[0]);
+    return 2;
+  }
+
+  const std::size_t devices = fast_mode() ? 24 : 96;
+  fleet::FleetSpec spec = fleet::FleetSpec::example(devices);
+  spec.inferences = fast_mode() ? 2 : 4;
+
+  const std::size_t max_lanes = runtime::default_lane_count();
+  std::printf("== Fleet scaling: %zu devices x %zu inferences "
+              "(IPRUNE_THREADS=%zu) ==\n\n",
+              spec.total_devices(), spec.inferences, max_lanes);
+
+  util::Table table({"Lanes", "Wall (s)", "Device steps", "Steps/s",
+                     "Speedup", "Checksum"});
+  util::PerfReport report;
+  std::uint64_t reference_checksum = 0;
+  double serial_wall = 0.0;
+  bool deterministic = true;
+
+  std::vector<std::size_t> lane_counts;
+  for (std::size_t lanes = 1; lanes < max_lanes; lanes *= 2) {
+    lane_counts.push_back(lanes);
+  }
+  lane_counts.push_back(max_lanes);
+
+  for (const std::size_t lanes : lane_counts) {
+    runtime::ThreadPool pool(lanes);
+    const fleet::FleetOrchestrator orchestrator(spec);
+    const auto t0 = std::chrono::steady_clock::now();
+    const fleet::FleetResult result = orchestrator.run(&pool);
+    const double wall = seconds_since(t0);
+
+    if (lanes == 1) {
+      reference_checksum = result.checksum;
+      serial_wall = wall;
+    } else if (result.checksum != reference_checksum) {
+      deterministic = false;
+    }
+
+    const double steps_per_s =
+        wall > 0.0 ? static_cast<double>(result.total.events) / wall : 0.0;
+    char checksum_hex[24];
+    std::snprintf(checksum_hex, sizeof(checksum_hex), "%016" PRIx64,
+                  result.checksum);
+    table.row()
+        .cell(lanes)
+        .cell(wall, 4)
+        .cell(static_cast<std::size_t>(result.total.events))
+        .cell(steps_per_s, 0)
+        .cell(util::Table::format(wall > 0.0 ? serial_wall / wall : 0.0, 2) +
+              "x")
+        .cell(checksum_hex);
+
+    util::PerfEntry entry;
+    entry.name = "fleet_scaling_lanes" + std::to_string(lanes);
+    entry.iters = 1;
+    entry.median_ns = static_cast<std::uint64_t>(wall * 1e9);
+    entry.checksum = result.checksum;
+    report.add(entry);
+  }
+
+  std::printf("%s\n", table.str().c_str());
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (out) {
+    out << report.to_json();
+    std::printf("report written to %s (%zu entries)\n", out_path.c_str(),
+                report.entries.size());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "FAIL: fleet checksum differs across lane counts\n");
+    return 1;
+  }
+  std::printf("fleet results bit-identical across all lane counts\n");
+  return 0;
+}

@@ -30,6 +30,7 @@
 #include "core/sensitivity.hpp"
 #include "data/synthetic.hpp"
 #include "engine/engine.hpp"
+#include "fleet/orchestrator.hpp"
 #include "nn/activation.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/dense.hpp"
@@ -249,6 +250,23 @@ PerfEntry time_sensitivity_sweep(std::size_t iters) {
   return e;
 }
 
+PerfEntry time_fleet_sim(std::size_t iters) {
+  // Small fixed heterogeneous fleet on a 1-lane pool: times the whole
+  // orchestrator path (spec resolution, device construction, inference,
+  // aggregation) without scheduler noise. The checksum is the fleet
+  // digest, so numeric drift anywhere in the device stack trips the gate.
+  iprune::fleet::FleetSpec spec = iprune::fleet::FleetSpec::example(16);
+  spec.inferences = 2;
+  const iprune::fleet::FleetOrchestrator orchestrator(spec);
+  iprune::runtime::ThreadPool pool(1);
+  PerfEntry e;
+  e.name = "fleet_sim_16";
+  e.iters = iters;
+  e.checksum = orchestrator.run(&pool).checksum;
+  e.median_ns = median_ns(iters, [&] { (void)orchestrator.run(&pool); });
+  return e;
+}
+
 PerfReport run_all() {
   constexpr std::size_t kM = 64;
   constexpr std::size_t kMicroIters = 33;
@@ -266,6 +284,7 @@ PerfReport run_all() {
   report.add(time_conv_infer(17));
   report.add(time_engine_e2e(7));
   report.add(time_sensitivity_sweep(5));
+  report.add(time_fleet_sim(5));
 
   const PerfEntry* opt = report.find("gemm_dense_64");
   const PerfEntry* ref = report.find("gemm_ref_dense_64");

@@ -3,19 +3,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/splitmix.hpp"
+
 namespace iprune::device {
 
 namespace {
 
-std::uint64_t splitmix64(std::uint64_t& state) {
-  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
-}
-
 double uniform01(std::uint64_t& state) {
-  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+  return static_cast<double>(util::splitmix64(state) >> 11) * 0x1.0p-53;
 }
 
 /// Bits until the next faulted bit (geometric, support {0, 1, ...}).

@@ -67,6 +67,11 @@ class Msp430Device {
   [[nodiscard]] const DeviceStats& stats() const { return stats_; }
   void reset_stats();
 
+  /// The device's power subsystem (read-only): energy-conservation ledger
+  /// (harvested / consumed / wasted joules), buffer state, supply. Fleet
+  /// aggregation reads harvest totals from here.
+  [[nodiscard]] const power::PowerManager& power() const { return power_; }
+
   /// Route structured telemetry (per-operation spans, brown-outs,
   /// recharge/reboot) to `sink`; nullptr restores the null sink, under
   /// which every emission site costs a single predictable branch.

@@ -1,0 +1,48 @@
+#pragma once
+// Fleet-wide aggregates. Folded serially in device-index order from
+// DeviceResults (doubles summed in a fixed order are bit-deterministic),
+// so a FleetResult is identical for any lane count.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+
+namespace iprune::fleet {
+
+/// Aggregates over one device group (or the whole fleet: name "fleet").
+struct GroupStats {
+  std::string name;
+  std::size_t devices = 0;
+  std::size_t completed = 0;
+  std::size_t deadline_missed = 0;
+  std::size_t failed = 0;
+  std::uint64_t inferences = 0;
+  std::uint64_t power_failures = 0;
+  std::uint64_t injected_outages = 0;
+  std::uint64_t events = 0;  // chargeable device events ("device steps")
+  double harvested_j = 0.0;
+  double consumed_j = 0.0;
+  double wasted_j = 0.0;
+  double on_s = 0.0;
+  double off_s = 0.0;
+  double max_sim_s = 0.0;  // slowest member's simulated clock
+  telemetry::Histogram latency_us;
+};
+
+struct FleetResult {
+  GroupStats total;                // name == "fleet"
+  std::vector<GroupStats> groups;  // spec group order
+  /// Merged per-device telemetry (FleetSpec::telemetry only), folded in
+  /// device-index order.
+  telemetry::MetricsRegistry registry;
+  /// FNV-1a digest over every device's outcome (index order): logits
+  /// checksums + counters. Equal digests mean bit-identical fleet runs —
+  /// the determinism contract checked across lane counts.
+  std::uint64_t checksum = 0;
+
+  [[nodiscard]] std::size_t devices() const { return total.devices; }
+};
+
+}  // namespace iprune::fleet

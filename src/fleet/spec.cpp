@@ -1,0 +1,471 @@
+#include "fleet/spec.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "fault/checker.hpp"
+#include "util/rng.hpp"
+#include "util/splitmix.hpp"
+
+namespace iprune::fleet {
+
+namespace {
+
+std::string format_g17(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+double parse_double(const std::string& text, const std::string& what) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    throw std::invalid_argument("fleet spec: bad " + what + " '" + text + "'");
+  }
+  return value;
+}
+
+std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    throw std::invalid_argument("fleet spec: bad " + what + " '" + text + "'");
+  }
+  return value;
+}
+
+bool parse_bool(const std::string& text, const std::string& what) {
+  if (text == "on" || text == "true" || text == "1") {
+    return true;
+  }
+  if (text == "off" || text == "false" || text == "0") {
+    return false;
+  }
+  throw std::invalid_argument("fleet spec: bad " + what + " '" + text + "'");
+}
+
+/// Split a line into whitespace-separated key=value fields. Schedule
+/// descriptions contain ';' and '=', so the separator is whitespace and
+/// only the FIRST '=' splits key from value.
+std::vector<std::pair<std::string, std::string>> parse_fields(
+    const std::string& line) {
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("fleet spec: expected key=value, got '" +
+                                  token + "'");
+    }
+    fields.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return fields;
+}
+
+}  // namespace
+
+const char* model_kind_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kTiny:
+      return "tiny";
+    case ModelKind::kMultipath:
+      return "multipath";
+  }
+  return "?";
+}
+
+ModelKind parse_model_kind(const std::string& name) {
+  if (name == "tiny") {
+    return ModelKind::kTiny;
+  }
+  if (name == "multipath") {
+    return ModelKind::kMultipath;
+  }
+  throw std::invalid_argument("fleet spec: unknown model '" + name + "'");
+}
+
+PowerProfile PowerProfile::continuous() {
+  PowerProfile p;
+  p.kind = Kind::kContinuous;
+  return p;
+}
+
+PowerProfile PowerProfile::strong() {
+  PowerProfile p;
+  p.kind = Kind::kStrong;
+  return p;
+}
+
+PowerProfile PowerProfile::weak() {
+  PowerProfile p;
+  p.kind = Kind::kWeak;
+  return p;
+}
+
+PowerProfile PowerProfile::constant(double watts) {
+  PowerProfile p;
+  p.kind = Kind::kConstant;
+  p.watts = watts;
+  return p;
+}
+
+PowerProfile PowerProfile::solar(double peak_w, double day_s) {
+  PowerProfile p;
+  p.kind = Kind::kSolar;
+  p.peak_w = peak_w;
+  p.day_s = day_s;
+  return p;
+}
+
+std::unique_ptr<power::PowerSupply> PowerProfile::make() const {
+  switch (kind) {
+    case Kind::kContinuous:
+      return power::SupplyPresets::continuous();
+    case Kind::kStrong:
+      return power::SupplyPresets::strong();
+    case Kind::kWeak:
+      return power::SupplyPresets::weak();
+    case Kind::kConstant:
+      return std::make_unique<power::ConstantSupply>(watts);
+    case Kind::kSolar:
+      return power::SupplyPresets::solar_day(peak_w, day_s);
+  }
+  throw std::logic_error("fleet spec: bad power profile kind");
+}
+
+std::string PowerProfile::describe() const {
+  switch (kind) {
+    case Kind::kContinuous:
+      return "continuous";
+    case Kind::kStrong:
+      return "strong";
+    case Kind::kWeak:
+      return "weak";
+    case Kind::kConstant:
+      return "const:" + format_g17(watts);
+    case Kind::kSolar:
+      return "solar:" + format_g17(peak_w) + ":" + format_g17(day_s);
+  }
+  return "?";
+}
+
+PowerProfile PowerProfile::parse(const std::string& text) {
+  if (text == "continuous") {
+    return continuous();
+  }
+  if (text == "strong") {
+    return strong();
+  }
+  if (text == "weak") {
+    return weak();
+  }
+  if (text.rfind("const:", 0) == 0) {
+    return constant(parse_double(text.substr(6), "supply watts"));
+  }
+  if (text.rfind("solar:", 0) == 0) {
+    const std::string rest = text.substr(6);
+    const std::size_t colon = rest.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument(
+          "fleet spec: solar supply needs solar:<peak_w>:<day_s>, got '" +
+          text + "'");
+    }
+    return solar(parse_double(rest.substr(0, colon), "solar peak_w"),
+                 parse_double(rest.substr(colon + 1), "solar day_s"));
+  }
+  throw std::invalid_argument("fleet spec: unknown supply '" + text + "'");
+}
+
+std::string DeviceGroup::describe() const {
+  std::string out = "group: name=" + name + " count=" + std::to_string(count) +
+                    " model=" + model_kind_name(model) + " mode=" +
+                    fault::preservation_mode_name(mode) + " supply=" +
+                    power.describe();
+  if (schedule.mode != fault::ScheduleMode::kNone) {
+    out += " schedule=" + schedule.describe();
+  }
+  if (write_ber != 0.0) {
+    out += " write_ber=" + format_g17(write_ber);
+  }
+  if (read_ber != 0.0) {
+    out += " read_ber=" + format_g17(read_ber);
+  }
+  return out;
+}
+
+DeviceGroup DeviceGroup::parse(const std::string& text) {
+  DeviceGroup group;
+  bool named = false;
+  for (const auto& [key, value] : parse_fields(text)) {
+    if (key == "name") {
+      group.name = value;
+      named = true;
+    } else if (key == "count") {
+      group.count = static_cast<std::size_t>(parse_u64(value, "count"));
+    } else if (key == "model") {
+      group.model = parse_model_kind(value);
+    } else if (key == "mode") {
+      group.mode = fault::parse_preservation_mode(value);
+    } else if (key == "supply") {
+      group.power = PowerProfile::parse(value);
+    } else if (key == "schedule") {
+      group.schedule = fault::OutageSchedule::parse(value);
+    } else if (key == "write_ber") {
+      group.write_ber = parse_double(value, "write_ber");
+    } else if (key == "read_ber") {
+      group.read_ber = parse_double(value, "read_ber");
+    } else {
+      throw std::invalid_argument("fleet spec: unknown group field '" + key +
+                                  "'");
+    }
+  }
+  if (!named || group.name.empty()) {
+    throw std::invalid_argument("fleet spec: group line needs a name");
+  }
+  if (group.count == 0) {
+    throw std::invalid_argument("fleet spec: group '" + group.name +
+                                "' has count=0");
+  }
+  if (group.write_ber < 0.0 || group.write_ber > 1.0 ||
+      group.read_ber < 0.0 || group.read_ber > 1.0) {
+    throw std::invalid_argument("fleet spec: group '" + group.name +
+                                "' bit-error rates must be in [0, 1]");
+  }
+  return group;
+}
+
+std::size_t FleetSpec::total_devices() const {
+  std::size_t total = 0;
+  for (const DeviceGroup& group : groups) {
+    total += group.count;
+  }
+  return total;
+}
+
+FleetSpec FleetSpec::with_devices(std::size_t n) const {
+  if (n == 0) {
+    throw std::invalid_argument("fleet spec: device count must be >= 1");
+  }
+  if (groups.empty()) {
+    throw std::invalid_argument("fleet spec: no groups to scale");
+  }
+  const std::size_t total = total_devices();
+  FleetSpec scaled = *this;
+  // Largest-remainder apportionment: floor each share, then hand the
+  // leftover devices to the groups with the largest fractional parts
+  // (ties to earlier groups). Deterministic and order-preserving.
+  std::size_t assigned = 0;
+  std::vector<std::size_t> remainder_num(groups.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const std::size_t share = n * groups[i].count;  // spec counts are small
+    scaled.groups[i].count = share / total;
+    remainder_num[i] = share % total;
+    assigned += scaled.groups[i].count;
+  }
+  while (assigned < n) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < groups.size(); ++i) {
+      if (remainder_num[i] > remainder_num[best]) {
+        best = i;
+      }
+    }
+    ++scaled.groups[best].count;
+    remainder_num[best] = 0;
+    ++assigned;
+  }
+  // Drop groups scaled to zero devices (n smaller than the group count):
+  // a zero-count group would fail the count>=1 invariant on re-parse.
+  std::vector<DeviceGroup> kept;
+  for (const DeviceGroup& group : scaled.groups) {
+    if (group.count > 0) {
+      kept.push_back(group);
+    }
+  }
+  scaled.groups = std::move(kept);
+  return scaled;
+}
+
+std::vector<DeviceSpec> FleetSpec::resolve() const {
+  std::vector<DeviceSpec> devices;
+  devices.reserve(total_devices());
+  // One fleet-level Rng; each device's model stream is a split child
+  // (Rng::split hands the child Rng(parent.next_u64()), so storing the
+  // drawn word reproduces the exact split stream on the device).
+  util::Rng fleet_rng(seed);
+  std::size_t index = 0;
+  for (const DeviceGroup& group : groups) {
+    for (std::size_t i = 0; i < group.count; ++i, ++index) {
+      DeviceSpec d;
+      d.index = index;
+      d.group = group.name;
+      d.model = group.model;
+      d.mode = group.mode;
+      d.power = group.power;
+      d.write_ber = group.write_ber;
+      d.read_ber = group.read_ber;
+      d.model_seed = fleet_rng.next_u64();
+      d.stream_seed = util::splitmix64_at(seed, index);
+      d.schedule = group.schedule;
+      if (d.schedule.mode == fault::ScheduleMode::kRandom) {
+        // Decorrelate group members: same outage statistics, different
+        // (deterministic) outage points per device.
+        d.schedule.seed ^= d.stream_seed;
+      }
+      d.inferences = inferences;
+      d.deadline_s = deadline_s;
+      d.event_budget = event_budget;
+      d.telemetry = telemetry;
+      devices.push_back(std::move(d));
+    }
+  }
+  return devices;
+}
+
+std::string FleetSpec::describe() const {
+  std::string out = "fleet: seed=" + std::to_string(seed) + " inferences=" +
+                    std::to_string(inferences) + " batch=" +
+                    std::to_string(batch) + " telemetry=" +
+                    (telemetry ? "on" : "off") + " event_budget=" +
+                    std::to_string(event_budget);
+  if (deadline_s != 0.0) {
+    out += " deadline_s=" + format_g17(deadline_s);
+  }
+  out += "\n";
+  for (const DeviceGroup& group : groups) {
+    out += group.describe() + "\n";
+  }
+  return out;
+}
+
+FleetSpec FleetSpec::parse(const std::string& text) {
+  FleetSpec spec;
+  spec.groups.clear();
+  bool saw_fleet = false;
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') {
+      continue;
+    }
+    const std::string body = line.substr(start);
+    if (body.rfind("fleet:", 0) == 0) {
+      if (saw_fleet) {
+        throw std::invalid_argument(
+            "fleet spec: duplicate fleet: line (line " +
+            std::to_string(line_no) + ")");
+      }
+      saw_fleet = true;
+      for (const auto& [key, value] : parse_fields(body.substr(6))) {
+        if (key == "seed") {
+          spec.seed = parse_u64(value, "seed");
+        } else if (key == "deadline_s") {
+          spec.deadline_s = parse_double(value, "deadline_s");
+        } else if (key == "inferences") {
+          spec.inferences = static_cast<std::size_t>(
+              parse_u64(value, "inferences"));
+        } else if (key == "batch") {
+          spec.batch = static_cast<std::size_t>(parse_u64(value, "batch"));
+        } else if (key == "telemetry") {
+          spec.telemetry = parse_bool(value, "telemetry");
+        } else if (key == "event_budget") {
+          spec.event_budget = parse_u64(value, "event_budget");
+        } else {
+          throw std::invalid_argument("fleet spec: unknown fleet field '" +
+                                      key + "'");
+        }
+      }
+    } else if (body.rfind("group:", 0) == 0) {
+      spec.groups.push_back(DeviceGroup::parse(body.substr(6)));
+    } else {
+      throw std::invalid_argument(
+          "fleet spec: line " + std::to_string(line_no) +
+          " must start with 'fleet:', 'group:', or '#'");
+    }
+  }
+  if (spec.groups.empty()) {
+    throw std::invalid_argument("fleet spec: no group: lines");
+  }
+  if (spec.inferences == 0) {
+    throw std::invalid_argument("fleet spec: inferences must be >= 1");
+  }
+  if (spec.batch == 0) {
+    throw std::invalid_argument("fleet spec: batch must be >= 1");
+  }
+  return spec;
+}
+
+FleetSpec FleetSpec::load(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    throw std::runtime_error("fleet spec: cannot open '" + path + "'");
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  return parse(text.str());
+}
+
+FleetSpec FleetSpec::example(std::size_t devices) {
+  FleetSpec spec;
+  spec.seed = 2026;
+  // Enough inferences to outrun the energy buffer (~104 uJ usable, ~20 uJ
+  // per tiny inference): the weak/harsh groups brown out organically.
+  spec.inferences = 8;
+
+  DeviceGroup mains;
+  mains.name = "mains";
+  mains.count = 2;
+  mains.model = ModelKind::kTiny;
+  mains.mode = engine::PreservationMode::kAccumulateInVm;
+  mains.power = PowerProfile::continuous();
+
+  DeviceGroup strong;
+  strong.name = "strong";
+  strong.count = 3;
+  strong.model = ModelKind::kTiny;
+  strong.mode = engine::PreservationMode::kImmediate;
+  strong.power = PowerProfile::strong();
+
+  DeviceGroup weak;
+  weak.name = "weak";
+  weak.count = 2;
+  weak.model = ModelKind::kMultipath;
+  weak.mode = engine::PreservationMode::kTaskAtomic;
+  weak.power = PowerProfile::weak();
+
+  DeviceGroup solar;
+  solar.name = "solar";
+  solar.count = 2;
+  solar.model = ModelKind::kTiny;
+  solar.mode = engine::PreservationMode::kImmediate;
+  solar.power = PowerProfile::solar(8.0e-3, 0.5);
+
+  // Sub-milliwatt harvest: the buffer sustains ~10 ms of inference per
+  // charge, so these devices duty-cycle through organic brown-outs.
+  DeviceGroup harsh;
+  harsh.name = "harsh";
+  harsh.count = 2;
+  harsh.model = ModelKind::kTiny;
+  harsh.mode = engine::PreservationMode::kImmediate;
+  harsh.power = PowerProfile::constant(5.0e-4);
+
+  DeviceGroup faulty;
+  faulty.name = "faulty";
+  faulty.count = 1;
+  faulty.model = ModelKind::kTiny;
+  faulty.mode = engine::PreservationMode::kImmediate;
+  faulty.power = PowerProfile::strong();
+  faulty.schedule = fault::OutageSchedule::random(7, 1.0e-2, 16);
+
+  spec.groups = {mains, strong, weak, solar, harsh, faulty};
+  return spec.with_devices(devices);
+}
+
+}  // namespace iprune::fleet

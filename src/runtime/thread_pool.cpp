@@ -1,5 +1,6 @@
 #include "runtime/thread_pool.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <memory>
@@ -13,21 +14,53 @@ namespace {
 /// queue they are themselves draining.
 thread_local bool t_in_pool_task = false;
 
-}  // namespace
-
-std::size_t default_lane_count() {
-  if (const char* env = std::getenv("IPRUNE_THREADS")) {
-    char* end = nullptr;
-    const unsigned long value = std::strtoul(env, &end, 10);
-    if (end != env && *end == '\0' && value >= 1 && value <= 256) {
-      return static_cast<std::size_t>(value);
-    }
-  }
+std::size_t hardware_lane_count() {
   const unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) {
     return 1;
   }
   return hw > 16 ? 16 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace
+
+std::size_t parse_lane_count(const char* text, std::size_t fallback,
+                             std::string* warning) {
+  char* end = nullptr;
+  const unsigned long value =
+      text != nullptr ? std::strtoul(text, &end, 10) : 0;
+  if (text != nullptr && end != text && *end == '\0' && value >= 1 &&
+      value <= 256) {
+    return static_cast<std::size_t>(value);
+  }
+  if (warning != nullptr) {
+    *warning = "IPRUNE_THREADS='" +
+               std::string(text != nullptr ? text : "") +
+               "' is not an integer in [1, 256]; falling back to " +
+               std::to_string(fallback) + " lane(s)";
+  }
+  return fallback;
+}
+
+std::size_t default_lane_count() {
+  const std::size_t fallback = hardware_lane_count();
+  const char* env = std::getenv("IPRUNE_THREADS");
+  if (env == nullptr) {
+    return fallback;
+  }
+  std::string warning;
+  const std::size_t lanes = parse_lane_count(env, fallback, &warning);
+  if (!warning.empty()) {
+    // Warn once per process: default_lane_count() runs again for every
+    // explicitly constructed pool, and a warning per pool would drown the
+    // bench output the misconfiguration actually matters for.
+    static bool warned = [&warning] {
+      std::fprintf(stderr, "iprune: warning: %s\n", warning.c_str());
+      return true;
+    }();
+    (void)warned;
+  }
+  return lanes;
 }
 
 /// Shared state of one parallel_for call. Participants (worker tasks plus

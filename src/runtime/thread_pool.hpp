@@ -22,6 +22,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -29,8 +30,20 @@ namespace iprune::runtime {
 
 /// Lane count used by ThreadPool::shared(): IPRUNE_THREADS when set to an
 /// integer in [1, 256], otherwise the hardware concurrency (at least 1,
-/// capped at 16 so unconfigured CI machines do not oversubscribe).
+/// capped at 16 so unconfigured CI machines do not oversubscribe). A set
+/// but invalid IPRUNE_THREADS (garbage, 0, > 256) falls back to the
+/// hardware default AND emits a one-time warning to stderr naming the
+/// rejected value — a silent fallback here used to disguise typos as
+/// mysterious nondeterministic thread counts.
 std::size_t default_lane_count();
+
+/// Parse one IPRUNE_THREADS-style override. Returns the parsed value when
+/// `text` is an integer in [1, 256]; otherwise returns `fallback` and,
+/// when `warning` is non-null, fills it with a one-line explanation that
+/// names the rejected value and the fallback. Pure (no I/O, no env):
+/// default_lane_count() owns the once-per-process stderr emission.
+std::size_t parse_lane_count(const char* text, std::size_t fallback,
+                             std::string* warning = nullptr);
 
 class ThreadPool {
  public:

@@ -9,6 +9,7 @@
 // event — including dropped ones — into an exact MetricsRegistry.
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "telemetry/events.hpp"
@@ -42,6 +43,26 @@ class NullSink final : public TraceSink {
 
   /// Process-wide instance so producers can hold a never-null pointer.
   static NullSink& instance();
+};
+
+/// Aggregates-only sink: feeds every event into an exact MetricsRegistry
+/// and retains nothing else. The per-device telemetry collector of the
+/// fleet orchestrator, where a RecorderSink ring per device (thousands of
+/// devices) would dwarf the simulation state itself.
+class RegistrySink final : public TraceSink {
+ public:
+  RegistrySink() : TraceSink(true) {}
+
+  void record(const Event& event) override { registry_.observe(event); }
+
+  [[nodiscard]] const MetricsRegistry& registry() const { return registry_; }
+  /// Move the aggregates out (the sink is spent afterwards).
+  [[nodiscard]] MetricsRegistry take_registry() {
+    return std::move(registry_);
+  }
+
+ private:
+  MetricsRegistry registry_;
 };
 
 /// Bounded in-memory recorder: the last `capacity` events in arrival

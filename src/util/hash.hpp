@@ -1,0 +1,34 @@
+#pragma once
+// FNV-1a fingerprinting for deterministic result digests.
+//
+// Folds raw bytes into a machine-independent 64-bit fingerprint. Fleet
+// aggregation and the perf gate both reduce large deterministic outputs
+// (logit vectors, counter sets) to one comparable word with this; it is a
+// digest for equality checks, not a cryptographic hash.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace iprune::util {
+
+class Fnv1a {
+ public:
+  void fold(const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  void fold_u64(std::uint64_t value) { fold(&value, sizeof(value)); }
+  void fold_f32(const float* data, std::size_t count) {
+    fold(data, count * sizeof(float));
+  }
+
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace iprune::util

@@ -1,0 +1,37 @@
+#pragma once
+// The project's single splitmix64 implementation.
+//
+// splitmix64 is the seed-expansion workhorse: Rng's constructor expands a
+// user seed into xoshiro256++ state with it, the NVM CorruptionModel draws
+// its geometric fault-skip stream from it, and the fleet orchestrator
+// derives per-device seed material from one fleet seed with it. All three
+// must stay bit-identical forever (replays, golden tests and corruption
+// streams are pinned to the exact output sequence), so they share this one
+// header-inline definition, itself pinned by tests/util/splitmix_test.cpp.
+
+#include <cstdint>
+
+namespace iprune::util {
+
+/// Advance `state` by the 64-bit golden gamma and return the next mixed
+/// output (Steele et al., "Fast splittable pseudorandom number
+/// generators"). Every distinct starting state yields an independent,
+/// well-distributed stream.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// One-shot mix of (seed, index): the `index`-th output of the stream
+/// seeded by `seed`, without carrying the intermediate state around.
+/// Fleet seed derivation uses this to give device i of a fleet its own
+/// independent seed material.
+inline std::uint64_t splitmix64_at(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t state = seed + index * 0x9E3779B97F4A7C15ull;
+  return splitmix64(state);
+}
+
+}  // namespace iprune::util

@@ -126,5 +126,37 @@ TEST(DefaultLaneCount, IsAtLeastOne) {
   EXPECT_LE(default_lane_count(), 256u);
 }
 
+TEST(ParseLaneCount, AcceptsIntegersInRange) {
+  std::string warning;
+  EXPECT_EQ(parse_lane_count("1", 4, &warning), 1u);
+  EXPECT_TRUE(warning.empty());
+  EXPECT_EQ(parse_lane_count("16", 4, &warning), 16u);
+  EXPECT_TRUE(warning.empty());
+  EXPECT_EQ(parse_lane_count("256", 4, &warning), 256u);
+  EXPECT_TRUE(warning.empty());
+}
+
+TEST(ParseLaneCount, RejectsGarbageWithDiagnosticNamingTheValue) {
+  for (const char* bad : {"banana", "0", "257", "4x", "", "-2", "1e3"}) {
+    std::string warning;
+    EXPECT_EQ(parse_lane_count(bad, 7, &warning), 7u) << bad;
+    // The warning must name both the rejected value and the fallback the
+    // run actually uses (the silent-fallback bug this replaced).
+    EXPECT_NE(warning.find("'" + std::string(bad) + "'"), std::string::npos)
+        << warning;
+    EXPECT_NE(warning.find("falling back to 7"), std::string::npos)
+        << warning;
+    EXPECT_NE(warning.find("IPRUNE_THREADS"), std::string::npos) << warning;
+  }
+}
+
+TEST(ParseLaneCount, NullTextFallsBackSilently) {
+  // No env var at all is not a misconfiguration: fallback, no warning.
+  std::string warning;
+  EXPECT_EQ(parse_lane_count("not-a-number", 3, nullptr), 3u);
+  EXPECT_EQ(parse_lane_count(nullptr, 5, &warning), 5u);
+  EXPECT_FALSE(warning.empty());  // null text still explains the fallback
+}
+
 }  // namespace
 }  // namespace iprune::runtime

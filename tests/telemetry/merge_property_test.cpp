@@ -1,0 +1,189 @@
+// Property tests for MetricsRegistry::merge at fleet scale: folding K
+// per-device registries must be (a) equal to serially observing the
+// concatenated event stream, (b) independent of fold shape (left fold vs
+// balanced tree) when the summed payloads are exactly representable, and
+// (c) exact on histogram bucket edges (overflow clamp, NaN/negative
+// clamp). This is the contract the fleet orchestrator's fixed-order
+// aggregation stands on.
+
+#include "telemetry/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "telemetry/events.hpp"
+#include "util/rng.hpp"
+
+namespace iprune::telemetry {
+namespace {
+
+/// Synthetic span event with integer-valued payloads (exactly
+/// representable doubles, so summation is associative and the tree-fold
+/// comparison below is exact rather than approximate).
+Event make_span(util::Rng& rng) {
+  Event e;
+  e.cls = static_cast<EventClass>(rng.uniform_index(5));  // device classes
+  e.phase = EventPhase::kSpan;
+  e.t_us = static_cast<double>(rng.uniform_index(1 << 20));
+  e.dur_us = static_cast<double>(rng.uniform_index(1 << 16));
+  e.attributed_us = static_cast<double>(rng.uniform_index(1 << 16));
+  e.energy_j = static_cast<double>(rng.uniform_index(1 << 10));
+  e.bytes = rng.uniform_index(1 << 12);
+  e.macs = rng.uniform_index(1 << 12);
+  return e;
+}
+
+void expect_equal(const ClassMetrics& a, const ClassMetrics& b,
+                  const char* where) {
+  EXPECT_EQ(a.events, b.events) << where;
+  EXPECT_EQ(a.busy_us, b.busy_us) << where;
+  EXPECT_EQ(a.attributed_us, b.attributed_us) << where;
+  EXPECT_EQ(a.energy_j, b.energy_j) << where;
+  EXPECT_EQ(a.bytes, b.bytes) << where;
+  EXPECT_EQ(a.macs, b.macs) << where;
+  EXPECT_EQ(a.latency_us.count(), b.latency_us.count()) << where;
+  EXPECT_EQ(a.latency_us.sum(), b.latency_us.sum()) << where;
+  EXPECT_EQ(a.latency_us.max(), b.latency_us.max()) << where;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(a.latency_us.bucket(i), b.latency_us.bucket(i))
+        << where << " bucket " << i;
+  }
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(a.energy_nj.bucket(i), b.energy_nj.bucket(i))
+        << where << " energy bucket " << i;
+  }
+}
+
+void expect_equal(const MetricsRegistry& a, const MetricsRegistry& b,
+                  const char* where) {
+  EXPECT_EQ(a.events_seen(), b.events_seen()) << where;
+  for (std::size_t c = 0; c < kEventClassCount; ++c) {
+    expect_equal(a.for_class(static_cast<EventClass>(c)),
+                 b.for_class(static_cast<EventClass>(c)), where);
+  }
+}
+
+TEST(MergeProperty, FoldEqualsSerialObservationAtFleetScale) {
+  // K device registries, a few events each, K up to 1000: the left fold
+  // must equal one registry that observed every event serially in the
+  // same device order.
+  for (const std::size_t k : {1u, 7u, 128u, 1000u}) {
+    util::Rng rng(k);
+    MetricsRegistry serial;
+    std::vector<MetricsRegistry> devices(k);
+    for (std::size_t d = 0; d < k; ++d) {
+      const std::size_t events = 1 + rng.uniform_index(4);
+      for (std::size_t i = 0; i < events; ++i) {
+        const Event e = make_span(rng);
+        serial.observe(e);
+        devices[d].observe(e);
+      }
+    }
+    MetricsRegistry folded;
+    for (const MetricsRegistry& device : devices) {
+      folded.merge(device);
+    }
+    expect_equal(folded, serial, "left fold vs serial");
+  }
+}
+
+TEST(MergeProperty, TreeFoldEqualsLeftFoldOnExactValues) {
+  // With exactly representable payloads, merge is associative: a balanced
+  // pairwise reduction must give the same result as the left fold.
+  constexpr std::size_t kDevices = 1000;
+  util::Rng rng(99);
+  std::vector<MetricsRegistry> devices(kDevices);
+  for (MetricsRegistry& device : devices) {
+    const std::size_t events = 1 + rng.uniform_index(3);
+    for (std::size_t i = 0; i < events; ++i) {
+      device.observe(make_span(rng));
+    }
+  }
+
+  MetricsRegistry left;
+  for (const MetricsRegistry& device : devices) {
+    left.merge(device);
+  }
+
+  std::vector<MetricsRegistry> tree = std::move(devices);
+  while (tree.size() > 1) {
+    std::vector<MetricsRegistry> next;
+    for (std::size_t i = 0; i + 1 < tree.size(); i += 2) {
+      tree[i].merge(tree[i + 1]);
+      next.push_back(std::move(tree[i]));
+    }
+    if (tree.size() % 2 == 1) {
+      next.push_back(std::move(tree.back()));
+    }
+    tree = std::move(next);
+  }
+  expect_equal(tree.front(), left, "tree fold vs left fold");
+}
+
+TEST(MergeProperty, LayersMergeByNameAcrossDevices) {
+  const auto layer_events = [](MetricsRegistry& r, const std::string& name,
+                               double begin_us, double end_us) {
+    Event b;
+    b.cls = EventClass::kLayer;
+    b.phase = EventPhase::kBegin;
+    b.t_us = begin_us;
+    b.name = name;
+    r.observe(b);
+    Event e = b;
+    e.phase = EventPhase::kEnd;
+    e.t_us = end_us;
+    r.observe(e);
+  };
+  MetricsRegistry a;
+  layer_events(a, "conv", 0.0, 10.0);
+  layer_events(a, "fc", 10.0, 14.0);
+  MetricsRegistry b;
+  layer_events(b, "fc", 0.0, 6.0);
+  layer_events(b, "pool", 6.0, 7.0);
+
+  a.merge(b);
+  ASSERT_EQ(a.layers().size(), 3u);
+  EXPECT_EQ(a.layers()[0].name, "conv");
+  EXPECT_EQ(a.layers()[1].name, "fc");
+  EXPECT_EQ(a.layers()[2].name, "pool");  // appended in b's order
+  EXPECT_EQ(a.layers()[1].passes, 2u);
+  EXPECT_EQ(a.layers()[1].wall_us, 10.0);
+}
+
+TEST(MergeProperty, HistogramOverflowEdgesSurviveMerge) {
+  // Values at and beyond the top bucket clamp to bucket kBuckets-1;
+  // NaN and negatives clamp to bucket 0. Merged counts add exactly.
+  constexpr std::size_t kTop = Histogram::kBuckets - 1;
+  Histogram a;
+  a.record(std::ldexp(1.0, 46));       // lower edge of the top bucket
+  a.record(std::ldexp(1.0, 47));       // first value past the top: clamps
+  a.record(std::numeric_limits<double>::max());
+  Histogram b;
+  b.record(std::numeric_limits<double>::infinity());
+  b.record(-1.0);
+  b.record(std::numeric_limits<double>::quiet_NaN());
+  b.record(0.5);
+
+  a.merge(b);
+  EXPECT_EQ(a.count(), 7u);
+  EXPECT_EQ(a.bucket(kTop), 4u);  // 2^46, 2^47, max, inf
+  EXPECT_EQ(a.bucket(0), 3u);     // -1, NaN, 0.5
+  // Non-finite values clamp into the buckets but stay out of sum/max.
+  EXPECT_EQ(a.max(), std::numeric_limits<double>::max());
+
+  // Merging an empty histogram is the identity.
+  Histogram empty;
+  const std::uint64_t before = a.count();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), before);
+  Histogram c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), a.count());
+  EXPECT_EQ(c.bucket(kTop), a.bucket(kTop));
+}
+
+}  // namespace
+}  // namespace iprune::telemetry
