@@ -6,8 +6,8 @@
 // fixed spec — independent of IPRUNE_THREADS — which CI checks by
 // comparing gateway files across lane counts.
 //
-// Exit status: 0 success, 1 at least one device failed, 2 usage/spec
-// errors.
+// Exit status: 0 success, 1 at least one device failed or reported an
+// integrity verdict other than consistent/recovered, 2 usage/spec errors.
 
 #include <cinttypes>
 #include <cstdio>
@@ -33,6 +33,8 @@ int usage(const char* argv0) {
       "  --out DIR            gateway output directory (default "
       "artifacts/fleet)\n"
       "  --gateway KIND       null | csv | prom | all (default all)\n"
+      "  --sim KIND           stepping | scheduler | batched (default: "
+      "spec)\n"
       "  --print-spec         print the resolved spec and exit\n",
       argv0);
   return 2;
@@ -51,6 +53,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   std::string out_dir = "artifacts/fleet";
   std::string gateway_kind = "all";
+  std::string sim_kind;
   bool print_spec = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -76,6 +79,8 @@ int main(int argc, char** argv) {
       out_dir = value();
     } else if (std::strcmp(arg, "--gateway") == 0) {
       gateway_kind = value();
+    } else if (std::strcmp(arg, "--sim") == 0) {
+      sim_kind = value();
     } else if (std::strcmp(arg, "--print-spec") == 0) {
       print_spec = true;
     } else {
@@ -101,6 +106,9 @@ int main(int argc, char** argv) {
     if (smoke) {
       spec.inferences = 1;
       spec.deadline_s = 0.0;
+    }
+    if (!sim_kind.empty()) {
+      spec.sim = fleet::parse_sim_kind(sim_kind);
     }
     if (print_spec) {
       std::fputs(spec.describe().c_str(), stdout);
@@ -138,6 +146,10 @@ int main(int argc, char** argv) {
       print_group(group);
     }
     print_group(result.total);
+    if (result.total.compromised > 0) {
+      std::printf("integrity: %zu device(s) compromised\n",
+                  result.total.compromised);
+    }
     std::printf(
         "energy: harvested %.6g J, consumed %.6g J, wasted %.6g J\n"
         "latency p50 %.6g us, p95 %.6g us, max %.6g us\n"
@@ -149,7 +161,8 @@ int main(int argc, char** argv) {
     if (gateway_kind != "null") {
       std::printf("gateway: %s\n", gateway.describe().c_str());
     }
-    return result.total.failed == 0 ? 0 : 1;
+    return result.total.failed == 0 && result.total.compromised == 0 ? 0
+                                                                      : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
     return 2;

@@ -9,13 +9,9 @@ double estimate_layer_energy(const engine::TilePlan& plan,
   const auto& lea = device.lea;
   const auto& rails = device.rails;
 
-  auto read_us = [&](std::size_t bytes) {
-    return dma.invocation_us +
-           dma.read_us_per_byte * static_cast<double>(bytes);
-  };
+  auto read_us = [&](std::size_t bytes) { return dma.read_latency_us(bytes); };
   auto write_us = [&](std::size_t bytes) {
-    return dma.invocation_us +
-           dma.write_us_per_byte * static_cast<double>(bytes);
+    return dma.write_latency_us(bytes);
   };
 
   double read_time = 0.0;
@@ -36,9 +32,7 @@ double estimate_layer_energy(const engine::TilePlan& plan,
         read_time += read_us(2) + read_us(2) +
                      read_us(rows_in * bk_actual * 2) +
                      static_cast<double>(bk_actual) * read_us(cols_in * 2);
-        lea_time += lea.invoke_us +
-                    lea.mac_us *
-                        static_cast<double>(rows_in * cols_in * bk_actual);
+        lea_time += lea.op_latency_us(rows_in * cols_in * bk_actual);
       }
       // Finalize: bias read + one OFM tile write (also for dead rows,
       // which are bias-filled).

@@ -17,12 +17,27 @@ struct MemoryConfig {
   std::size_t nvm_bytes = 512 * 1024;
 };
 
+// The latency helpers below are THE chargeable-event cost table: the
+// stepping device model, the discrete-event scheduler, the batched fleet
+// engine, and the host-side pruning criterion all price operations through
+// them. The floating-point expression order is part of the contract —
+// golden latency/energy figures depend on bit-identical arithmetic.
+
 struct DmaConfig {
   /// Fixed per-command cost: DMA setup + NVM (SPI) invocation.
   double invocation_us = 2.0;
   /// Per-byte transfer latency over the SPI link (~2 MB/s).
   double read_us_per_byte = 0.5;
   double write_us_per_byte = 0.5;
+
+  /// Latency of one DMA NVM -> VM command moving `bytes`.
+  [[nodiscard]] double read_latency_us(std::size_t bytes) const {
+    return invocation_us + read_us_per_byte * static_cast<double>(bytes);
+  }
+  /// Latency of one DMA VM -> NVM command moving `bytes`.
+  [[nodiscard]] double write_latency_us(std::size_t bytes) const {
+    return invocation_us + write_us_per_byte * static_cast<double>(bytes);
+  }
 };
 
 struct LeaConfig {
@@ -30,11 +45,21 @@ struct LeaConfig {
   double mac_us = 0.125;
   /// Fixed command issue latency per accelerator operation.
   double invoke_us = 1.0;
+
+  /// Latency of one accelerator invocation performing `macs` MACs.
+  [[nodiscard]] double op_latency_us(std::size_t macs) const {
+    return invoke_us + mac_us * static_cast<double>(macs);
+  }
 };
 
 struct CpuConfig {
   /// 16 MHz MCLK.
   double cycle_us = 0.0625;
+
+  /// Latency of `cycles` CPU-executed cycles.
+  [[nodiscard]] double work_latency_us(std::size_t cycles) const {
+    return cycle_us * static_cast<double>(cycles);
+  }
 };
 
 struct PowerRailConfig {

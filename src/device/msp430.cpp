@@ -57,9 +57,30 @@ void Msp430Device::reset_stats() {
 }
 
 void Msp430Device::set_trace_sink(telemetry::TraceSink* sink) {
+  // An active grant was planned under the previous tracing state; tracing
+  // makes every event a decision point, so re-plan.
+  sync_fault_events();
   sink_ = sink != nullptr ? sink : &telemetry::NullSink::instance();
   trace_on_ = sink_->enabled();
   power_.set_trace_sink(sink);
+}
+
+void Msp430Device::sync_fault_events() {
+  flush_pending_events();
+  grant_.events = 0;
+}
+
+void Msp430Device::flush_pending_events() {
+  if (pending_events_ == 0) {
+    return;
+  }
+  if (fault_hook_ != nullptr) {
+    fault_hook_->skip_quiet_events(pending_events_, pending_points_);
+  }
+  pending_events_ = 0;
+  for (std::uint64_t& count : pending_points_) {
+    count = 0;
+  }
 }
 
 void Msp430Device::record_span(telemetry::EventClass cls, double t_us,
@@ -83,6 +104,11 @@ void Msp430Device::record_span(telemetry::EventClass cls, double t_us,
 }
 
 void Msp430Device::power_cycle() {
+  // The reboot charge (and any back-to-back retry) consults the fault
+  // hook through the exact path, consuming ordinals a partially-used
+  // grant did not plan for — invalidate it. Pending skipped ordinals were
+  // flushed by the caller before entering here.
+  grant_.events = 0;
   ++vm_epoch_;
   ++stats_.power_failures;
   const double reboot_us = config_.reboot_us;
@@ -164,6 +190,20 @@ bool Msp430Device::charge_split(double latency_us, double energy_j,
         " J); inference cannot terminate — shrink the operation "
         "granularity or enlarge the capacitor");
   }
+  if (sim_mode_ == power::SimMode::kScheduler) {
+    if (grant_.events == 0 || clock_us_ >= grant_.end_us) {
+      // Settle skipped ordinals first: the re-plan consults the hook's
+      // quiet horizon, which must see the true event counters.
+      flush_pending_events();
+      grant_ = scheduler_.plan(clock_us_, power_.supply(), fault_hook_,
+                               trace_on_);
+    }
+    if (grant_.events > 0 && clock_us_ < grant_.end_us) {
+      return charge_fast(latency_us, energy_j, tag_share_us, point);
+    }
+    // No fast-forward window (tracing on, schedule may fire, or supply
+    // guard band): fall through to the exact per-event path below.
+  }
   if (power_.consume(clock_us_ * 1e-6, latency_us * 1e-6, energy_j, point)) {
     apply_staged(true);
     clock_us_ += latency_us;
@@ -186,6 +226,39 @@ bool Msp430Device::charge_split(double latency_us, double energy_j,
   return false;
 }
 
+bool Msp430Device::charge_fast(double latency_us, double energy_j,
+                               const double* tag_share_us,
+                               power::FaultPoint point) {
+  // The grant guarantees: the hook answers false for this event (ordinal
+  // settled later in bulk) and the harvest power is grant_.power_w for an
+  // operation starting now. consume_quiet replays consume()'s arithmetic
+  // exactly, so every stat below matches the stepping oracle bit for bit.
+  --grant_.events;
+  ++pending_events_;
+  ++pending_points_[static_cast<std::size_t>(point)];
+  if (power_.consume_quiet(latency_us * 1e-6, energy_j, grant_.power_w)) {
+    apply_staged(true);
+    clock_us_ += latency_us;
+    stats_.on_time_us += latency_us;
+    stats_.energy_j += energy_j;
+    for (std::size_t t = 0;
+         t < static_cast<std::size_t>(CostTag::kTagCount); ++t) {
+      stats_.tag_time_us[t] += tag_share_us[t];
+    }
+    return true;
+  }
+  // Organic brown-out inside the window (last_outage_injected is false,
+  // so a staged batch drops entirely — same as the oracle). The failed
+  // event consumed its skipped ordinal above; settle all of them before
+  // the reboot's own hook-visible consume.
+  apply_staged(false);
+  clock_us_ += latency_us;
+  stats_.on_time_us += latency_us;
+  flush_pending_events();
+  power_cycle();
+  return false;
+}
+
 void Msp430Device::apply_staged(bool charge_ok) {
   if (staged_batch_ == nullptr) {
     return;
@@ -199,6 +272,7 @@ void Msp430Device::apply_staged(bool charge_ok) {
     keep = std::min(fault_hook_->torn_write_bytes(batch.total_bytes()),
                     batch.total_bytes() - 1);
   }
+  last_staged_kept_ = keep;
   batch.for_prefix(keep,
                    [this](Address addr, std::span<const std::uint8_t> bytes) {
                      nvm_.write(addr, bytes);
@@ -208,9 +282,7 @@ void Msp430Device::apply_staged(bool charge_ok) {
 bool Msp430Device::dma_read(std::size_t bytes) {
   ++stats_.dma_commands;
   stats_.nvm_bytes_read += bytes;
-  const double latency =
-      config_.dma.invocation_us +
-      config_.dma.read_us_per_byte * static_cast<double>(bytes);
+  const double latency = config_.dma.read_latency_us(bytes);
   const double t0 = clock_us_;
   const bool ok = charge(latency, config_.rails.nvm_read_w, CostTag::kNvmRead);
   // Aborted attempts carry zero attribution/energy, mirroring DeviceStats
@@ -227,9 +299,7 @@ bool Msp430Device::dma_read(std::size_t bytes) {
 bool Msp430Device::dma_write(std::size_t bytes) {
   ++stats_.dma_commands;
   stats_.nvm_bytes_written += bytes;
-  const double latency =
-      config_.dma.invocation_us +
-      config_.dma.write_us_per_byte * static_cast<double>(bytes);
+  const double latency = config_.dma.write_latency_us(bytes);
   const double t0 = clock_us_;
   const bool ok =
       charge(latency, config_.rails.nvm_write_w, CostTag::kNvmWrite);
@@ -245,8 +315,7 @@ bool Msp430Device::dma_write(std::size_t bytes) {
 bool Msp430Device::lea_op(std::size_t macs) {
   ++stats_.lea_invocations;
   stats_.macs += macs;
-  const double latency =
-      config_.lea.invoke_us + config_.lea.mac_us * static_cast<double>(macs);
+  const double latency = config_.lea.op_latency_us(macs);
   const double t0 = clock_us_;
   const bool ok = charge(latency, config_.rails.lea_active_w, CostTag::kLea);
   record_span(telemetry::EventClass::kLea, t0, latency, ok ? latency : 0.0,
@@ -258,7 +327,7 @@ bool Msp430Device::lea_op(std::size_t macs) {
 }
 
 bool Msp430Device::cpu_work(std::size_t cycles) {
-  const double latency = config_.cpu.cycle_us * static_cast<double>(cycles);
+  const double latency = config_.cpu.work_latency_us(cycles);
   const double t0 = clock_us_;
   const bool ok = charge(latency, config_.rails.cpu_active_w, CostTag::kCpu);
   record_span(telemetry::EventClass::kCpu, t0, latency, ok ? latency : 0.0,
@@ -273,9 +342,7 @@ bool Msp430Device::dma_commit(const WriteBatch& batch,
                               std::size_t charge_bytes) {
   ++stats_.dma_commands;
   stats_.nvm_bytes_written += charge_bytes;
-  const double latency =
-      config_.dma.invocation_us +
-      config_.dma.write_us_per_byte * static_cast<double>(charge_bytes);
+  const double latency = config_.dma.write_latency_us(charge_bytes);
   const double t0 = clock_us_;
   staged_batch_ = &batch;
   const bool ok =
@@ -308,19 +375,15 @@ bool Msp430Device::pipelined_impl(const WriteBatch* batch, std::size_t macs,
   if (macs > 0) {
     ++stats_.lea_invocations;
     stats_.macs += macs;
-    lea_us =
-        config_.lea.invoke_us + config_.lea.mac_us * static_cast<double>(macs);
+    lea_us = config_.lea.op_latency_us(macs);
   }
   double write_us = 0.0;
   if (write_bytes > 0) {
     ++stats_.dma_commands;
     stats_.nvm_bytes_written += write_bytes;
-    write_us = config_.dma.invocation_us +
-               config_.dma.write_us_per_byte *
-                   static_cast<double>(write_bytes);
+    write_us = config_.dma.write_latency_us(write_bytes);
   }
-  const double cpu_us =
-      config_.cpu.cycle_us * static_cast<double>(cpu_cycles);
+  const double cpu_us = config_.cpu.work_latency_us(cpu_cycles);
   const double overlapped = std::max(lea_us, write_us);
   const double latency = overlapped + cpu_us;
 

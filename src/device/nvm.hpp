@@ -132,6 +132,16 @@ class Nvm {
   /// path (test/diagnosis facility: "what actually landed?").
   [[nodiscard]] std::uint8_t peek(Address addr) const;
 
+  /// Direct pointer to the backing store — the lockstep-cohort fast path.
+  /// Callers take over the bounds discipline (deployment-issued addresses
+  /// only) and must not hold it while a corruption model is installed:
+  /// raw accesses bypass the fault stream. The storage never reallocates,
+  /// so the pointer stays valid for the Nvm's lifetime.
+  [[nodiscard]] std::uint8_t* raw_storage() { return storage_.data(); }
+  [[nodiscard]] const std::uint8_t* raw_storage() const {
+    return storage_.data();
+  }
+
  private:
   void check(Address addr, std::size_t bytes) const {
     // Two-step comparison: `addr + bytes` can wrap std::size_t near

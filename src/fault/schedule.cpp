@@ -15,31 +15,38 @@ namespace {
 }
 
 std::uint64_t parse_u64(const std::string& text, const std::string& token) {
+  std::size_t used = 0;
+  std::uint64_t value = 0;
+  // The specific diagnostics must be raised outside this try: parse_error
+  // itself throws std::invalid_argument and would otherwise be swallowed
+  // by the catch below and re-reported as the generic message.
   try {
-    std::size_t used = 0;
-    const std::uint64_t value = std::stoull(token, &used);
-    if (used != token.size()) {
-      parse_error(text, "trailing characters after integer '" + token + "'");
-    }
-    return value;
+    value = std::stoull(token, &used);
   } catch (const std::invalid_argument&) {
     parse_error(text, "expected integer, got '" + token + "'");
   } catch (const std::out_of_range&) {
     parse_error(text, "integer out of range: '" + token + "'");
   }
+  if (used != token.size()) {
+    parse_error(text, "trailing characters after integer '" + token + "'");
+  }
+  return value;
 }
 
 double parse_probability(const std::string& text, const std::string& token) {
+  std::size_t used = 0;
+  double value = 0.0;
   try {
-    std::size_t used = 0;
-    const double value = std::stod(token, &used);
-    if (used != token.size() || !(value >= 0.0) || !(value <= 1.0)) {
-      parse_error(text, "probability must be in [0, 1], got '" + token + "'");
-    }
-    return value;
+    value = std::stod(token, &used);
   } catch (const std::invalid_argument&) {
     parse_error(text, "expected probability, got '" + token + "'");
+  } catch (const std::out_of_range&) {
+    parse_error(text, "probability must be in [0, 1], got '" + token + "'");
   }
+  if (used != token.size() || !(value >= 0.0) || !(value <= 1.0)) {
+    parse_error(text, "probability must be in [0, 1], got '" + token + "'");
+  }
+  return value;
 }
 
 std::vector<std::string> split(const std::string& text, char sep) {

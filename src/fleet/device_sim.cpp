@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "device/config.hpp"
+#include "engine/integrity.hpp"
 #include "fault/testbed.hpp"
 #include "util/hash.hpp"
 
@@ -40,6 +41,11 @@ DeviceSim::DeviceSim(const DeviceSpec& spec)
 
   device_ = std::make_unique<device::Msp430Device>(
       device::DeviceConfig::msp430fr5994(), spec_.power.make());
+  if (spec_.sim != SimKind::kStepping) {
+    // Scheduler mode is set before deployment so even the deployment
+    // writes ride the event-driven path (bit-identical either way).
+    device_->set_sim_mode(power::SimMode::kScheduler);
+  }
 
   engine::EngineConfig config;
   config.mode = spec_.mode;
@@ -115,11 +121,22 @@ bool DeviceSim::step() {
         done_ = true;
       }
     }
-  } catch (const std::exception& e) {
-    // IntegrityError, the event-budget watchdog, dead-supply recharge —
-    // all demote to a failed device instead of aborting the fleet.
+  } catch (const engine::IntegrityError& e) {
+    // Detected-but-unrecoverable corruption: the device cannot be trusted.
     result_.failed = true;
     result_.error = e.what();
+    result_.verdict = IntegrityVerdict::kCompromised;
+    done_ = true;
+  } catch (const std::exception& e) {
+    // The event-budget watchdog, dead-supply recharge, restart budget —
+    // all demote to a failed device instead of aborting the fleet. An
+    // unprotected progress counter that lost a committed record surfaces
+    // as a crash-consistency violation: also an integrity compromise.
+    result_.failed = true;
+    result_.error = e.what();
+    if (result_.error.find("crash-consistency") != std::string::npos) {
+      result_.verdict = IntegrityVerdict::kCompromised;
+    }
     done_ = true;
   }
   return !done_;
@@ -144,6 +161,10 @@ DeviceResult DeviceSim::finish() {
   result_.nvm_bytes_read = ds.nvm_bytes_read;
   result_.nvm_bytes_written = ds.nvm_bytes_written;
   result_.macs = ds.macs;
+  if (result_.verdict != IntegrityVerdict::kCompromised &&
+      result_.integrity_rollbacks > 0) {
+    result_.verdict = IntegrityVerdict::kRecovered;
+  }
   if (sink_ != nullptr) {
     result_.registry = sink_->take_registry();
   }

@@ -17,6 +17,7 @@
 #include "device/msp430.hpp"
 #include "engine/engine.hpp"
 #include "fault/injector.hpp"
+#include "fleet/result.hpp"
 #include "fleet/spec.hpp"
 #include "telemetry/registry.hpp"
 #include "telemetry/sink.hpp"
@@ -35,6 +36,10 @@ struct DeviceResult {
   bool deadline_missed = false;  // ran out of simulated time
   bool failed = false;           // engine error / integrity / watchdog
   std::string error;
+  /// NVM-integrity outcome: consistent, recovered (rollbacks happened but
+  /// every inference finished on verified state), or compromised (the
+  /// integrity layer gave up, or a crash-consistency violation surfaced).
+  IntegrityVerdict verdict = IntegrityVerdict::kConsistent;
 
   std::size_t inferences_done = 0;
   double sim_s = 0.0;  // simulated wall-clock at shutdown

@@ -46,6 +46,7 @@ std::vector<std::string> summary_row(const std::string& scope,
           std::to_string(g.completed),
           std::to_string(g.deadline_missed),
           std::to_string(g.failed),
+          std::to_string(g.compromised),
           std::to_string(g.inferences),
           std::to_string(g.power_failures),
           std::to_string(g.injected_outages),
@@ -78,6 +79,7 @@ void CsvGateway::on_device(const DeviceResult& r) {
   device_rows_.push_back({std::to_string(r.index),
                           r.group,
                           status_of(r),
+                          integrity_verdict_name(r.verdict),
                           r.error,
                           std::to_string(r.inferences_done),
                           format_g17(r.sim_s),
@@ -102,7 +104,8 @@ void CsvGateway::on_device(const DeviceResult& r) {
 void CsvGateway::on_fleet(const FleetResult& result) {
   std::filesystem::create_directories(dir_);
 
-  util::CsvWriter devices({"index", "group", "status", "error", "inferences",
+  util::CsvWriter devices({"index", "group", "status", "verdict", "error",
+                           "inferences",
                            "sim_s", "on_s", "off_s", "consumed_j",
                            "harvested_j", "wasted_j", "power_failures",
                            "injected_outages", "events", "nvm_bytes_read",
@@ -117,7 +120,8 @@ void CsvGateway::on_fleet(const FleetResult& result) {
   }
 
   util::CsvWriter summary({"scope", "name", "devices", "completed",
-                           "deadline_missed", "failed", "inferences",
+                           "deadline_missed", "failed", "compromised",
+                           "inferences",
                            "power_failures", "injected_outages", "events",
                            "harvested_j", "consumed_j", "wasted_j", "on_s",
                            "off_s", "max_sim_s", "latency_p50_us",
@@ -166,6 +170,9 @@ std::string PrometheusGateway::render(const FleetResult& result) {
   gauge("iprune_fleet_devices_failed",
         "Devices ended by an engine/integrity/watchdog error.",
         std::to_string(t.failed));
+  gauge("iprune_fleet_devices_compromised",
+        "Devices whose NVM integrity verdict is compromised.",
+        std::to_string(t.compromised));
   gauge("iprune_fleet_inferences_total", "Completed inferences.",
         std::to_string(t.inferences));
   gauge("iprune_fleet_outages_total",

@@ -1,8 +1,10 @@
 #include "fleet/orchestrator.hpp"
 
 #include <algorithm>
+#include <span>
 #include <utility>
 
+#include "fleet/batched_sim.hpp"
 #include "fleet/device_sim.hpp"
 #include "runtime/parallel.hpp"
 #include "util/hash.hpp"
@@ -16,6 +18,7 @@ void fold(GroupStats& into, const DeviceResult& r) {
   into.completed += r.completed ? 1 : 0;
   into.deadline_missed += r.deadline_missed ? 1 : 0;
   into.failed += r.failed ? 1 : 0;
+  into.compromised += r.verdict == IntegrityVerdict::kCompromised ? 1 : 0;
   into.inferences += r.inferences_done;
   into.power_failures += r.power_failures;
   into.injected_outages += r.injected_outages;
@@ -62,11 +65,57 @@ FleetResult FleetOrchestrator::run(runtime::ThreadPool* pool,
   const std::size_t batch = std::max<std::size_t>(spec_.batch, 1);
   for (std::size_t begin = 0; begin < devices.size(); begin += batch) {
     const std::size_t count = std::min(batch, devices.size() - begin);
-    // One whole device per loop index: the stack lives only inside its
-    // lane's body, results gather by index.
-    std::vector<DeviceResult> results = runtime::parallel_map(
-        lanes, count,
-        [&](std::size_t i) { return run_device(devices[begin + i]); });
+    // Partition the window into work units: under sim=batched, runs of
+    // consecutive same-group lockstep-eligible devices form cohorts (one
+    // leader timeline advances all members); everything else stays a
+    // single-device unit. Units keep index order, so the fold and the
+    // fleet digest are identical across sim kinds and lane counts.
+    struct WorkUnit {
+      std::size_t begin;
+      std::size_t count;
+    };
+    std::vector<WorkUnit> units;
+    units.reserve(count);
+    if (spec_.sim == SimKind::kBatched) {
+      std::size_t i = begin;
+      const std::size_t end = begin + count;
+      while (i < end) {
+        std::size_t j = i + 1;
+        if (batched_eligible(devices[i])) {
+          while (j < end && j - i < kMaxCohort &&
+                 devices[j].group == devices[i].group &&
+                 batched_eligible(devices[j])) {
+            ++j;
+          }
+        }
+        units.push_back({i, j - i});
+        i = j;
+      }
+    } else {
+      for (std::size_t i = 0; i < count; ++i) {
+        units.push_back({begin + i, 1});
+      }
+    }
+    // One whole unit per loop index: the stacks live only inside their
+    // lane's body, results gather by unit then flatten in index order.
+    std::vector<std::vector<DeviceResult>> unit_results =
+        runtime::parallel_map(lanes, units.size(), [&](std::size_t u) {
+          const WorkUnit& unit = units[u];
+          if (unit.count >= 2) {
+            return run_cohort(
+                std::span(devices.data() + unit.begin, unit.count));
+          }
+          std::vector<DeviceResult> one;
+          one.push_back(run_device(devices[unit.begin]));
+          return one;
+        });
+    std::vector<DeviceResult> results;
+    results.reserve(count);
+    for (std::vector<DeviceResult>& chunk : unit_results) {
+      for (DeviceResult& r : chunk) {
+        results.push_back(std::move(r));
+      }
+    }
     for (DeviceResult& r : results) {
       fold(result.total, r);
       fold(result.groups[group_slot(r.group)], r);

@@ -11,6 +11,27 @@
 
 namespace iprune::fleet {
 
+/// Outcome of one device's NVM-integrity machinery over its whole run.
+/// Anything other than consistent/recovered means the device served (or
+/// would have served) corrupted results — fleet_run exits nonzero on it.
+enum class IntegrityVerdict : std::uint8_t {
+  kConsistent,   // no corruption observed
+  kRecovered,    // corruption detected and rolled back / re-executed
+  kCompromised,  // detected but unrecoverable (failed scrub, torn progress)
+};
+
+inline const char* integrity_verdict_name(IntegrityVerdict verdict) {
+  switch (verdict) {
+    case IntegrityVerdict::kConsistent:
+      return "consistent";
+    case IntegrityVerdict::kRecovered:
+      return "recovered";
+    case IntegrityVerdict::kCompromised:
+      return "compromised";
+  }
+  return "?";
+}
+
 /// Aggregates over one device group (or the whole fleet: name "fleet").
 struct GroupStats {
   std::string name;
@@ -18,6 +39,8 @@ struct GroupStats {
   std::size_t completed = 0;
   std::size_t deadline_missed = 0;
   std::size_t failed = 0;
+  /// Devices whose integrity verdict is kCompromised (subset of failed).
+  std::size_t compromised = 0;
   std::uint64_t inferences = 0;
   std::uint64_t power_failures = 0;
   std::uint64_t injected_outages = 0;

@@ -89,6 +89,31 @@ ModelKind parse_model_kind(const std::string& name) {
   throw std::invalid_argument("fleet spec: unknown model '" + name + "'");
 }
 
+const char* sim_kind_name(SimKind kind) {
+  switch (kind) {
+    case SimKind::kStepping:
+      return "stepping";
+    case SimKind::kScheduler:
+      return "scheduler";
+    case SimKind::kBatched:
+      return "batched";
+  }
+  return "?";
+}
+
+SimKind parse_sim_kind(const std::string& name) {
+  if (name == "stepping") {
+    return SimKind::kStepping;
+  }
+  if (name == "scheduler") {
+    return SimKind::kScheduler;
+  }
+  if (name == "batched") {
+    return SimKind::kBatched;
+  }
+  throw std::invalid_argument("fleet spec: unknown sim '" + name + "'");
+}
+
 PowerProfile PowerProfile::continuous() {
   PowerProfile p;
   p.kind = Kind::kContinuous;
@@ -320,6 +345,7 @@ std::vector<DeviceSpec> FleetSpec::resolve() const {
       d.deadline_s = deadline_s;
       d.event_budget = event_budget;
       d.telemetry = telemetry;
+      d.sim = sim;
       devices.push_back(std::move(d));
     }
   }
@@ -334,6 +360,9 @@ std::string FleetSpec::describe() const {
                     std::to_string(event_budget);
   if (deadline_s != 0.0) {
     out += " deadline_s=" + format_g17(deadline_s);
+  }
+  if (sim != SimKind::kStepping) {
+    out += " sim=" + std::string(sim_kind_name(sim));
   }
   out += "\n";
   for (const DeviceGroup& group : groups) {
@@ -377,6 +406,8 @@ FleetSpec FleetSpec::parse(const std::string& text) {
           spec.telemetry = parse_bool(value, "telemetry");
         } else if (key == "event_budget") {
           spec.event_budget = parse_u64(value, "event_budget");
+        } else if (key == "sim") {
+          spec.sim = parse_sim_kind(value);
         } else {
           throw std::invalid_argument("fleet spec: unknown fleet field '" +
                                       key + "'");

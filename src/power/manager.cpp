@@ -58,6 +58,26 @@ bool PowerManager::consume(double now_s, double duration_s, double energy_j,
   return false;
 }
 
+bool PowerManager::consume_quiet(double duration_s, double energy_j,
+                                 double power_w) {
+  // EXACT floating-point replica of consume() minus the hook call and
+  // telemetry; the caller guarantees the hook would have been quiet and
+  // `power_w` matches the supply's virtual answer over the operation.
+  const double harvested = power_w * duration_s;
+  stats_.harvested_j += harvested;
+  stats_.wasted_j += buffer_.deposit(harvested);
+
+  last_outage_injected_ = false;
+  const double stored = buffer_.stored_j();
+  if (buffer_.withdraw(energy_j)) {
+    stats_.consumed_j += energy_j;
+    return true;
+  }
+  stats_.consumed_j += stored;
+  ++stats_.power_failures;
+  return false;
+}
+
 void PowerManager::record_recharge(double now_s, double duration_s,
                                    double harvested_j) {
   if (!trace_on_) {
@@ -99,9 +119,18 @@ double PowerManager::recharge(double now_s) {
 
   constexpr double kStepS = 1e-3;
   constexpr double kMaxRechargeS = 3600.0 * 24.0;
+  // Segment-cached stepping: each step still samples the supply at its
+  // start time like the original per-step loop, but within a declared
+  // constant window the cached value substitutes for the virtual call.
+  // SupplySegment's contract (power_w(t) == seg.power_w for t < end_s)
+  // makes the sum bit-identical to per-step power_w() queries.
+  SupplySegment seg{0.0, now_s};
   while (accumulated < needed) {
-    const double p = supply_->power_w(now_s + elapsed);
-    accumulated += p * kStepS;
+    const double t = now_s + elapsed;
+    if (t >= seg.end_s) {
+      seg = supply_->segment(t);
+    }
+    accumulated += seg.power_w * kStepS;
     elapsed += kStepS;
     if (elapsed > kMaxRechargeS) {
       throw std::runtime_error(

@@ -103,6 +103,28 @@ double TraceSupply::power_w(double time_s) const {
   return samples_w_[std::min(index, samples_w_.size() - 1)];
 }
 
+SupplySegment TraceSupply::segment(double time_s) const {
+  const double cycle = period_s_ * static_cast<double>(samples_w_.size());
+  double t = std::fmod(time_s, cycle);
+  if (t < 0.0) {
+    t += cycle;
+  }
+  const auto index =
+      std::min(static_cast<std::size_t>(t / period_s_),
+               samples_w_.size() - 1);
+  // End of the current sample in absolute time. fmod and the division
+  // above round, so hold back a guard band: an event starting inside it
+  // takes the exact slow path instead of trusting the cached power, which
+  // keeps the fast path bit-identical to per-event power_w() calls.
+  const double guard = period_s_ * 1e-9;
+  const double sample_end =
+      time_s + (static_cast<double>(index + 1) * period_s_ - t) - guard;
+  if (sample_end <= time_s) {
+    return {samples_w_[index], time_s};  // inside the guard band: slow path
+  }
+  return {samples_w_[index], sample_end};
+}
+
 std::string TraceSupply::describe() const {
   return "trace (" + std::to_string(samples_w_.size()) + " samples @ " +
          std::to_string(period_s_) + " s)";

@@ -4,17 +4,37 @@
 // we model those as constant sources plus a trace-driven source for the
 // solar-profile example.
 
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
 namespace iprune::power {
 
+/// A window of constant harvest: power_w(t) == power_w for every t in
+/// [query time, end_s). The discrete-event scheduler uses segments to skip
+/// the per-event virtual power_w() call: within a segment the cached value
+/// is exact, so fast-path accounting stays bit-identical to the stepping
+/// oracle. A zero-length segment (end_s == query time) means "no constant
+/// window known" and forces the exact slow path.
+struct SupplySegment {
+  double power_w = 0.0;
+  double end_s = 0.0;
+};
+
 class PowerSupply {
  public:
   virtual ~PowerSupply() = default;
   /// Instantaneous harvestable power (watts) at simulated time t (seconds).
   [[nodiscard]] virtual double power_w(double time_s) const = 0;
+
+  /// Constant-power window starting at `time_s`. The default — a
+  /// zero-length segment — is always correct and merely disables the
+  /// scheduler fast path for supplies that do not override it.
+  [[nodiscard]] virtual SupplySegment segment(double time_s) const {
+    return {power_w(time_s), time_s};
+  }
+
   [[nodiscard]] virtual std::string describe() const = 0;
 };
 
@@ -22,6 +42,9 @@ class ConstantSupply final : public PowerSupply {
  public:
   explicit ConstantSupply(double watts) : watts_(watts) {}
   [[nodiscard]] double power_w(double) const override { return watts_; }
+  [[nodiscard]] SupplySegment segment(double) const override {
+    return {watts_, std::numeric_limits<double>::infinity()};
+  }
   [[nodiscard]] std::string describe() const override;
 
  private:
@@ -40,6 +63,7 @@ class TraceSupply final : public PowerSupply {
   static TraceSupply from_csv(const std::string& path,
                               double sample_period_s);
   [[nodiscard]] double power_w(double time_s) const override;
+  [[nodiscard]] SupplySegment segment(double time_s) const override;
   [[nodiscard]] std::string describe() const override;
 
  private:

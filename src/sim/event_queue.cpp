@@ -1,0 +1,61 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace iprune::sim {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSupplySegmentEnd:
+      return "supply_segment_end";
+    case EventKind::kQuietWindowEnd:
+      return "quiet_window_end";
+    case EventKind::kCommitBoundary:
+      return "commit_boundary";
+    case EventKind::kTelemetryInstant:
+      return "telemetry_instant";
+  }
+  return "?";
+}
+
+bool EventQueue::after(const Entry& a, const Entry& b) {
+  // std::push_heap builds a max-heap; invert to get the min element on
+  // top. NaN times are rejected at push, so < is a strict weak order.
+  if (a.event.t_us != b.event.t_us) {
+    return a.event.t_us > b.event.t_us;
+  }
+  return a.seq > b.seq;
+}
+
+void EventQueue::push(const Event& event) {
+  if (event.t_us != event.t_us) {  // NaN would corrupt the heap order
+    throw std::invalid_argument("EventQueue: NaN event time");
+  }
+  heap_.push_back({event, next_seq_++});
+  std::push_heap(heap_.begin(), heap_.end(), after);
+}
+
+const Event& EventQueue::peek() const {
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue: peek on empty queue");
+  }
+  return heap_.front().event;
+}
+
+Event EventQueue::pop() {
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue: pop on empty queue");
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), after);
+  const Event event = heap_.back().event;
+  heap_.pop_back();
+  return event;
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  next_seq_ = 0;
+}
+
+}  // namespace iprune::sim

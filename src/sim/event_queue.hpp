@@ -1,0 +1,65 @@
+#pragma once
+// Deterministic discrete-event queue for the simulation core.
+//
+// The intermittent-device model only has a handful of *decision points*
+// where the outcome of the next chargeable operation can differ from
+// plain energy bookkeeping: the harvest profile changes (supply segment
+// boundary), the fault schedule may fire (quiet-window end), the engine
+// synchronizes externally visible state (commit/seal boundary), or
+// telemetry wants exact per-event instants. Everything between two
+// decision points can be fast-forwarded. EventQueue orders those points
+// deterministically: by time, then by insertion sequence (FIFO for ties),
+// so replays and differential runs see the same order regardless of how
+// the events were discovered.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace iprune::sim {
+
+/// Why the scheduler must stop fast-forwarding and take the exact path.
+enum class EventKind : std::uint8_t {
+  kSupplySegmentEnd,  // cached harvest power expires
+  kQuietWindowEnd,    // fault hook may fire (count-bounded, payload = events)
+  kCommitBoundary,    // engine commit/seal: settle skipped hook ordinals
+  kTelemetryInstant,  // tracing active: every event is externally visible
+};
+
+const char* event_kind_name(EventKind kind);
+
+struct Event {
+  /// Absolute simulated time in microseconds. Count-bounded events (e.g.
+  /// a quiet window measured in chargeable events, not time) use +inf and
+  /// carry the count in `payload`.
+  double t_us = 0.0;
+  EventKind kind = EventKind::kSupplySegmentEnd;
+  std::uint64_t payload = 0;
+};
+
+/// Min-heap over Event ordered by (t_us, insertion sequence). The
+/// sequence tie-break makes pop order a pure function of push order —
+/// never of heap internals — which is what the determinism contract of
+/// the fleet layer requires.
+class EventQueue {
+ public:
+  void push(const Event& event);
+  [[nodiscard]] const Event& peek() const;  // throws when empty
+  Event pop();                              // throws when empty
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  void clear();
+
+ private:
+  struct Entry {
+    Event event;
+    std::uint64_t seq = 0;
+  };
+  static bool after(const Entry& a, const Entry& b);
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace iprune::sim

@@ -1,0 +1,41 @@
+#include "sim/scheduler.hpp"
+
+namespace iprune::sim {
+
+ChargeGrant DeviceScheduler::plan(double now_us,
+                                  const power::PowerSupply& supply,
+                                  const power::FaultHook* hook,
+                                  bool trace_on) {
+  horizon_.clear();
+  ChargeGrant grant;
+
+  if (trace_on) {
+    // Every chargeable event emits telemetry spans/instants: all events
+    // are decision points and the exact path must run each one.
+    horizon_.push({now_us, EventKind::kTelemetryInstant, 0});
+    grant.events = 0;
+    return grant;
+  }
+
+  const std::uint64_t quiet =
+      hook != nullptr ? hook->quiet_events()
+                      : std::numeric_limits<std::uint64_t>::max();
+  const power::SupplySegment seg = supply.segment(now_us * 1e-6);
+  const double seg_end_us = seg.end_s * 1e6;
+  horizon_.push({seg_end_us, EventKind::kSupplySegmentEnd, 0});
+  horizon_.push({std::numeric_limits<double>::infinity(),
+                 EventKind::kQuietWindowEnd, quiet});
+
+  if (seg_end_us <= now_us) {
+    // Zero-length segment (guard band or a supply without segment
+    // support): no constant window to charge against.
+    grant.events = 0;
+    return grant;
+  }
+  grant.events = quiet;
+  grant.power_w = seg.power_w;
+  grant.end_us = seg_end_us;
+  return grant;
+}
+
+}  // namespace iprune::sim

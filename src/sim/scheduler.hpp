@@ -1,0 +1,65 @@
+#pragma once
+// DeviceScheduler: plans the fast-forward windows of the discrete-event
+// simulation mode (power::SimMode::kScheduler).
+//
+// A window ("charge grant") is the stretch of upcoming chargeable events
+// the device may account through PowerManager::consume_quiet — skipping
+// the per-event virtual supply query and fault-hook call — without any
+// observable difference from the stepping oracle. The window is bounded
+// by the decision points of the model, gathered into an EventQueue:
+//
+//   - the supply's constant-power segment end (harvest power changes),
+//   - the fault hook's quiet-event horizon (the schedule may fire),
+//   - telemetry instants (tracing on makes every event observable, so
+//     the grant collapses to zero and the device takes the exact path),
+//
+// while engine commit/seal boundaries and reboots *invalidate* issued
+// grants (Msp430Device::on_commit_boundary / power_cycle), because both
+// re-synchronize externally visible ordinal state through the slow path.
+//
+// Correctness contract: consuming at most `events` events, each starting
+// before `end_us`, with cached power `power_w`, is bit-identical to the
+// stepping model — the segment guarantees the supply value, the quiet
+// horizon guarantees the hook answers false, and consume_quiet replays
+// consume()'s exact arithmetic.
+
+#include <cstdint>
+#include <limits>
+
+#include "power/fault_hook.hpp"
+#include "power/supply.hpp"
+#include "sim/event_queue.hpp"
+
+namespace iprune::sim {
+
+/// A planned fast-forward window. events == 0 means "no fast path" — the
+/// caller must execute the next operation through the exact slow path.
+struct ChargeGrant {
+  /// Chargeable events that may bypass the fault hook (settled in bulk
+  /// later via FaultHook::skip_quiet_events).
+  std::uint64_t events = 0;
+  /// Harvest power valid for operations starting before end_us.
+  double power_w = 0.0;
+  /// Exclusive end of the constant-power window (device-clock us).
+  double end_us = std::numeric_limits<double>::infinity();
+};
+
+class DeviceScheduler {
+ public:
+  /// Plan the next window starting at device time `now_us`. `hook` may be
+  /// null (no injection: the quiet horizon is unbounded). Tracing active
+  /// (`trace_on`) yields a zero grant: every event must go the exact path
+  /// so telemetry instants land per event.
+  ChargeGrant plan(double now_us, const power::PowerSupply& supply,
+                   const power::FaultHook* hook, bool trace_on);
+
+  /// Decision points backing the most recent plan() call, in
+  /// deterministic order. Diagnostic/inspection surface (the device only
+  /// needs the grant itself).
+  [[nodiscard]] const EventQueue& horizon() const { return horizon_; }
+
+ private:
+  EventQueue horizon_;
+};
+
+}  // namespace iprune::sim

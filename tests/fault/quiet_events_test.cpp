@@ -1,0 +1,128 @@
+// FaultInjector's quiet-window API: quiet_events() must be a sound lower
+// bound (no schedule firing, no budget throw inside the window), and
+// skip_quiet_events() must leave the injector in exactly the state that
+// the equivalent sequence of quiet should_fail() calls would.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+
+#include "fault/injector.hpp"
+
+namespace iprune::fault {
+namespace {
+
+constexpr std::size_t kPoints =
+    static_cast<std::size_t>(power::FaultPoint::kPointCount);
+
+/// Drive `count` quiet events through should_fail one by one, asserting
+/// none fires. The reference behaviour skip_quiet_events must replicate.
+void step_quiet(FaultInjector& injector, std::uint64_t count,
+                power::FaultPoint point = power::FaultPoint::kLea) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ASSERT_FALSE(injector.should_fail(point));
+  }
+}
+
+TEST(QuietEvents, NoneScheduleIsUnboundedlyQuiet) {
+  FaultInjector injector(OutageSchedule::none());
+  EXPECT_EQ(injector.quiet_events(), FaultInjector::kNoBudget);
+}
+
+TEST(QuietEvents, FixedScheduleCountsDownToNextOrdinal) {
+  FaultInjector injector(OutageSchedule::at_events({5, 9}));
+  EXPECT_EQ(injector.quiet_events(), 5u);  // ordinals 0..4 are quiet
+  step_quiet(injector, 5);
+  EXPECT_EQ(injector.quiet_events(), 0u);  // ordinal 5 fires
+  EXPECT_TRUE(injector.should_fail(power::FaultPoint::kLea));
+  EXPECT_EQ(injector.quiet_events(), 3u);  // 6,7,8 quiet; 9 fires
+  step_quiet(injector, 3);
+  EXPECT_TRUE(injector.should_fail(power::FaultPoint::kLea));
+  // Past the last fixed ordinal: quiet forever.
+  EXPECT_EQ(injector.quiet_events(), FaultInjector::kNoBudget);
+}
+
+TEST(QuietEvents, EveryNthCountsToTheNextMultiple) {
+  FaultInjector injector(OutageSchedule::every_nth(4));  // fires at 3,7,11...
+  EXPECT_EQ(injector.quiet_events(), 3u);
+  step_quiet(injector, 3);
+  EXPECT_EQ(injector.quiet_events(), 0u);
+  EXPECT_TRUE(injector.should_fail(power::FaultPoint::kCpu));
+  EXPECT_EQ(injector.quiet_events(), 3u);
+}
+
+TEST(QuietEvents, MaxOutagesExhaustedMeansQuietForever) {
+  FaultInjector injector(OutageSchedule::every_nth(2, /*max_outages=*/1));
+  step_quiet(injector, 1);
+  EXPECT_TRUE(injector.should_fail(power::FaultPoint::kLea));
+  EXPECT_EQ(injector.quiet_events(), FaultInjector::kNoBudget);
+}
+
+TEST(QuietEvents, RandomScheduleNeverGrantsAWindow) {
+  FaultInjector injector(OutageSchedule::random(7, 0.0));
+  // Even at p=0 every event consumes an RNG draw, so skipping would
+  // desynchronize the stream.
+  EXPECT_EQ(injector.quiet_events(), 0u);
+}
+
+TEST(QuietEvents, AtWriteQuietOnlyAfterTheTargetWritePassed) {
+  FaultInjector injector(OutageSchedule::at_write(1));
+  // The next event could be an NVM write, so no window yet.
+  EXPECT_EQ(injector.quiet_events(), 0u);
+  ASSERT_FALSE(injector.should_fail(power::FaultPoint::kNvmWrite));  // w0
+  EXPECT_EQ(injector.quiet_events(), 0u);
+  EXPECT_TRUE(injector.should_fail(power::FaultPoint::kNvmWrite));  // w1 fires
+  EXPECT_EQ(injector.quiet_events(), FaultInjector::kNoBudget);
+}
+
+TEST(QuietEvents, BudgetClampsTheWindow) {
+  FaultInjector injector(OutageSchedule::none());
+  injector.set_event_budget(10);
+  EXPECT_EQ(injector.quiet_events(), 10u);
+  step_quiet(injector, 4);
+  EXPECT_EQ(injector.quiet_events(), 6u);
+  step_quiet(injector, 6);
+  EXPECT_EQ(injector.quiet_events(), 0u);
+  // The budget-exhausted event must go through should_fail (and throw),
+  // never be silently skipped.
+  EXPECT_THROW((void)injector.should_fail(power::FaultPoint::kLea),
+               std::runtime_error);
+}
+
+TEST(QuietEvents, SkipMatchesSteppedStateExactly) {
+  const OutageSchedule schedule = OutageSchedule::at_events({100});
+  FaultInjector stepped(schedule);
+  FaultInjector skipped(schedule);
+
+  // Mixed per-point traffic, stepped one ordinal at a time.
+  step_quiet(stepped, 3, power::FaultPoint::kNvmRead);
+  step_quiet(stepped, 2, power::FaultPoint::kNvmWrite);
+  step_quiet(stepped, 4, power::FaultPoint::kLea);
+
+  std::array<std::uint64_t, kPoints> per_point{};
+  per_point[static_cast<std::size_t>(power::FaultPoint::kNvmRead)] = 3;
+  per_point[static_cast<std::size_t>(power::FaultPoint::kNvmWrite)] = 2;
+  per_point[static_cast<std::size_t>(power::FaultPoint::kLea)] = 4;
+  ASSERT_GE(skipped.quiet_events(), 9u);
+  skipped.skip_quiet_events(9, per_point.data());
+
+  EXPECT_EQ(skipped.total_events(), stepped.total_events());
+  for (std::size_t p = 0; p < kPoints; ++p) {
+    const auto point = static_cast<power::FaultPoint>(p);
+    EXPECT_EQ(skipped.events_at(point), stepped.events_at(point));
+  }
+  EXPECT_EQ(skipped.quiet_events(), stepped.quiet_events());
+
+  // Both continue identically: the next firing lands at ordinal 100.
+  const std::uint64_t remaining = stepped.quiet_events();
+  EXPECT_EQ(remaining, 100u - 9u);
+  step_quiet(stepped, remaining);
+  step_quiet(skipped, remaining);
+  EXPECT_TRUE(stepped.should_fail(power::FaultPoint::kLea));
+  EXPECT_TRUE(skipped.should_fail(power::FaultPoint::kLea));
+  EXPECT_EQ(stepped.outage_events(), skipped.outage_events());
+}
+
+}  // namespace
+}  // namespace iprune::fault

@@ -1,0 +1,134 @@
+// OutageSchedule::parse error paths. Fleet specs embed schedule strings
+// verbatim, so a malformed schedule must fail loudly with a message that
+// names both the offending token and the full input — these tests pin the
+// exact diagnostics so CLI/CI error output stays greppable.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "fault/schedule.hpp"
+
+namespace iprune::fault {
+namespace {
+
+/// Asserts parse(text) throws std::invalid_argument with exactly
+/// "OutageSchedule::parse: <why> in \"<text>\"".
+void expect_parse_error(const std::string& text, const std::string& why) {
+  const std::string expected =
+      "OutageSchedule::parse: " + why + " in \"" + text + "\"";
+  try {
+    (void)OutageSchedule::parse(text);
+    FAIL() << "expected parse(\"" << text << "\") to throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()), expected);
+  } catch (...) {
+    FAIL() << "expected std::invalid_argument for \"" << text << "\"";
+  }
+}
+
+TEST(ScheduleParseError, MissingColonAfterMode) {
+  expect_parse_error("fixed", "missing ':' after mode");
+  expect_parse_error("every", "missing ':' after mode");
+  // "none" is the only colon-free schedule; anything else needs a mode
+  // separator even if it happens to start with a known mode name.
+  expect_parse_error("nonee", "missing ':' after mode");
+}
+
+TEST(ScheduleParseError, UnknownMode) {
+  expect_parse_error("sometimes:3", "unknown mode 'sometimes'");
+  expect_parse_error(":3", "unknown mode ''");
+  // Mode names are case-sensitive.
+  expect_parse_error("Fixed:3", "unknown mode 'Fixed'");
+}
+
+TEST(ScheduleParseError, MalformedIntegers) {
+  expect_parse_error("every:ten", "expected integer, got 'ten'");
+  expect_parse_error("every:", "expected integer, got ''");
+  expect_parse_error("every:5x", "trailing characters after integer '5x'");
+  expect_parse_error("fixed:3,oops,9", "expected integer, got 'oops'");
+  expect_parse_error("write:1 7", "trailing characters after integer '1 7'");
+  expect_parse_error("every:99999999999999999999999999",
+                     "integer out of range: '99999999999999999999999999'");
+}
+
+TEST(ScheduleParseError, MalformedTornModifier) {
+  // Empty value, unknown keyword, and a keep spec missing its byte count.
+  expect_parse_error("every:50;torn=",
+                     "torn takes drop | keep:<bytes> | rand, got ''");
+  expect_parse_error("every:50;torn=shred",
+                     "torn takes drop | keep:<bytes> | rand, got 'shred'");
+  expect_parse_error("every:50;torn=keep",
+                     "torn takes drop | keep:<bytes> | rand, got 'keep'");
+  expect_parse_error("every:50;torn=keep:", "expected integer, got ''");
+  expect_parse_error("every:50;torn=keep:4q",
+                     "trailing characters after integer '4q'");
+  // torn= must precede max=; in the other order the torn field is no
+  // longer trailing and the mode parser sees a surplus field.
+  expect_parse_error("every:50;max=3;torn=rand",
+                     "every takes a single period");
+  // A duplicate torn key: only the trailing one is stripped, the first
+  // leaks into the mode's field list.
+  expect_parse_error("every:50;torn=rand;torn=rand",
+                     "every takes a single period");
+}
+
+TEST(ScheduleParseError, MalformedMaxModifier) {
+  expect_parse_error("every:50;max=", "expected integer, got ''");
+  expect_parse_error("every:50;max=lots", "expected integer, got 'lots'");
+  expect_parse_error("write:9;max=1 2",
+                     "trailing characters after integer '1 2'");
+  // Duplicate max keys: the trailing one is consumed, the first becomes a
+  // stray mode field.
+  expect_parse_error("every:50;max=1;max=2", "every takes a single period");
+}
+
+TEST(ScheduleParseError, WrongFieldArity) {
+  expect_parse_error("every:50;60", "every takes a single period");
+  expect_parse_error("write:1;2", "write takes a single write ordinal");
+  expect_parse_error("fixed:1;2", "fixed takes one comma-separated event list");
+}
+
+TEST(ScheduleParseError, RandomKeyErrors) {
+  // Missing keys, wrong order, duplicate keys, and empty keys all collapse
+  // to the same arity/shape diagnostic.
+  expect_parse_error("random:7", "random takes seed=<u64>;p=<prob>");
+  expect_parse_error("random:p=0.5;seed=7", "random takes seed=<u64>;p=<prob>");
+  expect_parse_error("random:seed=7;seed=8", "random takes seed=<u64>;p=<prob>");
+  expect_parse_error("random:seed=7;p=0.5;p=0.6",
+                     "random takes seed=<u64>;p=<prob>");
+  expect_parse_error("random:;p=0.5", "random takes seed=<u64>;p=<prob>");
+  expect_parse_error("random:seed=7;p=1.5",
+                     "probability must be in [0, 1], got '1.5'");
+  expect_parse_error("random:seed=7;p=-0.1",
+                     "probability must be in [0, 1], got '-0.1'");
+  expect_parse_error("random:seed=7;p=half",
+                     "expected probability, got 'half'");
+  expect_parse_error("random:seed=7;p=0.5z",
+                     "probability must be in [0, 1], got '0.5z'");
+  expect_parse_error("random:seed=x;p=0.5", "expected integer, got 'x'");
+}
+
+TEST(ScheduleParseError, WellFormedEdgeCasesStillParse) {
+  // Boundary inputs that look suspicious but are legal, pinned here so the
+  // error tests above cannot be "fixed" by over-tightening the parser.
+  const OutageSchedule empty = OutageSchedule::parse("fixed:");
+  EXPECT_EQ(empty.mode, ScheduleMode::kFixed);
+  EXPECT_TRUE(empty.fixed_events.empty());
+
+  const OutageSchedule full =
+      OutageSchedule::parse("every:50;torn=keep:4;max=3");
+  EXPECT_EQ(full.mode, ScheduleMode::kEveryNth);
+  EXPECT_EQ(full.every_n, 50u);
+  EXPECT_EQ(full.torn, TornMode::kKeep);
+  EXPECT_EQ(full.torn_keep, 4u);
+  EXPECT_EQ(full.max_outages, 3u);
+  EXPECT_EQ(OutageSchedule::parse(full.describe()), full);
+
+  const OutageSchedule drop = OutageSchedule::parse("write:9;torn=drop");
+  EXPECT_EQ(drop.torn, TornMode::kDropAll);
+}
+
+}  // namespace
+}  // namespace iprune::fault

@@ -1,0 +1,187 @@
+// Batched lockstep fleet mode: for every sim kind (stepping oracle,
+// event-driven scheduler, batched cohorts) a fleet produces bit-identical
+// results — per-device and fleet-wide — across lane counts. The batched
+// mode is pure wall-clock optimisation; these tests are its correctness
+// gate.
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "fleet/batched_sim.hpp"
+#include "fleet/orchestrator.hpp"
+
+namespace iprune::fleet {
+namespace {
+
+/// Capture every streamed DeviceResult for field-by-field comparison.
+class CaptureGateway final : public MetricsGateway {
+ public:
+  void on_device(const DeviceResult& result) override {
+    devices.push_back(result);
+  }
+  void on_fleet(const FleetResult&) override {}
+  [[nodiscard]] std::string describe() const override { return "capture"; }
+
+  std::vector<DeviceResult> devices;
+};
+
+void expect_identical(const DeviceResult& a, const DeviceResult& b) {
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.group, b.group);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.deadline_missed, b.deadline_missed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.verdict, b.verdict);
+  EXPECT_EQ(a.inferences_done, b.inferences_done);
+  // Exact double equality: the timelines must be the same computation,
+  // not merely close.
+  EXPECT_EQ(a.sim_s, b.sim_s);
+  EXPECT_EQ(a.on_s, b.on_s);
+  EXPECT_EQ(a.off_s, b.off_s);
+  EXPECT_EQ(a.consumed_j, b.consumed_j);
+  EXPECT_EQ(a.harvested_j, b.harvested_j);
+  EXPECT_EQ(a.wasted_j, b.wasted_j);
+  EXPECT_EQ(a.power_failures, b.power_failures);
+  EXPECT_EQ(a.injected_outages, b.injected_outages);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.nvm_bytes_read, b.nvm_bytes_read);
+  EXPECT_EQ(a.nvm_bytes_written, b.nvm_bytes_written);
+  EXPECT_EQ(a.macs, b.macs);
+  EXPECT_EQ(a.reexecuted_jobs, b.reexecuted_jobs);
+  EXPECT_EQ(a.integrity_rollbacks, b.integrity_rollbacks);
+  EXPECT_EQ(a.logits_checksum, b.logits_checksum);
+  EXPECT_EQ(a.last_logits, b.last_logits);
+  EXPECT_EQ(a.latency_us.count(), b.latency_us.count());
+  EXPECT_EQ(a.latency_us.sum(), b.latency_us.sum());
+}
+
+FleetSpec test_spec(SimKind sim) {
+  // The built-in heterogeneous mix: all harvest profiles, both models,
+  // all preservation modes, plus a random-schedule (cohort-ineligible)
+  // fault group. 64 devices across batches of 16.
+  FleetSpec spec = FleetSpec::example(64);
+  spec.inferences = 2;
+  spec.batch = 16;
+  spec.sim = sim;
+  return spec;
+}
+
+TEST(FleetBatched, SimKindRoundTripsThroughSpecText) {
+  FleetSpec spec = FleetSpec::example(8);
+  EXPECT_EQ(spec.sim, SimKind::kStepping);
+  // Default stays off the describe() line (older spec files parse
+  // unchanged and older binaries can read specs written by this one).
+  EXPECT_EQ(spec.describe().find(" sim="), std::string::npos);
+  EXPECT_EQ(FleetSpec::parse(spec.describe()), spec);
+
+  spec.sim = SimKind::kBatched;
+  EXPECT_NE(spec.describe().find(" sim=batched"), std::string::npos);
+  EXPECT_EQ(FleetSpec::parse(spec.describe()), spec);
+  spec.sim = SimKind::kScheduler;
+  EXPECT_EQ(FleetSpec::parse(spec.describe()), spec);
+
+  EXPECT_THROW(parse_sim_kind("warp"), std::invalid_argument);
+  for (const SimKind kind :
+       {SimKind::kStepping, SimKind::kScheduler, SimKind::kBatched}) {
+    EXPECT_EQ(parse_sim_kind(sim_kind_name(kind)), kind);
+  }
+}
+
+TEST(FleetBatched, PerDeviceResultsIdenticalAcrossSimKinds) {
+  runtime::ThreadPool serial(1);
+  CaptureGateway stepping;
+  (void)FleetOrchestrator(test_spec(SimKind::kStepping))
+      .run(&serial, &stepping);
+  ASSERT_EQ(stepping.devices.size(), 64u);
+
+  for (const SimKind sim : {SimKind::kScheduler, SimKind::kBatched}) {
+    CaptureGateway capture;
+    const FleetResult result =
+        FleetOrchestrator(test_spec(sim)).run(&serial, &capture);
+    ASSERT_EQ(capture.devices.size(), stepping.devices.size());
+    for (std::size_t i = 0; i < capture.devices.size(); ++i) {
+      expect_identical(capture.devices[i], stepping.devices[i]);
+    }
+    // And the digest, which CI compares across whole runs.
+    const FleetResult oracle =
+        FleetOrchestrator(test_spec(SimKind::kStepping)).run(&serial);
+    EXPECT_EQ(result.checksum, oracle.checksum);
+  }
+}
+
+TEST(FleetBatched, ChecksumStableAcrossLaneCounts) {
+  const FleetOrchestrator orchestrator(test_spec(SimKind::kBatched));
+  runtime::ThreadPool serial(1);
+  const FleetResult reference = orchestrator.run(&serial);
+  EXPECT_GT(reference.total.power_failures, 0u);
+  for (const std::size_t lanes : {2u, 4u}) {
+    runtime::ThreadPool pool(lanes);
+    const FleetResult result = orchestrator.run(&pool);
+    EXPECT_EQ(result.checksum, reference.checksum) << lanes << " lanes";
+    EXPECT_EQ(result.total.events, reference.total.events);
+    EXPECT_EQ(result.total.consumed_j, reference.total.consumed_j);
+  }
+}
+
+TEST(FleetBatched, RunCohortMatchesStandaloneDevices) {
+  // Direct unit check, no orchestrator: one eligible group simulated as
+  // a cohort must reproduce each member's standalone run exactly.
+  FleetSpec spec = test_spec(SimKind::kBatched);
+  const std::vector<DeviceSpec> devices = spec.resolve();
+
+  // Pick the first run of >= 3 consecutive eligible same-group devices.
+  std::size_t begin = 0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < devices.size() && count < 3; ++i) {
+    if (batched_eligible(devices[i]) &&
+        (count == 0 || devices[i].group == devices[begin].group)) {
+      if (count == 0) {
+        begin = i;
+      }
+      ++count;
+    } else {
+      count = 0;
+    }
+  }
+  ASSERT_EQ(count, 3u) << "example fleet must contain an eligible cohort";
+
+  const std::vector<DeviceResult> cohort =
+      run_cohort(std::span(devices.data() + begin, count));
+  ASSERT_EQ(cohort.size(), count);
+  for (std::size_t m = 0; m < count; ++m) {
+    const DeviceResult standalone = run_device(devices[begin + m]);
+    expect_identical(cohort[m], standalone);
+  }
+  // Distinct per-member weights must yield distinct logits — proof the
+  // cohort is not accidentally simulating one device N times.
+  EXPECT_NE(cohort[0].logits_checksum, cohort[1].logits_checksum);
+  EXPECT_NE(cohort[1].logits_checksum, cohort[2].logits_checksum);
+}
+
+TEST(FleetBatched, IneligibleSpecsFallBackAndStillMatch) {
+  // Random schedules are re-seeded per device: never lockstep-eligible.
+  FleetSpec spec = test_spec(SimKind::kBatched);
+  for (const DeviceSpec& d : spec.resolve()) {
+    if (d.schedule.mode == fault::ScheduleMode::kRandom) {
+      EXPECT_FALSE(batched_eligible(d));
+    }
+  }
+  // Telemetry arms per-device trace sinks — whole fleet falls back, and
+  // results still match the stepping oracle (registry included).
+  FleetSpec telemetry_spec = test_spec(SimKind::kBatched);
+  telemetry_spec.telemetry = true;
+  FleetSpec telemetry_oracle = telemetry_spec;
+  telemetry_oracle.sim = SimKind::kStepping;
+  runtime::ThreadPool serial(1);
+  const FleetResult a = FleetOrchestrator(telemetry_spec).run(&serial);
+  const FleetResult b = FleetOrchestrator(telemetry_oracle).run(&serial);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_EQ(a.registry.events_seen(), b.registry.events_seen());
+  EXPECT_GT(a.registry.events_seen(), 0u);
+}
+
+}  // namespace
+}  // namespace iprune::fleet

@@ -53,7 +53,7 @@ TEST(CsvGatewayTest, WritesOneRowPerDeviceAndPerScope) {
   const std::vector<std::string> devices = read_lines(gateway.devices_path());
   ASSERT_EQ(devices.size(), 1u + result.total.devices);
   EXPECT_EQ(devices[0],
-            "index,group,status,error,inferences,sim_s,on_s,off_s,"
+            "index,group,status,verdict,error,inferences,sim_s,on_s,off_s,"
             "consumed_j,harvested_j,wasted_j,power_failures,"
             "injected_outages,events,nvm_bytes_read,nvm_bytes_written,macs,"
             "reexecuted_jobs,integrity_rollbacks,latency_p50_us,"

@@ -1,0 +1,93 @@
+// sim::EventQueue: deterministic ordering (time, then FIFO insertion for
+// ties) and error behaviour. The fleet determinism contract leans on pop
+// order being a pure function of push order.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+
+namespace iprune::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  queue.push({30.0, EventKind::kSupplySegmentEnd, 3});
+  queue.push({10.0, EventKind::kQuietWindowEnd, 1});
+  queue.push({20.0, EventKind::kCommitBoundary, 2});
+
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.peek().payload, 1u);
+  EXPECT_EQ(queue.pop().t_us, 10.0);
+  EXPECT_EQ(queue.pop().t_us, 20.0);
+  EXPECT_EQ(queue.pop().t_us, 30.0);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, EqualTimesPopFifo) {
+  EventQueue queue;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    queue.push({5.0, EventKind::kTelemetryInstant, i});
+  }
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(queue.pop().payload, i);
+  }
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsOrder) {
+  EventQueue queue;
+  queue.push({2.0, EventKind::kSupplySegmentEnd, 0});
+  queue.push({1.0, EventKind::kSupplySegmentEnd, 1});
+  EXPECT_EQ(queue.pop().payload, 1u);
+  queue.push({1.5, EventKind::kSupplySegmentEnd, 2});
+  queue.push({2.0, EventKind::kSupplySegmentEnd, 3});  // ties with payload 0
+  EXPECT_EQ(queue.pop().payload, 2u);
+  EXPECT_EQ(queue.pop().payload, 0u);  // pushed before payload 3
+  EXPECT_EQ(queue.pop().payload, 3u);
+}
+
+TEST(EventQueue, InfinityOrdersAfterFiniteTimes) {
+  EventQueue queue;
+  queue.push({std::numeric_limits<double>::infinity(),
+              EventKind::kQuietWindowEnd, 7});
+  queue.push({1e12, EventKind::kSupplySegmentEnd, 8});
+  EXPECT_EQ(queue.pop().payload, 8u);
+  EXPECT_EQ(queue.pop().payload, 7u);
+}
+
+TEST(EventQueue, RejectsNanAndThrowsOnEmpty) {
+  EventQueue queue;
+  EXPECT_THROW(queue.push({std::nan(""), EventKind::kCommitBoundary, 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)queue.peek(), std::logic_error);
+  EXPECT_THROW(queue.pop(), std::logic_error);
+}
+
+TEST(EventQueue, ClearResetsSequenceNumbering) {
+  EventQueue queue;
+  queue.push({1.0, EventKind::kSupplySegmentEnd, 0});
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  // After clear, ties again resolve in fresh insertion order.
+  queue.push({4.0, EventKind::kSupplySegmentEnd, 10});
+  queue.push({4.0, EventKind::kSupplySegmentEnd, 11});
+  EXPECT_EQ(queue.pop().payload, 10u);
+  EXPECT_EQ(queue.pop().payload, 11u);
+}
+
+TEST(EventQueue, KindNamesAreStable) {
+  EXPECT_STREQ(event_kind_name(EventKind::kSupplySegmentEnd),
+               "supply_segment_end");
+  EXPECT_STREQ(event_kind_name(EventKind::kQuietWindowEnd),
+               "quiet_window_end");
+  EXPECT_STREQ(event_kind_name(EventKind::kCommitBoundary),
+               "commit_boundary");
+  EXPECT_STREQ(event_kind_name(EventKind::kTelemetryInstant),
+               "telemetry_instant");
+}
+
+}  // namespace
+}  // namespace iprune::sim

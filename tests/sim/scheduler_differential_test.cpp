@@ -1,0 +1,369 @@
+// Differential oracle for the discrete-event simulation mode: the same
+// device stack run in power::SimMode::kScheduler must be bit-identical to
+// the stepping reference — logits, simulated clock, energy ledger, device
+// stats, fault-injection ordinals, and telemetry registries — across
+// clean, outage-injected, corruption-armed, torn-write, solar-harvest,
+// and watchdog-abort runs. Any divergence means the scheduler fast path
+// skipped a decision point it was not entitled to.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/config.hpp"
+#include "device/corruption.hpp"
+#include "device/msp430.hpp"
+#include "engine/engine.hpp"
+#include "fault/injector.hpp"
+#include "fault/testbed.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/sink.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace iprune::sim {
+namespace {
+
+using SupplyFactory = std::function<std::unique_ptr<power::PowerSupply>()>;
+
+struct RunConfig {
+  std::uint64_t seed = 1;
+  bool multipath = false;
+  engine::PreservationMode mode = engine::PreservationMode::kImmediate;
+  SupplyFactory supply;
+  fault::OutageSchedule schedule;  // kNone = organic outages only
+  double write_ber = 0.0;
+  double read_ber = 0.0;
+  std::size_t inferences = 2;
+  bool telemetry = false;
+  std::uint64_t event_budget = fault::FaultInjector::kNoBudget;
+};
+
+struct RunOutcome {
+  std::size_t inferences_done = 0;
+  std::uint64_t logits_checksum = 0;
+  std::vector<float> last_logits;
+  std::string error;  // non-empty when the run aborted
+
+  double clock_us = 0.0;
+  std::uint64_t vm_epoch = 0;
+  device::DeviceStats device_stats;
+  power::PowerStats power_stats;
+
+  std::uint64_t events = 0;
+  std::uint64_t point_events[static_cast<std::size_t>(
+      power::FaultPoint::kPointCount)] = {};
+  std::uint64_t injected = 0;
+  std::vector<std::uint64_t> outage_ordinals;
+  telemetry::MetricsRegistry registry;
+};
+
+RunOutcome run_stack(const RunConfig& cfg, power::SimMode sim_mode) {
+  util::Rng rng(cfg.seed);
+  nn::Graph graph = cfg.multipath ? fault::make_multipath_graph(rng)
+                                  : fault::make_tiny_graph(rng);
+  const nn::Tensor calibration = fault::make_batch(rng, graph, 8);
+  const nn::Tensor samples = fault::make_batch(rng, graph, cfg.inferences);
+
+  device::Msp430Device device(device::DeviceConfig::msp430fr5994(),
+                              cfg.supply());
+  // Mode is set before deployment: the deployment's NVM writes are
+  // chargeable events too, and must fast-forward identically.
+  device.set_sim_mode(sim_mode);
+
+  engine::EngineConfig config;
+  config.mode = cfg.mode;
+  const bool corrupted = cfg.write_ber > 0.0 || cfg.read_ber > 0.0;
+  if (corrupted) {
+    config.integrity.protect_progress = true;
+    config.integrity.seal_regions = true;
+    config.integrity.scrub_on_boot = true;
+  }
+  engine::DeployedModel model(graph, config, device, calibration);
+
+  std::unique_ptr<device::CorruptionModel> corruption;
+  if (corrupted) {
+    device::CorruptionConfig cc;
+    cc.seed = cfg.seed ^ 0x9e3779b97f4a7c15ull;
+    cc.write_ber = cfg.write_ber;
+    cc.read_ber = cfg.read_ber;
+    corruption = std::make_unique<device::CorruptionModel>(cc);
+    device.nvm().set_corruption(corruption.get());
+  }
+
+  fault::FaultInjector injector(cfg.schedule);
+  injector.set_event_budget(cfg.event_budget);
+  device.set_fault_hook(&injector);
+
+  telemetry::RegistrySink sink;
+  if (cfg.telemetry) {
+    device.set_trace_sink(&sink);
+  }
+
+  engine::IntermittentEngine engine(model, device);
+
+  RunOutcome out;
+  try {
+    for (std::size_t i = 0; i < cfg.inferences; ++i) {
+      engine::InferenceResult inference =
+          engine.run(fault::slice_sample(samples, i));
+      if (!inference.stats.completed) {
+        out.error = "restart budget exceeded";
+        break;
+      }
+      util::Fnv1a digest;
+      digest.fold_u64(out.logits_checksum);
+      digest.fold_f32(inference.logits.data(), inference.logits.size());
+      out.logits_checksum = digest.value();
+      out.last_logits = std::move(inference.logits);
+      ++out.inferences_done;
+    }
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+
+  // Settle skipped hook ordinals before reading the injector's counters
+  // (a no-op in stepping mode).
+  device.sync_fault_events();
+
+  out.clock_us = device.now_us();
+  out.vm_epoch = device.vm_epoch();
+  out.device_stats = device.stats();
+  out.power_stats = device.power().stats();
+  out.events = injector.total_events();
+  for (std::size_t p = 0;
+       p < static_cast<std::size_t>(power::FaultPoint::kPointCount); ++p) {
+    out.point_events[p] =
+        injector.events_at(static_cast<power::FaultPoint>(p));
+  }
+  out.injected = injector.injected();
+  out.outage_ordinals = injector.outage_events();
+  device.set_fault_hook(nullptr);
+  if (cfg.telemetry) {
+    device.set_trace_sink(nullptr);
+    out.registry = sink.take_registry();
+  }
+  return out;
+}
+
+/// Every comparison below is exact — EXPECT_EQ on doubles is deliberate:
+/// the scheduler replays the oracle's arithmetic, not an approximation.
+void expect_identical(const RunOutcome& oracle, const RunOutcome& sched) {
+  EXPECT_EQ(sched.error, oracle.error);
+  EXPECT_EQ(sched.inferences_done, oracle.inferences_done);
+  EXPECT_EQ(sched.logits_checksum, oracle.logits_checksum);
+  ASSERT_EQ(sched.last_logits.size(), oracle.last_logits.size());
+  for (std::size_t i = 0; i < oracle.last_logits.size(); ++i) {
+    EXPECT_EQ(sched.last_logits[i], oracle.last_logits[i]) << "logit " << i;
+  }
+
+  EXPECT_EQ(sched.clock_us, oracle.clock_us);
+  EXPECT_EQ(sched.vm_epoch, oracle.vm_epoch);
+
+  const device::DeviceStats& od = oracle.device_stats;
+  const device::DeviceStats& sd = sched.device_stats;
+  EXPECT_EQ(sd.on_time_us, od.on_time_us);
+  EXPECT_EQ(sd.off_time_us, od.off_time_us);
+  EXPECT_EQ(sd.energy_j, od.energy_j);
+  EXPECT_EQ(sd.power_failures, od.power_failures);
+  EXPECT_EQ(sd.nvm_bytes_read, od.nvm_bytes_read);
+  EXPECT_EQ(sd.nvm_bytes_written, od.nvm_bytes_written);
+  EXPECT_EQ(sd.dma_commands, od.dma_commands);
+  EXPECT_EQ(sd.lea_invocations, od.lea_invocations);
+  EXPECT_EQ(sd.macs, od.macs);
+  for (std::size_t t = 0;
+       t < static_cast<std::size_t>(device::CostTag::kTagCount); ++t) {
+    EXPECT_EQ(sd.tag_time_us[t], od.tag_time_us[t]) << "tag " << t;
+  }
+
+  const power::PowerStats& op = oracle.power_stats;
+  const power::PowerStats& sp = sched.power_stats;
+  EXPECT_EQ(sp.power_failures, op.power_failures);
+  EXPECT_EQ(sp.injected_failures, op.injected_failures);
+  EXPECT_EQ(sp.harvested_j, op.harvested_j);
+  EXPECT_EQ(sp.consumed_j, op.consumed_j);
+  EXPECT_EQ(sp.wasted_j, op.wasted_j);
+  EXPECT_EQ(sp.off_time_s, op.off_time_s);
+
+  EXPECT_EQ(sched.events, oracle.events);
+  for (std::size_t p = 0;
+       p < static_cast<std::size_t>(power::FaultPoint::kPointCount); ++p) {
+    EXPECT_EQ(sched.point_events[p], oracle.point_events[p])
+        << power::fault_point_name(static_cast<power::FaultPoint>(p));
+  }
+  EXPECT_EQ(sched.injected, oracle.injected);
+  EXPECT_EQ(sched.outage_ordinals, oracle.outage_ordinals);
+
+  EXPECT_EQ(sched.registry.events_seen(), oracle.registry.events_seen());
+  for (std::size_t c = 0; c < telemetry::kEventClassCount; ++c) {
+    const auto cls = static_cast<telemetry::EventClass>(c);
+    EXPECT_EQ(sched.registry.for_class(cls).events,
+              oracle.registry.for_class(cls).events);
+    EXPECT_EQ(sched.registry.for_class(cls).energy_j,
+              oracle.registry.for_class(cls).energy_j);
+    EXPECT_EQ(sched.registry.for_class(cls).bytes,
+              oracle.registry.for_class(cls).bytes);
+    EXPECT_EQ(sched.registry.for_class(cls).macs,
+              oracle.registry.for_class(cls).macs);
+  }
+}
+
+void run_differential(const RunConfig& cfg) {
+  const RunOutcome oracle = run_stack(cfg, power::SimMode::kStepping);
+  const RunOutcome sched = run_stack(cfg, power::SimMode::kScheduler);
+  expect_identical(oracle, sched);
+}
+
+TEST(SchedulerDifferential, CleanContinuousSupply) {
+  RunConfig cfg;
+  cfg.seed = 11;
+  cfg.supply = power::SupplyPresets::continuous;
+  cfg.inferences = 3;
+  run_differential(cfg);
+}
+
+TEST(SchedulerDifferential, OrganicBrownoutsOnStarvedSupply) {
+  RunConfig cfg;
+  cfg.seed = 22;
+  cfg.mode = engine::PreservationMode::kTaskAtomic;
+  // 10 uW against a ~104 uJ buffer: recharge-dominated, many organic
+  // brown-outs whose ordinals and timing must replay exactly.
+  cfg.supply = [] {
+    return std::make_unique<power::ConstantSupply>(1e-5);
+  };
+  cfg.inferences = 4;
+  run_differential(cfg);
+}
+
+TEST(SchedulerDifferential, FixedScheduleWithTornWrites) {
+  RunConfig cfg;
+  cfg.seed = 33;
+  cfg.supply = power::SupplyPresets::strong;
+  cfg.schedule =
+      fault::OutageSchedule::at_events({40, 41, 500}).with_torn_keep(6);
+  run_differential(cfg);
+}
+
+TEST(SchedulerDifferential, EveryNthScheduleTornRandom) {
+  RunConfig cfg;
+  cfg.seed = 44;
+  cfg.mode = engine::PreservationMode::kTaskAtomic;
+  cfg.supply = power::SupplyPresets::strong;
+  // Random tears draw from the schedule RNG *after* each injection; the
+  // scheduler must keep that stream aligned across skipped windows.
+  cfg.schedule = fault::OutageSchedule::every_nth(300).with_torn_random();
+  run_differential(cfg);
+}
+
+TEST(SchedulerDifferential, AtWriteSchedule) {
+  RunConfig cfg;
+  cfg.seed = 55;
+  cfg.supply = power::SupplyPresets::strong;
+  cfg.schedule = fault::OutageSchedule::at_write(25);
+  run_differential(cfg);
+}
+
+TEST(SchedulerDifferential, CorruptionArmedIntegrityLayer) {
+  RunConfig cfg;
+  cfg.seed = 66;
+  cfg.mode = engine::PreservationMode::kTaskAtomic;
+  cfg.supply = power::SupplyPresets::strong;
+  cfg.schedule = fault::OutageSchedule::every_nth(450);
+  cfg.write_ber = 1e-6;  // arms protected progress + seals + boot scrub
+  cfg.inferences = 3;
+  run_differential(cfg);
+}
+
+TEST(SchedulerDifferential, SolarTraceSupply) {
+  RunConfig cfg;
+  cfg.seed = 77;
+  // Trace-driven harvest: segment boundaries + guard bands + the stepped
+  // recharge loop (the day curve starts at 0 W, so the run opens with a
+  // long recharge whose integration must match step for step).
+  cfg.supply = [] { return power::SupplyPresets::solar_day(8e-3, 0.5); };
+  cfg.inferences = 2;
+  run_differential(cfg);
+}
+
+TEST(SchedulerDifferential, TelemetryRegistriesExact) {
+  RunConfig cfg;
+  cfg.seed = 88;
+  cfg.supply = power::SupplyPresets::strong;
+  cfg.schedule = fault::OutageSchedule::every_nth(350);
+  cfg.telemetry = true;  // tracing disables grants: exact path, same spans
+  run_differential(cfg);
+}
+
+TEST(SchedulerDifferential, MultipathAccumulateMode) {
+  RunConfig cfg;
+  cfg.seed = 99;
+  cfg.multipath = true;
+  cfg.mode = engine::PreservationMode::kAccumulateInVm;
+  cfg.supply = power::SupplyPresets::weak;
+  run_differential(cfg);
+}
+
+TEST(SchedulerDifferential, EventBudgetAbortsAtTheSameOrdinal) {
+  RunConfig cfg;
+  cfg.seed = 111;
+  cfg.supply = power::SupplyPresets::strong;
+  // One tiny-model inference is ~172 hook events for this seed, so 250
+  // lands the watchdog abort in the middle of the second inference.
+  cfg.event_budget = 250;
+  const RunOutcome oracle = run_stack(cfg, power::SimMode::kStepping);
+  const RunOutcome sched = run_stack(cfg, power::SimMode::kScheduler);
+  ASSERT_FALSE(oracle.error.empty());
+  EXPECT_NE(oracle.error.find("event budget exhausted"), std::string::npos);
+  expect_identical(oracle, sched);
+}
+
+TEST(SchedulerDifferential, ModeSwitchMidRunStaysConsistent) {
+  // Switching stepping -> scheduler between inferences must settle all
+  // pending state and continue exactly (the fleet layer never does this
+  // mid-run, but the device API allows it).
+  RunConfig cfg;
+  cfg.seed = 123;
+  cfg.supply = power::SupplyPresets::strong;
+  cfg.schedule = fault::OutageSchedule::every_nth(400);
+  cfg.inferences = 2;
+
+  const RunOutcome oracle = run_stack(cfg, power::SimMode::kStepping);
+
+  util::Rng rng(cfg.seed);
+  nn::Graph graph = fault::make_tiny_graph(rng);
+  const nn::Tensor calibration = fault::make_batch(rng, graph, 8);
+  const nn::Tensor samples = fault::make_batch(rng, graph, cfg.inferences);
+  device::Msp430Device device(device::DeviceConfig::msp430fr5994(),
+                              cfg.supply());
+  engine::EngineConfig config;
+  config.mode = cfg.mode;
+  engine::DeployedModel model(graph, config, device, calibration);
+  fault::FaultInjector injector(cfg.schedule);
+  device.set_fault_hook(&injector);
+  engine::IntermittentEngine engine(model, device);
+
+  std::uint64_t checksum = 0;
+  for (std::size_t i = 0; i < cfg.inferences; ++i) {
+    device.set_sim_mode(i == 0 ? power::SimMode::kStepping
+                               : power::SimMode::kScheduler);
+    engine::InferenceResult inference =
+        engine.run(fault::slice_sample(samples, i));
+    ASSERT_TRUE(inference.stats.completed);
+    util::Fnv1a digest;
+    digest.fold_u64(checksum);
+    digest.fold_f32(inference.logits.data(), inference.logits.size());
+    checksum = digest.value();
+  }
+  device.sync_fault_events();
+  EXPECT_EQ(checksum, oracle.logits_checksum);
+  EXPECT_EQ(device.now_us(), oracle.clock_us);
+  EXPECT_EQ(injector.total_events(), oracle.events);
+  EXPECT_EQ(injector.outage_events(), oracle.outage_ordinals);
+}
+
+}  // namespace
+}  // namespace iprune::sim
