@@ -33,8 +33,10 @@
 //      integrity layer armed
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -56,6 +58,25 @@ int usage(const char* argv0) {
                "[--repro TOKEN] [--corrupt] [--scrub-only]\n",
                argv0);
   return 2;
+}
+
+/// Strict u64 CLI argument: the whole token must be digits ("24abc" used
+/// to silently parse as 24).
+std::uint64_t parse_u64_arg(const char* argv0, const char* flag,
+                            const char* token) {
+  std::size_t used = 0;
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(token, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used == 0 || token[used] != '\0') {
+    std::fprintf(stderr, "%s: %s needs an unsigned integer, got '%s'\n",
+                 argv0, flag, token);
+    std::exit(2);
+  }
+  return value;
 }
 
 struct Workbench {
@@ -297,9 +318,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--scrub-only") == 0) {
       scrub_only = true;
     } else if (std::strcmp(argv[i], "--random") == 0 && i + 1 < argc) {
-      random_count = static_cast<std::size_t>(std::stoul(argv[++i]));
+      random_count = static_cast<std::size_t>(
+          parse_u64_arg(argv[0], "--random", argv[++i]));
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      seed = std::stoull(argv[++i]);
+      seed = parse_u64_arg(argv[0], "--seed", argv[++i]);
     } else if (std::strcmp(argv[i], "--repro") == 0 && i + 1 < argc) {
       repro = argv[++i];
     } else {

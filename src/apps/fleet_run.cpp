@@ -17,8 +17,28 @@
 #include <string>
 
 #include "fleet/orchestrator.hpp"
+#include "scenario/scenario.hpp"
 
 namespace {
+
+/// Strict u64 CLI argument: the whole token must be digits ("5x" used to
+/// silently parse as 5).
+std::uint64_t parse_u64_arg(const char* argv0, const char* flag,
+                            const char* token) {
+  std::size_t used = 0;
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(token, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used == 0 || token[used] != '\0') {
+    std::fprintf(stderr, "%s: %s needs an unsigned integer, got '%s'\n",
+                 argv0, flag, token);
+    std::exit(2);
+  }
+  return value;
+}
 
 int usage(const char* argv0) {
   std::fprintf(
@@ -66,12 +86,13 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (std::strcmp(arg, "--devices") == 0) {
-      devices = static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+      devices =
+          static_cast<std::size_t>(parse_u64_arg(argv[0], arg, value()));
       have_devices = true;
     } else if (std::strcmp(arg, "--spec") == 0) {
       spec_path = value();
     } else if (std::strcmp(arg, "--seed") == 0) {
-      seed = std::strtoull(value(), nullptr, 10);
+      seed = parse_u64_arg(argv[0], arg, value());
       have_seed = true;
     } else if (std::strcmp(arg, "--smoke") == 0) {
       smoke = true;
@@ -98,7 +119,9 @@ int main(int argc, char** argv) {
             ? fleet::FleetSpec::load(spec_path)
             : fleet::FleetSpec::example(have_devices ? devices : 10);
     if (!spec_path.empty() && have_devices) {
-      spec = spec.with_devices(devices);
+      // Strict rescale: silently dropping a group scaled to zero devices
+      // would simulate a different fleet than the spec describes.
+      spec = scenario::rescale_strict(spec, devices);
     }
     if (have_seed) {
       spec.seed = seed;
@@ -110,6 +133,9 @@ int main(int argc, char** argv) {
     if (!sim_kind.empty()) {
       spec.sim = fleet::parse_sim_kind(sim_kind);
     }
+    // Post-flag validation: CLI overrides mutate the parsed spec, so the
+    // parse-time range checks alone no longer cover what actually runs.
+    scenario::validate_fleet(spec);
     if (print_spec) {
       std::fputs(spec.describe().c_str(), stdout);
       return 0;

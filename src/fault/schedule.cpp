@@ -253,7 +253,13 @@ OutageSchedule OutageSchedule::parse(const std::string& text) {
     if (fields.size() != 1) {
       parse_error(text, "every takes a single period");
     }
-    s = every_nth(parse_u64(text, fields[0]));
+    const std::uint64_t period = parse_u64(text, fields[0]);
+    if (period == 0) {
+      // Raised here, not left to every_nth(): every parse failure carries
+      // the canonical "OutageSchedule::parse: ... in \"<text>\"" shape.
+      parse_error(text, "period must be >= 1");
+    }
+    s = every_nth(period);
   } else if (head == "random") {
     if (fields.size() != 2 || fields[0].rfind("seed=", 0) != 0 ||
         fields[1].rfind("p=", 0) != 0) {

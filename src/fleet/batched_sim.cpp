@@ -66,8 +66,12 @@ std::vector<DeviceResult> run_standalone(std::span<const DeviceSpec> specs) {
 }  // namespace
 
 bool batched_eligible(const DeviceSpec& spec) {
+  // integrity=on arms the CRC/scrub layer on a clean device, which is
+  // outside the lockstep envelope (MemberStack deploys without it) — such
+  // devices fall back to the standalone per-device path.
   return spec.schedule.mode != fault::ScheduleMode::kRandom &&
-         spec.write_ber == 0.0 && spec.read_ber == 0.0 && !spec.telemetry;
+         spec.write_ber == 0.0 && spec.read_ber == 0.0 && !spec.telemetry &&
+         spec.integrity != IntegrityMode::kOn;
 }
 
 std::vector<DeviceResult> run_cohort(std::span<const DeviceSpec> specs) {

@@ -50,7 +50,14 @@ DeviceSim::DeviceSim(const DeviceSpec& spec)
   engine::EngineConfig config;
   config.mode = spec_.mode;
   const bool corrupted = spec_.write_ber > 0.0 || spec_.read_ber > 0.0;
-  if (corrupted) {
+  // kAuto arms the integrity layer exactly when corruption is injected;
+  // kOn forces it on clean devices too (overhead measurement), kOff runs
+  // corrupted devices as the unprotected baseline (silent divergence is
+  // the expected — and deterministic — outcome).
+  const bool protect =
+      spec_.integrity == IntegrityMode::kOn ||
+      (spec_.integrity == IntegrityMode::kAuto && corrupted);
+  if (protect) {
     config.integrity.protect_progress = true;
     config.integrity.seal_regions = true;
     config.integrity.scrub_on_boot = true;

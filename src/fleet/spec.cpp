@@ -1,5 +1,6 @@
 #include "fleet/spec.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -147,6 +148,47 @@ PowerProfile PowerProfile::solar(double peak_w, double day_s) {
   return p;
 }
 
+PowerProfile PowerProfile::rf(double burst_w, double period_s, double duty) {
+  PowerProfile p;
+  p.kind = Kind::kRf;
+  p.watts = burst_w;
+  p.period_s = period_s;
+  p.duty = duty;
+  return p;
+}
+
+PowerProfile PowerProfile::kinetic(double impulse_w, double period_s,
+                                   std::uint64_t steps, double decay) {
+  PowerProfile p;
+  p.kind = Kind::kKinetic;
+  p.watts = impulse_w;
+  p.period_s = period_s;
+  p.steps = steps;
+  p.decay = decay;
+  return p;
+}
+
+PowerProfile PowerProfile::indoor(double lit_w, double dim_w,
+                                  double period_s, double duty) {
+  PowerProfile p;
+  p.kind = Kind::kIndoor;
+  p.watts = lit_w;
+  p.dim_w = dim_w;
+  p.period_s = period_s;
+  p.duty = duty;
+  return p;
+}
+
+PowerProfile PowerProfile::diurnal(double peak_w, double day_s,
+                                   double daylight) {
+  PowerProfile p;
+  p.kind = Kind::kDiurnal;
+  p.peak_w = peak_w;
+  p.day_s = day_s;
+  p.duty = daylight;
+  return p;
+}
+
 std::unique_ptr<power::PowerSupply> PowerProfile::make() const {
   switch (kind) {
     case Kind::kContinuous:
@@ -159,6 +201,81 @@ std::unique_ptr<power::PowerSupply> PowerProfile::make() const {
       return std::make_unique<power::ConstantSupply>(watts);
     case Kind::kSolar:
       return power::SupplyPresets::solar_day(peak_w, day_s);
+    case Kind::kRf:
+      return std::make_unique<power::RfSupply>(watts, period_s, duty);
+    case Kind::kKinetic:
+      return std::make_unique<power::KineticSupply>(
+          watts, period_s, static_cast<std::size_t>(steps), decay);
+    case Kind::kIndoor:
+      return std::make_unique<power::IndoorSolarSupply>(watts, dim_w,
+                                                        period_s, duty);
+    case Kind::kDiurnal:
+      return std::make_unique<power::DiurnalSupply>(peak_w, day_s, duty);
+  }
+  throw std::logic_error("fleet spec: bad power profile kind");
+}
+
+namespace {
+
+[[noreturn]] void supply_range_error(const std::string& field,
+                                     const std::string& constraint) {
+  throw std::invalid_argument("fleet spec: supply " + field + " must be " +
+                              constraint);
+}
+
+void require_positive(double value, const std::string& field) {
+  if (!std::isfinite(value) || value <= 0.0) {
+    supply_range_error(field, "finite and > 0");
+  }
+}
+
+void require_fraction(double value, const std::string& field) {
+  if (!std::isfinite(value) || value <= 0.0 || value > 1.0) {
+    supply_range_error(field, "in (0, 1]");
+  }
+}
+
+}  // namespace
+
+void PowerProfile::validate() const {
+  switch (kind) {
+    case Kind::kContinuous:
+    case Kind::kStrong:
+    case Kind::kWeak:
+      return;
+    case Kind::kConstant:
+      require_positive(watts, "watts");
+      return;
+    case Kind::kSolar:
+      require_positive(peak_w, "solar peak_w");
+      require_positive(day_s, "solar day_s");
+      return;
+    case Kind::kRf:
+      require_positive(watts, "rf burst_w");
+      require_positive(period_s, "rf period_s");
+      require_fraction(duty, "rf duty");
+      return;
+    case Kind::kKinetic:
+      require_positive(watts, "kinetic impulse_w");
+      require_positive(period_s, "kinetic period_s");
+      require_fraction(decay, "kinetic decay");
+      if (steps == 0 || steps > 4096) {
+        supply_range_error("kinetic steps", "in [1, 4096]");
+      }
+      return;
+    case Kind::kIndoor:
+      require_positive(watts, "indoor lit_w");
+      require_positive(period_s, "indoor period_s");
+      require_fraction(duty, "indoor duty");
+      if (!std::isfinite(dim_w) || dim_w < 0.0 || dim_w > watts) {
+        supply_range_error("indoor dim_w", "in [0, lit_w]");
+      }
+      return;
+    case Kind::kDiurnal:
+      require_positive(peak_w, "diurnal peak_w");
+      require_positive(day_s, "diurnal day_s");
+      require_fraction(duty, "diurnal daylight");
+      return;
   }
   throw std::logic_error("fleet spec: bad power profile kind");
 }
@@ -175,35 +292,124 @@ std::string PowerProfile::describe() const {
       return "const:" + format_g17(watts);
     case Kind::kSolar:
       return "solar:" + format_g17(peak_w) + ":" + format_g17(day_s);
+    case Kind::kRf:
+      return "rf:" + format_g17(watts) + ":" + format_g17(period_s) + ":" +
+             format_g17(duty);
+    case Kind::kKinetic:
+      return "kinetic:" + format_g17(watts) + ":" + format_g17(period_s) +
+             ":" + std::to_string(steps) + ":" + format_g17(decay);
+    case Kind::kIndoor:
+      return "indoor:" + format_g17(watts) + ":" + format_g17(dim_w) + ":" +
+             format_g17(period_s) + ":" + format_g17(duty);
+    case Kind::kDiurnal:
+      return "diurnal:" + format_g17(peak_w) + ":" + format_g17(day_s) +
+             ":" + format_g17(duty);
   }
   return "?";
 }
 
-PowerProfile PowerProfile::parse(const std::string& text) {
-  if (text == "continuous") {
-    return continuous();
-  }
-  if (text == "strong") {
-    return strong();
-  }
-  if (text == "weak") {
-    return weak();
-  }
-  if (text.rfind("const:", 0) == 0) {
-    return constant(parse_double(text.substr(6), "supply watts"));
-  }
-  if (text.rfind("solar:", 0) == 0) {
-    const std::string rest = text.substr(6);
-    const std::size_t colon = rest.find(':');
+namespace {
+
+/// Split "a:b:c" into exactly `arity` parts; throws naming the supply
+/// form when the arity is wrong.
+std::vector<std::string> supply_args(const std::string& text,
+                                     const std::string& rest,
+                                     std::size_t arity,
+                                     const std::string& form) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= rest.size()) {
+    const std::size_t colon = rest.find(':', begin);
     if (colon == std::string::npos) {
-      throw std::invalid_argument(
-          "fleet spec: solar supply needs solar:<peak_w>:<day_s>, got '" +
-          text + "'");
+      parts.push_back(rest.substr(begin));
+      break;
     }
-    return solar(parse_double(rest.substr(0, colon), "solar peak_w"),
-                 parse_double(rest.substr(colon + 1), "solar day_s"));
+    parts.push_back(rest.substr(begin, colon - begin));
+    begin = colon + 1;
   }
-  throw std::invalid_argument("fleet spec: unknown supply '" + text + "'");
+  if (parts.size() != arity) {
+    throw std::invalid_argument("fleet spec: supply needs " + form +
+                                ", got '" + text + "'");
+  }
+  return parts;
+}
+
+}  // namespace
+
+PowerProfile PowerProfile::parse(const std::string& text) {
+  PowerProfile profile;
+  if (text == "continuous") {
+    profile = continuous();
+  } else if (text == "strong") {
+    profile = strong();
+  } else if (text == "weak") {
+    profile = weak();
+  } else if (text.rfind("const:", 0) == 0) {
+    profile = constant(parse_double(text.substr(6), "supply watts"));
+  } else if (text.rfind("solar:", 0) == 0) {
+    const auto args = supply_args(text, text.substr(6), 2,
+                                  "solar:<peak_w>:<day_s>");
+    profile = solar(parse_double(args[0], "solar peak_w"),
+                    parse_double(args[1], "solar day_s"));
+  } else if (text.rfind("rf:", 0) == 0) {
+    const auto args = supply_args(text, text.substr(3), 3,
+                                  "rf:<burst_w>:<period_s>:<duty>");
+    profile = rf(parse_double(args[0], "rf burst_w"),
+                 parse_double(args[1], "rf period_s"),
+                 parse_double(args[2], "rf duty"));
+  } else if (text.rfind("kinetic:", 0) == 0) {
+    const auto args =
+        supply_args(text, text.substr(8), 4,
+                    "kinetic:<impulse_w>:<period_s>:<steps>:<decay>");
+    profile = kinetic(parse_double(args[0], "kinetic impulse_w"),
+                      parse_double(args[1], "kinetic period_s"),
+                      parse_u64(args[2], "kinetic steps"),
+                      parse_double(args[3], "kinetic decay"));
+  } else if (text.rfind("indoor:", 0) == 0) {
+    const auto args =
+        supply_args(text, text.substr(7), 4,
+                    "indoor:<lit_w>:<dim_w>:<period_s>:<duty>");
+    profile = indoor(parse_double(args[0], "indoor lit_w"),
+                     parse_double(args[1], "indoor dim_w"),
+                     parse_double(args[2], "indoor period_s"),
+                     parse_double(args[3], "indoor duty"));
+  } else if (text.rfind("diurnal:", 0) == 0) {
+    const auto args = supply_args(text, text.substr(8), 3,
+                                  "diurnal:<peak_w>:<day_s>:<daylight>");
+    profile = diurnal(parse_double(args[0], "diurnal peak_w"),
+                      parse_double(args[1], "diurnal day_s"),
+                      parse_double(args[2], "diurnal daylight"));
+  } else {
+    throw std::invalid_argument("fleet spec: unknown supply '" + text + "'");
+  }
+  profile.validate();
+  return profile;
+}
+
+const char* integrity_mode_name(IntegrityMode mode) {
+  switch (mode) {
+    case IntegrityMode::kAuto:
+      return "auto";
+    case IntegrityMode::kOn:
+      return "on";
+    case IntegrityMode::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+IntegrityMode parse_integrity_mode(const std::string& name) {
+  if (name == "auto") {
+    return IntegrityMode::kAuto;
+  }
+  if (name == "on") {
+    return IntegrityMode::kOn;
+  }
+  if (name == "off") {
+    return IntegrityMode::kOff;
+  }
+  throw std::invalid_argument("fleet spec: unknown integrity mode '" + name +
+                              "'");
 }
 
 std::string DeviceGroup::describe() const {
@@ -219,6 +425,9 @@ std::string DeviceGroup::describe() const {
   }
   if (read_ber != 0.0) {
     out += " read_ber=" + format_g17(read_ber);
+  }
+  if (integrity != IntegrityMode::kAuto) {
+    out += " integrity=" + std::string(integrity_mode_name(integrity));
   }
   return out;
 }
@@ -244,6 +453,8 @@ DeviceGroup DeviceGroup::parse(const std::string& text) {
       group.write_ber = parse_double(value, "write_ber");
     } else if (key == "read_ber") {
       group.read_ber = parse_double(value, "read_ber");
+    } else if (key == "integrity") {
+      group.integrity = parse_integrity_mode(value);
     } else {
       throw std::invalid_argument("fleet spec: unknown group field '" + key +
                                   "'");
@@ -333,6 +544,7 @@ std::vector<DeviceSpec> FleetSpec::resolve() const {
       d.power = group.power;
       d.write_ber = group.write_ber;
       d.read_ber = group.read_ber;
+      d.integrity = group.integrity;
       d.model_seed = fleet_rng.next_u64();
       d.stream_seed = util::splitmix64_at(seed, index);
       d.schedule = group.schedule;

@@ -55,28 +55,65 @@ struct PowerProfile {
     kWeak,        // 4 mW harvest
     kConstant,    // explicit watts
     kSolar,       // day-curve peaking at peak_w over day_s seconds
+    kRf,          // RF bursts: burst_w for duty of every period_s
+    kKinetic,     // decaying impulse train (steps slots, decay ratio)
+    kIndoor,      // office lighting: lit watts for duty, dim floor after
+    kDiurnal,     // sin^2 day arc + night, daylight fraction of day_s
   };
 
   Kind kind = Kind::kStrong;
-  double watts = 0.0;   // kConstant only
-  double peak_w = 0.0;  // kSolar only
-  double day_s = 0.0;   // kSolar only
+  double watts = 0.0;     // kConstant / kRf burst / kKinetic impulse /
+                          // kIndoor lit watts
+  double peak_w = 0.0;    // kSolar / kDiurnal peak watts
+  double day_s = 0.0;     // kSolar / kDiurnal day length
+  double period_s = 0.0;  // kRf / kKinetic / kIndoor cycle length
+  double duty = 0.0;      // kRf / kIndoor on-fraction, kDiurnal daylight
+  double dim_w = 0.0;     // kIndoor lights-off floor
+  double decay = 0.0;     // kKinetic per-slot decay ratio
+  std::uint64_t steps = 0;  // kKinetic impulse slots
 
   static PowerProfile continuous();
   static PowerProfile strong();
   static PowerProfile weak();
   static PowerProfile constant(double watts);
   static PowerProfile solar(double peak_w, double day_s);
+  static PowerProfile rf(double burst_w, double period_s, double duty);
+  static PowerProfile kinetic(double impulse_w, double period_s,
+                              std::uint64_t steps, double decay);
+  static PowerProfile indoor(double lit_w, double dim_w, double period_s,
+                             double duty);
+  static PowerProfile diurnal(double peak_w, double day_s, double daylight);
 
   /// Instantiate the power::PowerSupply this profile describes.
+  /// Requires validate() to hold.
   [[nodiscard]] std::unique_ptr<power::PowerSupply> make() const;
 
-  /// "continuous" | "strong" | "weak" | "const:<w>" | "solar:<peak>:<day>".
+  /// Range-check every parameter of the active kind; throws
+  /// std::invalid_argument with a "fleet spec: supply ..." message naming
+  /// the offending field. parse() and the scenario validator both call
+  /// this, so a profile that parses (or validates) always make()s.
+  void validate() const;
+
+  /// "continuous" | "strong" | "weak" | "const:<w>" | "solar:<peak>:<day>"
+  /// | "rf:<burst>:<period>:<duty>" | "kinetic:<w>:<period>:<steps>:<decay>"
+  /// | "indoor:<lit>:<dim>:<period>:<duty>" | "diurnal:<peak>:<day>:<frac>".
   [[nodiscard]] std::string describe() const;
   static PowerProfile parse(const std::string& text);
 
   bool operator==(const PowerProfile& other) const = default;
 };
+
+/// Whether a device arms the engine's NVM integrity layer (CRC-protected
+/// progress records, sealed regions, boot scrub).
+enum class IntegrityMode : std::uint8_t {
+  kAuto,  // armed iff the group injects NVM corruption (the default)
+  kOn,    // always armed
+  kOff,   // never armed — corrupted groups run as the unprotected
+          // baseline and may serve silently-wrong logits by design
+};
+
+const char* integrity_mode_name(IntegrityMode mode);
+IntegrityMode parse_integrity_mode(const std::string& name);
 
 /// One homogeneous slice of the fleet.
 struct DeviceGroup {
@@ -90,11 +127,14 @@ struct DeviceGroup {
   /// are re-seeded per device (seed XOR the device's splitmix stream) so
   /// group members fail at different, deterministic points.
   fault::OutageSchedule schedule;
-  /// NVM corruption (0 = perfect memory). Any non-zero rate arms the
-  /// engine's integrity layer (protected progress + sealed regions +
-  /// boot scrub) — an unprotected corrupted fleet reports silent garbage.
+  /// NVM corruption (0 = perfect memory). Under IntegrityMode::kAuto any
+  /// non-zero rate arms the engine's integrity layer (protected progress
+  /// + sealed regions + boot scrub) — an unprotected corrupted fleet
+  /// reports silent garbage.
   double write_ber = 0.0;
   double read_ber = 0.0;
+  /// Integrity-layer override (kAuto = armed iff corruption is injected).
+  IntegrityMode integrity = IntegrityMode::kAuto;
 
   [[nodiscard]] std::string describe() const;
   static DeviceGroup parse(const std::string& text);
@@ -114,6 +154,7 @@ struct DeviceSpec {
   fault::OutageSchedule schedule;  // per-device seed already applied
   double write_ber = 0.0;
   double read_ber = 0.0;
+  IntegrityMode integrity = IntegrityMode::kAuto;
   /// Seed of the device's model/sample Rng stream, drawn from the fleet
   /// Rng in device-index order (Rng::split semantics: the child stream is
   /// Rng(parent.next_u64())).

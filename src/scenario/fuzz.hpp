@@ -1,0 +1,58 @@
+#pragma once
+// Seeded scenario fuzzer + greedy ddmin shrinker.
+//
+// random_scenario(config, i) is a pure function of (config.seed, i): the
+// i-th document of a seed stream is identical across runs, machines, and
+// lane counts, so `scenario_fuzz --seed S --count N` is a reproducible
+// campaign and any failure can be regenerated from its index alone.
+//
+// Generated scenarios are always valid (validate() holds by construction)
+// and bounded so every check terminates: forced-outage schedules carry an
+// explicit max_outages cap, harvest profiles keep enough average power to
+// recharge the buffer, and fleets stay small (a few devices, 1-2
+// inferences) — the point is schema coverage, not scale.
+//
+// shrink_scenario() minimizes a failing document: greedy passes drop
+// groups, reset scenario fields to their defaults, and reset group fields
+// to their defaults, keeping any candidate for which `still_fails` holds,
+// until a fixpoint (or the attempt budget) is reached. Candidates are
+// generated deterministically, so the shrunk repro is stable too.
+
+#include <cstdint>
+#include <functional>
+
+#include "scenario/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace iprune::scenario {
+
+struct FuzzConfig {
+  std::uint64_t seed = 1;
+  std::size_t max_groups = 3;
+  std::size_t max_count = 3;  // devices per group
+  std::size_t max_inferences = 2;
+};
+
+/// Individual generators (exposed for the round-trip property tests).
+/// Every value produced round-trips exactly through the describe()/parse()
+/// pair of its type.
+fleet::PowerProfile random_power_profile(util::Rng& rng);
+fault::OutageSchedule random_schedule(util::Rng& rng);
+fleet::DeviceGroup random_group(util::Rng& rng, std::size_t index,
+                                const FuzzConfig& config);
+fleet::FleetSpec random_fleet_spec(util::Rng& rng, const FuzzConfig& config);
+
+/// The i-th random scenario of the config's seed stream. Named
+/// "fuzz-<seed>-<index>"; validate() always holds.
+Scenario random_scenario(const FuzzConfig& config, std::uint64_t index);
+
+/// Greedy deterministic shrink. Returns the smallest (by schema_fields())
+/// scenario reached from `failing` for which still_fails() returned true;
+/// every candidate is validated before the predicate sees it, and at most
+/// `max_attempts` predicate evaluations are spent.
+Scenario shrink_scenario(
+    const Scenario& failing,
+    const std::function<bool(const Scenario&)>& still_fails,
+    std::size_t max_attempts = 256);
+
+}  // namespace iprune::scenario

@@ -1,0 +1,536 @@
+#include "scenario/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace iprune::scenario {
+
+namespace {
+
+[[noreturn]] void type_error(const std::string& what,
+                             const std::string& detail) {
+  throw std::invalid_argument("scenario json: expected " + what + ", got " +
+                              detail);
+}
+
+/// Cursor over the source text tracking 1-based line/column for
+/// diagnostics.
+class Reader {
+ public:
+  explicit Reader(const std::string& text) : text_(text) {}
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("scenario json: " + why + " at line " +
+                                std::to_string(line_) + " column " +
+                                std::to_string(column_));
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+
+  [[nodiscard]] char peek() const {
+    if (eof()) {
+      fail("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void skip_whitespace() {
+    while (!eof()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+        break;
+      }
+      (void)take();
+    }
+  }
+
+  void expect(char c, const char* what) {
+    skip_whitespace();
+    if (eof() || peek() != c) {
+      fail(std::string("expected ") + what);
+    }
+    (void)take();
+  }
+
+  Json parse_value() {
+    skip_whitespace();
+    if (eof()) {
+      fail("unexpected end of input");
+    }
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Json::string(parse_string());
+      case 't':
+      case 'f':
+        return parse_bool();
+      case 'n':
+        parse_literal("null");
+        return Json::null();
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) {
+          return Json::number_raw(parse_number());
+        }
+        fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+ private:
+  void parse_literal(const char* literal) {
+    for (const char* p = literal; *p != '\0'; ++p) {
+      if (eof() || peek() != *p) {
+        fail(std::string("expected '") + literal + "'");
+      }
+      (void)take();
+    }
+  }
+
+  Json parse_bool() {
+    if (peek() == 't') {
+      parse_literal("true");
+      return Json::boolean(true);
+    }
+    parse_literal("false");
+    return Json::boolean(false);
+  }
+
+  std::string parse_string() {
+    expect('"', "'\"'");
+    std::string out;
+    while (true) {
+      if (eof()) {
+        fail("unterminated string");
+      }
+      const char c = take();
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) {
+        fail("unterminated string");
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        default:
+          // \uXXXX is deliberately unsupported: the schema is ASCII and a
+          // loud error beats silently mangled identifiers.
+          fail(std::string("unsupported escape '\\") + esc + "'");
+      }
+    }
+  }
+
+  std::string parse_number() {
+    std::string out;
+    const auto take_digits = [&] {
+      if (eof() || peek() < '0' || peek() > '9') {
+        fail("malformed number");
+      }
+      while (!eof() && peek() >= '0' && peek() <= '9') {
+        out += take();
+      }
+    };
+    if (peek() == '-') {
+      out += take();
+    }
+    take_digits();
+    if (!eof() && peek() == '.') {
+      out += take();
+      take_digits();
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      out += take();
+      if (!eof() && (peek() == '+' || peek() == '-')) {
+        out += take();
+      }
+      take_digits();
+    }
+    return out;
+  }
+
+  Json parse_array() {
+    expect('[', "'['");
+    Json out = Json::array();
+    skip_whitespace();
+    if (!eof() && peek() == ']') {
+      (void)take();
+      return out;
+    }
+    while (true) {
+      out.push(parse_value());
+      skip_whitespace();
+      if (eof()) {
+        fail("unterminated array");
+      }
+      const char c = take();
+      if (c == ']') {
+        return out;
+      }
+      if (c != ',') {
+        fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  Json parse_object() {
+    expect('{', "'{'");
+    Json out = Json::object();
+    skip_whitespace();
+    if (!eof() && peek() == '}') {
+      (void)take();
+      return out;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      if (out.get(key) != nullptr) {
+        fail("duplicate key \"" + key + "\"");
+      }
+      expect(':', "':'");
+      out.set(std::move(key), parse_value());
+      skip_whitespace();
+      if (eof()) {
+        fail("unterminated object");
+      }
+      const char c = take();
+      if (c == '}') {
+        return out;
+      }
+      if (c != ',') {
+        fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+void write_escaped(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Json Json::null() { return {}; }
+
+Json Json::boolean(bool value) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = value;
+  return j;
+}
+
+Json Json::number_raw(std::string literal) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.scalar_ = std::move(literal);
+  return j;
+}
+
+Json Json::number(std::uint64_t value) {
+  return number_raw(std::to_string(value));
+}
+
+Json Json::number(std::int64_t value) {
+  return number_raw(std::to_string(value));
+}
+
+Json Json::number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return number_raw(buf);
+}
+
+Json Json::string(std::string value) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.scalar_ = std::move(value);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+const char* Json::kind_name() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return "bool";
+    case Kind::kNumber:
+      return "number";
+    case Kind::kString:
+      return "string";
+    case Kind::kArray:
+      return "array";
+    case Kind::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::kBool) {
+    type_error("bool", kind_name());
+  }
+  return bool_;
+}
+
+std::uint64_t Json::as_u64() const {
+  if (kind_ != Kind::kNumber) {
+    type_error("integer", kind_name());
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long value = std::strtoull(scalar_.c_str(), &end, 10);
+  if (end != scalar_.c_str() + scalar_.size() || scalar_.empty() ||
+      scalar_[0] == '-' || errno == ERANGE) {
+    type_error("unsigned integer", "'" + scalar_ + "'");
+  }
+  return value;
+}
+
+std::size_t Json::as_size() const {
+  return static_cast<std::size_t>(as_u64());
+}
+
+double Json::as_double() const {
+  if (kind_ != Kind::kNumber) {
+    type_error("number", kind_name());
+  }
+  char* end = nullptr;
+  const double value = std::strtod(scalar_.c_str(), &end);
+  if (end != scalar_.c_str() + scalar_.size() || scalar_.empty()) {
+    type_error("number", "'" + scalar_ + "'");
+  }
+  return value;
+}
+
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::kString) {
+    type_error("string", kind_name());
+  }
+  return scalar_;
+}
+
+const std::vector<Json>& Json::items() const {
+  if (kind_ != Kind::kArray) {
+    type_error("array", kind_name());
+  }
+  return items_;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  if (kind_ != Kind::kObject) {
+    type_error("object", kind_name());
+  }
+  return members_;
+}
+
+const std::string& Json::literal() const {
+  if (kind_ != Kind::kNumber) {
+    type_error("number", kind_name());
+  }
+  return scalar_;
+}
+
+const Json* Json::get(const std::string& key) const {
+  if (kind_ != Kind::kObject) {
+    type_error("object", kind_name());
+  }
+  for (const auto& [name, value] : members_) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+void Json::set(std::string key, Json value) {
+  if (kind_ != Kind::kObject) {
+    type_error("object", kind_name());
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+void Json::push(Json value) {
+  if (kind_ != Kind::kArray) {
+    type_error("array", kind_name());
+  }
+  items_.push_back(std::move(value));
+}
+
+void Json::write_to(std::string& out, std::size_t indent) const {
+  const std::string pad(indent * 2, ' ');
+  const std::string inner_pad((indent + 1) * 2, ' ');
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::kNumber:
+      out += scalar_;
+      return;
+    case Kind::kString:
+      write_escaped(out, scalar_);
+      return;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        return;
+      }
+      // Arrays of scalars stay on one line; arrays holding any container
+      // break one item per line (the groups list).
+      bool nested = false;
+      for (const Json& item : items_) {
+        nested = nested || item.kind_ == Kind::kArray ||
+                 item.kind_ == Kind::kObject;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+          if (!nested) {
+            out += ' ';
+          }
+        }
+        if (nested) {
+          out += '\n';
+          out += inner_pad;
+        }
+        items_[i].write_to(out, indent + 1);
+      }
+      if (nested) {
+        out += '\n';
+        out += pad;
+      }
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        out += '\n';
+        out += inner_pad;
+        write_escaped(out, members_[i].first);
+        out += ": ";
+        members_[i].second.write_to(out, indent + 1);
+      }
+      out += '\n';
+      out += pad;
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::write() const {
+  std::string out;
+  write_to(out, 0);
+  out += '\n';
+  return out;
+}
+
+Json Json::parse(const std::string& text) {
+  Reader reader(text);
+  Json value = reader.parse_value();
+  reader.skip_whitespace();
+  if (!reader.eof()) {
+    reader.fail("trailing content after document");
+  }
+  return value;
+}
+
+}  // namespace iprune::scenario

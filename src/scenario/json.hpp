@@ -1,0 +1,96 @@
+#pragma once
+// Minimal JSON for the scenario schema — no external dependency, exact
+// diagnostics.
+//
+// Two properties matter more than generality:
+//   1. Numbers are kept as their literal source text and converted on
+//      demand (as_u64 / as_double / as_size), so 64-bit seeds round-trip
+//      losslessly — a double would silently truncate anything past 2^53.
+//   2. Every parse error carries the 1-based line and column of the
+//      offending byte ("scenario json: <why> at line L column C"), which
+//      the schema tests pin verbatim.
+//
+// Objects preserve insertion order, so a written document has a stable,
+// canonical key order and describe()/parse() round-trips byte-for-byte.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace iprune::scenario {
+
+class Json {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Json() = default;
+
+  static Json null();
+  static Json boolean(bool value);
+  /// Stores the literal token; the caller guarantees it is a valid JSON
+  /// number (the writers below always are).
+  static Json number_raw(std::string literal);
+  static Json number(std::uint64_t value);
+  static Json number(std::int64_t value);
+  /// %.17g — shortest form that round-trips the exact double.
+  static Json number(double value);
+  static Json string(std::string value);
+  static Json array();
+  static Json object();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] const char* kind_name() const;
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Typed accessors. Each throws std::invalid_argument naming the actual
+  /// kind (and, for numbers, the offending literal) when the value does
+  /// not convert: "scenario json: expected <what>, got <detail>".
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::uint64_t as_u64() const;
+  [[nodiscard]] std::size_t as_size() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Json>& items() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const;
+  /// The raw number literal (numbers only).
+  [[nodiscard]] const std::string& literal() const;
+
+  /// Object helpers. get() returns nullptr when the key is absent;
+  /// push/set build documents for the writer.
+  [[nodiscard]] const Json* get(const std::string& key) const;
+  void set(std::string key, Json value);
+  void push(Json value);
+
+  /// Render with 2-space indentation and '\n' separators; objects keep
+  /// insertion order. The inverse of parse() for every value this class
+  /// can hold.
+  [[nodiscard]] std::string write() const;
+
+  /// Parse one JSON document (trailing content after the value is an
+  /// error). Throws std::invalid_argument:
+  ///   "scenario json: <why> at line <l> column <c>"
+  static Json parse(const std::string& text);
+
+  bool operator==(const Json& other) const = default;
+
+ private:
+  void write_to(std::string& out, std::size_t indent) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string scalar_;  // number literal or string payload
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace iprune::scenario

@@ -1,0 +1,266 @@
+#include "scenario/runner.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "fault/checker.hpp"
+#include "fault/integrity.hpp"
+#include "fault/testbed.hpp"
+#include "fleet/orchestrator.hpp"
+#include "util/splitmix.hpp"
+
+namespace iprune::scenario {
+
+namespace {
+
+constexpr std::size_t kCalibrationSamples = 8;
+
+std::string hex_digest(std::uint64_t digest) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, digest);
+  return buf;
+}
+
+std::uint64_t run_digest(const Scenario& scenario, fleet::SimKind sim,
+                         runtime::ThreadPool* pool,
+                         fleet::MetricsGateway* gateway,
+                         fleet::FleetResult* out = nullptr) {
+  const fleet::FleetOrchestrator orchestrator(scenario.to_fleet(sim));
+  fleet::FleetResult result = orchestrator.run(pool, gateway);
+  const std::uint64_t digest = result.checksum;
+  if (out != nullptr) {
+    *out = std::move(result);
+  }
+  return digest;
+}
+
+/// Shared testbed for the differential checkers: one deterministic
+/// (graph, calibration, sample) triple per model kind, seeded from the
+/// scenario seed so a scenario document fully determines every replay.
+struct Testbed {
+  nn::Graph graph;
+  nn::Tensor calibration;
+  nn::Tensor sample;
+};
+
+Testbed make_testbed(fleet::ModelKind model, std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Graph graph = model == fleet::ModelKind::kTiny
+                        ? fault::make_tiny_graph(rng)
+                        : fault::make_multipath_graph(rng);
+  nn::Tensor calibration =
+      fault::make_batch(rng, graph, kCalibrationSamples);
+  nn::Tensor batch = fault::make_batch(rng, graph, 1);
+  nn::Tensor sample = fault::slice_sample(batch, 0);
+  return {std::move(graph), std::move(calibration), std::move(sample)};
+}
+
+CheckOutcome check_sim_digest(const Scenario& scenario,
+                              const std::vector<fleet::SimKind>& sims,
+                              std::uint64_t reference,
+                              runtime::ThreadPool* pool) {
+  CheckOutcome outcome{Check::kSimDigest, true, ""};
+  for (std::size_t i = 1; i < sims.size(); ++i) {
+    const std::uint64_t digest =
+        run_digest(scenario, sims[i], pool, nullptr);
+    if (digest != reference) {
+      outcome.passed = false;
+      if (!outcome.detail.empty()) {
+        outcome.detail += "; ";
+      }
+      outcome.detail += std::string(fleet::sim_kind_name(sims[i])) + "=" +
+                        hex_digest(digest) + " != " +
+                        fleet::sim_kind_name(sims[0]) + "=" +
+                        hex_digest(reference);
+    }
+  }
+  return outcome;
+}
+
+CheckOutcome check_lane_determinism(const Scenario& scenario,
+                                    fleet::SimKind sim,
+                                    std::uint64_t reference) {
+  CheckOutcome outcome{Check::kLaneDeterminism, true, ""};
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{3}}) {
+    runtime::ThreadPool pool(lanes);
+    const std::uint64_t digest = run_digest(scenario, sim, &pool, nullptr);
+    if (digest != reference) {
+      outcome.passed = false;
+      if (!outcome.detail.empty()) {
+        outcome.detail += "; ";
+      }
+      outcome.detail += std::to_string(lanes) + "-lane digest " +
+                        hex_digest(digest) + " != reference " +
+                        hex_digest(reference);
+    }
+  }
+  return outcome;
+}
+
+CheckOutcome check_consistency(const Scenario& scenario,
+                               const RunOptions& options) {
+  CheckOutcome outcome{Check::kConsistency, true, ""};
+  std::map<fleet::ModelKind, Testbed> testbeds;
+  std::size_t checked = 0;
+  std::size_t skipped = 0;
+  for (const fleet::DeviceGroup& group : scenario.groups) {
+    if (!forces_clean_outages(group)) {
+      continue;
+    }
+    if (checked >= options.max_differential) {
+      ++skipped;
+      continue;
+    }
+    ++checked;
+    auto it = testbeds.find(group.model);
+    if (it == testbeds.end()) {
+      it = testbeds
+               .emplace(group.model,
+                        make_testbed(group.model, scenario.seed))
+               .first;
+    }
+    const Testbed& bed = it->second;
+    const fault::ConsistencyChecker checker(bed.graph, bed.calibration);
+    fault::ScheduleOutcome result =
+        checker.check(bed.sample, group.schedule, group.mode);
+    if (!result.passed) {
+      if (options.shrink) {
+        result = checker.shrink(bed.sample, result);
+      }
+      outcome.passed = false;
+      if (!outcome.detail.empty()) {
+        outcome.detail += "; ";
+      }
+      outcome.detail += "group \"" + group.name + "\" (" +
+                        fleet::model_kind_name(group.model) +
+                        "): " + result.failure + " [" + result.repro() + "]";
+    }
+  }
+  if (outcome.passed && skipped > 0) {
+    outcome.detail =
+        std::to_string(skipped) + " qualifying group(s) beyond the cap";
+  }
+  return outcome;
+}
+
+CheckOutcome check_integrity(const Scenario& scenario,
+                             const RunOptions& options) {
+  CheckOutcome outcome{Check::kIntegrity, true, ""};
+  std::map<fleet::ModelKind, Testbed> testbeds;
+  std::size_t checked = 0;
+  std::size_t skipped = 0;
+  std::size_t group_index = 0;
+  for (const fleet::DeviceGroup& group : scenario.groups) {
+    const std::size_t index = group_index++;
+    if (!injects_protected_corruption(group)) {
+      continue;
+    }
+    if (checked >= options.max_differential) {
+      ++skipped;
+      continue;
+    }
+    ++checked;
+    auto it = testbeds.find(group.model);
+    if (it == testbeds.end()) {
+      it = testbeds
+               .emplace(group.model,
+                        make_testbed(group.model, scenario.seed))
+               .first;
+    }
+    const Testbed& bed = it->second;
+    const fault::IntegrityChecker checker(bed.graph, bed.calibration);
+    fault::CorruptionScenario load;
+    load.label = group.name;
+    load.schedule = group.schedule;
+    load.seed = util::splitmix64_at(scenario.seed, index) | 1ull;
+    load.write_ber = group.write_ber;
+    load.read_ber = group.read_ber;
+    const fault::ScenarioOutcome result =
+        checker.check(bed.sample, load, group.mode, /*protect=*/true);
+    const bool contained =
+        result.verdict != fault::IntegrityVerdict::kSilent &&
+        result.verdict != fault::IntegrityVerdict::kCrashed;
+    if (!contained) {
+      outcome.passed = false;
+      if (!outcome.detail.empty()) {
+        outcome.detail += "; ";
+      }
+      outcome.detail +=
+          "group \"" + group.name + "\" (" +
+          fleet::model_kind_name(group.model) + ", mode=" +
+          fault::preservation_mode_name(group.mode) + "): " +
+          fault::integrity_verdict_name(result.verdict) +
+          (result.detail.empty() ? "" : " — " + result.detail);
+    }
+  }
+  if (outcome.passed && skipped > 0) {
+    outcome.detail =
+        std::to_string(skipped) + " qualifying group(s) beyond the cap";
+  }
+  return outcome;
+}
+
+}  // namespace
+
+bool ScenarioReport::passed() const { return failed() == 0; }
+
+std::size_t ScenarioReport::failed() const {
+  std::size_t count = 0;
+  for (const CheckOutcome& outcome : checks) {
+    count += outcome.passed ? 0 : 1;
+  }
+  return count;
+}
+
+int ScenarioReport::exit_code() const { return passed() ? 0 : 1; }
+
+std::string ScenarioReport::to_string() const {
+  std::string out = "scenario " + name + ": digest " + hex_digest(digest) +
+                    ", " + std::to_string(reference.devices()) +
+                    " device(s), " + std::to_string(reference.total.failed) +
+                    " failed\n";
+  for (const CheckOutcome& outcome : checks) {
+    out += std::string("  check ") + check_name(outcome.check) + ": " +
+           (outcome.passed ? "ok" : "FAIL");
+    if (!outcome.detail.empty()) {
+      out += " (" + outcome.detail + ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+ScenarioReport run_scenario(const Scenario& scenario,
+                            const RunOptions& options) {
+  scenario.validate();
+  ScenarioReport report;
+  report.name = scenario.name;
+
+  const std::vector<fleet::SimKind> sims = scenario.effective_sims();
+  report.digest = run_digest(scenario, sims[0], options.pool,
+                             options.gateway, &report.reference);
+
+  for (const Check check : scenario.effective_checks()) {
+    switch (check) {
+      case Check::kSimDigest:
+        report.checks.push_back(
+            check_sim_digest(scenario, sims, report.digest, options.pool));
+        break;
+      case Check::kLaneDeterminism:
+        report.checks.push_back(
+            check_lane_determinism(scenario, sims[0], report.digest));
+        break;
+      case Check::kConsistency:
+        report.checks.push_back(check_consistency(scenario, options));
+        break;
+      case Check::kIntegrity:
+        report.checks.push_back(check_integrity(scenario, options));
+        break;
+    }
+  }
+  return report;
+}
+
+}  // namespace iprune::scenario

@@ -84,6 +84,13 @@ TEST(ScheduleParseError, MalformedMaxModifier) {
   expect_parse_error("every:50;max=1;max=2", "every takes a single period");
 }
 
+TEST(ScheduleParseError, OutOfRangeValues) {
+  // "every:0" used to leak the every_nth() constructor's message instead
+  // of the canonical parse diagnostic; the scenario schema pins the
+  // parse-shaped form.
+  expect_parse_error("every:0", "period must be >= 1");
+}
+
 TEST(ScheduleParseError, WrongFieldArity) {
   expect_parse_error("every:50;60", "every takes a single period");
   expect_parse_error("write:1;2", "write takes a single write ordinal");

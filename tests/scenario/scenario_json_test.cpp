@@ -1,0 +1,115 @@
+// scenario::Json — the minimal strict JSON layer the scenario schema is
+// built on. These tests pin the two properties the schema depends on:
+// parse(write(x)) is the identity (numbers are kept as raw literal text,
+// so u64 seeds survive), and every parse error names its line and column.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "scenario/json.hpp"
+
+namespace iprune::scenario {
+namespace {
+
+/// Asserts parse(text) throws with exactly "scenario json: <why> at line
+/// <line> column <column>".
+void expect_parse_error(const std::string& text, const std::string& why,
+                        int line, int column) {
+  const std::string expected = "scenario json: " + why + " at line " +
+                               std::to_string(line) + " column " +
+                               std::to_string(column);
+  try {
+    (void)Json::parse(text);
+    FAIL() << "expected parse of <" << text << "> to throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()), expected) << "input: " << text;
+  } catch (...) {
+    FAIL() << "expected std::invalid_argument for <" << text << ">";
+  }
+}
+
+TEST(ScenarioJson, ScalarRoundTrip) {
+  EXPECT_EQ(Json::parse("null"), Json::null());
+  EXPECT_EQ(Json::parse("true"), Json::boolean(true));
+  EXPECT_EQ(Json::parse("false"), Json::boolean(false));
+  EXPECT_EQ(Json::parse("42").as_u64(), 42u);
+  EXPECT_EQ(Json::parse("\"hi\\n\"").as_string(), "hi\n");
+}
+
+TEST(ScenarioJson, NumbersKeepTheirLiteralText) {
+  // The writer re-emits the exact token the parser saw, so a u64 seed
+  // that a double cannot represent survives a round trip untouched.
+  const Json doc = Json::parse("18446744073709551615");
+  EXPECT_EQ(doc.literal(), "18446744073709551615");
+  EXPECT_EQ(doc.as_u64(), 18446744073709551615ull);
+}
+
+TEST(ScenarioJson, U64RejectsNonIntegerLiterals) {
+  EXPECT_THROW((void)Json::parse("-3").as_u64(), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("1.5").as_u64(), std::invalid_argument);
+  EXPECT_THROW((void)Json::parse("1e3").as_u64(), std::invalid_argument);
+  // One past the u64 maximum overflows.
+  EXPECT_THROW((void)Json::parse("18446744073709551616").as_u64(),
+               std::invalid_argument);
+}
+
+TEST(ScenarioJson, ObjectsPreserveInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("zeta", Json::number(std::uint64_t{1}));
+  obj.set("alpha", Json::number(std::uint64_t{2}));
+  EXPECT_EQ(obj.write(), "{\n  \"zeta\": 1,\n  \"alpha\": 2\n}\n");
+  EXPECT_EQ(Json::parse(obj.write()), obj);
+}
+
+TEST(ScenarioJson, ScalarArraysWriteInline) {
+  Json arr = Json::array();
+  arr.push(Json::number(std::uint64_t{1}));
+  arr.push(Json::number(std::uint64_t{2}));
+  Json obj = Json::object();
+  obj.set("xs", std::move(arr));
+  EXPECT_EQ(obj.write(), "{\n  \"xs\": [1, 2]\n}\n");
+}
+
+TEST(ScenarioJson, NestedRoundTrip) {
+  const std::string text =
+      "{\n"
+      "  \"name\": \"demo\",\n"
+      "  \"groups\": [\n"
+      "    {\n"
+      "      \"count\": 3\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  const Json doc = Json::parse(text);
+  EXPECT_EQ(doc.write(), text);
+}
+
+TEST(ScenarioJson, ParseErrorsNameLineAndColumn) {
+  expect_parse_error("", "unexpected end of input", 1, 1);
+  expect_parse_error("{\"a\": }", "unexpected character '}'", 1, 7);
+  expect_parse_error("[1, 2", "unterminated array", 1, 6);
+  expect_parse_error("{\n  \"a\": 1\n  \"b\": 2\n}",
+                     "expected ',' or '}' in object", 3, 4);
+  expect_parse_error("nulL", "expected 'null'", 1, 4);
+  expect_parse_error("{} {}", "trailing content after document", 1, 4);
+}
+
+TEST(ScenarioJson, DuplicateKeysAreRejected) {
+  expect_parse_error("{\"a\": 1, \"a\": 2}", "duplicate key \"a\"", 1, 13);
+}
+
+TEST(ScenarioJson, TypeErrorsNameTheKind) {
+  const Json doc = Json::parse("{\"n\": \"x\"}");
+  try {
+    (void)doc.get("n")->as_u64();
+    FAIL() << "expected as_u64 on a string to throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("scenario json: expected"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace iprune::scenario
