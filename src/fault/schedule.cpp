@@ -17,6 +17,11 @@ namespace {
 std::uint64_t parse_u64(const std::string& text, const std::string& token) {
   std::size_t used = 0;
   std::uint64_t value = 0;
+  // stoull alone accepts leading whitespace and a wrapping '-' ("-5"
+  // parses as 2^64-5); require a leading digit.
+  if (token.empty() || token[0] < '0' || token[0] > '9') {
+    parse_error(text, "expected integer, got '" + token + "'");
+  }
   // The specific diagnostics must be raised outside this try: parse_error
   // itself throws std::invalid_argument and would otherwise be swallowed
   // by the catch below and re-reported as the generic message.

@@ -295,28 +295,35 @@ Scenario shrink_scenario(
           grp.power = fleet::PowerProfile();
         });
       }
-      const fault::OutageSchedule& schedule = best.groups[g].schedule;
-      if (schedule.mode != fault::ScheduleMode::kNone) {
+      // Re-read best.groups[g].schedule at every check: accept() replaces
+      // `best` wholesale, so a reference held across field() calls would
+      // dangle as soon as any schedule mutation lands.
+      if (best.groups[g].schedule.mode != fault::ScheduleMode::kNone) {
         field([](fleet::DeviceGroup& grp) {
           grp.schedule = fault::OutageSchedule::none();
         });
       }
-      if (schedule.torn != fault::TornMode::kDropAll) {
+      if (best.groups[g].schedule.torn != fault::TornMode::kDropAll) {
         field([](fleet::DeviceGroup& grp) {
           grp.schedule.torn = fault::TornMode::kDropAll;
           grp.schedule.torn_keep = 0;
         });
       }
-      if (schedule.mode == fault::ScheduleMode::kFixed &&
-          schedule.fixed_events.size() > 1) {
-        for (const std::uint64_t event : schedule.fixed_events) {
+      if (best.groups[g].schedule.mode == fault::ScheduleMode::kFixed &&
+          best.groups[g].schedule.fixed_events.size() > 1) {
+        // Copied, not referenced: an accepted mutation frees best's vector
+        // mid-loop otherwise.
+        const std::vector<std::uint64_t> events =
+            best.groups[g].schedule.fixed_events;
+        for (const std::uint64_t event : events) {
           field([event](fleet::DeviceGroup& grp) {
             grp.schedule.fixed_events = {event};
           });
         }
       }
-      if (schedule.max_outages != fault::OutageSchedule::kUnlimited &&
-          schedule.max_outages > 1) {
+      if (best.groups[g].schedule.max_outages !=
+              fault::OutageSchedule::kUnlimited &&
+          best.groups[g].schedule.max_outages > 1) {
         field([](fleet::DeviceGroup& grp) {
           grp.schedule.max_outages = 1;
         });

@@ -310,6 +310,13 @@ Json Json::number(std::int64_t value) {
 }
 
 Json Json::number(double value) {
+  if (!std::isfinite(value)) {
+    // %.17g would emit "inf"/"nan" — not JSON. Refuse at the writer so no
+    // caller can ever produce an unparseable document.
+    throw std::invalid_argument(
+        "scenario json: number must be finite, got " +
+        std::to_string(value));
+  }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.17g", value);
   return number_raw(buf);

@@ -40,7 +40,8 @@ class Json {
   static Json number_raw(std::string literal);
   static Json number(std::uint64_t value);
   static Json number(std::int64_t value);
-  /// %.17g — shortest form that round-trips the exact double.
+  /// %.17g — shortest form that round-trips the exact double. Throws
+  /// std::invalid_argument for non-finite values (no JSON spelling).
   static Json number(double value);
   static Json string(std::string value);
   static Json array();

@@ -440,10 +440,29 @@ Scenario Scenario::load(const std::string& path) {
   return parse(text.str());
 }
 
+namespace {
+
+/// Specs need unique group names just like scenarios: gateways aggregate
+/// per group name, and rescale_strict's dropped-group diagnostic matches
+/// by name.
+void require_unique_group_names(const fleet::FleetSpec& spec) {
+  for (std::size_t i = 0; i < spec.groups.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (spec.groups[j].name == spec.groups[i].name) {
+        throw std::invalid_argument("fleet spec: duplicate group name '" +
+                                    spec.groups[i].name + "'");
+      }
+    }
+  }
+}
+
+}  // namespace
+
 void validate_fleet(const fleet::FleetSpec& spec) {
   if (spec.groups.empty()) {
     throw std::invalid_argument("fleet spec: no group: lines");
   }
+  require_unique_group_names(spec);
   if (spec.inferences == 0) {
     throw std::invalid_argument("fleet spec: inferences must be >= 1");
   }
@@ -479,6 +498,10 @@ void validate_fleet(const fleet::FleetSpec& spec) {
 
 fleet::FleetSpec rescale_strict(const fleet::FleetSpec& spec,
                                 std::size_t devices) {
+  // Checked here too (fleet_run rescales before validate_fleet): with
+  // duplicate names the dropped-group walk below could blame the wrong
+  // group.
+  require_unique_group_names(spec);
   const fleet::FleetSpec scaled = spec.with_devices(devices);
   if (scaled.groups.size() != spec.groups.size()) {
     // with_devices preserves group order, so the dropped names are the

@@ -47,6 +47,10 @@ TEST(ScheduleParseError, MalformedIntegers) {
   expect_parse_error("every:ten", "expected integer, got 'ten'");
   expect_parse_error("every:", "expected integer, got ''");
   expect_parse_error("every:5x", "trailing characters after integer '5x'");
+  // stoull would accept these (wrapping "-5" to 2^64-5, skipping the
+  // leading space); the parser must not.
+  expect_parse_error("every:-5", "expected integer, got '-5'");
+  expect_parse_error("every: 5", "expected integer, got ' 5'");
   expect_parse_error("fixed:3,oops,9", "expected integer, got 'oops'");
   expect_parse_error("write:1 7", "trailing characters after integer '1 7'");
   expect_parse_error("every:99999999999999999999999999",

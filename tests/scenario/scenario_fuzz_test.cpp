@@ -78,6 +78,40 @@ TEST(ScenarioFuzz, ShrinkerReachesAMinimalDocument) {
   EXPECT_TRUE(still_fails(replayed));
 }
 
+TEST(ScenarioFuzz, ShrinkSurvivesScheduleIndependentFailures) {
+  // Regression: the group-field pass used to cache a reference to
+  // best.groups[g].schedule; once the schedule=none() mutation was
+  // accepted, accept() replaced best and the later torn / fixed-events /
+  // max-outages checks read freed memory (ASan-visible). A predicate
+  // that ignores the schedule makes every schedule mutation accepted.
+  const auto still_fails = [](const Scenario& sc) {
+    return !sc.groups.empty() &&
+           sc.groups[0].model == fleet::ModelKind::kMultipath;
+  };
+  Scenario failing;
+  failing.name = "sched-independent";
+  fleet::DeviceGroup group;
+  group.name = "g";
+  group.count = 2;
+  group.model = fleet::ModelKind::kMultipath;
+  group.schedule =
+      fault::OutageSchedule::parse("fixed:3,9,27;torn=keep:4;max=2");
+  failing.groups = {group};
+  failing.validate();
+  ASSERT_TRUE(still_fails(failing));
+
+  const Scenario shrunk = shrink_scenario(failing, still_fails);
+  EXPECT_TRUE(still_fails(shrunk));
+  ASSERT_EQ(shrunk.groups.size(), 1u);
+  // The schedule is irrelevant to the failure, so it must shrink away
+  // entirely: the repro is the model field alone.
+  EXPECT_EQ(shrunk.groups[0].schedule.mode, fault::ScheduleMode::kNone);
+  EXPECT_EQ(shrunk.groups[0].schedule.torn, fault::TornMode::kDropAll);
+  // name + groups + group name + model: nothing of the schedule remains.
+  EXPECT_LE(shrunk.schema_fields(), 4u)
+      << "shrunk repro too large:\n" << shrunk.describe();
+}
+
 TEST(ScenarioFuzz, ShrinkIsAFixpointOnAlreadyMinimalInput) {
   const auto still_fails = [](const Scenario& sc) {
     return !sc.groups.empty() &&

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -52,6 +53,17 @@ TEST(ScenarioJson, U64RejectsNonIntegerLiterals) {
   EXPECT_THROW((void)Json::parse("1e3").as_u64(), std::invalid_argument);
   // One past the u64 maximum overflows.
   EXPECT_THROW((void)Json::parse("18446744073709551616").as_u64(),
+               std::invalid_argument);
+}
+
+TEST(ScenarioJson, NumberRejectsNonFiniteDoubles) {
+  // %.17g would spell these "inf"/"nan" — tokens the parser (rightly)
+  // refuses — so the writer must refuse them first.
+  EXPECT_THROW((void)Json::number(std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW((void)Json::number(-std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW((void)Json::number(std::numeric_limits<double>::quiet_NaN()),
                std::invalid_argument);
 }
 

@@ -209,6 +209,33 @@ TEST(ScenarioSchema, ValidateFleetRejectsMutatedSpecs) {
   }
 }
 
+TEST(ScenarioSchema, FleetSpecsRejectDuplicateGroupNames) {
+  // Scenarios already enforce this; specs must too — gateways aggregate
+  // per group name and rescale_strict's dropped-group diagnostic matches
+  // by name, so duplicates make both ambiguous.
+  fleet::FleetSpec spec;
+  spec.groups.push_back(fleet::DeviceGroup{});
+  spec.groups.back().name = "twin";
+  spec.groups.back().count = 9;
+  spec.groups.push_back(fleet::DeviceGroup{});
+  spec.groups.back().name = "twin";
+  spec.groups.back().count = 1;
+
+  const std::string expected = "fleet spec: duplicate group name 'twin'";
+  try {
+    validate_fleet(spec);
+    FAIL() << "expected validate_fleet to reject duplicate names";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()), expected);
+  }
+  try {
+    (void)rescale_strict(spec, 2);
+    FAIL() << "expected rescale_strict to reject duplicate names";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()), expected);
+  }
+}
+
 TEST(ScenarioSchema, RescaleStrictNamesDroppedGroups) {
   // Largest-remainder rescaling to fewer devices than groups apportions
   // zero devices somewhere; with_devices() silently dropped the group.
