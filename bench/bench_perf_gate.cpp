@@ -38,6 +38,7 @@
 #include "nn/pool.hpp"
 #include "nn/trainer.hpp"
 #include "power/supply.hpp"
+#include "util/atomic_write.hpp"
 #include "util/perf_gate.hpp"
 #include "util/rng.hpp"
 
@@ -327,11 +328,8 @@ std::string read_file(const std::string& path) {
 }
 
 void write_file(const std::string& path, const std::string& text) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("cannot write " + path);
-  }
-  out << text;
+  // Temp-file + rename: a run killed mid-report never tears BENCH_PERF.json.
+  iprune::util::atomic_write_or_throw(path, text, "bench_perf_gate");
 }
 
 int usage(int code) {

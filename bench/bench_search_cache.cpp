@@ -1,0 +1,92 @@
+// Evaluation-cache effectiveness (docs/search_cache.md): runs the
+// resumable search driver twice against the same on-disk state — a cold
+// leg that fills the CRC-sealed vault, then a warm leg that resumes from
+// the journals and answers every evaluation from the cache — and reports
+// the wall-clock ratio plus the cache statistics. Exits nonzero if the
+// two legs disagree on the digest (the cache must never change results)
+// or the warm leg misses the cache at all. Not part of the perf gate:
+// the interesting number is the ratio, which is workload-dependent.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "search/run.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace iprune;
+  namespace fs = std::filesystem;
+
+  const std::string state_dir =
+      (fs::temp_directory_path() / "iprune_bench_search_cache").string();
+  fs::remove_all(state_dir);
+
+  search::RunConfig config;
+  config.seed = 13;
+  config.evaluations = 16;
+  config.initial_random = 4;
+  config.batch_size = 4;
+  config.anneal_iterations = 3000;
+  config.anneal_checkpoint_stride = 250;
+  config.state_dir = state_dir;
+
+  std::printf("== Evaluation cache: cold fill vs warm resume ==\n\n");
+
+  auto t0 = std::chrono::steady_clock::now();
+  const search::RunReport cold = search::run_search(config);
+  const double cold_s = seconds_since(t0);
+
+  config.resume = true;
+  t0 = std::chrono::steady_clock::now();
+  const search::RunReport warm = search::run_search(config);
+  const double warm_s = seconds_since(t0);
+
+  util::Table table({"Leg", "Wall (s)", "Hits", "Misses", "Hit rate",
+                     "Vault records", "Digest"});
+  char digest[17];
+  auto row = [&](const char* name, double secs,
+                 const search::RunReport& report) {
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(report.digest));
+    table.row()
+        .cell(name)
+        .cell(secs, 3)
+        .cell(report.cache.hits)
+        .cell(report.cache.misses)
+        .cell(report.cache.hit_rate(), 3)
+        .cell(report.vault_records)
+        .cell(digest);
+  };
+  row("cold", cold_s, cold);
+  row("warm", warm_s, warm);
+  table.print();
+
+  std::printf("\ncold/warm wall-clock ratio: %.2fx\n",
+              warm_s > 0.0 ? cold_s / warm_s : 0.0);
+
+  fs::remove_all(state_dir);
+
+  if (warm.digest != cold.digest) {
+    std::fprintf(stderr, "FAIL: warm digest diverged from cold digest\n");
+    return 1;
+  }
+  if (warm.cache.misses != 0) {
+    std::fprintf(stderr, "FAIL: warm leg missed the cache %zu time(s)\n",
+                 warm.cache.misses);
+    return 1;
+  }
+  std::printf("cache parity: warm leg bit-identical, zero misses\n");
+  return 0;
+}

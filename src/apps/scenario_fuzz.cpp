@@ -20,6 +20,7 @@
 
 #include "scenario/fuzz.hpp"
 #include "scenario/runner.hpp"
+#include "util/atomic_write.hpp"
 
 namespace {
 
@@ -117,8 +118,11 @@ int main(int argc, char** argv) {
     std::filesystem::create_directories(out_dir, ec);
     const std::string repro_path =
         out_dir + "/repro_" + shrunk.name + ".json";
-    std::ofstream file(repro_path);
-    file << shrunk.describe();
+    // Atomic: an interrupted campaign never leaves a torn repro document.
+    if (!util::atomic_write(repro_path, shrunk.describe())) {
+      std::fprintf(stderr, "scenario_fuzz: cannot write %s\n",
+                   repro_path.c_str());
+    }
     std::printf("  shrunk to %zu schema field(s): %s\n",
                 shrunk.schema_fields(), repro_path.c_str());
     std::printf("  replay with: scenario_run %s\n", repro_path.c_str());

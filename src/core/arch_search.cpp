@@ -79,17 +79,23 @@ ArchSearchResult search_architectures(const ArchBuilder& builder,
 
   util::Rng rng(config.seed);
   ArchSearchResult result;
-
-  struct Verdict {
-    std::optional<ArchCandidate> candidate;
-    bool infeasible = false;
-  };
+  std::vector<ArchCandidate> archive;
+  std::size_t first_evaluation = 0;
+  const ArchSearchHooks* hooks = config.hooks;
+  if (hooks != nullptr && hooks->resume.has_value()) {
+    const ArchSearchCheckpoint& from = *hooks->resume;
+    rng = util::Rng::from_state(from.rng);
+    archive = from.archive;
+    first_evaluation = static_cast<std::size_t>(from.next_evaluation);
+    result.evaluated = static_cast<std::size_t>(from.evaluated);
+    result.infeasible = static_cast<std::size_t>(from.infeasible);
+  }
 
   // Candidate evaluation is self-contained: the graph is built with a
   // fixed-seed init stream (independent of candidate order) and trained /
   // measured locally, so verdicts for one generation can run concurrently.
-  auto evaluate = [&](const std::vector<std::size_t>& widths) -> Verdict {
-    Verdict verdict;
+  auto evaluate = [&](const std::vector<std::size_t>& widths) -> ArchVerdict {
+    ArchVerdict verdict;
     try {
       util::Rng init_rng(config.seed ^ 0x5EED);
       nn::Graph graph = [&]() -> nn::Graph {
@@ -124,11 +130,13 @@ ArchSearchResult search_architectures(const ArchBuilder& builder,
 
   // (1+λ) loop in generations: widths drawn serially from the archive as
   // it stood at the generation start, evaluated concurrently, folded back
-  // in candidate order.
+  // in candidate order. Checkpoints land on generation boundaries — the
+  // only points where (rng, archive, counters) fully determine the rest of
+  // the trajectory.
   runtime::ThreadPool& pool = runtime::ThreadPool::resolve(config.pool);
   const std::size_t batch = std::max<std::size_t>(config.batch_size, 1);
-  std::vector<ArchCandidate> archive;
-  for (std::size_t start = 0; start < config.evaluations; start += batch) {
+  for (std::size_t start = first_evaluation; start < config.evaluations;
+       start += batch) {
     const std::size_t count =
         std::min(batch, config.evaluations - start);
     std::vector<std::vector<std::size_t>> generation;
@@ -142,10 +150,15 @@ ArchSearchResult search_architectures(const ArchBuilder& builder,
         generation.push_back(mutate_widths(parent.widths, config, rng));
       }
     }
-    const std::vector<Verdict> verdicts = runtime::parallel_map(
-        pool, count,
-        [&](std::size_t i) { return evaluate(generation[i]); });
-    for (const Verdict& verdict : verdicts) {
+    const std::vector<ArchVerdict> verdicts = runtime::parallel_map(
+        pool, count, [&](std::size_t i) -> ArchVerdict {
+          if (hooks != nullptr && hooks->intercept) {
+            return hooks->intercept(generation[i],
+                                    [&] { return evaluate(generation[i]); });
+          }
+          return evaluate(generation[i]);
+        });
+    for (const ArchVerdict& verdict : verdicts) {
       if (verdict.infeasible) {
         ++result.infeasible;
       }
@@ -153,6 +166,15 @@ ArchSearchResult search_architectures(const ArchBuilder& builder,
         ++result.evaluated;
         pareto_insert(archive, *verdict.candidate);
       }
+    }
+    if (hooks != nullptr && hooks->on_generation) {
+      ArchSearchCheckpoint snap;
+      snap.next_evaluation = start + count;
+      snap.rng = rng.state();
+      snap.archive = archive;
+      snap.evaluated = result.evaluated;
+      snap.infeasible = result.infeasible;
+      hooks->on_generation(snap);
     }
   }
 

@@ -11,7 +11,9 @@
 // enters the archive. Candidate evaluation trains briefly (proxy
 // training) and counts accelerator outputs from the engine tile plans.
 
+#include <cstdint>
 #include <functional>
+#include <optional>
 
 #include "data/dataset.hpp"
 #include "engine/lowering.hpp"
@@ -40,6 +42,41 @@ struct ArchCandidate {
   }
 };
 
+/// Outcome of evaluating one candidate width vector. `infeasible` marks a
+/// builder rejection; an empty candidate without the flag means training
+/// or lowering failed for another (still skippable) reason.
+struct ArchVerdict {
+  std::optional<ArchCandidate> candidate;
+  bool infeasible = false;
+};
+
+/// Complete search state at a generation boundary: the index of the first
+/// unevaluated candidate, the mutation RNG's stream position, the Pareto
+/// archive, and the running counters. Restoring it and continuing yields
+/// the same trajectory the uninterrupted search takes, because widths are
+/// drawn serially at generation start from exactly this state.
+struct ArchSearchCheckpoint {
+  std::uint64_t next_evaluation = 0;
+  util::RngState rng;
+  std::vector<ArchCandidate> archive;
+  std::uint64_t evaluated = 0;
+  std::uint64_t infeasible = 0;
+};
+
+/// Optional plumbing for resumable / cached searches (src/search). All
+/// members may be empty; defaults reproduce the plain search exactly.
+struct ArchSearchHooks {
+  /// Intercept a candidate evaluation. Receives the widths and the default
+  /// evaluator for them; a cache can answer without calling the default.
+  std::function<ArchVerdict(const std::vector<std::size_t>& widths,
+                            const std::function<ArchVerdict()>& evaluate)>
+      intercept;
+  /// Called after each generation's verdicts fold into the archive.
+  std::function<void(const ArchSearchCheckpoint&)> on_generation;
+  /// Start from this checkpoint instead of from scratch.
+  std::optional<ArchSearchCheckpoint> resume;
+};
+
 struct ArchSearchConfig {
   /// Inclusive per-dimension bounds on the width vector.
   std::vector<std::size_t> min_widths;
@@ -60,6 +97,8 @@ struct ArchSearchConfig {
   std::size_t batch_size = 4;
   /// Pool for candidate evaluation; nullptr = ThreadPool::shared().
   runtime::ThreadPool* pool = nullptr;
+  /// Resume/cache plumbing (not owned); nullptr = plain search.
+  const ArchSearchHooks* hooks = nullptr;
 };
 
 /// Maps a width vector to a model (throws for invalid combinations, which

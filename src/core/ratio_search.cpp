@@ -118,10 +118,13 @@ struct ChainOutcome {
 };
 
 /// One simulated-annealing chain; consumes `rng` in the same draw order
-/// the historical single-chain allocator used.
+/// the historical single-chain allocator used. With hooks, the chain can
+/// be checkpointed mid-run and restored bit-identically (the RNG stream
+/// position travels inside the checkpoint).
 ChainOutcome anneal_chain(const AnnealingConfig& config,
                           const std::vector<LayerStats>& stats, double gamma,
-                          util::Rng& rng) {
+                          util::Rng& rng,
+                          const AnnealHooks* hooks = nullptr) {
   const std::size_t n = stats.size();
   const bool by_bytes =
       config.objective == AnnealingConfig::Objective::kNvmWriteBytes;
@@ -159,15 +162,54 @@ ChainOutcome anneal_chain(const AnnealingConfig& config,
     return remaining / total_acc + config.risk_weight * risk / budget;
   };
 
-  // Start from the uniform allocation (γ_i = Γ for all layers).
-  std::vector<double> current = scale_to_budget(
-      stats, std::vector<double>(n, 1.0), gamma, config.max_layer_ratio);
-  double current_energy = energy_of(current);
-  std::vector<double> best = current;
-  double best_energy = current_energy;
-
+  // Start from the uniform allocation (γ_i = Γ for all layers), or from a
+  // journaled checkpoint: restoring every chain field plus the RNG stream
+  // position makes the resumed tail of the chain consume exactly the draws
+  // the uninterrupted chain would have.
+  std::vector<double> current;
+  double current_energy = 0.0;
+  std::vector<double> best;
+  double best_energy = 0.0;
   double temperature = config.initial_temperature;
-  for (std::size_t step = 0; step < config.iterations; ++step) {
+  std::size_t first_step = 0;
+  if (hooks != nullptr && hooks->resume.has_value()) {
+    const AnnealCheckpoint& from = *hooks->resume;
+    current = from.current;
+    current_energy = from.current_energy;
+    best = from.best;
+    best_energy = from.best_energy;
+    temperature = from.temperature;
+    first_step = static_cast<std::size_t>(from.step);
+    rng = util::Rng::from_state(from.rng);
+  } else {
+    current = scale_to_budget(stats, std::vector<double>(n, 1.0), gamma,
+                              config.max_layer_ratio);
+    current_energy = energy_of(current);
+    best = current;
+    best_energy = current_energy;
+  }
+
+  auto checkpoint = [&](std::size_t completed) {
+    if (hooks == nullptr || !hooks->on_checkpoint) {
+      return;
+    }
+    if ((hooks->checkpoint_stride == 0 ||
+         completed % hooks->checkpoint_stride != 0) &&
+        completed != config.iterations) {
+      return;
+    }
+    AnnealCheckpoint snap;
+    snap.step = completed;
+    snap.temperature = temperature;
+    snap.current = current;
+    snap.current_energy = current_energy;
+    snap.best = best;
+    snap.best_energy = best_energy;
+    snap.rng = rng.state();
+    hooks->on_checkpoint(snap);
+  };
+
+  for (std::size_t step = first_step; step < config.iterations; ++step) {
     // Move: transfer pruning mass between two random layers, preserving
     // the budget exactly.
     const auto i = static_cast<std::size_t>(rng.uniform_index(n));
@@ -180,6 +222,7 @@ ChainOutcome anneal_chain(const AnnealingConfig& config,
     const double ki = static_cast<double>(stats[i].alive_weights);
     const double kj = static_cast<double>(stats[j].alive_weights);
     if (ki == 0.0 || kj == 0.0) {
+      checkpoint(step + 1);
       continue;
     }
     const double headroom_i =
@@ -187,6 +230,7 @@ ChainOutcome anneal_chain(const AnnealingConfig& config,
     const double available_j = current[j] * kj;       // mass j can give
     const double max_transfer = std::min(headroom_i, available_j);
     if (max_transfer <= 0.0) {
+      checkpoint(step + 1);
       continue;
     }
     const double transfer = rng.uniform(0.0, max_transfer);
@@ -206,6 +250,7 @@ ChainOutcome anneal_chain(const AnnealingConfig& config,
       }
     }
     temperature *= config.cooling;
+    checkpoint(step + 1);
   }
 
   (void)budget_used;  // kept for tests/debugging
@@ -221,7 +266,7 @@ std::vector<double> IPruneAllocator::allocate(
     return {};
   }
   if (config_.restarts <= 1) {
-    return anneal_chain(config_, stats, gamma, rng).ratios;
+    return anneal_chain(config_, stats, gamma, rng, config_.hooks).ratios;
   }
 
   // Chain seeds are derived serially so the stream each chain consumes is

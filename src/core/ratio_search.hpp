@@ -8,7 +8,10 @@
 // outputs under a sensitivity-risk penalty; ePrune allocates
 // proportionally to per-layer energy (src/baselines).
 
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/criterion.hpp"
@@ -36,6 +39,34 @@ class RatioAllocator {
   [[nodiscard]] virtual std::vector<double> allocate(
       const std::vector<LayerStats>& stats, double gamma,
       util::Rng& rng) const = 0;
+};
+
+/// Complete mid-chain annealer state. Captured after the step it names
+/// (step == number of completed steps), so restoring it and running the
+/// remaining iterations reproduces the uninterrupted chain bit-for-bit:
+/// the RNG state is the exact xoshiro position after the last completed
+/// draw, and every other field is the chain's full mutable state.
+struct AnnealCheckpoint {
+  std::uint64_t step = 0;
+  double temperature = 0.0;
+  std::vector<double> current;
+  double current_energy = 0.0;
+  std::vector<double> best;
+  double best_energy = 0.0;
+  util::RngState rng;
+};
+
+/// Optional checkpoint plumbing for the single-chain annealer (honored
+/// when AnnealingConfig::restarts <= 1; multi-chain runs re-anneal from
+/// scratch on restart, which is still deterministic, just not journaled).
+struct AnnealHooks {
+  /// Called every `checkpoint_stride` completed steps and once after the
+  /// final step. 0 strides disables periodic calls (final call remains).
+  std::function<void(const AnnealCheckpoint&)> on_checkpoint;
+  std::size_t checkpoint_stride = 0;
+  /// Restore the chain from here instead of the initial allocation. The
+  /// caller's rng is fast-forwarded to the checkpoint's stream position.
+  std::optional<AnnealCheckpoint> resume;
 };
 
 struct AnnealingConfig {
@@ -67,6 +98,9 @@ struct AnnealingConfig {
   std::size_t restarts = 1;
   /// Pool for multi-chain runs; nullptr resolves to ThreadPool::shared().
   runtime::ThreadPool* pool = nullptr;
+  /// Checkpoint plumbing (not owned); nullptr = no journaling. Only the
+  /// single-chain path (restarts <= 1) consults it.
+  const AnnealHooks* hooks = nullptr;
 };
 
 /// iPrune's allocator (guidelines 1 and 2).

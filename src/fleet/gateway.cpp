@@ -3,9 +3,9 @@
 #include <cinttypes>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <stdexcept>
 
+#include "util/atomic_write.hpp"
 #include "util/csv.hpp"
 
 namespace iprune::fleet {
@@ -258,11 +258,7 @@ void PrometheusGateway::on_fleet(const FleetResult& result) {
   if (path.has_parent_path()) {
     std::filesystem::create_directories(path.parent_path());
   }
-  std::ofstream file(path_, std::ios::binary | std::ios::trunc);
-  if (!file) {
-    throw std::runtime_error("fleet: cannot write " + path_);
-  }
-  file << render(result);
+  util::atomic_write_or_throw(path_, render(result), "fleet");
 }
 
 std::string PrometheusGateway::describe() const { return "prom:" + path_; }

@@ -189,6 +189,14 @@ PowerProfile PowerProfile::diurnal(double peak_w, double day_s,
   return p;
 }
 
+PowerProfile PowerProfile::trace(std::string path, double sample_period_s) {
+  PowerProfile p;
+  p.kind = Kind::kTrace;
+  p.trace_path = std::move(path);
+  p.period_s = sample_period_s;
+  return p;
+}
+
 std::unique_ptr<power::PowerSupply> PowerProfile::make() const {
   switch (kind) {
     case Kind::kContinuous:
@@ -211,6 +219,9 @@ std::unique_ptr<power::PowerSupply> PowerProfile::make() const {
                                                         period_s, duty);
     case Kind::kDiurnal:
       return std::make_unique<power::DiurnalSupply>(peak_w, day_s, duty);
+    case Kind::kTrace:
+      return std::make_unique<power::TraceSupply>(
+          power::TraceSupply::from_csv(trace_path, period_s));
   }
   throw std::logic_error("fleet spec: bad power profile kind");
 }
@@ -276,6 +287,12 @@ void PowerProfile::validate() const {
       require_positive(day_s, "diurnal day_s");
       require_fraction(duty, "diurnal daylight");
       return;
+    case Kind::kTrace:
+      require_positive(period_s, "trace period_s");
+      if (trace_path.empty()) {
+        supply_range_error("trace path", "non-empty");
+      }
+      return;
   }
   throw std::logic_error("fleet spec: bad power profile kind");
 }
@@ -304,6 +321,10 @@ std::string PowerProfile::describe() const {
     case Kind::kDiurnal:
       return "diurnal:" + format_g17(peak_w) + ":" + format_g17(day_s) +
              ":" + format_g17(duty);
+    case Kind::kTrace:
+      // Period before path: the path may itself contain ':' and is
+      // terminated only by the end of the token.
+      return "trace:" + format_g17(period_s) + ":" + trace_path;
   }
   return "?";
 }
@@ -379,6 +400,16 @@ PowerProfile PowerProfile::parse(const std::string& text) {
     profile = diurnal(parse_double(args[0], "diurnal peak_w"),
                       parse_double(args[1], "diurnal day_s"),
                       parse_double(args[2], "diurnal daylight"));
+  } else if (text.rfind("trace:", 0) == 0) {
+    const std::string rest = text.substr(6);
+    const std::size_t colon = rest.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument(
+          "fleet spec: supply needs trace:<period_s>:<path>, got '" + text +
+          "'");
+    }
+    profile = trace(rest.substr(colon + 1),
+                    parse_double(rest.substr(0, colon), "trace period_s"));
   } else {
     throw std::invalid_argument("fleet spec: unknown supply '" + text + "'");
   }

@@ -59,6 +59,7 @@ struct PowerProfile {
     kKinetic,     // decaying impulse train (steps slots, decay ratio)
     kIndoor,      // office lighting: lit watts for duty, dim floor after
     kDiurnal,     // sin^2 day arc + night, daylight fraction of day_s
+    kTrace,       // measured trace file (power::TraceSupply CSV)
   };
 
   Kind kind = Kind::kStrong;
@@ -71,6 +72,11 @@ struct PowerProfile {
   double dim_w = 0.0;     // kIndoor lights-off floor
   double decay = 0.0;     // kKinetic per-slot decay ratio
   std::uint64_t steps = 0;  // kKinetic impulse slots
+  /// kTrace sample file (one mW sample per line; '#' comments). period_s
+  /// is the trace's sample period. The path is NOT existence-checked by
+  /// validate() — the spec stays pure data; make() throws if it is
+  /// missing or empty.
+  std::string trace_path;
 
   static PowerProfile continuous();
   static PowerProfile strong();
@@ -83,6 +89,7 @@ struct PowerProfile {
   static PowerProfile indoor(double lit_w, double dim_w, double period_s,
                              double duty);
   static PowerProfile diurnal(double peak_w, double day_s, double daylight);
+  static PowerProfile trace(std::string path, double sample_period_s);
 
   /// Instantiate the power::PowerSupply this profile describes.
   /// Requires validate() to hold.
@@ -96,7 +103,8 @@ struct PowerProfile {
 
   /// "continuous" | "strong" | "weak" | "const:<w>" | "solar:<peak>:<day>"
   /// | "rf:<burst>:<period>:<duty>" | "kinetic:<w>:<period>:<steps>:<decay>"
-  /// | "indoor:<lit>:<dim>:<period>:<duty>" | "diurnal:<peak>:<day>:<frac>".
+  /// | "indoor:<lit>:<dim>:<period>:<duty>" | "diurnal:<peak>:<day>:<frac>"
+  /// | "trace:<period_s>:<path>" (period first: the path may contain ':').
   [[nodiscard]] std::string describe() const;
   static PowerProfile parse(const std::string& text);
 

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/retry.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace iprune::runtime {
@@ -29,6 +30,24 @@ auto parallel_map(ThreadPool& pool, std::size_t count, Fn&& fn)
     results.push_back(std::move(*slot));
   }
   return results;
+}
+
+/// parallel_map with per-task retry: each index runs under `retry`
+/// (runtime/retry.hpp), so a TransientError re-runs only that task, with
+/// backoff, instead of aborting the whole map. Determinism is unchanged —
+/// a retried task recomputes the same pure function into the same slot.
+/// Non-transient exceptions keep parallel_for's lowest-index-wins
+/// semantics.
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t count, Fn&& fn,
+                  const RetryPolicy& retry, const RetrySleep& sleep = {})
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{}))>> {
+  if (!retry.enabled()) {
+    return parallel_map(pool, count, std::forward<Fn>(fn));
+  }
+  return parallel_map(pool, count, [&](std::size_t index) {
+    return retry_call(retry, [&] { return fn(index); }, sleep);
+  });
 }
 
 }  // namespace iprune::runtime

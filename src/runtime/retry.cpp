@@ -1,0 +1,34 @@
+#include "runtime/retry.hpp"
+
+#include <cmath>
+
+namespace iprune::runtime {
+
+std::chrono::milliseconds RetryPolicy::backoff_after(int attempt) const {
+  if (attempt < 0 || initial_backoff.count() <= 0) {
+    return std::chrono::milliseconds{0};
+  }
+  // Saturating exponential: once initial * mult^k passes max_backoff the
+  // pow() result can no longer matter, so overflow is bounded by clamping
+  // in double space before the cast.
+  const double factor =
+      std::pow(backoff_multiplier < 1.0 ? 1.0 : backoff_multiplier,
+               static_cast<double>(attempt));
+  const double raw = static_cast<double>(initial_backoff.count()) * factor;
+  const double cap = static_cast<double>(max_backoff.count());
+  return std::chrono::milliseconds{
+      static_cast<std::chrono::milliseconds::rep>(raw < cap ? raw : cap)};
+}
+
+std::chrono::milliseconds Retrier::handle_exception(
+    int attempt, const std::exception& error) const {
+  if (dynamic_cast<const TransientError*>(&error) == nullptr) {
+    throw;  // not transient: fail fast with the original exception
+  }
+  if (attempt + 1 >= policy_.max_attempts) {
+    throw;  // attempts exhausted: surface the transient error itself
+  }
+  return policy_.backoff_after(attempt);
+}
+
+}  // namespace iprune::runtime

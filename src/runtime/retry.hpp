@@ -1,0 +1,110 @@
+#pragma once
+// Bounded retry-with-backoff for transient evaluation failures.
+//
+// Long searches dispatch thousands of candidate evaluations through
+// runtime::parallel_map; a single transient failure (an artifact file
+// briefly locked, a flaky external scorer, an injected fault in a test
+// harness) used to abort the whole run. A RetryPolicy re-runs the failed
+// task with exponential backoff, capped, and rethrows anything it does
+// not recognize as transient:
+//
+//   * only exceptions derived from runtime::TransientError are retried —
+//     a deterministic bug (std::logic_error, IntegrityError, ...) fails
+//     fast on the first attempt, exactly as before;
+//   * attempt k (0-based) that fails transiently sleeps
+//     min(initial_backoff * multiplier^k, max_backoff) and retries;
+//   * the max_attempts-th failure rethrows the transient error itself.
+//
+// The Retrier exposes the decision function (handle_exception) separately
+// from the sleeping so tests can pin the exact backoff schedule without
+// waiting it out.
+
+#include <chrono>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace iprune::runtime {
+
+/// Marker base for failures worth retrying. Throw (or wrap into) this for
+/// errors where re-running the same task can plausibly succeed.
+class TransientError : public std::runtime_error {
+ public:
+  explicit TransientError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = never retry).
+  int max_attempts = 1;
+  std::chrono::milliseconds initial_backoff{5};
+  double backoff_multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{1000};
+
+  /// A policy that retries transient failures a few times with a short
+  /// exponential backoff — the default for search evaluation tasks.
+  static RetryPolicy transient_default() {
+    RetryPolicy p;
+    p.max_attempts = 4;
+    return p;
+  }
+
+  [[nodiscard]] bool enabled() const { return max_attempts > 1; }
+
+  /// Backoff slept after the (0-based) `attempt`-th failed attempt:
+  /// min(initial_backoff * multiplier^attempt, max_backoff).
+  [[nodiscard]] std::chrono::milliseconds backoff_after(int attempt) const;
+};
+
+/// Decision engine for one task's retry loop (SNIPPETS.md
+/// `default_retrier` exemplar): feed it each caught exception with the
+/// attempt index; it either returns the backoff to sleep before the next
+/// attempt or rethrows when the error is non-transient / attempts are
+/// exhausted. Tracks nothing but the policy, so one Retrier may be shared
+/// by sequential tasks.
+class Retrier {
+ public:
+  explicit Retrier(RetryPolicy policy = RetryPolicy::transient_default())
+      : policy_(policy) {}
+
+  /// `attempt` is 0-based. Rethrows `error` unless it is a TransientError
+  /// and attempt + 1 < max_attempts; otherwise returns backoff_after(
+  /// attempt). Call from inside the catch block so rethrowing preserves
+  /// the active exception's dynamic type.
+  std::chrono::milliseconds handle_exception(int attempt,
+                                             const std::exception& error) const;
+
+  [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  RetryPolicy policy_;
+};
+
+/// Sleep hook for retry_call; tests inject a recorder instead of waiting.
+using RetrySleep = std::function<void(std::chrono::milliseconds)>;
+
+/// Run `fn` under `policy`. Returns fn's result; retries transient
+/// failures with backoff (via `sleep`, defaulting to a real
+/// sleep_for) and rethrows non-transient errors immediately.
+template <typename Fn>
+auto retry_call(const RetryPolicy& policy, Fn&& fn,
+                const RetrySleep& sleep = {}) {
+  const Retrier retrier(policy);
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return fn();
+    } catch (const std::exception& error) {
+      const std::chrono::milliseconds delay =
+          retrier.handle_exception(attempt, error);
+      if (sleep) {
+        sleep(delay);
+      } else if (delay.count() > 0) {
+        std::this_thread::sleep_for(delay);
+      }
+    }
+  }
+}
+
+}  // namespace iprune::runtime

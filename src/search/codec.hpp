@@ -1,0 +1,159 @@
+#pragma once
+// Little-endian byte (de)serialization for the search-state journal and
+// the evaluation-cache vault. Deliberately tiny: fixed-width integers,
+// doubles by bit pattern, and length-prefixed strings/vectors — enough to
+// round-trip checkpoints byte-exactly across platforms.
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace iprune::search {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t value) { bytes_.push_back(value); }
+
+  void u32(std::uint32_t value) {
+    for (int i = 0; i < 4; ++i) {
+      bytes_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+  }
+
+  void u64(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      bytes_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+  }
+
+  /// Doubles travel as their IEEE-754 bit pattern: restoring a checkpoint
+  /// must reproduce the exact value, not a close decimal.
+  void f64(double value) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    u64(bits);
+  }
+
+  void str(const std::string& value) {
+    u64(value.size());
+    bytes_.insert(bytes_.end(), value.begin(), value.end());
+  }
+
+  void f64_vec(const std::vector<double>& values) {
+    u64(values.size());
+    for (const double v : values) {
+      f64(v);
+    }
+  }
+
+  void u64_vec(const std::vector<std::uint64_t>& values) {
+    u64(values.size());
+    for (const std::uint64_t v : values) {
+      u64(v);
+    }
+  }
+
+  /// Raw bytes, no length prefix (caller frames them).
+  void bytes_append(const std::vector<std::uint8_t>& raw) {
+    bytes_.insert(bytes_.end(), raw.begin(), raw.end());
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return bytes_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Throws std::runtime_error("search codec: ...") on truncated or
+/// oversized input — the journal loader treats that like a bad CRC.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+
+  std::uint32_t u32() {
+    const std::uint8_t* p = take(4);
+    std::uint32_t value = 0;
+    for (int i = 3; i >= 0; --i) {
+      value = (value << 8) | p[i];
+    }
+    return value;
+  }
+
+  std::uint64_t u64() {
+    const std::uint8_t* p = take(8);
+    std::uint64_t value = 0;
+    for (int i = 7; i >= 0; --i) {
+      value = (value << 8) | p[i];
+    }
+    return value;
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
+  std::string str() {
+    const std::uint64_t count = length(1);
+    const std::uint8_t* p = take(count);
+    return {reinterpret_cast<const char*>(p), count};
+  }
+
+  std::vector<double> f64_vec() {
+    const std::uint64_t count = length(8);
+    std::vector<double> values(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      values[i] = f64();
+    }
+    return values;
+  }
+
+  std::vector<std::uint64_t> u64_vec() {
+    const std::uint64_t count = length(8);
+    std::vector<std::uint64_t> values(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      values[i] = u64();
+    }
+    return values;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == size_; }
+
+ private:
+  const std::uint8_t* take(std::size_t count) {
+    if (count > size_ - pos_) {
+      throw std::runtime_error("search codec: truncated input");
+    }
+    const std::uint8_t* p = data_ + pos_;
+    pos_ += count;
+    return p;
+  }
+
+  /// Length prefix sanity-checked against the bytes actually left, so a
+  /// corrupted count fails cleanly instead of allocating gigabytes.
+  std::uint64_t length(std::size_t element_bytes) {
+    const std::uint64_t count = u64();
+    if (element_bytes != 0 && count > remaining() / element_bytes) {
+      throw std::runtime_error("search codec: implausible length");
+    }
+    return count;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace iprune::search

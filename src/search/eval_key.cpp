@@ -1,0 +1,132 @@
+#include "search/eval_key.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "device/config.hpp"
+#include "util/hash.hpp"
+
+namespace iprune::search {
+
+std::string EvalKey::hex() const {
+  char buf[36];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+void KeyHasher::bytes(const void* data, std::size_t count) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < count; ++i) {
+    hi_ ^= p[i];
+    hi_ *= 0x100000001b3ull;
+    // Second stream: same bytes, distinct basis, salted with the running
+    // byte position so streams cannot collapse onto each other.
+    lo_ ^= static_cast<std::uint64_t>(p[i]) ^ (salt_ & 0xFF);
+    lo_ *= 0x100000001b3ull;
+    ++salt_;
+  }
+}
+
+void KeyHasher::u64(std::uint64_t value) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<unsigned char>(value >> (8 * i));
+  }
+  bytes(buf, sizeof(buf));
+}
+
+void KeyHasher::f64(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  u64(bits);
+}
+
+void KeyHasher::str(const std::string& value) {
+  u64(value.size());
+  bytes(value.data(), value.size());
+}
+
+void KeyHasher::tensor(const nn::Tensor& tensor) {
+  u64(tensor.rank());
+  for (std::size_t d = 0; d < tensor.rank(); ++d) {
+    u64(tensor.dim(d));
+  }
+  bytes(tensor.data(), tensor.numel() * sizeof(float));
+}
+
+void fold_graph(KeyHasher& hasher, nn::Graph& graph) {
+  hasher.str("graph/1");
+  const nn::Shape& in = graph.input_shape();
+  hasher.u64(in.size());
+  for (const std::size_t d : in) {
+    hasher.u64(d);
+  }
+  hasher.u64(graph.node_count());
+  hasher.u64(graph.output());
+  for (nn::NodeId node = 1; node < graph.node_count(); ++node) {
+    const nn::Layer& layer = graph.layer(node);
+    hasher.u8(static_cast<std::uint8_t>(layer.kind()));
+    hasher.str(layer.name());
+    const std::vector<nn::NodeId>& inputs = graph.node_inputs(node);
+    hasher.u64(inputs.size());
+    for (const nn::NodeId input : inputs) {
+      hasher.u64(input);
+    }
+    const nn::Shape& shape = graph.node_shape(node);
+    hasher.u64(shape.size());
+    for (const std::size_t d : shape) {
+      hasher.u64(d);
+    }
+  }
+  // Parameters and masks, in graph.params() order (node order). A pruned
+  // weight is zero AND masked, so folding both distinguishes "weight
+  // happens to be zero" from "weight pruned".
+  for (const nn::ParamRef& param : graph.params()) {
+    hasher.tensor(*param.value);
+    if (param.mask != nullptr) {
+      hasher.u8(1);
+      hasher.tensor(*param.mask);
+    } else {
+      hasher.u8(0);
+    }
+  }
+}
+
+void fold_engine_config(KeyHasher& hasher, const engine::EngineConfig& config,
+                        const device::MemoryConfig& memory) {
+  hasher.str("engine/1");
+  hasher.u8(static_cast<std::uint8_t>(config.mode));
+  hasher.u8(config.integrity.protect_progress ? 1 : 0);
+  hasher.u8(config.integrity.seal_regions ? 1 : 0);
+  hasher.u8(config.integrity.scrub_on_boot ? 1 : 0);
+  hasher.u64(config.max_k_per_op);
+  hasher.u64(config.block_rows);
+  hasher.u64(config.max_cols_per_tile);
+  hasher.u64(config.psum_bytes);
+  hasher.u64(config.counter_bytes);
+  hasher.u64(config.vm_reserve_bytes);
+  hasher.u64(config.cpu_cycles_per_job);
+  hasher.u64(config.copy_chunk_bytes);
+  hasher.u8(config.fold_relu ? 1 : 0);
+  hasher.u64(memory.vm_bytes);
+  hasher.u64(memory.nvm_bytes);
+}
+
+std::uint64_t dataset_fingerprint(const nn::Tensor& inputs,
+                                  std::span<const int> labels) {
+  util::Fnv1a fnv;
+  fnv.fold_u64(inputs.rank());
+  for (std::size_t d = 0; d < inputs.rank(); ++d) {
+    fnv.fold_u64(inputs.dim(d));
+  }
+  fnv.fold(inputs.data(), inputs.numel() * sizeof(float));
+  fnv.fold_u64(labels.size());
+  for (const int label : labels) {
+    fnv.fold_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(label)));
+  }
+  return fnv.value();
+}
+
+}  // namespace iprune::search

@@ -1,0 +1,88 @@
+#pragma once
+// Content-addressed evaluation keys (docs/search_cache.md).
+//
+// The prune–retrain loop and the architecture search evaluate
+// near-identical configurations thousands of times; the evaluation cache
+// keys each result by WHAT was evaluated, not when: a 128-bit FNV-1a
+// fingerprint folded over
+//
+//   * the graph structure (layer kinds, names, wiring, shapes),
+//   * every parameter tensor and pruning mask (raw float bytes),
+//   * the engine/memory configuration that prices the evaluation, and
+//   * the dataset identity (shape + label + sample bytes, folded once per
+//     search and reused as a 64-bit fingerprint).
+//
+// Two independent 64-bit FNV-1a streams (distinct offset bases, the
+// second stream folds a per-byte position salt) make accidental collisions
+// across a multi-month search campaign implausible; this is a cache key,
+// not a cryptographic commitment.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "engine/config.hpp"
+#include "nn/graph.hpp"
+#include "nn/tensor.hpp"
+
+namespace iprune::device {
+struct MemoryConfig;
+}
+
+namespace iprune::search {
+
+struct EvalKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const EvalKey& other) const = default;
+
+  /// 32 hex digits, hi then lo (stable across platforms).
+  [[nodiscard]] std::string hex() const;
+};
+
+struct EvalKeyHash {
+  std::size_t operator()(const EvalKey& key) const noexcept {
+    // hi and lo are already well-mixed FNV words.
+    return static_cast<std::size_t>(key.hi ^ (key.lo * 0x9E3779B97F4A7C15ull));
+  }
+};
+
+/// Incremental 128-bit fingerprint builder. Fold order matters (the key
+/// is a running hash), so callers fold fields in a fixed documented order.
+class KeyHasher {
+ public:
+  void bytes(const void* data, std::size_t count);
+  void u8(std::uint8_t value) { bytes(&value, 1); }
+  void u64(std::uint64_t value);
+  void f64(double value);
+  void str(const std::string& value);
+  /// Shape then raw float contents.
+  void tensor(const nn::Tensor& tensor);
+
+  [[nodiscard]] EvalKey key() const { return {hi_, lo_}; }
+
+ private:
+  std::uint64_t hi_ = 0xcbf29ce484222325ull;  // FNV-1a 64 offset basis
+  std::uint64_t lo_ = 0x6c62272e07bb0142ull;  // FNV-1a 128 basis (high word)
+  std::uint64_t salt_ = 0;
+};
+
+/// Fold a model: structure (node kinds, names, wiring, per-node shapes,
+/// output id) plus every trainable parameter and its mask. Takes the graph
+/// non-const because Layer::params() is a mutable accessor; nothing is
+/// modified.
+void fold_graph(KeyHasher& hasher, nn::Graph& graph);
+
+/// Fold every field of the engine configuration (and the memory split,
+/// which changes tile plans and therefore latency/energy).
+void fold_engine_config(KeyHasher& hasher, const engine::EngineConfig& config,
+                        const device::MemoryConfig& memory);
+
+/// One-shot 64-bit fingerprint of a dataset (inputs shape + bytes +
+/// labels). Computed once per search and folded into each key as u64 —
+/// hashing megabytes of samples per evaluation would dominate cache cost.
+std::uint64_t dataset_fingerprint(const nn::Tensor& inputs,
+                                  std::span<const int> labels);
+
+}  // namespace iprune::search

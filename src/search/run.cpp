@@ -1,0 +1,489 @@
+#include "search/run.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "core/criterion.hpp"
+#include "core/ratio_search.hpp"
+#include "core/sensitivity.hpp"
+#include "data/dataset.hpp"
+#include "nn/activation.hpp"
+#include "nn/dense.hpp"
+#include "nn/trainer.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/thread_pool.hpp"
+#include "search/codec.hpp"
+#include "search/eval_key.hpp"
+#include "search/vault.hpp"
+#include "util/hash.hpp"
+#include "util/log.hpp"
+
+namespace iprune::search {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Built-in workload: a width-parameterized Dense family over a 2-class
+// synthetic dataset (the arch-search test fixture's shape, seeded from the
+// run config so different seeds are genuinely different searches).
+
+data::Dataset make_dataset(util::Rng& rng, std::size_t count) {
+  data::Dataset d;
+  d.num_classes = 2;
+  d.inputs = nn::Tensor({count, 4});
+  d.labels.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const bool cls = rng.bernoulli(0.5);
+    for (std::size_t k = 0; k < 4; ++k) {
+      d.inputs.at(i, k) = static_cast<float>(
+          (cls ? 1.0 : -1.0) * (k < 2 ? 1.0 : 0.1) + rng.normal(0, 0.3));
+    }
+    d.labels[i] = cls ? 1 : 0;
+  }
+  return d;
+}
+
+nn::Graph build_family(const std::vector<std::size_t>& widths,
+                       util::Rng& rng) {
+  nn::Graph g({4});
+  const auto h = g.add(
+      std::make_unique<nn::Dense>("h", 4, widths.at(0), rng), {g.input()});
+  const auto r = g.add(std::make_unique<nn::Relu>("r"), {h});
+  const auto o = g.add(
+      std::make_unique<nn::Dense>("o", widths.at(0), 2, rng), {r});
+  g.set_output(o);
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint serialization (search/codec.hpp). Every journal payload
+// starts with the run's config fingerprint so a journal written by a
+// different seed / schedule is ignored, never mis-applied.
+
+void write_rng(ByteWriter& w, const util::RngState& rng) {
+  for (const std::uint64_t word : rng.words) {
+    w.u64(word);
+  }
+  w.f64(rng.cached_normal);
+  w.u8(rng.has_cached_normal ? 1 : 0);
+}
+
+util::RngState read_rng(ByteReader& r) {
+  util::RngState rng;
+  for (std::uint64_t& word : rng.words) {
+    word = r.u64();
+  }
+  rng.cached_normal = r.f64();
+  rng.has_cached_normal = r.u8() != 0;
+  return rng;
+}
+
+std::vector<std::uint8_t> encode_anneal(const EvalKey& fp,
+                                        const core::AnnealCheckpoint& snap) {
+  ByteWriter w;
+  w.u64(fp.hi);
+  w.u64(fp.lo);
+  w.u64(snap.step);
+  w.f64(snap.temperature);
+  w.f64_vec(snap.current);
+  w.f64(snap.current_energy);
+  w.f64_vec(snap.best);
+  w.f64(snap.best_energy);
+  write_rng(w, snap.rng);
+  return w.bytes();
+}
+
+std::optional<core::AnnealCheckpoint> decode_anneal(
+    const EvalKey& fp, const std::vector<std::uint8_t>& payload) {
+  try {
+    ByteReader r(payload);
+    if (r.u64() != fp.hi || r.u64() != fp.lo) {
+      return std::nullopt;  // journal from a different run configuration
+    }
+    core::AnnealCheckpoint snap;
+    snap.step = r.u64();
+    snap.temperature = r.f64();
+    snap.current = r.f64_vec();
+    snap.current_energy = r.f64();
+    snap.best = r.f64_vec();
+    snap.best_energy = r.f64();
+    snap.rng = read_rng(r);
+    return snap;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::uint8_t> encode_arch(const EvalKey& fp,
+                                      const core::ArchSearchCheckpoint& snap) {
+  ByteWriter w;
+  w.u64(fp.hi);
+  w.u64(fp.lo);
+  w.u64(snap.next_evaluation);
+  write_rng(w, snap.rng);
+  w.u64(snap.archive.size());
+  for (const core::ArchCandidate& c : snap.archive) {
+    std::vector<std::uint64_t> widths(c.widths.begin(), c.widths.end());
+    w.u64_vec(widths);
+    w.f64(c.accuracy);
+    w.u64(c.acc_outputs);
+    w.u64(c.parameters);
+  }
+  w.u64(snap.evaluated);
+  w.u64(snap.infeasible);
+  return w.bytes();
+}
+
+std::optional<core::ArchSearchCheckpoint> decode_arch(
+    const EvalKey& fp, const std::vector<std::uint8_t>& payload) {
+  try {
+    ByteReader r(payload);
+    if (r.u64() != fp.hi || r.u64() != fp.lo) {
+      return std::nullopt;
+    }
+    core::ArchSearchCheckpoint snap;
+    snap.next_evaluation = r.u64();
+    snap.rng = read_rng(r);
+    const std::uint64_t count = r.u64();
+    snap.archive.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      core::ArchCandidate c;
+      for (const std::uint64_t width : r.u64_vec()) {
+        c.widths.push_back(static_cast<std::size_t>(width));
+      }
+      c.accuracy = r.f64();
+      c.acc_outputs = static_cast<std::size_t>(r.u64());
+      c.parameters = static_cast<std::size_t>(r.u64());
+      snap.archive.push_back(std::move(c));
+    }
+    snap.evaluated = r.u64();
+    snap.infeasible = r.u64();
+    return snap;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EvalValue packing for arch verdicts: bit 0 = infeasible, bit 1 = has a
+// candidate; accuracy + aux counters carry the candidate's objectives.
+
+constexpr std::uint64_t kHasCandidate = 1ull << 1;
+
+EvalValue pack_verdict(const core::ArchVerdict& verdict,
+                       const std::vector<std::size_t>& widths) {
+  EvalValue value;
+  if (verdict.infeasible) {
+    value.flags |= EvalValue::kInfeasible;
+  }
+  if (verdict.candidate.has_value()) {
+    value.flags |= kHasCandidate;
+    value.accuracy = verdict.candidate->accuracy;
+    value.aux0 = verdict.candidate->acc_outputs;
+    value.aux1 = verdict.candidate->parameters;
+  }
+  util::Fnv1a fnv;
+  for (const std::size_t width : widths) {
+    fnv.fold_u64(width);
+  }
+  value.checksum = fnv.value();
+  return value;
+}
+
+core::ArchVerdict unpack_verdict(const EvalValue& value,
+                                 const std::vector<std::size_t>& widths) {
+  core::ArchVerdict verdict;
+  verdict.infeasible = value.infeasible();
+  if ((value.flags & kHasCandidate) != 0) {
+    core::ArchCandidate candidate;
+    candidate.widths = widths;
+    candidate.accuracy = value.accuracy;
+    candidate.acc_outputs = static_cast<std::size_t>(value.aux0);
+    candidate.parameters = static_cast<std::size_t>(value.aux1);
+    verdict.candidate = std::move(candidate);
+  }
+  return verdict;
+}
+
+std::uint64_t fold_f64_bits(util::Fnv1a& fnv, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  fnv.fold_u64(bits);
+  return bits;
+}
+
+}  // namespace
+
+RunReport run_search(const RunConfig& config) {
+  namespace fs = std::filesystem;
+  RunReport report;
+  runtime::ThreadPool& pool = runtime::ThreadPool::resolve(config.pool);
+
+  const engine::EngineConfig engine_cfg;
+  const device::DeviceConfig device = device::DeviceConfig::msp430fr5994();
+
+  nn::TrainConfig proxy;
+  proxy.epochs = 3;
+  proxy.batch_size = 32;
+
+  core::SensitivityConfig sens_cfg;
+
+  // Deterministic workload streams, all derived from the run seed.
+  util::Rng data_rng(config.seed ^ 0xDA7A);
+  const data::Dataset train = make_dataset(data_rng, 200);
+  const data::Dataset val = make_dataset(data_rng, 100);
+  const std::uint64_t dataset_fp = dataset_fingerprint(train.inputs,
+                                                       train.labels);
+
+  // Config fingerprint: binds journals and cache keys to this exact run
+  // recipe. Every knob that changes any stage's trajectory is folded.
+  EvalKey config_fp;
+  {
+    KeyHasher h;
+    h.str("run/1");
+    h.u64(config.seed);
+    h.u64(config.evaluations);
+    h.u64(config.initial_random);
+    h.u64(config.batch_size);
+    h.u64(config.anneal_iterations);
+    h.u64(dataset_fp);
+    h.u64(proxy.epochs);
+    h.u64(proxy.batch_size);
+    h.f64(proxy.sgd.learning_rate);
+    h.f64(proxy.sgd.momentum);
+    h.f64(proxy.sgd.weight_decay);
+    h.u64(proxy.shuffle_seed);
+    h.f64(proxy.lr_decay);
+    h.f64(proxy.clip_grad_norm);
+    h.f64(sens_cfg.probe_ratio);
+    h.u8(static_cast<std::uint8_t>(sens_cfg.granularity));
+    h.u64(sens_cfg.max_samples);
+    fold_engine_config(h, engine_cfg, device.memory);
+    config_fp = h.key();
+  }
+
+  // Persistent state. A fresh (non-resume) run clears any leftover state
+  // so it can never silently continue a previous run.
+  CacheVault vault;
+  std::unique_ptr<SnapshotSlots> anneal_slots;
+  std::unique_ptr<SnapshotSlots> arch_slots;
+  std::unique_ptr<EvalCache> cache;
+  if (!config.state_dir.empty()) {
+    fs::create_directories(config.state_dir);
+    anneal_slots = std::make_unique<SnapshotSlots>(
+        (fs::path(config.state_dir) / "anneal").string());
+    arch_slots = std::make_unique<SnapshotSlots>(
+        (fs::path(config.state_dir) / "arch").string());
+    const std::string vault_path =
+        (fs::path(config.state_dir) / "eval_cache.bin").string();
+    if (!config.resume) {
+      std::error_code ec;
+      fs::remove(vault_path, ec);
+      for (int slot = 0; slot < 2; ++slot) {
+        fs::remove(anneal_slots->slot_path(slot), ec);
+        fs::remove(arch_slots->slot_path(slot), ec);
+      }
+    }
+    const VaultScrub scrub = vault.open(vault_path);
+    report.vault_records = scrub.records;
+    if (scrub.dropped_bytes > 0) {
+      util::log_info("search vault: scrub dropped " +
+                     std::to_string(scrub.dropped_bytes) + " bytes, kept " +
+                     std::to_string(scrub.records) + " records");
+    }
+    cache = std::make_unique<EvalCache>(&vault);
+  } else {
+    cache = std::make_unique<EvalCache>();
+  }
+
+  const runtime::RetryPolicy retry = runtime::RetryPolicy::transient_default();
+
+  // -------------------------------------------------------------------------
+  // Stage 1 — base model + per-layer sensitivity, probes cached.
+  util::Rng init_rng(config.seed ^ 0xBA5E);
+  nn::Graph base = build_family({12}, init_rng);
+  {
+    nn::Trainer trainer(base);
+    trainer.train(train.inputs, train.labels, proxy);
+  }
+  std::vector<engine::PrunableLayer> layers =
+      engine::prunable_layers(base, engine_cfg, device.memory);
+
+  KeyHasher sens_base;
+  sens_base.str("sens/1");
+  sens_base.u64(config_fp.hi);
+  sens_base.u64(config_fp.lo);
+  fold_graph(sens_base, base);
+
+  const double baseline =
+      nn::evaluate_graph(base, val.inputs, val.labels).accuracy;
+  report.sensitivities = runtime::parallel_map(
+      pool, layers.size(),
+      [&](std::size_t i) {
+        KeyHasher h = sens_base;
+        h.u64(i);
+        const EvalKey key = h.key();
+        if (const std::optional<EvalValue> hit = cache->lookup(key)) {
+          return hit->accuracy;
+        }
+        nn::Graph probe_graph = base.clone();
+        engine::PrunableLayer probe_layer =
+            engine::rebind_prunable(layers[i], probe_graph);
+        const double drop = core::probe_layer_sensitivity(
+            probe_graph, probe_layer, val.inputs, val.labels, baseline,
+            sens_cfg);
+        EvalValue value;
+        value.accuracy = drop;
+        value.aux0 = i;
+        cache->insert(key, value);
+        return drop;
+      },
+      retry);
+
+  // -------------------------------------------------------------------------
+  // Stage 2 — annealed ratio allocation, journaled every stride steps. The
+  // annealer has no cache to answer from, so resume restores the exact
+  // chain state (including the RNG stream position) from the journal.
+  std::vector<core::LayerStats> stats =
+      core::collect_layer_stats(layers, device);
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    stats[i].sensitivity = report.sensitivities[i];
+  }
+
+  core::AnnealHooks anneal_hooks;
+  std::uint64_t anneal_seq = 0;
+  if (anneal_slots != nullptr) {
+    if (config.resume) {
+      if (const auto snapshot = anneal_slots->load()) {
+        if (auto snap = decode_anneal(config_fp, snapshot->payload)) {
+          anneal_hooks.resume = std::move(*snap);
+          anneal_seq = snapshot->seq + 1;
+          report.resumed_anneal = true;
+        }
+      }
+    }
+    anneal_hooks.checkpoint_stride = config.anneal_checkpoint_stride;
+    anneal_hooks.on_checkpoint = [&](const core::AnnealCheckpoint& snap) {
+      anneal_slots->store(anneal_seq++, encode_anneal(config_fp, snap));
+    };
+  }
+
+  core::AnnealingConfig anneal_cfg;
+  anneal_cfg.iterations = config.anneal_iterations;
+  anneal_cfg.restarts = 1;
+  anneal_cfg.hooks = anneal_slots != nullptr ? &anneal_hooks : nullptr;
+  const core::IPruneAllocator allocator(anneal_cfg);
+  const double gamma = allocator.overall_ratio(stats, 0.5);
+  util::Rng anneal_rng(config.seed ^ 0xA11EA1);
+  report.ratios = allocator.allocate(stats, gamma, anneal_rng);
+
+  // -------------------------------------------------------------------------
+  // Stage 3 — architecture search. Candidate evaluations are pure
+  // functions of (widths, run recipe), so the search REPLAYS its full
+  // trajectory on resume and the vault answers every evaluation the
+  // previous leg completed — that replay is what yields the >50% hit rate
+  // after a mid-run kill. The generation journal is used as a divergence
+  // check: when the replay crosses the journaled boundary, its state must
+  // match the journal bit-for-bit.
+  KeyHasher arch_base;
+  arch_base.str("arch/1");
+  arch_base.u64(config_fp.hi);
+  arch_base.u64(config_fp.lo);
+
+  std::optional<core::ArchSearchCheckpoint> journal_arch;
+  if (arch_slots != nullptr && config.resume) {
+    if (const auto snapshot = arch_slots->load()) {
+      journal_arch = decode_arch(config_fp, snapshot->payload);
+      report.resumed_arch = journal_arch.has_value();
+    }
+  }
+
+  core::ArchSearchHooks arch_hooks;
+  arch_hooks.intercept =
+      [&](const std::vector<std::size_t>& widths,
+          const std::function<core::ArchVerdict()>& evaluate)
+      -> core::ArchVerdict {
+    KeyHasher h = arch_base;
+    h.u64(widths.size());
+    for (const std::size_t width : widths) {
+      h.u64(width);
+    }
+    const EvalKey key = h.key();
+    if (const std::optional<EvalValue> hit = cache->lookup(key)) {
+      return unpack_verdict(*hit, widths);
+    }
+    if (config.eval_delay_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config.eval_delay_ms));
+    }
+    const core::ArchVerdict verdict = evaluate();
+    cache->insert(key, pack_verdict(verdict, widths));
+    return verdict;
+  };
+  std::uint64_t arch_seq =
+      journal_arch ? journal_arch->next_evaluation : 0;  // monotonic enough
+  arch_hooks.on_generation = [&](const core::ArchSearchCheckpoint& snap) {
+    if (journal_arch &&
+        snap.next_evaluation == journal_arch->next_evaluation) {
+      const bool matches =
+          snap.rng == journal_arch->rng &&
+          snap.evaluated == journal_arch->evaluated &&
+          snap.infeasible == journal_arch->infeasible &&
+          snap.archive.size() == journal_arch->archive.size();
+      if (!matches) {
+        throw std::runtime_error(
+            "search resume: replayed trajectory diverged from the journal "
+            "(state directory mixes incompatible runs?)");
+      }
+    }
+    if (arch_slots != nullptr) {
+      arch_slots->store(arch_seq++, encode_arch(config_fp, snap));
+    }
+  };
+
+  core::ArchSearchConfig arch_cfg;
+  arch_cfg.min_widths = {4};
+  arch_cfg.max_widths = {24};
+  arch_cfg.evaluations = config.evaluations;
+  arch_cfg.initial_random = config.initial_random;
+  arch_cfg.proxy_training = proxy;
+  arch_cfg.seed = config.seed;
+  arch_cfg.engine = engine_cfg;
+  arch_cfg.memory = device.memory;
+  arch_cfg.batch_size = config.batch_size;
+  arch_cfg.pool = &pool;
+  arch_cfg.hooks = &arch_hooks;
+  report.arch = core::search_architectures(build_family, arch_cfg, train, val);
+
+  // -------------------------------------------------------------------------
+  // Digest: every numeric outcome, by bit pattern.
+  util::Fnv1a fnv;
+  fnv.fold_u64(report.sensitivities.size());
+  for (const double s : report.sensitivities) {
+    fold_f64_bits(fnv, s);
+  }
+  fnv.fold_u64(report.ratios.size());
+  for (const double r : report.ratios) {
+    fold_f64_bits(fnv, r);
+  }
+  fnv.fold_u64(report.arch.evaluated);
+  fnv.fold_u64(report.arch.infeasible);
+  fnv.fold_u64(report.arch.pareto_front.size());
+  for (const core::ArchCandidate& c : report.arch.pareto_front) {
+    fnv.fold_u64(c.widths.size());
+    for (const std::size_t width : c.widths) {
+      fnv.fold_u64(width);
+    }
+    fold_f64_bits(fnv, c.accuracy);
+    fnv.fold_u64(c.acc_outputs);
+    fnv.fold_u64(c.parameters);
+  }
+  report.digest = fnv.value();
+  report.cache = cache->stats();
+  return report;
+}
+
+}  // namespace iprune::search

@@ -1,0 +1,74 @@
+#pragma once
+// Crash-resumable search driver (docs/search_cache.md).
+//
+// run_search composes the three long-running search stages on a small
+// built-in width-family workload:
+//
+//   1. sensitivity — per-layer pruning probes, each answered from the
+//      content-addressed evaluation cache when possible;
+//   2. ratio annealing — the single-chain simulated annealer, journaled
+//      every `anneal_checkpoint_stride` steps via core::AnnealHooks;
+//   3. architecture search — the (1+λ) loop with every candidate
+//      evaluation content-addressed and every generation journaled via
+//      core::ArchSearchHooks.
+//
+// All persistent state lives under RunConfig::state_dir: the CRC-sealed
+// append-only evaluation vault plus one double-buffered snapshot journal
+// per journaled stage. Killing the process at ANY point and re-running
+// with resume=true converges to the bit-identical RunReport::digest of an
+// uninterrupted run: completed evaluations answer from the vault, and the
+// interrupted stage restarts from its last sealed checkpoint, whose RNG
+// stream position makes the replayed tail draw-for-draw identical.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/arch_search.hpp"
+#include "search/eval_cache.hpp"
+
+namespace iprune::runtime {
+class ThreadPool;
+}
+
+namespace iprune::search {
+
+struct RunConfig {
+  std::uint64_t seed = 77;
+  /// Architecture-search budget.
+  std::size_t evaluations = 12;
+  std::size_t initial_random = 4;
+  std::size_t batch_size = 4;
+  /// Annealer schedule / journal cadence.
+  std::size_t anneal_iterations = 2000;
+  std::size_t anneal_checkpoint_stride = 200;
+  /// Directory for vault + journals; empty = fully in-memory (no resume).
+  std::string state_dir;
+  /// Restore journals / vault from state_dir instead of starting fresh.
+  bool resume = false;
+  /// Artificial per-candidate-evaluation delay — stretches the crash
+  /// window so the CI resume-smoke job can SIGKILL mid-search reliably.
+  int eval_delay_ms = 0;
+  /// Pool for parallel stages; nullptr = ThreadPool::shared().
+  runtime::ThreadPool* pool = nullptr;
+};
+
+struct RunReport {
+  std::vector<double> sensitivities;
+  std::vector<double> ratios;
+  core::ArchSearchResult arch;
+  /// Cache statistics for THIS process leg only (a resumed leg shows the
+  /// hits the vault supplied).
+  CacheStats cache;
+  /// Records the vault held after the boot scrub (0 for fresh runs).
+  std::size_t vault_records = 0;
+  bool resumed_anneal = false;
+  bool resumed_arch = false;
+  /// FNV-1a fingerprint over every numeric outcome above (bit patterns,
+  /// not decimals) — the value the resume tests compare.
+  std::uint64_t digest = 0;
+};
+
+RunReport run_search(const RunConfig& config);
+
+}  // namespace iprune::search

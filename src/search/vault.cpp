@@ -1,0 +1,219 @@
+#include "search/vault.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "device/crc16.hpp"
+#include "search/codec.hpp"
+#include "util/atomic_write.hpp"
+
+namespace iprune::search {
+namespace {
+
+constexpr char kVaultMagic[8] = {'I', 'P', 'E', 'V', 'C', '0', '1', '\n'};
+constexpr char kSnapMagic[8] = {'I', 'P', 'S', 'J', '0', '1', '\r', '\n'};
+
+void write_value(ByteWriter& writer, const EvalValue& value) {
+  writer.f64(value.accuracy);
+  writer.f64(value.loss);
+  writer.f64(value.latency_us);
+  writer.f64(value.energy_j);
+  writer.u64(value.aux0);
+  writer.u64(value.aux1);
+  writer.u64(value.checksum);
+  writer.u64(value.flags);
+}
+
+EvalValue read_value(ByteReader& reader) {
+  EvalValue value;
+  value.accuracy = reader.f64();
+  value.loss = reader.f64();
+  value.latency_us = reader.f64();
+  value.energy_j = reader.f64();
+  value.aux0 = reader.u64();
+  value.aux1 = reader.u64();
+  value.checksum = reader.u64();
+  value.flags = reader.u64();
+  return value;
+}
+
+std::vector<std::uint8_t> encode_record(const EvalKey& key,
+                                        const EvalValue& value) {
+  ByteWriter writer;
+  writer.u64(key.hi);
+  writer.u64(key.lo);
+  write_value(writer, value);
+  std::vector<std::uint8_t> bytes = writer.bytes();
+  const std::uint16_t crc = device::crc16_ccitt({bytes.data(), bytes.size()});
+  bytes.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+  bytes.push_back(static_cast<std::uint8_t>(crc >> 8));
+  return bytes;
+}
+
+/// nullopt when the CRC does not match the sealed payload.
+std::optional<VaultRecord> decode_record(const std::uint8_t* bytes) {
+  const std::size_t payload = CacheVault::kRecordBytes - 2;
+  const std::uint16_t sealed =
+      static_cast<std::uint16_t>(bytes[payload]) |
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(bytes[payload + 1])
+                                 << 8);
+  if (device::crc16_ccitt({bytes, payload}) != sealed) {
+    return std::nullopt;
+  }
+  ByteReader reader(bytes, payload);
+  VaultRecord record;
+  record.key.hi = reader.u64();
+  record.key.lo = reader.u64();
+  record.value = read_value(reader);
+  return record;
+}
+
+std::vector<std::uint8_t> read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {};
+  }
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+}  // namespace
+
+CacheVault::~CacheVault() { close(); }
+
+void CacheVault::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+VaultScrub CacheVault::open(const std::string& path) {
+  close();
+  records_.clear();
+  path_ = path;
+  VaultScrub scrub;
+
+  const std::vector<std::uint8_t> bytes = read_all(path);
+  std::size_t valid_bytes = 0;
+  bool header_ok = bytes.size() >= sizeof(kVaultMagic) &&
+                   std::memcmp(bytes.data(), kVaultMagic,
+                               sizeof(kVaultMagic)) == 0;
+  if (header_ok) {
+    valid_bytes = sizeof(kVaultMagic);
+    while (bytes.size() - valid_bytes >= kRecordBytes) {
+      std::optional<VaultRecord> record =
+          decode_record(bytes.data() + valid_bytes);
+      if (!record) {
+        break;  // first bad record: keep the valid prefix, drop the rest
+      }
+      records_.push_back(*record);
+      valid_bytes += kRecordBytes;
+    }
+    scrub.records = records_.size();
+    scrub.dropped_bytes = bytes.size() - valid_bytes;
+  } else {
+    scrub.rewrote_header = true;
+    scrub.dropped_bytes = bytes.size();
+  }
+
+  if (scrub.dropped_bytes > 0 || scrub.rewrote_header) {
+    // Rewrite the salvaged prefix atomically so the on-disk file and the
+    // in-memory view agree before any new appends land.
+    std::string fresh(kVaultMagic, sizeof(kVaultMagic));
+    for (const VaultRecord& record : records_) {
+      const std::vector<std::uint8_t> encoded =
+          encode_record(record.key, record.value);
+      fresh.append(reinterpret_cast<const char*>(encoded.data()),
+                   encoded.size());
+    }
+    util::atomic_write_or_throw(path, fresh, "search vault");
+  }
+
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    throw std::runtime_error("search vault: cannot open " + path);
+  }
+  return scrub;
+}
+
+void CacheVault::append(const EvalKey& key, const EvalValue& value) {
+  if (file_ == nullptr) {
+    return;  // in-memory-only cache: vault never opened
+  }
+  const std::vector<std::uint8_t> bytes = encode_record(key, value);
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    throw std::runtime_error("search vault: append failed for " + path_);
+  }
+  std::fflush(file_);
+  records_.push_back({key, value});
+}
+
+std::string SnapshotSlots::slot_path(int slot) const {
+  return stem_ + (slot == 0 ? ".a" : ".b");
+}
+
+void SnapshotSlots::store(std::uint64_t seq,
+                          const std::vector<std::uint8_t>& payload) {
+  ByteWriter writer;
+  for (const char c : kSnapMagic) {
+    writer.u8(static_cast<std::uint8_t>(c));
+  }
+  writer.u64(seq);
+  writer.u64(payload.size());
+  writer.bytes_append(payload);
+  std::vector<std::uint8_t> bytes = writer.bytes();
+  const std::uint16_t crc = device::crc16_ccitt({bytes.data(), bytes.size()});
+  bytes.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+  bytes.push_back(static_cast<std::uint8_t>(crc >> 8));
+  const std::string path = slot_path(static_cast<int>(seq % 2));
+  util::atomic_write_or_throw(
+      path,
+      std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                       bytes.size()),
+      "search snapshot");
+}
+
+std::optional<SnapshotSlots::Snapshot> SnapshotSlots::load() const {
+  std::optional<Snapshot> best;
+  for (int slot = 0; slot < 2; ++slot) {
+    const std::vector<std::uint8_t> bytes = read_all(slot_path(slot));
+    if (bytes.size() < sizeof(kSnapMagic) + 8 + 8 + 2) {
+      continue;
+    }
+    if (std::memcmp(bytes.data(), kSnapMagic, sizeof(kSnapMagic)) != 0) {
+      continue;
+    }
+    const std::size_t payload_bytes = bytes.size() - 2;
+    const std::uint16_t sealed =
+        static_cast<std::uint16_t>(bytes[payload_bytes]) |
+        static_cast<std::uint16_t>(
+            static_cast<std::uint16_t>(bytes[payload_bytes + 1]) << 8);
+    if (device::crc16_ccitt({bytes.data(), payload_bytes}) != sealed) {
+      continue;
+    }
+    try {
+      ByteReader reader(bytes.data() + sizeof(kSnapMagic),
+                        payload_bytes - sizeof(kSnapMagic));
+      Snapshot snapshot;
+      snapshot.seq = reader.u64();
+      const std::uint64_t length = reader.u64();
+      if (length != reader.remaining()) {
+        continue;
+      }
+      snapshot.payload.resize(length);
+      for (std::uint64_t i = 0; i < length; ++i) {
+        snapshot.payload[i] = reader.u8();
+      }
+      if (!best || snapshot.seq > best->seq) {
+        best = std::move(snapshot);
+      }
+    } catch (const std::exception&) {
+      continue;  // torn payload despite CRC match (cannot happen in practice)
+    }
+  }
+  return best;
+}
+
+}  // namespace iprune::search

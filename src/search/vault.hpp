@@ -1,0 +1,106 @@
+#pragma once
+// Crash-safe persistence for the search subsystem (docs/search_cache.md).
+//
+// Two building blocks, both sealed with the same CRC-16/CCITT-FALSE the
+// intermittent engine uses for NVM progress records (device/crc16.hpp):
+//
+//  * CacheVault — an append-only log of fixed-size evaluation records
+//    (EvalKey + EvalValue + CRC). Appends are O(record); a crash can only
+//    tear the final record. open() scrubs the file on boot and truncates
+//    at the first bad record instead of failing — the valid prefix is
+//    always salvaged, mirroring the engine's power-failure recovery
+//    ladder rather than treating corruption as fatal.
+//
+//  * SnapshotSlots — a double-buffered checkpoint journal (slot files
+//    <stem>.a / <stem>.b). store(seq, payload) seals the payload and
+//    atomically replaces slot seq%2, so one intact older snapshot always
+//    survives a crash mid-write; load() returns the highest-sequence
+//    valid slot. This is the PR 4 double-buffered progress-record idiom
+//    lifted from simulated NVM onto the host filesystem.
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "search/eval_cache.hpp"
+#include "search/eval_key.hpp"
+
+namespace iprune::search {
+
+/// One scrubbed cache record.
+struct VaultRecord {
+  EvalKey key;
+  EvalValue value;
+};
+
+/// Outcome of the boot-time scrub.
+struct VaultScrub {
+  std::size_t records = 0;        ///< valid records salvaged
+  std::size_t dropped_bytes = 0;  ///< bytes truncated after the valid prefix
+  bool rewrote_header = false;    ///< file was absent/bad and re-created
+};
+
+class CacheVault {
+ public:
+  CacheVault() = default;
+  ~CacheVault();
+
+  CacheVault(const CacheVault&) = delete;
+  CacheVault& operator=(const CacheVault&) = delete;
+
+  /// Serialized record size: 16-byte key + 64-byte value + 2-byte CRC.
+  static constexpr std::size_t kRecordBytes = 82;
+
+  /// Open (creating if absent) and scrub: every sealed record in the valid
+  /// prefix is loaded, and the file is truncated at the first record whose
+  /// CRC fails or which is shorter than kRecordBytes. Never throws on
+  /// corruption — a torn tail is an expected crash artifact.
+  VaultScrub open(const std::string& path);
+
+  /// Append one sealed record and flush it to the OS.
+  void append(const EvalKey& key, const EvalValue& value);
+
+  [[nodiscard]] const std::vector<VaultRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] bool is_open() const { return file_ != nullptr; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  void close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::vector<VaultRecord> records_;
+};
+
+/// Double-buffered sealed snapshots. Payloads are opaque byte strings
+/// (the search drivers serialize checkpoints with search/codec.hpp).
+class SnapshotSlots {
+ public:
+  /// Slot files are <stem>.a and <stem>.b.
+  explicit SnapshotSlots(std::string stem) : stem_(std::move(stem)) {}
+
+  /// Seal and atomically publish `payload` into slot seq%2. Throws only if
+  /// the filesystem rejects the write entirely (util::atomic_write fails).
+  void store(std::uint64_t seq, const std::vector<std::uint8_t>& payload);
+
+  struct Snapshot {
+    std::uint64_t seq = 0;
+    std::vector<std::uint8_t> payload;
+  };
+
+  /// Highest-sequence valid snapshot across both slots; nullopt when
+  /// neither slot holds a sealed record (fresh start or double corruption).
+  [[nodiscard]] std::optional<Snapshot> load() const;
+
+  [[nodiscard]] std::string slot_path(int slot) const;
+
+ private:
+  std::string stem_;
+};
+
+}  // namespace iprune::search

@@ -1,0 +1,88 @@
+#include "util/atomic_write.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace iprune::util {
+
+namespace {
+
+/// Flush a stdio stream down to the storage device. Best-effort on
+/// platforms without fsync; the rename itself is still atomic.
+bool sync_stream(std::FILE* file) {
+  if (std::fflush(file) != 0) {
+    return false;
+  }
+#if defined(_WIN32)
+  return _commit(_fileno(file)) == 0;
+#else
+  return ::fsync(fileno(file)) == 0;
+#endif
+}
+
+/// After renaming, persist the directory entry so the rename survives a
+/// power cut too (POSIX requires fsync on the containing directory).
+void sync_parent_dir(const std::string& path) {
+#if !defined(_WIN32)
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);  // best-effort: some filesystems reject directory fsync
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+bool atomic_write(const std::string& path, std::string_view bytes) {
+  // The temp file must live in the destination directory: rename() is
+  // only atomic within one filesystem. The pid suffix keeps concurrent
+  // writers of the same artifact from clobbering each other's temp file.
+#if defined(_WIN32)
+  const long pid = 0;
+#else
+  const long pid = static_cast<long>(::getpid());
+#endif
+  const std::string tmp = path + ".tmp." + std::to_string(pid);
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return false;
+  }
+  const bool wrote =
+      bytes.empty() ||
+      std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size();
+  const bool synced = wrote && sync_stream(file);
+  const bool closed = std::fclose(file) == 0;
+  if (!wrote || !synced || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  sync_parent_dir(path);
+  return true;
+}
+
+void atomic_write_or_throw(const std::string& path, std::string_view bytes,
+                           const std::string& what) {
+  if (!atomic_write(path, bytes)) {
+    throw std::runtime_error(what + ": cannot write " + path);
+  }
+}
+
+}  // namespace iprune::util

@@ -1,0 +1,25 @@
+#pragma once
+// Crash-safe file replacement: write to a temp file in the destination
+// directory, fsync it, then rename() over the target, so readers either
+// see the complete old contents or the complete new contents — never a
+// torn artifact. Every artifact writer (fleet CSV/Prometheus gateways,
+// BENCH_PERF.json, fuzzer repros, the search-state journal) goes through
+// this; a process killed mid-write leaves at worst a stray *.tmp.* file.
+
+#include <string>
+#include <string_view>
+
+namespace iprune::util {
+
+/// Atomically replace `path` with `bytes`. Returns false (and removes the
+/// temp file) on any I/O failure; the previous contents of `path`, if
+/// any, are untouched on failure.
+[[nodiscard]] bool atomic_write(const std::string& path,
+                                std::string_view bytes);
+
+/// atomic_write that throws std::runtime_error("<what>: cannot write
+/// <path>") instead of returning false.
+void atomic_write_or_throw(const std::string& path, std::string_view bytes,
+                           const std::string& what);
+
+}  // namespace iprune::util

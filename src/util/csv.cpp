@@ -1,7 +1,8 @@
 #include "util/csv.hpp"
 
-#include <fstream>
 #include <sstream>
+
+#include "util/atomic_write.hpp"
 
 namespace iprune::util {
 
@@ -49,12 +50,9 @@ std::string CsvWriter::str() const {
 }
 
 bool CsvWriter::save(const std::string& path) const {
-  std::ofstream file(path, std::ios::trunc);
-  if (!file) {
-    return false;
-  }
-  file << str();
-  return static_cast<bool>(file);
+  // Crash-safe: a process killed mid-save leaves the previous file (or no
+  // file) rather than a torn CSV.
+  return atomic_write(path, str());
 }
 
 }  // namespace iprune::util

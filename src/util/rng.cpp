@@ -100,4 +100,22 @@ Rng Rng::split() {
   return Rng(next_u64());
 }
 
+RngState Rng::state() const {
+  RngState s;
+  s.words = {state_[0], state_[1], state_[2], state_[3]};
+  s.cached_normal = cached_normal_;
+  s.has_cached_normal = has_cached_normal_;
+  return s;
+}
+
+Rng Rng::from_state(const RngState& state) {
+  Rng rng(0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    rng.state_[i] = state.words[i];
+  }
+  rng.cached_normal_ = state.cached_normal;
+  rng.has_cached_normal_ = state.has_cached_normal;
+  return rng;
+}
+
 }  // namespace iprune::util

@@ -5,10 +5,23 @@
 // annealing, dropout-style noise) draws from a seeded Rng so that tests and
 // benchmark tables are bit-reproducible across runs and machines.
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 namespace iprune::util {
+
+/// Complete serialized state of an Rng: the xoshiro256++ words plus the
+/// Box-Muller carry. Restoring a captured state resumes the stream
+/// bit-identically — the search journal persists exactly this so a killed
+/// annealing / arch-search run replays the same draw sequence.
+struct RngState {
+  std::array<std::uint64_t, 4> words{};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+
+  bool operator==(const RngState& other) const = default;
+};
 
 /// xoshiro256++ PRNG seeded via splitmix64.
 ///
@@ -48,6 +61,12 @@ class Rng {
 
   /// Derive an independent child stream (for parallel-safe sub-seeding).
   Rng split();
+
+  /// Snapshot the complete stream position (see RngState).
+  [[nodiscard]] RngState state() const;
+
+  /// Rng resuming at `state`; draws continue the captured stream exactly.
+  static Rng from_state(const RngState& state);
 
  private:
   std::uint64_t state_[4];

@@ -1,0 +1,171 @@
+#include "runtime/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/parallel.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace iprune::runtime {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(RetryPolicy, BackoffScheduleIsExponentialAndCapped) {
+  RetryPolicy policy;
+  policy.initial_backoff = milliseconds(5);
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff = milliseconds(30);
+  EXPECT_EQ(policy.backoff_after(0), milliseconds(5));
+  EXPECT_EQ(policy.backoff_after(1), milliseconds(10));
+  EXPECT_EQ(policy.backoff_after(2), milliseconds(20));
+  EXPECT_EQ(policy.backoff_after(3), milliseconds(30));  // capped
+  EXPECT_EQ(policy.backoff_after(10), milliseconds(30));
+}
+
+TEST(RetryPolicy, SubUnityMultiplierNeverShrinksBackoff) {
+  RetryPolicy policy;
+  policy.initial_backoff = milliseconds(8);
+  policy.backoff_multiplier = 0.5;  // nonsense config: clamped to 1.0
+  policy.max_backoff = milliseconds(100);
+  EXPECT_EQ(policy.backoff_after(0), milliseconds(8));
+  EXPECT_EQ(policy.backoff_after(5), milliseconds(8));
+}
+
+TEST(RetryPolicy, DisabledWithSingleAttempt) {
+  EXPECT_FALSE(RetryPolicy{}.enabled());
+  EXPECT_TRUE(RetryPolicy::transient_default().enabled());
+  EXPECT_EQ(RetryPolicy::transient_default().max_attempts, 4);
+}
+
+TEST(RetryCall, SucceedsAfterTransientFailures) {
+  RetryPolicy policy = RetryPolicy::transient_default();
+  std::vector<milliseconds> slept;
+  int calls = 0;
+  const int result = retry_call(
+      policy,
+      [&] {
+        if (++calls < 3) {
+          throw TransientError("flaky");
+        }
+        return 42;
+      },
+      [&](milliseconds delay) { slept.push_back(delay); });
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(calls, 3);
+  // One backoff per failed attempt, following the schedule exactly.
+  ASSERT_EQ(slept.size(), 2u);
+  EXPECT_EQ(slept[0], policy.backoff_after(0));
+  EXPECT_EQ(slept[1], policy.backoff_after(1));
+}
+
+TEST(RetryCall, ExhaustedAttemptsRethrowTheTransientError) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  int calls = 0;
+  std::vector<milliseconds> slept;
+  EXPECT_THROW(retry_call(
+                   policy,
+                   [&]() -> int {
+                     ++calls;
+                     throw TransientError("always down");
+                   },
+                   [&](milliseconds delay) { slept.push_back(delay); }),
+               TransientError);
+  EXPECT_EQ(calls, 3);          // exactly max_attempts calls
+  EXPECT_EQ(slept.size(), 2u);  // no sleep after the final failure
+}
+
+TEST(RetryCall, NonTransientErrorFailsFastWithDynamicType) {
+  int calls = 0;
+  EXPECT_THROW(retry_call(RetryPolicy::transient_default(),
+                          [&]() -> int {
+                            ++calls;
+                            throw std::logic_error("deterministic bug");
+                          }),
+               std::logic_error);
+  EXPECT_EQ(calls, 1);  // never retried
+}
+
+TEST(RetryCall, DisabledPolicyRethrowsTransientImmediately) {
+  int calls = 0;
+  EXPECT_THROW(retry_call(RetryPolicy{},
+                          [&]() -> int {
+                            ++calls;
+                            throw TransientError("once");
+                          }),
+               TransientError);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Retrier, DecisionTableMatchesPolicy) {
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  const Retrier retrier(policy);
+  // Transient, attempts remain -> backoff returned (must be thrown and
+  // caught so the catch block can rethrow the live exception).
+  try {
+    throw TransientError("t");
+  } catch (const std::exception& error) {
+    EXPECT_EQ(retrier.handle_exception(0, error), policy.backoff_after(0));
+  }
+  // Transient, attempts exhausted -> rethrows.
+  try {
+    throw TransientError("t");
+  } catch (const std::exception& error) {
+    EXPECT_THROW((void)retrier.handle_exception(1, error), TransientError);
+  }
+}
+
+TEST(ParallelMapRetry, RecoversFlakyTasksDeterministically) {
+  ThreadPool pool(4);
+  // Every index fails transiently on its first call, then succeeds. With
+  // retry wired in, the map completes and the gather order is unchanged.
+  std::vector<std::atomic<int>> calls(16);
+  const std::vector<std::size_t> results = parallel_map(
+      pool, std::size_t{16},
+      [&](std::size_t i) -> std::size_t {
+        if (calls[i].fetch_add(1) == 0) {
+          throw TransientError("first touch");
+        }
+        return i * 10;
+      },
+      RetryPolicy::transient_default(),
+      [](milliseconds) {});  // no real sleeping in tests
+  ASSERT_EQ(results.size(), 16u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], i * 10);
+    EXPECT_EQ(calls[i].load(), 2);
+  }
+}
+
+TEST(ParallelMapRetry, NonTransientStillAbortsTheMap) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_map(
+                   pool, std::size_t{8},
+                   [&](std::size_t i) -> std::size_t {
+                     if (i == 3) {
+                       throw std::invalid_argument("broken task");
+                     }
+                     return i;
+                   },
+                   RetryPolicy::transient_default(), [](milliseconds) {}),
+               std::invalid_argument);
+}
+
+TEST(ParallelMapRetry, DisabledPolicyMatchesPlainMap) {
+  ThreadPool pool(2);
+  const auto plain = parallel_map(pool, std::size_t{8},
+                                  [](std::size_t i) { return i + 1; });
+  const auto wrapped =
+      parallel_map(pool, std::size_t{8}, [](std::size_t i) { return i + 1; },
+                   RetryPolicy{});
+  EXPECT_EQ(plain, wrapped);
+}
+
+}  // namespace
+}  // namespace iprune::runtime
