@@ -67,7 +67,7 @@ int main() {
   cfg.proxy_training.sgd.momentum = 0.9f;
   cfg.proxy_training.lr_decay = 0.85f;
   cfg.engine = w.prune.engine;
-  cfg.memory = w.prune.device.memory;
+  cfg.memory = w.prune.backend.device.memory;
 
   std::printf("searching %zu candidates (proxy: %zu epochs on %zu "
               "samples)...\n\n",
@@ -97,7 +97,7 @@ int main() {
   auto outputs_of = [&](apps::PreparedModel& pm) {
     const auto layers = engine::prunable_layers(
         pm.workload.graph, pm.workload.prune.engine,
-        pm.workload.prune.device.memory);
+        pm.workload.prune.backend.device.memory);
     std::size_t total = 0;
     for (const auto& layer : layers) {
       total += layer.acc_outputs();

@@ -30,7 +30,7 @@ int main() {
         apps::WorkloadId::kCks, apps::Framework::kUnpruned);
     auto layers = engine::prunable_layers(
         pm.workload.graph, pm.workload.prune.engine,
-        pm.workload.prune.device.memory);
+        pm.workload.prune.backend.device.memory);
     const auto& fc1 = layers[2];  // conv1, conv2, fc1, fc2, fc3
     table.row()
         .cell("unpruned")
@@ -46,7 +46,7 @@ int main() {
         apps::WorkloadId::kCks, apps::Framework::kIPrune);
     auto layers = engine::prunable_layers(
         pm.workload.graph, pm.workload.prune.engine,
-        pm.workload.prune.device.memory);
+        pm.workload.prune.backend.device.memory);
     const auto& fc1 = layers[2];
     table.row()
         .cell("iPrune (whole model)")
@@ -72,7 +72,7 @@ int main() {
         trainer.evaluate(w.val.inputs, w.val.labels).accuracy;
     const core::DecompositionCost cost = core::decomposition_cost(
         fc1.out_features(), fc1.in_features(), rank, w.prune.engine,
-        w.prune.device.memory);
+        w.prune.backend.device.memory);
     table.row()
         .cell("low-rank r=" + std::to_string(rank) + " (err " +
               util::Table::format(d.relative_error * 100.0, 1) + "%)")
@@ -95,7 +95,7 @@ int main() {
     const double acc =
         trainer.evaluate(w.val.inputs, w.val.labels).accuracy;
     auto layers = engine::prunable_layers(w.graph, w.prune.engine,
-                                          w.prune.device.memory);
+                                          w.prune.backend.device.memory);
     table.row()
         .cell("weight sharing, " + std::to_string(clusters) + " clusters")
         .cell(util::Table::format(acc * 100.0, 1) + "%")

@@ -36,7 +36,7 @@ int main() {
         apps::WorkloadId::kHar, apps::Framework::kUnpruned);
     apps::Workload& w = pm.workload;
     auto layers = engine::prunable_layers(w.graph, w.prune.engine,
-                                          w.prune.device.memory);
+                                          w.prune.backend.device.memory);
     nn::TrainConfig retrain = w.prune.finetune;
     retrain.epochs = 4;
     const auto result = baselines::one_shot_prune(

@@ -120,6 +120,7 @@ int main(int argc, char** argv) {
 
     util::PerfEntry entry;
     entry.name = "fleet_scaling_lanes" + std::to_string(lanes);
+    entry.backend = spec.groups[0].backend.describe();
     entry.iters = 1;
     entry.median_ns = static_cast<std::uint64_t>(wall * 1e9);
     entry.checksum = result.checksum;
@@ -201,6 +202,7 @@ int main(int argc, char** argv) {
 
     util::PerfEntry entry;
     entry.name = std::string("fleet_modes_") + fleet::sim_kind_name(sim);
+    entry.backend = mode_spec.groups[0].backend.describe();
     entry.iters = 3;
     entry.median_ns = static_cast<std::uint64_t>(wall * 1e9);
     entry.checksum = result.checksum;

@@ -36,7 +36,7 @@ int main() {
 
   apps::Workload workload = apps::make_workload(apps::WorkloadId::kHar);
   std::vector<engine::PrunableLayer> layers = engine::prunable_layers(
-      workload.graph, workload.prune.engine, workload.prune.device.memory);
+      workload.graph, workload.prune.engine, workload.prune.backend.device.memory);
 
   runtime::ThreadPool serial_pool(1);
   runtime::ThreadPool wide_pool(lanes);
@@ -82,7 +82,7 @@ int main() {
   // so this phase approaches ideal scaling.
   {
     std::vector<core::LayerStats> stats =
-        core::collect_layer_stats(layers, workload.prune.device);
+        core::collect_layer_stats(layers, workload.prune.backend.device);
     for (std::size_t i = 0; i < stats.size(); ++i) {
       stats[i].sensitivity = 0.02 * static_cast<double>(i + 1);
     }

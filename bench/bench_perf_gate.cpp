@@ -206,6 +206,7 @@ PerfEntry time_engine_e2e(std::size_t iters) {
   sum.fold_floats(warm.logits.data(), warm.logits.size());
   PerfEntry e;
   e.name = "engine_e2e_infer";
+  e.backend = iprune::engine::BackendConfig::msp430_fram().describe();
   e.iters = iters;
   e.checksum = sum.value();
   e.median_ns = median_ns(iters, [&] { (void)eng.run(sample); });
@@ -266,6 +267,7 @@ PerfEntry time_fleet_sim(std::size_t iters, iprune::fleet::SimKind sim,
   iprune::runtime::ThreadPool pool(1);
   PerfEntry e;
   e.name = name;
+  e.backend = spec.groups[0].backend.describe();
   e.iters = iters;
   e.checksum = orchestrator.run(&pool).checksum;
   e.median_ns = median_ns(iters, [&] { (void)orchestrator.run(&pool); });

@@ -48,7 +48,7 @@ int main() {
     }
 
     const auto prunable = engine::prunable_layers(
-        w.graph, w.prune.engine, w.prune.device.memory);
+        w.graph, w.prune.engine, w.prune.backend.device.memory);
     std::size_t macs = 0, outputs = 0;
     std::size_t min_out = SIZE_MAX, max_out = 0;
     for (const auto& layer : prunable) {
@@ -75,7 +75,7 @@ int main() {
   for (const apps::WorkloadId id : apps::all_workloads()) {
     apps::Workload w = apps::make_workload(id);
     const auto prunable = engine::prunable_layers(
-        w.graph, w.prune.engine, w.prune.device.memory);
+        w.graph, w.prune.engine, w.prune.backend.device.memory);
     util::Table detail({"Layer (" + w.name + ")", "R", "S", "K", "Bk",
                         "MACs", "Acc. Outputs"});
     for (const auto& layer : prunable) {

@@ -22,7 +22,7 @@ int main() {
 
   const auto layers = engine::prunable_layers(
       pm.workload.graph, pm.workload.prune.engine,
-      pm.workload.prune.device.memory);
+      pm.workload.prune.backend.device.memory);
 
   util::Table table({"Layer", "Block grid", "Alive blocks", "Sparsity",
                      "Dense bytes", "BSR bytes", "Index overhead",

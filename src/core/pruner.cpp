@@ -22,7 +22,7 @@ PruneOutcome IterativePruner::run(nn::Graph& graph, const nn::Tensor& train_x,
                                   const nn::Tensor& val_x,
                                   std::span<const int> val_y) {
   std::vector<engine::PrunableLayer> layers =
-      prunable_layers(graph, config_.engine, config_.device.memory);
+      prunable_layers(graph, config_.engine, config_.backend.device.memory);
   if (layers.empty()) {
     throw std::invalid_argument("IterativePruner: graph has no prunable "
                                 "CONV/FC layers");
@@ -64,7 +64,7 @@ PruneOutcome IterativePruner::run(nn::Graph& graph, const nn::Tensor& train_x,
       record.sensitivities =
           analyze_sensitivities(graph, layers, val_x, val_y, sens_cfg);
       std::vector<LayerStats> stats =
-          collect_layer_stats(layers, config_.device);
+          collect_layer_stats(layers, config_.backend.device);
       for (std::size_t i = 0; i < stats.size(); ++i) {
         stats[i].sensitivity = record.sensitivities[i];
       }

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "core/ratio_search.hpp"
+#include "engine/backend.hpp"
 #include "core/sensitivity.hpp"
 #include "core/snapshot.hpp"
 #include "nn/trainer.hpp"
@@ -42,7 +43,11 @@ struct PruneConfig {
   nn::TrainConfig finetune;
   std::uint64_t seed = 1234;
   engine::EngineConfig engine;
-  device::DeviceConfig device;
+  /// Deployment target whose memory geometry shapes the tile plans and
+  /// whose cost table prices the criterion (§III-A energy estimates).
+  /// Swapping presets (msp430-fram / reram / stt-mram) re-prices the
+  /// whole loop — bench_backend_matrix sweeps exactly this knob.
+  engine::BackendConfig backend = engine::BackendConfig::msp430_fram();
 };
 
 struct IterationRecord {

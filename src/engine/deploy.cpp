@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "device/crc16.hpp"
+#include "engine/backend.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/dense.hpp"
 
@@ -50,17 +51,29 @@ std::vector<std::uint8_t> pack_array(const std::vector<Wide>& values) {
 DeployedModel::DeployedModel(nn::Graph& graph, const EngineConfig& config,
                              device::Msp430Device& device,
                              const nn::Tensor& calibration_batch)
+    : DeployedModel(graph, config, device.config().memory, device.nvm(),
+                    calibration_batch) {}
+
+DeployedModel::DeployedModel(nn::Graph& graph, const EngineConfig& config,
+                             Backend& backend,
+                             const nn::Tensor& calibration_batch)
+    : DeployedModel(graph, config, backend.config().memory, backend.nvm(),
+                    calibration_batch) {}
+
+DeployedModel::DeployedModel(nn::Graph& graph, const EngineConfig& config,
+                             const device::MemoryConfig& memory,
+                             device::Nvm& nvm,
+                             const nn::Tensor& calibration_batch)
     : config_(config) {
   // The protected progress indicator is a 6-byte CRC-sealed record; every
   // engine charge formula picks the widening up through counter_bytes.
   if (config_.integrity.protect_progress) {
     config_.counter_bytes = kProgressRecordBytes;
   }
-  lowered_ = lower_graph(graph, config_, device.config().memory);
+  lowered_ = lower_graph(graph, config_, memory);
   const CalibrationTable calib =
       calibrate(graph, lowered_, calibration_batch);
 
-  device::Nvm& nvm = device.nvm();
   nodes_.resize(lowered_.nodes.size());
 
   const std::size_t progress_bytes =

@@ -46,6 +46,14 @@ class DeployedModel {
   DeployedModel(nn::Graph& graph, const EngineConfig& config,
                 device::Msp430Device& device,
                 const nn::Tensor& calibration_batch);
+  /// Same, deploying into a backend's NVM (lowering reads the backend's
+  /// memory geometry, so tile plans match the device it will run on).
+  DeployedModel(nn::Graph& graph, const EngineConfig& config,
+                class Backend& backend, const nn::Tensor& calibration_batch);
+  /// Core form: lower against `memory` and write into `nvm`.
+  DeployedModel(nn::Graph& graph, const EngineConfig& config,
+                const device::MemoryConfig& memory, device::Nvm& nvm,
+                const nn::Tensor& calibration_batch);
 
   DeployedModel(const DeployedModel&) = delete;
   DeployedModel& operator=(const DeployedModel&) = delete;

@@ -119,8 +119,15 @@ class TileGather {
 }  // namespace
 
 IntermittentEngine::IntermittentEngine(DeployedModel& model,
+                                       Backend& backend)
+    : model_(model), backend_(backend), config_(model.config()) {}
+
+IntermittentEngine::IntermittentEngine(DeployedModel& model,
                                        device::Msp430Device& device)
-    : model_(model), device_(device), config_(model.config()) {}
+    : model_(model),
+      owned_backend_(std::make_unique<CycleBackend>(device)),
+      backend_(*owned_backend_),
+      config_(model.config()) {}
 
 std::int16_t IntermittentEngine::requantize(std::int64_t psum,
                                             float multiplier, bool relu) {
@@ -154,16 +161,16 @@ void IntermittentEngine::note_commit() {
   ++job_counter_;
   // Commit records are externally visible progress: in scheduler mode the
   // device settles skipped fault ordinals and re-plans its window here.
-  device_.on_commit_boundary();
+  backend_.on_commit_boundary();
   if (probe_ != nullptr) {
     probe_->on_commit(job_counter_);
   }
-  if (device_.trace_enabled()) {
-    telemetry::TraceSink& sink = device_.trace_sink();
+  if (backend_.trace_enabled()) {
+    telemetry::TraceSink& sink = backend_.trace_sink();
     telemetry::Event event;
     event.cls = telemetry::EventClass::kProgressCommit;
     event.phase = telemetry::EventPhase::kInstant;
-    event.t_us = device_.now_us();
+    event.t_us = backend_.now_us();
     event.bytes = config_.counter_bytes;
     event.seq = job_counter_;
     sink.record(event);
@@ -172,14 +179,14 @@ void IntermittentEngine::note_commit() {
 
 void IntermittentEngine::emit_integrity_event(const std::string& name,
                                               std::uint64_t seq) {
-  if (!device_.trace_enabled()) {
+  if (!backend_.trace_enabled()) {
     return;
   }
-  telemetry::TraceSink& sink = device_.trace_sink();
+  telemetry::TraceSink& sink = backend_.trace_sink();
   telemetry::Event event;
   event.cls = telemetry::EventClass::kIntegrity;
   event.phase = telemetry::EventPhase::kInstant;
-  event.t_us = device_.now_us();
+  event.t_us = backend_.now_us();
   event.name = name;
   event.seq = seq;
   sink.record(event);
@@ -187,11 +194,11 @@ void IntermittentEngine::emit_integrity_event(const std::string& name,
 
 bool IntermittentEngine::recover_progress() {
   if (!model_.protected_progress()) {
-    if (!device_.dma_read(8)) {  // progress indicator re-read
+    if (!backend_.dma_read(8)) {  // progress indicator re-read
       return false;
     }
     const std::uint32_t persisted =
-        device_.nvm().read_u32(model_.progress_addr());
+        backend_.nvm().read_u32(model_.progress_addr());
     if (persisted != job_counter_) {
       throw std::runtime_error(
           "IntermittentEngine: progress counter mismatch after recovery — "
@@ -201,7 +208,7 @@ bool IntermittentEngine::recover_progress() {
           "or reordered)");
     }
     if (probe_ != nullptr) {
-      probe_->on_recovery(persisted, device_.vm_epoch());
+      probe_->on_recovery(persisted, backend_.vm_epoch());
     }
     pending_recovery_ = false;
     return true;
@@ -213,18 +220,18 @@ bool IntermittentEngine::recover_progress() {
   const auto read_slots = [this](std::optional<std::uint32_t>* slots) {
     std::uint8_t raw[kProgressRecordBytes];
     for (std::size_t s = 0; s < 2; ++s) {
-      device_.nvm().read(
+      backend_.nvm().read(
           model_.progress_addr() + s * kProgressSlotStride, raw);
       slots[s] = decode_progress_record(raw);
     }
   };
-  if (!device_.dma_read(2 * kProgressRecordBytes)) {
+  if (!backend_.dma_read(2 * kProgressRecordBytes)) {
     return false;
   }
   std::optional<std::uint32_t> slots[2];
   read_slots(slots);
   if (!slots[0] || !slots[1]) {
-    if (!device_.dma_read(2 * kProgressRecordBytes)) {
+    if (!backend_.dma_read(2 * kProgressRecordBytes)) {
       return false;
     }
     read_slots(slots);
@@ -258,7 +265,7 @@ bool IntermittentEngine::recover_progress() {
     emit_integrity_event("progress_rollback", job_counter_);
   }
   if (probe_ != nullptr) {
-    probe_->on_recovery(job_counter_, device_.vm_epoch());
+    probe_->on_recovery(job_counter_, backend_.vm_epoch());
   }
   pending_recovery_ = false;
   return true;
@@ -271,14 +278,14 @@ bool IntermittentEngine::scrub_regions() {
     if (!r.sealed) {
       continue;
     }
-    if (!device_.dma_read(r.bytes + 2)) {  // region + its checksum word
+    if (!backend_.dma_read(r.bytes + 2)) {  // region + its checksum word
       return false;
     }
     bytes.resize(r.bytes);
-    device_.nvm().read(r.begin, bytes);
+    backend_.nvm().read(r.begin, bytes);
     const std::uint16_t crc = device::crc16_ccitt(bytes);
     std::uint8_t entry[2];
-    device_.nvm().read(model_.crc_table_addr() + k * 2, entry);
+    backend_.nvm().read(model_.crc_table_addr() + k * 2, entry);
     const std::uint16_t stored =
         static_cast<std::uint16_t>(entry[0] | (entry[1] << 8));
     if (crc != stored) {
@@ -298,14 +305,14 @@ void IntermittentEngine::emit_scope(telemetry::EventClass cls,
                                     telemetry::EventPhase phase,
                                     const std::string& name,
                                     std::uint64_t seq) {
-  if (!device_.trace_enabled()) {
+  if (!backend_.trace_enabled()) {
     return;
   }
-  telemetry::TraceSink& sink = device_.trace_sink();
+  telemetry::TraceSink& sink = backend_.trace_sink();
   telemetry::Event event;
   event.cls = cls;
   event.phase = phase;
-  event.t_us = device_.now_us();
+  event.t_us = backend_.now_us();
   event.name = name;
   event.seq = seq;
   sink.record(event);
@@ -315,12 +322,12 @@ bool IntermittentEngine::charge_input_tile_reads(const LoweredNode& ln,
                                                  std::size_t bk_actual,
                                                  std::size_t bc_actual) {
   if (ln.kind == LoweredKind::kGemmDense) {
-    return device_.dma_read(bk_actual * 2);
+    return backend_.dma_read(bk_actual * 2);
   }
   // Conv gather: one strided DMA command per tile row (each row of the
   // im2col tile maps to a constant-stride walk of the input buffer).
   for (std::size_t row = 0; row < bk_actual; ++row) {
-    if (!device_.dma_read(bc_actual * 2)) {
+    if (!backend_.dma_read(bc_actual * 2)) {
       return false;
     }
   }
@@ -349,7 +356,7 @@ bool IntermittentEngine::run_gemm_task(const LoweredNode& ln) {
   const TilePlan& plan = ln.plan;
   const device::Address in_buf = model_.node(ln.inputs[0]).buffer;
   const device::Address out_buf = nd.buffer;
-  device::Nvm& nvm = device_.nvm();
+  device::Nvm& nvm = backend_.nvm();
   const bool relu = ln.relu_folded;
 
   auto tile =
@@ -374,8 +381,8 @@ bool IntermittentEngine::run_gemm_task(const LoweredNode& ln) {
           if (pending_recovery_ && !recover_progress()) {
             continue;
           }
-          if (!device_.dma_read(rows_in * 4) ||
-              !device_.cpu_work(jobs * config_.cpu_cycles_per_job)) {
+          if (!backend_.dma_read(rows_in * 4) ||
+              !backend_.cpu_work(jobs * config_.cpu_cycles_per_job)) {
             pending_recovery_ = true;
             active_stats_->reexecuted_jobs += jobs;
             continue;
@@ -389,7 +396,7 @@ bool IntermittentEngine::run_gemm_task(const LoweredNode& ln) {
                                        relu));
           }
           stage_progress(batch_);
-          if (!device_.dma_commit(batch_,
+          if (!backend_.dma_commit(batch_,
                                   jobs * 2 + config_.counter_bytes)) {
             pending_recovery_ = true;
             active_stats_->reexecuted_jobs += jobs;
@@ -429,11 +436,11 @@ bool IntermittentEngine::run_gemm_task(const LoweredNode& ln) {
           if (pending_recovery_ && !recover_progress()) {
             continue;
           }
-          if (!device_.dma_read(2) || !device_.dma_read(2) ||
-              !device_.dma_read(rows_in * bk_actual * 2) ||
+          if (!backend_.dma_read(2) || !backend_.dma_read(2) ||
+              !backend_.dma_read(rows_in * bk_actual * 2) ||
               !charge_input_tile_reads(ln, bk_actual, cols_in) ||
-              (!first && !device_.dma_read(rows_in * cols_in * 4)) ||
-              (last && !device_.dma_read(rows_in * 4))) {
+              (!first && !backend_.dma_read(rows_in * cols_in * 4)) ||
+              (last && !backend_.dma_read(rows_in * 4))) {
             pending_recovery_ = true;
             continue;
           }
@@ -458,14 +465,14 @@ bool IntermittentEngine::run_gemm_task(const LoweredNode& ln) {
                 first ? contribution
                       : nvm.read_i32(psum_slot_addr(ls - 1, psum_off)) +
                             contribution;
-            if (!device_.lea_op(bk_actual)) {
+            if (!backend_.lea_op(bk_actual)) {
               failed = true;
               active_stats_->reexecuted_jobs += idx + 1;
               break;
             }
           }
           if (failed ||
-              !device_.cpu_work(jobs * config_.cpu_cycles_per_job)) {
+              !backend_.cpu_work(jobs * config_.cpu_cycles_per_job)) {
             pending_recovery_ = true;
             continue;
           }
@@ -493,7 +500,7 @@ bool IntermittentEngine::run_gemm_task(const LoweredNode& ln) {
             }
           }
           stage_progress(batch_);
-          if (!device_.dma_commit(batch_, bytes)) {
+          if (!backend_.dma_commit(batch_, bytes)) {
             pending_recovery_ = true;
             active_stats_->reexecuted_jobs += jobs;
             continue;
@@ -518,7 +525,7 @@ bool IntermittentEngine::run_gemm_immediate(const LoweredNode& ln) {
   const TilePlan& plan = ln.plan;
   const device::Address in_buf = model_.node(ln.inputs[0]).buffer;
   const device::Address out_buf = nd.buffer;
-  device::Nvm& nvm = device_.nvm();
+  device::Nvm& nvm = backend_.nvm();
   const bool relu = ln.relu_folded;
 
   for (std::size_t rt = 0; rt < plan.row_tiles(); ++rt) {
@@ -542,7 +549,7 @@ bool IntermittentEngine::run_gemm_immediate(const LoweredNode& ln) {
           if (pending_recovery_ && !recover_progress()) {
             continue;
           }
-          if (!device_.dma_read(rows_in * 4)) {  // bias tile
+          if (!backend_.dma_read(rows_in * 4)) {  // bias tile
             pending_recovery_ = true;
             continue;
           }
@@ -556,7 +563,7 @@ bool IntermittentEngine::run_gemm_immediate(const LoweredNode& ln) {
             batch_.push_i16(out_buf + (r_global * plan.cols + c_global) * 2,
                             out_q);
             stage_progress(batch_);
-            if (!device_.pipelined_commit(batch_, 0,
+            if (!backend_.pipelined_commit(batch_, 0,
                                           2 + config_.counter_bytes,
                                           config_.cpu_cycles_per_job)) {
               pending_recovery_ = true;
@@ -605,17 +612,17 @@ bool IntermittentEngine::run_gemm_immediate(const LoweredNode& ln) {
           }
           // Two extra NVM reads to locate the nonzero block (BSR row
           // pointer + column index; paper §III-D).
-          if (!device_.dma_read(2) || !device_.dma_read(2) ||
-              !device_.dma_read(rows_in * bk_actual * 2) ||
+          if (!backend_.dma_read(2) || !backend_.dma_read(2) ||
+              !backend_.dma_read(rows_in * bk_actual * 2) ||
               !charge_input_tile_reads(ln, bk_actual, cols_in)) {
             pending_recovery_ = true;
             continue;
           }
-          if (!first && !device_.dma_read(rows_in * cols_in * 4)) {
+          if (!first && !backend_.dma_read(rows_in * cols_in * 4)) {
             pending_recovery_ = true;
             continue;
           }
-          if (last && !device_.dma_read(rows_in * 4)) {  // bias tile
+          if (last && !backend_.dma_read(rows_in * 4)) {  // bias tile
             pending_recovery_ = true;
             continue;
           }
@@ -655,7 +662,7 @@ bool IntermittentEngine::run_gemm_immediate(const LoweredNode& ln) {
               batch_.push_i32(psum_slot_addr(ls, psum_off), psum_new);
             }
             stage_progress(batch_);
-            if (!device_.pipelined_commit(batch_, bk_actual, write_bytes,
+            if (!backend_.pipelined_commit(batch_, bk_actual, write_bytes,
                                           config_.cpu_cycles_per_job)) {
               pending_recovery_ = true;
               ++active_stats_->reexecuted_jobs;
@@ -686,7 +693,7 @@ bool IntermittentEngine::run_gemm_accumulate(const LoweredNode& ln) {
   const TilePlan& plan = ln.plan;
   const device::Address in_buf = model_.node(ln.inputs[0]).buffer;
   const device::Address out_buf = nd.buffer;
-  device::Nvm& nvm = device_.nvm();
+  device::Nvm& nvm = backend_.nvm();
   const bool relu = ln.relu_folded;
 
   auto psum_tile =
@@ -710,12 +717,12 @@ bool IntermittentEngine::run_gemm_accumulate(const LoweredNode& ln) {
         const std::int16_t* w_block = gd.bsr.block(slot);
         TileGather gather(ln, nvm, in_buf, k0, bk_actual);
 
-        if (!device_.dma_read(2) || !device_.dma_read(2) ||
-            !device_.dma_read(rows_in * bk_actual * 2) ||
+        if (!backend_.dma_read(2) || !backend_.dma_read(2) ||
+            !backend_.dma_read(rows_in * bk_actual * 2) ||
             !charge_input_tile_reads(ln, bk_actual, cols_in)) {
           return false;
         }
-        if (!device_.lea_op(jobs * bk_actual)) {
+        if (!backend_.lea_op(jobs * bk_actual)) {
           return false;
         }
         for (std::size_t r = 0; r < rows_in; ++r) {
@@ -733,11 +740,11 @@ bool IntermittentEngine::run_gemm_accumulate(const LoweredNode& ln) {
       }
 
       // Finalize the OFM tile: bias + requantize + single DMA write-back.
-      if (!device_.dma_read(rows_in * 4) ||
-          !device_.cpu_work(jobs * config_.cpu_cycles_per_job)) {
+      if (!backend_.dma_read(rows_in * 4) ||
+          !backend_.cpu_work(jobs * config_.cpu_cycles_per_job)) {
         return false;
       }
-      if (!device_.dma_write(jobs * 2)) {
+      if (!backend_.dma_write(jobs * 2)) {
         return false;
       }
       for (std::size_t r = 0; r < rows_in; ++r) {
@@ -766,7 +773,7 @@ bool IntermittentEngine::run_pool(const LoweredNode& ln) {
   const LoweredNode& in_node = model_.lowered().at(ln.inputs[0]);
   const device::Address in_buf = model_.node(ln.inputs[0]).buffer;
   const device::Address out_buf = nd.buffer;
-  device::Nvm& nvm = device_.nvm();
+  device::Nvm& nvm = backend_.nvm();
 
   const std::size_t channels = ln.out_shape[0];
   const std::size_t out_h = ln.out_shape[1];
@@ -818,7 +825,7 @@ bool IntermittentEngine::run_pool(const LoweredNode& ln) {
         // Fetch the input window rows for this output row.
         bool fetch_failed = false;
         for (std::size_t wy = 0; wy < p.window_h; ++wy) {
-          if (!device_.dma_read(in_w * 2)) {
+          if (!backend_.dma_read(in_w * 2)) {
             fetch_failed = true;
             break;
           }
@@ -839,7 +846,7 @@ bool IntermittentEngine::run_pool(const LoweredNode& ln) {
             batch_.push_i16(out_buf + ((c * out_h + oy) * out_w + ox) * 2,
                             out_q);
             stage_progress(batch_);
-            if (!device_.pipelined_commit(batch_, 0,
+            if (!backend_.pipelined_commit(batch_, 0,
                                           2 + config_.counter_bytes,
                                           cycles_per_job)) {
               pending_recovery_ = true;
@@ -857,7 +864,7 @@ bool IntermittentEngine::run_pool(const LoweredNode& ln) {
         } else if (task_atomic) {
           // One output row is the atomic task: compute in VM, commit the
           // row and the indicator in a single batched write.
-          if (!device_.cpu_work(out_w * cycles_per_job)) {
+          if (!backend_.cpu_work(out_w * cycles_per_job)) {
             pending_recovery_ = true;
             active_stats_->reexecuted_jobs += out_w;
             continue;
@@ -868,7 +875,7 @@ bool IntermittentEngine::run_pool(const LoweredNode& ln) {
                             compute(c, oy, ox));
           }
           stage_progress(batch_);
-          if (!device_.dma_commit(batch_,
+          if (!backend_.dma_commit(batch_,
                                   out_w * 2 + config_.counter_bytes)) {
             pending_recovery_ = true;
             active_stats_->reexecuted_jobs += out_w;
@@ -878,8 +885,8 @@ bool IntermittentEngine::run_pool(const LoweredNode& ln) {
           active_stats_->preserved_outputs += out_w;
           note_commit();
         } else {
-          if (!device_.cpu_work(out_w * cycles_per_job) ||
-              !device_.dma_write(out_w * 2)) {
+          if (!backend_.cpu_work(out_w * cycles_per_job) ||
+              !backend_.dma_write(out_w * 2)) {
             return false;
           }
           for (std::size_t ox = 0; ox < out_w; ++ox) {
@@ -898,7 +905,7 @@ bool IntermittentEngine::run_pool(const LoweredNode& ln) {
 bool IntermittentEngine::run_copy(const LoweredNode& ln) {
   const NodeDeployment& nd = model_.node(ln.node);
   const device::Address out_buf = nd.buffer;
-  device::Nvm& nvm = device_.nvm();
+  device::Nvm& nvm = backend_.nvm();
   const bool immediate =
       config_.mode != PreservationMode::kAccumulateInVm;
   const bool relu = ln.kind == LoweredKind::kCopyRelu;
@@ -922,7 +929,7 @@ bool IntermittentEngine::run_copy(const LoweredNode& ln) {
         if (immediate && pending_recovery_ && !recover_progress()) {
           continue;
         }
-        if (!device_.dma_read(count * 2)) {
+        if (!backend_.dma_read(count * 2)) {
           if (!immediate) {
             return false;
           }
@@ -946,7 +953,7 @@ bool IntermittentEngine::run_copy(const LoweredNode& ln) {
         if (immediate) {
           stage_progress(batch_);
         }
-        if (!device_.pipelined_commit(batch_, 0, write_bytes, count * 3)) {
+        if (!backend_.pipelined_commit(batch_, 0, write_bytes, count * 3)) {
           if (!immediate) {
             return false;
           }
@@ -977,8 +984,8 @@ InferenceResult IntermittentEngine::run(const nn::Tensor& sample) {
 
   InferenceResult result;
   active_stats_ = &result.stats;
-  const device::DeviceStats before = device_.stats();
-  device::Nvm& nvm = device_.nvm();
+  const device::DeviceStats before = backend_.stats();
+  device::Nvm& nvm = backend_.nvm();
   const float in_scale = model_.input_scale();
 
   emit_scope(telemetry::EventClass::kInference, telemetry::EventPhase::kBegin,
@@ -1020,7 +1027,7 @@ InferenceResult IntermittentEngine::run(const nn::Tensor& sample) {
         batch_.push_i16(in_buf + i * 2,
                         clamp_i16(std::lround(sample[i] / in_scale)));
       }
-      if (!device_.dma_commit(batch_, sample.numel() * 2)) {
+      if (!backend_.dma_commit(batch_, sample.numel() * 2)) {
         continue;
       }
       batch_.clear();
@@ -1034,7 +1041,7 @@ InferenceResult IntermittentEngine::run(const nn::Tensor& sample) {
       } else {
         batch_.push_u32(model_.progress_addr(), 0);
       }
-      if (!device_.dma_commit(batch_, init_charge)) {
+      if (!backend_.dma_commit(batch_, init_charge)) {
         continue;
       }
       loaded = true;
@@ -1044,7 +1051,7 @@ InferenceResult IntermittentEngine::run(const nn::Tensor& sample) {
     result.per_node.clear();
     for (nn::NodeId id = 1; id < lowered.nodes.size() && !interrupted; ++id) {
       const LoweredNode& ln = lowered.nodes[id];
-      const double node_start_us = device_.now_us();
+      const double node_start_us = backend_.now_us();
       if (ln.kind != LoweredKind::kAlias) {
         emit_scope(telemetry::EventClass::kLayer,
                    telemetry::EventPhase::kBegin, ln.name, id);
@@ -1070,7 +1077,7 @@ InferenceResult IntermittentEngine::run(const nn::Tensor& sample) {
         emit_scope(telemetry::EventClass::kLayer, telemetry::EventPhase::kEnd,
                    ln.name, id);
         result.per_node.push_back(
-            {id, ln.name, (device_.now_us() - node_start_us) * 1e-6});
+            {id, ln.name, (backend_.now_us() - node_start_us) * 1e-6});
       }
       if (!ok) {
         // Only kAccumulateInVm reports failure: restart from scratch.
@@ -1104,7 +1111,7 @@ InferenceResult IntermittentEngine::run(const nn::Tensor& sample) {
     }
   }
 
-  const device::DeviceStats after = device_.stats();
+  const device::DeviceStats after = backend_.stats();
   InferenceStats& s = result.stats;
   s.on_s = (after.on_time_us - before.on_time_us) * 1e-6;
   s.off_s = (after.off_time_us - before.off_time_us) * 1e-6;

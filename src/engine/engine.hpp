@@ -10,6 +10,7 @@
 // failure restarts the entire inference — the conventional flow that is
 // only viable under continuous power.
 
+#include "engine/backend.hpp"
 #include "engine/deploy.hpp"
 #include "engine/probe.hpp"
 #include "telemetry/sink.hpp"
@@ -62,6 +63,11 @@ struct InferenceResult {
 
 class IntermittentEngine {
  public:
+  /// Execute against any backend (the model must have been deployed into
+  /// the same backend's NVM).
+  IntermittentEngine(DeployedModel& model, Backend& backend);
+  /// Convenience: wraps `device` in an engine-owned CycleBackend view —
+  /// the historical constructor, unchanged semantics.
   IntermittentEngine(DeployedModel& model, device::Msp430Device& device);
 
   /// Run one end-to-end inference for a single sample (per-sample shape,
@@ -134,7 +140,8 @@ class IntermittentEngine {
                   const std::string& name, std::uint64_t seq);
 
   DeployedModel& model_;
-  device::Msp430Device& device_;
+  std::unique_ptr<Backend> owned_backend_;  // legacy Msp430Device ctor only
+  Backend& backend_;
   const EngineConfig& config_;
   device::WriteBatch batch_;  // staging buffer reused across commits
   std::uint32_t job_counter_ = 0;

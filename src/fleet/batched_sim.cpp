@@ -42,8 +42,8 @@ struct MemberStack {
     const nn::Tensor calibration =
         fault::make_batch(rng, graph, kCalibrationSamples);
     samples = fault::make_batch(rng, graph, spec.inferences);
-    device = std::make_unique<device::Msp430Device>(
-        device::DeviceConfig::msp430fr5994(), spec.power.make());
+    device = std::make_unique<device::Msp430Device>(spec.backend.device,
+                                                    spec.power.make());
     // Same as DeviceSim under sim!=stepping: the scheduler path carries
     // even the deployment writes (bit-identical, fewer virtual calls).
     device->set_sim_mode(power::SimMode::kScheduler);
@@ -68,10 +68,13 @@ std::vector<DeviceResult> run_standalone(std::span<const DeviceSpec> specs) {
 bool batched_eligible(const DeviceSpec& spec) {
   // integrity=on arms the CRC/scrub layer on a clean device, which is
   // outside the lockstep envelope (MemberStack deploys without it) — such
-  // devices fall back to the standalone per-device path.
+  // devices fall back to the standalone per-device path. The functional
+  // backend has no device timeline at all (batching is a timeline
+  // optimization), so only cycle-class backends qualify.
   return spec.schedule.mode != fault::ScheduleMode::kRandom &&
          spec.write_ber == 0.0 && spec.read_ber == 0.0 && !spec.telemetry &&
-         spec.integrity != IntegrityMode::kOn;
+         spec.integrity != IntegrityMode::kOn &&
+         spec.backend.kind != engine::BackendKind::kFunctional;
 }
 
 std::vector<DeviceResult> run_cohort(std::span<const DeviceSpec> specs) {

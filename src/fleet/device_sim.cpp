@@ -39,12 +39,13 @@ DeviceSim::DeviceSim(const DeviceSpec& spec)
       fault::make_batch(rng_, graph_, kCalibrationSamples);
   samples_ = fault::make_batch(rng_, graph_, spec_.inferences);
 
-  device_ = std::make_unique<device::Msp430Device>(
-      device::DeviceConfig::msp430fr5994(), spec_.power.make());
+  backend_ = engine::make_backend(spec_.backend, spec_.power.make());
   if (spec_.sim != SimKind::kStepping) {
     // Scheduler mode is set before deployment so even the deployment
-    // writes ride the event-driven path (bit-identical either way).
-    device_->set_sim_mode(power::SimMode::kScheduler);
+    // writes ride the event-driven path (bit-identical either way). The
+    // functional backend has no event stream — set_sim_mode is a no-op
+    // there, so scheduler and stepping are trivially identical.
+    backend_->set_sim_mode(power::SimMode::kScheduler);
   }
 
   engine::EngineConfig config;
@@ -63,7 +64,7 @@ DeviceSim::DeviceSim(const DeviceSpec& spec)
     config.integrity.scrub_on_boot = true;
   }
   model_ =
-      std::make_unique<engine::DeployedModel>(graph_, config, *device_,
+      std::make_unique<engine::DeployedModel>(graph_, config, *backend_,
                                               calibration);
 
   if (corrupted) {
@@ -72,7 +73,7 @@ DeviceSim::DeviceSim(const DeviceSpec& spec)
     cc.write_ber = spec_.write_ber;
     cc.read_ber = spec_.read_ber;
     corruption_ = std::make_unique<device::CorruptionModel>(cc);
-    device_->nvm().set_corruption(corruption_.get());
+    backend_->nvm().set_corruption(corruption_.get());
   }
 
   // Always install an injector — a kNone schedule injects nothing but
@@ -82,14 +83,14 @@ DeviceSim::DeviceSim(const DeviceSpec& spec)
   injector_->set_event_budget(spec_.event_budget != 0
                                   ? spec_.event_budget
                                   : fault::FaultInjector::kNoBudget);
-  device_->set_fault_hook(injector_.get());
+  backend_->set_fault_hook(injector_.get());
 
   if (spec_.telemetry) {
     sink_ = std::make_unique<telemetry::RegistrySink>();
-    device_->set_trace_sink(sink_.get());
+    backend_->set_trace_sink(sink_.get());
   }
 
-  engine_ = std::make_unique<engine::IntermittentEngine>(*model_, *device_);
+  engine_ = std::make_unique<engine::IntermittentEngine>(*model_, *backend_);
 }
 
 bool DeviceSim::step() {
@@ -97,7 +98,7 @@ bool DeviceSim::step() {
     return false;
   }
   const double deadline_us = spec_.deadline_s * 1e6;
-  if (spec_.deadline_s > 0.0 && device_->now_us() >= deadline_us) {
+  if (spec_.deadline_s > 0.0 && backend_->now_us() >= deadline_us) {
     result_.deadline_missed = true;
     done_ = true;
     return false;
@@ -111,7 +112,7 @@ bool DeviceSim::step() {
       result_.failed = true;
       result_.error = "inference exceeded the engine restart budget";
       done_ = true;
-    } else if (spec_.deadline_s > 0.0 && device_->now_us() > deadline_us) {
+    } else if (spec_.deadline_s > 0.0 && backend_->now_us() > deadline_us) {
       // Finished, but past the deadline: the inference does not count.
       result_.deadline_missed = true;
       done_ = true;
@@ -150,20 +151,22 @@ bool DeviceSim::step() {
 }
 
 DeviceResult DeviceSim::finish() {
-  device_->set_fault_hook(nullptr);
-  device_->set_trace_sink(nullptr);
-  device_->nvm().set_corruption(nullptr);
+  backend_->set_fault_hook(nullptr);
+  backend_->set_trace_sink(nullptr);
+  backend_->nvm().set_corruption(nullptr);
 
-  const device::DeviceStats& ds = device_->stats();
-  const power::PowerStats& ps = device_->power().stats();
-  result_.sim_s = device_->now_us() / 1e6;
+  const device::DeviceStats& ds = backend_->stats();
+  result_.sim_s = backend_->now_us() / 1e6;
   result_.on_s = ds.on_time_us / 1e6;
   result_.off_s = ds.off_time_us / 1e6;
-  result_.consumed_j = ps.consumed_j;
-  result_.harvested_j = ps.harvested_j;
-  result_.wasted_j = ps.wasted_j;
-  result_.power_failures = ps.power_failures;
-  result_.injected_outages = ps.injected_failures;
+  if (const power::PowerManager* pm = backend_->power(); pm != nullptr) {
+    const power::PowerStats& ps = pm->stats();
+    result_.consumed_j = ps.consumed_j;
+    result_.harvested_j = ps.harvested_j;
+    result_.wasted_j = ps.wasted_j;
+    result_.power_failures = ps.power_failures;
+    result_.injected_outages = ps.injected_failures;
+  }
   result_.events = injector_->total_events();
   result_.nvm_bytes_read = ds.nvm_bytes_read;
   result_.nvm_bytes_written = ds.nvm_bytes_written;

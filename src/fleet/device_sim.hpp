@@ -15,6 +15,7 @@
 
 #include "device/corruption.hpp"
 #include "device/msp430.hpp"
+#include "engine/backend.hpp"
 #include "engine/engine.hpp"
 #include "fault/injector.hpp"
 #include "fleet/result.hpp"
@@ -93,7 +94,10 @@ class DeviceSim {
   util::Rng rng_;
   nn::Graph graph_;
   nn::Tensor samples_;
-  std::unique_ptr<device::Msp430Device> device_;
+  /// Built by engine::make_backend from spec.backend: a CycleBackend-owned
+  /// Msp430Device for cycle/custom groups, a bare-Nvm FunctionalBackend
+  /// for functional groups (no power model — harvest/outage stats stay 0).
+  std::unique_ptr<engine::Backend> backend_;
   std::unique_ptr<engine::DeployedModel> model_;
   std::unique_ptr<device::CorruptionModel> corruption_;
   std::unique_ptr<fault::FaultInjector> injector_;

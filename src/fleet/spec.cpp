@@ -460,6 +460,9 @@ std::string DeviceGroup::describe() const {
   if (integrity != IntegrityMode::kAuto) {
     out += " integrity=" + std::string(integrity_mode_name(integrity));
   }
+  if (backend != engine::BackendConfig::msp430_fram()) {
+    out += " backend=" + backend.describe();
+  }
   return out;
 }
 
@@ -486,6 +489,13 @@ DeviceGroup DeviceGroup::parse(const std::string& text) {
       group.read_ber = parse_double(value, "read_ber");
     } else if (key == "integrity") {
       group.integrity = parse_integrity_mode(value);
+    } else if (key == "backend") {
+      try {
+        group.backend = engine::BackendConfig::parse(value);
+      } catch (const std::runtime_error&) {
+        throw std::invalid_argument("fleet spec: unknown backend '" + value +
+                                    "'");
+      }
     } else {
       throw std::invalid_argument("fleet spec: unknown group field '" + key +
                                   "'");
@@ -502,6 +512,21 @@ DeviceGroup DeviceGroup::parse(const std::string& text) {
       group.read_ber < 0.0 || group.read_ber > 1.0) {
     throw std::invalid_argument("fleet spec: group '" + group.name +
                                 "' bit-error rates must be in [0, 1]");
+  }
+  // The functional backend has no power model: harvest profiles and
+  // outage schedules cannot apply to it, so reject specs that pretend
+  // otherwise instead of silently ignoring the fields.
+  if (group.backend.kind == engine::BackendKind::kFunctional) {
+    if (group.power.kind != PowerProfile::Kind::kContinuous) {
+      throw std::invalid_argument(
+          "fleet spec: group '" + group.name +
+          "' backend=functional requires supply=continuous (no power model)");
+    }
+    if (group.schedule.mode != fault::ScheduleMode::kNone) {
+      throw std::invalid_argument(
+          "fleet spec: group '" + group.name +
+          "' backend=functional cannot take an outage schedule");
+    }
   }
   return group;
 }
@@ -576,6 +601,7 @@ std::vector<DeviceSpec> FleetSpec::resolve() const {
       d.write_ber = group.write_ber;
       d.read_ber = group.read_ber;
       d.integrity = group.integrity;
+      d.backend = group.backend;
       d.model_seed = fleet_rng.next_u64();
       d.stream_seed = util::splitmix64_at(seed, index);
       d.schedule = group.schedule;

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/backend.hpp"
 #include "engine/config.hpp"
 #include "fault/schedule.hpp"
 #include "power/supply.hpp"
@@ -143,6 +144,10 @@ struct DeviceGroup {
   double read_ber = 0.0;
   /// Integrity-layer override (kAuto = armed iff corruption is injected).
   IntegrityMode integrity = IntegrityMode::kAuto;
+  /// Device backend preset ("msp430-fram" default, omitted from
+  /// describe()). Functional groups have no power model: they require
+  /// supply=continuous and forbid an outage schedule (parse validates).
+  engine::BackendConfig backend = engine::BackendConfig::msp430_fram();
 
   [[nodiscard]] std::string describe() const;
   static DeviceGroup parse(const std::string& text);
@@ -163,6 +168,7 @@ struct DeviceSpec {
   double write_ber = 0.0;
   double read_ber = 0.0;
   IntegrityMode integrity = IntegrityMode::kAuto;
+  engine::BackendConfig backend = engine::BackendConfig::msp430_fram();
   /// Seed of the device's model/sample Rng stream, drawn from the fleet
   /// Rng in device-index order (Rng::split semantics: the child stream is
   /// Rng(parent.next_u64())).

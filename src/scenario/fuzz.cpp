@@ -127,6 +127,24 @@ fleet::DeviceGroup random_group(util::Rng& rng, std::size_t index,
   } else if (integrity == 9) {
     group.integrity = fleet::IntegrityMode::kOff;
   }
+  // Backend presets ride the same round-trip/differential properties as
+  // every other field. Functional groups must stay valid: no power model
+  // means continuous supply and no outage schedule.
+  switch (rng.uniform_index(8)) {
+    case 5:
+      group.backend = engine::BackendConfig::reram();
+      break;
+    case 6:
+      group.backend = engine::BackendConfig::stt_mram();
+      break;
+    case 7:
+      group.backend = engine::BackendConfig::functional();
+      group.power = fleet::PowerProfile::continuous();
+      group.schedule = {};
+      break;
+    default:
+      break;
+  }
   return group;
 }
 

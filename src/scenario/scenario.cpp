@@ -82,6 +82,9 @@ Json group_to_json(const fleet::DeviceGroup& group) {
     out.set("integrity",
             Json::string(fleet::integrity_mode_name(group.integrity)));
   }
+  if (group.backend != engine::BackendConfig::msp430_fram()) {
+    out.set("backend", Json::string(group.backend.describe()));
+  }
   return out;
 }
 
@@ -112,6 +115,12 @@ fleet::DeviceGroup group_from_json(const Json& doc) {
       group.read_ber = value.as_double();
     } else if (key == "integrity") {
       group.integrity = fleet::parse_integrity_mode(value.as_string());
+    } else if (key == "backend") {
+      try {
+        group.backend = engine::BackendConfig::parse(value.as_string());
+      } catch (const std::runtime_error&) {
+        scenario_error("unknown backend \"" + value.as_string() + "\"");
+      }
     } else {
       scenario_error("unknown group field \"" + key + "\"");
     }
@@ -309,6 +318,16 @@ void Scenario::validate() const {
     group.power.validate();
     validate_schedule(group.schedule, "scenario: group \"" + group.name +
                                           "\"");
+    if (group.backend.kind == engine::BackendKind::kFunctional) {
+      if (group.power.kind != fleet::PowerProfile::Kind::kContinuous) {
+        scenario_error("group \"" + group.name +
+                       "\" backend=functional requires supply=continuous");
+      }
+      if (group.schedule.mode != fault::ScheduleMode::kNone) {
+        scenario_error("group \"" + group.name +
+                       "\" backend=functional cannot take an outage schedule");
+      }
+    }
   }
   if (total_devices() > 65536) {
     scenario_error("fleet exceeds 65536 devices");
@@ -493,6 +512,19 @@ void validate_fleet(const fleet::FleetSpec& spec) {
     group.power.validate();
     validate_schedule(group.schedule,
                       "fleet spec: group '" + group.name + "'");
+    if (group.backend.kind == engine::BackendKind::kFunctional) {
+      if (group.power.kind != fleet::PowerProfile::Kind::kContinuous) {
+        throw std::invalid_argument(
+            "fleet spec: group '" + group.name +
+            "' backend=functional requires supply=continuous (no power "
+            "model)");
+      }
+      if (group.schedule.mode != fault::ScheduleMode::kNone) {
+        throw std::invalid_argument(
+            "fleet spec: group '" + group.name +
+            "' backend=functional cannot take an outage schedule");
+      }
+    }
   }
 }
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "device/config.hpp"
+#include "engine/backend.hpp"
 #include "util/hash.hpp"
 
 namespace iprune::search {
@@ -112,6 +113,27 @@ void fold_engine_config(KeyHasher& hasher, const engine::EngineConfig& config,
   hasher.u8(config.fold_relu ? 1 : 0);
   hasher.u64(memory.vm_bytes);
   hasher.u64(memory.nvm_bytes);
+}
+
+void fold_backend(KeyHasher& hasher, const engine::BackendConfig& backend) {
+  hasher.str("backend/1");
+  hasher.u8(static_cast<std::uint8_t>(backend.kind));
+  hasher.str(backend.preset);
+  const device::DeviceConfig& d = backend.device;
+  hasher.u64(d.memory.vm_bytes);
+  hasher.u64(d.memory.nvm_bytes);
+  hasher.f64(d.dma.invocation_us);
+  hasher.f64(d.dma.read_us_per_byte);
+  hasher.f64(d.dma.write_us_per_byte);
+  hasher.f64(d.lea.mac_us);
+  hasher.f64(d.lea.invoke_us);
+  hasher.f64(d.cpu.cycle_us);
+  hasher.f64(d.rails.base_active_w);
+  hasher.f64(d.rails.lea_active_w);
+  hasher.f64(d.rails.nvm_read_w);
+  hasher.f64(d.rails.nvm_write_w);
+  hasher.f64(d.rails.cpu_active_w);
+  hasher.f64(d.reboot_us);
 }
 
 std::uint64_t dataset_fingerprint(const nn::Tensor& inputs,

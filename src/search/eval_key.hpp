@@ -29,6 +29,10 @@ namespace iprune::device {
 struct MemoryConfig;
 }
 
+namespace iprune::engine {
+struct BackendConfig;
+}
+
 namespace iprune::search {
 
 struct EvalKey {
@@ -78,6 +82,12 @@ void fold_graph(KeyHasher& hasher, nn::Graph& graph);
 /// which changes tile plans and therefore latency/energy).
 void fold_engine_config(KeyHasher& hasher, const engine::EngineConfig& config,
                         const device::MemoryConfig& memory);
+
+/// Fold the backend identity: kind, preset name, and the full device cost
+/// table (memory split, DMA/LEA/CPU latencies, power rails, reboot cost).
+/// Two backends — even two presets of the same kind — can therefore never
+/// alias a cache entry: any constant that changes pricing changes the key.
+void fold_backend(KeyHasher& hasher, const engine::BackendConfig& backend);
 
 /// One-shot 64-bit fingerprint of a dataset (inputs shape + bytes +
 /// labels). Computed once per search and folded into each key as u64 —

@@ -223,7 +223,7 @@ RunReport run_search(const RunConfig& config) {
   runtime::ThreadPool& pool = runtime::ThreadPool::resolve(config.pool);
 
   const engine::EngineConfig engine_cfg;
-  const device::DeviceConfig device = device::DeviceConfig::msp430fr5994();
+  const device::DeviceConfig& device = config.backend.device;
 
   nn::TrainConfig proxy;
   proxy.epochs = 3;
@@ -262,6 +262,7 @@ RunReport run_search(const RunConfig& config) {
     h.u8(static_cast<std::uint8_t>(sens_cfg.granularity));
     h.u64(sens_cfg.max_samples);
     fold_engine_config(h, engine_cfg, device.memory);
+    fold_backend(h, config.backend);
     config_fp = h.key();
   }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/arch_search.hpp"
+#include "engine/backend.hpp"
 #include "search/eval_cache.hpp"
 
 namespace iprune::runtime {
@@ -51,6 +52,12 @@ struct RunConfig {
   int eval_delay_ms = 0;
   /// Pool for parallel stages; nullptr = ThreadPool::shared().
   runtime::ThreadPool* pool = nullptr;
+  /// Deployment target the search prices against. The search loop itself
+  /// never spins a cycle-accurate device — evaluations are host-side — so
+  /// the functional backend is the natural default; the backend identity
+  /// (kind, preset, full cost table) is folded into every cache key, so
+  /// runs against different targets can never share vault entries.
+  engine::BackendConfig backend = engine::BackendConfig::functional();
 };
 
 struct RunReport {

@@ -147,6 +147,8 @@ std::string PerfReport::to_json() const {
     out += ", \"median_ns\": " + std::to_string(e->median_ns);
     out += ", \"iters\": " + std::to_string(e->iters);
     out += ", \"checksum\": " + std::to_string(e->checksum);
+    out += ", \"backend\": ";
+    append_escaped(out, e->backend);
     out += "}";
   }
   out += "\n  ]\n}\n";
@@ -197,6 +199,10 @@ PerfReport PerfReport::from_json(const std::string& text) {
                 } else if (field == "checksum") {
                   entry.checksum = r.number();
                   has_checksum = true;
+                } else if (field == "backend") {
+                  // Optional provenance tag; absent in pre-backend
+                  // baselines, which default to "host".
+                  entry.backend = r.string();
                 } else {
                   throw std::runtime_error(
                       "BENCH_PERF.json: unknown entry key '" + field + "'");
@@ -241,6 +247,7 @@ PerfGateResult compare(const PerfReport& baseline, const PerfReport& current,
       out << "FAIL " << base.name << ": missing from this run\n";
     } else {
       cmp.checksum_changed = cur->checksum != base.checksum;
+      cmp.backend_changed = cur->backend != base.backend;
       cmp.ratio = base.median_ns == 0
                       ? 1.0
                       : static_cast<double>(cur->median_ns) /
@@ -251,6 +258,11 @@ PerfGateResult compare(const PerfReport& baseline, const PerfReport& current,
             << " != baseline " << base.checksum
             << " (numerics changed — optimizations must stay bit-identical)"
             << "\n";
+      }
+      if (cmp.backend_changed) {
+        out << "FAIL " << base.name << ": backend '" << cur->backend
+            << "' != baseline '" << base.backend
+            << "' (timings across backends are not comparable)\n";
       }
       if (cmp.regressed) {
         out << "FAIL " << base.name << ": " << cur->median_ns << " ns vs "

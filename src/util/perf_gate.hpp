@@ -33,6 +33,13 @@ struct PerfEntry {
   std::uint64_t median_ns = 0;
   std::uint64_t iters = 0;
   std::uint64_t checksum = 0;
+  /// Backend preset token that produced this entry's numbers
+  /// (engine::BackendConfig::describe()). Host-side kernels that never
+  /// touch a device model keep the "host" tag. Optional in the JSON for
+  /// baseline compatibility; compare() treats a tag change like a
+  /// checksum change — timings from different backends are not
+  /// comparable.
+  std::string backend = "host";
 };
 
 struct PerfReport {
@@ -55,10 +62,13 @@ struct PerfComparison {
   std::string name;
   bool missing = false;         // entry absent from the current run
   bool checksum_changed = false;
+  /// The run measured this scenario on a different backend than the
+  /// baseline did — its timings prove nothing either way.
+  bool backend_changed = false;
   double ratio = 0.0;           // current median / baseline median
   bool regressed = false;       // ratio > tolerance
   [[nodiscard]] bool failed() const {
-    return missing || checksum_changed || regressed;
+    return missing || checksum_changed || backend_changed || regressed;
   }
 };
 

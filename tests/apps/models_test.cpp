@@ -102,7 +102,7 @@ TEST(Models, AllLayersAreLowerable) {
     Workload w = make_workload(id);
     EXPECT_NO_THROW({
       const auto layers = engine::prunable_layers(
-          w.graph, w.prune.engine, w.prune.device.memory);
+          w.graph, w.prune.engine, w.prune.backend.device.memory);
       EXPECT_FALSE(layers.empty());
     }) << w.name;
   }
@@ -132,7 +132,7 @@ TEST(Workloads, DiversityOrderingSqnLowCksHigh) {
   auto diversity = [](WorkloadId id) {
     Workload w = make_workload(id);
     const auto layers = engine::prunable_layers(
-        w.graph, w.prune.engine, w.prune.device.memory);
+        w.graph, w.prune.engine, w.prune.backend.device.memory);
     std::size_t lo = SIZE_MAX, hi = 0;
     for (const auto& l : layers) {
       lo = std::min(lo, l.acc_outputs());

@@ -1,0 +1,204 @@
+// Differential backend equivalence (docs/backends.md): the functional
+// backend must produce BIT-IDENTICAL logits to the cycle-approximate
+// oracle for every model x preservation mode x sparsity point. The
+// functional backend skips the entire timing/energy/brown-out machinery,
+// so this pins the one property that makes it usable in search loops:
+// lowering, quantization, and the fixed-point pipeline are shared code
+// paths and the device model only ever decides WHEN values move, never
+// WHAT they are (under continuous power).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/block_pruner.hpp"
+#include "engine/backend.hpp"
+#include "engine/deploy.hpp"
+#include "engine/engine.hpp"
+#include "fault/testbed.hpp"
+#include "nn/activation.hpp"
+#include "nn/dense.hpp"
+#include "util/rng.hpp"
+
+namespace iprune {
+namespace {
+
+using engine::BackendConfig;
+using engine::PreservationMode;
+
+constexpr std::size_t kSamples = 3;
+
+/// Third testbed model beyond the fault-harness pair: a dense-only MLP
+/// (flatten + three FC layers with a standalone ReLU between each), so
+/// the sweep covers a graph with no convolution at all.
+nn::Graph make_mlp_graph(util::Rng& rng) {
+  nn::Graph g({1, 4, 6});
+  auto flat = g.add(std::make_unique<nn::Flatten>("flatten"), {g.input()});
+  auto fc1 = g.add(std::make_unique<nn::Dense>("fc1", 24, 16, rng), {flat});
+  auto r1 = g.add(std::make_unique<nn::Relu>("relu1"), {fc1});
+  auto fc2 = g.add(std::make_unique<nn::Dense>("fc2", 16, 10, rng), {r1});
+  auto r2 = g.add(std::make_unique<nn::Relu>("relu2"), {fc2});
+  auto fc3 = g.add(std::make_unique<nn::Dense>("fc3", 10, 4, rng), {r2});
+  g.set_output(fc3);
+  return g;
+}
+
+nn::Graph build_model(int model, util::Rng& rng) {
+  switch (model) {
+    case 0:
+      return fault::make_tiny_graph(rng);
+    case 1:
+      return fault::make_multipath_graph(rng);
+    default:
+      return make_mlp_graph(rng);
+  }
+}
+
+struct RunOutput {
+  std::vector<std::vector<float>> logits;
+  std::size_t macs = 0;
+  std::size_t acc_outputs = 0;
+  std::size_t nvm_bytes_written = 0;
+};
+
+/// One full deploy + inference pass against `backend_cfg`. Model, masks,
+/// calibration, and samples are all regenerated from the same seed, so
+/// two calls differ ONLY in the backend they execute against.
+RunOutput run_with(const BackendConfig& backend_cfg, int model,
+                   PreservationMode mode, double sparsity) {
+  util::Rng rng(41 + model);
+  nn::Graph graph = build_model(model, rng);
+  const nn::Tensor calibration = fault::make_batch(rng, graph, 4);
+  const nn::Tensor samples = fault::make_batch(rng, graph, kSamples);
+
+  engine::EngineConfig config;
+  config.mode = mode;
+  if (sparsity > 0.0) {
+    // Block pruning is deterministic (RMS-ranked), so both backends see
+    // the identical mask without threading state between runs.
+    std::vector<engine::PrunableLayer> layers =
+        engine::prunable_layers(graph, config, backend_cfg.device.memory);
+    for (engine::PrunableLayer& layer : layers) {
+      core::prune_layer(layer, sparsity, core::Granularity::kBlock);
+    }
+  }
+
+  std::unique_ptr<engine::Backend> backend = engine::make_backend(backend_cfg);
+  engine::DeployedModel deployed(graph, config, *backend, calibration);
+  engine::IntermittentEngine eng(deployed, *backend);
+
+  RunOutput out;
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    const engine::InferenceResult r =
+        eng.run(fault::slice_sample(samples, i));
+    EXPECT_TRUE(r.stats.completed);
+    out.logits.push_back(r.logits);
+    out.macs += r.stats.macs;
+    out.acc_outputs += r.stats.acc_outputs;
+    out.nvm_bytes_written += r.stats.nvm_bytes_written;
+  }
+  return out;
+}
+
+void expect_bit_identical(const RunOutput& cycle, const RunOutput& fast) {
+  ASSERT_EQ(cycle.logits.size(), fast.logits.size());
+  for (std::size_t i = 0; i < cycle.logits.size(); ++i) {
+    ASSERT_EQ(cycle.logits[i].size(), fast.logits[i].size());
+    EXPECT_EQ(std::memcmp(cycle.logits[i].data(), fast.logits[i].data(),
+                          cycle.logits[i].size() * sizeof(float)),
+              0)
+        << "logits diverge at sample " << i;
+  }
+  EXPECT_EQ(cycle.macs, fast.macs);
+  EXPECT_EQ(cycle.acc_outputs, fast.acc_outputs);
+  EXPECT_EQ(cycle.nvm_bytes_written, fast.nvm_bytes_written);
+}
+
+struct SweepPoint {
+  int model;
+  PreservationMode mode;
+  double sparsity;
+};
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepPoint>& info) {
+  const char* models[] = {"Tiny", "Multipath", "Mlp"};
+  const char* modes[] = {"Immediate", "Task", "Accumulate"};
+  std::string name = models[info.param.model];
+  name += modes[static_cast<int>(info.param.mode)];
+  name += info.param.sparsity > 0.0 ? "Sparse" : "Dense";
+  return name;
+}
+
+class BackendEquivalence : public ::testing::TestWithParam<SweepPoint> {};
+
+TEST_P(BackendEquivalence, FunctionalMatchesCycleBitExactly) {
+  const SweepPoint p = GetParam();
+  const RunOutput cycle =
+      run_with(BackendConfig::msp430_fram(), p.model, p.mode, p.sparsity);
+  const RunOutput fast =
+      run_with(BackendConfig::functional(), p.model, p.mode, p.sparsity);
+  expect_bit_identical(cycle, fast);
+}
+
+std::vector<SweepPoint> sweep_points() {
+  const PreservationMode modes[] = {PreservationMode::kAccumulateInVm,
+                                    PreservationMode::kImmediate,
+                                    PreservationMode::kTaskAtomic};
+  std::vector<SweepPoint> points;
+  for (int model = 0; model < 3; ++model) {
+    for (const PreservationMode mode : modes) {
+      for (const double sparsity : {0.0, 0.4}) {
+        points.push_back({model, mode, sparsity});
+      }
+    }
+  }
+  return points;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BackendEquivalence,
+                         ::testing::ValuesIn(sweep_points()), sweep_name);
+
+// The custom (memory-technology) backends substitute cost constants only:
+// values must stay bit-identical to the oracle even as latency/energy
+// move. This is what makes bench_backend_matrix a pure cost experiment.
+TEST(BackendEquivalenceCustom, MemoryTechnologyPresetsPreserveValues) {
+  for (const BackendConfig& cfg :
+       {BackendConfig::reram(), BackendConfig::stt_mram()}) {
+    const RunOutput oracle = run_with(BackendConfig::msp430_fram(), 0,
+                                      PreservationMode::kImmediate, 0.4);
+    const RunOutput custom =
+        run_with(cfg, 0, PreservationMode::kImmediate, 0.4);
+    expect_bit_identical(oracle, custom);
+  }
+}
+
+// Same deployment, same backend object, repeated inference on one sample:
+// the functional backend must be as deterministic as the oracle (its Nvm
+// carries psum scratch state between runs just like real FRAM would).
+TEST(BackendEquivalenceCustom, FunctionalRepeatedInferenceIsStable) {
+  util::Rng rng(41);
+  nn::Graph graph = fault::make_tiny_graph(rng);
+  const nn::Tensor calibration = fault::make_batch(rng, graph, 4);
+  const nn::Tensor samples = fault::make_batch(rng, graph, 1);
+
+  engine::EngineConfig config;
+  std::unique_ptr<engine::Backend> backend =
+      engine::make_backend(BackendConfig::functional());
+  engine::DeployedModel deployed(graph, config, *backend, calibration);
+  engine::IntermittentEngine eng(deployed, *backend);
+
+  const nn::Tensor sample = fault::slice_sample(samples, 0);
+  const engine::InferenceResult first = eng.run(sample);
+  ASSERT_TRUE(first.stats.completed);
+  for (int i = 0; i < 3; ++i) {
+    const engine::InferenceResult again = eng.run(sample);
+    ASSERT_TRUE(again.stats.completed);
+    EXPECT_EQ(std::memcmp(first.logits.data(), again.logits.data(),
+                          first.logits.size() * sizeof(float)),
+              0);
+  }
+}
+
+}  // namespace
+}  // namespace iprune

@@ -1,0 +1,149 @@
+// Cycle-backend golden digests. Each digest folds the logit bytes AND the
+// full timing/energy/traffic ledger of two inferences, so it pins the
+// cycle-approximate oracle bit-for-bit: latency formula order, power-rail
+// accounting, recovery re-execution counts — everything. The table was
+// captured from the engine BEFORE the Backend seam was introduced, which
+// is the refactor's behavior-preservation proof: the CycleBackend path
+// must reproduce the direct-device engine exactly.
+//
+// A legitimate cost-model change must re-capture this table (see
+// docs/backends.md) — treat any unplanned drift here as a bug.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "engine/backend.hpp"
+#include "engine/deploy.hpp"
+#include "engine/engine.hpp"
+#include "fault/testbed.hpp"
+#include "power/energy_buffer.hpp"
+#include "power/supply.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace iprune {
+namespace {
+
+using engine::PreservationMode;
+
+std::uint64_t run_digest(int model, PreservationMode mode, bool weak_supply,
+                         bool integrity) {
+  util::Rng rng(model == 0 ? 7 : 9);
+  nn::Graph graph = model == 0 ? fault::make_tiny_graph(rng)
+                               : fault::make_multipath_graph(rng);
+  const nn::Tensor calibration = fault::make_batch(rng, graph, 4);
+  const nn::Tensor samples = fault::make_batch(rng, graph, 2);
+
+  power::BufferConfig buffer;
+  if (weak_supply) {
+    // Small enough to force organic outages on each model, large enough
+    // that every task-atomic task still fits in one power cycle.
+    buffer.capacitance_f = model == 0 ? 16e-6 : 30e-6;
+  }
+  std::unique_ptr<engine::Backend> backend = engine::make_backend(
+      engine::BackendConfig::msp430_fram(),
+      weak_supply ? power::SupplyPresets::weak()
+                  : power::SupplyPresets::continuous(),
+      buffer);
+
+  engine::EngineConfig config;
+  config.mode = mode;
+  if (integrity) {
+    config.integrity.protect_progress = true;
+    config.integrity.seal_regions = true;
+    config.integrity.scrub_on_boot = true;
+  }
+  engine::DeployedModel deployed(graph, config, *backend, calibration);
+  engine::IntermittentEngine eng(deployed, *backend);
+
+  util::Fnv1a digest;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const engine::InferenceResult r =
+        eng.run(fault::slice_sample(samples, i));
+    digest.fold_f32(r.logits.data(), r.logits.size());
+    digest.fold(&r.stats.latency_s, sizeof(double));
+    digest.fold(&r.stats.energy_j, sizeof(double));
+    digest.fold_u64(r.stats.power_failures);
+    digest.fold_u64(r.stats.nvm_bytes_read);
+    digest.fold_u64(r.stats.nvm_bytes_written);
+    digest.fold_u64(r.stats.macs);
+    digest.fold_u64(r.stats.acc_outputs);
+    digest.fold_u64(r.stats.preserved_outputs);
+  }
+  return digest.value();
+}
+
+struct GoldenRow {
+  int model;  // 0 = tiny, 1 = multipath
+  PreservationMode mode;
+  bool weak_supply;  // weak harvest + shrunken buffer (organic outages)
+  bool integrity;    // full integrity layer armed
+  std::uint64_t digest;
+};
+
+// Captured pre-refactor (direct Msp430Device engine). The weak-supply
+// tiny task/accumulate rows coincide with their continuous-supply rows:
+// at 16 uF those modes complete without an outage, and a failure-free
+// timeline is supply-independent by design.
+const GoldenRow kGolden[] = {
+    {0, PreservationMode::kImmediate, false, false, 0x037256c67c06f721ull},
+    {0, PreservationMode::kImmediate, true, false, 0xc866c1b95c526eccull},
+    {0, PreservationMode::kTaskAtomic, false, false, 0xcb8b00519c437881ull},
+    {0, PreservationMode::kTaskAtomic, true, false, 0xcb8b00519c437881ull},
+    {0, PreservationMode::kAccumulateInVm, false, false,
+     0xf9d0fc752d52b729ull},
+    {0, PreservationMode::kAccumulateInVm, true, false,
+     0xf9d0fc752d52b729ull},
+    {0, PreservationMode::kImmediate, true, true, 0xe102b801c912f320ull},
+    {1, PreservationMode::kImmediate, false, false, 0x06502d67a0d906e2ull},
+    {1, PreservationMode::kImmediate, true, false, 0xafc82841f642e732ull},
+    {1, PreservationMode::kTaskAtomic, false, false, 0x64b7c89105692eceull},
+    {1, PreservationMode::kTaskAtomic, true, false, 0xac064dd80db9225full},
+    {1, PreservationMode::kAccumulateInVm, false, false,
+     0x393e5bf778b2343aull},
+    {1, PreservationMode::kAccumulateInVm, true, false,
+     0x51997001f61284eeull},
+    {1, PreservationMode::kImmediate, true, true, 0x906392f6c470f4acull},
+};
+
+TEST(BackendGolden, CycleBackendMatchesPreRefactorDigests) {
+  for (const GoldenRow& row : kGolden) {
+    EXPECT_EQ(run_digest(row.model, row.mode, row.weak_supply, row.integrity),
+              row.digest)
+        << "model=" << row.model << " mode=" << static_cast<int>(row.mode)
+        << " weak=" << row.weak_supply << " integrity=" << row.integrity;
+  }
+}
+
+// The weak-supply rows must actually exercise the outage machinery —
+// otherwise the table silently degenerates to a continuous-power pin.
+TEST(BackendGolden, WeakSupplyRowsExperiencePowerFailures) {
+  util::Rng rng(7);
+  nn::Graph graph = fault::make_tiny_graph(rng);
+  const nn::Tensor calibration = fault::make_batch(rng, graph, 4);
+  const nn::Tensor samples = fault::make_batch(rng, graph, 2);
+
+  power::BufferConfig buffer;
+  buffer.capacitance_f = 16e-6;
+  std::unique_ptr<engine::Backend> backend =
+      engine::make_backend(engine::BackendConfig::msp430_fram(),
+                           power::SupplyPresets::weak(), buffer);
+
+  engine::EngineConfig config;
+  config.mode = PreservationMode::kImmediate;
+  engine::DeployedModel deployed(graph, config, *backend, calibration);
+  engine::IntermittentEngine eng(deployed, *backend);
+
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const engine::InferenceResult r =
+        eng.run(fault::slice_sample(samples, i));
+    ASSERT_TRUE(r.stats.completed);
+    failures += r.stats.power_failures;
+  }
+  EXPECT_GT(failures, 0u);
+}
+
+}  // namespace
+}  // namespace iprune

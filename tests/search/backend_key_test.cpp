@@ -1,0 +1,75 @@
+// Backend identity in the evaluation cache key: two backends must NEVER
+// share a cache entry. fold_backend() folds the kind, preset token, and
+// the entire device cost table, so swapping any of them — even a single
+// cost constant inside an otherwise identical preset — changes the key.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/backend.hpp"
+#include "search/eval_key.hpp"
+
+namespace iprune {
+namespace {
+
+using engine::BackendConfig;
+using search::EvalKey;
+using search::KeyHasher;
+
+EvalKey key_for(const BackendConfig& backend) {
+  KeyHasher h;
+  h.str("test/backend-key");
+  search::fold_backend(h, backend);
+  return h.key();
+}
+
+TEST(BackendEvalKey, AllPresetsProduceDistinctKeys) {
+  const BackendConfig presets[] = {
+      BackendConfig::msp430_fram(), BackendConfig::functional(),
+      BackendConfig::reram(), BackendConfig::stt_mram()};
+  std::vector<EvalKey> keys;
+  for (const BackendConfig& preset : presets) {
+    keys.push_back(key_for(preset));
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    for (std::size_t j = i + 1; j < keys.size(); ++j) {
+      EXPECT_NE(keys[i], keys[j])
+          << presets[i].describe() << " aliases " << presets[j].describe();
+    }
+  }
+}
+
+// msp430-fram and functional share the identical DeviceConfig table — the
+// kind/preset fold alone must keep them apart (they differ in execution
+// semantics even when they agree on every constant).
+TEST(BackendEvalKey, SameCostTableDifferentKindStillDistinct) {
+  EXPECT_NE(key_for(BackendConfig::msp430_fram()),
+            key_for(BackendConfig::functional()));
+}
+
+TEST(BackendEvalKey, SingleCostConstantChangesTheKey) {
+  const BackendConfig base = BackendConfig::msp430_fram();
+  BackendConfig tweaked = base;
+  tweaked.device.dma.write_us_per_byte = 0.51;
+  EXPECT_NE(key_for(base), key_for(tweaked));
+
+  tweaked = base;
+  tweaked.device.rails.nvm_write_w = 11.0e-3;
+  EXPECT_NE(key_for(base), key_for(tweaked));
+
+  tweaked = base;
+  tweaked.device.memory.vm_bytes += 1024;
+  EXPECT_NE(key_for(base), key_for(tweaked));
+
+  tweaked = base;
+  tweaked.device.reboot_us = 999.0;
+  EXPECT_NE(key_for(base), key_for(tweaked));
+}
+
+TEST(BackendEvalKey, FoldIsDeterministic) {
+  EXPECT_EQ(key_for(BackendConfig::reram()), key_for(BackendConfig::reram()));
+}
+
+}  // namespace
+}  // namespace iprune

@@ -19,7 +19,7 @@ PerfReport sample_report() {
   PerfReport report;
   report.add({"gemm_dense_64", 120000, 33, 0xDEADBEEFu});
   report.add({"conv2d_infer_8x16x16", 800000, 17, 42u});
-  report.add({"engine_e2e_infer", 5000000, 7, 7777u});
+  report.add({"engine_e2e_infer", 5000000, 7, 7777u, "msp430-fram"});
   return report;
 }
 
@@ -58,7 +58,50 @@ TEST(PerfGate, RoundTripPreservesEveryField) {
     EXPECT_EQ(e.median_ns, b->median_ns) << e.name;
     EXPECT_EQ(e.iters, b->iters) << e.name;
     EXPECT_EQ(e.checksum, b->checksum) << e.name;
+    EXPECT_EQ(e.backend, b->backend) << e.name;
   }
+}
+
+TEST(PerfGate, BackendTagDefaultsToHostWhenAbsent) {
+  // Pre-backend baselines never wrote the tag; they must keep parsing and
+  // read back as host-side entries.
+  const std::string doc = R"({
+    "schema": "iprune-bench-perf/1",
+    "entries": [
+      {"name": "x", "median_ns": 5, "iters": 3, "checksum": 9}
+    ]
+  })";
+  const PerfReport report = PerfReport::from_json(doc);
+  ASSERT_EQ(1u, report.entries.size());
+  EXPECT_EQ(report.entries[0].backend, "host");
+}
+
+TEST(PerfGate, ComparatorFailsOnBackendChange) {
+  // Timings measured against different backends prove nothing; a tag
+  // change fails even when the numbers and checksums line up.
+  const PerfReport baseline = sample_report();
+  PerfReport current = sample_report();
+  for (PerfEntry& e : current.entries) {
+    if (e.name == "engine_e2e_infer") {
+      e.backend = "reram";
+    }
+  }
+  const PerfGateResult result = compare(baseline, current, 100.0);
+  EXPECT_FALSE(result.passed);
+  bool flagged = false;
+  for (const PerfComparison& cmp : result.comparisons) {
+    if (cmp.name == "engine_e2e_infer") {
+      flagged = cmp.backend_changed;
+      EXPECT_FALSE(cmp.checksum_changed);
+      EXPECT_FALSE(cmp.regressed);
+    } else {
+      EXPECT_FALSE(cmp.failed()) << cmp.name;
+    }
+  }
+  EXPECT_TRUE(flagged);
+  EXPECT_NE(result.summary.find(
+                "backend 'reram' != baseline 'msp430-fram'"),
+            std::string::npos);
 }
 
 TEST(PerfGate, ComparatorPassesOnIdenticalReports) {
